@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark behind the paper's Table 6: cache-key
+//! generation time for each strategy × each Google operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsrc_bench::fixtures::{google_fixtures, registry, ENDPOINT};
+use wsrc_cache::key::{generate_key, KeyStrategy};
+
+fn bench_key_generation(c: &mut Criterion) {
+    let fixtures = google_fixtures();
+    let registry = registry();
+    let mut group = c.benchmark_group("table6_key_generation");
+    for f in &fixtures {
+        for strategy in KeyStrategy::CONCRETE {
+            group.bench_function(format!("{}/{}", f.operation, strategy.label()), |b| {
+                b.iter(|| {
+                    generate_key(strategy, ENDPOINT, std::hint::black_box(&f.request), &registry)
+                        .expect("applicable strategy")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_generation);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Regenerates the paper's Figures 3 and 4: portal throughput and mean
+//! response time vs cache-hit ratio, one series per cache-value
+//! representation.
+
+use crate::render_table;
+use wsrc_cache::ValueRepresentation;
+use wsrc_portal::scenario::{run_portal_scenario, ScenarioConfig, TransportMode};
+use wsrc_portal::ScenarioResult;
+
+/// Parameters for one figure.
+#[derive(Debug, Clone)]
+pub struct FigureConfig {
+    /// Closed-loop workers: 1 reproduces Figure 3, 25 reproduces Figure 4.
+    pub concurrency: usize,
+    /// Measured requests per (representation, ratio) point.
+    pub requests: usize,
+    /// Hit ratios to sweep (the paper uses 0%..100% in 20% steps).
+    pub hit_ratios: Vec<f64>,
+    /// Transport mode (in-process by default; TCP reproduces the paper's
+    /// real-sockets setup at higher run time).
+    pub transport: TransportMode,
+    /// Injected per-miss back-end latency (in-process mode only) —
+    /// standing in for the portal↔provider WAN hop; a non-zero value
+    /// compresses the hit-ratio gains toward the paper's magnitudes.
+    pub backend_latency: std::time::Duration,
+}
+
+impl FigureConfig {
+    /// Figure 3: no concurrent access.
+    pub fn figure3(requests: usize) -> Self {
+        FigureConfig {
+            concurrency: 1,
+            requests,
+            hit_ratios: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+            transport: TransportMode::InProcess,
+            backend_latency: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Figure 4: 25 concurrent accesses.
+    pub fn figure4(requests: usize) -> Self {
+        FigureConfig { concurrency: 25, ..FigureConfig::figure3(requests) }
+    }
+}
+
+/// One measured series: representation plus one result per hit ratio.
+#[derive(Debug)]
+pub struct FigureSeries {
+    /// The representation under test.
+    pub representation: ValueRepresentation,
+    /// `(hit_ratio, result)` points in sweep order.
+    pub points: Vec<(f64, ScenarioResult)>,
+}
+
+/// Runs all six representation series for one figure.
+pub fn run_figure(config: &FigureConfig) -> Vec<FigureSeries> {
+    ValueRepresentation::ALL
+        .iter()
+        .map(|&representation| {
+            let points = config
+                .hit_ratios
+                .iter()
+                .map(|&hit_ratio| {
+                    let result = run_portal_scenario(&ScenarioConfig {
+                        representation,
+                        hit_ratio,
+                        concurrency: config.concurrency,
+                        requests: config.requests,
+                        transport: config.transport,
+                        backend_latency: config.backend_latency,
+                    });
+                    (hit_ratio, result)
+                })
+                .collect();
+            FigureSeries { representation, points }
+        })
+        .collect()
+}
+
+/// Renders a figure's two panels (throughput, mean response time) as text
+/// tables, one row per representation, one column per hit ratio.
+pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
+    let ratios: Vec<String> = series
+        .first()
+        .map(|s| s.points.iter().map(|(r, _)| format!("{:.0}%", r * 100.0)).collect())
+        .unwrap_or_default();
+    let mut header: Vec<&str> = vec!["method"];
+    header.extend(ratios.iter().map(String::as_str));
+
+    let throughput_rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.representation.label().to_string()];
+            row.extend(s.points.iter().map(|(_, r)| format!("{:.0}", r.load.throughput_rps)));
+            row
+        })
+        .collect();
+    let latency_rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.representation.label().to_string()];
+            row.extend(
+                s.points
+                    .iter()
+                    .map(|(_, r)| format!("{:.3}", r.load.mean_response.as_secs_f64() * 1e3)),
+            );
+            row
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&render_table(
+        &format!("{title} — throughput (requests/second) vs cache-hit ratio"),
+        &header,
+        &throughput_rows,
+    ));
+    out.push('\n');
+    out.push_str(&render_table(
+        &format!("{title} — average response time (msec) vs cache-hit ratio"),
+        &header,
+        &latency_rows,
+    ));
+    out
+}
+
+/// Headline numbers the paper quotes for a figure: throughput and
+/// response-time improvement of each representation class at 100% hit
+/// ratio relative to 0%.
+pub fn speedups_at_full_hit(series: &[FigureSeries]) -> Vec<(ValueRepresentation, f64, f64)> {
+    series
+        .iter()
+        .filter_map(|s| {
+            let zero = s.points.iter().find(|(r, _)| *r == 0.0)?;
+            let full = s.points.iter().find(|(r, _)| *r == 1.0)?;
+            let throughput_gain = full.1.load.throughput_rps / zero.1.load.throughput_rps.max(1e-9);
+            let latency_gain = zero.1.load.mean_response.as_secs_f64()
+                / full.1.load.mean_response.as_secs_f64().max(1e-12);
+            Some((s.representation, throughput_gain, latency_gain))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_figure() -> Vec<FigureSeries> {
+        let config = FigureConfig {
+            concurrency: 2,
+            requests: 120,
+            hit_ratios: vec![0.0, 1.0],
+            transport: TransportMode::InProcess,
+            backend_latency: std::time::Duration::ZERO,
+        };
+        run_figure(&config)
+    }
+
+    #[test]
+    fn figure_runs_all_series_and_renders() {
+        let series = tiny_figure();
+        assert_eq!(series.len(), 6);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            for (_, r) in &s.points {
+                assert_eq!(r.load.errors, 0, "{}", s.representation);
+            }
+        }
+        let text = render_figure("Figure (test)", &series);
+        assert!(text.contains("throughput"));
+        assert!(text.contains("Pass by reference"));
+        assert!(text.contains("0%") && text.contains("100%"));
+    }
+
+    #[test]
+    fn full_hit_ratio_beats_zero_for_object_caching() {
+        let series = tiny_figure();
+        let speedups = speedups_at_full_hit(&series);
+        assert_eq!(speedups.len(), 6);
+        let object = speedups
+            .iter()
+            .find(|(r, _, _)| *r == ValueRepresentation::CloneCopy)
+            .unwrap();
+        assert!(
+            object.1 > 1.0,
+            "object caching at 100% should beat 0% (got {:.2}x)",
+            object.1
+        );
+    }
+}

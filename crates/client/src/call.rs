@@ -1,0 +1,300 @@
+//! The low-level invocation object: one SOAP round-trip, no cache.
+
+use crate::error::ClientError;
+use crate::interceptor::InterceptorChain;
+use std::sync::Arc;
+use wsrc_http::{Request, Transport, Url};
+use wsrc_model::typeinfo::TypeRegistry;
+use wsrc_model::Value;
+use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
+use wsrc_soap::serializer::serialize_request;
+use wsrc_xml::event::SaxEventSequence;
+
+/// Everything a completed exchange produced — handed to the cache layer.
+#[derive(Debug)]
+pub struct Exchange {
+    /// The response XML text.
+    pub response_xml: String,
+    /// The SAX events recorded while parsing the response.
+    pub response_events: SaxEventSequence,
+    /// The deserialized return value.
+    pub value: Value,
+    /// The response's `Last-Modified` header, if the server sent one —
+    /// the revalidation token for the §3.2 HTTP consistency handshake.
+    pub last_modified: Option<String>,
+}
+
+/// Result of a conditional invocation ([`Call::invoke_conditional`]).
+#[derive(Debug)]
+pub enum ConditionalOutcome {
+    /// The server answered `304 Not Modified`: the cached response is
+    /// still valid.
+    NotModified,
+    /// The server sent a full (changed) response.
+    Fresh(Exchange),
+}
+
+/// A low-level SOAP call object (the Axis `Call` analog).
+pub struct Call {
+    endpoint: Url,
+    transport: Arc<dyn Transport>,
+    registry: TypeRegistry,
+    interceptors: InterceptorChain,
+}
+
+impl std::fmt::Debug for Call {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Call").field("endpoint", &self.endpoint.to_string()).finish()
+    }
+}
+
+impl Call {
+    /// Creates a call object bound to one endpoint.
+    pub fn new(endpoint: Url, transport: Arc<dyn Transport>, registry: TypeRegistry) -> Self {
+        Call { endpoint, transport, registry, interceptors: InterceptorChain::new() }
+    }
+
+    /// Adds an interceptor to the HTTP exchange.
+    pub fn add_interceptor(&mut self, interceptor: impl crate::interceptor::Interceptor + 'static) {
+        self.interceptors.push(interceptor);
+    }
+
+    /// The bound endpoint.
+    pub fn endpoint(&self) -> &Url {
+        &self.endpoint
+    }
+
+    /// The registry used to type exchanges.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// Performs one full exchange, returning the raw artifacts (response
+    /// XML, recorded events, deserialized value).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, HTTP error statuses without a SOAP fault,
+    /// malformed responses, and SOAP faults (as [`ClientError::Soap`]).
+    pub fn invoke(
+        &self,
+        descriptor: &OperationDescriptor,
+        request: &RpcRequest,
+    ) -> Result<Exchange, ClientError> {
+        match self.invoke_inner(descriptor, request, None)? {
+            ConditionalOutcome::Fresh(exchange) => Ok(exchange),
+            ConditionalOutcome::NotModified => Err(ClientError::Http(
+                wsrc_http::HttpError::protocol("unexpected 304 to an unconditional request"),
+            )),
+        }
+    }
+
+    /// Performs a *conditional* exchange: sends `If-Modified-Since` and
+    /// reports `NotModified` when the server answers 304 with no body.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`invoke`](Call::invoke).
+    pub fn invoke_conditional(
+        &self,
+        descriptor: &OperationDescriptor,
+        request: &RpcRequest,
+        if_modified_since: &str,
+    ) -> Result<ConditionalOutcome, ClientError> {
+        self.invoke_inner(descriptor, request, Some(if_modified_since))
+    }
+
+    fn invoke_inner(
+        &self,
+        descriptor: &OperationDescriptor,
+        request: &RpcRequest,
+        if_modified_since: Option<&str>,
+    ) -> Result<ConditionalOutcome, ClientError> {
+        descriptor.check_request(request).map_err(ClientError::Soap)?;
+        let request_xml = serialize_request(request, &self.registry).map_err(ClientError::Soap)?;
+        let mut http_request = Request::post(
+            self.endpoint.path(),
+            wsrc_soap::envelope::CONTENT_TYPE,
+            request_xml.into_bytes(),
+        )
+        .with_header("SOAPAction", format!("\"{}\"", descriptor.soap_action));
+        if let Some(ims) = if_modified_since {
+            http_request = http_request.with_header("If-Modified-Since", ims.to_string());
+        }
+        self.interceptors.apply_request(&mut http_request);
+        let mut http_response = self.transport.execute(&self.endpoint, &http_request)?;
+        self.interceptors.apply_response(&mut http_response);
+
+        if http_response.status == wsrc_http::Status::NOT_MODIFIED {
+            return Ok(ConditionalOutcome::NotModified);
+        }
+        // Both 200 and 500 may carry SOAP envelopes (faults use 500).
+        let body = String::from_utf8_lossy(&http_response.body).into_owned();
+        if !http_response.status.is_success()
+            && http_response.status != wsrc_http::Status::INTERNAL_SERVER_ERROR
+        {
+            return Err(ClientError::Http(wsrc_http::HttpError::Status {
+                code: http_response.status.0,
+                reason: http_response.status.reason().to_string(),
+                body,
+            }));
+        }
+        let last_modified = http_response.headers.get("Last-Modified").map(str::to_string);
+        let (outcome, events) =
+            read_response_xml_recording(&body, &descriptor.return_type, &self.registry)
+                .map_err(ClientError::Soap)?;
+        match outcome {
+            RpcOutcome::Return(value) => Ok(ConditionalOutcome::Fresh(Exchange {
+                response_xml: body,
+                response_events: events,
+                value,
+                last_modified,
+            })),
+            RpcOutcome::Fault(fault) => Err(ClientError::Soap(fault.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use wsrc_http::{Handler, InProcTransport, Response};
+    use wsrc_model::typeinfo::{FieldDescriptor, FieldType};
+    use wsrc_soap::serializer::{serialize_fault, serialize_response};
+    use wsrc_soap::SoapFault;
+
+    fn echo_op() -> OperationDescriptor {
+        OperationDescriptor::new(
+            "urn:Echo",
+            "echo",
+            vec![FieldDescriptor::new("text", FieldType::String)],
+            FieldType::String,
+        )
+    }
+
+    /// A SOAP server that echoes the `text` parameter, counting calls.
+    struct EchoService {
+        calls: AtomicU64,
+    }
+
+    impl Handler for EchoService {
+        fn handle(&self, request: &Request) -> Response {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let registry = TypeRegistry::new();
+            let ops = vec![echo_op()];
+            let req =
+                wsrc_soap::deserializer::parse_request(&request.body_text(), &ops, &registry)
+                    .expect("valid request");
+            let text = req.param("text").and_then(Value::as_str).unwrap_or_default();
+            let xml = serialize_response(
+                "urn:Echo",
+                "echo",
+                "return",
+                &Value::string(format!("echo: {text}")),
+                &registry,
+            )
+            .unwrap();
+            Response::ok(wsrc_soap::envelope::CONTENT_TYPE, xml.into_bytes())
+        }
+    }
+
+    fn call_over(handler: Arc<dyn Handler>) -> (Call, Arc<InProcTransport>) {
+        let transport = Arc::new(InProcTransport::new(handler));
+        let call = Call::new(
+            Url::new("svc.test", 80, "/soap"),
+            transport.clone(),
+            TypeRegistry::new(),
+        );
+        (call, transport)
+    }
+
+    #[test]
+    fn invoke_roundtrips_through_soap() {
+        let (call, transport) = call_over(Arc::new(EchoService { calls: AtomicU64::new(0) }));
+        let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "hello");
+        let exchange = call.invoke(&echo_op(), &req).unwrap();
+        assert_eq!(exchange.value, Value::string("echo: hello"));
+        assert!(exchange.response_xml.contains("echoResponse"));
+        assert!(exchange.response_events.len() > 5);
+        assert_eq!(transport.requests_served(), 1);
+    }
+
+    #[test]
+    fn missing_parameters_fail_before_the_network() {
+        let (call, transport) = call_over(Arc::new(EchoService { calls: AtomicU64::new(0) }));
+        let req = RpcRequest::new("urn:Echo", "echo"); // no text param
+        assert!(call.invoke(&echo_op(), &req).is_err());
+        assert_eq!(transport.requests_served(), 0);
+    }
+
+    #[test]
+    fn soap_faults_surface_as_errors() {
+        let faulty: Arc<dyn Handler> = Arc::new(|_req: &Request| {
+            let xml = serialize_fault(&SoapFault::server("backend down")).unwrap();
+            Response::new(
+                wsrc_http::Status::INTERNAL_SERVER_ERROR,
+                wsrc_soap::envelope::CONTENT_TYPE,
+                xml.into_bytes(),
+            )
+        });
+        let (call, _t) = call_over(faulty);
+        let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "x");
+        let err = call.invoke(&echo_op(), &req).unwrap_err();
+        let fault = err.as_fault().expect("fault");
+        assert_eq!(fault.string, "backend down");
+    }
+
+    #[test]
+    fn non_soap_http_errors_surface_as_http_errors() {
+        let not_found: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::error(wsrc_http::Status::NOT_FOUND, "nope"));
+        let (call, _t) = call_over(not_found);
+        let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "x");
+        match call.invoke(&echo_op(), &req).unwrap_err() {
+            ClientError::Http(wsrc_http::HttpError::Status { code, .. }) => assert_eq!(code, 404),
+            other => panic!("expected http status error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_responses_are_soap_errors() {
+        let garbage: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::ok("text/xml", b"not xml at all".to_vec()));
+        let (call, _t) = call_over(garbage);
+        let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "x");
+        assert!(matches!(call.invoke(&echo_op(), &req), Err(ClientError::Soap(_))));
+    }
+
+    #[test]
+    fn interceptors_see_the_exchange() {
+        struct Stamp;
+        impl crate::interceptor::Interceptor for Stamp {
+            fn on_request(&self, request: &mut Request) {
+                request.headers.set("X-Stamp", "on");
+            }
+        }
+        let saw_stamp = Arc::new(AtomicU64::new(0));
+        let saw = saw_stamp.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            if req.headers.get("X-Stamp") == Some("on") {
+                saw.fetch_add(1, Ordering::SeqCst);
+            }
+            let xml = serialize_response(
+                "urn:Echo",
+                "echo",
+                "return",
+                &Value::string("ok"),
+                &TypeRegistry::new(),
+            )
+            .unwrap();
+            Response::ok("text/xml", xml.into_bytes())
+        });
+        let (mut call, _t) = call_over(handler);
+        call.add_interceptor(Stamp);
+        let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "x");
+        call.invoke(&echo_op(), &req).unwrap();
+        assert_eq!(saw_stamp.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Miss coalescing (single-flight): when several threads miss on the same
+//! cache key simultaneously, only one performs the exchange; the others
+//! wait and re-read the cache.
+//!
+//! The paper observes (§3.2) that response caching absorbs floods of
+//! identical requests; coalescing closes the remaining gap where a burst
+//! arrives *before* the first response lands, which would otherwise fan
+//! out as duplicate back-end calls.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsrc_cache::CacheKey;
+
+/// One in-progress fetch that followers can wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The per-client table of in-flight fetches.
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+/// What [`InflightTable::join`] decided for this thread.
+#[derive(Debug)]
+pub enum Role {
+    /// This thread fetches; it MUST call [`LeaderGuard::complete`] (or
+    /// drop the guard) when done, success or failure.
+    Leader(LeaderGuard),
+    /// Another thread is already fetching the same key; [`Role::Follower`]
+    /// has already waited for it — re-read the cache.
+    Follower,
+}
+
+/// Completion guard held by the fetching thread. Dropping it (even on
+/// panic or error paths) releases all waiting followers.
+#[derive(Debug)]
+pub struct LeaderGuard {
+    table: Arc<InflightTable>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+}
+
+impl LeaderGuard {
+    /// Explicitly releases followers (same as dropping the guard).
+    pub fn complete(self) {}
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        self.table.flights.lock().remove(&self.key);
+        self.flight.complete();
+    }
+}
+
+impl InflightTable {
+    /// A fresh table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(InflightTable::default())
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// later callers block until the leader finishes and then return as
+    /// followers.
+    pub fn join(self: &Arc<Self>, key: CacheKey) -> Role {
+        let flight = {
+            let mut flights = self.flights.lock();
+            match flights.get(&key) {
+                Some(existing) => Some(existing.clone()),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    flights.insert(key.clone(), flight.clone());
+                    return Role::Leader(LeaderGuard { table: self.clone(), key, flight });
+                }
+            }
+        };
+        let flight = flight.expect("either leader returned or follower has a flight");
+        flight.wait();
+        Role::Follower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn key(n: usize) -> CacheKey {
+        CacheKey::Text(format!("k{n}"))
+    }
+
+    #[test]
+    fn single_thread_is_always_leader() {
+        let table = InflightTable::new();
+        match table.join(key(1)) {
+            Role::Leader(guard) => guard.complete(),
+            Role::Follower => panic!("expected leader"),
+        }
+        // Key released: leader again.
+        assert!(matches!(table.join(key(1)), Role::Leader(_)));
+    }
+
+    #[test]
+    fn concurrent_joins_elect_one_leader() {
+        let table = InflightTable::new();
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let followers = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let table = table.clone();
+                let leaders = leaders.clone();
+                let followers = followers.clone();
+                scope.spawn(move || match table.join(key(7)) {
+                    Role::Leader(guard) => {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(30));
+                        guard.complete();
+                    }
+                    Role::Follower => {
+                        followers.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        // Rounds of 8 threads: at least one leader; every thread finished.
+        let l = leaders.load(Ordering::SeqCst);
+        let f = followers.load(Ordering::SeqCst);
+        assert!(l >= 1);
+        assert_eq!(l + f, 8);
+        // With a 30ms hold, most threads should have been followers.
+        assert!(f >= 5, "expected most joins to follow, got {f}");
+    }
+
+    #[test]
+    fn different_keys_do_not_interfere() {
+        let table = InflightTable::new();
+        let g1 = match table.join(key(1)) {
+            Role::Leader(g) => g,
+            Role::Follower => panic!(),
+        };
+        // A different key is an independent flight.
+        assert!(matches!(table.join(key(2)), Role::Leader(_)));
+        g1.complete();
+    }
+
+    #[test]
+    fn guard_drop_releases_followers_on_error_paths() {
+        let table = InflightTable::new();
+        let t2 = table.clone();
+        let follower = std::thread::spawn(move || {
+            // Give the leader time to acquire.
+            std::thread::sleep(Duration::from_millis(20));
+            matches!(t2.join(key(3)), Role::Follower)
+        });
+        {
+            let _guard = match table.join(key(3)) {
+                Role::Leader(g) => g,
+                Role::Follower => panic!(),
+            };
+            std::thread::sleep(Duration::from_millis(60));
+            // guard dropped here without explicit complete()
+        }
+        assert!(follower.join().unwrap(), "follower should have been released");
+    }
+}

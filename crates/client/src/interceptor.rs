@@ -1,0 +1,112 @@
+//! Request/response interceptors — the Axis handler-chain analog.
+
+use wsrc_http::{Request, Response};
+
+/// Observes (and may annotate) outgoing requests and incoming responses.
+///
+/// Interceptors run in registration order on requests and reverse order
+/// on responses, like servlet filters.
+pub trait Interceptor: Send + Sync {
+    /// Called with the outgoing HTTP request before it is sent.
+    fn on_request(&self, _request: &mut Request) {}
+
+    /// Called with the incoming HTTP response before deserialization.
+    fn on_response(&self, _response: &mut Response) {}
+}
+
+/// An ordered chain of interceptors.
+#[derive(Default)]
+pub struct InterceptorChain {
+    interceptors: Vec<Box<dyn Interceptor>>,
+}
+
+impl std::fmt::Debug for InterceptorChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InterceptorChain({} interceptors)", self.interceptors.len())
+    }
+}
+
+impl InterceptorChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        InterceptorChain::default()
+    }
+
+    /// Appends an interceptor.
+    pub fn push(&mut self, interceptor: impl Interceptor + 'static) {
+        self.interceptors.push(Box::new(interceptor));
+    }
+
+    /// Number of interceptors.
+    pub fn len(&self) -> usize {
+        self.interceptors.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interceptors.is_empty()
+    }
+
+    /// Runs the request side of the chain.
+    pub fn apply_request(&self, request: &mut Request) {
+        for i in &self.interceptors {
+            i.on_request(request);
+        }
+    }
+
+    /// Runs the response side of the chain (reverse order).
+    pub fn apply_response(&self, response: &mut Response) {
+        for i in self.interceptors.iter().rev() {
+            i.on_response(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Tagger(&'static str, Arc<AtomicUsize>);
+
+    impl Interceptor for Tagger {
+        fn on_request(&self, request: &mut Request) {
+            let order = self.1.fetch_add(1, Ordering::SeqCst);
+            request.headers.insert(format!("X-Req-{}", self.0), order.to_string());
+        }
+        fn on_response(&self, response: &mut Response) {
+            let order = self.1.fetch_add(1, Ordering::SeqCst);
+            response.headers.insert(format!("X-Resp-{}", self.0), order.to_string());
+        }
+    }
+
+    #[test]
+    fn chain_runs_in_order_and_reverse() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut chain = InterceptorChain::new();
+        chain.push(Tagger("a", counter.clone()));
+        chain.push(Tagger("b", counter.clone()));
+        assert_eq!(chain.len(), 2);
+
+        let mut req = Request::get("/x");
+        chain.apply_request(&mut req);
+        assert_eq!(req.headers.get("X-Req-a"), Some("0"));
+        assert_eq!(req.headers.get("X-Req-b"), Some("1"));
+
+        let mut resp = Response::ok("text/plain", vec![]);
+        chain.apply_response(&mut resp);
+        // Reverse order: b first.
+        assert_eq!(resp.headers.get("X-Resp-b"), Some("2"));
+        assert_eq!(resp.headers.get("X-Resp-a"), Some("3"));
+    }
+
+    #[test]
+    fn empty_chain_is_a_noop() {
+        let chain = InterceptorChain::new();
+        assert!(chain.is_empty());
+        let mut req = Request::get("/x");
+        chain.apply_request(&mut req);
+        assert_eq!(req.headers.len(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Web services client middleware — the Apache-Axis analog.
+//!
+//! [`call::Call`] is the low-level invocation object (serialize → POST →
+//! deserialize). [`client::ServiceClient`] is the full middleware: it
+//! owns the operation descriptors, the type registry, an interceptor
+//! chain, and — transparently to the application — the response cache.
+//! "This response cache can be used without any changes to the user
+//! client application running on the middleware" (paper §3.2); the
+//! application-facing API is identical with or without a cache attached.
+
+pub mod call;
+pub mod client;
+pub mod coalesce;
+pub mod error;
+pub mod interceptor;
+
+pub use call::Call;
+pub use client::{Disposition, ServiceClient, ServiceClientBuilder};
+pub use error::ClientError;
+pub use interceptor::{Interceptor, InterceptorChain};
+
+/// The typed-stub hook generated code calls through (see
+/// `wsrc_wsdl::codegen`).
+pub trait TypedCall {
+    /// Error produced by the implementation.
+    type Error;
+
+    /// Invokes an RPC request and returns the response object.
+    fn invoke(&self, request: wsrc_soap::RpcRequest) -> Result<wsrc_model::Value, Self::Error>;
+}

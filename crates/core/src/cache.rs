@@ -1,0 +1,597 @@
+//! [`ResponseCache`] — the facade the client middleware plugs in.
+//!
+//! On each call the middleware asks the cache first ([`ResponseCache::lookup`]);
+//! on a miss it performs the real exchange and hands the artifacts to
+//! [`ResponseCache::insert`]. Key strategy, representation selection,
+//! per-operation policy and TTL all live here, so the client application
+//! "does not need to be at all conscious of how the response data is
+//! cached" (paper §6).
+
+use crate::classify::{PaperSelector, RepresentationSelector};
+use crate::clock::{Clock, SystemClock};
+use crate::error::CacheError;
+use crate::key::{generate_key, KeyStrategy};
+use crate::policy::{CachePolicy, OperationPolicy};
+use crate::repr::{StoredResponse, ValueHandle, ValueRepresentation};
+use crate::stats::{CacheStats, StatsSnapshot};
+use crate::store::{CacheStore, Capacity, Lookup};
+use std::sync::Arc;
+use std::time::Duration;
+use wsrc_model::typeinfo::{FieldType, TypeRegistry};
+use wsrc_soap::rpc::RpcRequest;
+
+pub use crate::repr::MissArtifacts as ResponseData;
+
+/// Detailed result of [`ResponseCache::lookup_detailed`].
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// A fresh entry answered the lookup.
+    Fresh(ValueHandle),
+    /// An expired entry with a revalidation token is available: the
+    /// caller may revalidate (e.g. with `If-Modified-Since`) and either
+    /// [`ResponseCache::refresh`] the entry or replace it.
+    Stale {
+        /// The stale application object (usable if revalidation
+        /// succeeds).
+        handle: ValueHandle,
+        /// The revalidation token stored with the entry.
+        validator: String,
+    },
+    /// Nothing usable is cached.
+    Miss,
+}
+
+/// The response cache for Web services client middleware.
+pub struct ResponseCache {
+    store: CacheStore,
+    policy: CachePolicy,
+    key_strategy: KeyStrategy,
+    selector: Arc<dyn RepresentationSelector>,
+    clock: Arc<dyn Clock>,
+    registry: TypeRegistry,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("entries", &self.store.len())
+            .field("key_strategy", &self.key_strategy)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// Starts building a cache; the type registry is the only mandatory
+    /// ingredient.
+    pub fn builder(registry: TypeRegistry) -> ResponseCacheBuilder {
+        ResponseCacheBuilder {
+            registry,
+            policy: CachePolicy::new(),
+            key_strategy: KeyStrategy::Auto,
+            selector: Arc::new(PaperSelector),
+            clock: Arc::new(SystemClock),
+            capacity: Capacity::default(),
+        }
+    }
+
+    /// Looks up the response for `request`, returning the application
+    /// object on a hit.
+    ///
+    /// Misses, expired entries and uncacheable operations all return
+    /// `None`; the caller performs the real exchange.
+    pub fn lookup(
+        &self,
+        endpoint_url: &str,
+        request: &RpcRequest,
+        expected: &FieldType,
+    ) -> Option<ValueHandle> {
+        match self.lookup_detailed(endpoint_url, request, expected) {
+            CacheOutcome::Fresh(handle) => Some(handle),
+            // Without a revalidating caller a stale entry is a miss.
+            CacheOutcome::Stale { .. } | CacheOutcome::Miss => None,
+        }
+    }
+
+    /// Like [`lookup`](ResponseCache::lookup) but distinguishes stale
+    /// entries that can be revalidated (paper §3.2's HTTP consistency
+    /// mechanism applied to the response cache).
+    pub fn lookup_detailed(
+        &self,
+        endpoint_url: &str,
+        request: &RpcRequest,
+        expected: &FieldType,
+    ) -> CacheOutcome {
+        let policy = self.policy.for_operation(&request.operation);
+        if !policy.cacheable {
+            self.stats.record_uncacheable();
+            return CacheOutcome::Miss;
+        }
+        let key = match generate_key(self.key_strategy, endpoint_url, request, &self.registry) {
+            Ok(k) => k,
+            Err(_) => {
+                self.stats.record_miss();
+                return CacheOutcome::Miss;
+            }
+        };
+        match self.store.get(&key, self.clock.now_millis()) {
+            Lookup::Live(stored) => match stored.retrieve(expected, &self.registry) {
+                Ok(handle) => {
+                    self.stats.record_hit();
+                    CacheOutcome::Fresh(handle)
+                }
+                Err(_) => {
+                    // A cache entry that cannot produce its object is
+                    // poison; drop it and treat as a miss.
+                    self.store.invalidate(&key);
+                    self.stats.record_miss();
+                    CacheOutcome::Miss
+                }
+            },
+            Lookup::Stale { stored, validator } => match stored.retrieve(expected, &self.registry) {
+                Ok(handle) => {
+                    self.stats.record_expired();
+                    CacheOutcome::Stale { handle, validator }
+                }
+                Err(_) => {
+                    self.store.invalidate(&key);
+                    self.stats.record_miss();
+                    CacheOutcome::Miss
+                }
+            },
+            Lookup::Expired => {
+                self.stats.record_expired();
+                self.stats.record_miss();
+                CacheOutcome::Miss
+            }
+            Lookup::Absent => {
+                self.stats.record_miss();
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Renews the TTL of a (stale) entry after a successful revalidation
+    /// (e.g. a `304 Not Modified` response). Returns whether an entry was
+    /// refreshed.
+    pub fn refresh(&self, endpoint_url: &str, request: &RpcRequest) -> bool {
+        let policy = self.policy.for_operation(&request.operation);
+        let Ok(key) = generate_key(self.key_strategy, endpoint_url, request, &self.registry) else {
+            return false;
+        };
+        let now = self.clock.now_millis();
+        let expires = now.saturating_add(policy.ttl.as_millis() as u64);
+        let refreshed = self.store.refresh(&key, expires);
+        if refreshed {
+            self.stats.record_revalidated();
+        }
+        refreshed
+    }
+
+    /// Stores the artifacts of a completed exchange. Returns the
+    /// representation actually used, or `None` when the operation is
+    /// uncacheable or the response could not be keyed.
+    pub fn insert(
+        &self,
+        endpoint_url: &str,
+        request: &RpcRequest,
+        data: ResponseData<'_>,
+    ) -> Option<ValueRepresentation> {
+        self.insert_validated(endpoint_url, request, data, None)
+    }
+
+    /// [`insert`](ResponseCache::insert) with a revalidation token
+    /// (typically the response's `Last-Modified` header). Entries with a
+    /// token become *stale* instead of vanishing at TTL expiry, enabling
+    /// the `If-Modified-Since`/304 handshake.
+    pub fn insert_validated(
+        &self,
+        endpoint_url: &str,
+        request: &RpcRequest,
+        data: ResponseData<'_>,
+        validator: Option<String>,
+    ) -> Option<ValueRepresentation> {
+        let policy = self.policy.for_operation(&request.operation);
+        if !policy.cacheable {
+            self.stats.record_uncacheable();
+            return None;
+        }
+        let key = generate_key(self.key_strategy, endpoint_url, request, &self.registry).ok()?;
+        let stored = self.build_stored(&policy, data)?;
+        let repr = stored.representation();
+        let now = self.clock.now_millis();
+        let expires = now.saturating_add(policy.ttl.as_millis() as u64);
+        let evicted = self.store.put_validated(key, stored, expires, now, validator);
+        self.stats.record_insert();
+        self.stats.record_evictions(evicted);
+        Some(repr)
+    }
+
+    /// Picks a representation and builds the stored form, falling back
+    /// down the always-applicable chain when the preferred choice is not
+    /// applicable to this value.
+    fn build_stored(
+        &self,
+        policy: &OperationPolicy,
+        data: ResponseData<'_>,
+    ) -> Option<StoredResponse> {
+        let preferred = policy
+            .representation
+            .unwrap_or_else(|| self.selector.select(data.value, &self.registry, policy.read_only));
+        let chain = [
+            preferred,
+            ValueRepresentation::SaxEvents,
+            ValueRepresentation::XmlMessage,
+        ];
+        for repr in chain {
+            match StoredResponse::build(repr, data, &self.registry) {
+                Ok(stored) => return Some(stored),
+                Err(CacheError::NotApplicable(_)) => continue,
+                Err(_) => break,
+            }
+        }
+        self.stats.record_store_failure();
+        None
+    }
+
+    /// The cache key this cache would use for `request`, if the strategy
+    /// applies. Exposed so the middleware can coalesce concurrent misses
+    /// on the same key (single-flight).
+    pub fn key_for(&self, endpoint_url: &str, request: &RpcRequest) -> Option<crate::key::CacheKey> {
+        generate_key(self.key_strategy, endpoint_url, request, &self.registry).ok()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of live-or-expired entries currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Approximate bytes used by stored entries.
+    pub fn bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.store.clear();
+    }
+
+    /// The registry this cache types values with.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// The effective policy for an operation (for diagnostics).
+    pub fn policy_for(&self, operation: &str) -> OperationPolicy {
+        self.policy.for_operation(operation)
+    }
+}
+
+/// Builder for [`ResponseCache`].
+pub struct ResponseCacheBuilder {
+    registry: TypeRegistry,
+    policy: CachePolicy,
+    key_strategy: KeyStrategy,
+    selector: Arc<dyn RepresentationSelector>,
+    clock: Arc<dyn Clock>,
+    capacity: Capacity,
+}
+
+impl std::fmt::Debug for ResponseCacheBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCacheBuilder")
+            .field("key_strategy", &self.key_strategy)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl ResponseCacheBuilder {
+    /// Sets the operation policy table.
+    pub fn policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Convenience: make every operation cacheable with one TTL.
+    pub fn cache_everything(mut self, ttl: Duration) -> Self {
+        self.policy = std::mem::take(&mut self.policy).with_default(OperationPolicy::cacheable(ttl));
+        self
+    }
+
+    /// Sets the cache-key strategy (default: [`KeyStrategy::Auto`]).
+    pub fn key_strategy(mut self, strategy: KeyStrategy) -> Self {
+        self.key_strategy = strategy;
+        self
+    }
+
+    /// Sets the representation selector (default: [`PaperSelector`]).
+    pub fn selector(mut self, selector: impl RepresentationSelector + 'static) -> Self {
+        self.selector = Arc::new(selector);
+        self
+    }
+
+    /// Sets the clock (tests use [`crate::clock::ManualClock`]).
+    pub fn clock(mut self, clock: impl Clock + 'static) -> Self {
+        self.clock = Arc::new(clock);
+        self
+    }
+
+    /// Sets capacity limits.
+    pub fn capacity(mut self, capacity: Capacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Finishes the cache.
+    pub fn build(self) -> ResponseCache {
+        ResponseCache {
+            store: CacheStore::new(self.capacity),
+            policy: self.policy,
+            key_strategy: self.key_strategy,
+            selector: self.selector,
+            clock: self.clock,
+            registry: self.registry,
+            stats: CacheStats::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FixedSelector;
+    use crate::clock::ManualClock;
+    use wsrc_model::typeinfo::{FieldDescriptor, TypeDescriptor};
+    use wsrc_model::value::{StructValue, Value};
+    use wsrc_soap::deserializer::read_response_xml_recording;
+    use wsrc_soap::serializer::serialize_response;
+    use wsrc_xml::event::SaxEventSequence;
+
+    const URL: &str = "http://backend.test/soap";
+
+    fn registry() -> TypeRegistry {
+        TypeRegistry::builder()
+            .register(TypeDescriptor::new(
+                "Item",
+                vec![
+                    FieldDescriptor::new("name", FieldType::String),
+                    FieldDescriptor::new("qty", FieldType::Int),
+                ],
+            ))
+            .build()
+    }
+
+    struct Fixture {
+        xml: String,
+        events: SaxEventSequence,
+        value: Value,
+        expected: FieldType,
+    }
+
+    fn fixture() -> Fixture {
+        let value = Value::Struct(StructValue::new("Item").with("name", "n").with("qty", 2));
+        let expected = FieldType::Struct("Item".into());
+        let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
+        let (_, events) = read_response_xml_recording(&xml, &expected, &registry()).unwrap();
+        Fixture { xml, events, value, expected }
+    }
+
+    fn request() -> RpcRequest {
+        RpcRequest::new("urn:t", "getItem").with_param("id", 7)
+    }
+
+    fn cacheable_cache() -> ResponseCache {
+        ResponseCache::builder(registry())
+            .cache_everything(Duration::from_secs(60))
+            .clock(ManualClock::new())
+            .build()
+    }
+
+    fn data(f: &Fixture) -> ResponseData<'_> {
+        ResponseData { xml: &f.xml, events: &f.events, value: &f.value }
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let cache = cacheable_cache();
+        let f = fixture();
+        assert!(cache.lookup(URL, &request(), &f.expected).is_none());
+        let repr = cache.insert(URL, &request(), data(&f));
+        assert!(repr.is_some());
+        let hit = cache.lookup(URL, &request(), &f.expected).expect("hit");
+        assert_eq!(hit.as_value(), &f.value);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn different_requests_do_not_collide() {
+        let cache = cacheable_cache();
+        let f = fixture();
+        cache.insert(URL, &request(), data(&f));
+        let other = RpcRequest::new("urn:t", "getItem").with_param("id", 8);
+        assert!(cache.lookup(URL, &other, &f.expected).is_none());
+        assert!(cache.lookup("http://elsewhere.test/", &request(), &f.expected).is_none());
+    }
+
+    #[test]
+    fn ttl_expiry_with_manual_clock() {
+        let clock = ManualClock::new();
+        let handle = clock.handle();
+        let cache = ResponseCache::builder(registry())
+            .cache_everything(Duration::from_secs(60))
+            .clock(clock)
+            .build();
+        let f = fixture();
+        cache.insert(URL, &request(), data(&f));
+        assert!(cache.lookup(URL, &request(), &f.expected).is_some());
+        handle.advance_millis(59_999);
+        assert!(cache.lookup(URL, &request(), &f.expected).is_some());
+        handle.advance_millis(2);
+        assert!(cache.lookup(URL, &request(), &f.expected).is_none());
+        assert_eq!(cache.stats().expired, 1);
+    }
+
+    #[test]
+    fn uncacheable_operations_bypass_the_cache() {
+        let cache = ResponseCache::builder(registry())
+            .policy(
+                CachePolicy::new()
+                    .with("AddShoppingCartItems", OperationPolicy::uncacheable())
+                    .with_default(OperationPolicy::cacheable(Duration::from_secs(60))),
+            )
+            .clock(ManualClock::new())
+            .build();
+        let f = fixture();
+        let cart = RpcRequest::new("urn:t", "AddShoppingCartItems").with_param("id", 1);
+        assert!(cache.insert(URL, &cart, data(&f)).is_none());
+        assert!(cache.lookup(URL, &cart, &f.expected).is_none());
+        assert_eq!(cache.stats().uncacheable, 2);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn paper_selector_picks_reflection_for_beans() {
+        let cache = cacheable_cache();
+        let f = fixture();
+        let repr = cache.insert(URL, &request(), data(&f)).unwrap();
+        assert_eq!(repr, ValueRepresentation::ReflectionCopy);
+    }
+
+    #[test]
+    fn policy_override_forces_representation() {
+        let cache = ResponseCache::builder(registry())
+            .policy(CachePolicy::new().with(
+                "getItem",
+                OperationPolicy::cacheable(Duration::from_secs(60))
+                    .with_representation(ValueRepresentation::XmlMessage),
+            ))
+            .clock(ManualClock::new())
+            .build();
+        let f = fixture();
+        assert_eq!(
+            cache.insert(URL, &request(), data(&f)),
+            Some(ValueRepresentation::XmlMessage)
+        );
+    }
+
+    #[test]
+    fn inapplicable_override_falls_back() {
+        // Forcing clone on a bare string is n/a → falls back to SAX.
+        let cache = ResponseCache::builder(registry())
+            .policy(CachePolicy::new().with(
+                "getItem",
+                OperationPolicy::cacheable(Duration::from_secs(60))
+                    .with_representation(ValueRepresentation::CloneCopy),
+            ))
+            .clock(ManualClock::new())
+            .build();
+        let value = Value::string("bare");
+        let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
+        let (_, events) = read_response_xml_recording(&xml, &FieldType::String, &registry()).unwrap();
+        let repr = cache
+            .insert(URL, &request(), ResponseData { xml: &xml, events: &events, value: &value })
+            .unwrap();
+        assert_eq!(repr, ValueRepresentation::SaxEvents);
+        let hit = cache.lookup(URL, &request(), &FieldType::String).unwrap();
+        assert_eq!(hit.as_value(), &value);
+    }
+
+    #[test]
+    fn read_only_policy_shares_by_reference() {
+        let cache = ResponseCache::builder(registry())
+            .policy(CachePolicy::new().with(
+                "getItem",
+                OperationPolicy::cacheable(Duration::from_secs(60)).with_read_only(),
+            ))
+            .clock(ManualClock::new())
+            .build();
+        let f = fixture();
+        assert_eq!(
+            cache.insert(URL, &request(), data(&f)),
+            Some(ValueRepresentation::PassByReference)
+        );
+        let hit = cache.lookup(URL, &request(), &f.expected).unwrap();
+        assert!(hit.is_shared());
+    }
+
+    #[test]
+    fn replacement_keeps_one_entry_per_key() {
+        let cache = cacheable_cache();
+        let f = fixture();
+        cache.insert(URL, &request(), data(&f));
+        cache.insert(URL, &request(), data(&f));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fixed_selector_is_honored() {
+        let cache = ResponseCache::builder(registry())
+            .cache_everything(Duration::from_secs(60))
+            .selector(FixedSelector(ValueRepresentation::Serialization))
+            .clock(ManualClock::new())
+            .build();
+        let f = fixture();
+        assert_eq!(
+            cache.insert(URL, &request(), data(&f)),
+            Some(ValueRepresentation::Serialization)
+        );
+    }
+
+    #[test]
+    fn clear_and_bytes() {
+        let cache = cacheable_cache();
+        let f = fixture();
+        cache.insert(URL, &request(), data(&f));
+        assert!(cache.bytes() > 0);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_and_inserts() {
+        let cache = Arc::new(cacheable_cache());
+        let f = Arc::new(fixture());
+        let mut threads = Vec::new();
+        for t in 0..8 {
+            let cache = cache.clone();
+            let f = f.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let req = RpcRequest::new("urn:t", "getItem").with_param("id", (t + i) % 16);
+                    match cache.lookup(URL, &req, &f.expected) {
+                        Some(h) => assert_eq!(h.as_value(), &f.value),
+                        None => {
+                            cache.insert(
+                                URL,
+                                &req,
+                                ResponseData { xml: &f.xml, events: &f.events, value: &f.value },
+                            );
+                        }
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0);
+        assert!(cache.len() <= 16);
+    }
+}

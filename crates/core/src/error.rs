@@ -1,0 +1,73 @@
+//! Error type for the response cache.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from cache key generation or cached-value handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// A key or value representation is not applicable to the data
+    /// (the paper's "n/a" cells). Wraps the model-layer reason.
+    NotApplicable(wsrc_model::ModelError),
+    /// Encoding or decoding of cached data failed.
+    Soap(wsrc_soap::SoapError),
+    /// The stored representation cannot produce what was asked of it
+    /// (e.g. asking an XML-message entry for its raw value without a
+    /// registry).
+    Unusable(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::NotApplicable(e) => write!(f, "representation not applicable: {e}"),
+            CacheError::Soap(e) => write!(f, "{e}"),
+            CacheError::Unusable(m) => write!(f, "cached data unusable: {m}"),
+        }
+    }
+}
+
+impl Error for CacheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CacheError::NotApplicable(e) => Some(e),
+            CacheError::Soap(e) => Some(e),
+            CacheError::Unusable(_) => None,
+        }
+    }
+}
+
+impl From<wsrc_model::ModelError> for CacheError {
+    fn from(e: wsrc_model::ModelError) -> Self {
+        CacheError::NotApplicable(e)
+    }
+}
+
+impl From<wsrc_soap::SoapError> for CacheError {
+    fn from(e: wsrc_soap::SoapError) -> Self {
+        CacheError::Soap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: CacheError = wsrc_model::ModelError::UnknownType("T".into()).into();
+        assert!(e.to_string().contains("not applicable"));
+        assert!(e.source().is_some());
+        let e: CacheError = wsrc_soap::SoapError::encoding("x").into();
+        assert!(e.source().is_some());
+        let e = CacheError::Unusable("no registry".into());
+        assert!(e.to_string().contains("no registry"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<CacheError>();
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: a transparent response cache for Web
+//! services client middleware, with selectable cache-key and cache-value
+//! data representations.
+//!
+//! - [`key`] — the three key-generation methods of Table 2/6:
+//!   request XML message, binary ("Java") serialization, `toString`
+//!   concatenation.
+//! - [`repr`] — the six cache-value representations of Table 3/7:
+//!   XML message, SAX events sequence, serialized form, reflection copy,
+//!   clone copy, pass-by-reference.
+//! - [`policy`] — per-operation cacheability and TTL, configured by the
+//!   client-side administrator (paper §3.2).
+//! - [`classify`] — the §6 optimal-configuration selector that picks a
+//!   representation per response object at run time.
+//! - [`store`] — the concurrent sharded cache table with TTL expiry and
+//!   size-aware LRU eviction.
+//! - [`cache`] — [`cache::ResponseCache`], the facade the client
+//!   middleware plugs in.
+//! - [`clock`] — a mockable time source so TTL behaviour is testable.
+//! - [`stats`] — hit/miss/eviction counters.
+
+pub mod cache;
+pub mod classify;
+pub mod clock;
+pub mod error;
+pub mod key;
+pub mod policy;
+pub mod repr;
+pub mod stats;
+pub mod store;
+
+pub use cache::{CacheOutcome, ResponseCache, ResponseCacheBuilder, ResponseData};
+pub use classify::{FastestSelector, FixedSelector, PaperSelector, RepresentationSelector};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use error::CacheError;
+pub use key::{CacheKey, KeyStrategy};
+pub use policy::{CachePolicy, OperationPolicy};
+pub use repr::{StoredResponse, ValueHandle, ValueRepresentation};
+pub use stats::{CacheStats, StatsSnapshot};
+pub use store::{CacheStore, Capacity};

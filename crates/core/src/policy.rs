@@ -1,0 +1,269 @@
+//! Per-operation cache policy — paper §3.2.
+//!
+//! "We suggest that these cache policies are configured by a client
+//! application administrator or deployer": each operation is declared
+//! cacheable or uncacheable, with a TTL, an optional read-only assertion
+//! (enabling pass-by-reference for mutable types, §4.2.4) and an optional
+//! fixed representation override.
+
+use crate::repr::ValueRepresentation;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Policy for one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationPolicy {
+    /// Whether responses may be cached at all.
+    pub cacheable: bool,
+    /// Time-to-live for cached responses.
+    pub ttl: Duration,
+    /// Administrator's assertion that the client application never
+    /// mutates this operation's responses, enabling pass-by-reference.
+    pub read_only: bool,
+    /// Force a specific representation instead of dynamic selection.
+    pub representation: Option<ValueRepresentation>,
+}
+
+impl OperationPolicy {
+    /// A cacheable policy with the given TTL.
+    pub fn cacheable(ttl: Duration) -> Self {
+        OperationPolicy { cacheable: true, ttl, read_only: false, representation: None }
+    }
+
+    /// An uncacheable policy.
+    pub fn uncacheable() -> Self {
+        OperationPolicy {
+            cacheable: false,
+            ttl: Duration::ZERO,
+            read_only: false,
+            representation: None,
+        }
+    }
+
+    /// Builder-style read-only assertion.
+    pub fn with_read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
+    /// Builder-style representation override.
+    pub fn with_representation(mut self, repr: ValueRepresentation) -> Self {
+        self.representation = Some(repr);
+        self
+    }
+}
+
+/// The administrator-authored policy table: operation name → policy, plus
+/// a default for unlisted operations.
+///
+/// The safe default is *uncacheable*: the administrator "should know
+/// server application semantics" before enabling caching (§3.2).
+#[derive(Debug, Clone, Default)]
+pub struct CachePolicy {
+    operations: HashMap<String, OperationPolicy>,
+    default: Option<OperationPolicy>,
+}
+
+impl CachePolicy {
+    /// An empty policy: nothing is cacheable until declared.
+    pub fn new() -> Self {
+        CachePolicy::default()
+    }
+
+    /// Declares a policy for one operation.
+    pub fn set(&mut self, operation: impl Into<String>, policy: OperationPolicy) -> &mut Self {
+        self.operations.insert(operation.into(), policy);
+        self
+    }
+
+    /// Builder-style [`set`](CachePolicy::set).
+    pub fn with(mut self, operation: impl Into<String>, policy: OperationPolicy) -> Self {
+        self.set(operation, policy);
+        self
+    }
+
+    /// Sets the policy applied to operations not explicitly listed.
+    pub fn with_default(mut self, policy: OperationPolicy) -> Self {
+        self.default = Some(policy);
+        self
+    }
+
+    /// The effective policy for an operation.
+    pub fn for_operation(&self, operation: &str) -> OperationPolicy {
+        self.operations
+            .get(operation)
+            .or(self.default.as_ref())
+            .cloned()
+            .unwrap_or_else(OperationPolicy::uncacheable)
+    }
+
+    /// Number of explicitly-declared operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Whether no operations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Iterates declared `(operation, policy)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OperationPolicy)> {
+        self.operations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Parses a policy from the simple text format used by deployment
+    /// descriptors:
+    ///
+    /// ```text
+    /// # comment
+    /// doGoogleSearch        cacheable ttl=3600s
+    /// doSpellingSuggestion  cacheable ttl=1h read-only
+    /// AddShoppingCartItems  uncacheable
+    /// doGetCachedPage       cacheable ttl=30m repr=reflection
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unknown verbs,
+    /// unparsable TTLs or unknown representations.
+    pub fn parse(text: &str) -> Result<CachePolicy, String> {
+        let mut policy = CachePolicy::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let op = parts.next().expect("non-empty line has a first token");
+            let verb = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing cacheable/uncacheable", lineno + 1))?;
+            let mut entry = match verb {
+                "cacheable" => OperationPolicy::cacheable(Duration::from_secs(3600)),
+                "uncacheable" => OperationPolicy::uncacheable(),
+                other => return Err(format!("line {}: unknown verb '{other}'", lineno + 1)),
+            };
+            for opt in parts {
+                if let Some(ttl) = opt.strip_prefix("ttl=") {
+                    entry.ttl = parse_duration(ttl)
+                        .ok_or_else(|| format!("line {}: bad ttl '{ttl}'", lineno + 1))?;
+                } else if opt == "read-only" {
+                    entry.read_only = true;
+                } else if let Some(repr) = opt.strip_prefix("repr=") {
+                    entry.representation = Some(parse_repr(repr).ok_or_else(|| {
+                        format!("line {}: unknown representation '{repr}'", lineno + 1)
+                    })?);
+                } else {
+                    return Err(format!("line {}: unknown option '{opt}'", lineno + 1));
+                }
+            }
+            policy.set(op, entry);
+        }
+        Ok(policy)
+    }
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (digits, unit) = s.split_at(s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len()));
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "" | "s" => Some(Duration::from_secs(n)),
+        "ms" => Some(Duration::from_millis(n)),
+        "m" => Some(Duration::from_secs(n * 60)),
+        "h" => Some(Duration::from_secs(n * 3600)),
+        "d" => Some(Duration::from_secs(n * 86_400)),
+        _ => None,
+    }
+}
+
+fn parse_repr(s: &str) -> Option<ValueRepresentation> {
+    match s {
+        "xml" => Some(ValueRepresentation::XmlMessage),
+        "sax" => Some(ValueRepresentation::SaxEvents),
+        "serialization" => Some(ValueRepresentation::Serialization),
+        "reflection" => Some(ValueRepresentation::ReflectionCopy),
+        "clone" => Some(ValueRepresentation::CloneCopy),
+        "reference" => Some(ValueRepresentation::PassByReference),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlisted_operations_default_to_uncacheable() {
+        let p = CachePolicy::new();
+        assert!(!p.for_operation("anything").cacheable);
+        let p = p.with_default(OperationPolicy::cacheable(Duration::from_secs(5)));
+        assert!(p.for_operation("anything").cacheable);
+    }
+
+    #[test]
+    fn explicit_entries_win_over_default() {
+        let p = CachePolicy::new()
+            .with("GetShoppingCart", OperationPolicy::uncacheable())
+            .with_default(OperationPolicy::cacheable(Duration::from_secs(1)));
+        assert!(!p.for_operation("GetShoppingCart").cacheable);
+        assert!(p.for_operation("KeywordSearch").cacheable);
+    }
+
+    #[test]
+    fn parse_full_syntax() {
+        let text = "
+            # Google operations — all cacheable (paper Table 1)
+            doGoogleSearch        cacheable ttl=3600s
+            doSpellingSuggestion  cacheable ttl=1h read-only
+            doGetCachedPage       cacheable ttl=30m repr=reflection
+            AddShoppingCartItems  uncacheable
+        ";
+        let p = CachePolicy::parse(text).unwrap();
+        assert_eq!(p.len(), 4);
+        let search = p.for_operation("doGoogleSearch");
+        assert!(search.cacheable);
+        assert_eq!(search.ttl, Duration::from_secs(3600));
+        let spell = p.for_operation("doSpellingSuggestion");
+        assert!(spell.read_only);
+        assert_eq!(spell.ttl, Duration::from_secs(3600));
+        let page = p.for_operation("doGetCachedPage");
+        assert_eq!(page.representation, Some(ValueRepresentation::ReflectionCopy));
+        assert_eq!(page.ttl, Duration::from_secs(1800));
+        assert!(!p.for_operation("AddShoppingCartItems").cacheable);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(CachePolicy::parse("op sometimes").is_err());
+        assert!(CachePolicy::parse("op cacheable ttl=abc").is_err());
+        assert!(CachePolicy::parse("op cacheable repr=psychic").is_err());
+        assert!(CachePolicy::parse("op cacheable frobnicate").is_err());
+        assert!(CachePolicy::parse("op").is_err());
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let p = CachePolicy::parse("\n# nothing\n\n  # more\n").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(parse_duration("90"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_duration("250ms"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_duration("2m"), Some(Duration::from_secs(120)));
+        assert_eq!(parse_duration("1d"), Some(Duration::from_secs(86_400)));
+        assert_eq!(parse_duration("5y"), None);
+        assert_eq!(parse_duration(""), None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = OperationPolicy::cacheable(Duration::from_secs(1))
+            .with_read_only()
+            .with_representation(ValueRepresentation::CloneCopy);
+        assert!(p.read_only);
+        assert_eq!(p.representation, Some(ValueRepresentation::CloneCopy));
+    }
+}

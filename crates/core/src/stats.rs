@@ -1,0 +1,131 @@
+//! Cache statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe hit/miss/eviction counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    uncacheable: AtomicU64,
+    store_failures: AtomicU64,
+    revalidated: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Lookups that found only an expired entry (counted in `misses` too).
+    pub expired: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Requests whose operation policy forbids caching.
+    pub uncacheable: u64,
+    /// Responses that could not be stored under any permitted
+    /// representation.
+    pub store_failures: u64,
+    /// Stale entries renewed by a successful revalidation (304).
+    pub revalidated: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit ratio over answered lookups (0.0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn record_uncacheable(&self) {
+        self.uncacheable.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_store_failure(&self) {
+        self.store_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_revalidated(&self) {
+        self.revalidated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CacheStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_expired();
+        s.record_insert();
+        s.record_evictions(3);
+        s.record_uncacheable();
+        s.record_store_failure();
+        s.record_revalidated();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.evictions, 3);
+        assert_eq!(snap.uncacheable, 1);
+        assert_eq!(snap.store_failures, 1);
+        assert_eq!(snap.revalidated, 1);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero() {
+        assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
+        let snap = StatsSnapshot { hits: 3, misses: 1, ..Default::default() };
+        assert!((snap.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+}

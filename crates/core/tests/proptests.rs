@@ -1,0 +1,145 @@
+//! Property tests for the cache core: key injectivity across strategies,
+//! representation equivalence, and store capacity invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wsrc_cache::key::{generate_key, KeyStrategy};
+use wsrc_cache::repr::{MissArtifacts, StoredResponse, ValueRepresentation};
+use wsrc_cache::store::{CacheStore, Capacity};
+use wsrc_cache::CacheKey;
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::rpc::RpcRequest;
+use wsrc_soap::serializer::serialize_response;
+
+fn registry() -> TypeRegistry {
+    TypeRegistry::builder()
+        .register(TypeDescriptor::new(
+            "Rec",
+            vec![
+                FieldDescriptor::new("s", FieldType::String),
+                FieldDescriptor::new("i", FieldType::Int),
+                FieldDescriptor::new("b", FieldType::Bytes),
+                FieldDescriptor::new(
+                    "kids",
+                    FieldType::ArrayOf(Box::new(FieldType::Struct("Rec".into()))),
+                ),
+            ],
+        ))
+        .build()
+}
+
+fn arb_params() -> impl Strategy<Value = Vec<(String, Value)>> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,6}",
+            prop_oneof![
+                "[ -~]{0,12}".prop_map(Value::string),
+                any::<i32>().prop_map(Value::Int),
+                any::<bool>().prop_map(Value::Bool),
+            ],
+        ),
+        0..4,
+    )
+    .prop_map(|pairs| {
+        // Parameter names must be unique for a well-formed call.
+        let mut seen = std::collections::HashSet::new();
+        pairs
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.clone()))
+            .collect()
+    })
+}
+
+fn arb_rec(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = ("[ -~]{0,10}", any::<i32>(), proptest::collection::vec(any::<u8>(), 0..16))
+        .prop_map(|(s, i, b)| {
+            Value::Struct(StructValue::new("Rec").with("s", s).with("i", i).with("b", b))
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, proptest::collection::vec(arb_rec(depth - 1), 0..3))
+            .prop_map(|(base, kids)| {
+                let mut s = match base {
+                    Value::Struct(s) => s,
+                    _ => unreachable!(),
+                };
+                s.set("kids", Value::Array(kids));
+                Value::Struct(s)
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn keys_are_stable_and_injective(p1 in arb_params(), p2 in arb_params()) {
+        let r = registry();
+        let req1 = RpcRequest { namespace: "urn:t".into(), operation: "op".into(), params: p1 };
+        let req2 = RpcRequest { namespace: "urn:t".into(), operation: "op".into(), params: p2 };
+        for strategy in KeyStrategy::CONCRETE {
+            let k1a = generate_key(strategy, "http://e/", &req1, &r).unwrap();
+            let k1b = generate_key(strategy, "http://e/", &req1, &r).unwrap();
+            prop_assert_eq!(&k1a, &k1b, "stability under {:?}", strategy);
+            let k2 = generate_key(strategy, "http://e/", &req2, &r).unwrap();
+            if req1 == req2 {
+                prop_assert_eq!(&k1a, &k2);
+            } else {
+                prop_assert_ne!(&k1a, &k2, "collision under {:?}", strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn applicable_representations_agree_on_retrieval(value in arb_rec(2)) {
+        let r = registry();
+        let expected = FieldType::Struct("Rec".into());
+        let xml = serialize_response("urn:t", "op", "return", &value, &r).unwrap();
+        let (outcome, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
+        prop_assert_eq!(outcome.as_return().unwrap(), &value);
+        let artifacts = MissArtifacts { xml: &xml, events: &events, value: &value };
+        for repr in ValueRepresentation::ALL {
+            match StoredResponse::build(repr, artifacts, &r) {
+                Ok(stored) => {
+                    let got = stored.retrieve(&expected, &r).unwrap();
+                    prop_assert_eq!(got.as_value(), &value, "{} disagreed", repr);
+                }
+                Err(wsrc_cache::CacheError::NotApplicable(_)) => {}
+                Err(other) => prop_assert!(false, "{repr} failed: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_never_exceeds_capacity(
+        ops in proptest::collection::vec((0u8..40, 1usize..400), 1..120)
+    ) {
+        let store = CacheStore::new(Capacity { max_entries: 10, max_bytes: 4096 });
+        for (k, size) in ops {
+            let key = CacheKey::Text(format!("k{k}"));
+            let value = StoredResponse::XmlMessage(Arc::from("v".repeat(size)));
+            store.put(key, value, u64::MAX, 0);
+            prop_assert!(store.len() <= 10, "len {} > 10", store.len());
+            prop_assert!(store.bytes() <= 4096, "bytes {} > 4096", store.bytes());
+        }
+    }
+
+    #[test]
+    fn store_get_after_put_returns_live_until_expiry(
+        ttl in 1u64..1000, probe in 0u64..2000
+    ) {
+        let store = CacheStore::new(Capacity::default());
+        let key = CacheKey::Text("k".into());
+        store.put(key.clone(), StoredResponse::XmlMessage(Arc::from("v")), ttl, 0);
+        let lookup = store.get(&key, probe);
+        if probe < ttl {
+            prop_assert!(matches!(lookup, wsrc_cache::store::Lookup::Live(_)));
+        } else {
+            prop_assert!(matches!(lookup, wsrc_cache::store::Lookup::Expired));
+        }
+    }
+}

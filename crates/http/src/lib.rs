@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Minimal HTTP/1.1 substrate for the wsrcache project.
+//!
+//! SOAP "is independent of transport protocols like HTTP, [but] in many
+//! cases, HTTP is used" (paper §3.2) — so this crate provides the HTTP
+//! layer the client middleware and the dummy services run on:
+//!
+//! - [`message`] — request/response model with case-insensitive headers.
+//! - [`client`] — a blocking keep-alive client over `std::net`.
+//! - [`server`] — a thread-per-connection server with graceful shutdown.
+//! - [`cache_control`] — `Cache-Control` / `If-Modified-Since` / `304`
+//!   support mirroring the paper's §3.2 discussion of HTTP consistency.
+//! - [`transport`] — a pluggable transport abstraction: real TCP, direct
+//!   in-process dispatch, and a simulated-latency wrapper for
+//!   deterministic benchmarks.
+
+pub mod cache_control;
+pub mod client;
+pub mod date;
+pub mod error;
+pub mod message;
+pub mod server;
+pub mod transport;
+pub mod url;
+
+pub use client::HttpClient;
+pub use error::HttpError;
+pub use message::{Headers, Method, Request, Response, Status};
+pub use server::{Handler, Server};
+pub use transport::{InProcTransport, LatencyTransport, TcpTransport, Transport};
+pub use url::Url;

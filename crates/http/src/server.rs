@@ -1,0 +1,237 @@
+//! A thread-per-connection HTTP/1.1 server with keep-alive and graceful
+//! shutdown — the "servlet engine" substrate hosting the dummy services
+//! and the portal site.
+
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Application logic behind a [`Server`].
+///
+/// Handlers must be `Send + Sync`; one instance serves all connections
+/// concurrently.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A running HTTP server. Dropping it shuts it down.
+#[derive(Debug)]
+pub struct Server {
+    port: u16,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    shutting_down: AtomicBool,
+    requests_served: AtomicU64,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from binding the listener.
+    pub fn bind<A: ToSocketAddrs>(addr: A, handler: Arc<dyn Handler>) -> Result<Server, HttpError> {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Shared {
+            shutting_down: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("http-accept-{port}"))
+            .spawn(move || accept_loop(listener, handler, accept_shared))
+            .map_err(HttpError::Io)?;
+        Ok(Server { port, shared, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Total requests served so far — used by tests to prove cache hits
+    /// never reached the network.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for the accept loop to exit.
+    /// In-flight connections finish their current request.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() by poking the listener.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Arc<dyn Handler>, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let handler = handler.clone();
+        let shared = shared.clone();
+        let _ = std::thread::Builder::new()
+            .name("http-conn".to_string())
+            .spawn(move || connection_loop(stream, handler, shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, handler: Arc<dyn Handler>, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // Idle keep-alive connections are reaped so shutdown is prompt.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close
+            Err(HttpError::Timeout) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(_) => {
+                // Malformed request: best-effort 400, then close.
+                let resp = Response::error(crate::message::Status::BAD_REQUEST, "malformed request");
+                let _ = resp.write_to(&mut writer);
+                return;
+            }
+        };
+        // Work that arrives after shutdown began is refused; only requests
+        // already in flight are finished.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let close_requested = request
+            .headers
+            .get("Connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        let response = handler.handle(&request);
+        shared.requests_served.fetch_add(1, Ordering::SeqCst);
+        if response.write_to(&mut writer).is_err() {
+            return;
+        }
+        if close_requested {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::url::Url;
+
+    fn hello_server() -> (Server, Url) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: &Request| Response::ok("text/plain", format!("hello {}", req.target).into_bytes())),
+        )
+        .unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/world");
+        (server, url)
+    }
+
+    #[test]
+    fn serves_closures_as_handlers() {
+        let (server, url) = hello_server();
+        let client = HttpClient::new();
+        let resp = client.get(&url).unwrap();
+        assert_eq!(resp.body_text(), "hello /world");
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn keep_alive_counts_every_request() {
+        let (server, url) = hello_server();
+        let client = HttpClient::new();
+        for _ in 0..10 {
+            client.get(&url).unwrap();
+        }
+        assert_eq!(server.requests_served(), 10);
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let (server, _url) = hello_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        use std::io::{Read, Write};
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn connection_close_header_is_honored() {
+        let (server, _url) = hello_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        use std::io::{Read, Write};
+        stream
+            .write_all(b"GET /x HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        // read_to_string only returns when the server closes the socket.
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent() {
+        let (mut server, url) = hello_server();
+        let client = HttpClient::new();
+        client.get(&url).unwrap();
+        let start = std::time::Instant::now();
+        server.shutdown();
+        server.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // New connections are refused or die without being served.
+        let client2 = HttpClient::new();
+        assert!(client2.get(&url).is_err());
+    }
+
+    #[test]
+    fn ephemeral_ports_differ() {
+        let (s1, _) = hello_server();
+        let (s2, _) = hello_server();
+        assert_ne!(s1.port(), s2.port());
+    }
+}

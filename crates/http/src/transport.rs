@@ -1,0 +1,179 @@
+//! Pluggable request transports.
+//!
+//! The client middleware talks to services through a [`Transport`] so that
+//! the same caching stack runs over real TCP ([`TcpTransport`]), directly
+//! against an in-process handler ([`InProcTransport`], used by the
+//! deterministic benchmarks), or with injected network latency
+//! ([`LatencyTransport`], standing in for the paper's LAN between portal
+//! and back-end services).
+
+use crate::client::HttpClient;
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+use crate::server::Handler;
+use crate::url::Url;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sends one HTTP request to an endpoint and returns the response.
+pub trait Transport: Send + Sync {
+    /// Executes a request against the endpoint URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport-level failures; HTTP error statuses are returned
+    /// as responses, not errors.
+    fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError>;
+}
+
+/// Real TCP transport backed by [`HttpClient`].
+#[derive(Debug, Default)]
+pub struct TcpTransport {
+    client: HttpClient,
+}
+
+impl TcpTransport {
+    /// Creates a transport with default client settings.
+    pub fn new() -> Self {
+        TcpTransport { client: HttpClient::new() }
+    }
+
+    /// Creates a transport with a custom I/O timeout.
+    pub fn with_timeout(timeout: Option<Duration>) -> Self {
+        TcpTransport { client: HttpClient::with_timeout(timeout) }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
+        self.client.execute(url, request)
+    }
+}
+
+/// Dispatches requests directly to an in-process [`Handler`], bypassing
+/// sockets entirely. Counts requests so tests can prove cache hits avoid
+/// the "network".
+pub struct InProcTransport {
+    handler: Arc<dyn Handler>,
+    requests: AtomicU64,
+}
+
+impl InProcTransport {
+    /// Wraps a handler.
+    pub fn new(handler: Arc<dyn Handler>) -> Self {
+        InProcTransport { handler, requests: AtomicU64::new(0) }
+    }
+
+    /// Number of requests that reached the handler.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport")
+            .field("requests", &self.requests_served())
+            .finish()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn execute(&self, _url: &Url, request: &Request) -> Result<Response, HttpError> {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        Ok(self.handler.handle(request))
+    }
+}
+
+/// Adds fixed round-trip latency in front of another transport,
+/// simulating the client↔server network the paper's portal scenario
+/// crosses on every cache miss.
+pub struct LatencyTransport<T> {
+    inner: T,
+    latency: Duration,
+}
+
+impl<T: Transport> LatencyTransport<T> {
+    /// Wraps `inner`, sleeping `latency` per request.
+    pub fn new(inner: T, latency: Duration) -> Self {
+        LatencyTransport { inner, latency }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for LatencyTransport<T> {
+    fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
+        std::thread::sleep(self.latency);
+        self.inner.execute(url, request)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
+        (**self).execute(url, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::server::Server;
+    use std::time::Instant;
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()))
+    }
+
+    #[test]
+    fn inproc_transport_dispatches_and_counts() {
+        let t = InProcTransport::new(echo_handler());
+        let url = Url::new("virtual", 80, "/svc");
+        let resp = t
+            .execute(&url, &Request::post("/svc", "text/plain", b"x".to_vec()))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body, b"x");
+        assert_eq!(t.requests_served(), 1);
+    }
+
+    #[test]
+    fn tcp_transport_matches_inproc_behavior() {
+        let server = Server::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/svc");
+        let tcp = TcpTransport::new();
+        let inproc = InProcTransport::new(echo_handler());
+        let req = Request::post("/svc", "text/plain", b"same".to_vec());
+        let a = tcp.execute(&url, &req).unwrap();
+        let b = inproc.execute(&url, &req).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn latency_transport_delays_requests() {
+        let t = LatencyTransport::new(InProcTransport::new(echo_handler()), Duration::from_millis(20));
+        let url = Url::new("virtual", 80, "/");
+        let start = Instant::now();
+        t.execute(&url, &Request::get("/")).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(t.latency(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn arc_transport_is_a_transport() {
+        let t: Arc<dyn Transport> = Arc::new(InProcTransport::new(echo_handler()));
+        let url = Url::new("virtual", 80, "/");
+        assert!(t.execute(&url, &Request::get("/")).is_ok());
+    }
+}

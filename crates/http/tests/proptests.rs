@@ -1,0 +1,120 @@
+//! Property tests for the HTTP substrate: message round-trips, date
+//! round-trips, header handling, and parser robustness.
+
+use proptest::prelude::*;
+use std::io::BufReader;
+use std::time::{Duration, UNIX_EPOCH};
+use wsrc_http::cache_control::CacheControl;
+use wsrc_http::date::{format_http_date, parse_http_date};
+use wsrc_http::{Headers, Request, Response, Status};
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF (those would be header injection), no leading/trailing
+    // whitespace (trimmed by the parser).
+    "[ -~]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_wire_roundtrip(
+        target in "/[a-zA-Z0-9/_.?=&-]{0,40}",
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        names in proptest::collection::vec(token(), 0..6),
+        values in proptest::collection::vec(header_value(), 0..6),
+    ) {
+        let mut req = Request::post(&target, "application/octet-stream", body.clone());
+        // Dedupe case-insensitively: `set` replaces across cases.
+        let mut seen = std::collections::HashSet::new();
+        let pairs: Vec<(String, String)> = names
+            .iter()
+            .zip(&values)
+            .filter(|(n, _)| seen.insert(n.to_lowercase()))
+            .map(|(n, v)| (n.clone(), v.clone()))
+            .collect();
+        for (n, v) in &pairs {
+            // Skip names the serializer writes itself.
+            if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host")
+                || n.eq_ignore_ascii_case("content-type") {
+                continue;
+            }
+            req.headers.set(n, v.clone());
+        }
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "h.test:80").unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        prop_assert_eq!(parsed.target, target);
+        prop_assert_eq!(parsed.body, body);
+        for (n, v) in &pairs {
+            if n.eq_ignore_ascii_case("content-length") || n.eq_ignore_ascii_case("host")
+                || n.eq_ignore_ascii_case("content-type") {
+                continue;
+            }
+            prop_assert_eq!(parsed.headers.get(n), Some(v.as_str()));
+        }
+    }
+
+    #[test]
+    fn response_wire_roundtrip(
+        code in 200u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let resp = Response::new(Status(code), "application/octet-stream", body.clone());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(parsed.status.0, code);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn http_date_roundtrips(secs in 0u64..4_000_000_000) {
+        let t = UNIX_EPOCH + Duration::from_secs(secs);
+        let s = format_http_date(t);
+        prop_assert_eq!(parse_http_date(&s).unwrap(), t);
+        // Format is always the fixed 29-character IMF-fixdate.
+        prop_assert_eq!(s.len(), 29);
+    }
+
+    #[test]
+    fn date_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = parse_http_date(&s);
+    }
+
+    #[test]
+    fn request_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::read_from(&mut BufReader::new(&data[..]));
+        let _ = Response::read_from(&mut BufReader::new(&data[..]));
+    }
+
+    #[test]
+    fn cache_control_roundtrips(
+        no_store in any::<bool>(),
+        no_cache in any::<bool>(),
+        max_age in proptest::option::of(0u64..1_000_000),
+    ) {
+        let cc = CacheControl {
+            no_store,
+            no_cache,
+            max_age: max_age.map(Duration::from_secs),
+        };
+        let parsed = CacheControl::parse(&cc.to_header_value());
+        prop_assert_eq!(parsed, cc);
+    }
+
+    #[test]
+    fn headers_are_case_insensitive(name in token(), value in header_value()) {
+        let mut h = Headers::new();
+        h.set(&name, value.clone());
+        prop_assert_eq!(h.get(&name.to_uppercase()), Some(value.as_str()));
+        prop_assert_eq!(h.get(&name.to_lowercase()), Some(value.as_str()));
+        h.set(&name.to_uppercase(), "replaced");
+        prop_assert_eq!(h.get(&name), Some("replaced"));
+        prop_assert_eq!(h.len(), 1);
+    }
+}

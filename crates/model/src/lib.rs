@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Dynamic application-object model.
+//!
+//! The paper's cache middleware manipulates *application objects* the way
+//! Java middleware does: it inspects arbitrary response objects at run
+//! time, copies them by serialization / reflection / clone, shares
+//! immutable ones, and renders parameters to strings for cache keys. This
+//! crate is the Rust substrate for those semantics:
+//!
+//! - [`value::Value`] — a dynamic object tree (the "application object").
+//! - [`typeinfo`] — type descriptors with per-type capability flags
+//!   (serializable / bean / cloneable / immutable / has-to-string), which
+//!   reproduce the Java-world limitations behind the paper's "n/a" cells.
+//! - [`bean`] — bean-conformance validation of values against
+//!   descriptors.
+//! - [`binser`] — self-describing binary serialization, the analog of the
+//!   Java serialization mechanism.
+//! - [`reflect`] — generic deep copy driven by run-time structure, the
+//!   analog of copying through the reflection API.
+//! - [`deep_clone`] — monomorphic structural deep clone, the analog of a
+//!   WSDL-compiler-generated `clone()` method.
+//! - [`tostring`] — canonical string rendering for cache keys, the analog
+//!   of `toString()`.
+//! - [`sizeof`] — deep retained-size accounting for the paper's memory
+//!   tables.
+
+pub mod bean;
+pub mod binser;
+pub mod deep_clone;
+pub mod error;
+pub mod reflect;
+pub mod sizeof;
+pub mod tostring;
+pub mod typeinfo;
+pub mod value;
+
+pub use error::ModelError;
+pub use typeinfo::{Capabilities, FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+pub use value::{StructValue, Value};

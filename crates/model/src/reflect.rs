@@ -1,0 +1,221 @@
+//! Deep copy through run-time introspection — the reflection-API analog.
+//!
+//! The paper's reflection copier (§4.2.3-B) handles bean-type and
+//! array-type objects: it creates a new instance with the default
+//! constructor, then walks the getters/setters, recursively copying
+//! mutable field values and sharing immutable ones. This module does the
+//! same over [`Value`]: struct nodes are rebuilt through descriptor
+//! lookups and name-based field access (paying the genuine "reflection"
+//! overhead), arrays element-wise, immutable leaves shared.
+
+use crate::error::ModelError;
+use crate::typeinfo::TypeRegistry;
+use crate::value::{StructValue, Value};
+
+/// Deep-copies `value` using run-time introspection.
+///
+/// Applicable to bean-type structs (every struct in the tree must declare
+/// the `bean` capability), arrays, and `byte[]`. A bare immutable value
+/// (string/primitive) is *not* accepted — those are shared, never copied,
+/// matching the paper's Table 7 "n/a" cell for the SpellingSuggestion
+/// response.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotSupported`] when some type in the tree is not
+/// a bean/array, and [`ModelError::UnknownType`] for unregistered structs.
+pub fn reflect_copy(value: &Value, registry: &TypeRegistry) -> Result<Value, ModelError> {
+    match value {
+        Value::Bytes(b) => Ok(Value::Bytes(b.clone())),
+        Value::Array(items) => copy_array(items, registry),
+        Value::Struct(_) => copy_inner(value, registry),
+        other => Err(ModelError::NotSupported {
+            type_name: other.type_label().to_string(),
+            capability: "reflection copy (not a bean or array type)",
+        }),
+    }
+}
+
+fn copy_array(items: &[Value], registry: &TypeRegistry) -> Result<Value, ModelError> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(copy_inner(item, registry)?);
+    }
+    Ok(Value::Array(out))
+}
+
+fn copy_inner(value: &Value, registry: &TypeRegistry) -> Result<Value, ModelError> {
+    match value {
+        // Immutable leaves are shared, not copied (paper §4.2.4).
+        Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+        | Value::String(_) => Ok(value.clone()),
+        Value::Bytes(b) => Ok(Value::Bytes(b.clone())),
+        Value::Array(items) => copy_array(items, registry),
+        Value::Struct(s) => {
+            // "Reflection": look the type up, instantiate via the default
+            // constructor, then copy field-by-field through named access.
+            let descriptor = registry.require(s.type_name())?;
+            if !descriptor.capabilities.bean {
+                return Err(ModelError::NotSupported {
+                    type_name: s.type_name().to_string(),
+                    capability: "reflection copy (not a bean type)",
+                });
+            }
+            let mut fresh = StructValue::new(descriptor.name.clone());
+            for field in &descriptor.fields {
+                // Getter by name…
+                if let Some(v) = s.get(&field.name) {
+                    let copied = copy_inner(v, registry)?;
+                    // …setter by name.
+                    fresh.set(field.name.clone(), copied);
+                }
+            }
+            // Fields present on the instance but absent from the
+            // descriptor would be silently dropped; treat that as a
+            // mismatch instead of corrupting data.
+            if fresh.len() != s.len() {
+                for (name, v) in s.fields() {
+                    if descriptor.field(name).is_none() {
+                        let copied = copy_inner(v, registry)?;
+                        fresh.set(name.to_string(), copied);
+                    }
+                }
+            }
+            Ok(Value::Struct(fresh))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typeinfo::{Capabilities, FieldDescriptor, FieldType, TypeDescriptor};
+    use std::sync::Arc;
+
+    fn registry() -> TypeRegistry {
+        TypeRegistry::builder()
+            .register(TypeDescriptor::new(
+                "Pair",
+                vec![
+                    FieldDescriptor::new("left", FieldType::String),
+                    FieldDescriptor::new("right", FieldType::Struct("Leaf".into())),
+                ],
+            ))
+            .register(TypeDescriptor::new(
+                "Leaf",
+                vec![FieldDescriptor::new("data", FieldType::Bytes)],
+            ))
+            .register(
+                TypeDescriptor::new("NotABean", vec![])
+                    .with_capabilities(Capabilities { bean: false, ..Capabilities::all() }),
+            )
+            .build()
+    }
+
+    fn pair() -> Value {
+        Value::Struct(
+            StructValue::new("Pair").with("left", "L").with(
+                "right",
+                Value::Struct(StructValue::new("Leaf").with("data", vec![1u8, 2, 3])),
+            ),
+        )
+    }
+
+    #[test]
+    fn copy_equals_original() {
+        let r = registry();
+        let v = pair();
+        assert_eq!(reflect_copy(&v, &r).unwrap(), v);
+    }
+
+    #[test]
+    fn copy_is_deep_for_mutables() {
+        let r = registry();
+        let v = pair();
+        let mut copy = reflect_copy(&v, &r).unwrap();
+        // Mutate nested bytes in the copy…
+        let leaf = copy
+            .as_struct_mut()
+            .unwrap()
+            .get_mut("right")
+            .unwrap()
+            .as_struct_mut()
+            .unwrap();
+        match leaf.get_mut("data").unwrap() {
+            Value::Bytes(b) => b[0] = 99,
+            _ => unreachable!(),
+        }
+        // …original unchanged.
+        let orig_data = v
+            .as_struct()
+            .unwrap()
+            .get("right")
+            .unwrap()
+            .as_struct()
+            .unwrap()
+            .get("data")
+            .unwrap();
+        assert_eq!(orig_data, &Value::Bytes(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn immutable_strings_are_shared_not_copied() {
+        let r = registry();
+        let v = pair();
+        let copy = reflect_copy(&v, &r).unwrap();
+        let orig_left = v.as_struct().unwrap().get("left").unwrap();
+        let copy_left = copy.as_struct().unwrap().get("left").unwrap();
+        match (orig_left, copy_left) {
+            (Value::String(a), Value::String(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn arrays_and_byte_arrays_are_copyable() {
+        let r = registry();
+        let bytes = Value::Bytes(vec![5; 8]);
+        assert_eq!(reflect_copy(&bytes, &r).unwrap(), bytes);
+        let arr = Value::Array(vec![pair(), Value::Int(7)]);
+        assert_eq!(reflect_copy(&arr, &r).unwrap(), arr);
+    }
+
+    #[test]
+    fn bare_immutables_are_rejected() {
+        let r = registry();
+        assert!(matches!(
+            reflect_copy(&Value::string("s"), &r),
+            Err(ModelError::NotSupported { .. })
+        ));
+        assert!(reflect_copy(&Value::Int(1), &r).is_err());
+        assert!(reflect_copy(&Value::Null, &r).is_err());
+    }
+
+    #[test]
+    fn non_bean_and_unknown_types_are_rejected() {
+        let r = registry();
+        let not_bean = Value::Struct(StructValue::new("NotABean"));
+        assert!(matches!(reflect_copy(&not_bean, &r), Err(ModelError::NotSupported { .. })));
+        let unknown = Value::Struct(StructValue::new("Mystery"));
+        assert!(matches!(reflect_copy(&unknown, &r), Err(ModelError::UnknownType(_))));
+        // Nested failures propagate.
+        let nested = Value::Struct(StructValue::new("Pair").with("left", not_bean));
+        assert!(reflect_copy(&nested, &r).is_err());
+    }
+
+    #[test]
+    fn extra_fields_not_in_descriptor_are_still_copied() {
+        let r = registry();
+        let v = Value::Struct(StructValue::new("Pair").with("left", "x").with("extra", 9));
+        let copy = reflect_copy(&v, &r).unwrap();
+        assert_eq!(copy.as_struct().unwrap().get("extra"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn missing_fields_are_simply_absent() {
+        let r = registry();
+        let v = Value::Struct(StructValue::new("Pair").with("left", "only"));
+        let copy = reflect_copy(&v, &r).unwrap();
+        assert_eq!(copy.as_struct().unwrap().len(), 1);
+    }
+}

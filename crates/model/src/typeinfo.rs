@@ -1,0 +1,453 @@
+//! Type descriptors, capability flags and the type registry.
+//!
+//! In the paper the middleware decides at run time which copy mechanism a
+//! response object supports: is it `Serializable`? a bean with a default
+//! constructor and getters/setters? does it have a generated deep
+//! `clone()`? is it immutable? Those properties belong to the *type*, so
+//! we attach them to [`TypeDescriptor`]s registered in a [`TypeRegistry`]
+//! (populated by hand or by the WSDL compiler in `wsrc-wsdl`).
+
+use crate::error::ModelError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a struct type supports, mirroring the Java capabilities the paper
+/// relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Implements `java.io.Serializable` deeply (Java serialization copy
+    /// is applicable).
+    pub serializable: bool,
+    /// Bean type: default constructor plus getters/setters for every field
+    /// (reflection copy is applicable).
+    pub bean: bool,
+    /// Has a generated deep `clone()` method (clone copy is applicable).
+    pub cloneable: bool,
+    /// Has a value-based `toString()` suitable for cache keys.
+    pub has_to_string: bool,
+}
+
+impl Capabilities {
+    /// Everything enabled — what the WSDL compiler generates (the paper
+    /// modified `GoogleSearchResult` "so that all of the methods could be
+    /// applied").
+    pub fn all() -> Self {
+        Capabilities { serializable: true, bean: true, cloneable: true, has_to_string: true }
+    }
+
+    /// Nothing enabled — an opaque application-specific class.
+    pub fn none() -> Self {
+        Capabilities { serializable: false, bean: false, cloneable: false, has_to_string: false }
+    }
+
+    /// What the (unmodified) WSDL compiler generates: serializable bean
+    /// types without a deep clone (paper §4.2.3: "the current WSDL
+    /// compiler does not add clone methods").
+    pub fn wsdl_generated() -> Self {
+        Capabilities { serializable: true, bean: true, cloneable: false, has_to_string: true }
+    }
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::all()
+    }
+}
+
+/// The static type of a field, used by the SOAP layer to deserialize
+/// responses into correctly-typed values and by the reflection copier to
+/// know what it is walking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    /// `boolean` / `xsd:boolean`.
+    Bool,
+    /// `int` / `xsd:int`.
+    Int,
+    /// `long` / `xsd:long`.
+    Long,
+    /// `double` / `xsd:double`.
+    Double,
+    /// `String` / `xsd:string`.
+    String,
+    /// `byte[]` / `xsd:base64Binary`.
+    Bytes,
+    /// An array of the given element type.
+    ArrayOf(Box<FieldType>),
+    /// A struct type, referenced by registry name.
+    Struct(String),
+}
+
+impl FieldType {
+    /// The registry name for struct types, if any.
+    pub fn struct_name(&self) -> Option<&str> {
+        match self {
+            FieldType::Struct(n) => Some(n),
+            FieldType::ArrayOf(inner) => inner.struct_name(),
+            _ => None,
+        }
+    }
+
+    /// The default value of this type (Java field defaults).
+    pub fn default_value(&self) -> Value {
+        match self {
+            FieldType::Bool => Value::Bool(false),
+            FieldType::Int => Value::Int(0),
+            FieldType::Long => Value::Long(0),
+            FieldType::Double => Value::Double(0.0),
+            FieldType::String | FieldType::Bytes | FieldType::ArrayOf(_) | FieldType::Struct(_) => {
+                Value::Null
+            }
+        }
+    }
+
+    /// The XML Schema type name used on the wire (`xsd:` prefix assumed).
+    pub fn xsd_name(&self) -> &'static str {
+        match self {
+            FieldType::Bool => "boolean",
+            FieldType::Int => "int",
+            FieldType::Long => "long",
+            FieldType::Double => "double",
+            FieldType::String => "string",
+            FieldType::Bytes => "base64Binary",
+            FieldType::ArrayOf(_) => "Array",
+            FieldType::Struct(_) => "anyType",
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::ArrayOf(inner) => write!(f, "{inner}[]"),
+            FieldType::Struct(n) => f.write_str(n),
+            other => f.write_str(other.xsd_name()),
+        }
+    }
+}
+
+/// One declared field of a struct type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDescriptor {
+    /// Field (and accessor) name.
+    pub name: String,
+    /// Element name on the wire; usually equal to `name`.
+    pub xml_name: String,
+    /// Static type.
+    pub field_type: FieldType,
+}
+
+impl FieldDescriptor {
+    /// Creates a field whose XML name equals its field name.
+    pub fn new(name: impl Into<String>, field_type: FieldType) -> Self {
+        let name = name.into();
+        FieldDescriptor { xml_name: name.clone(), name, field_type }
+    }
+}
+
+/// A registered struct type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDescriptor {
+    /// Registry name (also the default XML element name).
+    pub name: String,
+    /// Declared fields in order.
+    pub fields: Vec<FieldDescriptor>,
+    /// What the type supports.
+    pub capabilities: Capabilities,
+}
+
+impl TypeDescriptor {
+    /// Creates a descriptor with [`Capabilities::all`].
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDescriptor>) -> Self {
+        TypeDescriptor { name: name.into(), fields, capabilities: Capabilities::all() }
+    }
+
+    /// Builder-style capability override.
+    pub fn with_capabilities(mut self, capabilities: Capabilities) -> Self {
+        self.capabilities = capabilities;
+        self
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDescriptor> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a field by its XML element name.
+    pub fn field_by_xml_name(&self, xml_name: &str) -> Option<&FieldDescriptor> {
+        self.fields.iter().find(|f| f.xml_name == xml_name)
+    }
+}
+
+/// An immutable, shareable collection of type descriptors.
+///
+/// Registries are built once (by hand or by the WSDL compiler) and shared
+/// across threads behind `Arc`s inside the descriptors' consumers.
+///
+/// ```
+/// use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+/// let registry = TypeRegistry::builder()
+///     .register(TypeDescriptor::new(
+///         "Point",
+///         vec![
+///             FieldDescriptor::new("x", FieldType::Int),
+///             FieldDescriptor::new("y", FieldType::Int),
+///         ],
+///     ))
+///     .build();
+/// assert!(registry.get("Point").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    types: Arc<HashMap<String, TypeDescriptor>>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Starts building a registry.
+    pub fn builder() -> TypeRegistryBuilder {
+        TypeRegistryBuilder { types: HashMap::new() }
+    }
+
+    /// Looks up a type by name.
+    pub fn get(&self, name: &str) -> Option<&TypeDescriptor> {
+        self.types.get(name)
+    }
+
+    /// Looks up a type or fails with [`ModelError::UnknownType`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `UnknownType` when the name is not registered.
+    pub fn require(&self, name: &str) -> Result<&TypeDescriptor, ModelError> {
+        self.get(name).ok_or_else(|| ModelError::UnknownType(name.to_string()))
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over all descriptors in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &TypeDescriptor> {
+        self.types.values()
+    }
+
+    /// Checks whether every struct node in `value` is serializable
+    /// (the middleware's run-time detection from paper §4.2.3-A).
+    pub fn is_deeply_serializable(&self, value: &Value) -> bool {
+        self.check_capability(value, |c| c.serializable)
+    }
+
+    /// Checks whether every struct node in `value` has a deep clone.
+    pub fn is_deeply_cloneable(&self, value: &Value) -> bool {
+        match value {
+            // The paper treats a bare byte[] / String as having no usable
+            // deep clone method (Table 7's n/a cells).
+            Value::Bytes(_) => false,
+            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+            | Value::String(_) => false,
+            _ => self.check_capability(value, |c| c.cloneable),
+        }
+    }
+
+    /// Checks whether `value` is copyable with the reflection API: the top
+    /// level must be a bean-type struct or an array (incl. `byte[]`), and
+    /// every nested struct must be a bean.
+    pub fn is_reflect_copyable(&self, value: &Value) -> bool {
+        match value {
+            Value::Bytes(_) => true,
+            Value::Array(items) => items.iter().all(|v| self.reflect_copyable_inner(v)),
+            Value::Struct(_) => self.reflect_copyable_inner(value),
+            // Bare immutables are shared, not copied; the paper's Table 7
+            // reports reflection as n/a for a bare String response.
+            _ => false,
+        }
+    }
+
+    fn reflect_copyable_inner(&self, value: &Value) -> bool {
+        match value {
+            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+            | Value::String(_) | Value::Bytes(_) => true,
+            Value::Array(items) => items.iter().all(|v| self.reflect_copyable_inner(v)),
+            Value::Struct(s) => {
+                self.get(s.type_name()).map(|d| d.capabilities.bean).unwrap_or(false)
+                    && s.fields().all(|(_, v)| self.reflect_copyable_inner(v))
+            }
+        }
+    }
+
+    fn check_capability(&self, value: &Value, pred: fn(&Capabilities) -> bool) -> bool {
+        match value {
+            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+            | Value::String(_) | Value::Bytes(_) => true,
+            Value::Array(items) => items.iter().all(|v| self.check_capability(v, pred)),
+            Value::Struct(s) => {
+                self.get(s.type_name()).map(|d| pred(&d.capabilities)).unwrap_or(false)
+                    && s.fields().all(|(_, v)| self.check_capability(v, pred))
+            }
+        }
+    }
+}
+
+/// Builder for [`TypeRegistry`].
+#[derive(Debug, Default)]
+pub struct TypeRegistryBuilder {
+    types: HashMap<String, TypeDescriptor>,
+}
+
+impl TypeRegistryBuilder {
+    /// Registers a descriptor, replacing any previous one with the same name.
+    pub fn register(mut self, descriptor: TypeDescriptor) -> Self {
+        self.types.insert(descriptor.name.clone(), descriptor);
+        self
+    }
+
+    /// Merges every descriptor from another registry.
+    pub fn merge(mut self, other: &TypeRegistry) -> Self {
+        for d in other.iter() {
+            self.types.insert(d.name.clone(), d.clone());
+        }
+        self
+    }
+
+    /// Finalizes the registry.
+    pub fn build(self) -> TypeRegistry {
+        TypeRegistry { types: Arc::new(self.types) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::StructValue;
+
+    fn registry() -> TypeRegistry {
+        TypeRegistry::builder()
+            .register(TypeDescriptor::new(
+                "Bean",
+                vec![
+                    FieldDescriptor::new("a", FieldType::Int),
+                    FieldDescriptor::new("b", FieldType::String),
+                ],
+            ))
+            .register(
+                TypeDescriptor::new("Opaque", vec![])
+                    .with_capabilities(Capabilities::none()),
+            )
+            .register(
+                TypeDescriptor::new(
+                    "Generated",
+                    vec![FieldDescriptor::new("x", FieldType::Int)],
+                )
+                .with_capabilities(Capabilities::wsdl_generated()),
+            )
+            .build()
+    }
+
+    fn bean() -> Value {
+        Value::Struct(StructValue::new("Bean").with("a", 1).with("b", "s"))
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let r = registry();
+        assert!(r.get("Bean").is_some());
+        assert!(r.get("Nope").is_none());
+        assert!(matches!(r.require("Nope"), Err(ModelError::UnknownType(_))));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn field_lookup_by_name_and_xml_name() {
+        let r = registry();
+        let d = r.get("Bean").unwrap();
+        assert_eq!(d.field("a").unwrap().field_type, FieldType::Int);
+        assert!(d.field("z").is_none());
+        assert_eq!(d.field_by_xml_name("b").unwrap().name, "b");
+    }
+
+    #[test]
+    fn serializability_detection_is_deep() {
+        let r = registry();
+        assert!(r.is_deeply_serializable(&bean()));
+        let with_opaque = Value::Struct(
+            StructValue::new("Bean").with("a", Value::Struct(StructValue::new("Opaque"))),
+        );
+        assert!(!r.is_deeply_serializable(&with_opaque));
+        // Primitives, strings, bytes and arrays of them are serializable.
+        assert!(r.is_deeply_serializable(&Value::Bytes(vec![1])));
+        assert!(r.is_deeply_serializable(&Value::Array(vec![Value::Int(1)])));
+        // Unregistered struct types are *not* (unknown ⇒ cannot prove).
+        let unknown = Value::Struct(StructValue::new("Mystery"));
+        assert!(!r.is_deeply_serializable(&unknown));
+    }
+
+    #[test]
+    fn clone_applicability_matches_paper_na_cells() {
+        let r = registry();
+        // Bare String and byte[] responses have no deep clone (Table 7 n/a).
+        assert!(!r.is_deeply_cloneable(&Value::string("s")));
+        assert!(!r.is_deeply_cloneable(&Value::Bytes(vec![1])));
+        // All-capable struct is cloneable; WSDL-generated (no clone) is not.
+        assert!(r.is_deeply_cloneable(&bean()));
+        let generated = Value::Struct(StructValue::new("Generated").with("x", 1));
+        assert!(!r.is_deeply_cloneable(&generated));
+    }
+
+    #[test]
+    fn reflect_applicability_matches_paper_na_cells() {
+        let r = registry();
+        // Bare String: n/a. byte[] (array type): applicable.
+        assert!(!r.is_reflect_copyable(&Value::string("s")));
+        assert!(r.is_reflect_copyable(&Value::Bytes(vec![1, 2])));
+        assert!(r.is_reflect_copyable(&bean()));
+        let opaque = Value::Struct(StructValue::new("Opaque"));
+        assert!(!r.is_reflect_copyable(&opaque));
+        let arr_of_beans = Value::Array(vec![bean(), bean()]);
+        assert!(r.is_reflect_copyable(&arr_of_beans));
+        let arr_with_opaque = Value::Array(vec![bean(), opaque]);
+        assert!(!r.is_reflect_copyable(&arr_with_opaque));
+    }
+
+    #[test]
+    fn field_type_defaults_and_display() {
+        assert_eq!(FieldType::Int.default_value(), Value::Int(0));
+        assert_eq!(FieldType::String.default_value(), Value::Null);
+        assert_eq!(FieldType::ArrayOf(Box::new(FieldType::Int)).to_string(), "int[]");
+        assert_eq!(FieldType::Struct("T".into()).to_string(), "T");
+        assert_eq!(
+            FieldType::ArrayOf(Box::new(FieldType::Struct("T".into()))).struct_name(),
+            Some("T")
+        );
+    }
+
+    #[test]
+    fn builder_merge_overrides() {
+        let r1 = registry();
+        let r2 = TypeRegistry::builder()
+            .merge(&r1)
+            .register(TypeDescriptor::new("Extra", vec![]))
+            .build();
+        assert_eq!(r2.len(), 4);
+        assert!(r2.get("Bean").is_some());
+    }
+
+    #[test]
+    fn capability_presets() {
+        assert!(Capabilities::all().cloneable);
+        assert!(!Capabilities::wsdl_generated().cloneable);
+        assert!(Capabilities::wsdl_generated().serializable);
+        assert!(!Capabilities::none().bean);
+    }
+}

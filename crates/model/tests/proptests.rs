@@ -1,0 +1,162 @@
+//! Property-based tests: all copy mechanisms agree, copies are
+//! independent, serialization round-trips, rendering is stable.
+
+use proptest::prelude::*;
+use wsrc_model::binser;
+use wsrc_model::deep_clone::clone_unchecked;
+use wsrc_model::reflect::reflect_copy;
+use wsrc_model::sizeof::deep_size;
+use wsrc_model::tostring::to_string_key;
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+
+/// All generated structs use one of these registered bean types.
+fn registry() -> TypeRegistry {
+    TypeRegistry::builder()
+        .register(TypeDescriptor::new(
+            "A",
+            vec![
+                FieldDescriptor::new("f0", FieldType::String),
+                FieldDescriptor::new("f1", FieldType::Int),
+                FieldDescriptor::new("f2", FieldType::Struct("B".into())),
+            ],
+        ))
+        .register(TypeDescriptor::new(
+            "B",
+            vec![
+                FieldDescriptor::new("f0", FieldType::Double),
+                FieldDescriptor::new("f1", FieldType::ArrayOf(Box::new(FieldType::String))),
+            ],
+        ))
+        .build()
+}
+
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        // Finite doubles only: NaN breaks PartialEq-based assertions.
+        (-1.0e12..1.0e12f64).prop_map(|d| Value::Double(if d == 0.0 { 0.0 } else { d })),
+        "[a-zA-Z0-9 ]{0,20}".prop_map(Value::string),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(depth, 64, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            (proptest::sample::select(vec!["A", "B"]), proptest::collection::vec(inner, 0..3))
+                .prop_map(|(ty, vals)| {
+                    let mut s = StructValue::new(ty);
+                    for (i, v) in vals.into_iter().enumerate() {
+                        s.set(format!("f{i}"), v);
+                    }
+                    Value::Struct(s)
+                }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binser_roundtrip_is_identity(v in arb_value(4)) {
+        let bytes = binser::serialize(&v);
+        prop_assert_eq!(binser::deserialize(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn binser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = binser::deserialize(&data);
+    }
+
+    #[test]
+    fn binser_never_panics_on_flipped_bytes(v in arb_value(3), idx in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = binser::serialize(&v);
+        let i = (idx as usize) % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = binser::deserialize(&bytes); // may error, must not panic
+    }
+
+    #[test]
+    fn clone_unchecked_equals_original(v in arb_value(4)) {
+        prop_assert_eq!(clone_unchecked(&v), v);
+    }
+
+    #[test]
+    fn all_copy_mechanisms_agree(v in arb_value(4)) {
+        let r = registry();
+        let serial = binser::deserialize(&binser::serialize(&v)).unwrap();
+        prop_assert_eq!(&serial, &v);
+        if r.is_reflect_copyable(&v) {
+            prop_assert_eq!(reflect_copy(&v, &r).unwrap(), v.clone());
+        }
+        prop_assert_eq!(clone_unchecked(&v), v);
+    }
+
+    #[test]
+    fn copies_are_independent(v in arb_value(4)) {
+        // Mutating a serialization-based copy never affects the original.
+        let original_bytes = binser::serialize(&v);
+        let mut copy = binser::deserialize(&original_bytes).unwrap();
+        mutate_first_mutable(&mut copy);
+        prop_assert_eq!(binser::serialize(&v), original_bytes);
+    }
+
+    #[test]
+    fn tostring_is_deterministic_and_injective_for_equal_values(
+        a in arb_value(3),
+        b in arb_value(3)
+    ) {
+        let r = registry();
+        let ka = to_string_key(&a, &r);
+        let kb = to_string_key(&b, &r);
+        if let (Ok(ka), Ok(kb)) = (ka, kb) {
+            if a == b {
+                prop_assert_eq!(&ka, &kb);
+            } else {
+                // Canonical rendering must distinguish distinct values.
+                prop_assert_ne!(&ka, &kb);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_size_is_positive_and_monotone_under_wrapping(v in arb_value(3)) {
+        let base = deep_size(&v);
+        prop_assert!(base >= std::mem::size_of::<Value>());
+        let wrapped = Value::Array(vec![v]);
+        prop_assert!(deep_size(&wrapped) > base);
+    }
+}
+
+/// Flips the first mutable leaf found, if any.
+fn mutate_first_mutable(v: &mut Value) -> bool {
+    match v {
+        Value::Bytes(b) => {
+            b.push(0xAB);
+            true
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                if mutate_first_mutable(item) {
+                    return true;
+                }
+            }
+            items.push(Value::Int(-1));
+            true
+        }
+        Value::Struct(s) => {
+            for (_, fv) in s.fields_mut() {
+                if mutate_first_mutable(fv) {
+                    return true;
+                }
+            }
+            s.set("__mutation", 1);
+            true
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,293 @@
+//! Closed-loop load simulator — the Web Performance Tool analog.
+//!
+//! `concurrency` workers issue portal page requests back-to-back ("the
+//! next request was not issued until after the reply was received", §5.2)
+//! and the query schedule forces a target cache-hit ratio: request *i* is
+//! a repeat of a hot query when the Bresenham accumulator for the target
+//! ratio ticks, and a globally unique query otherwise.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Number of closed-loop workers (1 for Figure 3, 25 for Figure 4).
+    pub concurrency: usize,
+    /// Total measured requests across all workers.
+    pub requests: usize,
+    /// Target cache-hit ratio in `[0, 1]`.
+    pub hit_ratio: f64,
+    /// Number of distinct hot (repeated) queries.
+    pub hot_queries: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { concurrency: 1, requests: 1000, hit_ratio: 0.5, hot_queries: 8 }
+    }
+}
+
+/// Aggregated measurements from one load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests that failed.
+    pub errors: usize,
+    /// Wall-clock duration of the measured phase.
+    pub elapsed: Duration,
+    /// Mean response time over completed requests.
+    pub mean_response: Duration,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+}
+
+/// One worker's connection to the portal (workers never share
+/// connections, like the paper's load tool).
+pub trait PortalConn: Send {
+    /// Fetches one portal page; returns an error description on failure.
+    fn fetch(&mut self, query: &str) -> Result<(), String>;
+}
+
+/// A portal as seen by the load generator: a factory of per-worker
+/// connections.
+pub trait PortalTarget: Sync {
+    /// The per-worker connection type.
+    type Conn: PortalConn;
+
+    /// Opens a connection for one worker.
+    fn connect(&self) -> Self::Conn;
+}
+
+/// The deterministic query schedule controlling the hit ratio.
+#[derive(Debug)]
+pub struct QuerySchedule {
+    hit_ratio: f64,
+    hot_queries: usize,
+    counter: AtomicUsize,
+}
+
+impl QuerySchedule {
+    /// Creates a schedule for the target ratio.
+    pub fn new(hit_ratio: f64, hot_queries: usize) -> Self {
+        QuerySchedule {
+            hit_ratio: hit_ratio.clamp(0.0, 1.0),
+            hot_queries: hot_queries.max(1),
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// The hot queries that must be primed (fetched once) before
+    /// measurement so their first use is not a miss.
+    pub fn prime_queries(&self) -> Vec<String> {
+        (0..self.hot_queries).map(|i| format!("hot-query-{i}")).collect()
+    }
+
+    /// The next query in the global schedule.
+    pub fn next_query(&self) -> String {
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Bresenham-style accumulator: request i is a "hit" request when
+        // the integer part of i*ratio advances.
+        let before = (i as f64 * self.hit_ratio) as u64;
+        let after = ((i + 1) as f64 * self.hit_ratio) as u64;
+        if after > before {
+            format!("hot-query-{}", i % self.hot_queries)
+        } else {
+            format!("unique-query-{i}")
+        }
+    }
+}
+
+/// Runs the load and aggregates the report.
+///
+/// The workers share the global schedule, so the aggregate mix matches
+/// the target hit ratio regardless of per-worker interleaving.
+pub fn run_load<T: PortalTarget>(target: &T, config: &LoadConfig) -> LoadReport {
+    let schedule = QuerySchedule::new(config.hit_ratio, config.hot_queries);
+    // Priming phase: hot queries are warmed so the measured phase sees
+    // the intended hit ratio (the paper likewise measures after warmup).
+    {
+        let mut conn = target.connect();
+        for q in schedule.prime_queries() {
+            let _ = conn.fetch(&q);
+        }
+    }
+    let remaining = AtomicUsize::new(config.requests);
+    let completed = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let total_latency_nanos = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.concurrency.max(1) {
+            scope.spawn(|| {
+                let mut conn = target.connect();
+                loop {
+                    // Claim one request slot.
+                    let prev = remaining.fetch_sub(1, Ordering::Relaxed);
+                    if prev == 0 || prev > config.requests {
+                        remaining.store(0, Ordering::Relaxed);
+                        return;
+                    }
+                    let query = schedule.next_query();
+                    let t0 = Instant::now();
+                    match conn.fetch(&query) {
+                        Ok(()) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            total_latency_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let completed = completed.load(Ordering::Relaxed);
+    let errors = errors.load(Ordering::Relaxed);
+    let mean_response = if completed > 0 {
+        Duration::from_nanos(total_latency_nanos.load(Ordering::Relaxed) / completed as u64)
+    } else {
+        Duration::ZERO
+    };
+    LoadReport {
+        completed,
+        errors,
+        elapsed,
+        mean_response,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    /// Counts fetches and which queries were repeats.
+    struct CountingTarget {
+        seen: Arc<Mutex<HashSet<String>>>,
+        hits: Arc<AtomicUsize>,
+        total: Arc<AtomicUsize>,
+    }
+
+    struct CountingConn {
+        seen: Arc<Mutex<HashSet<String>>>,
+        hits: Arc<AtomicUsize>,
+        total: Arc<AtomicUsize>,
+    }
+
+    impl PortalConn for CountingConn {
+        fn fetch(&mut self, query: &str) -> Result<(), String> {
+            self.total.fetch_add(1, Ordering::SeqCst);
+            if !self.seen.lock().insert(query.to_string()) {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(())
+        }
+    }
+
+    impl PortalTarget for CountingTarget {
+        type Conn = CountingConn;
+        fn connect(&self) -> CountingConn {
+            CountingConn {
+                seen: self.seen.clone(),
+                hits: self.hits.clone(),
+                total: self.total.clone(),
+            }
+        }
+    }
+
+    fn counting_target() -> CountingTarget {
+        CountingTarget {
+            seen: Arc::new(Mutex::new(HashSet::new())),
+            hits: Arc::new(AtomicUsize::new(0)),
+            total: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    #[test]
+    fn schedule_achieves_target_ratio() {
+        for ratio in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let target = counting_target();
+            let config = LoadConfig { concurrency: 1, requests: 1000, hit_ratio: ratio, hot_queries: 8 };
+            let report = run_load(&target, &config);
+            assert_eq!(report.completed, 1000);
+            // Measured repeats / measured requests (priming excluded).
+            let measured_hits = target.hits.load(Ordering::SeqCst);
+            let observed = measured_hits as f64 / 1000.0;
+            assert!(
+                (observed - ratio).abs() < 0.02,
+                "ratio {ratio}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_preserves_the_ratio_and_count() {
+        let target = counting_target();
+        let config = LoadConfig { concurrency: 8, requests: 2000, hit_ratio: 0.6, hot_queries: 8 };
+        let report = run_load(&target, &config);
+        assert_eq!(report.completed, 2000);
+        assert_eq!(report.errors, 0);
+        let observed = target.hits.load(Ordering::SeqCst) as f64 / 2000.0;
+        assert!((observed - 0.6).abs() < 0.03, "observed {observed}");
+    }
+
+    #[test]
+    fn report_math_is_consistent() {
+        let target = counting_target();
+        let config = LoadConfig { concurrency: 2, requests: 100, hit_ratio: 0.5, hot_queries: 4 };
+        let report = run_load(&target, &config);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.elapsed > Duration::ZERO);
+        assert!(report.mean_response <= report.elapsed);
+    }
+
+    #[test]
+    fn errors_are_counted_separately() {
+        struct FailingTarget;
+        struct FailingConn(usize);
+        impl PortalConn for FailingConn {
+            fn fetch(&mut self, _q: &str) -> Result<(), String> {
+                self.0 += 1;
+                if self.0.is_multiple_of(2) {
+                    Err("boom".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        impl PortalTarget for FailingTarget {
+            type Conn = FailingConn;
+            fn connect(&self) -> FailingConn {
+                FailingConn(0)
+            }
+        }
+        let report = run_load(&FailingTarget, &LoadConfig {
+            concurrency: 1,
+            requests: 100,
+            hit_ratio: 0.0,
+            hot_queries: 1,
+        });
+        assert_eq!(report.completed + report.errors, 100);
+        assert!(report.errors > 0);
+    }
+
+    #[test]
+    fn zero_ratio_never_repeats_and_full_ratio_always_repeats() {
+        let s = QuerySchedule::new(0.0, 4);
+        for _ in 0..100 {
+            assert!(s.next_query().starts_with("unique-"));
+        }
+        let s = QuerySchedule::new(1.0, 4);
+        for _ in 0..100 {
+            assert!(s.next_query().starts_with("hot-"));
+        }
+    }
+}

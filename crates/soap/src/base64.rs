@@ -1,0 +1,143 @@
+//! Base64 (RFC 4648, standard alphabet) — used for `xsd:base64Binary`
+//! payloads such as the `doGetCachedPage` response.
+
+use crate::error::SoapError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes to a padded base64 string.
+///
+/// ```
+/// assert_eq!(wsrc_soap::base64::encode(b"Man"), "TWFu");
+/// assert_eq!(wsrc_soap::base64::encode(b"Ma"), "TWE=");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes a base64 string, tolerating embedded ASCII whitespace (XML
+/// canonical form allows line breaks inside base64 content).
+///
+/// # Errors
+///
+/// Returns an encoding error for illegal characters, bad padding or a
+/// truncated final quantum.
+pub fn decode(text: &str) -> Result<Vec<u8>, SoapError> {
+    let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    let mut quad = [0u8; 4];
+    let mut filled = 0;
+    let mut pad = 0;
+    for c in text.chars() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        let v = match c {
+            'A'..='Z' => c as u8 - b'A',
+            'a'..='z' => c as u8 - b'a' + 26,
+            '0'..='9' => c as u8 - b'0' + 52,
+            '+' => 62,
+            '/' => 63,
+            '=' => {
+                pad += 1;
+                if pad > 2 {
+                    return Err(SoapError::encoding("too much base64 padding"));
+                }
+                quad[filled] = 0;
+                filled += 1;
+                if filled == 4 {
+                    flush(&quad, pad, &mut out)?;
+                    filled = 0;
+                }
+                continue;
+            }
+            other => {
+                return Err(SoapError::encoding(format!("invalid base64 character '{other}'")));
+            }
+        };
+        if pad > 0 {
+            return Err(SoapError::encoding("base64 data after padding"));
+        }
+        quad[filled] = v;
+        filled += 1;
+        if filled == 4 {
+            flush(&quad, 0, &mut out)?;
+            filled = 0;
+        }
+    }
+    if filled != 0 {
+        return Err(SoapError::encoding("truncated base64 quantum"));
+    }
+    Ok(out)
+}
+
+fn flush(quad: &[u8; 4], pad: usize, out: &mut Vec<u8>) -> Result<(), SoapError> {
+    let triple = ((quad[0] as u32) << 18) | ((quad[1] as u32) << 12) | ((quad[2] as u32) << 6) | quad[3] as u32;
+    out.push((triple >> 16) as u8);
+    if pad < 2 {
+        out.push((triple >> 8) as u8);
+    }
+    if pad < 1 {
+        out.push(triple as u8);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in vectors {
+            assert_eq!(encode(raw), *enc);
+            assert_eq!(decode(enc).unwrap(), *raw);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zg = = ".replace(' ', "").as_str()).unwrap(), b"f");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        for bad in ["Zg=", "Z", "Zg===", "Zg==Zg==X", "!@#$", "Z===", "=Zg="] {
+            assert!(decode(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let data = vec![0xA5u8; 5000];
+        let enc = encode(&data);
+        assert_eq!(enc.len(), data.len().div_ceil(3) * 4);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,958 @@
+//! Deserialization of SOAP envelopes back into application objects.
+//!
+//! [`ResponseReader`] is a SAX [`ContentHandler`]: it can be fed either by
+//! the XML parser (cache-miss path; [`read_response_xml`]) or by replaying
+//! a recorded event sequence (cache-hit path for the post-parsing
+//! representation; [`read_response_events`]). The cost difference between
+//! those two entry points is the paper's first optimization.
+//!
+//! Server-side request parsing ([`parse_request`]) is DOM-based: it is not
+//! on the latency-critical client path.
+
+use crate::base64;
+use crate::envelope;
+use crate::error::SoapError;
+use crate::fault::SoapFault;
+use crate::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
+use wsrc_model::typeinfo::{FieldType, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_xml::event::{Attribute, SaxEventSequence};
+use wsrc_xml::sax::{ContentHandler, Recorder, Tee};
+use wsrc_xml::{QName, XmlReader};
+
+/// Reads a response envelope (parse + deserialize).
+///
+/// # Errors
+///
+/// Returns XML errors for malformed documents and encoding errors for
+/// well-formed documents that are not valid responses. A SOAP fault is
+/// *not* an error — it is returned as [`RpcOutcome::Fault`].
+pub fn read_response_xml(
+    xml: &str,
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<RpcOutcome, SoapError> {
+    let mut reader = ResponseReader::new(expected.clone(), registry.clone());
+    XmlReader::new(xml).parse_into(&mut reader).map_err(flatten_parse_error)?;
+    reader.finish()
+}
+
+/// Reads a response from a recorded SAX event sequence (deserialize only —
+/// no XML parsing happens).
+///
+/// # Errors
+///
+/// Same conditions as [`read_response_xml`], minus XML syntax errors.
+pub fn read_response_events(
+    events: &SaxEventSequence,
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<RpcOutcome, SoapError> {
+    let mut reader = ResponseReader::new(expected.clone(), registry.clone());
+    events.replay(&mut reader)?;
+    reader.finish()
+}
+
+/// Reads a response envelope while simultaneously recording its SAX event
+/// sequence, so a cache miss pays for only one parse.
+///
+/// # Errors
+///
+/// Same conditions as [`read_response_xml`].
+pub fn read_response_xml_recording(
+    xml: &str,
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<(RpcOutcome, SaxEventSequence), SoapError> {
+    let mut recorder = Recorder::new();
+    let mut reader = ResponseReader::new(expected.clone(), registry.clone());
+    {
+        let mut tee = Tee::new(&mut recorder, &mut reader);
+        XmlReader::new(xml).parse_into(&mut tee).map_err(|e| match e {
+            wsrc_xml::reader::ParseIntoError::Parse(xe) => SoapError::Xml(xe),
+            wsrc_xml::reader::ParseIntoError::Handler(te) => match te {
+                wsrc_xml::sax::TeeError::First(xe) => SoapError::Xml(xe),
+                wsrc_xml::sax::TeeError::Second(se) => se,
+            },
+        })?;
+    }
+    Ok((reader.finish()?, recorder.into_sequence()))
+}
+
+fn flatten_parse_error(e: wsrc_xml::reader::ParseIntoError<SoapError>) -> SoapError {
+    match e {
+        wsrc_xml::reader::ParseIntoError::Parse(xe) => SoapError::Xml(xe),
+        wsrc_xml::reader::ParseIntoError::Handler(se) => se,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    BeforeEnvelope,
+    InEnvelope,
+    InBody,
+    InWrapper,
+    InValue,
+    AfterValue,
+    InFault,
+    AfterBody,
+    Done,
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Element name as written (field xml name / `item`).
+    name: String,
+    expected: Option<FieldType>,
+    xsi_type_local: Option<String>,
+    nil: bool,
+    text: String,
+    strukt: Option<StructValue>,
+    items: Option<Vec<Value>>,
+}
+
+impl Frame {
+    fn is_container(&self) -> bool {
+        self.strukt.is_some() || self.items.is_some()
+    }
+}
+
+/// A streaming deserializer for RPC response envelopes.
+///
+/// Feed it SAX events (from a parser or a replayed recording), then call
+/// [`finish`](ResponseReader::finish).
+#[derive(Debug)]
+pub struct ResponseReader {
+    registry: TypeRegistry,
+    expected: FieldType,
+    state: State,
+    frames: Vec<Frame>,
+    result: Option<Value>,
+    skipping: usize,
+    fault_code: String,
+    fault_string: String,
+    fault_detail: Option<String>,
+    fault_field: Option<&'static str>,
+    saw_fault: bool,
+    fault_depth: usize,
+}
+
+impl ResponseReader {
+    /// Creates a reader expecting a return value of `expected` type.
+    pub fn new(expected: FieldType, registry: TypeRegistry) -> Self {
+        ResponseReader {
+            registry,
+            expected,
+            state: State::BeforeEnvelope,
+            frames: Vec::new(),
+            result: None,
+            skipping: 0,
+            fault_code: String::new(),
+            fault_string: String::new(),
+            fault_detail: None,
+            fault_field: None,
+            saw_fault: false,
+            fault_depth: 0,
+        }
+    }
+
+    /// Consumes the reader, yielding the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an encoding error when no complete response was seen.
+    pub fn finish(self) -> Result<RpcOutcome, SoapError> {
+        if self.saw_fault {
+            return Ok(RpcOutcome::Fault(SoapFault {
+                code: self.fault_code,
+                string: self.fault_string,
+                detail: self.fault_detail,
+            }));
+        }
+        if self.state != State::Done {
+            return Err(SoapError::encoding("incomplete response envelope"));
+        }
+        // A void operation has no return element.
+        Ok(RpcOutcome::Return(self.result.unwrap_or(Value::Null)))
+    }
+
+    fn push_value_frame(&mut self, name: &QName, attributes: &[Attribute], expected: Option<FieldType>) {
+        let mut nil = false;
+        let mut xsi_type_local = None;
+        for a in attributes {
+            match a.name.local_part() {
+                "nil" | "null" => {
+                    nil = a.value == "true" || a.value == "1";
+                }
+                "type" if !a.name.prefix().is_empty() || a.name.local_part() == "type" => {
+                    // Keep only the local part of the QName value
+                    // ("xsd:int" → "int", "ns1:Pt" → "Pt").
+                    let local = a.value.split_once(':').map(|(_, l)| l).unwrap_or(&a.value);
+                    xsi_type_local = Some(local.to_string());
+                }
+                _ => {}
+            }
+        }
+        self.frames.push(Frame {
+            name: name.local_part().to_string(),
+            expected,
+            xsi_type_local,
+            nil,
+            text: String::new(),
+            strukt: None,
+            items: None,
+        });
+    }
+
+    /// Expected type for a child element of the current frame.
+    fn child_expectation(&mut self, child: &QName) -> Option<FieldType> {
+        let frame = self.frames.last_mut()?;
+        // Materialize the container on first child.
+        if !frame.is_container() {
+            let effective = frame
+                .expected
+                .clone()
+                .or_else(|| type_from_xsi(frame.xsi_type_local.as_deref()));
+            match effective {
+                Some(FieldType::ArrayOf(inner)) => {
+                    frame.items = Some(Vec::new());
+                    frame.expected = Some(FieldType::ArrayOf(inner));
+                }
+                Some(FieldType::Struct(type_name)) => {
+                    frame.strukt = Some(StructValue::new(type_name.clone()));
+                    frame.expected = Some(FieldType::Struct(type_name));
+                }
+                _ => {
+                    // Untyped: arrays are recognized by the SOAP-ENC Array
+                    // xsi:type or by `item` children; anything else becomes
+                    // a dynamic struct named after its xsi:type or element.
+                    let is_array = frame
+                        .xsi_type_local
+                        .as_deref()
+                        .map(|t| t == "Array")
+                        .unwrap_or(child.local_part() == "item");
+                    if is_array {
+                        frame.items = Some(Vec::new());
+                    } else {
+                        let type_name = frame
+                            .xsi_type_local
+                            .clone()
+                            .unwrap_or_else(|| frame.name.clone());
+                        frame.strukt = Some(StructValue::new(type_name));
+                    }
+                }
+            }
+        }
+        if frame.items.is_some() {
+            if let Some(FieldType::ArrayOf(inner)) = &frame.expected {
+                return Some((**inner).clone());
+            }
+            return None;
+        }
+        if let Some(s) = &frame.strukt {
+            let type_name = s.type_name().to_string();
+            return self
+                .registry
+                .get(&type_name)
+                .and_then(|d| d.field_by_xml_name(child.local_part()))
+                .map(|f| f.field_type.clone());
+        }
+        None
+    }
+
+    fn finalize_frame(&mut self, frame: Frame) -> Result<Value, SoapError> {
+        if frame.nil {
+            return Ok(Value::Null);
+        }
+        if let Some(items) = frame.items {
+            return Ok(Value::Array(items));
+        }
+        if let Some(s) = frame.strukt {
+            return Ok(Value::Struct(s));
+        }
+        // Scalar: decide the lexical type.
+        let effective = frame
+            .expected
+            .clone()
+            .or_else(|| type_from_xsi(frame.xsi_type_local.as_deref()));
+        parse_scalar(&frame.text, effective.as_ref(), &frame.name)
+    }
+
+    fn attach(&mut self, value: Value, name: &str) -> Result<(), SoapError> {
+        let Some(parent) = self.frames.last_mut() else {
+            self.result = Some(value);
+            return Ok(());
+        };
+        if let Some(items) = &mut parent.items {
+            items.push(value);
+            return Ok(());
+        }
+        if let Some(s) = &mut parent.strukt {
+            let type_name = s.type_name().to_string();
+            let field_name = self
+                .registry
+                .get(&type_name)
+                .and_then(|d| d.field_by_xml_name(name))
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| name.to_string());
+            s.set(field_name, value);
+            return Ok(());
+        }
+        Err(SoapError::encoding(format!(
+            "element <{name}> nested inside a scalar value"
+        )))
+    }
+}
+
+/// Maps an `xsi:type` local name to a field type.
+fn type_from_xsi(local: Option<&str>) -> Option<FieldType> {
+    match local? {
+        "string" => Some(FieldType::String),
+        "int" | "integer" | "short" | "byte" => Some(FieldType::Int),
+        "long" => Some(FieldType::Long),
+        "double" | "float" | "decimal" => Some(FieldType::Double),
+        "boolean" => Some(FieldType::Bool),
+        "base64Binary" | "base64" => Some(FieldType::Bytes),
+        _ => None,
+    }
+}
+
+fn parse_scalar(text: &str, ty: Option<&FieldType>, element: &str) -> Result<Value, SoapError> {
+    let bad = |what: &str| {
+        SoapError::encoding(format!("invalid {what} value '{text}' in <{element}>"))
+    };
+    match ty {
+        Some(FieldType::Bool) => match text.trim() {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(bad("boolean")),
+        },
+        Some(FieldType::Int) => text.trim().parse::<i32>().map(Value::Int).map_err(|_| bad("int")),
+        Some(FieldType::Long) => text.trim().parse::<i64>().map(Value::Long).map_err(|_| bad("long")),
+        Some(FieldType::Double) => match text.trim() {
+            "INF" => Ok(Value::Double(f64::INFINITY)),
+            "-INF" => Ok(Value::Double(f64::NEG_INFINITY)),
+            "NaN" => Ok(Value::Double(f64::NAN)),
+            t => t.parse::<f64>().map(Value::Double).map_err(|_| bad("double")),
+        },
+        Some(FieldType::Bytes) => base64::decode(text.trim()).map(Value::Bytes),
+        // Empty element of struct/array type is an empty instance.
+        Some(FieldType::Struct(name)) if text.trim().is_empty() => {
+            Ok(Value::Struct(StructValue::new(name.clone())))
+        }
+        Some(FieldType::ArrayOf(_)) if text.trim().is_empty() => Ok(Value::Array(Vec::new())),
+        Some(FieldType::String) | None => Ok(Value::string(text)),
+        Some(other) => Err(SoapError::encoding(format!(
+            "scalar text in <{element}> where {other} was expected"
+        ))),
+    }
+}
+
+impl ContentHandler for ResponseReader {
+    type Error = SoapError;
+
+    fn start_element(&mut self, name: &QName, attributes: &[Attribute]) -> Result<(), SoapError> {
+        if self.skipping > 0 {
+            self.skipping += 1;
+            return Ok(());
+        }
+        match self.state {
+            State::BeforeEnvelope => {
+                if !envelope::is_envelope(name) {
+                    return Err(SoapError::encoding(format!(
+                        "expected <Envelope>, found <{name}>"
+                    )));
+                }
+                self.state = State::InEnvelope;
+            }
+            State::InEnvelope => {
+                if envelope::is_header(name) {
+                    self.skipping = 1;
+                } else if envelope::is_body(name) {
+                    self.state = State::InBody;
+                } else {
+                    return Err(SoapError::encoding(format!(
+                        "unexpected <{name}> inside Envelope"
+                    )));
+                }
+            }
+            State::InBody => {
+                if envelope::is_fault(name) {
+                    self.state = State::InFault;
+                    self.saw_fault = true;
+                    self.fault_depth = 1;
+                } else {
+                    self.state = State::InWrapper;
+                }
+            }
+            State::InWrapper => {
+                self.push_value_frame(name, attributes, Some(self.expected.clone()));
+                self.state = State::InValue;
+            }
+            State::InValue => {
+                let expected = self.child_expectation(name);
+                self.push_value_frame(name, attributes, expected);
+            }
+            State::AfterValue => {
+                return Err(SoapError::encoding(format!(
+                    "unexpected second return element <{name}>"
+                )));
+            }
+            State::InFault => {
+                self.fault_depth += 1;
+                self.fault_field = match name.local_part() {
+                    "faultcode" => Some("code"),
+                    "faultstring" => Some("string"),
+                    "detail" => Some("detail"),
+                    _ => self.fault_field,
+                };
+            }
+            State::AfterBody | State::Done => {
+                return Err(SoapError::encoding(format!(
+                    "unexpected <{name}> after Body"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn end_element(&mut self, _name: &QName) -> Result<(), SoapError> {
+        if self.skipping > 0 {
+            self.skipping -= 1;
+            return Ok(());
+        }
+        match self.state {
+            State::InValue => {
+                let frame = self.frames.pop().expect("InValue implies a frame");
+                let element_name = frame.name.clone();
+                let value = self.finalize_frame(frame)?;
+                if self.frames.is_empty() {
+                    self.result = Some(value);
+                    self.state = State::AfterValue;
+                } else {
+                    self.attach(value, &element_name)?;
+                }
+            }
+            State::AfterValue | State::InWrapper => {
+                // closing the opResponse wrapper
+                self.state = State::InBody;
+            }
+            State::InFault => {
+                self.fault_depth -= 1;
+                if self.fault_depth == 0 {
+                    self.state = State::InBody;
+                }
+                self.fault_field = None;
+            }
+            State::InBody => {
+                // closing Body
+                self.state = State::AfterBody;
+            }
+            State::AfterBody => {
+                // closing Envelope
+                self.state = State::Done;
+            }
+            State::InEnvelope | State::BeforeEnvelope | State::Done => {
+                return Err(SoapError::encoding("unbalanced end element"));
+            }
+        }
+        Ok(())
+    }
+
+    fn characters(&mut self, text: &str) -> Result<(), SoapError> {
+        if self.skipping > 0 {
+            return Ok(());
+        }
+        match self.state {
+            State::InValue => {
+                let frame = self.frames.last_mut().expect("InValue implies a frame");
+                if frame.is_container() {
+                    if !text.trim().is_empty() {
+                        return Err(SoapError::encoding(format!(
+                            "mixed content in <{}>",
+                            frame.name
+                        )));
+                    }
+                } else {
+                    frame.text.push_str(text);
+                }
+            }
+            State::InFault => match self.fault_field {
+                Some("code") => self.fault_code.push_str(text),
+                Some("string") => self.fault_string.push_str(text),
+                Some("detail") => {
+                    self.fault_detail.get_or_insert_with(String::new).push_str(text);
+                }
+                _ => {}
+            },
+            _ => {
+                if !text.trim().is_empty() {
+                    return Err(SoapError::encoding("unexpected character data"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads a response from a parsed DOM tree — the paper's *other*
+/// post-parsing representation ("If the parser is a DOM parser, a DOM
+/// tree object, as the post-parsing representation, is created", §3.3).
+/// No XML parsing happens; the tree is walked directly.
+///
+/// # Errors
+///
+/// Returns encoding errors for documents that are not valid responses.
+pub fn read_response_dom(
+    document: &wsrc_xml::Document,
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<RpcOutcome, SoapError> {
+    let root = &document.root;
+    if !envelope::is_envelope(&root.name) {
+        return Err(SoapError::encoding("root element is not Envelope"));
+    }
+    let body = root
+        .child_elements()
+        .find(|e| envelope::is_body(&e.name))
+        .ok_or_else(|| SoapError::encoding("missing Body"))?;
+    let first = body
+        .child_elements()
+        .next()
+        .ok_or_else(|| SoapError::encoding("empty Body"))?;
+    if envelope::is_fault(&first.name) {
+        let text_of = |name: &str| {
+            first
+                .child_elements()
+                .find(|e| e.name.local_part() == name)
+                .map(|e| e.text())
+        };
+        return Ok(RpcOutcome::Fault(SoapFault {
+            code: text_of("faultcode").unwrap_or_default(),
+            string: text_of("faultstring").unwrap_or_default(),
+            detail: text_of("detail"),
+        }));
+    }
+    // The opResponse wrapper's first child element is the return value.
+    match first.child_elements().next() {
+        Some(ret) => Ok(RpcOutcome::Return(element_to_value(ret, Some(expected), registry)?)),
+        None => Ok(RpcOutcome::Return(Value::Null)),
+    }
+}
+
+/// Parses a request envelope on the server side, matching it against the
+/// service's operations.
+///
+/// # Errors
+///
+/// Returns XML errors for malformed documents, and encoding errors when
+/// the body is missing, the operation is unknown, or a parameter fails to
+/// parse under its declared type.
+pub fn parse_request(
+    xml: &str,
+    operations: &[OperationDescriptor],
+    registry: &TypeRegistry,
+) -> Result<RpcRequest, SoapError> {
+    let doc = wsrc_xml::Document::parse(xml)?;
+    if !envelope::is_envelope(&doc.root.name) {
+        return Err(SoapError::encoding("root element is not Envelope"));
+    }
+    let body = doc
+        .root
+        .child_elements()
+        .find(|e| envelope::is_body(&e.name))
+        .ok_or_else(|| SoapError::encoding("missing Body"))?;
+    let call = body
+        .child_elements()
+        .next()
+        .ok_or_else(|| SoapError::encoding("empty Body"))?;
+    let op_name = call.name.local_part();
+    let descriptor = operations
+        .iter()
+        .find(|o| o.name == op_name)
+        .ok_or_else(|| SoapError::encoding(format!("unknown operation '{op_name}'")))?;
+    let mut request = RpcRequest::new(descriptor.namespace.clone(), descriptor.name.clone());
+    for param_elem in call.child_elements() {
+        let pname = param_elem.name.local_part();
+        let expected = descriptor.param(pname).map(|p| p.field_type.clone());
+        let value = element_to_value(param_elem, expected.as_ref(), registry)?;
+        request.params.push((pname.to_string(), value));
+    }
+    descriptor.check_request(&request)?;
+    Ok(request)
+}
+
+/// Converts a DOM element into a value under an optional expected type —
+/// shared by request parsing and tests.
+///
+/// # Errors
+///
+/// Returns encoding errors for text that does not parse under the
+/// effective type.
+pub fn element_to_value(
+    elem: &wsrc_xml::Element,
+    expected: Option<&FieldType>,
+    registry: &TypeRegistry,
+) -> Result<Value, SoapError> {
+    let nil = elem
+        .attributes
+        .iter()
+        .any(|a| matches!(a.name.local_part(), "nil" | "null") && (a.value == "true" || a.value == "1"));
+    if nil {
+        return Ok(Value::Null);
+    }
+    let xsi_local = elem
+        .attributes
+        .iter()
+        .find(|a| a.name.local_part() == "type")
+        .map(|a| a.value.split_once(':').map(|(_, l)| l).unwrap_or(&a.value).to_string());
+    let effective = expected.cloned().or_else(|| type_from_xsi(xsi_local.as_deref()));
+    let children: Vec<_> = elem.child_elements().collect();
+    if children.is_empty() {
+        return match effective {
+            Some(ft) => parse_scalar(&elem.text(), Some(&ft), elem.name.local_part()),
+            None => {
+                // Untyped empty-ish element: Array xsi:type means empty array.
+                if xsi_local.as_deref() == Some("Array") {
+                    Ok(Value::Array(Vec::new()))
+                } else {
+                    parse_scalar(&elem.text(), None, elem.name.local_part())
+                }
+            }
+        };
+    }
+    match effective {
+        Some(FieldType::ArrayOf(inner)) => {
+            let mut items = Vec::with_capacity(children.len());
+            for c in children {
+                items.push(element_to_value(c, Some(&inner), registry)?);
+            }
+            Ok(Value::Array(items))
+        }
+        Some(FieldType::Struct(type_name)) => {
+            let mut s = StructValue::new(type_name.clone());
+            let descriptor = registry.get(&type_name);
+            for c in children {
+                let xml_name = c.name.local_part();
+                let field = descriptor.and_then(|d| d.field_by_xml_name(xml_name));
+                let fv = element_to_value(c, field.map(|f| &f.field_type), registry)?;
+                let fname = field.map(|f| f.name.clone()).unwrap_or_else(|| xml_name.to_string());
+                s.set(fname, fv);
+            }
+            Ok(Value::Struct(s))
+        }
+        _ => {
+            // Untyped with children: array when they are all <item>,
+            // dynamic struct otherwise.
+            if children.iter().all(|c| c.name.local_part() == "item")
+                && (xsi_local.as_deref() == Some("Array") || !children.is_empty())
+            {
+                let mut items = Vec::with_capacity(children.len());
+                for c in children {
+                    items.push(element_to_value(c, None, registry)?);
+                }
+                Ok(Value::Array(items))
+            } else {
+                let type_name = xsi_local.unwrap_or_else(|| elem.name.local_part().to_string());
+                let mut s = StructValue::new(type_name);
+                for c in children {
+                    let fv = element_to_value(c, None, registry)?;
+                    s.set(c.name.local_part().to_string(), fv);
+                }
+                Ok(Value::Struct(s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::{serialize_fault, serialize_request, serialize_response};
+    use wsrc_model::typeinfo::{FieldDescriptor, TypeDescriptor};
+
+    fn registry() -> TypeRegistry {
+        TypeRegistry::builder()
+            .register(TypeDescriptor::new(
+                "Pt",
+                vec![
+                    FieldDescriptor::new("x", FieldType::Int),
+                    FieldDescriptor::new("y", FieldType::Int),
+                ],
+            ))
+            .register(TypeDescriptor::new(
+                "Box",
+                vec![
+                    FieldDescriptor::new("label", FieldType::String),
+                    FieldDescriptor::new(
+                        "corners",
+                        FieldType::ArrayOf(Box::new(FieldType::Struct("Pt".into()))),
+                    ),
+                    FieldDescriptor::new("payload", FieldType::Bytes),
+                ],
+            ))
+            .build()
+    }
+
+    fn roundtrip(value: &Value, expected: &FieldType) -> Value {
+        let r = registry();
+        let xml = serialize_response("urn:t", "op", "return", value, &r).unwrap();
+        match read_response_xml(&xml, expected, &r).unwrap() {
+            RpcOutcome::Return(v) => v,
+            RpcOutcome::Fault(f) => panic!("unexpected fault {f}"),
+        }
+    }
+
+    #[test]
+    fn scalar_responses_roundtrip() {
+        assert_eq!(roundtrip(&Value::string("hello world"), &FieldType::String), Value::string("hello world"));
+        assert_eq!(roundtrip(&Value::Int(-42), &FieldType::Int), Value::Int(-42));
+        assert_eq!(roundtrip(&Value::Long(1i64 << 40), &FieldType::Long), Value::Long(1i64 << 40));
+        assert_eq!(roundtrip(&Value::Bool(true), &FieldType::Bool), Value::Bool(true));
+        assert_eq!(roundtrip(&Value::Double(2.5), &FieldType::Double), Value::Double(2.5));
+        assert_eq!(roundtrip(&Value::Null, &FieldType::String), Value::Null);
+        assert_eq!(
+            roundtrip(&Value::Bytes(vec![0, 1, 254, 255]), &FieldType::Bytes),
+            Value::Bytes(vec![0, 1, 254, 255])
+        );
+    }
+
+    #[test]
+    fn empty_string_and_whitespace_are_preserved() {
+        assert_eq!(roundtrip(&Value::string(""), &FieldType::String), Value::string(""));
+        assert_eq!(
+            roundtrip(&Value::string("  padded  "), &FieldType::String),
+            Value::string("  padded  ")
+        );
+    }
+
+    #[test]
+    fn struct_responses_roundtrip() {
+        let v = Value::Struct(
+            StructValue::new("Box")
+                .with("label", "b1")
+                .with(
+                    "corners",
+                    vec![
+                        Value::Struct(StructValue::new("Pt").with("x", 1).with("y", 2)),
+                        Value::Struct(StructValue::new("Pt").with("x", 3).with("y", 4)),
+                    ],
+                )
+                .with("payload", vec![9u8, 8, 7]),
+        );
+        assert_eq!(roundtrip(&v, &FieldType::Struct("Box".into())), v);
+    }
+
+    #[test]
+    fn nested_nulls_roundtrip() {
+        let v = Value::Struct(StructValue::new("Box").with("label", Value::Null));
+        assert_eq!(roundtrip(&v, &FieldType::Struct("Box".into())), v);
+    }
+
+    #[test]
+    fn arrays_of_scalars_roundtrip() {
+        let v = Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(roundtrip(&v, &FieldType::ArrayOf(Box::new(FieldType::Int))), v);
+        let empty = Value::Array(vec![]);
+        assert_eq!(roundtrip(&empty, &FieldType::ArrayOf(Box::new(FieldType::Int))), empty);
+    }
+
+    #[test]
+    fn untyped_deserialization_uses_xsi_type() {
+        // Reading with an untyped expectation recovers types from xsi:type.
+        let r = registry();
+        let xml = serialize_response(
+            "urn:t",
+            "op",
+            "return",
+            &Value::Array(vec![Value::Int(7), Value::string("s")]),
+            &r,
+        )
+        .unwrap();
+        // Expected type String is wrong-but-permissive only for scalars;
+        // use the dynamic path by expecting a struct-free "anyType":
+        let out = read_response_xml(&xml, &FieldType::ArrayOf(Box::new(FieldType::String)), &r).unwrap();
+        // With expected=array-of-string, the int lexical "7" is a string.
+        assert_eq!(
+            out.as_return().unwrap(),
+            &Value::Array(vec![Value::string("7"), Value::string("s")])
+        );
+    }
+
+    #[test]
+    fn events_path_equals_xml_path() {
+        let r = registry();
+        let v = Value::Struct(
+            StructValue::new("Box")
+                .with("label", "xyz")
+                .with("corners", vec![Value::Struct(StructValue::new("Pt").with("x", 5).with("y", 6))]),
+        );
+        let expected = FieldType::Struct("Box".into());
+        let xml = serialize_response("urn:t", "op", "return", &v, &r).unwrap();
+        let (from_xml, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
+        let from_events = read_response_events(&events, &expected, &r).unwrap();
+        assert_eq!(from_xml, from_events);
+        assert_eq!(from_xml.as_return().unwrap(), &v);
+        // The recorded sequence is the full document's events.
+        assert!(events.len() > 10);
+    }
+
+    #[test]
+    fn dom_path_equals_sax_path() {
+        let r = registry();
+        let v = Value::Struct(
+            StructValue::new("Box")
+                .with("label", "dom")
+                .with("corners", vec![Value::Struct(StructValue::new("Pt").with("x", 1).with("y", 2))])
+                .with("payload", vec![1u8, 2]),
+        );
+        let expected = FieldType::Struct("Box".into());
+        let xml = serialize_response("urn:t", "op", "return", &v, &r).unwrap();
+        let document = wsrc_xml::Document::parse(&xml).unwrap();
+        let from_dom = read_response_dom(&document, &expected, &r).unwrap();
+        let from_xml = read_response_xml(&xml, &expected, &r).unwrap();
+        assert_eq!(from_dom, from_xml);
+        assert_eq!(from_dom.as_return().unwrap(), &v);
+        // Faults read through the DOM too.
+        let fault_xml = crate::serializer::serialize_fault(
+            &SoapFault::server("dom fault").with_detail("d"),
+        )
+        .unwrap();
+        let fault_doc = wsrc_xml::Document::parse(&fault_xml).unwrap();
+        match read_response_dom(&fault_doc, &expected, &r).unwrap() {
+            RpcOutcome::Fault(f) => assert_eq!(f.string, "dom fault"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_responses_are_outcomes_not_errors() {
+        let r = registry();
+        let fault = SoapFault::server("backend exploded").with_detail("lp0 on fire");
+        let xml = serialize_fault(&fault).unwrap();
+        match read_response_xml(&xml, &FieldType::String, &r).unwrap() {
+            RpcOutcome::Fault(f) => {
+                assert_eq!(f.string, "backend exploded");
+                assert_eq!(f.code, "soapenv:Server");
+                assert_eq!(f.detail.as_deref(), Some("lp0 on fire"));
+            }
+            RpcOutcome::Return(v) => panic!("expected fault, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn header_elements_are_skipped() {
+        let r = registry();
+        let xml = "<soapenv:Envelope xmlns:soapenv=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+                   <soapenv:Header><auth><token>t</token></auth></soapenv:Header>\
+                   <soapenv:Body><opResponse><return xsi:type=\"xsd:string\" xmlns:xsi=\"x\" xmlns:xsd=\"y\">ok</return></opResponse></soapenv:Body>\
+                   </soapenv:Envelope>";
+        let out = read_response_xml(xml, &FieldType::String, &r).unwrap();
+        assert_eq!(out.as_return().unwrap(), &Value::string("ok"));
+    }
+
+    #[test]
+    fn malformed_envelopes_are_rejected() {
+        let r = registry();
+        for xml in [
+            "<notsoap/>",
+            "<soapenv:Envelope xmlns:soapenv=\"e\"><soapenv:Body></soapenv:Body>", // truncated
+            "<Envelope><Wrong/></Envelope>",
+        ] {
+            assert!(
+                read_response_xml(xml, &FieldType::String, &r).is_err(),
+                "expected error for {xml:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn type_mismatches_are_encoding_errors() {
+        let r = registry();
+        let xml = serialize_response("urn:t", "op", "return", &Value::string("not-a-number"), &r)
+            .unwrap();
+        let e = read_response_xml(&xml, &FieldType::Int, &r).unwrap_err();
+        assert!(matches!(e, SoapError::Encoding(_)), "{e}");
+        let e = read_response_xml(&xml, &FieldType::Bool, &r).unwrap_err();
+        assert!(matches!(e, SoapError::Encoding(_)), "{e}");
+    }
+
+    #[test]
+    fn void_responses_return_null() {
+        let r = registry();
+        let xml = "<soapenv:Envelope xmlns:soapenv=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+                   <soapenv:Body><opResponse/></soapenv:Body></soapenv:Envelope>";
+        let out = read_response_xml(xml, &FieldType::String, &r).unwrap();
+        assert_eq!(out.as_return().unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn second_return_element_is_rejected() {
+        let r = registry();
+        let xml = "<Envelope><Body><opResponse>\
+                   <return xsi:type=\"xsd:string\" xmlns:xsi=\"x\" xmlns:xsd=\"y\">a</return>\
+                   <return2>b</return2>\
+                   </opResponse></Body></Envelope>";
+        assert!(read_response_xml(xml, &FieldType::String, &r).is_err());
+    }
+
+    #[test]
+    fn request_parsing_matches_serialization() {
+        let r = registry();
+        let ops = vec![OperationDescriptor::new(
+            "urn:t",
+            "doThing",
+            vec![
+                FieldDescriptor::new("q", FieldType::String),
+                FieldDescriptor::new("max", FieldType::Int),
+                FieldDescriptor::new("flag", FieldType::Bool),
+            ],
+            FieldType::String,
+        )];
+        let req = RpcRequest::new("urn:t", "doThing")
+            .with_param("q", "search terms")
+            .with_param("max", 10)
+            .with_param("flag", false);
+        let xml = serialize_request(&req, &r).unwrap();
+        let parsed = parse_request(&xml, &ops, &r).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_with_struct_param_roundtrips() {
+        let r = registry();
+        let ops = vec![OperationDescriptor::new(
+            "urn:t",
+            "plot",
+            vec![FieldDescriptor::new("at", FieldType::Struct("Pt".into()))],
+            FieldType::String,
+        )];
+        let req = RpcRequest::new("urn:t", "plot")
+            .with_param("at", Value::Struct(StructValue::new("Pt").with("x", 7).with("y", 8)));
+        let xml = serialize_request(&req, &r).unwrap();
+        assert_eq!(parse_request(&xml, &ops, &r).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_operations_and_missing_params_are_rejected() {
+        let r = registry();
+        let ops = vec![OperationDescriptor::new(
+            "urn:t",
+            "doThing",
+            vec![FieldDescriptor::new("q", FieldType::String)],
+            FieldType::String,
+        )];
+        let unknown = serialize_request(&RpcRequest::new("urn:t", "doOther"), &r).unwrap();
+        assert!(parse_request(&unknown, &ops, &r).is_err());
+        let missing = serialize_request(&RpcRequest::new("urn:t", "doThing"), &r).unwrap();
+        assert!(parse_request(&missing, &ops, &r).is_err());
+    }
+
+    #[test]
+    fn garbage_xml_is_rejected_as_xml_error() {
+        let r = registry();
+        let e = read_response_xml("<<<", &FieldType::String, &r).unwrap_err();
+        assert!(matches!(e, SoapError::Xml(_)));
+        assert!(parse_request("<<<", &[], &r).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! SOAP 1.1 envelope constants and recognition helpers.
+
+use wsrc_xml::QName;
+
+/// SOAP 1.1 envelope namespace.
+pub const SOAP_ENV_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+/// SOAP 1.1 encoding namespace (`SOAP-ENC`).
+pub const SOAP_ENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+/// XML Schema datatypes namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// XML Schema instance namespace (`xsi:type`, `xsi:nil`).
+pub const XSI_NS: &str = "http://www.w3.org/2001/XMLSchema-instance";
+
+/// Prefix conventions used by our writer (readers accept any prefix).
+pub const PREFIX_ENV: &str = "soapenv";
+/// Writer prefix for the encoding namespace.
+pub const PREFIX_ENC: &str = "soapenc";
+/// Writer prefix for XML Schema datatypes.
+pub const PREFIX_XSD: &str = "xsd";
+/// Writer prefix for the schema-instance namespace.
+pub const PREFIX_XSI: &str = "xsi";
+/// Writer prefix for the service namespace.
+pub const PREFIX_SERVICE: &str = "ns1";
+
+/// The MIME type of SOAP 1.1 messages.
+pub const CONTENT_TYPE: &str = "text/xml; charset=utf-8";
+
+/// Whether `name` is the envelope's `Envelope` element (any prefix).
+pub fn is_envelope(name: &QName) -> bool {
+    name.local_part() == "Envelope"
+}
+
+/// Whether `name` is the `Body` element (any prefix).
+pub fn is_body(name: &QName) -> bool {
+    name.local_part() == "Body"
+}
+
+/// Whether `name` is the `Header` element (any prefix).
+pub fn is_header(name: &QName) -> bool {
+    name.local_part() == "Header"
+}
+
+/// Whether `name` is the `Fault` element (any prefix).
+pub fn is_fault(name: &QName) -> bool {
+    name.local_part() == "Fault"
+}
+
+/// The conventional response wrapper name for an operation
+/// (`doGoogleSearch` → `doGoogleSearchResponse`).
+pub fn response_wrapper(operation: &str) -> String {
+    format!("{operation}Response")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognition_ignores_prefixes() {
+        assert!(is_envelope(&QName::parse("soapenv:Envelope")));
+        assert!(is_envelope(&QName::parse("SOAP-ENV:Envelope")));
+        assert!(is_envelope(&QName::parse("Envelope")));
+        assert!(!is_envelope(&QName::parse("Body")));
+        assert!(is_body(&QName::parse("s:Body")));
+        assert!(is_header(&QName::parse("s:Header")));
+        assert!(is_fault(&QName::parse("s:Fault")));
+    }
+
+    #[test]
+    fn response_wrapper_convention() {
+        assert_eq!(response_wrapper("doGoogleSearch"), "doGoogleSearchResponse");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the SOAP layer.
+
+use crate::fault::SoapFault;
+use std::error::Error;
+use std::fmt;
+
+/// An error from SOAP encoding or decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoapError {
+    /// The XML was malformed.
+    Xml(wsrc_xml::XmlError),
+    /// The XML was well-formed but not a valid SOAP message for the
+    /// expected shape.
+    Encoding(String),
+    /// The peer returned a SOAP fault.
+    Fault(SoapFault),
+    /// A model-layer problem (unknown type, type mismatch, …).
+    Model(wsrc_model::ModelError),
+}
+
+impl SoapError {
+    /// Convenience constructor for encoding violations.
+    pub fn encoding(msg: impl Into<String>) -> Self {
+        SoapError::Encoding(msg.into())
+    }
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Xml(e) => write!(f, "{e}"),
+            SoapError::Encoding(m) => write!(f, "soap encoding error: {m}"),
+            SoapError::Fault(fault) => write!(f, "soap fault: {fault}"),
+            SoapError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SoapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoapError::Xml(e) => Some(e),
+            SoapError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wsrc_xml::XmlError> for SoapError {
+    fn from(e: wsrc_xml::XmlError) -> Self {
+        SoapError::Xml(e)
+    }
+}
+
+impl From<wsrc_model::ModelError> for SoapError {
+    fn from(e: wsrc_model::ModelError) -> Self {
+        SoapError::Model(e)
+    }
+}
+
+impl From<SoapFault> for SoapError {
+    fn from(f: SoapFault) -> Self {
+        SoapError::Fault(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: SoapError = wsrc_xml::XmlError::new("bad").into();
+        assert!(e.to_string().contains("bad"));
+        let e = SoapError::encoding("missing Body");
+        assert!(e.to_string().contains("missing Body"));
+        let e: SoapError = SoapFault::server("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: SoapError = wsrc_model::ModelError::UnknownType("T".into()).into();
+        assert!(e.to_string().contains("'T'"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<SoapError>();
+    }
+}

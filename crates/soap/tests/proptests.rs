@@ -1,0 +1,137 @@
+//! Property tests: serialize→deserialize is the identity for typed
+//! values, and the SAX-replay path always agrees with the XML-parse path.
+
+use proptest::prelude::*;
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_soap::deserializer::{read_response_events, read_response_xml, read_response_xml_recording};
+use wsrc_soap::rpc::RpcOutcome;
+use wsrc_soap::serializer::serialize_response;
+
+fn registry() -> TypeRegistry {
+    TypeRegistry::builder()
+        .register(TypeDescriptor::new(
+            "Node",
+            vec![
+                FieldDescriptor::new("label", FieldType::String),
+                FieldDescriptor::new("weight", FieldType::Double),
+                FieldDescriptor::new("count", FieldType::Int),
+                FieldDescriptor::new("flag", FieldType::Bool),
+                FieldDescriptor::new("blob", FieldType::Bytes),
+                FieldDescriptor::new(
+                    "children",
+                    FieldType::ArrayOf(Box::new(FieldType::Struct("Node".into()))),
+                ),
+            ],
+        ))
+        .build()
+}
+
+/// A typed value together with its declared type.
+fn arb_typed(depth: u32) -> BoxedStrategy<(Value, FieldType)> {
+    if depth == 0 {
+        arb_scalar().boxed()
+    } else {
+        prop_oneof![
+            arb_scalar(),
+            // Homogeneous arrays.
+            (proptest::collection::vec(arb_typed(0), 0..5)).prop_filter_map(
+                "same type",
+                |pairs| {
+                    let ty = pairs.first().map(|(_, t)| t.clone())?;
+                    if pairs.iter().all(|(_, t)| *t == ty) {
+                        let values = pairs.into_iter().map(|(v, _)| v).collect();
+                        Some((Value::Array(values), FieldType::ArrayOf(Box::new(ty))))
+                    } else {
+                        None
+                    }
+                }
+            ),
+            arb_node(depth).prop_map(|v| (v, FieldType::Struct("Node".into()))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_scalar() -> BoxedStrategy<(Value, FieldType)> {
+    prop_oneof![
+        "[ -~]{0,30}".prop_map(|s| (Value::string(s), FieldType::String)),
+        any::<i32>().prop_map(|i| (Value::Int(i), FieldType::Int)),
+        any::<i64>().prop_map(|l| (Value::Long(l), FieldType::Long)),
+        any::<bool>().prop_map(|b| (Value::Bool(b), FieldType::Bool)),
+        (-1.0e9..1.0e9f64)
+            .prop_map(|d| (Value::Double(if d == 0.0 { 0.0 } else { d }), FieldType::Double)),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|b| (Value::Bytes(b), FieldType::Bytes)),
+        Just((Value::Null, FieldType::String)),
+    ]
+    .boxed()
+}
+
+fn arb_node(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = ("[ -~]{0,16}", any::<i32>(), any::<bool>()).prop_map(|(label, count, flag)| {
+        Value::Struct(
+            StructValue::new("Node")
+                .with("label", label)
+                .with("count", count)
+                .with("flag", flag),
+        )
+    });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, proptest::collection::vec(arb_node(depth - 1), 0..3))
+            .prop_map(|(base, kids)| {
+                let mut s = match base {
+                    Value::Struct(s) => s,
+                    _ => unreachable!(),
+                };
+                s.set("children", Value::Array(kids));
+                Value::Struct(s)
+            })
+            .boxed()
+    }
+}
+
+fn unwrap_return(o: RpcOutcome) -> Value {
+    match o {
+        RpcOutcome::Return(v) => v,
+        RpcOutcome::Fault(f) => panic!("unexpected fault {f}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn typed_roundtrip_is_identity((value, ty) in arb_typed(3)) {
+        let r = registry();
+        let xml = serialize_response("urn:p", "op", "return", &value, &r).unwrap();
+        let back = unwrap_return(read_response_xml(&xml, &ty, &r).unwrap());
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn sax_replay_equals_direct_parse((value, ty) in arb_typed(3)) {
+        let r = registry();
+        let xml = serialize_response("urn:p", "op", "return", &value, &r).unwrap();
+        let (direct, events) = read_response_xml_recording(&xml, &ty, &r).unwrap();
+        let replayed = read_response_events(&events, &ty, &r).unwrap();
+        prop_assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_wellformed_xml(
+        tag in "[a-z]{1,8}", text in "[ -~]{0,30}"
+    ) {
+        let r = registry();
+        let xml = format!("<{tag}>{}</{tag}>", wsrc_xml::escape::escape_text(&text));
+        let _ = read_response_xml(&xml, &FieldType::String, &r);
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(s in "\\PC{0,160}") {
+        let r = registry();
+        let _ = read_response_xml(&s, &FieldType::String, &r);
+    }
+}

@@ -1,0 +1,153 @@
+//! Rust stub generation — the WSDL2Java analog.
+//!
+//! Emits a self-contained Rust module (as source text) with one struct
+//! per complex type, `From`/`TryFrom` conversions to and from
+//! [`wsrc_model::Value`], and a typed service stub with one method per
+//! operation. The output is illustrative of what a build-script step
+//! would write into `OUT_DIR`; the test suite asserts its shape.
+
+use crate::model::{Definitions, TypeRef, XsdType};
+use std::fmt::Write as _;
+
+/// Generates Rust stub source for a service.
+pub fn generate_rust_stub(defs: &Definitions) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "//! Generated from WSDL '{}' (targetNamespace {}). Do not edit.",
+        defs.name, defs.target_namespace
+    );
+    let _ = writeln!(out, "use wsrc_model::value::{{StructValue, Value}};\n");
+
+    for ct in &defs.schema.types {
+        let _ = writeln!(out, "/// Generated from complexType `{}`.", ct.name);
+        let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
+        let _ = writeln!(out, "pub struct {} {{", ct.name);
+        for f in &ct.fields {
+            let _ = writeln!(out, "    pub {}: {},", rust_field_name(&f.name), rust_type(&f.type_ref));
+        }
+        let _ = writeln!(out, "}}\n");
+
+        // Into Value.
+        let _ = writeln!(out, "impl From<{}> for Value {{", ct.name);
+        let _ = writeln!(out, "    fn from(v: {}) -> Value {{", ct.name);
+        let _ = writeln!(out, "        let mut s = StructValue::new(\"{}\");", ct.name);
+        for f in &ct.fields {
+            let field = rust_field_name(&f.name);
+            match &f.type_ref {
+                TypeRef::ArrayOf(_) => {
+                    let _ = writeln!(
+                        out,
+                        "        s.set(\"{}\", Value::Array(v.{field}.into_iter().map(Value::from).collect()));",
+                        f.name
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "        s.set(\"{}\", Value::from(v.{field}));", f.name);
+                }
+            }
+        }
+        let _ = writeln!(out, "        Value::Struct(s)");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "}}\n");
+    }
+
+    // Service stub.
+    let stub = format!("{}Stub", defs.port_type.name.replace("Port", ""));
+    let _ = writeln!(out, "/// Typed stub for service `{}`.", defs.service.name);
+    let _ = writeln!(out, "pub struct {stub}<C> {{ pub call: C }}\n");
+    let _ = writeln!(out, "impl<C: wsrc_client::TypedCall> {stub}<C> {{");
+    for op in &defs.port_type.operations {
+        let input = defs.message(&op.input_message).expect("validated");
+        let mut params = String::new();
+        let mut pushes = String::new();
+        for p in &input.parts {
+            let _ = write!(params, ", {}: {}", rust_field_name(&p.name), rust_type(&p.type_ref));
+            let _ = writeln!(
+                pushes,
+                "        req = req.with_param(\"{}\", Value::from({}));",
+                p.name,
+                rust_field_name(&p.name)
+            );
+        }
+        let _ = writeln!(out, "    pub fn {}(&self{params}) -> Result<Value, C::Error> {{", rust_field_name(&op.name));
+        let _ = writeln!(
+            out,
+            "        let mut req = wsrc_soap::RpcRequest::new(\"{}\", \"{}\");",
+            defs.target_namespace, op.name
+        );
+        let _ = write!(out, "{pushes}");
+        let _ = writeln!(out, "        self.call.invoke(req)");
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn rust_type(r: &TypeRef) -> String {
+    match r {
+        TypeRef::Xsd(XsdType::String) => "String".into(),
+        TypeRef::Xsd(XsdType::Int) => "i32".into(),
+        TypeRef::Xsd(XsdType::Long) => "i64".into(),
+        TypeRef::Xsd(XsdType::Double) => "f64".into(),
+        TypeRef::Xsd(XsdType::Boolean) => "bool".into(),
+        TypeRef::Xsd(XsdType::Base64Binary) => "Vec<u8>".into(),
+        TypeRef::Complex(n) => n.clone(),
+        TypeRef::ArrayOf(inner) => format!("Vec<{}>", rust_type(inner)),
+    }
+}
+
+/// Converts camelCase WSDL names to snake_case Rust names.
+fn rust_field_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::tests_fixture;
+
+    #[test]
+    fn generates_structs_and_stub() {
+        let src = generate_rust_stub(&tests_fixture());
+        for needle in [
+            "pub struct Hit {",
+            "pub title: String,",
+            "pub score: f64,",
+            "pub struct SearchResult {",
+            "pub hits: Vec<Hit>,",
+            "impl From<Hit> for Value {",
+            "pub struct TinySearchStub<C>",
+            "pub fn do_search(&self, q: String, max: i32)",
+            "RpcRequest::new(\"urn:TinySearch\", \"doSearch\")",
+        ] {
+            assert!(src.contains(needle), "missing {needle:?} in generated code:\n{src}");
+        }
+    }
+
+    #[test]
+    fn name_conversion() {
+        assert_eq!(rust_field_name("doGoogleSearch"), "do_google_search");
+        assert_eq!(rust_field_name("snippet"), "snippet");
+        assert_eq!(rust_field_name("URL"), "u_r_l");
+    }
+
+    #[test]
+    fn generated_code_is_balanced() {
+        let src = generate_rust_stub(&tests_fixture());
+        let opens = src.matches('{').count();
+        let closes = src.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in generated code");
+    }
+}

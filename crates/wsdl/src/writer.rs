@@ -1,0 +1,173 @@
+//! Emits a [`Definitions`] as WSDL 1.1 XML.
+
+use crate::model::*;
+use wsrc_xml::{XmlError, XmlWriter};
+
+const WSDL_NS: &str = "http://schemas.xmlsoap.org/wsdl/";
+const SOAP_NS: &str = "http://schemas.xmlsoap.org/wsdl/soap/";
+const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+const SOAP_ENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+
+/// Serializes a WSDL document.
+///
+/// # Errors
+///
+/// Propagates writer errors (indicating invalid names rather than I/O).
+pub fn write_wsdl(defs: &Definitions) -> Result<String, XmlError> {
+    let mut w = XmlWriter::with_declaration().indented(1);
+    w.start("wsdl:definitions")?;
+    w.attr("name", &defs.name)?;
+    w.attr("targetNamespace", &defs.target_namespace)?;
+    w.namespace("wsdl", WSDL_NS)?;
+    w.namespace("soap", SOAP_NS)?;
+    w.namespace("xsd", XSD_NS)?;
+    w.namespace("tns", &defs.target_namespace)?;
+
+    // <types> with one inline schema.
+    w.start("wsdl:types")?;
+    w.start("xsd:schema")?;
+    w.attr("targetNamespace", &defs.schema.target_namespace)?;
+    for ct in &defs.schema.types {
+        w.start("xsd:complexType")?;
+        w.attr("name", &ct.name)?;
+        w.start("xsd:sequence")?;
+        for field in &ct.fields {
+            w.start("xsd:element")?;
+            w.attr("name", &field.name)?;
+            match &field.type_ref {
+                TypeRef::ArrayOf(inner) => {
+                    w.attr("type", type_attr(inner))?;
+                    w.attr("minOccurs", "0")?;
+                    w.attr("maxOccurs", "unbounded")?;
+                }
+                other => {
+                    w.attr("type", type_attr(other))?;
+                }
+            }
+            w.end()?;
+        }
+        w.end()?; // sequence
+        w.end()?; // complexType
+    }
+    w.end()?; // schema
+    w.end()?; // types
+
+    for msg in &defs.messages {
+        w.start("wsdl:message")?;
+        w.attr("name", &msg.name)?;
+        for part in &msg.parts {
+            w.start("wsdl:part")?;
+            w.attr("name", &part.name)?;
+            match &part.type_ref {
+                TypeRef::ArrayOf(inner) => {
+                    // Arrays at part level use the SOAP-ENC convention.
+                    w.attr("type", format!("{}[]", type_attr(inner)))?;
+                }
+                other => {
+                    w.attr("type", type_attr(other))?;
+                }
+            }
+            w.end()?;
+        }
+        w.end()?;
+    }
+
+    w.start("wsdl:portType")?;
+    w.attr("name", &defs.port_type.name)?;
+    for op in &defs.port_type.operations {
+        w.start("wsdl:operation")?;
+        w.attr("name", &op.name)?;
+        w.start("wsdl:input")?;
+        w.attr("message", format!("tns:{}", op.input_message))?;
+        w.end()?;
+        w.start("wsdl:output")?;
+        w.attr("message", format!("tns:{}", op.output_message))?;
+        w.end()?;
+        w.end()?;
+    }
+    w.end()?; // portType
+
+    // A single rpc/encoded SOAP binding.
+    w.start("wsdl:binding")?;
+    w.attr("name", format!("{}Binding", defs.port_type.name))?;
+    w.attr("type", format!("tns:{}", defs.port_type.name))?;
+    w.start("soap:binding")?;
+    w.attr("style", "rpc")?;
+    w.attr("transport", "http://schemas.xmlsoap.org/soap/http")?;
+    w.end()?;
+    for op in &defs.port_type.operations {
+        w.start("wsdl:operation")?;
+        w.attr("name", &op.name)?;
+        w.start("soap:operation")?;
+        w.attr("soapAction", format!("urn:{}", op.name))?;
+        w.end()?;
+        for io in ["wsdl:input", "wsdl:output"] {
+            w.start(io)?;
+            w.start("soap:body")?;
+            w.attr("use", "encoded")?;
+            w.attr("namespace", &defs.target_namespace)?;
+            w.attr("encodingStyle", SOAP_ENC_NS)?;
+            w.end()?;
+            w.end()?;
+        }
+        w.end()?;
+    }
+    w.end()?; // binding
+
+    w.start("wsdl:service")?;
+    w.attr("name", &defs.service.name)?;
+    w.start("wsdl:port")?;
+    w.attr("name", &defs.service.port_name)?;
+    w.attr("binding", format!("tns:{}Binding", defs.port_type.name))?;
+    w.start("soap:address")?;
+    w.attr("location", &defs.service.endpoint_url)?;
+    w.end()?;
+    w.end()?; // port
+    w.end()?; // service
+
+    w.end()?; // definitions
+    w.finish()
+}
+
+fn type_attr(r: &TypeRef) -> String {
+    match r {
+        TypeRef::Xsd(x) => format!("xsd:{}", x.name()),
+        TypeRef::Complex(n) => format!("tns:{n}"),
+        TypeRef::ArrayOf(inner) => format!("{}[]", type_attr(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Definitions {
+        // Reuse the model test fixture through a local copy to keep the
+        // fixture private to each module's tests.
+        crate::parser::tests_fixture()
+    }
+
+    #[test]
+    fn output_is_wellformed_xml() {
+        let xml = write_wsdl(&tiny()).unwrap();
+        assert!(wsrc_xml::Document::parse(&xml).is_ok());
+    }
+
+    #[test]
+    fn output_contains_every_section() {
+        let xml = write_wsdl(&tiny()).unwrap();
+        for needle in [
+            "<wsdl:definitions",
+            "<wsdl:types>",
+            "<xsd:complexType name=\"Hit\">",
+            "maxOccurs=\"unbounded\"",
+            "<wsdl:message name=\"doSearchRequest\">",
+            "<wsdl:portType name=\"TinySearchPort\">",
+            "<soap:binding style=\"rpc\"",
+            "soapAction=\"urn:doSearch\"",
+            "<soap:address location=\"http://tiny.test/soap\"/>",
+        ] {
+            assert!(xml.contains(needle), "missing {needle} in:\n{xml}");
+        }
+    }
+}

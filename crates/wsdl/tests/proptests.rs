@@ -1,0 +1,136 @@
+//! Property tests: arbitrary well-formed WSDL documents survive
+//! write→parse round-trips and compile cleanly.
+
+use proptest::prelude::*;
+use wsrc_wsdl::{
+    compile, parser, writer, ComplexType, CompileOptions, Definitions, Message, Part, PortType,
+    Schema, SchemaField, Service, TypeRef, WsdlOperation, XsdType,
+};
+
+fn name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}"
+}
+
+fn xsd_type() -> impl Strategy<Value = XsdType> {
+    proptest::sample::select(vec![
+        XsdType::String,
+        XsdType::Int,
+        XsdType::Long,
+        XsdType::Double,
+        XsdType::Boolean,
+        XsdType::Base64Binary,
+    ])
+}
+
+prop_compose! {
+    fn arb_definitions()(
+        doc_name in name(),
+        type_names in proptest::collection::hash_set(name(), 1..4),
+        field_specs in proptest::collection::vec((name(), xsd_type(), any::<bool>()), 1..5),
+        op_names in proptest::collection::hash_set(name(), 1..4),
+        param_specs in proptest::collection::vec((name(), xsd_type()), 0..4),
+        ret in xsd_type(),
+        use_complex_return in any::<bool>(),
+    ) -> Definitions {
+        let type_names: Vec<String> = type_names.into_iter().collect();
+        // Build complex types; later types may reference earlier ones.
+        let mut types = Vec::new();
+        for (i, tn) in type_names.iter().enumerate() {
+            let mut fields: Vec<SchemaField> = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for (fname, ftype, as_array) in &field_specs {
+                if !used.insert(fname.clone()) {
+                    continue;
+                }
+                let base = TypeRef::Xsd(*ftype);
+                fields.push(SchemaField::new(
+                    fname.clone(),
+                    if *as_array { base.array() } else { base },
+                ));
+            }
+            // Reference the previous type to exercise complex refs.
+            if i > 0 && used.insert("prev".to_string()) {
+                fields.push(SchemaField::new("prev", TypeRef::Complex(type_names[i - 1].clone())));
+            }
+            types.push(ComplexType::new(tn.clone(), fields));
+        }
+        let mut messages = Vec::new();
+        let mut operations = Vec::new();
+        for op in &op_names {
+            let input_name = format!("{op}In");
+            let output_name = format!("{op}Out");
+            let mut parts: Vec<Part> = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for (pname, ptype) in &param_specs {
+                if used.insert(pname.clone()) {
+                    parts.push(Part::new(pname.clone(), TypeRef::Xsd(*ptype)));
+                }
+            }
+            messages.push(Message { name: input_name.clone(), parts });
+            let return_ref = if use_complex_return {
+                TypeRef::Complex(type_names[0].clone())
+            } else {
+                TypeRef::Xsd(ret)
+            };
+            messages.push(Message {
+                name: output_name.clone(),
+                parts: vec![Part::new("return", return_ref)],
+            });
+            operations.push(WsdlOperation {
+                name: op.clone(),
+                input_message: input_name,
+                output_message: output_name,
+            });
+        }
+        Definitions {
+            name: doc_name.clone(),
+            target_namespace: format!("urn:{doc_name}"),
+            schema: Schema { target_namespace: format!("urn:{doc_name}"), types },
+            messages,
+            port_type: PortType { name: format!("{doc_name}Port"), operations },
+            service: Service {
+                name: format!("{doc_name}Service"),
+                port_name: format!("{doc_name}Port"),
+                endpoint_url: format!("http://{}.test/soap", doc_name.to_lowercase()),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_parse_roundtrip_is_identity(defs in arb_definitions()) {
+        prop_assume!(defs.validate().is_ok());
+        let xml = writer::write_wsdl(&defs).unwrap();
+        let parsed = parser::parse_wsdl(&xml).unwrap();
+        prop_assert_eq!(parsed, defs);
+    }
+
+    #[test]
+    fn generated_documents_compile(defs in arb_definitions()) {
+        prop_assume!(defs.validate().is_ok());
+        let compiled = compile(&defs, CompileOptions::default()).unwrap();
+        prop_assert_eq!(compiled.operations.len(), defs.port_type.operations.len());
+        prop_assert_eq!(compiled.registry.len(), defs.schema.types.len());
+        // Every operation's parameters carry through by name and count.
+        for op in &defs.port_type.operations {
+            let c = compiled.operation(&op.name).unwrap();
+            let input = defs.message(&op.input_message).unwrap();
+            prop_assert_eq!(c.params.len(), input.parts.len());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let _ = parser::parse_wsdl(&s);
+    }
+
+    #[test]
+    fn codegen_is_balanced(defs in arb_definitions()) {
+        prop_assume!(defs.validate().is_ok());
+        let src = wsrc_wsdl::codegen::generate_rust_stub(&defs);
+        prop_assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+}

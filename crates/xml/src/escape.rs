@@ -1,0 +1,175 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use crate::error::XmlError;
+use std::borrow::Cow;
+
+/// Escapes text for use as element character data.
+///
+/// Replaces `&`, `<` and `>` with entity references. Returns a borrowed
+/// `Cow` when no replacement is needed, avoiding allocation on the common
+/// path.
+///
+/// ```
+/// assert_eq!(wsrc_xml::escape::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes text for use inside a double-quoted attribute value.
+///
+/// In addition to the character-data escapes this replaces `"` so the value
+/// can always be emitted inside `"`-quoted attributes, and escapes tabs and
+/// newlines so attribute values survive round-trips without whitespace
+/// normalization loss.
+pub fn escape_attribute(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn needs_escape(c: char, attr: bool) -> bool {
+    match c {
+        '&' | '<' | '>' => true,
+        '"' | '\t' | '\n' | '\r' => attr,
+        _ => false,
+    }
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let first = match s.char_indices().find(|&(_, c)| needs_escape(c, attr)) {
+        Some((i, _)) => i,
+        None => return Cow::Borrowed(s),
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Expands entity and character references in raw XML text.
+///
+/// Supports the five predefined entities (`&amp;` `&lt;` `&gt;` `&quot;`
+/// `&apos;`) and decimal/hexadecimal character references.
+///
+/// # Errors
+///
+/// Returns an error for unterminated references, unknown entity names and
+/// character references that do not denote a valid Unicode scalar value.
+pub fn unescape(s: &str) -> Result<Cow<'_, str>, XmlError> {
+    let first = match s.find('&') {
+        Some(i) => i,
+        None => return Ok(Cow::Borrowed(s)),
+    };
+    let mut out = String::with_capacity(s.len());
+    out.push_str(&s[..first]);
+    let mut rest = &s[first..];
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| XmlError::new("unterminated entity reference"))?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::new(format!("invalid hex character reference '&{name};'"))
+                })?;
+                out.push(char_for(code, name)?);
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(format!("invalid character reference '&{name};'"))
+                })?;
+                out.push(char_for(code, name)?);
+            }
+            _ => {
+                return Err(XmlError::new(format!("unknown entity '&{name};'")));
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn char_for(code: u32, name: &str) -> Result<char, XmlError> {
+    char::from_u32(code)
+        .ok_or_else(|| XmlError::new(format!("character reference '&{name};' is not a valid char")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attribute("hello"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn text_escaping_covers_markup_characters() {
+        assert_eq!(escape_text("<a&b>"), "&lt;a&amp;b&gt;");
+    }
+
+    #[test]
+    fn attribute_escaping_covers_quote_and_whitespace() {
+        assert_eq!(escape_attribute("a\"b"), "a&quot;b");
+        assert_eq!(escape_attribute("a\nb\tc\rd"), "a&#10;b&#9;c&#13;d");
+    }
+
+    #[test]
+    fn text_escaping_leaves_quotes_alone() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;").unwrap(), "<>&\"'");
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("snowman &#x2603;!").unwrap(), "snowman \u{2603}!");
+    }
+
+    #[test]
+    fn unescape_rejects_bad_references() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&#1114112;").is_err()); // above char::MAX
+        assert!(unescape("&amp").is_err()); // unterminated
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let original = "mixed <tags> & \"quotes\" and 'apostrophes'";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn roundtrip_attribute() {
+        let original = "line1\nline2\ttabbed \"quoted\" <&>";
+        let escaped = escape_attribute(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+}

@@ -1,0 +1,293 @@
+//! SAX-style event model and the recordable event sequence.
+//!
+//! The paper's first optimization caches the "post-parsing representation":
+//! the sequence of SAX events a parser would deliver for a response
+//! document. [`SaxEventSequence`] is that representation — it can be
+//! recorded once and replayed into any [`crate::sax::ContentHandler`]
+//! without re-parsing the XML text.
+
+use crate::name::QName;
+use std::fmt;
+
+/// An attribute as reported on a start-element event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name, possibly prefixed; includes `xmlns`/`xmlns:p`
+    /// declarations so consumers can maintain namespace scopes.
+    pub name: QName,
+    /// The unescaped attribute value.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute { name: QName::parse(&name.into()), value: value.into() }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}=\"{}\"", self.name, crate::escape::escape_attribute(&self.value))
+    }
+}
+
+/// One parsing event, mirroring the SAX `ContentHandler` callbacks the
+/// paper's Table 4 illustrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaxEvent {
+    /// Document begins.
+    StartDocument,
+    /// Document ends.
+    EndDocument,
+    /// `<name attr="…">` — attributes include namespace declarations.
+    StartElement {
+        /// Element name as written (prefix preserved).
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` or the implicit close of `<name/>`.
+    EndElement {
+        /// Element name as written.
+        name: QName,
+    },
+    /// Character data with entities already expanded. Adjacent runs may be
+    /// reported as a single event.
+    Characters(String),
+    /// `<!-- … -->`.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// Everything after the target, whitespace-trimmed on the left.
+        data: String,
+    },
+}
+
+impl SaxEvent {
+    /// Short label used by `Display` and the paper-style Table 4 printout.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SaxEvent::StartDocument => "start document",
+            SaxEvent::EndDocument => "end document",
+            SaxEvent::StartElement { .. } => "start element",
+            SaxEvent::EndElement { .. } => "end element",
+            SaxEvent::Characters(_) => "characters",
+            SaxEvent::Comment(_) => "comment",
+            SaxEvent::ProcessingInstruction { .. } => "processing instruction",
+        }
+    }
+
+    /// Approximate retained heap + inline size in bytes of this event.
+    ///
+    /// Used for the paper's Table 9 style memory accounting of cached SAX
+    /// sequences. Sizes are estimates of live bytes, not allocator-rounded.
+    pub fn approximate_size(&self) -> usize {
+        let base = std::mem::size_of::<SaxEvent>();
+        match self {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => base,
+            SaxEvent::StartElement { name, attributes } => {
+                base + qname_heap(name)
+                    + attributes
+                        .iter()
+                        .map(|a| {
+                            std::mem::size_of::<Attribute>() + qname_heap(&a.name) + a.value.len()
+                        })
+                        .sum::<usize>()
+            }
+            SaxEvent::EndElement { name } => base + qname_heap(name),
+            SaxEvent::Characters(s) | SaxEvent::Comment(s) => base + s.len(),
+            SaxEvent::ProcessingInstruction { target, data } => base + target.len() + data.len(),
+        }
+    }
+}
+
+fn qname_heap(q: &QName) -> usize {
+    q.prefix().len() + q.local_part().len()
+}
+
+impl fmt::Display for SaxEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => f.write_str(self.kind()),
+            SaxEvent::StartElement { name, .. } => write!(f, "start element: {name}"),
+            SaxEvent::EndElement { name } => write!(f, "end element: {name}"),
+            SaxEvent::Characters(s) => write!(f, "characters: {s}"),
+            SaxEvent::Comment(s) => write!(f, "comment: {s}"),
+            SaxEvent::ProcessingInstruction { target, data } => {
+                write!(f, "processing instruction: {target} {data}")
+            }
+        }
+    }
+}
+
+/// A recorded sequence of SAX events — the paper's cached "SAX events
+/// sequence" value representation.
+///
+/// ```
+/// use wsrc_xml::reader::XmlReader;
+/// # fn main() -> Result<(), wsrc_xml::XmlError> {
+/// let seq = XmlReader::new("<doc><para>Hello, world!</para></doc>")
+///     .read_sequence()?;
+/// assert_eq!(seq.len(), 7); // matches the paper's Table 4
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SaxEventSequence {
+    events: Vec<SaxEvent>,
+}
+
+impl SaxEventSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        SaxEventSequence::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: SaxEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[SaxEvent] {
+        &self.events
+    }
+
+    /// Iterates over the recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, SaxEvent> {
+        self.events.iter()
+    }
+
+    /// Replays the recorded events into a handler, exactly as a parser
+    /// would have delivered them. This is the cache-hit path for the SAX
+    /// representation: no XML parsing happens.
+    pub fn replay<H: crate::sax::ContentHandler>(&self, handler: &mut H) -> Result<(), H::Error> {
+        for event in &self.events {
+            crate::sax::dispatch(handler, event)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate retained size in bytes (for Table 9 style accounting).
+    pub fn approximate_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.events.iter().map(SaxEvent::approximate_size).sum::<usize>()
+    }
+}
+
+impl FromIterator<SaxEvent> for SaxEventSequence {
+    fn from_iter<I: IntoIterator<Item = SaxEvent>>(iter: I) -> Self {
+        SaxEventSequence { events: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<SaxEvent> for SaxEventSequence {
+    fn extend<I: IntoIterator<Item = SaxEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl From<Vec<SaxEvent>> for SaxEventSequence {
+    fn from(events: Vec<SaxEvent>) -> Self {
+        SaxEventSequence { events }
+    }
+}
+
+impl IntoIterator for SaxEventSequence {
+    type Item = SaxEvent;
+    type IntoIter = std::vec::IntoIter<SaxEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SaxEventSequence {
+    type Item = &'a SaxEvent;
+    type IntoIter = std::slice::Iter<'a, SaxEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SaxEventSequence {
+        vec![
+            SaxEvent::StartDocument,
+            SaxEvent::StartElement { name: QName::local("doc"), attributes: vec![] },
+            SaxEvent::Characters("hi".into()),
+            SaxEvent::EndElement { name: QName::local("doc") },
+            SaxEvent::EndDocument,
+        ]
+        .into()
+    }
+
+    #[test]
+    fn display_matches_paper_table4_style() {
+        assert_eq!(SaxEvent::StartDocument.to_string(), "start document");
+        assert_eq!(
+            SaxEvent::StartElement { name: QName::local("para"), attributes: vec![] }.to_string(),
+            "start element: para"
+        );
+        assert_eq!(
+            SaxEvent::Characters("Hello, world!".into()).to_string(),
+            "characters: Hello, world!"
+        );
+        assert_eq!(
+            SaxEvent::EndElement { name: QName::local("para") }.to_string(),
+            "end element: para"
+        );
+        assert_eq!(SaxEvent::EndDocument.to_string(), "end document");
+    }
+
+    #[test]
+    fn sequence_collects_and_iterates_in_order() {
+        let seq = sample();
+        assert_eq!(seq.len(), 5);
+        assert!(!seq.is_empty());
+        let kinds: Vec<_> = seq.iter().map(SaxEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            ["start document", "start element", "characters", "end element", "end document"]
+        );
+    }
+
+    #[test]
+    fn size_accounts_for_strings() {
+        let small = SaxEvent::Characters("a".into()).approximate_size();
+        let big = SaxEvent::Characters("a".repeat(100)).approximate_size();
+        assert_eq!(big - small, 99);
+    }
+
+    #[test]
+    fn size_accounts_for_attributes() {
+        let bare = SaxEvent::StartElement { name: QName::local("e"), attributes: vec![] }
+            .approximate_size();
+        let with_attr = SaxEvent::StartElement {
+            name: QName::local("e"),
+            attributes: vec![Attribute::new("href", "value")],
+        }
+        .approximate_size();
+        assert!(with_attr > bare + "href".len() + "value".len());
+    }
+
+    #[test]
+    fn attribute_display_escapes_value() {
+        let a = Attribute::new("t", "a\"b");
+        assert_eq!(a.to_string(), "t=\"a&quot;b\"");
+    }
+}

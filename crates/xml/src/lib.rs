@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! XML substrate for the wsrcache project.
+//!
+//! This crate provides everything the SOAP layer needs from XML, built from
+//! scratch: text escaping, qualified names and namespace handling, a
+//! streaming [`writer::XmlWriter`], a pull [`reader::XmlReader`] that emits
+//! [`event::SaxEvent`]s, a recordable/replayable [`event::SaxEventSequence`]
+//! (the paper's "SAX events sequence" cache representation), and a small
+//! [`dom`] tree.
+//!
+//! # Example
+//!
+//! ```
+//! use wsrc_xml::reader::XmlReader;
+//! use wsrc_xml::event::SaxEvent;
+//!
+//! # fn main() -> Result<(), wsrc_xml::error::XmlError> {
+//! let events = XmlReader::new("<doc><para>Hello, world!</para></doc>").read_all()?;
+//! assert!(matches!(events.first(), Some(SaxEvent::StartDocument)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod event;
+pub mod name;
+pub mod reader;
+pub mod sax;
+pub mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::XmlError;
+pub use event::{Attribute, SaxEvent, SaxEventSequence};
+pub use name::{NamespaceContext, QName};
+pub use reader::XmlReader;
+pub use writer::XmlWriter;

@@ -1,0 +1,647 @@
+//! A hand-written, non-validating pull parser producing SAX events.
+//!
+//! Supported: elements, attributes (single- or double-quoted), character
+//! data, CDATA sections, comments, processing instructions, the XML
+//! declaration, predefined entities and character references, and
+//! well-formedness checks (tag balance, single root element, attribute
+//! uniqueness).
+//!
+//! Not supported (rejected with an error, as documented in DESIGN.md):
+//! DTDs / `<!DOCTYPE …>` — SOAP explicitly forbids them.
+
+use crate::error::XmlError;
+use crate::escape::unescape;
+use crate::event::{Attribute, SaxEvent, SaxEventSequence};
+use crate::name::QName;
+use crate::sax::ContentHandler;
+
+/// A streaming XML pull parser.
+///
+/// Call [`next_event`](XmlReader::next_event) until it returns
+/// `Ok(None)`, or use the convenience methods [`read_all`](XmlReader::read_all),
+/// [`read_sequence`](XmlReader::read_sequence) and
+/// [`parse_into`](XmlReader::parse_into).
+///
+/// ```
+/// use wsrc_xml::{XmlReader, SaxEvent};
+/// # fn main() -> Result<(), wsrc_xml::XmlError> {
+/// let mut reader = XmlReader::new("<greet who='world'/>");
+/// while let Some(event) = reader.next_event()? {
+///     if let SaxEvent::StartElement { name, attributes } = event {
+///         assert_eq!(name.local_part(), "greet");
+///         assert_eq!(attributes[0].value, "world");
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct XmlReader<'x> {
+    input: &'x str,
+    pos: usize,
+    state: State,
+    open_elements: Vec<QName>,
+    seen_root: bool,
+    pending_end: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Start,
+    InDocument,
+    Done,
+}
+
+impl<'x> XmlReader<'x> {
+    /// Creates a parser over a complete document held in memory.
+    pub fn new(input: &'x str) -> Self {
+        XmlReader {
+            input,
+            pos: 0,
+            state: State::Start,
+            open_elements: Vec::new(),
+            seen_root: false,
+            pending_end: false,
+        }
+    }
+
+    /// Parses the whole document, returning every event in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or well-formedness error encountered.
+    pub fn read_all(mut self) -> Result<Vec<SaxEvent>, XmlError> {
+        let mut events = Vec::new();
+        while let Some(e) = self.next_event()? {
+            events.push(e);
+        }
+        Ok(events)
+    }
+
+    /// Parses the whole document into a [`SaxEventSequence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or well-formedness error encountered.
+    pub fn read_sequence(self) -> Result<SaxEventSequence, XmlError> {
+        Ok(self.read_all()?.into())
+    }
+
+    /// Parses the document, pushing events into `handler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Parse` for XML problems and `Handler` when the handler
+    /// rejects an event.
+    pub fn parse_into<H: ContentHandler>(mut self, handler: &mut H) -> Result<(), ParseIntoError<H::Error>> {
+        while let Some(event) = self.next_event().map_err(ParseIntoError::Parse)? {
+            crate::sax::dispatch(handler, &event).map_err(ParseIntoError::Handler)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the next event, or `None` once `EndDocument` was delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`XmlError`] on malformed input.
+    pub fn next_event(&mut self) -> Result<Option<SaxEvent>, XmlError> {
+        // Synthesized end-element for `<empty/>` takes priority.
+        if self.pending_end {
+            self.pending_end = false;
+            let name = self
+                .open_elements
+                .pop()
+                .expect("pending end implies an open element");
+            return Ok(Some(SaxEvent::EndElement { name }));
+        }
+        match self.state {
+            State::Start => {
+                self.state = State::InDocument;
+                return Ok(Some(SaxEvent::StartDocument));
+            }
+            State::Done => return Ok(None),
+            State::InDocument => {}
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                return self.finish_document();
+            }
+            let rest = &self.input[self.pos..];
+            if let Some(text_end) = rest.find('<') {
+                if text_end > 0 {
+                    let raw = &rest[..text_end];
+                    self.pos += text_end;
+                    if self.open_elements.is_empty() {
+                        if !raw.trim().is_empty() {
+                            return Err(self.err("character data outside the root element"));
+                        }
+                        continue;
+                    }
+                    let text = unescape(raw).map_err(|e| self.err(e.message()))?;
+                    return Ok(Some(SaxEvent::Characters(text.into_owned())));
+                }
+                // rest starts with '<'
+                return self.read_markup();
+            } else {
+                // trailing text with no more markup
+                if !rest.trim().is_empty() {
+                    return Err(self.err("character data after the root element"));
+                }
+                self.pos = self.input.len();
+                return self.finish_document();
+            }
+        }
+    }
+
+    fn finish_document(&mut self) -> Result<Option<SaxEvent>, XmlError> {
+        if let Some(open) = self.open_elements.last() {
+            return Err(self.err(format!("unexpected end of input; <{open}> is still open")));
+        }
+        if !self.seen_root {
+            return Err(self.err("document has no root element"));
+        }
+        self.state = State::Done;
+        Ok(Some(SaxEvent::EndDocument))
+    }
+
+    fn read_markup(&mut self) -> Result<Option<SaxEvent>, XmlError> {
+        let rest = &self.input[self.pos..];
+        debug_assert!(rest.starts_with('<'));
+        if rest.starts_with("<!--") {
+            return self.read_comment().map(Some);
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.read_cdata().map(Some);
+        }
+        if rest.starts_with("<!DOCTYPE") || rest.starts_with("<!doctype") {
+            return Err(self.err("DTDs are not supported (SOAP forbids them)"));
+        }
+        if rest.starts_with("<!") {
+            return Err(self.err("unsupported markup declaration"));
+        }
+        if rest.starts_with("<?") {
+            return self.read_pi();
+        }
+        if rest.starts_with("</") {
+            return self.read_end_tag().map(Some);
+        }
+        self.read_start_tag().map(Some)
+    }
+
+    fn read_comment(&mut self) -> Result<SaxEvent, XmlError> {
+        let body_start = self.pos + 4;
+        let rest = &self.input[body_start..];
+        let end = rest
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let body = &rest[..end];
+        if body.contains("--") {
+            return Err(self.err("'--' is not allowed inside comments"));
+        }
+        self.pos = body_start + end + 3;
+        Ok(SaxEvent::Comment(body.to_string()))
+    }
+
+    fn read_cdata(&mut self) -> Result<SaxEvent, XmlError> {
+        if self.open_elements.is_empty() {
+            return Err(self.err("CDATA section outside the root element"));
+        }
+        let body_start = self.pos + "<![CDATA[".len();
+        let rest = &self.input[body_start..];
+        let end = rest
+            .find("]]>")
+            .ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let body = rest[..end].to_string();
+        self.pos = body_start + end + 3;
+        Ok(SaxEvent::Characters(body))
+    }
+
+    fn read_pi(&mut self) -> Result<Option<SaxEvent>, XmlError> {
+        let body_start = self.pos + 2;
+        let rest = &self.input[body_start..];
+        let end = rest
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let body = &rest[..end];
+        self.pos = body_start + end + 2;
+        let (target, data) = match body.find(|c: char| c.is_ascii_whitespace()) {
+            Some(i) => (&body[..i], body[i..].trim_start()),
+            None => (body, ""),
+        };
+        if target.is_empty() {
+            return Err(self.err("processing instruction without a target"));
+        }
+        if target.eq_ignore_ascii_case("xml") {
+            // The XML declaration is consumed silently (it is not a PI event
+            // in SAX); it may only appear at the very start.
+            if body_start != 2 {
+                return Err(self.err("XML declaration is only allowed at the start of the document"));
+            }
+            return self.next_event();
+        }
+        Ok(Some(SaxEvent::ProcessingInstruction {
+            target: target.to_string(),
+            data: data.to_string(),
+        }))
+    }
+
+    fn read_end_tag(&mut self) -> Result<SaxEvent, XmlError> {
+        let name_start = self.pos + 2;
+        let bytes = self.input.as_bytes();
+        let mut i = name_start;
+        while i < bytes.len() && !matches!(bytes[i], b'>' | b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        let name_text = &self.input[name_start..i];
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'>' {
+            return Err(self.err("malformed end tag"));
+        }
+        let name = self.check_name(name_text)?;
+        self.pos = i + 1;
+        match self.open_elements.pop() {
+            Some(open) if open == name => Ok(SaxEvent::EndElement { name }),
+            Some(open) => Err(self.err(format!("mismatched end tag </{name}>; expected </{open}>"))),
+            None => Err(self.err(format!("end tag </{name}> with no open element"))),
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<SaxEvent, XmlError> {
+        let bytes = self.input.as_bytes();
+        let name_start = self.pos + 1;
+        let mut i = name_start;
+        while i < bytes.len() && !matches!(bytes[i], b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        if i == name_start {
+            return Err(self.err("expected element name after '<'"));
+        }
+        let name = self.check_name(&self.input[name_start..i])?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(self.err(format!("unterminated start tag <{name}>")));
+            }
+            match bytes[i] {
+                b'>' => {
+                    i += 1;
+                    if self.open_elements.is_empty() {
+                        if self.seen_root {
+                            return Err(self.err("multiple root elements"));
+                        }
+                        self.seen_root = true;
+                    }
+                    self.open_elements.push(name.clone());
+                    self.pos = i;
+                    return Ok(SaxEvent::StartElement { name, attributes });
+                }
+                b'/' => {
+                    if i + 1 >= bytes.len() || bytes[i + 1] != b'>' {
+                        return Err(self.err("expected '>' after '/' in empty-element tag"));
+                    }
+                    if self.open_elements.is_empty() {
+                        if self.seen_root {
+                            return Err(self.err("multiple root elements"));
+                        }
+                        self.seen_root = true;
+                    }
+                    // Deliver the start event now and synthesize the end
+                    // event on the next call via the open-elements stack
+                    // trick: we record position of a pending end element.
+                    self.pos = i + 2;
+                    self.open_elements.push(name.clone());
+                    self.pending_end = true;
+                    return Ok(SaxEvent::StartElement { name, attributes });
+                }
+                _ => {
+                    let (attr, next) = self.read_attribute(i, &name)?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(self.err(format!(
+                            "duplicate attribute '{}' on <{name}>",
+                            attr.name
+                        )));
+                    }
+                    attributes.push(attr);
+                    i = next;
+                }
+            }
+        }
+    }
+
+    fn read_attribute(&self, start: usize, element: &QName) -> Result<(Attribute, usize), XmlError> {
+        let bytes = self.input.as_bytes();
+        let mut i = start;
+        while i < bytes.len() && !matches!(bytes[i], b'=' | b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/') {
+            i += 1;
+        }
+        let name_text = &self.input[start..i];
+        if name_text.is_empty() {
+            return Err(self.err(format!("malformed attribute in <{element}>")));
+        }
+        let name = self.check_name(name_text)?;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(self.err(format!("attribute '{name}' is missing '='")));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
+            return Err(self.err(format!("attribute '{name}' value must be quoted")));
+        }
+        let quote = bytes[i];
+        i += 1;
+        let value_start = i;
+        while i < bytes.len() && bytes[i] != quote {
+            if bytes[i] == b'<' {
+                return Err(self.err(format!("'<' is not allowed in attribute '{name}'")));
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(self.err(format!("unterminated value for attribute '{name}'")));
+        }
+        let raw = &self.input[value_start..i];
+        let value = unescape(raw).map_err(|e| self.err(e.message()))?;
+        Ok((Attribute { name, value: value.into_owned() }, i + 1))
+    }
+
+    fn check_name(&self, text: &str) -> Result<QName, XmlError> {
+        if text.is_empty() {
+            return Err(self.err("empty name"));
+        }
+        let valid_start = |c: char| c.is_alphabetic() || c == '_';
+        let valid_rest = |c: char| c.is_alphanumeric() || matches!(c, '_' | '-' | '.');
+        let mut parts = text.splitn(2, ':');
+        let first = parts.next().expect("splitn yields at least one part");
+        let second = parts.next();
+        for (idx, part) in [Some(first), second].into_iter().flatten().enumerate() {
+            let mut chars = part.chars();
+            match chars.next() {
+                Some(c) if valid_start(c) => {}
+                _ => {
+                    return Err(self.err(format!("invalid name '{text}'")));
+                }
+            }
+            if !chars.all(valid_rest) {
+                return Err(self.err(format!("invalid name '{text}'")));
+            }
+            let _ = idx;
+        }
+        if second.map(|s| s.contains(':')).unwrap_or(false) {
+            return Err(self.err(format!("invalid name '{text}': more than one ':'")));
+        }
+        Ok(QName::parse(text))
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::at(self.pos.max(1), message)
+    }
+}
+
+impl Iterator for XmlReader<'_> {
+    type Item = Result<SaxEvent, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+/// Error from [`XmlReader::parse_into`]: either a parse failure or a
+/// handler failure.
+#[derive(Debug)]
+pub enum ParseIntoError<E> {
+    /// The XML was malformed.
+    Parse(XmlError),
+    /// The handler rejected an event.
+    Handler(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ParseIntoError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseIntoError::Parse(e) => write!(f, "{e}"),
+            ParseIntoError::Handler(e) => write!(f, "handler error: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ParseIntoError<E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Vec<SaxEvent> {
+        XmlReader::new(xml)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| panic!("parse failed for {xml:?}: {e}"))
+    }
+
+    fn expect_err(xml: &str) -> XmlError {
+        XmlReader::new(xml)
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err(&format!("expected failure for {xml:?}"))
+    }
+
+    #[test]
+    fn paper_table4_example() {
+        let evs = events("<doc><para>Hello, world!</para></doc>");
+        let rendered: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "start document",
+                "start element: doc",
+                "start element: para",
+                "characters: Hello, world!",
+                "end element: para",
+                "end element: doc",
+                "end document",
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_with_both_quote_styles() {
+        let evs = events(r#"<e a="1" b='two words'/>"#);
+        match &evs[1] {
+            SaxEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two words");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_element_produces_start_and_end() {
+        let evs = events("<a><b/></a>");
+        let kinds: Vec<_> = evs.iter().map(SaxEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "start document",
+                "start element",
+                "start element",
+                "end element",
+                "end element",
+                "end document"
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_are_expanded_in_text_and_attributes() {
+        let evs = events(r#"<e a="&lt;&amp;&gt;">&#65;&amp;B</e>"#);
+        match &evs[1] {
+            SaxEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].value, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[2], SaxEvent::Characters("A&B".into()));
+    }
+
+    #[test]
+    fn cdata_is_delivered_verbatim() {
+        let evs = events("<e><![CDATA[<not-a-tag> & stuff]]></e>");
+        assert_eq!(evs[2], SaxEvent::Characters("<not-a-tag> & stuff".into()));
+    }
+
+    #[test]
+    fn comments_and_pis_are_reported() {
+        let evs = events("<?xml version=\"1.0\"?><!-- hi --><e><?pi some data?></e>");
+        assert_eq!(evs[1], SaxEvent::Comment(" hi ".into()));
+        assert_eq!(
+            evs[3],
+            SaxEvent::ProcessingInstruction { target: "pi".into(), data: "some data".into() }
+        );
+    }
+
+    #[test]
+    fn namespace_declarations_are_plain_attributes() {
+        let evs = events(r#"<s:e xmlns:s="uri:s" s:a="v"></s:e>"#);
+        match &evs[1] {
+            SaxEvent::StartElement { name, attributes } => {
+                assert_eq!(name.to_string(), "s:e");
+                assert!(attributes[0].name.is_namespace_declaration());
+                assert_eq!(attributes[1].name.to_string(), "s:a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_only_prolog_and_epilog_are_ignored() {
+        let evs = events("  \n <e>x</e> \n ");
+        assert_eq!(evs.len(), 5);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let e = expect_err("<a><b></a></b>");
+        assert!(e.message().contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn unclosed_root_is_rejected() {
+        let e = expect_err("<a><b></b>");
+        assert!(e.message().contains("still open"), "{e}");
+    }
+
+    #[test]
+    fn multiple_roots_are_rejected() {
+        let e = expect_err("<a/><b/>");
+        assert!(e.message().contains("multiple root"), "{e}");
+    }
+
+    #[test]
+    fn text_outside_root_is_rejected() {
+        assert!(expect_err("hello<a/>").message().contains("outside the root"));
+        assert!(expect_err("<a/>hello").message().contains("after the root"));
+    }
+
+    #[test]
+    fn doctype_is_rejected() {
+        let e = expect_err("<!DOCTYPE html><a/>");
+        assert!(e.message().contains("DTD"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_attributes_are_rejected() {
+        let e = expect_err(r#"<e a="1" a="2"/>"#);
+        assert!(e.message().contains("duplicate attribute"), "{e}");
+    }
+
+    #[test]
+    fn empty_document_is_rejected() {
+        let e = expect_err("   ");
+        assert!(e.message().contains("no root element"), "{e}");
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected_not_hung() {
+        for xml in ["<", "<a", "<a b", "<a b=", "<a b='x", "<a>", "<a><!-- ", "<a><![CDATA[x"] {
+            assert!(
+                XmlReader::new(xml).collect::<Result<Vec<_>, _>>().is_err(),
+                "expected error for {xml:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        for xml in ["<1a/>", "<a:b:c/>", "<-x/>", "<a .b='c'/>"] {
+            assert!(
+                XmlReader::new(xml).collect::<Result<Vec<_>, _>>().is_err(),
+                "expected error for {xml:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_into_recorder_equals_read_all() {
+        let xml = r#"<a x="1"><b>text &amp; more</b><c/></a>"#;
+        let direct = XmlReader::new(xml).read_sequence().unwrap();
+        let mut rec = crate::sax::Recorder::new();
+        XmlReader::new(xml).parse_into(&mut rec).unwrap();
+        assert_eq!(rec.into_sequence(), direct);
+    }
+
+    #[test]
+    fn iterator_and_pull_agree() {
+        let xml = "<a><b/>t</a>";
+        let via_iter: Vec<_> = XmlReader::new(xml).collect::<Result<_, _>>().unwrap();
+        let via_pull = XmlReader::new(xml).read_all().unwrap();
+        assert_eq!(via_iter, via_pull);
+    }
+
+    #[test]
+    fn deep_nesting_is_handled() {
+        let depth = 1000;
+        let mut xml = String::new();
+        for _ in 0..depth {
+            xml.push_str("<d>");
+        }
+        for _ in 0..depth {
+            xml.push_str("</d>");
+        }
+        let evs = events(&xml);
+        assert_eq!(evs.len(), 2 * depth + 2);
+    }
+
+    #[test]
+    fn unicode_content_is_preserved() {
+        let evs = events("<e attr='héllo'>日本語テキスト</e>");
+        assert_eq!(evs[2], SaxEvent::Characters("日本語テキスト".into()));
+    }
+}

@@ -1,0 +1,437 @@
+//! A streaming XML writer with automatic escaping.
+
+use crate::error::XmlError;
+use crate::escape::{escape_attribute, escape_text};
+use crate::event::{Attribute, SaxEvent};
+use crate::name::QName;
+
+/// Builds an XML document into an in-memory `String`.
+///
+/// Elements are opened with [`start`](XmlWriter::start) (attributes may be
+/// added until content is written) and closed with [`end`](XmlWriter::end).
+/// The writer tracks the open-element stack and refuses misuse.
+///
+/// ```
+/// use wsrc_xml::XmlWriter;
+/// # fn main() -> Result<(), wsrc_xml::XmlError> {
+/// let mut w = XmlWriter::new();
+/// w.start("doc")?;
+/// w.start("para")?;
+/// w.text("Hello, world!")?;
+/// w.end()?; // para
+/// w.end()?; // doc
+/// assert_eq!(w.finish()?, "<doc><para>Hello, world!</para></doc>");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    out: String,
+    open: Vec<String>,
+    tag_open: bool,
+    root_closed: bool,
+    declaration: bool,
+    indent: Option<usize>,
+    // true when the current open element has child elements (pretty mode)
+    had_children: Vec<bool>,
+    had_text: Vec<bool>,
+}
+
+impl XmlWriter {
+    /// Creates a writer producing compact output (no declaration).
+    pub fn new() -> Self {
+        XmlWriter::default()
+    }
+
+    /// Creates a writer that first emits `<?xml version="1.0" encoding="UTF-8"?>`.
+    pub fn with_declaration() -> Self {
+        XmlWriter { declaration: true, ..XmlWriter::default() }
+    }
+
+    /// Enables pretty-printing with the given indent width.
+    pub fn indented(mut self, spaces: usize) -> Self {
+        self.indent = Some(spaces);
+        self
+    }
+
+    fn write_declaration_if_needed(&mut self) {
+        if self.declaration && self.out.is_empty() {
+            self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if self.indent.is_some() {
+                self.out.push('\n');
+            }
+        }
+    }
+
+    fn close_pending_tag(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+
+    fn newline_and_indent(&mut self, depth: usize) {
+        if let Some(width) = self.indent {
+            if !self.out.is_empty() && !self.out.ends_with('\n') {
+                self.out.push('\n');
+            }
+            for _ in 0..depth * width {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    /// Opens an element. `name` may be prefixed (`soap:Envelope`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the document's root element was already closed.
+    pub fn start(&mut self, name: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+        if self.root_closed {
+            return Err(XmlError::new("cannot start an element after the root was closed"));
+        }
+        self.write_declaration_if_needed();
+        self.close_pending_tag();
+        if let Some(last) = self.had_children.last_mut() {
+            *last = true;
+        }
+        let depth = self.open.len();
+        let suppress_indent = self.had_text.last().copied().unwrap_or(false);
+        if !suppress_indent {
+            self.newline_and_indent(depth);
+        }
+        self.out.push('<');
+        self.out.push_str(name.as_ref());
+        self.open.push(name.as_ref().to_string());
+        self.had_children.push(false);
+        self.had_text.push(false);
+        self.tag_open = true;
+        Ok(self)
+    }
+
+    /// Adds an attribute to the element opened by the latest `start`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if content was already written to the element (attributes must
+    /// come first).
+    pub fn attr(&mut self, name: impl AsRef<str>, value: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+        if !self.tag_open {
+            return Err(XmlError::new(format!(
+                "attribute '{}' written after element content",
+                name.as_ref()
+            )));
+        }
+        self.out.push(' ');
+        self.out.push_str(name.as_ref());
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attribute(value.as_ref()));
+        self.out.push('"');
+        Ok(self)
+    }
+
+    /// Declares a namespace on the open element: `xmlns:prefix="uri"`, or
+    /// `xmlns="uri"` when `prefix` is empty.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`attr`](XmlWriter::attr).
+    pub fn namespace(&mut self, prefix: &str, uri: &str) -> Result<&mut Self, XmlError> {
+        if prefix.is_empty() {
+            self.attr("xmlns", uri)
+        } else {
+            self.attr(format!("xmlns:{prefix}"), uri)
+        }
+    }
+
+    /// Writes escaped character data inside the current element.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no element is open.
+    pub fn text(&mut self, text: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+        if self.open.is_empty() {
+            return Err(XmlError::new("text outside the root element"));
+        }
+        self.close_pending_tag();
+        if let Some(t) = self.had_text.last_mut() {
+            *t = true;
+        }
+        self.out.push_str(&escape_text(text.as_ref()));
+        Ok(self)
+    }
+
+    /// Writes pre-escaped raw markup verbatim. The caller is responsible
+    /// for its well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no element is open.
+    pub fn raw(&mut self, markup: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+        if self.open.is_empty() {
+            return Err(XmlError::new("raw markup outside the root element"));
+        }
+        self.close_pending_tag();
+        if let Some(t) = self.had_text.last_mut() {
+            *t = true;
+        }
+        self.out.push_str(markup.as_ref());
+        Ok(self)
+    }
+
+    /// Writes a comment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `text` contains `--`, which is illegal in comments.
+    pub fn comment(&mut self, text: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+        if text.as_ref().contains("--") {
+            return Err(XmlError::new("'--' is not allowed inside comments"));
+        }
+        self.write_declaration_if_needed();
+        self.close_pending_tag();
+        self.out.push_str("<!--");
+        self.out.push_str(text.as_ref());
+        self.out.push_str("-->");
+        Ok(self)
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no element is open.
+    pub fn end(&mut self) -> Result<&mut Self, XmlError> {
+        let name = self
+            .open
+            .pop()
+            .ok_or_else(|| XmlError::new("end() with no open element"))?;
+        let had_children = self.had_children.pop().unwrap_or(false);
+        let had_text = self.had_text.pop().unwrap_or(false);
+        if self.tag_open {
+            self.out.push_str("/>");
+            self.tag_open = false;
+        } else {
+            if had_children && !had_text {
+                self.newline_and_indent(self.open.len());
+            }
+            self.out.push_str("</");
+            self.out.push_str(&name);
+            self.out.push('>');
+        }
+        if self.open.is_empty() {
+            self.root_closed = true;
+        }
+        Ok(self)
+    }
+
+    /// Writes `<name>text</name>` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](XmlWriter::start).
+    pub fn element_with_text(
+        &mut self,
+        name: impl AsRef<str>,
+        text: impl AsRef<str>,
+    ) -> Result<&mut Self, XmlError> {
+        self.start(name)?;
+        self.text(text)?;
+        self.end()
+    }
+
+    /// Finishes the document and returns the XML string.
+    ///
+    /// # Errors
+    ///
+    /// Fails if elements remain open or nothing was written.
+    pub fn finish(self) -> Result<String, XmlError> {
+        if let Some(open) = self.open.last() {
+            return Err(XmlError::new(format!("finish() while <{open}> is still open")));
+        }
+        if !self.root_closed {
+            return Err(XmlError::new("finish() before any root element was written"));
+        }
+        Ok(self.out)
+    }
+
+    /// Current nesting depth (0 at the top level).
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Serializes a SAX event stream back into XML text.
+///
+/// Replaying a recorded sequence through this function reconstructs a
+/// document equivalent to the original (modulo empty-element form and
+/// attribute quoting).
+///
+/// # Errors
+///
+/// Fails when the event stream itself is ill-formed (e.g. unbalanced
+/// elements).
+pub fn events_to_string<'e, I>(events: I) -> Result<String, XmlError>
+where
+    I: IntoIterator<Item = &'e SaxEvent>,
+{
+    let mut w = XmlWriter::new();
+    for event in events {
+        match event {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => {}
+            SaxEvent::StartElement { name, attributes } => {
+                w.start(name.to_string())?;
+                for Attribute { name, value } in attributes {
+                    w.attr(name.to_string(), value)?;
+                }
+            }
+            SaxEvent::EndElement { .. } => {
+                w.end()?;
+            }
+            SaxEvent::Characters(text) => {
+                w.text(text)?;
+            }
+            SaxEvent::Comment(text) => {
+                w.comment(text)?;
+            }
+            SaxEvent::ProcessingInstruction { target, data } => {
+                let pi = if data.is_empty() {
+                    format!("<?{target}?>")
+                } else {
+                    format!("<?{target} {data}?>")
+                };
+                if w.depth() == 0 {
+                    // PI outside the root: append verbatim.
+                    w.out.push_str(&pi);
+                } else {
+                    w.raw(pi)?;
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Convenience: the end-element name matching a start event, for consumers
+/// hand-rolling event streams.
+pub fn end_of(name: &QName) -> SaxEvent {
+    SaxEvent::EndElement { name: name.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::XmlReader;
+
+    #[test]
+    fn basic_document() {
+        let mut w = XmlWriter::new();
+        w.start("a").unwrap();
+        w.attr("x", "1").unwrap();
+        w.start("b").unwrap();
+        w.text("hi").unwrap();
+        w.end().unwrap();
+        w.start("c").unwrap();
+        w.end().unwrap();
+        w.end().unwrap();
+        assert_eq!(w.finish().unwrap(), r#"<a x="1"><b>hi</b><c/></a>"#);
+    }
+
+    #[test]
+    fn declaration_and_namespace() {
+        let mut w = XmlWriter::with_declaration();
+        w.start("s:e").unwrap();
+        w.namespace("s", "uri:s").unwrap();
+        w.namespace("", "uri:default").unwrap();
+        w.end().unwrap();
+        assert_eq!(
+            w.finish().unwrap(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><s:e xmlns:s=\"uri:s\" xmlns=\"uri:default\"/>"
+        );
+    }
+
+    #[test]
+    fn escaping_is_automatic() {
+        let mut w = XmlWriter::new();
+        w.start("e").unwrap();
+        w.attr("a", "x\"<y").unwrap();
+        w.text("1 < 2 & 3 > 2").unwrap();
+        w.end().unwrap();
+        let xml = w.finish().unwrap();
+        assert_eq!(xml, r#"<e a="x&quot;&lt;y">1 &lt; 2 &amp; 3 &gt; 2</e>"#);
+        // And it parses back to the original data.
+        let evs = XmlReader::new(&xml).read_all().unwrap();
+        assert!(matches!(&evs[2], SaxEvent::Characters(t) if t == "1 < 2 & 3 > 2"));
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let mut w = XmlWriter::new();
+        assert!(w.end().is_err());
+        assert!(w.text("x").is_err());
+        w.start("a").unwrap();
+        w.text("t").unwrap();
+        assert!(w.attr("late", "v").is_err());
+        w.end().unwrap();
+        assert!(w.start("second-root").is_err());
+    }
+
+    #[test]
+    fn finish_requires_closed_root() {
+        let mut w = XmlWriter::new();
+        w.start("a").unwrap();
+        assert!(w.finish().is_err());
+        let empty = XmlWriter::new();
+        assert!(empty.finish().is_err());
+    }
+
+    #[test]
+    fn element_with_text_shorthand() {
+        let mut w = XmlWriter::new();
+        w.start("r").unwrap();
+        w.element_with_text("k", "v").unwrap();
+        w.end().unwrap();
+        assert_eq!(w.finish().unwrap(), "<r><k>v</k></r>");
+    }
+
+    #[test]
+    fn comment_rules() {
+        let mut w = XmlWriter::new();
+        w.start("a").unwrap();
+        assert!(w.comment("bad -- comment").is_err());
+        w.comment(" ok ").unwrap();
+        w.end().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a><!-- ok --></a>");
+    }
+
+    #[test]
+    fn pretty_printing_indents_nested_elements() {
+        let mut w = XmlWriter::new().indented(2);
+        w.start("a").unwrap();
+        w.start("b").unwrap();
+        w.text("t").unwrap();
+        w.end().unwrap();
+        w.end().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a>\n  <b>t</b>\n</a>");
+    }
+
+    #[test]
+    fn events_roundtrip_through_writer() {
+        let xml = r#"<a x="1"><b>hello &amp; goodbye</b><c/><!-- note --></a>"#;
+        let events = XmlReader::new(xml).read_all().unwrap();
+        let rewritten = events_to_string(&events).unwrap();
+        let reparsed = XmlReader::new(&rewritten).read_all().unwrap();
+        assert_eq!(events, reparsed);
+    }
+
+    #[test]
+    fn writer_parser_roundtrip_preserves_unicode() {
+        let mut w = XmlWriter::new();
+        w.start("e").unwrap();
+        w.text("日本語 & <stuff>").unwrap();
+        w.end().unwrap();
+        let xml = w.finish().unwrap();
+        let evs = XmlReader::new(&xml).read_all().unwrap();
+        assert!(matches!(&evs[2], SaxEvent::Characters(t) if t == "日本語 & <stuff>"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the XML substrate: arbitrary documents survive
+//! write→parse and parse→rewrite round-trips, and SAX recording is
+//! equivalent to direct parsing.
+
+use proptest::prelude::*;
+use wsrc_xml::dom::{Document, Element, Node};
+use wsrc_xml::escape::{escape_attribute, escape_text, unescape};
+use wsrc_xml::reader::XmlReader;
+use wsrc_xml::sax::Recorder;
+
+/// Text without NUL or other control chars XML 1.0 forbids.
+fn xml_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Mostly printable ASCII including the characters that need escaping.
+            proptest::char::range(' ', '~'),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            proptest::char::range('\u{a0}', '\u{2ff}'),
+            Just('日'),
+        ],
+        0..40,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,8}"
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (xml_name(), proptest::collection::vec((xml_name(), xml_text()), 0..3), xml_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(&name);
+            for (an, av) in attrs {
+                if e.attribute(&an).is_none() {
+                    e = e.with_attr(an, av);
+                }
+            }
+            if !text.is_empty() {
+                e = e.with_text(text);
+            }
+            e
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (
+            xml_name(),
+            proptest::collection::vec((xml_name(), xml_text()), 0..3),
+            proptest::collection::vec(arb_element(depth - 1), 0..4),
+            xml_text(),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut e = Element::new(&name);
+                for (an, av) in attrs {
+                    if e.attribute(&an).is_none() {
+                        e = e.with_attr(an, av);
+                    }
+                }
+                if !text.is_empty() {
+                    e = e.with_text(text);
+                }
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+            .boxed()
+    }
+}
+
+/// Normalizes a tree the way parsing normalizes it: adjacent text children
+/// merged (our builders never create adjacent text, so this is identity,
+/// but keep it for robustness) and nothing else.
+fn assert_tree_equivalent(a: &Element, b: &Element) {
+    assert_eq!(a.name, b.name);
+    assert_eq!(a.attributes, b.attributes);
+    assert_eq!(a.children.len(), b.children.len(), "children differ for <{}>", a.name);
+    for (ca, cb) in a.children.iter().zip(&b.children) {
+        match (ca, cb) {
+            (Node::Element(ea), Node::Element(eb)) => assert_tree_equivalent(ea, eb),
+            (other_a, other_b) => assert_eq!(other_a, other_b),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escape_text_roundtrips(s in xml_text()) {
+        let escaped = escape_text(&s).into_owned();
+        let unescaped = unescape(&escaped).unwrap().into_owned();
+        prop_assert_eq!(unescaped, s);
+    }
+
+    #[test]
+    fn escape_attribute_roundtrips(s in xml_text()) {
+        let escaped = escape_attribute(&s).into_owned();
+        let unescaped = unescape(&escaped).unwrap().into_owned();
+        prop_assert_eq!(unescaped, s);
+    }
+
+    #[test]
+    fn dom_write_parse_roundtrip(root in arb_element(3)) {
+        let xml = root.to_xml();
+        let doc = Document::parse(&xml).unwrap();
+        assert_tree_equivalent(&doc.root, &root);
+    }
+
+    #[test]
+    fn sax_record_equals_direct_parse(root in arb_element(3)) {
+        let xml = root.to_xml();
+        let direct = XmlReader::new(&xml).read_sequence().unwrap();
+        let mut rec = Recorder::new();
+        XmlReader::new(&xml).parse_into(&mut rec).unwrap();
+        prop_assert_eq!(rec.into_sequence(), direct);
+    }
+
+    #[test]
+    fn replayed_events_rebuild_same_document(root in arb_element(3)) {
+        let xml = root.to_xml();
+        let seq = XmlReader::new(&xml).read_sequence().unwrap();
+        let from_events = Document::from_events(&seq).unwrap();
+        let from_text = Document::parse(&xml).unwrap();
+        prop_assert_eq!(from_events, from_text);
+    }
+
+    #[test]
+    fn rewritten_xml_reparses_identically(root in arb_element(3)) {
+        let xml = root.to_xml();
+        let seq = XmlReader::new(&xml).read_sequence().unwrap();
+        let rewritten = wsrc_xml::writer::events_to_string(seq.iter()).unwrap();
+        let seq2 = XmlReader::new(&rewritten).read_sequence().unwrap();
+        prop_assert_eq!(seq, seq2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        // Errors are fine; panics or hangs are not.
+        let _ = XmlReader::new(&s).read_all();
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(s in "[<>&;'\"= a-z!?/\\[\\]-]{0,120}") {
+        let _ = XmlReader::new(&s).read_all();
+    }
+}

@@ -1,0 +1,92 @@
+//! Cache policy in action (paper §3.2, Table 1): the Amazon service's 20
+//! search operations are cacheable, its 6 shopping-cart operations are
+//! not — and caching a cart *would* return stale carts, which this
+//! example demonstrates by comparing a correct and a misconfigured
+//! policy.
+//!
+//! ```text
+//! cargo run --example amazon_policy
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsrcache::cache::{CachePolicy, OperationPolicy, ResponseCache};
+use wsrcache::client::ServiceClient;
+use wsrcache::http::{InProcTransport, Url};
+use wsrcache::model::Value;
+use wsrcache::services::amazon::{self, AmazonService};
+use wsrcache::services::SoapDispatcher;
+use wsrcache::soap::RpcRequest;
+
+fn cart_items(v: &Value) -> usize {
+    v.as_struct()
+        .and_then(|s| s.get("items"))
+        .and_then(Value::as_array)
+        .map(<[Value]>::len)
+        .unwrap_or(0)
+}
+
+fn client_with(policy: CachePolicy) -> ServiceClient {
+    let dispatcher = SoapDispatcher::new().mount(amazon::PATH, Arc::new(AmazonService::new()));
+    let cache = Arc::new(
+        ResponseCache::builder(amazon::registry())
+            .policy(policy)
+            .build(),
+    );
+    ServiceClient::builder(
+        Url::new("amazon.test", 80, amazon::PATH),
+        Arc::new(InProcTransport::new(Arc::new(dispatcher))),
+    )
+    .registry(amazon::registry())
+    .operations(amazon::operations())
+    .cache(cache)
+    .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The policy can also be written as a deployment descriptor:
+    let descriptor = "
+        # search operations are cacheable for an hour
+        KeywordSearch       cacheable ttl=1h
+        AuthorSearch        cacheable ttl=1h
+        # cart operations are uncacheable
+        GetShoppingCart     uncacheable
+        AddShoppingCartItems uncacheable
+    ";
+    let parsed = CachePolicy::parse(descriptor).expect("valid descriptor");
+    println!("parsed policy covers {} operations\n", parsed.len());
+
+    // --- correct configuration: the preset from paper Table 1 ---
+    let good = client_with(amazon::default_policy());
+    let get_cart = RpcRequest::new(amazon::NAMESPACE, "GetShoppingCart").with_param("cartId", "c1");
+    let add_book = RpcRequest::new(amazon::NAMESPACE, "AddShoppingCartItems")
+        .with_param("cartId", "c1")
+        .with_param("item", "a book");
+
+    println!("correct policy (cart uncacheable):");
+    println!("  cart items before add: {}", cart_items(good.invoke(&get_cart)?.0.as_value()));
+    good.invoke(&add_book)?;
+    println!("  cart items after add:  {}", cart_items(good.invoke(&get_cart)?.0.as_value()));
+
+    // Searches, in contrast, are cacheable and repeat cheaply.
+    let search = RpcRequest::new(amazon::NAMESPACE, "KeywordSearch")
+        .with_param("keyword", "distributed systems")
+        .with_param("page", 1);
+    good.invoke(&search)?;
+    good.invoke(&search)?;
+    let stats = good.cache().unwrap().stats();
+    println!("  search calls: {} hit / {} miss; cart calls counted uncacheable: {}\n",
+        stats.hits, stats.misses, stats.uncacheable);
+
+    // --- misconfigured: caching the cart returns stale state ---
+    let bad = client_with(
+        CachePolicy::new().with_default(OperationPolicy::cacheable(Duration::from_secs(3600))),
+    );
+    println!("misconfigured policy (everything cacheable):");
+    println!("  cart items before add: {}", cart_items(bad.invoke(&get_cart)?.0.as_value()));
+    bad.invoke(&add_book)?;
+    let stale = cart_items(bad.invoke(&get_cart)?.0.as_value());
+    println!("  cart items after add:  {stale}   <-- stale! the cached empty cart was returned");
+    assert_eq!(stale, 0, "demonstrates why cart operations must be uncacheable");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! The §6 "optimal configuration": the middleware classifies each
+//! response object at run time and picks the best applicable cache-value
+//! representation, without any administrator configuration.
+//!
+//! ```text
+//! cargo run --release --example optimal_config
+//! ```
+
+use std::time::Instant;
+use wsrcache::cache::repr::StoredResponse;
+use wsrcache::cache::{FastestSelector, PaperSelector, RepresentationSelector, ValueRepresentation};
+use wsrcache::services::dispatch::SoapService;
+use wsrcache::services::google::{self, GoogleService};
+use wsrcache::soap::deserializer::read_response_xml_recording;
+use wsrcache::soap::serializer::serialize_response;
+use wsrcache::soap::RpcRequest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = GoogleService::new();
+    let registry = google::registry();
+    let requests = vec![
+        (
+            "doSpellingSuggestion",
+            RpcRequest::new(google::NAMESPACE, "doSpellingSuggestion")
+                .with_param("key", "k")
+                .with_param("phrase", "optmal confguration"),
+        ),
+        (
+            "doGetCachedPage",
+            RpcRequest::new(google::NAMESPACE, "doGetCachedPage")
+                .with_param("key", "k")
+                .with_param("url", "http://example.test/"),
+        ),
+        (
+            "doGoogleSearch",
+            RpcRequest::new(google::NAMESPACE, "doGoogleSearch")
+                .with_param("key", "k")
+                .with_param("q", "selector demo")
+                .with_param("start", 0)
+                .with_param("maxResults", 10)
+                .with_param("filter", true)
+                .with_param("restrict", "")
+                .with_param("safeSearch", false)
+                .with_param("lr", "")
+                .with_param("ie", "utf-8")
+                .with_param("oe", "utf-8"),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:<22} {:<22} {:<20}",
+        "operation", "paper selector (§6)", "fastest selector", "retrieval time"
+    );
+    for (op, request) in requests {
+        let value = service.call(&request)?;
+        let paper_choice = PaperSelector.select(&value, &registry, false);
+        let fastest_choice = FastestSelector.select(&value, &registry, false);
+
+        // Materialize the fastest choice and time one retrieval.
+        let descriptor = google::operations()
+            .into_iter()
+            .find(|o| o.name == op)
+            .expect("known operation");
+        let xml = serialize_response(google::NAMESPACE, op, "return", &value, &registry)?;
+        let (_, events) = read_response_xml_recording(&xml, &descriptor.return_type, &registry)?;
+        let stored = StoredResponse::build(
+            fastest_choice,
+            wsrcache::cache::repr::MissArtifacts { xml: &xml, events: &events, value: &value },
+            &registry,
+        )?;
+        let t = Instant::now();
+        let iterations = 1000;
+        for _ in 0..iterations {
+            std::hint::black_box(stored.retrieve(&descriptor.return_type, &registry)?);
+        }
+        let per_op = t.elapsed() / iterations;
+        println!(
+            "{:<22} {:<22} {:<22} {:<20}",
+            op,
+            paper_choice.label(),
+            fastest_choice.label(),
+            format!("{per_op:?}")
+        );
+    }
+
+    println!("\nrules applied (paper §6):");
+    println!("  a) immutable types            -> {}", ValueRepresentation::PassByReference.label());
+    println!("  b) bean/array types           -> {}", ValueRepresentation::ReflectionCopy.label());
+    println!("  c) serializable types         -> {}", ValueRepresentation::Serialization.label());
+    println!("  d) everything else            -> {}", ValueRepresentation::SaxEvents.label());
+    println!("(the FastestSelector additionally prefers the generated clone when present)");
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! The three key-generation strategies (Table 2) through the full
+//! middleware: each must hit on equivalent requests and miss on distinct
+//! ones, and the `Auto` strategy must pick a working representation for
+//! every operation.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsrcache::cache::{KeyStrategy, ResponseCache};
+use wsrcache::client::{Disposition, ServiceClient};
+use wsrcache::http::{InProcTransport, Url};
+use wsrcache::services::google::{self, GoogleService};
+use wsrcache::services::SoapDispatcher;
+use wsrcache::soap::RpcRequest;
+
+fn client_with(strategy: KeyStrategy) -> (ServiceClient, Arc<InProcTransport>) {
+    let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
+    let transport = Arc::new(InProcTransport::new(Arc::new(dispatcher)));
+    let cache = Arc::new(
+        ResponseCache::builder(google::registry())
+            .policy(google::default_policy())
+            .key_strategy(strategy)
+            .build(),
+    );
+    let client = ServiceClient::builder(Url::new("g.test", 80, google::PATH), transport.clone())
+        .registry(google::registry())
+        .operations(google::operations())
+        .cache(cache)
+        .build();
+    (client, transport)
+}
+
+fn search(q: &str, max: i32, safe: bool) -> RpcRequest {
+    RpcRequest::new(google::NAMESPACE, "doGoogleSearch")
+        .with_param("key", "k")
+        .with_param("q", q)
+        .with_param("start", 0)
+        .with_param("maxResults", max)
+        .with_param("filter", true)
+        .with_param("restrict", "")
+        .with_param("safeSearch", safe)
+        .with_param("lr", "")
+        .with_param("ie", "utf-8")
+        .with_param("oe", "utf-8")
+}
+
+#[test]
+fn every_strategy_hits_on_equivalent_requests() {
+    for strategy in [
+        KeyStrategy::XmlMessage,
+        KeyStrategy::Serialization,
+        KeyStrategy::ToString,
+        KeyStrategy::Auto,
+    ] {
+        let (client, transport) = client_with(strategy);
+        let req = search("equivalent", 10, false);
+        let (a, d1) = client.invoke(&req).expect("miss");
+        assert_eq!(d1, Disposition::CacheMiss, "{strategy:?}");
+        let (b, d2) = client.invoke(&req).expect("hit");
+        assert_eq!(d2, Disposition::CacheHit, "{strategy:?}");
+        assert_eq!(a.as_value(), b.as_value(), "{strategy:?}");
+        assert_eq!(transport.requests_served(), 1, "{strategy:?}");
+    }
+}
+
+#[test]
+fn every_strategy_distinguishes_any_changed_parameter() {
+    for strategy in [KeyStrategy::XmlMessage, KeyStrategy::Serialization, KeyStrategy::ToString] {
+        let (client, transport) = client_with(strategy);
+        client.invoke(&search("base", 10, false)).expect("warm");
+        // Changing any single parameter — string, int or boolean — must miss.
+        for variant in [search("other", 10, false), search("base", 5, false), search("base", 10, true)]
+        {
+            let (_, d) = client.invoke(&variant).expect("call");
+            assert_eq!(d, Disposition::CacheMiss, "{strategy:?} variant {variant:?}");
+        }
+        assert_eq!(transport.requests_served(), 4, "{strategy:?}");
+    }
+}
+
+#[test]
+fn strategies_do_not_share_entries_across_operations() {
+    // Same parameter values under two operations must never collide.
+    let (client, transport) = client_with(KeyStrategy::ToString);
+    let spell = RpcRequest::new(google::NAMESPACE, "doSpellingSuggestion")
+        .with_param("key", "k")
+        .with_param("phrase", "identical");
+    let page = RpcRequest::new(google::NAMESPACE, "doGetCachedPage")
+        .with_param("key", "k")
+        .with_param("url", "identical");
+    client.invoke(&spell).expect("spell miss");
+    let (_, d) = client.invoke(&page).expect("page call");
+    assert_eq!(d, Disposition::CacheMiss, "different operations must not collide");
+    assert_eq!(transport.requests_served(), 2);
+}
+
+#[test]
+fn hit_ratio_accumulates_identically_across_strategies() {
+    // 4 distinct queries, each asked 3 times: 4 misses, 8 hits under any
+    // strategy — keys must be stable and injective at the middleware
+    // level, not just in unit tests.
+    for strategy in [KeyStrategy::XmlMessage, KeyStrategy::Serialization, KeyStrategy::ToString] {
+        let (client, _t) = client_with(strategy);
+        for round in 0..3 {
+            for q in ["a", "b", "c", "d"] {
+                let (_, d) = client.invoke(&search(q, 10, false)).expect("call");
+                let expected =
+                    if round == 0 { Disposition::CacheMiss } else { Disposition::CacheHit };
+                assert_eq!(d, expected, "{strategy:?} round {round} q {q}");
+            }
+        }
+        let stats = client.cache().unwrap().stats();
+        assert_eq!((stats.misses, stats.hits), (4, 8), "{strategy:?}");
+    }
+}
