@@ -13,8 +13,13 @@ fn bench_key_generation(c: &mut Criterion) {
         for strategy in KeyStrategy::CONCRETE {
             group.bench_function(format!("{}/{}", f.operation, strategy.label()), |b| {
                 b.iter(|| {
-                    generate_key(strategy, ENDPOINT, std::hint::black_box(&f.request), &registry)
-                        .expect("applicable strategy")
+                    generate_key(
+                        strategy,
+                        ENDPOINT,
+                        std::hint::black_box(&f.request),
+                        &registry,
+                    )
+                    .expect("applicable strategy")
                 })
             });
         }

@@ -27,8 +27,12 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.bench_function("parse_and_deserialize", |b| {
         b.iter(|| {
-            read_response_xml(std::hint::black_box(&search.xml), &search.return_type, &registry)
-                .expect("fixture deserializes")
+            read_response_xml(
+                std::hint::black_box(&search.xml),
+                &search.return_type,
+                &registry,
+            )
+            .expect("fixture deserializes")
         })
     });
 

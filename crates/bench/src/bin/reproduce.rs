@@ -39,9 +39,17 @@ fn main() {
     if artifacts.is_empty() {
         artifacts.push("all");
     }
-    let protocol = if quick { Protocol::quick() } else { Protocol::paper() };
+    let protocol = if quick {
+        Protocol::quick()
+    } else {
+        Protocol::paper()
+    };
     let figure_requests = if quick { 300 } else { 3000 };
-    let transport = if tcp { TransportMode::Tcp } else { TransportMode::InProcess };
+    let transport = if tcp {
+        TransportMode::Tcp
+    } else {
+        TransportMode::InProcess
+    };
 
     let expanded: Vec<&str> = artifacts
         .iter()
@@ -67,11 +75,17 @@ fn main() {
             "table4" => println!("{}", tables::table4()),
             "table5" => println!("{}", tables::table5()),
             "table6" => {
-                eprintln!("measuring table 6 ({} + {} iterations per cell)…", protocol.warmup, protocol.measured);
+                eprintln!(
+                    "measuring table 6 ({} + {} iterations per cell)…",
+                    protocol.warmup, protocol.measured
+                );
                 println!("{}", tables::table6(protocol));
             }
             "table7" => {
-                eprintln!("measuring table 7 ({} + {} iterations per cell)…", protocol.warmup, protocol.measured);
+                eprintln!(
+                    "measuring table 7 ({} + {} iterations per cell)…",
+                    protocol.warmup, protocol.measured
+                );
                 println!("{}", tables::table7(protocol));
             }
             "table8" => println!("{}", tables::table8()),
@@ -84,9 +98,15 @@ fn main() {
             "keys" => println!("{}", tables::tostring_keys()),
             "figure3" | "figure4" => {
                 let (title, mut config) = if artifact == "figure3" {
-                    ("Figure 3 (no concurrent access)", FigureConfig::figure3(figure_requests))
+                    (
+                        "Figure 3 (no concurrent access)",
+                        FigureConfig::figure3(figure_requests),
+                    )
                 } else {
-                    ("Figure 4 (25 concurrent accesses)", FigureConfig::figure4(figure_requests))
+                    (
+                        "Figure 4 (25 concurrent accesses)",
+                        FigureConfig::figure4(figure_requests),
+                    )
                 };
                 config.transport = transport;
                 config.backend_latency = std::time::Duration::from_millis(latency_ms);
@@ -99,7 +119,12 @@ fn main() {
                 println!("{}", render_figure(title, &series));
                 println!("Speedups at 100% vs 0% cache-hit ratio:");
                 for (repr, tput, lat) in speedups_at_full_hit(&series) {
-                    println!("  {:<22} throughput x{:.2}   response time x{:.2}", repr.label(), tput, lat);
+                    println!(
+                        "  {:<22} throughput x{:.2}   response time x{:.2}",
+                        repr.label(),
+                        tput,
+                        lat
+                    );
                 }
                 println!();
             }

@@ -39,7 +39,10 @@ impl FigureConfig {
 
     /// Figure 4: 25 concurrent accesses.
     pub fn figure4(requests: usize) -> Self {
-        FigureConfig { concurrency: 25, ..FigureConfig::figure3(requests) }
+        FigureConfig {
+            concurrency: 25,
+            ..FigureConfig::figure3(requests)
+        }
     }
 }
 
@@ -72,7 +75,10 @@ pub fn run_figure(config: &FigureConfig) -> Vec<FigureSeries> {
                     (hit_ratio, result)
                 })
                 .collect();
-            FigureSeries { representation, points }
+            FigureSeries {
+                representation,
+                points,
+            }
         })
         .collect()
 }
@@ -82,7 +88,12 @@ pub fn run_figure(config: &FigureConfig) -> Vec<FigureSeries> {
 pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
     let ratios: Vec<String> = series
         .first()
-        .map(|s| s.points.iter().map(|(r, _)| format!("{:.0}%", r * 100.0)).collect())
+        .map(|s| {
+            s.points
+                .iter()
+                .map(|(r, _)| format!("{:.0}%", r * 100.0))
+                .collect()
+        })
         .unwrap_or_default();
     let mut header: Vec<&str> = vec!["method"];
     header.extend(ratios.iter().map(String::as_str));
@@ -91,7 +102,11 @@ pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
         .iter()
         .map(|s| {
             let mut row = vec![s.representation.label().to_string()];
-            row.extend(s.points.iter().map(|(_, r)| format!("{:.0}", r.load.throughput_rps)));
+            row.extend(
+                s.points
+                    .iter()
+                    .map(|(_, r)| format!("{:.0}", r.load.throughput_rps)),
+            );
             row
         })
         .collect();

@@ -36,7 +36,11 @@ pub struct OperationFixture {
 impl OperationFixture {
     /// The artifacts a cache miss would hand to the cache.
     pub fn artifacts(&self) -> MissArtifacts<'_> {
-        MissArtifacts { xml: &self.xml, events: &self.events, value: &self.value }
+        MissArtifacts {
+            xml: &self.xml,
+            events: &self.events,
+            value: &self.value,
+        }
     }
 }
 
@@ -93,7 +97,15 @@ pub fn google_fixtures() -> Vec<OperationFixture> {
             let (outcome, events) = read_response_xml_recording(&xml, &return_type, &registry)
                 .expect("own output parses");
             assert_eq!(outcome.as_return().expect("not a fault"), &value);
-            OperationFixture { label, operation, request, return_type, value, xml, events }
+            OperationFixture {
+                label,
+                operation,
+                request,
+                return_type,
+                value,
+                xml,
+                events,
+            }
         })
         .collect()
 }
@@ -107,14 +119,29 @@ mod tests {
         let f = google_fixtures();
         assert_eq!(f.len(), 3);
         assert!(f[0].value.as_str().is_some(), "small and simple");
-        assert!(f[1].value.as_bytes().unwrap().len() > 3000, "large and simple");
+        assert!(
+            f[1].value.as_bytes().unwrap().len() > 3000,
+            "large and simple"
+        );
         let complex = f[2].value.as_struct().unwrap();
         assert_eq!(complex.type_name(), "GoogleSearchResult");
         // Response XML sizes roughly match Table 9: CachedPage and
         // GoogleSearch around 5 KB, SpellingSuggestion small.
-        assert!(f[0].xml.len() < 1000, "spelling xml is {} bytes", f[0].xml.len());
-        assert!((3000..12000).contains(&f[1].xml.len()), "page xml is {} bytes", f[1].xml.len());
-        assert!((3000..10000).contains(&f[2].xml.len()), "search xml is {} bytes", f[2].xml.len());
+        assert!(
+            f[0].xml.len() < 1000,
+            "spelling xml is {} bytes",
+            f[0].xml.len()
+        );
+        assert!(
+            (3000..12000).contains(&f[1].xml.len()),
+            "page xml is {} bytes",
+            f[1].xml.len()
+        );
+        assert!(
+            (3000..10000).contains(&f[2].xml.len()),
+            "search xml is {} bytes",
+            f[2].xml.len()
+        );
     }
 
     #[test]

@@ -73,6 +73,8 @@ mod tests {
         );
         assert!(t.contains("| a  | column |"));
         assert!(t.contains("| xx | y      |"));
-        assert!(t.lines().all(|l| l.len() == t.lines().nth(1).unwrap().len() || l == "T"));
+        assert!(t
+            .lines()
+            .all(|l| l.len() == t.lines().nth(1).unwrap().len() || l == "T"));
     }
 }

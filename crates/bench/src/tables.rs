@@ -55,7 +55,11 @@ pub fn table2() -> String {
     ];
     render_table(
         "Table 2. Cache key data representation",
-        &["cache key data representation", "key generating method", "limitation"],
+        &[
+            "cache key data representation",
+            "key generating method",
+            "limitation",
+        ],
         &rows,
     )
 }
@@ -64,7 +68,11 @@ pub fn table2() -> String {
 pub fn table3() -> String {
     let rows = vec![
         vec!["XML message".into(), "Not required".into(), "None".into()],
-        vec!["SAX events sequence".into(), "Not required".into(), "None".into()],
+        vec![
+            "SAX events sequence".into(),
+            "Not required".into(),
+            "None".into(),
+        ],
         vec![
             "Application object".into(),
             "Java serialization mechanism".into(),
@@ -88,7 +96,11 @@ pub fn table3() -> String {
     ];
     render_table(
         "Table 3. Cache value data representation",
-        &["cache value data representation", "copying method", "limitation"],
+        &[
+            "cache value data representation",
+            "copying method",
+            "limitation",
+        ],
         &rows,
     )
 }
@@ -145,7 +157,11 @@ pub fn table5() -> String {
         .collect();
     render_table(
         "Table 5. Summary of the three Google operations",
-        &["operation", "request parameter objects", "return value object"],
+        &[
+            "operation",
+            "request parameter objects",
+            "return value object",
+        ],
         &rows,
     )
 }
@@ -315,13 +331,15 @@ pub fn table7_raw(
             let cells = fixtures
                 .iter()
                 .map(|f| {
-                    StoredResponse::build(*repr, f.artifacts(), &registry).ok().map(|stored| {
-                        measure(protocol, || {
-                            stored
-                                .retrieve(&f.return_type, &registry)
-                                .expect("stored entry retrieves")
+                    StoredResponse::build(*repr, f.artifacts(), &registry)
+                        .ok()
+                        .map(|stored| {
+                            measure(protocol, || {
+                                stored
+                                    .retrieve(&f.return_type, &registry)
+                                    .expect("stored entry retrieves")
+                            })
                         })
-                    })
                 })
                 .collect();
             (*repr, cells)
@@ -340,7 +358,11 @@ pub fn optimal_configuration() -> String {
         .iter()
         .map(|f| {
             let repr = selector.select(&f.value, &registry, false);
-            vec![f.label.to_string(), f.value.type_label().to_string(), repr.label().to_string()]
+            vec![
+                f.label.to_string(),
+                f.value.type_label().to_string(),
+                repr.label().to_string(),
+            ]
         })
         .collect();
     render_table(
@@ -397,12 +419,21 @@ pub fn tostring_keys() -> String {
                 .request
                 .params
                 .iter()
-                .map(|(n, v)| format!("{n}={}", to_string_key(v, &registry).expect("simple params")))
+                .map(|(n, v)| {
+                    format!(
+                        "{n}={}",
+                        to_string_key(v, &registry).expect("simple params")
+                    )
+                })
                 .collect();
             vec![f.label.to_string(), rendered.join(" ")]
         })
         .collect();
-    render_table("toString key material per operation", &["operation", "parameters"], &rows)
+    render_table(
+        "toString key material per operation",
+        &["operation", "parameters"],
+        &rows,
+    )
 }
 
 #[cfg(test)]
@@ -447,22 +478,46 @@ mod tests {
         let ser = &raw[1].1;
         let ts = &raw[2].1;
         for i in 0..3 {
-            assert!(ser[i] * 2 < xml[i], "op {i}: ser {:?} not well under xml {:?}", ser[i], xml[i]);
-            assert!(ts[i] * 2 < xml[i], "op {i}: toString {:?} not well under xml {:?}", ts[i], xml[i]);
-            assert!(ts[i] < ser[i] * 2, "op {i}: toString {:?} vs ser {:?}", ts[i], ser[i]);
+            assert!(
+                ser[i] * 2 < xml[i],
+                "op {i}: ser {:?} not well under xml {:?}",
+                ser[i],
+                xml[i]
+            );
+            assert!(
+                ts[i] * 2 < xml[i],
+                "op {i}: toString {:?} not well under xml {:?}",
+                ts[i],
+                xml[i]
+            );
+            assert!(
+                ts[i] < ser[i] * 2,
+                "op {i}: toString {:?} vs ser {:?}",
+                ts[i],
+                ser[i]
+            );
         }
     }
 
     #[test]
     fn table7_na_cells_match_the_paper() {
-        let raw = table7_raw(Protocol { warmup: 1, measured: 2 });
+        let raw = table7_raw(Protocol {
+            warmup: 1,
+            measured: 2,
+        });
         let by_repr: std::collections::HashMap<_, _> =
             raw.iter().map(|(r, cells)| (*r, cells.clone())).collect();
         let reflect = &by_repr[&ValueRepresentation::ReflectionCopy];
-        assert!(reflect[0].is_none(), "reflection n/a for SpellingSuggestion");
+        assert!(
+            reflect[0].is_none(),
+            "reflection n/a for SpellingSuggestion"
+        );
         assert!(reflect[1].is_some() && reflect[2].is_some());
         let clone = &by_repr[&ValueRepresentation::CloneCopy];
-        assert!(clone[0].is_none() && clone[1].is_none(), "clone n/a for string and byte[]");
+        assert!(
+            clone[0].is_none() && clone[1].is_none(),
+            "clone n/a for string and byte[]"
+        );
         assert!(clone[2].is_some(), "clone applies to GoogleSearchResult");
         for repr in [
             ValueRepresentation::XmlMessage,
@@ -470,7 +525,10 @@ mod tests {
             ValueRepresentation::Serialization,
             ValueRepresentation::PassByReference,
         ] {
-            assert!(by_repr[&repr].iter().all(Option::is_some), "{repr} applies everywhere");
+            assert!(
+                by_repr[&repr].iter().all(Option::is_some),
+                "{repr} applies everywhere"
+            );
         }
     }
 
@@ -527,7 +585,10 @@ mod tests {
 
     #[test]
     fn ablation_covers_applicable_representations() {
-        let t = ablation_store_vs_retrieve(Protocol { warmup: 1, measured: 2 });
+        let t = ablation_store_vs_retrieve(Protocol {
+            warmup: 1,
+            measured: 2,
+        });
         // All seven (six paper rows + the DOM-tree extension) apply to
         // GoogleSearchResult.
         for label in [

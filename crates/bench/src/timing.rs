@@ -17,12 +17,18 @@ pub struct Protocol {
 impl Protocol {
     /// The paper's 10,000 + 10,000.
     pub fn paper() -> Self {
-        Protocol { warmup: 10_000, measured: 10_000 }
+        Protocol {
+            warmup: 10_000,
+            measured: 10_000,
+        }
     }
 
     /// A fast protocol for smoke runs (`reproduce --quick`).
     pub fn quick() -> Self {
-        Protocol { warmup: 500, measured: 1_000 }
+        Protocol {
+            warmup: 500,
+            measured: 1_000,
+        }
     }
 }
 
@@ -63,15 +69,22 @@ mod tests {
 
     #[test]
     fn measure_returns_a_plausible_mean() {
-        let d = measure(Protocol { warmup: 10, measured: 100 }, || {
-            std::hint::black_box((0..100).sum::<u64>())
-        });
+        let d = measure(
+            Protocol {
+                warmup: 10,
+                measured: 100,
+            },
+            || std::hint::black_box((0..100).sum::<u64>()),
+        );
         assert!(d < Duration::from_millis(1));
     }
 
     #[test]
     fn measure_scales_with_work() {
-        let p = Protocol { warmup: 5, measured: 50 };
+        let p = Protocol {
+            warmup: 5,
+            measured: 50,
+        };
         let small = measure(p, || (0..100).map(std::hint::black_box).sum::<u64>());
         let large = measure(p, || (0..100_000).map(std::hint::black_box).sum::<u64>());
         assert!(large > small * 10, "large {large:?} vs small {small:?}");

@@ -45,14 +45,21 @@ pub struct Call {
 
 impl std::fmt::Debug for Call {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Call").field("endpoint", &self.endpoint.to_string()).finish()
+        f.debug_struct("Call")
+            .field("endpoint", &self.endpoint.to_string())
+            .finish()
     }
 }
 
 impl Call {
     /// Creates a call object bound to one endpoint.
     pub fn new(endpoint: Url, transport: Arc<dyn Transport>, registry: TypeRegistry) -> Self {
-        Call { endpoint, transport, registry, interceptors: InterceptorChain::new() }
+        Call {
+            endpoint,
+            transport,
+            registry,
+            interceptors: InterceptorChain::new(),
+        }
     }
 
     /// Adds an interceptor to the HTTP exchange.
@@ -111,7 +118,9 @@ impl Call {
         request: &RpcRequest,
         if_modified_since: Option<&str>,
     ) -> Result<ConditionalOutcome, ClientError> {
-        descriptor.check_request(request).map_err(ClientError::Soap)?;
+        descriptor
+            .check_request(request)
+            .map_err(ClientError::Soap)?;
         let request_xml = serialize_request(request, &self.registry).map_err(ClientError::Soap)?;
         let mut http_request = Request::post(
             self.endpoint.path(),
@@ -140,7 +149,10 @@ impl Call {
                 body,
             }));
         }
-        let last_modified = http_response.headers.get("Last-Modified").map(str::to_string);
+        let last_modified = http_response
+            .headers
+            .get("Last-Modified")
+            .map(str::to_string);
         let (outcome, events) =
             read_response_xml_recording(&body, &descriptor.return_type, &self.registry)
                 .map_err(ClientError::Soap)?;
@@ -184,10 +196,12 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             let registry = TypeRegistry::new();
             let ops = vec![echo_op()];
-            let req =
-                wsrc_soap::deserializer::parse_request(&request.body_text(), &ops, &registry)
-                    .expect("valid request");
-            let text = req.param("text").and_then(Value::as_str).unwrap_or_default();
+            let req = wsrc_soap::deserializer::parse_request(&request.body_text(), &ops, &registry)
+                .expect("valid request");
+            let text = req
+                .param("text")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
             let xml = serialize_response(
                 "urn:Echo",
                 "echo",
@@ -212,7 +226,9 @@ mod tests {
 
     #[test]
     fn invoke_roundtrips_through_soap() {
-        let (call, transport) = call_over(Arc::new(EchoService { calls: AtomicU64::new(0) }));
+        let (call, transport) = call_over(Arc::new(EchoService {
+            calls: AtomicU64::new(0),
+        }));
         let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "hello");
         let exchange = call.invoke(&echo_op(), &req).unwrap();
         assert_eq!(exchange.value, Value::string("echo: hello"));
@@ -223,7 +239,9 @@ mod tests {
 
     #[test]
     fn missing_parameters_fail_before_the_network() {
-        let (call, transport) = call_over(Arc::new(EchoService { calls: AtomicU64::new(0) }));
+        let (call, transport) = call_over(Arc::new(EchoService {
+            calls: AtomicU64::new(0),
+        }));
         let req = RpcRequest::new("urn:Echo", "echo"); // no text param
         assert!(call.invoke(&echo_op(), &req).is_err());
         assert_eq!(transport.requests_served(), 0);
@@ -264,7 +282,10 @@ mod tests {
             Arc::new(|_req: &Request| Response::ok("text/xml", b"not xml at all".to_vec()));
         let (call, _t) = call_over(garbage);
         let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "x");
-        assert!(matches!(call.invoke(&echo_op(), &req), Err(ClientError::Soap(_))));
+        assert!(matches!(
+            call.invoke(&echo_op(), &req),
+            Err(ClientError::Soap(_))
+        ));
     }
 
     #[test]

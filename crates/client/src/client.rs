@@ -85,7 +85,10 @@ impl ServiceClient {
                 CacheOutcome::Stale { handle, validator } => {
                     // Expired but revalidatable: ask the server whether the
                     // response changed since the cached copy.
-                    match self.call.invoke_conditional(descriptor, request, &validator)? {
+                    match self
+                        .call
+                        .invoke_conditional(descriptor, request, &validator)?
+                    {
                         ConditionalOutcome::NotModified => {
                             cache.refresh(&self.endpoint_url, request);
                             return Ok((handle, Disposition::Revalidated));
@@ -134,11 +137,20 @@ impl ServiceClient {
         request: &RpcRequest,
         exchange: Exchange,
     ) -> ValueHandle {
-        let Exchange { response_xml, response_events, value, last_modified } = exchange;
+        let Exchange {
+            response_xml,
+            response_events,
+            value,
+            last_modified,
+        } = exchange;
         cache.insert_validated(
             &self.endpoint_url,
             request,
-            MissArtifacts { xml: &response_xml, events: &response_events, value: &value },
+            MissArtifacts {
+                xml: &response_xml,
+                events: &response_events,
+                value: &value,
+            },
             last_modified,
         );
         ValueHandle::Owned(value)
@@ -270,13 +282,13 @@ mod tests {
     fn upper_handler() -> Arc<dyn Handler> {
         Arc::new(|request: &Request| {
             let registry = TypeRegistry::new();
-            let req = wsrc_soap::deserializer::parse_request(
-                &request.body_text(),
-                &[op()],
-                &registry,
-            )
-            .expect("valid request");
-            let text = req.param("text").and_then(Value::as_str).unwrap_or_default();
+            let req =
+                wsrc_soap::deserializer::parse_request(&request.body_text(), &[op()], &registry)
+                    .expect("valid request");
+            let text = req
+                .param("text")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
             let xml = serialize_response(
                 "urn:Up",
                 "upper",
@@ -358,7 +370,9 @@ mod tests {
     #[test]
     fn unknown_operations_are_rejected() {
         let (client, _t, _c) = cached_client();
-        let err = client.invoke(&RpcRequest::new("urn:Up", "lower")).unwrap_err();
+        let err = client
+            .invoke(&RpcRequest::new("urn:Up", "lower"))
+            .unwrap_err();
         assert!(matches!(err, ClientError::UnknownOperation(_)));
     }
 
@@ -368,8 +382,8 @@ mod tests {
         let calls2 = calls.clone();
         let faulty: Arc<dyn Handler> = Arc::new(move |_req: &Request| {
             calls2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            let xml = wsrc_soap::serializer::serialize_fault(&wsrc_soap::SoapFault::server("x"))
-                .unwrap();
+            let xml =
+                wsrc_soap::serializer::serialize_fault(&wsrc_soap::SoapFault::server("x")).unwrap();
             Response::new(
                 wsrc_http::Status::INTERNAL_SERVER_ERROR,
                 "text/xml",
@@ -437,7 +451,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(transport.requests_served(), 1, "one exchange for 8 racing threads");
+        assert_eq!(
+            transport.requests_served(),
+            1,
+            "one exchange for 8 racing threads"
+        );
         let stats = client.cache().unwrap().stats();
         assert_eq!(stats.hits, 7);
         assert_eq!(stats.inserts, 1);

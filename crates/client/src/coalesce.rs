@@ -88,7 +88,11 @@ impl InflightTable {
                 None => {
                     let flight = Arc::new(Flight::default());
                     flights.insert(key.clone(), flight.clone());
-                    return Role::Leader(LeaderGuard { table: self.clone(), key, flight });
+                    return Role::Leader(LeaderGuard {
+                        table: self.clone(),
+                        key,
+                        flight,
+                    });
                 }
             }
         };
@@ -179,6 +183,9 @@ mod tests {
             std::thread::sleep(Duration::from_millis(60));
             // guard dropped here without explicit complete()
         }
-        assert!(follower.join().unwrap(), "follower should have been released");
+        assert!(
+            follower.join().unwrap(),
+            "follower should have been released"
+        );
     }
 }

@@ -66,7 +66,9 @@ mod tests {
         assert!(e.as_fault().is_some());
         let e: ClientError = wsrc_http::HttpError::Timeout.into();
         assert!(e.as_fault().is_none());
-        assert!(ClientError::UnknownOperation("op".into()).to_string().contains("op"));
+        assert!(ClientError::UnknownOperation("op".into())
+            .to_string()
+            .contains("op"));
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct InterceptorChain {
 
 impl std::fmt::Debug for InterceptorChain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "InterceptorChain({} interceptors)", self.interceptors.len())
+        write!(
+            f,
+            "InterceptorChain({} interceptors)",
+            self.interceptors.len()
+        )
     }
 }
 
@@ -73,11 +77,15 @@ mod tests {
     impl Interceptor for Tagger {
         fn on_request(&self, request: &mut Request) {
             let order = self.1.fetch_add(1, Ordering::SeqCst);
-            request.headers.insert(format!("X-Req-{}", self.0), order.to_string());
+            request
+                .headers
+                .insert(format!("X-Req-{}", self.0), order.to_string());
         }
         fn on_response(&self, response: &mut Response) {
             let order = self.1.fetch_add(1, Ordering::SeqCst);
-            response.headers.insert(format!("X-Resp-{}", self.0), order.to_string());
+            response
+                .headers
+                .insert(format!("X-Resp-{}", self.0), order.to_string());
         }
     }
 

@@ -129,17 +129,19 @@ impl ResponseCache {
                     CacheOutcome::Miss
                 }
             },
-            Lookup::Stale { stored, validator } => match stored.retrieve(expected, &self.registry) {
-                Ok(handle) => {
-                    self.stats.record_expired();
-                    CacheOutcome::Stale { handle, validator }
+            Lookup::Stale { stored, validator } => {
+                match stored.retrieve(expected, &self.registry) {
+                    Ok(handle) => {
+                        self.stats.record_expired();
+                        CacheOutcome::Stale { handle, validator }
+                    }
+                    Err(_) => {
+                        self.store.invalidate(&key);
+                        self.stats.record_miss();
+                        CacheOutcome::Miss
+                    }
                 }
-                Err(_) => {
-                    self.store.invalidate(&key);
-                    self.stats.record_miss();
-                    CacheOutcome::Miss
-                }
-            },
+            }
             Lookup::Expired => {
                 self.stats.record_expired();
                 self.stats.record_miss();
@@ -202,7 +204,9 @@ impl ResponseCache {
         let repr = stored.representation();
         let now = self.clock.now_millis();
         let expires = now.saturating_add(policy.ttl.as_millis() as u64);
-        let evicted = self.store.put_validated(key, stored, expires, now, validator);
+        let evicted = self
+            .store
+            .put_validated(key, stored, expires, now, validator);
         self.stats.record_insert();
         self.stats.record_evictions(evicted);
         Some(repr)
@@ -216,9 +220,10 @@ impl ResponseCache {
         policy: &OperationPolicy,
         data: ResponseData<'_>,
     ) -> Option<StoredResponse> {
-        let preferred = policy
-            .representation
-            .unwrap_or_else(|| self.selector.select(data.value, &self.registry, policy.read_only));
+        let preferred = policy.representation.unwrap_or_else(|| {
+            self.selector
+                .select(data.value, &self.registry, policy.read_only)
+        });
         let chain = [
             preferred,
             ValueRepresentation::SaxEvents,
@@ -238,7 +243,11 @@ impl ResponseCache {
     /// The cache key this cache would use for `request`, if the strategy
     /// applies. Exposed so the middleware can coalesce concurrent misses
     /// on the same key (single-flight).
-    pub fn key_for(&self, endpoint_url: &str, request: &RpcRequest) -> Option<crate::key::CacheKey> {
+    pub fn key_for(
+        &self,
+        endpoint_url: &str,
+        request: &RpcRequest,
+    ) -> Option<crate::key::CacheKey> {
         generate_key(self.key_strategy, endpoint_url, request, &self.registry).ok()
     }
 
@@ -306,7 +315,8 @@ impl ResponseCacheBuilder {
 
     /// Convenience: make every operation cacheable with one TTL.
     pub fn cache_everything(mut self, ttl: Duration) -> Self {
-        self.policy = std::mem::take(&mut self.policy).with_default(OperationPolicy::cacheable(ttl));
+        self.policy =
+            std::mem::take(&mut self.policy).with_default(OperationPolicy::cacheable(ttl));
         self
     }
 
@@ -385,7 +395,12 @@ mod tests {
         let expected = FieldType::Struct("Item".into());
         let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
         let (_, events) = read_response_xml_recording(&xml, &expected, &registry()).unwrap();
-        Fixture { xml, events, value, expected }
+        Fixture {
+            xml,
+            events,
+            value,
+            expected,
+        }
     }
 
     fn request() -> RpcRequest {
@@ -400,7 +415,11 @@ mod tests {
     }
 
     fn data(f: &Fixture) -> ResponseData<'_> {
-        ResponseData { xml: &f.xml, events: &f.events, value: &f.value }
+        ResponseData {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        }
     }
 
     #[test]
@@ -425,7 +444,9 @@ mod tests {
         cache.insert(URL, &request(), data(&f));
         let other = RpcRequest::new("urn:t", "getItem").with_param("id", 8);
         assert!(cache.lookup(URL, &other, &f.expected).is_none());
-        assert!(cache.lookup("http://elsewhere.test/", &request(), &f.expected).is_none());
+        assert!(cache
+            .lookup("http://elsewhere.test/", &request(), &f.expected)
+            .is_none());
     }
 
     #[test]
@@ -475,11 +496,13 @@ mod tests {
     #[test]
     fn policy_override_forces_representation() {
         let cache = ResponseCache::builder(registry())
-            .policy(CachePolicy::new().with(
-                "getItem",
-                OperationPolicy::cacheable(Duration::from_secs(60))
-                    .with_representation(ValueRepresentation::XmlMessage),
-            ))
+            .policy(
+                CachePolicy::new().with(
+                    "getItem",
+                    OperationPolicy::cacheable(Duration::from_secs(60))
+                        .with_representation(ValueRepresentation::XmlMessage),
+                ),
+            )
             .clock(ManualClock::new())
             .build();
         let f = fixture();
@@ -493,18 +516,29 @@ mod tests {
     fn inapplicable_override_falls_back() {
         // Forcing clone on a bare string is n/a → falls back to SAX.
         let cache = ResponseCache::builder(registry())
-            .policy(CachePolicy::new().with(
-                "getItem",
-                OperationPolicy::cacheable(Duration::from_secs(60))
-                    .with_representation(ValueRepresentation::CloneCopy),
-            ))
+            .policy(
+                CachePolicy::new().with(
+                    "getItem",
+                    OperationPolicy::cacheable(Duration::from_secs(60))
+                        .with_representation(ValueRepresentation::CloneCopy),
+                ),
+            )
             .clock(ManualClock::new())
             .build();
         let value = Value::string("bare");
         let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
-        let (_, events) = read_response_xml_recording(&xml, &FieldType::String, &registry()).unwrap();
+        let (_, events) =
+            read_response_xml_recording(&xml, &FieldType::String, &registry()).unwrap();
         let repr = cache
-            .insert(URL, &request(), ResponseData { xml: &xml, events: &events, value: &value })
+            .insert(
+                URL,
+                &request(),
+                ResponseData {
+                    xml: &xml,
+                    events: &events,
+                    value: &value,
+                },
+            )
             .unwrap();
         assert_eq!(repr, ValueRepresentation::SaxEvents);
         let hit = cache.lookup(URL, &request(), &FieldType::String).unwrap();
@@ -580,7 +614,11 @@ mod tests {
                             cache.insert(
                                 URL,
                                 &req,
-                                ResponseData { xml: &f.xml, events: &f.events, value: &f.value },
+                                ResponseData {
+                                    xml: &f.xml,
+                                    events: &f.events,
+                                    value: &f.value,
+                                },
                             );
                         }
                     }

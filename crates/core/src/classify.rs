@@ -19,7 +19,12 @@ use wsrc_model::Value;
 pub trait RepresentationSelector: Send + Sync {
     /// Picks a representation for `value`. `read_only` is the
     /// administrator's assertion from the operation policy (§4.2.4).
-    fn select(&self, value: &Value, registry: &TypeRegistry, read_only: bool) -> ValueRepresentation;
+    fn select(
+        &self,
+        value: &Value,
+        registry: &TypeRegistry,
+        read_only: bool,
+    ) -> ValueRepresentation;
 }
 
 /// The selector exactly as printed in the paper's §6 summary.
@@ -27,7 +32,12 @@ pub trait RepresentationSelector: Send + Sync {
 pub struct PaperSelector;
 
 impl RepresentationSelector for PaperSelector {
-    fn select(&self, value: &Value, registry: &TypeRegistry, read_only: bool) -> ValueRepresentation {
+    fn select(
+        &self,
+        value: &Value,
+        registry: &TypeRegistry,
+        read_only: bool,
+    ) -> ValueRepresentation {
         // a) Immutable types (and administrator-asserted read-only
         //    objects) are shared.
         if value.is_deeply_immutable() || read_only {
@@ -52,7 +62,12 @@ impl RepresentationSelector for PaperSelector {
 pub struct FastestSelector;
 
 impl RepresentationSelector for FastestSelector {
-    fn select(&self, value: &Value, registry: &TypeRegistry, read_only: bool) -> ValueRepresentation {
+    fn select(
+        &self,
+        value: &Value,
+        registry: &TypeRegistry,
+        read_only: bool,
+    ) -> ValueRepresentation {
         if value.is_deeply_immutable() || read_only {
             return ValueRepresentation::PassByReference;
         }
@@ -100,9 +115,7 @@ mod tests {
                     has_to_string: false,
                 }),
             )
-            .register(
-                TypeDescriptor::new("Opaque", vec![]).with_capabilities(Capabilities::none()),
-            )
+            .register(TypeDescriptor::new("Opaque", vec![]).with_capabilities(Capabilities::none()))
             .build()
     }
 
@@ -114,7 +127,10 @@ mod tests {
             s.select(&Value::string("spelling"), &r, false),
             ValueRepresentation::PassByReference
         );
-        assert_eq!(s.select(&Value::Int(1), &r, false), ValueRepresentation::PassByReference);
+        assert_eq!(
+            s.select(&Value::Int(1), &r, false),
+            ValueRepresentation::PassByReference
+        );
     }
 
     #[test]
@@ -122,7 +138,10 @@ mod tests {
         let r = registry();
         let s = PaperSelector;
         let bean = Value::Struct(StructValue::new("Bean").with("x", 1));
-        assert_eq!(s.select(&bean, &r, true), ValueRepresentation::PassByReference);
+        assert_eq!(
+            s.select(&bean, &r, true),
+            ValueRepresentation::PassByReference
+        );
     }
 
     #[test]
@@ -130,7 +149,10 @@ mod tests {
         let r = registry();
         let s = PaperSelector;
         let bean = Value::Struct(StructValue::new("Bean").with("x", 1));
-        assert_eq!(s.select(&bean, &r, false), ValueRepresentation::ReflectionCopy);
+        assert_eq!(
+            s.select(&bean, &r, false),
+            ValueRepresentation::ReflectionCopy
+        );
         assert_eq!(
             s.select(&Value::Bytes(vec![1, 2]), &r, false),
             ValueRepresentation::ReflectionCopy
@@ -146,7 +168,10 @@ mod tests {
         let r = registry();
         let s = PaperSelector;
         let ser_only = Value::Struct(StructValue::new("SerOnly"));
-        assert_eq!(s.select(&ser_only, &r, false), ValueRepresentation::Serialization);
+        assert_eq!(
+            s.select(&ser_only, &r, false),
+            ValueRepresentation::Serialization
+        );
     }
 
     #[test]
@@ -156,7 +181,10 @@ mod tests {
         let opaque = Value::Struct(StructValue::new("Opaque"));
         assert_eq!(s.select(&opaque, &r, false), ValueRepresentation::SaxEvents);
         let unknown = Value::Struct(StructValue::new("NeverRegistered"));
-        assert_eq!(s.select(&unknown, &r, false), ValueRepresentation::SaxEvents);
+        assert_eq!(
+            s.select(&unknown, &r, false),
+            ValueRepresentation::SaxEvents
+        );
     }
 
     #[test]
@@ -176,6 +204,9 @@ mod tests {
     fn fixed_selector_is_constant() {
         let r = registry();
         let s = FixedSelector(ValueRepresentation::XmlMessage);
-        assert_eq!(s.select(&Value::Int(1), &r, true), ValueRepresentation::XmlMessage);
+        assert_eq!(
+            s.select(&Value::Int(1), &r, true),
+            ValueRepresentation::XmlMessage
+        );
     }
 }

@@ -50,7 +50,9 @@ impl ManualClock {
 
     /// A second handle to the same underlying clock.
     pub fn handle(&self) -> ManualClock {
-        ManualClock { millis: self.millis.clone() }
+        ManualClock {
+            millis: self.millis.clone(),
+        }
     }
 }
 

@@ -33,8 +33,11 @@ pub enum KeyStrategy {
 
 impl KeyStrategy {
     /// All concrete strategies, in paper Table 6 order.
-    pub const CONCRETE: [KeyStrategy; 3] =
-        [KeyStrategy::XmlMessage, KeyStrategy::Serialization, KeyStrategy::ToString];
+    pub const CONCRETE: [KeyStrategy; 3] = [
+        KeyStrategy::XmlMessage,
+        KeyStrategy::Serialization,
+        KeyStrategy::ToString,
+    ];
 
     /// Human-readable label matching the paper's tables.
     pub fn label(&self) -> &'static str {
@@ -138,9 +141,7 @@ mod tests {
 
     fn registry() -> TypeRegistry {
         TypeRegistry::builder()
-            .register(
-                TypeDescriptor::new("Opaque", vec![]).with_capabilities(Capabilities::none()),
-            )
+            .register(TypeDescriptor::new("Opaque", vec![]).with_capabilities(Capabilities::none()))
             .build()
     }
 
@@ -191,8 +192,12 @@ mod tests {
     fn parameter_boundaries_do_not_collide() {
         // ("ab","c") vs ("a","bc") must differ under every strategy.
         let r = registry();
-        let p1 = RpcRequest::new("urn:t", "op").with_param("a", "ab").with_param("b", "c");
-        let p2 = RpcRequest::new("urn:t", "op").with_param("a", "a").with_param("b", "bc");
+        let p1 = RpcRequest::new("urn:t", "op")
+            .with_param("a", "ab")
+            .with_param("b", "c");
+        let p2 = RpcRequest::new("urn:t", "op")
+            .with_param("a", "a")
+            .with_param("b", "bc");
         for strategy in KeyStrategy::CONCRETE {
             let a = generate_key(strategy, URL, &p1, &r).unwrap();
             let b = generate_key(strategy, URL, &p2, &r).unwrap();

@@ -27,7 +27,12 @@ pub struct OperationPolicy {
 impl OperationPolicy {
     /// A cacheable policy with the given TTL.
     pub fn cacheable(ttl: Duration) -> Self {
-        OperationPolicy { cacheable: true, ttl, read_only: false, representation: None }
+        OperationPolicy {
+            cacheable: true,
+            ttl,
+            read_only: false,
+            representation: None,
+        }
     }
 
     /// An uncacheable policy.
@@ -228,7 +233,10 @@ mod tests {
         assert!(spell.read_only);
         assert_eq!(spell.ttl, Duration::from_secs(3600));
         let page = p.for_operation("doGetCachedPage");
-        assert_eq!(page.representation, Some(ValueRepresentation::ReflectionCopy));
+        assert_eq!(
+            page.representation,
+            Some(ValueRepresentation::ReflectionCopy)
+        );
         assert_eq!(page.ttl, Duration::from_secs(1800));
         assert!(!p.for_operation("AddShoppingCartItems").cacheable);
     }

@@ -185,19 +185,23 @@ impl StoredResponse {
         registry: &TypeRegistry,
     ) -> Result<StoredResponse, CacheError> {
         match repr {
-            ValueRepresentation::XmlMessage => Ok(StoredResponse::XmlMessage(Arc::from(artifacts.xml))),
+            ValueRepresentation::XmlMessage => {
+                Ok(StoredResponse::XmlMessage(Arc::from(artifacts.xml)))
+            }
             ValueRepresentation::DomTree => {
                 // Rebuild the DOM from the recorded events (no re-parse).
                 let document = wsrc_xml::Document::from_events(artifacts.events)
                     .map_err(|e| CacheError::Soap(e.into()))?;
                 Ok(StoredResponse::DomTree(Arc::new(document)))
             }
-            ValueRepresentation::SaxEvents => {
-                Ok(StoredResponse::SaxEvents(Arc::new(artifacts.events.clone())))
-            }
+            ValueRepresentation::SaxEvents => Ok(StoredResponse::SaxEvents(Arc::new(
+                artifacts.events.clone(),
+            ))),
             ValueRepresentation::Serialization => {
                 let bytes = binser::serialize_checked(artifacts.value, registry)?;
-                Ok(StoredResponse::Serialized(Arc::from(bytes.into_boxed_slice())))
+                Ok(StoredResponse::Serialized(Arc::from(
+                    bytes.into_boxed_slice(),
+                )))
             }
             ValueRepresentation::ReflectionCopy => {
                 // Copy-on-store: the cache keeps its own private instance.
@@ -244,12 +248,10 @@ impl StoredResponse {
         registry: &TypeRegistry,
     ) -> Result<ValueHandle, CacheError> {
         match self {
-            StoredResponse::XmlMessage(xml) => {
-                match read_response_xml(xml, expected, registry)? {
-                    RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
-                    RpcOutcome::Fault(f) => Err(CacheError::Soap(f.into())),
-                }
-            }
+            StoredResponse::XmlMessage(xml) => match read_response_xml(xml, expected, registry)? {
+                RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
+                RpcOutcome::Fault(f) => Err(CacheError::Soap(f.into())),
+            },
             StoredResponse::DomTree(document) => {
                 match read_response_dom(document, expected, registry)? {
                     RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
@@ -328,12 +330,21 @@ mod tests {
         let xml = serialize_response("urn:t", "op", "return", &value, &r).unwrap();
         let (outcome, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
         assert_eq!(outcome.as_return().unwrap(), &value);
-        Fixture { xml, events, value, expected }
+        Fixture {
+            xml,
+            events,
+            value,
+            expected,
+        }
     }
 
     fn struct_fixture() -> Fixture {
         fixture(
-            Value::Struct(StructValue::new("Item").with("name", "widget").with("qty", 3)),
+            Value::Struct(
+                StructValue::new("Item")
+                    .with("name", "widget")
+                    .with("qty", 3),
+            ),
             FieldType::Struct("Item".into()),
         )
     }
@@ -342,7 +353,11 @@ mod tests {
     fn every_representation_retrieves_the_same_object() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let artifacts = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         for repr in ValueRepresentation::ALL_EXTENDED {
             let stored = StoredResponse::build(repr, artifacts, &r)
                 .unwrap_or_else(|e| panic!("{repr} failed to build: {e}"));
@@ -356,7 +371,11 @@ mod tests {
     fn only_pass_by_reference_shares() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let artifacts = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         for repr in ValueRepresentation::ALL {
             let stored = StoredResponse::build(repr, artifacts, &r).unwrap();
             let handle = stored.retrieve(&f.expected, &r).unwrap();
@@ -372,7 +391,11 @@ mod tests {
     fn retrieved_copies_are_independent_of_the_cache() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let artifacts = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         for repr in [
             ValueRepresentation::XmlMessage,
             ValueRepresentation::DomTree,
@@ -400,7 +423,11 @@ mod tests {
         let mut live = f.value.clone();
         let stored = StoredResponse::build(
             ValueRepresentation::ReflectionCopy,
-            MissArtifacts { xml: &f.xml, events: &f.events, value: &live },
+            MissArtifacts {
+                xml: &f.xml,
+                events: &f.events,
+                value: &live,
+            },
             &r,
         )
         .unwrap();
@@ -417,13 +444,21 @@ mod tests {
         let r = registry();
         // Bare string (SpellingSuggestion): reflection and clone are n/a.
         let s = fixture(Value::string("suggestion"), FieldType::String);
-        let art = MissArtifacts { xml: &s.xml, events: &s.events, value: &s.value };
+        let art = MissArtifacts {
+            xml: &s.xml,
+            events: &s.events,
+            value: &s.value,
+        };
         assert!(StoredResponse::build(ValueRepresentation::ReflectionCopy, art, &r).is_err());
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
         assert!(StoredResponse::build(ValueRepresentation::PassByReference, art, &r).is_ok());
         // Byte array (CachedPage): clone is n/a, reflection works.
         let b = fixture(Value::Bytes(vec![1; 64]), FieldType::Bytes);
-        let art = MissArtifacts { xml: &b.xml, events: &b.events, value: &b.value };
+        let art = MissArtifacts {
+            xml: &b.xml,
+            events: &b.events,
+            value: &b.value,
+        };
         assert!(StoredResponse::build(ValueRepresentation::ReflectionCopy, art, &r).is_ok());
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
     }
@@ -435,7 +470,11 @@ mod tests {
             Value::Struct(StructValue::new("NoClone").with("x", 1)),
             FieldType::Struct("NoClone".into()),
         );
-        let art = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let art = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
         // But serialization and reflection work for this generated type.
         assert!(StoredResponse::build(ValueRepresentation::Serialization, art, &r).is_ok());
@@ -446,7 +485,11 @@ mod tests {
     fn sizes_follow_paper_table9_ordering_for_structs() {
         let r = registry();
         let f = struct_fixture();
-        let art = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let art = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         let xml = StoredResponse::build(ValueRepresentation::XmlMessage, art, &r).unwrap();
         let ser = StoredResponse::build(ValueRepresentation::Serialization, art, &r).unwrap();
         let obj = StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).unwrap();
@@ -484,19 +527,30 @@ mod tests {
     fn dom_tree_representation_is_parse_free_and_equivalent() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let artifacts = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         let stored = StoredResponse::build(ValueRepresentation::DomTree, artifacts, &r).unwrap();
         assert_eq!(stored.representation(), ValueRepresentation::DomTree);
         let got = stored.retrieve(&f.expected, &r).unwrap();
         assert_eq!(got.as_value(), &f.value);
-        assert!(stored.approximate_size() > f.xml.len(), "DOM trees cost more memory than text");
+        assert!(
+            stored.approximate_size() > f.xml.len(),
+            "DOM trees cost more memory than text"
+        );
     }
 
     #[test]
     fn shared_handles_alias_the_cached_object() {
         let r = registry();
         let f = struct_fixture();
-        let art = MissArtifacts { xml: &f.xml, events: &f.events, value: &f.value };
+        let art = MissArtifacts {
+            xml: &f.xml,
+            events: &f.events,
+            value: &f.value,
+        };
         let stored = StoredResponse::build(ValueRepresentation::PassByReference, art, &r).unwrap();
         let h1 = stored.retrieve(&f.expected, &r).unwrap();
         let h2 = stored.retrieve(&f.expected, &r).unwrap();

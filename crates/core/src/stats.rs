@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn hit_ratio_handles_zero() {
         assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
-        let snap = StatsSnapshot { hits: 3, misses: 1, ..Default::default() };
+        let snap = StatsSnapshot {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((snap.hit_ratio() - 0.75).abs() < 1e-9);
     }
 }

@@ -21,7 +21,10 @@ pub struct Capacity {
 
 impl Default for Capacity {
     fn default() -> Self {
-        Capacity { max_entries: 10_000, max_bytes: 256 * 1024 * 1024 }
+        Capacity {
+            max_entries: 10_000,
+            max_bytes: 256 * 1024 * 1024,
+        }
     }
 }
 
@@ -72,7 +75,8 @@ impl CacheStore {
     }
 
     fn next_seq(&self) -> u64 {
-        self.access_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.access_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Looks up a live entry, refreshing its recency. Expired entries
@@ -87,7 +91,10 @@ impl CacheStore {
             Some(entry) if entry.expires_at_millis <= now_millis => {
                 if let Some(validator) = entry.validator.clone() {
                     entry.last_access_seq = self.next_seq();
-                    Lookup::Stale { stored: entry.stored.clone(), validator }
+                    Lookup::Stale {
+                        stored: entry.stored.clone(),
+                        validator,
+                    }
                 } else {
                     let size = entry.size_bytes;
                     shard.map.remove(key);
@@ -323,7 +330,10 @@ mod tests {
 
     #[test]
     fn entry_capacity_evicts_lru() {
-        let store = CacheStore::new(Capacity { max_entries: 3, max_bytes: usize::MAX });
+        let store = CacheStore::new(Capacity {
+            max_entries: 3,
+            max_bytes: usize::MAX,
+        });
         for i in 0..3 {
             store.put(key(i), value(10), 1000, 0);
         }
@@ -332,14 +342,20 @@ mod tests {
         let evicted = store.put(key(3), value(10), 1000, 0);
         assert_eq!(evicted, 1);
         assert_eq!(store.len(), 3);
-        assert!(matches!(store.get(&key(1), 0), Lookup::Absent), "LRU entry should be gone");
+        assert!(
+            matches!(store.get(&key(1), 0), Lookup::Absent),
+            "LRU entry should be gone"
+        );
         assert!(matches!(store.get(&key(0), 0), Lookup::Live(_)));
         assert!(matches!(store.get(&key(3), 0), Lookup::Live(_)));
     }
 
     #[test]
     fn byte_capacity_evicts() {
-        let store = CacheStore::new(Capacity { max_entries: usize::MAX, max_bytes: 5000 });
+        let store = CacheStore::new(Capacity {
+            max_entries: usize::MAX,
+            max_bytes: 5000,
+        });
         for i in 0..10 {
             store.put(key(i), value(1000), 1000, 0);
         }
@@ -349,7 +365,10 @@ mod tests {
 
     #[test]
     fn expired_entries_are_preferred_eviction_victims() {
-        let store = CacheStore::new(Capacity { max_entries: 2, max_bytes: usize::MAX });
+        let store = CacheStore::new(Capacity {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        });
         store.put(key(0), value(10), 10, 0); // expires at 10
         store.put(key(1), value(10), 1000, 0);
         // Insert at time 50: key 0 is expired and should be the victim
@@ -363,7 +382,10 @@ mod tests {
 
     #[test]
     fn oversized_entries_are_refused() {
-        let store = CacheStore::new(Capacity { max_entries: 10, max_bytes: 100 });
+        let store = CacheStore::new(Capacity {
+            max_entries: 10,
+            max_bytes: 100,
+        });
         store.put(key(1), value(1000), 1000, 0);
         assert_eq!(store.len(), 0);
     }
@@ -403,7 +425,10 @@ mod tests {
 
     #[test]
     fn concurrent_hammering_is_safe() {
-        let store = Arc::new(CacheStore::new(Capacity { max_entries: 64, max_bytes: usize::MAX }));
+        let store = Arc::new(CacheStore::new(Capacity {
+            max_entries: 64,
+            max_bytes: usize::MAX,
+        }));
         let mut threads = Vec::new();
         for t in 0..8 {
             let store = store.clone();

@@ -53,9 +53,18 @@ fn arb_params() -> impl Strategy<Value = Vec<(String, Value)>> {
 }
 
 fn arb_rec(depth: u32) -> BoxedStrategy<Value> {
-    let leaf = ("[ -~]{0,10}", any::<i32>(), proptest::collection::vec(any::<u8>(), 0..16))
+    let leaf = (
+        "[ -~]{0,10}",
+        any::<i32>(),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    )
         .prop_map(|(s, i, b)| {
-            Value::Struct(StructValue::new("Rec").with("s", s).with("i", i).with("b", b))
+            Value::Struct(
+                StructValue::new("Rec")
+                    .with("s", s)
+                    .with("i", i)
+                    .with("b", b),
+            )
         });
     if depth == 0 {
         leaf.boxed()

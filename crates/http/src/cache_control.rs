@@ -49,7 +49,10 @@ impl CacheControl {
     /// Reads and parses the header from a response, defaulting to an
     /// empty directive set when absent.
     pub fn from_response(resp: &Response) -> CacheControl {
-        resp.headers.get("Cache-Control").map(CacheControl::parse).unwrap_or_default()
+        resp.headers
+            .get("Cache-Control")
+            .map(CacheControl::parse)
+            .unwrap_or_default()
     }
 
     /// Whether a cache may store this response.
@@ -84,12 +87,20 @@ impl CacheControl {
 
 /// Stamps `Last-Modified` (and optionally `Cache-Control: max-age`) on a
 /// response, making it revalidatable.
-pub fn stamp_validators(resp: Response, last_modified: SystemTime, max_age: Option<Duration>) -> Response {
+pub fn stamp_validators(
+    resp: Response,
+    last_modified: SystemTime,
+    max_age: Option<Duration>,
+) -> Response {
     let mut resp = resp.with_header("Last-Modified", format_http_date(last_modified));
     if let Some(age) = max_age {
         resp = resp.with_header(
             "Cache-Control",
-            CacheControl { max_age: Some(age), ..CacheControl::default() }.to_header_value(),
+            CacheControl {
+                max_age: Some(age),
+                ..CacheControl::default()
+            }
+            .to_header_value(),
         );
     }
     resp
@@ -153,7 +164,10 @@ mod tests {
     #[test]
     fn storability_and_freshness() {
         assert!(!CacheControl::parse("no-store").is_storable());
-        assert_eq!(CacheControl::parse("no-cache").freshness_lifetime(), Some(Duration::ZERO));
+        assert_eq!(
+            CacheControl::parse("no-cache").freshness_lifetime(),
+            Some(Duration::ZERO)
+        );
         assert_eq!(
             CacheControl::parse("max-age=10").freshness_lifetime(),
             Some(Duration::from_secs(10))
@@ -163,7 +177,11 @@ mod tests {
 
     #[test]
     fn header_value_roundtrips() {
-        let cc = CacheControl { no_store: false, no_cache: true, max_age: Some(Duration::from_secs(7)) };
+        let cc = CacheControl {
+            no_store: false,
+            no_cache: true,
+            max_age: Some(Duration::from_secs(7)),
+        };
         assert_eq!(CacheControl::parse(&cc.to_header_value()), cc);
     }
 

@@ -24,12 +24,18 @@ pub struct HttpClient {
 impl HttpClient {
     /// Creates a client with a default 30-second I/O timeout.
     pub fn new() -> Self {
-        HttpClient { connections: Mutex::new(HashMap::new()), timeout: Some(Duration::from_secs(30)) }
+        HttpClient {
+            connections: Mutex::new(HashMap::new()),
+            timeout: Some(Duration::from_secs(30)),
+        }
     }
 
     /// Creates a client with a custom I/O timeout (`None` blocks forever).
     pub fn with_timeout(timeout: Option<Duration>) -> Self {
-        HttpClient { connections: Mutex::new(HashMap::new()), timeout }
+        HttpClient {
+            connections: Mutex::new(HashMap::new()),
+            timeout,
+        }
     }
 
     /// Executes a request against `url`, reusing a pooled connection when
@@ -60,7 +66,12 @@ impl HttpClient {
     /// # Errors
     ///
     /// Same as [`execute`](HttpClient::execute).
-    pub fn post(&self, url: &Url, content_type: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+    pub fn post(
+        &self,
+        url: &Url,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, HttpError> {
         let req = Request::post(url.path(), content_type, body);
         self.execute(url, &req)
     }
@@ -88,7 +99,12 @@ impl HttpClient {
         Ok(stream)
     }
 
-    fn roundtrip(&self, stream: TcpStream, url: &Url, request: &Request) -> Result<Response, HttpError> {
+    fn roundtrip(
+        &self,
+        stream: TcpStream,
+        url: &Url,
+        request: &Request,
+    ) -> Result<Response, HttpError> {
         let mut req = request.clone();
         req.target = url.path().to_string();
         {
@@ -138,7 +154,9 @@ mod tests {
     }
 
     fn start_echo() -> (Server, Arc<Echo>, Url) {
-        let handler = Arc::new(Echo { hits: AtomicUsize::new(0) });
+        let handler = Arc::new(Echo {
+            hits: AtomicUsize::new(0),
+        });
         let server = Server::bind("127.0.0.1:0", handler.clone()).unwrap();
         let url = Url::new("127.0.0.1", server.port(), "/echo");
         (server, handler, url)
@@ -151,7 +169,9 @@ mod tests {
         let r = client.get(&url).unwrap();
         assert_eq!(r.status, Status::OK);
         assert_eq!(r.body, b"/echo");
-        let r = client.post(&url, "text/plain", b"payload".to_vec()).unwrap();
+        let r = client
+            .post(&url, "text/plain", b"payload".to_vec())
+            .unwrap();
         assert_eq!(r.body, b"payload");
         assert_eq!(handler.hits.load(Ordering::SeqCst), 2);
     }
@@ -174,9 +194,11 @@ mod tests {
         client.get(&url).unwrap();
         let port = server.port();
         drop(server); // kills the listener and its connections
-        // Restart a fresh server on the same port; the pooled (dead)
-        // connection must be detected and replaced.
-        let handler = Arc::new(Echo { hits: AtomicUsize::new(0) });
+                      // Restart a fresh server on the same port; the pooled (dead)
+                      // connection must be detected and replaced.
+        let handler = Arc::new(Echo {
+            hits: AtomicUsize::new(0),
+        });
         let server2 = match Server::bind(("127.0.0.1", port), handler) {
             Ok(s) => s,
             // Port may be taken by the OS in rare races; skip then.

@@ -5,8 +5,9 @@ use crate::error::HttpError;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 const DAY_NAMES: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
-const MONTH_NAMES: [&str; 12] =
-    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
 
 /// Formats a time as an IMF-fixdate, e.g. `Sun, 06 Nov 1994 08:49:37 GMT`.
 ///
@@ -61,7 +62,10 @@ pub fn parse_http_date(s: &str) -> Result<SystemTime, HttpError> {
     let h: i64 = hms_it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
     let m: i64 = hms_it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
     let sec: i64 = hms_it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-    if !(1..=31).contains(&day) || !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec)
+    if !(1..=31).contains(&day)
+        || !(0..24).contains(&h)
+        || !(0..60).contains(&m)
+        || !(0..60).contains(&sec)
     {
         return Err(bad());
     }
@@ -111,12 +115,23 @@ mod tests {
 
     #[test]
     fn epoch_formats_correctly() {
-        assert_eq!(format_http_date(UNIX_EPOCH), "Thu, 01 Jan 1970 00:00:00 GMT");
+        assert_eq!(
+            format_http_date(UNIX_EPOCH),
+            "Thu, 01 Jan 1970 00:00:00 GMT"
+        );
     }
 
     #[test]
     fn parse_inverts_format() {
-        for secs in [0u64, 1, 86_399, 86_400, 784_111_777, 1_700_000_000, 4_102_444_800] {
+        for secs in [
+            0u64,
+            1,
+            86_399,
+            86_400,
+            784_111_777,
+            1_700_000_000,
+            4_102_444_800,
+        ] {
             let t = UNIX_EPOCH + Duration::from_secs(secs);
             let s = format_http_date(t);
             assert_eq!(parse_http_date(&s).unwrap(), t, "roundtrip failed for {s}");

@@ -71,9 +71,17 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(HttpError::protocol("bad line").to_string().contains("bad line"));
-        assert!(HttpError::BadUrl("x".into()).to_string().contains("invalid url"));
-        let s = HttpError::Status { code: 500, reason: "Internal".into(), body: String::new() };
+        assert!(HttpError::protocol("bad line")
+            .to_string()
+            .contains("bad line"));
+        assert!(HttpError::BadUrl("x".into())
+            .to_string()
+            .contains("invalid url"));
+        let s = HttpError::Status {
+            code: 500,
+            reason: "Internal".into(),
+            body: String::new(),
+        };
         assert!(s.to_string().contains("500"));
         assert_eq!(HttpError::Timeout.to_string(), "http operation timed out");
     }

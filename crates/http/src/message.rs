@@ -165,14 +165,24 @@ pub struct Request {
 impl Request {
     /// Creates a GET request for `target`.
     pub fn get(target: impl Into<String>) -> Self {
-        Request { method: Method::Get, target: target.into(), headers: Headers::new(), body: Vec::new() }
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Creates a POST request with a body.
     pub fn post(target: impl Into<String>, content_type: &str, body: Vec<u8>) -> Self {
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type);
-        Request { method: Method::Post, target: target.into(), headers, body }
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            headers,
+            body,
+        }
     }
 
     /// Builder-style header setter.
@@ -221,11 +231,18 @@ impl Request {
             .to_string();
         let version = parts.next().unwrap_or_default();
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::protocol(format!("unsupported version '{version}'")));
+            return Err(HttpError::protocol(format!(
+                "unsupported version '{version}'"
+            )));
         }
         let headers = read_headers(r)?;
         let body = read_body(r, &headers)?;
-        Ok(Some(Request { method, target, headers, body }))
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
     }
 
     /// The request body as UTF-8 text (lossy).
@@ -252,7 +269,11 @@ impl Response {
         if !body.is_empty() || status.is_success() {
             headers.set("Content-Type", content_type);
         }
-        Response { status, headers, body }
+        Response {
+            status,
+            headers,
+            body,
+        }
     }
 
     /// A `200 OK` response.
@@ -262,12 +283,20 @@ impl Response {
 
     /// A bodyless `304 Not Modified` response.
     pub fn not_modified() -> Self {
-        Response { status: Status::NOT_MODIFIED, headers: Headers::new(), body: Vec::new() }
+        Response {
+            status: Status::NOT_MODIFIED,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
     }
 
     /// A plain-text error response.
     pub fn error(status: Status, message: &str) -> Self {
-        Response::new(status, "text/plain; charset=utf-8", message.as_bytes().to_vec())
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            message.as_bytes().to_vec(),
+        )
     }
 
     /// Builder-style header setter.
@@ -305,7 +334,9 @@ impl Response {
         let mut parts = line.splitn(3, ' ');
         let version = parts.next().unwrap_or_default();
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::protocol(format!("unsupported version '{version}'")));
+            return Err(HttpError::protocol(format!(
+                "unsupported version '{version}'"
+            )));
         }
         let code: u16 = parts
             .next()
@@ -314,7 +345,11 @@ impl Response {
             .map_err(|_| HttpError::protocol("bad status code"))?;
         let headers = read_headers(r)?;
         let body = read_body(r, &headers)?;
-        Ok(Response { status: Status(code), headers, body })
+        Ok(Response {
+            status: Status(code),
+            headers,
+            body,
+        })
     }
 
     /// The response body as UTF-8 text (lossy).
@@ -341,8 +376,8 @@ const MAX_BODY: usize = 64 * 1024 * 1024;
 fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, HttpError> {
     let mut headers = Headers::new();
     loop {
-        let line = read_line(r)?
-            .ok_or_else(|| HttpError::protocol("connection closed inside headers"))?;
+        let line =
+            read_line(r)?.ok_or_else(|| HttpError::protocol("connection closed inside headers"))?;
         if line.is_empty() {
             return Ok(headers);
         }
@@ -361,7 +396,9 @@ fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>, HttpEr
         if te.eq_ignore_ascii_case("chunked") {
             return read_chunked(r);
         }
-        return Err(HttpError::protocol(format!("unsupported transfer encoding '{te}'")));
+        return Err(HttpError::protocol(format!(
+            "unsupported transfer encoding '{te}'"
+        )));
     }
     let len: usize = match headers.get("Content-Length") {
         Some(v) => v
@@ -439,7 +476,9 @@ mod tests {
         assert!(text.starts_with("POST /svc HTTP/1.1\r\n"));
         assert!(text.contains("Host: example.test:80\r\n"));
         assert!(text.contains("Content-Length: 4\r\n"));
-        let parsed = Request::read_from(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(parsed.method, Method::Post);
         assert_eq!(parsed.target, "/svc");
         assert_eq!(parsed.body, b"<x/>");
@@ -471,8 +510,8 @@ mod tests {
     #[test]
     fn malformed_messages_are_rejected() {
         for wire in [
-            "BREW /pot HTTP/1.1\r\n\r\n",          // unknown method
-            "GET /x SPDY/3\r\n\r\n",               // bad version
+            "BREW /pot HTTP/1.1\r\n\r\n",           // unknown method
+            "GET /x SPDY/3\r\n\r\n",                // bad version
             "GET /x HTTP/1.1\r\nbadheader\r\n\r\n", // header without colon
             "GET\r\n\r\n",                          // missing target
         ] {
@@ -481,10 +520,9 @@ mod tests {
                 "expected error for {wire:?}"
             );
         }
-        assert!(Response::read_from(&mut BufReader::new(
-            &b"HTTP/1.1 abc Bad\r\n\r\n"[..]
-        ))
-        .is_err());
+        assert!(
+            Response::read_from(&mut BufReader::new(&b"HTTP/1.1 abc Bad\r\n\r\n"[..])).is_err()
+        );
     }
 
     #[test]
@@ -495,7 +533,10 @@ mod tests {
 
     #[test]
     fn oversized_body_is_rejected() {
-        let wire = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(Request::read_from(&mut BufReader::new(wire.as_bytes())).is_err());
     }
 

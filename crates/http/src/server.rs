@@ -62,7 +62,11 @@ impl Server {
             .name(format!("http-accept-{port}"))
             .spawn(move || accept_loop(listener, handler, accept_shared))
             .map_err(HttpError::Io)?;
-        Ok(Server { port, shared, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            port,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound port.
@@ -114,7 +118,9 @@ fn connection_loop(stream: TcpStream, handler: Arc<dyn Handler>, shared: Arc<Sha
     let _ = stream.set_nodelay(true);
     // Idle keep-alive connections are reaped so shutdown is prompt.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-    let Ok(read_half) = stream.try_clone() else { return };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -128,7 +134,8 @@ fn connection_loop(stream: TcpStream, handler: Arc<dyn Handler>, shared: Arc<Sha
             Err(HttpError::Io(_)) => return,
             Err(_) => {
                 // Malformed request: best-effort 400, then close.
-                let resp = Response::error(crate::message::Status::BAD_REQUEST, "malformed request");
+                let resp =
+                    Response::error(crate::message::Status::BAD_REQUEST, "malformed request");
                 let _ = resp.write_to(&mut writer);
                 return;
             }
@@ -163,7 +170,9 @@ mod tests {
     fn hello_server() -> (Server, Url) {
         let server = Server::bind(
             "127.0.0.1:0",
-            Arc::new(|req: &Request| Response::ok("text/plain", format!("hello {}", req.target).into_bytes())),
+            Arc::new(|req: &Request| {
+                Response::ok("text/plain", format!("hello {}", req.target).into_bytes())
+            }),
         )
         .unwrap();
         let url = Url::new("127.0.0.1", server.port(), "/world");

@@ -36,12 +36,16 @@ pub struct TcpTransport {
 impl TcpTransport {
     /// Creates a transport with default client settings.
     pub fn new() -> Self {
-        TcpTransport { client: HttpClient::new() }
+        TcpTransport {
+            client: HttpClient::new(),
+        }
     }
 
     /// Creates a transport with a custom I/O timeout.
     pub fn with_timeout(timeout: Option<Duration>) -> Self {
-        TcpTransport { client: HttpClient::with_timeout(timeout) }
+        TcpTransport {
+            client: HttpClient::with_timeout(timeout),
+        }
     }
 }
 
@@ -62,7 +66,10 @@ pub struct InProcTransport {
 impl InProcTransport {
     /// Wraps a handler.
     pub fn new(handler: Arc<dyn Handler>) -> Self {
-        InProcTransport { handler, requests: AtomicU64::new(0) }
+        InProcTransport {
+            handler,
+            requests: AtomicU64::new(0),
+        }
     }
 
     /// Number of requests that reached the handler.
@@ -162,7 +169,10 @@ mod tests {
 
     #[test]
     fn latency_transport_delays_requests() {
-        let t = LatencyTransport::new(InProcTransport::new(echo_handler()), Duration::from_millis(20));
+        let t = LatencyTransport::new(
+            InProcTransport::new(echo_handler()),
+            Duration::from_millis(20),
+        );
         let url = Url::new("virtual", 80, "/");
         let start = Instant::now();
         t.execute(&url, &Request::get("/")).unwrap();

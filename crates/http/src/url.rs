@@ -49,7 +49,11 @@ impl Url {
         if host.is_empty() {
             return Err(HttpError::BadUrl(format!("{s} (empty host)")));
         }
-        Ok(Url { host: host.to_string(), port, path })
+        Ok(Url {
+            host: host.to_string(),
+            port,
+            path,
+        })
     }
 
     /// Builds a URL from parts; `path` must begin with `/`.
@@ -58,7 +62,11 @@ impl Url {
         if !path.starts_with('/') {
             path.insert(0, '/');
         }
-        Url { host: host.into(), port, path }
+        Url {
+            host: host.into(),
+            port,
+            path,
+        }
     }
 
     /// Host name.

@@ -17,16 +17,21 @@ use crate::value::Value;
 /// Returns [`ModelError::TypeMismatch`] naming the expectation and the
 /// offending value, [`ModelError::UnknownType`] for unregistered structs,
 /// and [`ModelError::UnknownField`] for undeclared fields.
-pub fn validate(value: &Value, expected: &FieldType, registry: &TypeRegistry) -> Result<(), ModelError> {
+pub fn validate(
+    value: &Value,
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<(), ModelError> {
     let mismatch = || ModelError::TypeMismatch {
         expected: expected.to_string(),
         found: value.type_label().to_string(),
     };
     match (expected, value) {
         // Reference types are nullable; primitives are not.
-        (FieldType::String | FieldType::Bytes | FieldType::ArrayOf(_) | FieldType::Struct(_), Value::Null) => {
-            Ok(())
-        }
+        (
+            FieldType::String | FieldType::Bytes | FieldType::ArrayOf(_) | FieldType::Struct(_),
+            Value::Null,
+        ) => Ok(()),
         (FieldType::Bool, Value::Bool(_)) => Ok(()),
         (FieldType::Int, Value::Int(_)) => Ok(()),
         (FieldType::Long, Value::Long(_)) => Ok(()),
@@ -48,10 +53,13 @@ pub fn validate(value: &Value, expected: &FieldType, registry: &TypeRegistry) ->
             }
             let descriptor = registry.require(type_name)?;
             for (field_name, field_value) in s.fields() {
-                let field = descriptor.field(field_name).ok_or_else(|| ModelError::UnknownField {
-                    type_name: type_name.clone(),
-                    field: field_name.to_string(),
-                })?;
+                let field =
+                    descriptor
+                        .field(field_name)
+                        .ok_or_else(|| ModelError::UnknownField {
+                            type_name: type_name.clone(),
+                            field: field_name.to_string(),
+                        })?;
                 validate(field_value, &field.field_type, registry)?;
             }
             Ok(())
@@ -118,7 +126,12 @@ mod tests {
         let r = registry();
         assert!(validate(&Value::Null, &FieldType::String, &r).is_ok());
         assert!(validate(&Value::Null, &FieldType::Struct("Node".into()), &r).is_ok());
-        assert!(validate(&Value::Null, &FieldType::ArrayOf(Box::new(FieldType::Int)), &r).is_ok());
+        assert!(validate(
+            &Value::Null,
+            &FieldType::ArrayOf(Box::new(FieldType::Int)),
+            &r
+        )
+        .is_ok());
         assert!(validate(&Value::Null, &FieldType::Int, &r).is_err());
         assert!(validate(&Value::Null, &FieldType::Bool, &r).is_err());
     }
@@ -128,9 +141,12 @@ mod tests {
         let r = registry();
         let ty = FieldType::ArrayOf(Box::new(FieldType::Int));
         assert!(validate(&Value::Array(vec![Value::Int(1), Value::Int(2)]), &ty, &r).is_ok());
-        assert!(
-            validate(&Value::Array(vec![Value::Int(1), Value::string("2")]), &ty, &r).is_err()
-        );
+        assert!(validate(
+            &Value::Array(vec![Value::Int(1), Value::string("2")]),
+            &ty,
+            &r
+        )
+        .is_err());
     }
 
     #[test]
@@ -138,9 +154,15 @@ mod tests {
         let r = registry();
         let ty = FieldType::Struct("Node".into());
         let extra = Value::Struct(StructValue::new("Node").with("bogus", 1));
-        assert!(matches!(validate(&extra, &ty, &r), Err(ModelError::UnknownField { .. })));
+        assert!(matches!(
+            validate(&extra, &ty, &r),
+            Err(ModelError::UnknownField { .. })
+        ));
         let wrong = Value::Struct(StructValue::new("Node").with("weight", "heavy"));
-        assert!(matches!(validate(&wrong, &ty, &r), Err(ModelError::TypeMismatch { .. })));
+        assert!(matches!(
+            validate(&wrong, &ty, &r),
+            Err(ModelError::TypeMismatch { .. })
+        ));
         let wrong_name = Value::Struct(StructValue::new("Leaf"));
         assert!(validate(&wrong_name, &ty, &r).is_err());
         let unknown = Value::Struct(StructValue::new("Ghost"));

@@ -102,14 +102,21 @@ fn check_serializable(value: &Value, registry: &TypeRegistry) -> Result<(), Mode
 ///
 /// Returns [`ModelError::Corrupt`] on malformed input.
 pub fn deserialize(bytes: &[u8]) -> Result<Value, ModelError> {
-    let mut r = Reader { bytes, pos: 0, descriptors: Vec::new(), strings: Vec::new() };
+    let mut r = Reader {
+        bytes,
+        pos: 0,
+        descriptors: Vec::new(),
+        strings: Vec::new(),
+    };
     let magic = r.take(4)?;
     if magic != MAGIC {
         return Err(ModelError::corrupt("bad magic"));
     }
     let version = r.u8()?;
     if version != VERSION {
-        return Err(ModelError::corrupt(format!("unsupported version {version}")));
+        return Err(ModelError::corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let value = r.read_value(0)?;
     if r.pos != r.bytes.len() {
@@ -173,8 +180,10 @@ impl Writer {
                 }
             }
             Value::Struct(s) => {
-                let key =
-                    (s.type_name().to_string(), s.fields().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
+                let key = (
+                    s.type_name().to_string(),
+                    s.fields().map(|(n, _)| n.to_string()).collect::<Vec<_>>(),
+                );
                 if let Some(&id) = self.descriptors.get(&key) {
                     // Known shape: reference the descriptor, values only.
                     self.out.push(TAG_STRUCT_REF);
@@ -273,12 +282,12 @@ impl<'b> Reader<'b> {
                 1 => Ok(Value::Bool(true)),
                 other => Err(ModelError::corrupt(format!("invalid bool byte {other}"))),
             },
-            TAG_INT => {
-                Ok(Value::Int(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"))))
-            }
-            TAG_LONG => {
-                Ok(Value::Long(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))))
-            }
+            TAG_INT => Ok(Value::Int(i32::from_le_bytes(
+                self.take(4)?.try_into().expect("4 bytes"),
+            ))),
+            TAG_LONG => Ok(Value::Long(i64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            ))),
             TAG_DOUBLE => Ok(Value::Double(f64::from_bits(u64::from_le_bytes(
                 self.take(8)?.try_into().expect("8 bytes"),
             )))),
@@ -327,7 +336,9 @@ impl<'b> Reader<'b> {
             TAG_STRUCT_REF => {
                 let id = self.len()?;
                 if id >= self.descriptors.len() {
-                    return Err(ModelError::corrupt(format!("dangling descriptor handle {id}")));
+                    return Err(ModelError::corrupt(format!(
+                        "dangling descriptor handle {id}"
+                    )));
                 }
                 self.read_struct_body(id, depth)
             }
@@ -335,7 +346,11 @@ impl<'b> Reader<'b> {
         }
     }
 
-    fn read_struct_body(&mut self, descriptor_id: usize, depth: usize) -> Result<Value, ModelError> {
+    fn read_struct_body(
+        &mut self,
+        descriptor_id: usize,
+        depth: usize,
+    ) -> Result<Value, ModelError> {
         let (type_name, field_count) = {
             let (name, fields) = &self.descriptors[descriptor_id];
             (name.clone(), fields.len())
@@ -411,14 +426,19 @@ mod tests {
     fn class_descriptors_are_written_once() {
         // Ten structs of the same shape: the field names appear once.
         let one = Value::Struct(StructValue::new("Elem").with("fieldWithLongName", 1));
-        let ten = Value::Array((0..10).map(|i| {
-            Value::Struct(StructValue::new("Elem").with("fieldWithLongName", i))
-        }).collect());
+        let ten = Value::Array(
+            (0..10)
+                .map(|i| Value::Struct(StructValue::new("Elem").with("fieldWithLongName", i)))
+                .collect(),
+        );
         let one_bytes = serialize(&one).len();
         let ten_bytes = serialize(&ten).len();
         // If descriptors repeated, ten_bytes ≈ 10 * one_bytes; with
         // descriptor sharing it is far smaller.
-        assert!(ten_bytes < one_bytes + 9 * 8 + 16, "ten={ten_bytes}, one={one_bytes}");
+        assert!(
+            ten_bytes < one_bytes + 9 * 8 + 16,
+            "ten={ten_bytes}, one={one_bytes}"
+        );
         let text = String::from_utf8_lossy(&serialize(&ten)).into_owned();
         assert_eq!(text.matches("fieldWithLongName").count(), 1);
     }
@@ -458,7 +478,10 @@ mod tests {
         let mut copy = deserialize(&bytes).unwrap();
         copy.as_struct_mut().unwrap().set("count", 99);
         let again = deserialize(&bytes).unwrap();
-        assert_eq!(again.as_struct().unwrap().get("count"), Some(&Value::Int(42)));
+        assert_eq!(
+            again.as_struct().unwrap().get("count"),
+            Some(&Value::Int(42))
+        );
     }
 
     #[test]
@@ -496,7 +519,10 @@ mod tests {
     fn every_truncation_of_a_valid_stream_errors() {
         let bytes = serialize(&complex_value());
         for cut in 0..bytes.len() {
-            assert!(deserialize(&bytes[..cut]).is_err(), "truncation at {cut} should fail");
+            assert!(
+                deserialize(&bytes[..cut]).is_err(),
+                "truncation at {cut} should fail"
+            );
         }
     }
 
@@ -508,10 +534,17 @@ mod tests {
             .build();
         let ok = Value::Struct(StructValue::new("Ok"));
         assert!(serialize_checked(&ok, &registry).is_ok());
-        let nested_bad =
-            Value::Struct(StructValue::new("Ok").with("f", Value::Struct(StructValue::new("NoSer"))));
+        let nested_bad = Value::Struct(
+            StructValue::new("Ok").with("f", Value::Struct(StructValue::new("NoSer"))),
+        );
         let err = serialize_checked(&nested_bad, &registry).unwrap_err();
-        assert!(matches!(err, ModelError::NotSupported { capability: "serialization", .. }));
+        assert!(matches!(
+            err,
+            ModelError::NotSupported {
+                capability: "serialization",
+                ..
+            }
+        ));
         let unknown = Value::Struct(StructValue::new("Mystery"));
         assert!(serialize_checked(&unknown, &registry).is_err());
     }

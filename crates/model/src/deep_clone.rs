@@ -62,7 +62,11 @@ mod tests {
     }
 
     fn doc() -> Value {
-        Value::Struct(StructValue::new("Doc").with("title", "t").with("payload", vec![1u8, 2]))
+        Value::Struct(
+            StructValue::new("Doc")
+                .with("title", "t")
+                .with("payload", vec![1u8, 2]),
+        )
     }
 
     #[test]
@@ -75,7 +79,10 @@ mod tests {
             Value::Bytes(b) => b.push(3),
             _ => unreachable!(),
         }
-        assert_eq!(v.as_struct().unwrap().get("payload"), Some(&Value::Bytes(vec![1, 2])));
+        assert_eq!(
+            v.as_struct().unwrap().get("payload"),
+            Some(&Value::Bytes(vec![1, 2]))
+        );
     }
 
     #[test]
@@ -83,7 +90,10 @@ mod tests {
         let r = registry();
         let v = doc();
         let copy = clone_copy(&v, &r).unwrap();
-        match (v.as_struct().unwrap().get("title"), copy.as_struct().unwrap().get("title")) {
+        match (
+            v.as_struct().unwrap().get("title"),
+            copy.as_struct().unwrap().get("title"),
+        ) {
             (Some(Value::String(a)), Some(Value::String(b))) => assert!(Arc::ptr_eq(a, b)),
             _ => unreachable!(),
         }
@@ -93,7 +103,10 @@ mod tests {
     fn uncloneable_values_are_rejected() {
         let r = registry();
         for v in [Value::string("s"), Value::Bytes(vec![1]), Value::Int(3)] {
-            assert!(matches!(clone_copy(&v, &r), Err(ModelError::NotSupported { .. })));
+            assert!(matches!(
+                clone_copy(&v, &r),
+                Err(ModelError::NotSupported { .. })
+            ));
         }
         let no_clone = Value::Struct(StructValue::new("NoClone"));
         assert!(clone_copy(&no_clone, &r).is_err());

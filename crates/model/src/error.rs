@@ -49,7 +49,10 @@ impl ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::NotSupported { type_name, capability } => {
+            ModelError::NotSupported {
+                type_name,
+                capability,
+            } => {
                 write!(f, "type '{type_name}' does not support {capability}")
             }
             ModelError::UnknownType(t) => write!(f, "unknown type '{t}'"),
@@ -72,11 +75,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::NotSupported { type_name: "X".into(), capability: "clone" };
+        let e = ModelError::NotSupported {
+            type_name: "X".into(),
+            capability: "clone",
+        };
         assert_eq!(e.to_string(), "type 'X' does not support clone");
-        assert!(ModelError::UnknownType("T".into()).to_string().contains("'T'"));
-        assert!(ModelError::corrupt("short read").to_string().contains("short read"));
-        let tm = ModelError::TypeMismatch { expected: "Int".into(), found: "String".into() };
+        assert!(ModelError::UnknownType("T".into())
+            .to_string()
+            .contains("'T'"));
+        assert!(ModelError::corrupt("short read")
+            .to_string()
+            .contains("short read"));
+        let tm = ModelError::TypeMismatch {
+            expected: "Int".into(),
+            found: "String".into(),
+        };
         assert!(tm.to_string().contains("expected Int"));
     }
 

@@ -47,7 +47,11 @@ fn copy_array(items: &[Value], registry: &TypeRegistry) -> Result<Value, ModelEr
 fn copy_inner(value: &Value, registry: &TypeRegistry) -> Result<Value, ModelError> {
     match value {
         // Immutable leaves are shared, not copied (paper §4.2.4).
-        Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+        Value::Null
+        | Value::Bool(_)
+        | Value::Int(_)
+        | Value::Long(_)
+        | Value::Double(_)
         | Value::String(_) => Ok(value.clone()),
         Value::Bytes(b) => Ok(Value::Bytes(b.clone())),
         Value::Array(items) => copy_array(items, registry),
@@ -106,19 +110,19 @@ mod tests {
                 vec![FieldDescriptor::new("data", FieldType::Bytes)],
             ))
             .register(
-                TypeDescriptor::new("NotABean", vec![])
-                    .with_capabilities(Capabilities { bean: false, ..Capabilities::all() }),
+                TypeDescriptor::new("NotABean", vec![]).with_capabilities(Capabilities {
+                    bean: false,
+                    ..Capabilities::all()
+                }),
             )
             .build()
     }
 
     fn pair() -> Value {
-        Value::Struct(
-            StructValue::new("Pair").with("left", "L").with(
-                "right",
-                Value::Struct(StructValue::new("Leaf").with("data", vec![1u8, 2, 3])),
-            ),
-        )
+        Value::Struct(StructValue::new("Pair").with("left", "L").with(
+            "right",
+            Value::Struct(StructValue::new("Leaf").with("data", vec![1u8, 2, 3])),
+        ))
     }
 
     #[test]
@@ -195,9 +199,15 @@ mod tests {
     fn non_bean_and_unknown_types_are_rejected() {
         let r = registry();
         let not_bean = Value::Struct(StructValue::new("NotABean"));
-        assert!(matches!(reflect_copy(&not_bean, &r), Err(ModelError::NotSupported { .. })));
+        assert!(matches!(
+            reflect_copy(&not_bean, &r),
+            Err(ModelError::NotSupported { .. })
+        ));
         let unknown = Value::Struct(StructValue::new("Mystery"));
-        assert!(matches!(reflect_copy(&unknown, &r), Err(ModelError::UnknownType(_))));
+        assert!(matches!(
+            reflect_copy(&unknown, &r),
+            Err(ModelError::UnknownType(_))
+        ));
         // Nested failures propagate.
         let nested = Value::Struct(StructValue::new("Pair").with("left", not_bean));
         assert!(reflect_copy(&nested, &r).is_err());

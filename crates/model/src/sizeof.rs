@@ -32,9 +32,7 @@ fn heap_size(value: &Value) -> usize {
             s.type_name().len()
                 + s.fields()
                     .map(|(name, v)| {
-                        name.len()
-                            + std::mem::size_of::<(String, Value)>()
-                            + heap_size(v)
+                        name.len() + std::mem::size_of::<(String, Value)>() + heap_size(v)
                     })
                     .sum::<usize>()
         }
@@ -78,7 +76,10 @@ mod tests {
     #[test]
     fn scalars_have_fixed_size() {
         assert_eq!(deep_size(&Value::Null), deep_size(&Value::Int(5)));
-        assert_eq!(deep_size(&Value::Bool(true)), deep_size(&Value::Double(1.5)));
+        assert_eq!(
+            deep_size(&Value::Bool(true)),
+            deep_size(&Value::Double(1.5))
+        );
     }
 
     #[test]

@@ -165,9 +165,15 @@ mod tests {
         let r = registry();
         assert!(to_string_key(&Value::Bytes(vec![1]), &r).is_err());
         let no_ts = Value::Struct(StructValue::new("NoToString"));
-        assert!(matches!(to_string_key(&no_ts, &r), Err(ModelError::NotSupported { .. })));
+        assert!(matches!(
+            to_string_key(&no_ts, &r),
+            Err(ModelError::NotSupported { .. })
+        ));
         let unknown = Value::Struct(StructValue::new("Mystery"));
-        assert!(matches!(to_string_key(&unknown, &r), Err(ModelError::UnknownType(_))));
+        assert!(matches!(
+            to_string_key(&unknown, &r),
+            Err(ModelError::UnknownType(_))
+        ));
         // Nested rejection propagates.
         let nested = Value::Array(vec![Value::Bytes(vec![0])]);
         assert!(to_string_key(&nested, &r).is_err());
@@ -178,6 +184,9 @@ mod tests {
         let r = registry();
         let a = Value::Struct(StructValue::new("Query").with("q", "k").with("max", 3));
         let b = Value::Struct(StructValue::new("Query").with("q", "k").with("max", 3));
-        assert_eq!(to_string_key(&a, &r).unwrap(), to_string_key(&b, &r).unwrap());
+        assert_eq!(
+            to_string_key(&a, &r).unwrap(),
+            to_string_key(&b, &r).unwrap()
+        );
     }
 }

@@ -34,19 +34,34 @@ impl Capabilities {
     /// modified `GoogleSearchResult` "so that all of the methods could be
     /// applied").
     pub fn all() -> Self {
-        Capabilities { serializable: true, bean: true, cloneable: true, has_to_string: true }
+        Capabilities {
+            serializable: true,
+            bean: true,
+            cloneable: true,
+            has_to_string: true,
+        }
     }
 
     /// Nothing enabled — an opaque application-specific class.
     pub fn none() -> Self {
-        Capabilities { serializable: false, bean: false, cloneable: false, has_to_string: false }
+        Capabilities {
+            serializable: false,
+            bean: false,
+            cloneable: false,
+            has_to_string: false,
+        }
     }
 
     /// What the (unmodified) WSDL compiler generates: serializable bean
     /// types without a deep clone (paper §4.2.3: "the current WSDL
     /// compiler does not add clone methods").
     pub fn wsdl_generated() -> Self {
-        Capabilities { serializable: true, bean: true, cloneable: false, has_to_string: true }
+        Capabilities {
+            serializable: true,
+            bean: true,
+            cloneable: false,
+            has_to_string: true,
+        }
     }
 }
 
@@ -142,7 +157,11 @@ impl FieldDescriptor {
     /// Creates a field whose XML name equals its field name.
     pub fn new(name: impl Into<String>, field_type: FieldType) -> Self {
         let name = name.into();
-        FieldDescriptor { xml_name: name.clone(), name, field_type }
+        FieldDescriptor {
+            xml_name: name.clone(),
+            name,
+            field_type,
+        }
     }
 }
 
@@ -160,7 +179,11 @@ pub struct TypeDescriptor {
 impl TypeDescriptor {
     /// Creates a descriptor with [`Capabilities::all`].
     pub fn new(name: impl Into<String>, fields: Vec<FieldDescriptor>) -> Self {
-        TypeDescriptor { name: name.into(), fields, capabilities: Capabilities::all() }
+        TypeDescriptor {
+            name: name.into(),
+            fields,
+            capabilities: Capabilities::all(),
+        }
     }
 
     /// Builder-style capability override.
@@ -211,7 +234,9 @@ impl TypeRegistry {
 
     /// Starts building a registry.
     pub fn builder() -> TypeRegistryBuilder {
-        TypeRegistryBuilder { types: HashMap::new() }
+        TypeRegistryBuilder {
+            types: HashMap::new(),
+        }
     }
 
     /// Looks up a type by name.
@@ -225,7 +250,8 @@ impl TypeRegistry {
     ///
     /// Returns `UnknownType` when the name is not registered.
     pub fn require(&self, name: &str) -> Result<&TypeDescriptor, ModelError> {
-        self.get(name).ok_or_else(|| ModelError::UnknownType(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| ModelError::UnknownType(name.to_string()))
     }
 
     /// Number of registered types.
@@ -255,7 +281,11 @@ impl TypeRegistry {
             // The paper treats a bare byte[] / String as having no usable
             // deep clone method (Table 7's n/a cells).
             Value::Bytes(_) => false,
-            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+            Value::Null
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Long(_)
+            | Value::Double(_)
             | Value::String(_) => false,
             _ => self.check_capability(value, |c| c.cloneable),
         }
@@ -277,11 +307,18 @@ impl TypeRegistry {
 
     fn reflect_copyable_inner(&self, value: &Value) -> bool {
         match value {
-            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
-            | Value::String(_) | Value::Bytes(_) => true,
+            Value::Null
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Long(_)
+            | Value::Double(_)
+            | Value::String(_)
+            | Value::Bytes(_) => true,
             Value::Array(items) => items.iter().all(|v| self.reflect_copyable_inner(v)),
             Value::Struct(s) => {
-                self.get(s.type_name()).map(|d| d.capabilities.bean).unwrap_or(false)
+                self.get(s.type_name())
+                    .map(|d| d.capabilities.bean)
+                    .unwrap_or(false)
                     && s.fields().all(|(_, v)| self.reflect_copyable_inner(v))
             }
         }
@@ -289,11 +326,18 @@ impl TypeRegistry {
 
     fn check_capability(&self, value: &Value, pred: fn(&Capabilities) -> bool) -> bool {
         match value {
-            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
-            | Value::String(_) | Value::Bytes(_) => true,
+            Value::Null
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Long(_)
+            | Value::Double(_)
+            | Value::String(_)
+            | Value::Bytes(_) => true,
             Value::Array(items) => items.iter().all(|v| self.check_capability(v, pred)),
             Value::Struct(s) => {
-                self.get(s.type_name()).map(|d| pred(&d.capabilities)).unwrap_or(false)
+                self.get(s.type_name())
+                    .map(|d| pred(&d.capabilities))
+                    .unwrap_or(false)
                     && s.fields().all(|(_, v)| self.check_capability(v, pred))
             }
         }
@@ -323,7 +367,9 @@ impl TypeRegistryBuilder {
 
     /// Finalizes the registry.
     pub fn build(self) -> TypeRegistry {
-        TypeRegistry { types: Arc::new(self.types) }
+        TypeRegistry {
+            types: Arc::new(self.types),
+        }
     }
 }
 
@@ -341,16 +387,10 @@ mod tests {
                     FieldDescriptor::new("b", FieldType::String),
                 ],
             ))
+            .register(TypeDescriptor::new("Opaque", vec![]).with_capabilities(Capabilities::none()))
             .register(
-                TypeDescriptor::new("Opaque", vec![])
-                    .with_capabilities(Capabilities::none()),
-            )
-            .register(
-                TypeDescriptor::new(
-                    "Generated",
-                    vec![FieldDescriptor::new("x", FieldType::Int)],
-                )
-                .with_capabilities(Capabilities::wsdl_generated()),
+                TypeDescriptor::new("Generated", vec![FieldDescriptor::new("x", FieldType::Int)])
+                    .with_capabilities(Capabilities::wsdl_generated()),
             )
             .build()
     }
@@ -424,7 +464,10 @@ mod tests {
     fn field_type_defaults_and_display() {
         assert_eq!(FieldType::Int.default_value(), Value::Int(0));
         assert_eq!(FieldType::String.default_value(), Value::Null);
-        assert_eq!(FieldType::ArrayOf(Box::new(FieldType::Int)).to_string(), "int[]");
+        assert_eq!(
+            FieldType::ArrayOf(Box::new(FieldType::Int)).to_string(),
+            "int[]"
+        );
         assert_eq!(FieldType::Struct("T".into()).to_string(), "T");
         assert_eq!(
             FieldType::ArrayOf(Box::new(FieldType::Struct("T".into()))).struct_name(),

@@ -62,7 +62,11 @@ impl Value {
     /// passed by reference between cache and application.
     pub fn is_deeply_immutable(&self) -> bool {
         match self {
-            Value::Null | Value::Bool(_) | Value::Int(_) | Value::Long(_) | Value::Double(_)
+            Value::Null
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Long(_)
+            | Value::Double(_)
             | Value::String(_) => true,
             Value::Bytes(_) | Value::Array(_) | Value::Struct(_) => false,
         }
@@ -230,7 +234,10 @@ impl StructValue {
     /// Creates an empty struct of the named type (the "default
     /// constructor" the reflection copier requires of bean types).
     pub fn new(type_name: impl Into<String>) -> Self {
-        StructValue { type_name: type_name.into(), fields: Vec::new() }
+        StructValue {
+            type_name: type_name.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// The struct's type name.
@@ -261,7 +268,10 @@ impl StructValue {
 
     /// Mutable field access.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
-        self.fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.fields
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Gets a field or fails with [`ModelError::UnknownField`].
@@ -340,7 +350,10 @@ mod tests {
         assert_eq!(s.get("x"), Some(&Value::Int(10)));
         assert_eq!(s.len(), 3);
         assert!(s.get("missing").is_none());
-        assert!(matches!(s.require("missing"), Err(ModelError::UnknownField { .. })));
+        assert!(matches!(
+            s.require("missing"),
+            Err(ModelError::UnknownField { .. })
+        ));
     }
 
     #[test]

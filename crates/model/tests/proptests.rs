@@ -45,7 +45,10 @@ fn arb_value(depth: u32) -> BoxedStrategy<Value> {
     leaf.prop_recursive(depth, 64, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            (proptest::sample::select(vec!["A", "B"]), proptest::collection::vec(inner, 0..3))
+            (
+                proptest::sample::select(vec!["A", "B"]),
+                proptest::collection::vec(inner, 0..3)
+            )
                 .prop_map(|(ty, vals)| {
                     let mut s = StructValue::new(ty);
                     for (i, v) in vals.into_iter().enumerate() {

@@ -14,6 +14,6 @@ pub mod scenario;
 pub mod site;
 
 pub use loadgen::{LoadConfig, LoadReport};
-pub use scenario::{run_portal_scenario, ScenarioConfig, ScenarioResult, TransportMode};
 pub use multi::MultiPortal;
+pub use scenario::{run_portal_scenario, ScenarioConfig, ScenarioResult, TransportMode};
 pub use site::PortalSite;

@@ -24,7 +24,12 @@ pub struct LoadConfig {
 
 impl Default for LoadConfig {
     fn default() -> Self {
-        LoadConfig { concurrency: 1, requests: 1000, hit_ratio: 0.5, hot_queries: 8 }
+        LoadConfig {
+            concurrency: 1,
+            requests: 1000,
+            hit_ratio: 0.5,
+            hot_queries: 8,
+        }
     }
 }
 
@@ -81,7 +86,9 @@ impl QuerySchedule {
     /// The hot queries that must be primed (fetched once) before
     /// measurement so their first use is not a miss.
     pub fn prime_queries(&self) -> Vec<String> {
-        (0..self.hot_queries).map(|i| format!("hot-query-{i}")).collect()
+        (0..self.hot_queries)
+            .map(|i| format!("hot-query-{i}"))
+            .collect()
     }
 
     /// The next query in the global schedule.
@@ -215,7 +222,12 @@ mod tests {
     fn schedule_achieves_target_ratio() {
         for ratio in [0.0, 0.2, 0.5, 0.8, 1.0] {
             let target = counting_target();
-            let config = LoadConfig { concurrency: 1, requests: 1000, hit_ratio: ratio, hot_queries: 8 };
+            let config = LoadConfig {
+                concurrency: 1,
+                requests: 1000,
+                hit_ratio: ratio,
+                hot_queries: 8,
+            };
             let report = run_load(&target, &config);
             assert_eq!(report.completed, 1000);
             // Measured repeats / measured requests (priming excluded).
@@ -231,7 +243,12 @@ mod tests {
     #[test]
     fn concurrency_preserves_the_ratio_and_count() {
         let target = counting_target();
-        let config = LoadConfig { concurrency: 8, requests: 2000, hit_ratio: 0.6, hot_queries: 8 };
+        let config = LoadConfig {
+            concurrency: 8,
+            requests: 2000,
+            hit_ratio: 0.6,
+            hot_queries: 8,
+        };
         let report = run_load(&target, &config);
         assert_eq!(report.completed, 2000);
         assert_eq!(report.errors, 0);
@@ -242,7 +259,12 @@ mod tests {
     #[test]
     fn report_math_is_consistent() {
         let target = counting_target();
-        let config = LoadConfig { concurrency: 2, requests: 100, hit_ratio: 0.5, hot_queries: 4 };
+        let config = LoadConfig {
+            concurrency: 2,
+            requests: 100,
+            hit_ratio: 0.5,
+            hot_queries: 4,
+        };
         let report = run_load(&target, &config);
         assert!(report.throughput_rps > 0.0);
         assert!(report.elapsed > Duration::ZERO);
@@ -269,12 +291,15 @@ mod tests {
                 FailingConn(0)
             }
         }
-        let report = run_load(&FailingTarget, &LoadConfig {
-            concurrency: 1,
-            requests: 100,
-            hit_ratio: 0.0,
-            hot_queries: 1,
-        });
+        let report = run_load(
+            &FailingTarget,
+            &LoadConfig {
+                concurrency: 1,
+                requests: 100,
+                hit_ratio: 0.0,
+                hot_queries: 1,
+            },
+        );
         assert_eq!(report.completed + report.errors, 100);
         assert!(report.errors > 0);
     }

@@ -30,7 +30,11 @@ impl MultiPortal {
         quotes: Arc<ServiceClient>,
         headlines: Arc<ServiceClient>,
     ) -> Self {
-        MultiPortal { search, quotes, headlines }
+        MultiPortal {
+            search,
+            quotes,
+            headlines,
+        }
     }
 
     /// The three clients, for inspecting cache stats.
@@ -73,7 +77,10 @@ impl MultiPortal {
                     .and_then(|s| s.get("title"))
                     .and_then(Value::as_str)
                     .unwrap_or("(untitled)");
-                html.push_str(&format!("<li>{}</li>", wsrc_xml::escape::escape_text(title)));
+                html.push_str(&format!(
+                    "<li>{}</li>",
+                    wsrc_xml::escape::escape_text(title)
+                ));
             }
         }
         html.push_str("</ul></section>");
@@ -81,8 +88,7 @@ impl MultiPortal {
     }
 
     fn section_quotes(&self, symbols: &str, html: &mut String) -> Result<(), String> {
-        let request =
-            RpcRequest::new(stock::NAMESPACE, "getQuotes").with_param("symbols", symbols);
+        let request = RpcRequest::new(stock::NAMESPACE, "getQuotes").with_param("symbols", symbols);
         let (result, _) = self.quotes.invoke(&request).map_err(|e| e.to_string())?;
         html.push_str("<section id=\"ticker\"><h2>Quotes</h2><table>");
         if let Some(quotes) = result.as_value().as_array() {
@@ -141,7 +147,10 @@ impl Handler for MultiPortal {
         html.push_str("</body></html>");
         for r in &sections {
             if let Err(e) = r {
-                return Response::error(Status::INTERNAL_SERVER_ERROR, &format!("backend error: {e}"));
+                return Response::error(
+                    Status::INTERNAL_SERVER_ERROR,
+                    &format!("backend error: {e}"),
+                );
             }
         }
         Response::ok("text/html; charset=utf-8", html.into_bytes())
@@ -187,16 +196,33 @@ mod tests {
             )
         };
         MultiPortal::new(
-            make_client(google::PATH, google::registry(), google::operations(), google::default_policy()),
-            make_client(stock::PATH, stock::registry(), stock::operations(), stock::default_policy()),
-            make_client(news::PATH, news::registry(), news::operations(), news::default_policy()),
+            make_client(
+                google::PATH,
+                google::registry(),
+                google::operations(),
+                google::default_policy(),
+            ),
+            make_client(
+                stock::PATH,
+                stock::registry(),
+                stock::operations(),
+                stock::default_policy(),
+            ),
+            make_client(
+                news::PATH,
+                news::registry(),
+                news::operations(),
+                news::default_policy(),
+            ),
         )
     }
 
     #[test]
     fn page_aggregates_all_three_services() {
         let p = portal();
-        let resp = p.handle(&Request::get("/home?q=caching&symbols=ibm,sun&topic=middleware"));
+        let resp = p.handle(&Request::get(
+            "/home?q=caching&symbols=ibm,sun&topic=middleware",
+        ));
         assert_eq!(resp.status, Status::OK);
         let html = resp.body_text().into_owned();
         assert!(html.contains("<section id=\"search\">"), "{html}");
@@ -230,7 +256,8 @@ mod tests {
     fn post_is_rejected() {
         let p = portal();
         assert_eq!(
-            p.handle(&Request::post("/home", "text/plain", vec![])).status,
+            p.handle(&Request::post("/home", "text/plain", vec![]))
+                .status,
             Status::METHOD_NOT_ALLOWED
         );
     }

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 use wsrc_cache::{FixedSelector, KeyStrategy, ResponseCache, ValueRepresentation};
 use wsrc_client::ServiceClient;
-use wsrc_http::{Handler, HttpClient, InProcTransport, Request, Server, Status, TcpTransport, Transport, Url};
+use wsrc_http::{
+    Handler, HttpClient, InProcTransport, Request, Server, Status, TcpTransport, Transport, Url,
+};
 use wsrc_services::google::{self, GoogleService};
 use wsrc_services::SoapDispatcher;
 
@@ -84,7 +86,10 @@ pub fn run_portal_scenario(config: &ScenarioConfig) -> ScenarioResult {
             let inproc = Arc::new(InProcTransport::new(dispatcher));
             backend_inproc = Some(inproc.clone());
             if config.backend_latency > Duration::ZERO {
-                Arc::new(wsrc_http::LatencyTransport::new(ArcTransport(inproc), config.backend_latency))
+                Arc::new(wsrc_http::LatencyTransport::new(
+                    ArcTransport(inproc),
+                    config.backend_latency,
+                ))
             } else {
                 inproc
             }
@@ -126,13 +131,17 @@ pub fn run_portal_scenario(config: &ScenarioConfig) -> ScenarioResult {
     };
     let load = match config.transport {
         TransportMode::InProcess => {
-            let target = InProcPortal { portal: portal.clone() };
+            let target = InProcPortal {
+                portal: portal.clone(),
+            };
             run_load(&target, &load_config)
         }
         TransportMode::Tcp => {
-            let server =
-                Server::bind("127.0.0.1:0", portal.clone() as Arc<dyn Handler>).expect("bind portal");
-            let target = TcpPortal { url: Url::new("127.0.0.1", server.port(), "/portal") };
+            let server = Server::bind("127.0.0.1:0", portal.clone() as Arc<dyn Handler>)
+                .expect("bind portal");
+            let target = TcpPortal {
+                url: Url::new("127.0.0.1", server.port(), "/portal"),
+            };
             let report = run_load(&target, &load_config);
             drop(server);
             report
@@ -151,14 +160,14 @@ pub fn run_portal_scenario(config: &ScenarioConfig) -> ScenarioResult {
 }
 
 /// Sweeps hit ratios for one representation (one figure series).
-pub fn sweep_hit_ratios(
-    base: &ScenarioConfig,
-    ratios: &[f64],
-) -> Vec<(f64, ScenarioResult)> {
+pub fn sweep_hit_ratios(base: &ScenarioConfig, ratios: &[f64]) -> Vec<(f64, ScenarioResult)> {
     ratios
         .iter()
         .map(|&r| {
-            let config = ScenarioConfig { hit_ratio: r, ..*base };
+            let config = ScenarioConfig {
+                hit_ratio: r,
+                ..*base
+            };
             (r, run_portal_scenario(&config))
         })
         .collect()
@@ -168,7 +177,11 @@ pub fn sweep_hit_ratios(
 struct ArcTransport(Arc<InProcTransport>);
 
 impl Transport for ArcTransport {
-    fn execute(&self, url: &Url, request: &Request) -> Result<wsrc_http::Response, wsrc_http::HttpError> {
+    fn execute(
+        &self,
+        url: &Url,
+        request: &Request,
+    ) -> Result<wsrc_http::Response, wsrc_http::HttpError> {
         self.0.execute(url, request)
     }
 }
@@ -183,7 +196,9 @@ struct InProcConn {
 
 impl PortalConn for InProcConn {
     fn fetch(&mut self, query: &str) -> Result<(), String> {
-        let response = self.portal.handle(&Request::get(format!("/portal?q={query}")));
+        let response = self
+            .portal
+            .handle(&Request::get(format!("/portal?q={query}")));
         if response.status == Status::OK {
             Ok(())
         } else {
@@ -195,7 +210,9 @@ impl PortalConn for InProcConn {
 impl PortalTarget for InProcPortal {
     type Conn = InProcConn;
     fn connect(&self) -> InProcConn {
-        InProcConn { portal: self.portal.clone() }
+        InProcConn {
+            portal: self.portal.clone(),
+        }
     }
 }
 
@@ -222,7 +239,10 @@ impl PortalConn for TcpConn {
 impl PortalTarget for TcpPortal {
     type Conn = TcpConn;
     fn connect(&self) -> TcpConn {
-        TcpConn { client: HttpClient::new(), url: self.url.clone() }
+        TcpConn {
+            client: HttpClient::new(),
+            url: self.url.clone(),
+        }
     }
 }
 

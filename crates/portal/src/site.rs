@@ -48,7 +48,10 @@ impl PortalSite {
     fn render(query: &str, result: &Value) -> String {
         let mut html = String::with_capacity(4096);
         html.push_str("<html><head><title>Portal search</title></head><body>");
-        html.push_str(&format!("<h1>Results for {}</h1>", wsrc_xml::escape::escape_text(query)));
+        html.push_str(&format!(
+            "<h1>Results for {}</h1>",
+            wsrc_xml::escape::escape_text(query)
+        ));
         let Some(s) = result.as_struct() else {
             html.push_str("<p>no results</p></body></html>");
             return html;
@@ -57,13 +60,21 @@ impl PortalSite {
             .get("estimatedTotalResultsCount")
             .and_then(Value::as_int)
             .unwrap_or(0);
-        let time = s.get("searchTime").and_then(Value::as_double).unwrap_or(0.0);
-        html.push_str(&format!("<p>about {estimated} results ({time:.6}s)</p><ol>"));
+        let time = s
+            .get("searchTime")
+            .and_then(Value::as_double)
+            .unwrap_or(0.0);
+        html.push_str(&format!(
+            "<p>about {estimated} results ({time:.6}s)</p><ol>"
+        ));
         if let Some(elements) = s.get("resultElements").and_then(Value::as_array) {
             for e in elements {
                 let Some(e) = e.as_struct() else { continue };
                 let url = e.get("URL").and_then(Value::as_str).unwrap_or("#");
-                let title = e.get("title").and_then(Value::as_str).unwrap_or("(untitled)");
+                let title = e
+                    .get("title")
+                    .and_then(Value::as_str)
+                    .unwrap_or("(untitled)");
                 let snippet = e.get("snippet").and_then(Value::as_str).unwrap_or("");
                 html.push_str(&format!(
                     "<li><a href=\"{}\">{}</a><br/>{}</li>",
@@ -96,7 +107,10 @@ impl Handler for PortalSite {
                 let html = Self::render(query, handle.as_value());
                 Response::ok("text/html; charset=utf-8", html.into_bytes())
             }
-            Err(e) => Response::error(Status::INTERNAL_SERVER_ERROR, &format!("backend error: {e}")),
+            Err(e) => Response::error(
+                Status::INTERNAL_SERVER_ERROR,
+                &format!("backend error: {e}"),
+            ),
         }
     }
 }
@@ -104,14 +118,13 @@ impl Handler for PortalSite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsrc_cache::{ResponseCache, KeyStrategy};
+    use wsrc_cache::{KeyStrategy, ResponseCache};
     use wsrc_http::{InProcTransport, Url};
     use wsrc_services::google::GoogleService;
     use wsrc_services::SoapDispatcher;
 
     fn portal() -> PortalSite {
-        let dispatcher =
-            SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
+        let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
         let transport = Arc::new(InProcTransport::new(Arc::new(dispatcher)));
         let cache = Arc::new(
             ResponseCache::builder(google::registry())
@@ -160,9 +173,13 @@ mod tests {
     #[test]
     fn bad_requests_are_rejected() {
         let p = portal();
-        assert_eq!(p.handle(&Request::get("/portal")).status, Status::BAD_REQUEST);
         assert_eq!(
-            p.handle(&Request::post("/portal?q=x", "text/plain", vec![])).status,
+            p.handle(&Request::get("/portal")).status,
+            Status::BAD_REQUEST
+        );
+        assert_eq!(
+            p.handle(&Request::post("/portal?q=x", "text/plain", vec![]))
+                .status,
             Status::METHOD_NOT_ALLOWED
         );
     }

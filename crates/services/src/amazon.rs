@@ -79,10 +79,7 @@ pub fn registry() -> TypeRegistry {
             "ShoppingCart",
             vec![
                 FieldDescriptor::new("cartId", FieldType::String),
-                FieldDescriptor::new(
-                    "items",
-                    FieldType::ArrayOf(Box::new(FieldType::String)),
-                ),
+                FieldDescriptor::new("items", FieldType::ArrayOf(Box::new(FieldType::String))),
             ],
         ))
         .build()
@@ -152,7 +149,10 @@ impl AmazonService {
             details.push(Value::Struct(
                 StructValue::new("ProductInfo")
                     .with("asin", format!("B{asin:010}"))
-                    .with("productName", format!("{keyword} ({operation} result {})", page * 5 + i))
+                    .with(
+                        "productName",
+                        format!("{keyword} ({operation} result {})", page * 5 + i),
+                    )
                     .with("ourPrice", format!("${}.{:02}", 5 + asin % 95, asin % 100)),
             ));
         }
@@ -167,7 +167,10 @@ impl AmazonService {
         Value::Struct(
             StructValue::new("ShoppingCart")
                 .with("cartId", cart_id)
-                .with("items", Value::Array(items.iter().map(Value::string).collect())),
+                .with(
+                    "items",
+                    Value::Array(items.iter().map(Value::string).collect()),
+                ),
         )
     }
 }
@@ -209,7 +212,10 @@ impl SoapService for AmazonService {
             .and_then(Value::as_str)
             .ok_or_else(|| SoapFault::client("missing 'cartId'"))?
             .to_string();
-        let item = request.param("item").and_then(Value::as_str).map(str::to_string);
+        let item = request
+            .param("item")
+            .and_then(Value::as_str)
+            .map(str::to_string);
         let mut carts = self.carts.lock();
         let items = carts.entry(cart_id.clone()).or_default();
         match op {
@@ -241,7 +247,9 @@ mod tests {
     use super::*;
 
     fn search_req(op: &str, kw: &str) -> RpcRequest {
-        RpcRequest::new(NAMESPACE, op).with_param("keyword", kw).with_param("page", 1)
+        RpcRequest::new(NAMESPACE, op)
+            .with_param("keyword", kw)
+            .with_param("page", 1)
     }
 
     fn cart_req(op: &str, cart: &str, item: Option<&str>) -> RpcRequest {
@@ -298,29 +306,61 @@ mod tests {
         let svc = AmazonService::new();
         let empty = svc.call(&cart_req("GetShoppingCart", "c1", None)).unwrap();
         assert_eq!(
-            empty.as_struct().unwrap().get("items").unwrap().as_array().unwrap().len(),
+            empty
+                .as_struct()
+                .unwrap()
+                .get("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             0
         );
-        svc.call(&cart_req("AddShoppingCartItems", "c1", Some("book"))).unwrap();
-        svc.call(&cart_req("AddShoppingCartItems", "c1", Some("cd"))).unwrap();
+        svc.call(&cart_req("AddShoppingCartItems", "c1", Some("book")))
+            .unwrap();
+        svc.call(&cart_req("AddShoppingCartItems", "c1", Some("cd")))
+            .unwrap();
         let two = svc.call(&cart_req("GetShoppingCart", "c1", None)).unwrap();
         assert_eq!(
-            two.as_struct().unwrap().get("items").unwrap().as_array().unwrap().len(),
+            two.as_struct()
+                .unwrap()
+                .get("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             2
         );
         // The same GetShoppingCart request now returns something different
         // from before — this is exactly why the paper marks cart
         // operations uncacheable.
         assert_ne!(empty, two);
-        svc.call(&cart_req("RemoveShoppingCartItems", "c1", Some("book"))).unwrap();
-        svc.call(&cart_req("ModifyShoppingCartItems", "c1", Some("dvd"))).unwrap();
+        svc.call(&cart_req("RemoveShoppingCartItems", "c1", Some("book")))
+            .unwrap();
+        svc.call(&cart_req("ModifyShoppingCartItems", "c1", Some("dvd")))
+            .unwrap();
         let modified = svc.call(&cart_req("GetShoppingCart", "c1", None)).unwrap();
-        let items = modified.as_struct().unwrap().get("items").unwrap().as_array().unwrap().to_vec();
+        let items = modified
+            .as_struct()
+            .unwrap()
+            .get("items")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(items, vec![Value::string("dvd")]);
-        svc.call(&cart_req("ClearShoppingCart", "c1", None)).unwrap();
+        svc.call(&cart_req("ClearShoppingCart", "c1", None))
+            .unwrap();
         let cleared = svc.call(&cart_req("GetShoppingCart", "c1", None)).unwrap();
         assert_eq!(
-            cleared.as_struct().unwrap().get("items").unwrap().as_array().unwrap().len(),
+            cleared
+                .as_struct()
+                .unwrap()
+                .get("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             0
         );
     }
@@ -328,15 +368,27 @@ mod tests {
     #[test]
     fn carts_are_isolated_by_id() {
         let svc = AmazonService::new();
-        svc.call(&cart_req("AddShoppingCartItems", "a", Some("x"))).unwrap();
+        svc.call(&cart_req("AddShoppingCartItems", "a", Some("x")))
+            .unwrap();
         let b = svc.call(&cart_req("GetShoppingCart", "b", None)).unwrap();
-        assert_eq!(b.as_struct().unwrap().get("items").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(
+            b.as_struct()
+                .unwrap()
+                .get("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn missing_parameters_fault() {
         let svc = AmazonService::new();
-        assert!(svc.call(&RpcRequest::new(NAMESPACE, "KeywordSearch")).is_err());
+        assert!(svc
+            .call(&RpcRequest::new(NAMESPACE, "KeywordSearch"))
+            .is_err());
         assert!(svc
             .call(&RpcRequest::new(NAMESPACE, "AddShoppingCartItems").with_param("cartId", "c"))
             .is_err());

@@ -63,7 +63,10 @@ impl std::fmt::Debug for SoapDispatcher {
 impl SoapDispatcher {
     /// An empty dispatcher.
     pub fn new() -> Self {
-        SoapDispatcher { routes: HashMap::new(), validation: None }
+        SoapDispatcher {
+            routes: HashMap::new(),
+            validation: None,
+        }
     }
 
     /// Enables HTTP validators: responses are stamped with
@@ -71,7 +74,10 @@ impl SoapDispatcher {
     /// `Cache-Control: max-age`, and `If-Modified-Since` requests get
     /// `304 Not Modified` while the data is unchanged.
     pub fn with_validation(mut self, last_modified: SystemTime, max_age: Duration) -> Self {
-        self.validation = Some(Validation { last_modified: Mutex::new(last_modified), max_age });
+        self.validation = Some(Validation {
+            last_modified: Mutex::new(last_modified),
+            max_age,
+        });
         self
     }
 
@@ -87,7 +93,14 @@ impl SoapDispatcher {
     pub fn mount(mut self, path: impl Into<String>, service: Arc<dyn SoapService>) -> Self {
         let operations = service.operations();
         let registry = service.registry();
-        self.routes.insert(path.into(), Route { service, operations, registry });
+        self.routes.insert(
+            path.into(),
+            Route {
+                service,
+                operations,
+                registry,
+            },
+        );
         self
     }
 
@@ -126,7 +139,8 @@ impl SoapDispatcher {
                     &route.registry,
                 ) {
                     Ok(xml) => {
-                        let resp = Response::ok(wsrc_soap::envelope::CONTENT_TYPE, xml.into_bytes());
+                        let resp =
+                            Response::ok(wsrc_soap::envelope::CONTENT_TYPE, xml.into_bytes());
                         match &self.validation {
                             Some(v) => {
                                 stamp_validators(resp, *v.last_modified.lock(), Some(v.max_age))
@@ -215,7 +229,9 @@ mod tests {
     #[test]
     fn routes_and_executes() {
         let d = dispatcher();
-        let req = RpcRequest::new("urn:Adder", "add").with_param("a", 2).with_param("b", 3);
+        let req = RpcRequest::new("urn:Adder", "add")
+            .with_param("a", 2)
+            .with_param("b", 3);
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder", xml));
         assert_eq!(resp.status, Status::OK);
@@ -272,14 +288,25 @@ mod tests {
         let d = SoapDispatcher::new()
             .mount("/soap/adder", Arc::new(Adder))
             .with_validation(t0, Duration::from_secs(60));
-        let req = RpcRequest::new("urn:Adder", "add").with_param("a", 1).with_param("b", 2);
+        let req = RpcRequest::new("urn:Adder", "add")
+            .with_param("a", 1)
+            .with_param("b", 2);
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder", xml.clone()));
         assert_eq!(resp.status, Status::OK);
-        let lm = resp.headers.get("Last-Modified").expect("stamped").to_string();
-        assert!(resp.headers.get("Cache-Control").unwrap().contains("max-age=60"));
+        let lm = resp
+            .headers
+            .get("Last-Modified")
+            .expect("stamped")
+            .to_string();
+        assert!(resp
+            .headers
+            .get("Cache-Control")
+            .unwrap()
+            .contains("max-age=60"));
         // Conditional request with the same validator → 304, no body.
-        let cond = soap_post("/soap/adder", xml.clone()).with_header("If-Modified-Since", lm.clone());
+        let cond =
+            soap_post("/soap/adder", xml.clone()).with_header("If-Modified-Since", lm.clone());
         let resp = d.handle(&cond);
         assert_eq!(resp.status, Status::NOT_MODIFIED);
         assert!(resp.body.is_empty());
@@ -293,7 +320,9 @@ mod tests {
     #[test]
     fn query_strings_are_ignored_in_routing() {
         let d = dispatcher();
-        let req = RpcRequest::new("urn:Adder", "add").with_param("a", 1).with_param("b", 1);
+        let req = RpcRequest::new("urn:Adder", "add")
+            .with_param("a", 1)
+            .with_param("b", 1);
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder?debug=1", xml));
         assert_eq!(resp.status, Status::OK);

@@ -19,21 +19,57 @@ pub struct Corpus {
 
 impl Default for Corpus {
     fn default() -> Self {
-        Corpus { page_bytes: 3600, max_page_size: 10 }
+        Corpus {
+            page_bytes: 3600,
+            max_page_size: 10,
+        }
     }
 }
 
 const WORDS: [&str; 32] = [
-    "distributed", "caching", "middleware", "response", "latency", "throughput", "envelope",
-    "serialization", "reflection", "portal", "service", "interface", "protocol", "transparent",
-    "consistency", "replication", "endpoint", "registry", "deployment", "optimal", "dynamic",
-    "immutable", "representation", "benchmark", "cluster", "gateway", "schema", "transport",
-    "pipeline", "overhead", "scalable", "lease",
+    "distributed",
+    "caching",
+    "middleware",
+    "response",
+    "latency",
+    "throughput",
+    "envelope",
+    "serialization",
+    "reflection",
+    "portal",
+    "service",
+    "interface",
+    "protocol",
+    "transparent",
+    "consistency",
+    "replication",
+    "endpoint",
+    "registry",
+    "deployment",
+    "optimal",
+    "dynamic",
+    "immutable",
+    "representation",
+    "benchmark",
+    "cluster",
+    "gateway",
+    "schema",
+    "transport",
+    "pipeline",
+    "overhead",
+    "scalable",
+    "lease",
 ];
 
 const DOMAINS: [&str; 8] = [
-    "example.org", "research.test", "infra.test", "papers.test", "archive.test", "web.test",
-    "portal.test", "cache.test",
+    "example.org",
+    "research.test",
+    "infra.test",
+    "papers.test",
+    "archive.test",
+    "web.test",
+    "portal.test",
+    "cache.test",
 ];
 
 const CATEGORIES: [&str; 6] = [
@@ -155,7 +191,10 @@ impl Corpus {
         StructValue::new("ResultElement")
             .with("summary", rng.sentence(5))
             .with("URL", format!("http://{domain}/{slug}?r={rank}"))
-            .with("snippet", format!("...{} <b>{}</b> {}...", rng.sentence(3), q, rng.sentence(3)))
+            .with(
+                "snippet",
+                format!("...{} <b>{}</b> {}...", rng.sentence(3), q, rng.sentence(3)),
+            )
             .with("title", rng.sentence(3))
             .with("cachedSize", format!("{}k", 1 + rng.below(90)))
             .with("relatedInformationPresent", rng.below(2) == 0)
@@ -168,7 +207,10 @@ impl Corpus {
 
 fn directory_category(rng: &mut Rng) -> StructValue {
     StructValue::new("DirectoryCategory")
-        .with("fullViewableName", CATEGORIES[rng.below(CATEGORIES.len() as u64) as usize])
+        .with(
+            "fullViewableName",
+            CATEGORIES[rng.below(CATEGORIES.len() as u64) as usize],
+        )
         .with("specialEncoding", "")
 }
 
@@ -216,9 +258,18 @@ mod tests {
         for e in elements {
             let e = e.as_struct().unwrap();
             assert_eq!(e.len(), 10, "all ten ResultElement fields set");
-            assert!(e.get("URL").unwrap().as_str().unwrap().starts_with("http://"));
+            assert!(e
+                .get("URL")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("http://"));
             assert_eq!(
-                e.get("directoryCategory").unwrap().as_struct().unwrap().type_name(),
+                e.get("directoryCategory")
+                    .unwrap()
+                    .as_struct()
+                    .unwrap()
+                    .type_name(),
                 "DirectoryCategory"
             );
         }
@@ -228,11 +279,20 @@ mod tests {
     fn max_results_is_clamped() {
         let c = Corpus::default();
         let r = c.search_result("q", 0, 100);
-        assert_eq!(r.get("resultElements").unwrap().as_array().unwrap().len(), 10);
+        assert_eq!(
+            r.get("resultElements").unwrap().as_array().unwrap().len(),
+            10
+        );
         let r = c.search_result("q", 0, 3);
-        assert_eq!(r.get("resultElements").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            r.get("resultElements").unwrap().as_array().unwrap().len(),
+            3
+        );
         let r = c.search_result("q", 0, -5);
-        assert_eq!(r.get("resultElements").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(
+            r.get("resultElements").unwrap().as_array().unwrap().len(),
+            0
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn registry() -> TypeRegistry {
                     FieldDescriptor::new("cachedSize", FieldType::String),
                     FieldDescriptor::new("relatedInformationPresent", FieldType::Bool),
                     FieldDescriptor::new("hostName", FieldType::String),
-                    FieldDescriptor::new("directoryCategory", FieldType::Struct("DirectoryCategory".into())),
+                    FieldDescriptor::new(
+                        "directoryCategory",
+                        FieldType::Struct("DirectoryCategory".into()),
+                    ),
                     FieldDescriptor::new("directoryTitle", FieldType::String),
                     FieldDescriptor::new("language", FieldType::String),
                 ],
@@ -137,15 +140,27 @@ pub fn default_policy() -> wsrc_cache::CachePolicy {
     use std::time::Duration;
     use wsrc_cache::policy::{CachePolicy, OperationPolicy};
     CachePolicy::new()
-        .with("doSpellingSuggestion", OperationPolicy::cacheable(Duration::from_secs(3600)))
-        .with("doGetCachedPage", OperationPolicy::cacheable(Duration::from_secs(3600)))
-        .with("doGoogleSearch", OperationPolicy::cacheable(Duration::from_secs(3600)))
+        .with(
+            "doSpellingSuggestion",
+            OperationPolicy::cacheable(Duration::from_secs(3600)),
+        )
+        .with(
+            "doGetCachedPage",
+            OperationPolicy::cacheable(Duration::from_secs(3600)),
+        )
+        .with(
+            "doGoogleSearch",
+            OperationPolicy::cacheable(Duration::from_secs(3600)),
+        )
 }
 
 /// The GoogleSearch WSDL document (authored in the model, emitted and
 /// re-parsed in tests).
 pub fn wsdl(endpoint_url: &str) -> wm::Definitions {
-    use wm::{ComplexType, Message, Part, PortType, Schema, SchemaField, Service, TypeRef, WsdlOperation, XsdType};
+    use wm::{
+        ComplexType, Message, Part, PortType, Schema, SchemaField, Service, TypeRef, WsdlOperation,
+        XsdType,
+    };
     let s = |x: XsdType| TypeRef::Xsd(x);
     wm::Definitions {
         name: "GoogleSearch".into(),
@@ -170,7 +185,10 @@ pub fn wsdl(endpoint_url: &str) -> wm::Definitions {
                         SchemaField::new("cachedSize", s(XsdType::String)),
                         SchemaField::new("relatedInformationPresent", s(XsdType::Boolean)),
                         SchemaField::new("hostName", s(XsdType::String)),
-                        SchemaField::new("directoryCategory", TypeRef::Complex("DirectoryCategory".into())),
+                        SchemaField::new(
+                            "directoryCategory",
+                            TypeRef::Complex("DirectoryCategory".into()),
+                        ),
                         SchemaField::new("directoryTitle", s(XsdType::String)),
                         SchemaField::new("language", s(XsdType::String)),
                     ],
@@ -202,7 +220,10 @@ pub fn wsdl(endpoint_url: &str) -> wm::Definitions {
         messages: vec![
             Message {
                 name: "doSpellingSuggestion".into(),
-                parts: vec![Part::new("key", s(XsdType::String)), Part::new("phrase", s(XsdType::String))],
+                parts: vec![
+                    Part::new("key", s(XsdType::String)),
+                    Part::new("phrase", s(XsdType::String)),
+                ],
             },
             Message {
                 name: "doSpellingSuggestionResponse".into(),
@@ -210,7 +231,10 @@ pub fn wsdl(endpoint_url: &str) -> wm::Definitions {
             },
             Message {
                 name: "doGetCachedPage".into(),
-                parts: vec![Part::new("key", s(XsdType::String)), Part::new("url", s(XsdType::String))],
+                parts: vec![
+                    Part::new("key", s(XsdType::String)),
+                    Part::new("url", s(XsdType::String)),
+                ],
             },
             Message {
                 name: "doGetCachedPageResponse".into(),
@@ -233,7 +257,10 @@ pub fn wsdl(endpoint_url: &str) -> wm::Definitions {
             },
             Message {
                 name: "doGoogleSearchResponse".into(),
-                parts: vec![Part::new("return", TypeRef::Complex("GoogleSearchResult".into()))],
+                parts: vec![Part::new(
+                    "return",
+                    TypeRef::Complex("GoogleSearchResult".into()),
+                )],
             },
         ],
         port_type: PortType {
@@ -298,14 +325,15 @@ impl SoapService for GoogleService {
                 .ok_or_else(|| SoapFault::client(format!("missing string parameter '{name}'")))
         };
         match request.operation.as_str() {
-            "doSpellingSuggestion" => {
-                Ok(self.corpus.spelling_suggestion(str_param("phrase")?))
-            }
+            "doSpellingSuggestion" => Ok(self.corpus.spelling_suggestion(str_param("phrase")?)),
             "doGetCachedPage" => Ok(Value::Bytes(self.corpus.cached_page(str_param("url")?))),
             "doGoogleSearch" => {
                 let q = str_param("q")?;
                 let start = request.param("start").and_then(Value::as_int).unwrap_or(0);
-                let max = request.param("maxResults").and_then(Value::as_int).unwrap_or(10);
+                let max = request
+                    .param("maxResults")
+                    .and_then(Value::as_int)
+                    .unwrap_or(10);
                 Ok(Value::Struct(self.corpus.search_result(q, start, max)))
             }
             other => Err(SoapFault::client(format!("unknown operation '{other}'"))),
@@ -335,27 +363,51 @@ mod tests {
             .iter()
             .filter(|f| !matches!(f.field_type, FieldType::Struct(_)))
             .count();
-        assert_eq!(re_simple, 9, "nine simple fields plus one DirectoryCategory");
+        assert_eq!(
+            re_simple, 9,
+            "nine simple fields plus one DirectoryCategory"
+        );
         let dc = r.get("DirectoryCategory").unwrap();
         assert_eq!(dc.fields.len(), 2);
         // The paper modified these types so every method applies.
-        assert!(gsr.capabilities.cloneable && gsr.capabilities.serializable && gsr.capabilities.bean);
+        assert!(
+            gsr.capabilities.cloneable && gsr.capabilities.serializable && gsr.capabilities.bean
+        );
     }
 
     #[test]
     fn operations_match_table5_parameter_shapes() {
         let ops = operations();
         let spell = &ops[0];
-        assert!(spell.params.iter().all(|p| p.field_type == FieldType::String));
+        assert!(spell
+            .params
+            .iter()
+            .all(|p| p.field_type == FieldType::String));
         assert_eq!(spell.params.len(), 2);
         let page = &ops[1];
         assert_eq!(page.params.len(), 2);
         assert_eq!(page.return_type, FieldType::Bytes);
         let search = &ops[2];
-        let strings = search.params.iter().filter(|p| p.field_type == FieldType::String).count();
-        let ints = search.params.iter().filter(|p| p.field_type == FieldType::Int).count();
-        let bools = search.params.iter().filter(|p| p.field_type == FieldType::Bool).count();
-        assert_eq!((strings, ints, bools), (6, 2, 2), "String x6, int x2, boolean x2");
+        let strings = search
+            .params
+            .iter()
+            .filter(|p| p.field_type == FieldType::String)
+            .count();
+        let ints = search
+            .params
+            .iter()
+            .filter(|p| p.field_type == FieldType::Int)
+            .count();
+        let bools = search
+            .params
+            .iter()
+            .filter(|p| p.field_type == FieldType::Bool)
+            .count();
+        assert_eq!(
+            (strings, ints, bools),
+            (6, 2, 2),
+            "String x6, int x2, boolean x2"
+        );
     }
 
     #[test]
@@ -386,7 +438,10 @@ mod tests {
         let result = svc.call(&search).unwrap();
         let s = result.as_struct().unwrap();
         assert_eq!(s.type_name(), "GoogleSearchResult");
-        assert_eq!(s.get("resultElements").unwrap().as_array().unwrap().len(), 10);
+        assert_eq!(
+            s.get("resultElements").unwrap().as_array().unwrap().len(),
+            10
+        );
     }
 
     #[test]
@@ -444,8 +499,7 @@ mod tests {
         let xml = wsrc_wsdl::writer::write_wsdl(&defs).unwrap();
         let parsed = wsrc_wsdl::parser::parse_wsdl(&xml).unwrap();
         assert_eq!(parsed, defs);
-        let compiled =
-            wsrc_wsdl::compile(&parsed, wsrc_wsdl::CompileOptions::default()).unwrap();
+        let compiled = wsrc_wsdl::compile(&parsed, wsrc_wsdl::CompileOptions::default()).unwrap();
         assert_eq!(compiled.namespace, NAMESPACE);
         assert_eq!(compiled.operations.len(), 3);
         // The compiled registry has the same field layout as the

@@ -44,12 +44,29 @@ pub fn operations() -> Vec<OperationDescriptor> {
 
 /// Headlines stay fresh for five minutes.
 pub fn default_policy() -> CachePolicy {
-    CachePolicy::new().with("getHeadlines", OperationPolicy::cacheable(Duration::from_secs(300)))
+    CachePolicy::new().with(
+        "getHeadlines",
+        OperationPolicy::cacheable(Duration::from_secs(300)),
+    )
 }
 
-const SOURCES: [&str; 5] = ["wire.test", "daily.test", "herald.test", "gazette.test", "tribune.test"];
-const VERBS: [&str; 8] =
-    ["announces", "ships", "delays", "acquires", "standardizes", "deprecates", "benchmarks", "caches"];
+const SOURCES: [&str; 5] = [
+    "wire.test",
+    "daily.test",
+    "herald.test",
+    "gazette.test",
+    "tribune.test",
+];
+const VERBS: [&str; 8] = [
+    "announces",
+    "ships",
+    "delays",
+    "acquires",
+    "standardizes",
+    "deprecates",
+    "benchmarks",
+    "caches",
+];
 const OBJECTS: [&str; 8] = [
     "new middleware",
     "response cache",
@@ -96,7 +113,11 @@ impl SoapService for NewsService {
             .param("topic")
             .and_then(Value::as_str)
             .ok_or_else(|| SoapFault::client("missing 'topic'"))?;
-        let max = request.param("max").and_then(Value::as_int).unwrap_or(5).clamp(0, 20);
+        let max = request
+            .param("max")
+            .and_then(Value::as_int)
+            .unwrap_or(5)
+            .clamp(0, 20);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in topic.bytes() {
             h ^= b as u64;
@@ -142,8 +163,18 @@ mod tests {
         for h in &hs {
             let s = h.as_struct().unwrap();
             assert_eq!(s.type_name(), "Headline");
-            assert!(s.get("title").unwrap().as_str().unwrap().starts_with("rust "));
-            assert!(s.get("url").unwrap().as_str().unwrap().starts_with("http://"));
+            assert!(s
+                .get("title")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("rust "));
+            assert!(s
+                .get("url")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("http://"));
         }
     }
 
@@ -156,7 +187,9 @@ mod tests {
     #[test]
     fn bad_requests_fault() {
         let svc = NewsService::new();
-        assert!(svc.call(&RpcRequest::new(NAMESPACE, "getHeadlines")).is_err());
+        assert!(svc
+            .call(&RpcRequest::new(NAMESPACE, "getHeadlines"))
+            .is_err());
         assert!(svc.call(&RpcRequest::new(NAMESPACE, "publish")).is_err());
     }
 

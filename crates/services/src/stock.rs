@@ -60,8 +60,14 @@ pub fn operations() -> Vec<OperationDescriptor> {
 /// dependent on the service's semantics" (paper §3.2).
 pub fn default_policy() -> CachePolicy {
     CachePolicy::new()
-        .with("getQuote", OperationPolicy::cacheable(Duration::from_secs(15)))
-        .with("getQuotes", OperationPolicy::cacheable(Duration::from_secs(15)))
+        .with(
+            "getQuote",
+            OperationPolicy::cacheable(Duration::from_secs(15)),
+        )
+        .with(
+            "getQuotes",
+            OperationPolicy::cacheable(Duration::from_secs(15)),
+        )
 }
 
 /// The dummy stock-quote service. `advance_tick` moves the synthetic

@@ -20,8 +20,16 @@ pub fn encode(data: &[u8]) -> String {
         let triple = (b0 << 16) | (b1 << 8) | b2;
         out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
         out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
-        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -62,7 +70,9 @@ pub fn decode(text: &str) -> Result<Vec<u8>, SoapError> {
                 continue;
             }
             other => {
-                return Err(SoapError::encoding(format!("invalid base64 character '{other}'")));
+                return Err(SoapError::encoding(format!(
+                    "invalid base64 character '{other}'"
+                )));
             }
         };
         if pad > 0 {
@@ -82,7 +92,10 @@ pub fn decode(text: &str) -> Result<Vec<u8>, SoapError> {
 }
 
 fn flush(quad: &[u8; 4], pad: usize, out: &mut Vec<u8>) -> Result<(), SoapError> {
-    let triple = ((quad[0] as u32) << 18) | ((quad[1] as u32) << 12) | ((quad[2] as u32) << 6) | quad[3] as u32;
+    let triple = ((quad[0] as u32) << 18)
+        | ((quad[1] as u32) << 12)
+        | ((quad[2] as u32) << 6)
+        | quad[3] as u32;
     out.push((triple >> 16) as u8);
     if pad < 2 {
         out.push((triple >> 8) as u8);

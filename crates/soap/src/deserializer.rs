@@ -33,7 +33,9 @@ pub fn read_response_xml(
     registry: &TypeRegistry,
 ) -> Result<RpcOutcome, SoapError> {
     let mut reader = ResponseReader::new(expected.clone(), registry.clone());
-    XmlReader::new(xml).parse_into(&mut reader).map_err(flatten_parse_error)?;
+    XmlReader::new(xml)
+        .parse_into(&mut reader)
+        .map_err(flatten_parse_error)?;
     reader.finish()
 }
 
@@ -68,13 +70,15 @@ pub fn read_response_xml_recording(
     let mut reader = ResponseReader::new(expected.clone(), registry.clone());
     {
         let mut tee = Tee::new(&mut recorder, &mut reader);
-        XmlReader::new(xml).parse_into(&mut tee).map_err(|e| match e {
-            wsrc_xml::reader::ParseIntoError::Parse(xe) => SoapError::Xml(xe),
-            wsrc_xml::reader::ParseIntoError::Handler(te) => match te {
-                wsrc_xml::sax::TeeError::First(xe) => SoapError::Xml(xe),
-                wsrc_xml::sax::TeeError::Second(se) => se,
-            },
-        })?;
+        XmlReader::new(xml)
+            .parse_into(&mut tee)
+            .map_err(|e| match e {
+                wsrc_xml::reader::ParseIntoError::Parse(xe) => SoapError::Xml(xe),
+                wsrc_xml::reader::ParseIntoError::Handler(te) => match te {
+                    wsrc_xml::sax::TeeError::First(xe) => SoapError::Xml(xe),
+                    wsrc_xml::sax::TeeError::Second(se) => se,
+                },
+            })?;
     }
     Ok((reader.finish()?, recorder.into_sequence()))
 }
@@ -176,7 +180,12 @@ impl ResponseReader {
         Ok(RpcOutcome::Return(self.result.unwrap_or(Value::Null)))
     }
 
-    fn push_value_frame(&mut self, name: &QName, attributes: &[Attribute], expected: Option<FieldType>) {
+    fn push_value_frame(
+        &mut self,
+        name: &QName,
+        attributes: &[Attribute],
+        expected: Option<FieldType>,
+    ) {
         let mut nil = false;
         let mut xsi_type_local = None;
         for a in attributes {
@@ -318,22 +327,32 @@ fn type_from_xsi(local: Option<&str>) -> Option<FieldType> {
 }
 
 fn parse_scalar(text: &str, ty: Option<&FieldType>, element: &str) -> Result<Value, SoapError> {
-    let bad = |what: &str| {
-        SoapError::encoding(format!("invalid {what} value '{text}' in <{element}>"))
-    };
+    let bad =
+        |what: &str| SoapError::encoding(format!("invalid {what} value '{text}' in <{element}>"));
     match ty {
         Some(FieldType::Bool) => match text.trim() {
             "true" | "1" => Ok(Value::Bool(true)),
             "false" | "0" => Ok(Value::Bool(false)),
             _ => Err(bad("boolean")),
         },
-        Some(FieldType::Int) => text.trim().parse::<i32>().map(Value::Int).map_err(|_| bad("int")),
-        Some(FieldType::Long) => text.trim().parse::<i64>().map(Value::Long).map_err(|_| bad("long")),
+        Some(FieldType::Int) => text
+            .trim()
+            .parse::<i32>()
+            .map(Value::Int)
+            .map_err(|_| bad("int")),
+        Some(FieldType::Long) => text
+            .trim()
+            .parse::<i64>()
+            .map(Value::Long)
+            .map_err(|_| bad("long")),
         Some(FieldType::Double) => match text.trim() {
             "INF" => Ok(Value::Double(f64::INFINITY)),
             "-INF" => Ok(Value::Double(f64::NEG_INFINITY)),
             "NaN" => Ok(Value::Double(f64::NAN)),
-            t => t.parse::<f64>().map(Value::Double).map_err(|_| bad("double")),
+            t => t
+                .parse::<f64>()
+                .map(Value::Double)
+                .map_err(|_| bad("double")),
         },
         Some(FieldType::Bytes) => base64::decode(text.trim()).map(Value::Bytes),
         // Empty element of struct/array type is an empty instance.
@@ -481,7 +500,9 @@ impl ContentHandler for ResponseReader {
                 Some("code") => self.fault_code.push_str(text),
                 Some("string") => self.fault_string.push_str(text),
                 Some("detail") => {
-                    self.fault_detail.get_or_insert_with(String::new).push_str(text);
+                    self.fault_detail
+                        .get_or_insert_with(String::new)
+                        .push_str(text);
                 }
                 _ => {}
             },
@@ -535,7 +556,11 @@ pub fn read_response_dom(
     }
     // The opResponse wrapper's first child element is the return value.
     match first.child_elements().next() {
-        Some(ret) => Ok(RpcOutcome::Return(element_to_value(ret, Some(expected), registry)?)),
+        Some(ret) => Ok(RpcOutcome::Return(element_to_value(
+            ret,
+            Some(expected),
+            registry,
+        )?)),
         None => Ok(RpcOutcome::Return(Value::Null)),
     }
 }
@@ -594,10 +619,9 @@ pub fn element_to_value(
     expected: Option<&FieldType>,
     registry: &TypeRegistry,
 ) -> Result<Value, SoapError> {
-    let nil = elem
-        .attributes
-        .iter()
-        .any(|a| matches!(a.name.local_part(), "nil" | "null") && (a.value == "true" || a.value == "1"));
+    let nil = elem.attributes.iter().any(|a| {
+        matches!(a.name.local_part(), "nil" | "null") && (a.value == "true" || a.value == "1")
+    });
     if nil {
         return Ok(Value::Null);
     }
@@ -605,8 +629,16 @@ pub fn element_to_value(
         .attributes
         .iter()
         .find(|a| a.name.local_part() == "type")
-        .map(|a| a.value.split_once(':').map(|(_, l)| l).unwrap_or(&a.value).to_string());
-    let effective = expected.cloned().or_else(|| type_from_xsi(xsi_local.as_deref()));
+        .map(|a| {
+            a.value
+                .split_once(':')
+                .map(|(_, l)| l)
+                .unwrap_or(&a.value)
+                .to_string()
+        });
+    let effective = expected
+        .cloned()
+        .or_else(|| type_from_xsi(xsi_local.as_deref()));
     let children: Vec<_> = elem.child_elements().collect();
     if children.is_empty() {
         return match effective {
@@ -636,7 +668,9 @@ pub fn element_to_value(
                 let xml_name = c.name.local_part();
                 let field = descriptor.and_then(|d| d.field_by_xml_name(xml_name));
                 let fv = element_to_value(c, field.map(|f| &f.field_type), registry)?;
-                let fname = field.map(|f| f.name.clone()).unwrap_or_else(|| xml_name.to_string());
+                let fname = field
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| xml_name.to_string());
                 s.set(fname, fv);
             }
             Ok(Value::Struct(s))
@@ -705,11 +739,26 @@ mod tests {
 
     #[test]
     fn scalar_responses_roundtrip() {
-        assert_eq!(roundtrip(&Value::string("hello world"), &FieldType::String), Value::string("hello world"));
-        assert_eq!(roundtrip(&Value::Int(-42), &FieldType::Int), Value::Int(-42));
-        assert_eq!(roundtrip(&Value::Long(1i64 << 40), &FieldType::Long), Value::Long(1i64 << 40));
-        assert_eq!(roundtrip(&Value::Bool(true), &FieldType::Bool), Value::Bool(true));
-        assert_eq!(roundtrip(&Value::Double(2.5), &FieldType::Double), Value::Double(2.5));
+        assert_eq!(
+            roundtrip(&Value::string("hello world"), &FieldType::String),
+            Value::string("hello world")
+        );
+        assert_eq!(
+            roundtrip(&Value::Int(-42), &FieldType::Int),
+            Value::Int(-42)
+        );
+        assert_eq!(
+            roundtrip(&Value::Long(1i64 << 40), &FieldType::Long),
+            Value::Long(1i64 << 40)
+        );
+        assert_eq!(
+            roundtrip(&Value::Bool(true), &FieldType::Bool),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            roundtrip(&Value::Double(2.5), &FieldType::Double),
+            Value::Double(2.5)
+        );
         assert_eq!(roundtrip(&Value::Null, &FieldType::String), Value::Null);
         assert_eq!(
             roundtrip(&Value::Bytes(vec![0, 1, 254, 255]), &FieldType::Bytes),
@@ -719,7 +768,10 @@ mod tests {
 
     #[test]
     fn empty_string_and_whitespace_are_preserved() {
-        assert_eq!(roundtrip(&Value::string(""), &FieldType::String), Value::string(""));
+        assert_eq!(
+            roundtrip(&Value::string(""), &FieldType::String),
+            Value::string("")
+        );
         assert_eq!(
             roundtrip(&Value::string("  padded  "), &FieldType::String),
             Value::string("  padded  ")
@@ -752,9 +804,15 @@ mod tests {
     #[test]
     fn arrays_of_scalars_roundtrip() {
         let v = Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
-        assert_eq!(roundtrip(&v, &FieldType::ArrayOf(Box::new(FieldType::Int))), v);
+        assert_eq!(
+            roundtrip(&v, &FieldType::ArrayOf(Box::new(FieldType::Int))),
+            v
+        );
         let empty = Value::Array(vec![]);
-        assert_eq!(roundtrip(&empty, &FieldType::ArrayOf(Box::new(FieldType::Int))), empty);
+        assert_eq!(
+            roundtrip(&empty, &FieldType::ArrayOf(Box::new(FieldType::Int))),
+            empty
+        );
     }
 
     #[test]
@@ -771,7 +829,8 @@ mod tests {
         .unwrap();
         // Expected type String is wrong-but-permissive only for scalars;
         // use the dynamic path by expecting a struct-free "anyType":
-        let out = read_response_xml(&xml, &FieldType::ArrayOf(Box::new(FieldType::String)), &r).unwrap();
+        let out =
+            read_response_xml(&xml, &FieldType::ArrayOf(Box::new(FieldType::String)), &r).unwrap();
         // With expected=array-of-string, the int lexical "7" is a string.
         assert_eq!(
             out.as_return().unwrap(),
@@ -782,11 +841,12 @@ mod tests {
     #[test]
     fn events_path_equals_xml_path() {
         let r = registry();
-        let v = Value::Struct(
-            StructValue::new("Box")
-                .with("label", "xyz")
-                .with("corners", vec![Value::Struct(StructValue::new("Pt").with("x", 5).with("y", 6))]),
-        );
+        let v = Value::Struct(StructValue::new("Box").with("label", "xyz").with(
+            "corners",
+            vec![Value::Struct(
+                StructValue::new("Pt").with("x", 5).with("y", 6),
+            )],
+        ));
         let expected = FieldType::Struct("Box".into());
         let xml = serialize_response("urn:t", "op", "return", &v, &r).unwrap();
         let (from_xml, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
@@ -803,7 +863,12 @@ mod tests {
         let v = Value::Struct(
             StructValue::new("Box")
                 .with("label", "dom")
-                .with("corners", vec![Value::Struct(StructValue::new("Pt").with("x", 1).with("y", 2))])
+                .with(
+                    "corners",
+                    vec![Value::Struct(
+                        StructValue::new("Pt").with("x", 1).with("y", 2),
+                    )],
+                )
                 .with("payload", vec![1u8, 2]),
         );
         let expected = FieldType::Struct("Box".into());
@@ -814,10 +879,9 @@ mod tests {
         assert_eq!(from_dom, from_xml);
         assert_eq!(from_dom.as_return().unwrap(), &v);
         // Faults read through the DOM too.
-        let fault_xml = crate::serializer::serialize_fault(
-            &SoapFault::server("dom fault").with_detail("d"),
-        )
-        .unwrap();
+        let fault_xml =
+            crate::serializer::serialize_fault(&SoapFault::server("dom fault").with_detail("d"))
+                .unwrap();
         let fault_doc = wsrc_xml::Document::parse(&fault_xml).unwrap();
         match read_response_dom(&fault_doc, &expected, &r).unwrap() {
             RpcOutcome::Fault(f) => assert_eq!(f.string, "dom fault"),
@@ -927,8 +991,10 @@ mod tests {
             vec![FieldDescriptor::new("at", FieldType::Struct("Pt".into()))],
             FieldType::String,
         )];
-        let req = RpcRequest::new("urn:t", "plot")
-            .with_param("at", Value::Struct(StructValue::new("Pt").with("x", 7).with("y", 8)));
+        let req = RpcRequest::new("urn:t", "plot").with_param(
+            "at",
+            Value::Struct(StructValue::new("Pt").with("x", 7).with("y", 8)),
+        );
         let xml = serialize_request(&req, &r).unwrap();
         assert_eq!(parse_request(&xml, &ops, &r).unwrap(), req);
     }

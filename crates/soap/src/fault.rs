@@ -16,12 +16,20 @@ pub struct SoapFault {
 impl SoapFault {
     /// A `Server` fault (problem processing the call).
     pub fn server(message: impl Into<String>) -> Self {
-        SoapFault { code: "soapenv:Server".into(), string: message.into(), detail: None }
+        SoapFault {
+            code: "soapenv:Server".into(),
+            string: message.into(),
+            detail: None,
+        }
     }
 
     /// A `Client` fault (malformed or unsupported request).
     pub fn client(message: impl Into<String>) -> Self {
-        SoapFault { code: "soapenv:Client".into(), string: message.into(), detail: None }
+        SoapFault {
+            code: "soapenv:Client".into(),
+            string: message.into(),
+            detail: None,
+        }
     }
 
     /// Builder-style detail setter.

@@ -18,7 +18,11 @@ pub struct RpcRequest {
 impl RpcRequest {
     /// Creates a request with no parameters.
     pub fn new(namespace: impl Into<String>, operation: impl Into<String>) -> Self {
-        RpcRequest { namespace: namespace.into(), operation: operation.into(), params: Vec::new() }
+        RpcRequest {
+            namespace: namespace.into(),
+            operation: operation.into(),
+            params: Vec::new(),
+        }
     }
 
     /// Builder-style parameter appender.
@@ -175,7 +179,8 @@ mod tests {
             .with_param("key", "k")
             .with_param("phrase", "p");
         assert!(d.check_request(&good).is_ok());
-        let missing = RpcRequest::new("urn:GoogleSearch", "doSpellingSuggestion").with_param("key", "k");
+        let missing =
+            RpcRequest::new("urn:GoogleSearch", "doSpellingSuggestion").with_param("key", "k");
         assert!(d.check_request(&missing).is_err());
         let wrong_op = RpcRequest::new("urn:GoogleSearch", "doGoogleSearch");
         assert!(d.check_request(&wrong_op).is_err());

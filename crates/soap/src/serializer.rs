@@ -17,7 +17,10 @@ use wsrc_xml::XmlWriter;
 /// # Errors
 ///
 /// Propagates writer errors (which indicate a bug rather than bad input).
-pub fn serialize_request(request: &RpcRequest, registry: &TypeRegistry) -> Result<String, SoapError> {
+pub fn serialize_request(
+    request: &RpcRequest,
+    registry: &TypeRegistry,
+) -> Result<String, SoapError> {
     let mut w = XmlWriter::with_declaration();
     start_envelope(&mut w)?;
     w.start(format!("{PREFIX_ENV}:Body"))?;
@@ -119,7 +122,10 @@ fn write_value_typed(
         }
         Value::Bool(b) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:boolean"))?;
+                w.attr(
+                    format!("{PREFIX_XSI}:type"),
+                    format!("{PREFIX_XSD}:boolean"),
+                )?;
             }
             w.text(if *b { "true" } else { "false" })?;
         }
@@ -149,7 +155,10 @@ fn write_value_typed(
         }
         Value::Bytes(b) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:base64Binary"))?;
+                w.attr(
+                    format!("{PREFIX_XSI}:type"),
+                    format!("{PREFIX_XSD}:base64Binary"),
+                )?;
             }
             w.text(base64::encode(b))?;
         }
@@ -180,7 +189,13 @@ fn write_value_typed(
             for (field_name, field_value) in s.fields() {
                 let field = descriptor.and_then(|d| d.field(field_name));
                 let xml_name = field.map(|f| f.xml_name.as_str()).unwrap_or(field_name);
-                write_value_typed(w, xml_name, field_value, registry, field.map(|f| &f.field_type))?;
+                write_value_typed(
+                    w,
+                    xml_name,
+                    field_value,
+                    registry,
+                    field.map(|f| &f.field_type),
+                )?;
             }
         }
     }
@@ -273,8 +288,7 @@ mod tests {
             Value::Struct(StructValue::new("Pt").with("x", 1).with("y", 2)),
             Value::Struct(StructValue::new("Pt").with("x", 3).with("y", 4)),
         ]);
-        let xml =
-            serialize_response("urn:t", "op", "return", &value, &registry()).unwrap();
+        let xml = serialize_response("urn:t", "op", "return", &value, &registry()).unwrap();
         assert!(xml.contains("soapenc:arrayType=\"xsd:anyType[2]\""));
         // The array itself is untyped (top level), so items carry
         // xsi:type; fields of the registered Pt type do not.

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
 use wsrc_model::value::{StructValue, Value};
-use wsrc_soap::deserializer::{read_response_events, read_response_xml, read_response_xml_recording};
+use wsrc_soap::deserializer::{
+    read_response_events, read_response_xml, read_response_xml_recording,
+};
 use wsrc_soap::rpc::RpcOutcome;
 use wsrc_soap::serializer::serialize_response;
 
@@ -35,18 +37,15 @@ fn arb_typed(depth: u32) -> BoxedStrategy<(Value, FieldType)> {
         prop_oneof![
             arb_scalar(),
             // Homogeneous arrays.
-            (proptest::collection::vec(arb_typed(0), 0..5)).prop_filter_map(
-                "same type",
-                |pairs| {
-                    let ty = pairs.first().map(|(_, t)| t.clone())?;
-                    if pairs.iter().all(|(_, t)| *t == ty) {
-                        let values = pairs.into_iter().map(|(v, _)| v).collect();
-                        Some((Value::Array(values), FieldType::ArrayOf(Box::new(ty))))
-                    } else {
-                        None
-                    }
+            (proptest::collection::vec(arb_typed(0), 0..5)).prop_filter_map("same type", |pairs| {
+                let ty = pairs.first().map(|(_, t)| t.clone())?;
+                if pairs.iter().all(|(_, t)| *t == ty) {
+                    let values = pairs.into_iter().map(|(v, _)| v).collect();
+                    Some((Value::Array(values), FieldType::ArrayOf(Box::new(ty))))
+                } else {
+                    None
                 }
-            ),
+            }),
             arb_node(depth).prop_map(|v| (v, FieldType::Struct("Node".into()))),
         ]
         .boxed()
@@ -59,8 +58,10 @@ fn arb_scalar() -> BoxedStrategy<(Value, FieldType)> {
         any::<i32>().prop_map(|i| (Value::Int(i), FieldType::Int)),
         any::<i64>().prop_map(|l| (Value::Long(l), FieldType::Long)),
         any::<bool>().prop_map(|b| (Value::Bool(b), FieldType::Bool)),
-        (-1.0e9..1.0e9f64)
-            .prop_map(|d| (Value::Double(if d == 0.0 { 0.0 } else { d }), FieldType::Double)),
+        (-1.0e9..1.0e9f64).prop_map(|d| (
+            Value::Double(if d == 0.0 { 0.0 } else { d }),
+            FieldType::Double
+        )),
         proptest::collection::vec(any::<u8>(), 0..64)
             .prop_map(|b| (Value::Bytes(b), FieldType::Bytes)),
         Just((Value::Null, FieldType::String)),

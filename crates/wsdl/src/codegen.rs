@@ -24,14 +24,23 @@ pub fn generate_rust_stub(defs: &Definitions) -> String {
         let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
         let _ = writeln!(out, "pub struct {} {{", ct.name);
         for f in &ct.fields {
-            let _ = writeln!(out, "    pub {}: {},", rust_field_name(&f.name), rust_type(&f.type_ref));
+            let _ = writeln!(
+                out,
+                "    pub {}: {},",
+                rust_field_name(&f.name),
+                rust_type(&f.type_ref)
+            );
         }
         let _ = writeln!(out, "}}\n");
 
         // Into Value.
         let _ = writeln!(out, "impl From<{}> for Value {{", ct.name);
         let _ = writeln!(out, "    fn from(v: {}) -> Value {{", ct.name);
-        let _ = writeln!(out, "        let mut s = StructValue::new(\"{}\");", ct.name);
+        let _ = writeln!(
+            out,
+            "        let mut s = StructValue::new(\"{}\");",
+            ct.name
+        );
         for f in &ct.fields {
             let field = rust_field_name(&f.name);
             match &f.type_ref {
@@ -43,7 +52,11 @@ pub fn generate_rust_stub(defs: &Definitions) -> String {
                     );
                 }
                 _ => {
-                    let _ = writeln!(out, "        s.set(\"{}\", Value::from(v.{field}));", f.name);
+                    let _ = writeln!(
+                        out,
+                        "        s.set(\"{}\", Value::from(v.{field}));",
+                        f.name
+                    );
                 }
             }
         }
@@ -62,7 +75,12 @@ pub fn generate_rust_stub(defs: &Definitions) -> String {
         let mut params = String::new();
         let mut pushes = String::new();
         for p in &input.parts {
-            let _ = write!(params, ", {}: {}", rust_field_name(&p.name), rust_type(&p.type_ref));
+            let _ = write!(
+                params,
+                ", {}: {}",
+                rust_field_name(&p.name),
+                rust_type(&p.type_ref)
+            );
             let _ = writeln!(
                 pushes,
                 "        req = req.with_param(\"{}\", Value::from({}));",
@@ -70,7 +88,11 @@ pub fn generate_rust_stub(defs: &Definitions) -> String {
                 rust_field_name(&p.name)
             );
         }
-        let _ = writeln!(out, "    pub fn {}(&self{params}) -> Result<Value, C::Error> {{", rust_field_name(&op.name));
+        let _ = writeln!(
+            out,
+            "    pub fn {}(&self{params}) -> Result<Value, C::Error> {{",
+            rust_field_name(&op.name)
+        );
         let _ = writeln!(
             out,
             "        let mut req = wsrc_soap::RpcRequest::new(\"{}\", \"{}\");",
@@ -132,7 +154,10 @@ mod tests {
             "pub fn do_search(&self, q: String, max: i32)",
             "RpcRequest::new(\"urn:TinySearch\", \"doSearch\")",
         ] {
-            assert!(src.contains(needle), "missing {needle:?} in generated code:\n{src}");
+            assert!(
+                src.contains(needle),
+                "missing {needle:?} in generated code:\n{src}"
+            );
         }
     }
 

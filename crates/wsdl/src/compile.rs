@@ -8,7 +8,9 @@
 //! clone method." [`CompileOptions::generate_clone`] is that switch.
 
 use crate::model::{Definitions, TypeRef, XsdType};
-use wsrc_model::typeinfo::{Capabilities, FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::typeinfo::{
+    Capabilities, FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry,
+};
 use wsrc_soap::rpc::OperationDescriptor;
 
 /// Compiler switches.
@@ -21,7 +23,9 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { generate_clone: true }
+        CompileOptions {
+            generate_clone: true,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl CompiledService {
 pub fn compile(defs: &Definitions, options: CompileOptions) -> Result<CompiledService, String> {
     defs.validate()?;
     let capabilities = if options.generate_clone {
-        Capabilities { cloneable: true, ..Capabilities::wsdl_generated() }
+        Capabilities {
+            cloneable: true,
+            ..Capabilities::wsdl_generated()
+        }
     } else {
         Capabilities::wsdl_generated()
     };
@@ -66,8 +73,8 @@ pub fn compile(defs: &Definitions, options: CompileOptions) -> Result<CompiledSe
             .iter()
             .map(|f| FieldDescriptor::new(f.name.clone(), field_type(&f.type_ref)))
             .collect();
-        registry =
-            registry.register(TypeDescriptor::new(ct.name.clone(), fields).with_capabilities(capabilities));
+        registry = registry
+            .register(TypeDescriptor::new(ct.name.clone(), fields).with_capabilities(capabilities));
     }
     let registry = registry.build();
 
@@ -94,8 +101,12 @@ pub fn compile(defs: &Definitions, options: CompileOptions) -> Result<CompiledSe
             Some(part) => (field_type(&part.type_ref), part.name.clone()),
             None => (FieldType::String, "return".to_string()), // void → nil string
         };
-        let mut descriptor =
-            OperationDescriptor::new(defs.target_namespace.clone(), op.name.clone(), params, return_type);
+        let mut descriptor = OperationDescriptor::new(
+            defs.target_namespace.clone(),
+            op.name.clone(),
+            params,
+            return_type,
+        );
         descriptor.return_name = return_name;
         operations.push(descriptor);
     }
@@ -141,7 +152,13 @@ mod tests {
 
     #[test]
     fn stock_compiler_omits_clone() {
-        let c = compile(&tests_fixture(), CompileOptions { generate_clone: false }).unwrap();
+        let c = compile(
+            &tests_fixture(),
+            CompileOptions {
+                generate_clone: false,
+            },
+        )
+        .unwrap();
         assert!(!c.registry.get("Hit").unwrap().capabilities.cloneable);
         assert!(c.registry.get("Hit").unwrap().capabilities.serializable);
     }

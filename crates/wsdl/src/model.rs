@@ -98,7 +98,10 @@ pub struct SchemaField {
 impl SchemaField {
     /// Creates a field.
     pub fn new(name: impl Into<String>, type_ref: TypeRef) -> Self {
-        SchemaField { name: name.into(), type_ref }
+        SchemaField {
+            name: name.into(),
+            type_ref,
+        }
     }
 }
 
@@ -114,7 +117,10 @@ pub struct ComplexType {
 impl ComplexType {
     /// Creates a complex type.
     pub fn new(name: impl Into<String>, fields: Vec<SchemaField>) -> Self {
-        ComplexType { name: name.into(), fields }
+        ComplexType {
+            name: name.into(),
+            fields,
+        }
     }
 }
 
@@ -146,7 +152,10 @@ pub struct Part {
 impl Part {
     /// Creates a part.
     pub fn new(name: impl Into<String>, type_ref: TypeRef) -> Self {
-        Part { name: name.into(), type_ref }
+        Part {
+            name: name.into(),
+            type_ref,
+        }
     }
 }
 
@@ -222,12 +231,18 @@ impl Definitions {
     pub fn validate(&self) -> Result<(), String> {
         for op in &self.port_type.operations {
             for msg_name in [&op.input_message, &op.output_message] {
-                let msg = self
-                    .message(msg_name)
-                    .ok_or_else(|| format!("operation '{}' references missing message '{msg_name}'", op.name))?;
+                let msg = self.message(msg_name).ok_or_else(|| {
+                    format!(
+                        "operation '{}' references missing message '{msg_name}'",
+                        op.name
+                    )
+                })?;
                 for part in &msg.parts {
                     self.check_type_ref(&part.type_ref).map_err(|t| {
-                        format!("part '{}' of message '{msg_name}' references missing type '{t}'", part.name)
+                        format!(
+                            "part '{}' of message '{msg_name}' references missing type '{t}'",
+                            part.name
+                        )
                     })?;
                 }
             }
@@ -235,7 +250,10 @@ impl Definitions {
         for ct in &self.schema.types {
             for field in &ct.fields {
                 self.check_type_ref(&field.type_ref).map_err(|t| {
-                    format!("field '{}' of type '{}' references missing type '{t}'", field.name, ct.name)
+                    format!(
+                        "field '{}' of type '{}' references missing type '{t}'",
+                        field.name, ct.name
+                    )
                 })?;
             }
         }

@@ -29,7 +29,10 @@ pub fn parse_wsdl(xml: &str) -> Result<Definitions, XmlError> {
     for child in root.child_elements() {
         match child.name.local_part() {
             "types" => {
-                if let Some(schema) = child.child_elements().find(|e| e.name.local_part() == "schema") {
+                if let Some(schema) = child
+                    .child_elements()
+                    .find(|e| e.name.local_part() == "schema")
+                {
                     defs.schema = parse_schema(schema)?;
                 }
             }
@@ -50,24 +53,36 @@ pub fn parse_wsdl(xml: &str) -> Result<Definitions, XmlError> {
 
 fn parse_schema(schema: &Element) -> Result<Schema, XmlError> {
     let mut out = Schema {
-        target_namespace: schema.attribute("targetNamespace").unwrap_or_default().to_string(),
+        target_namespace: schema
+            .attribute("targetNamespace")
+            .unwrap_or_default()
+            .to_string(),
         types: Vec::new(),
     };
-    for ct in schema.child_elements().filter(|e| e.name.local_part() == "complexType") {
+    for ct in schema
+        .child_elements()
+        .filter(|e| e.name.local_part() == "complexType")
+    {
         let name = ct
             .attribute("name")
             .ok_or_else(|| XmlError::new("complexType lacks a name"))?
             .to_string();
         let mut fields = Vec::new();
-        if let Some(seq) = ct.child_elements().find(|e| e.name.local_part() == "sequence") {
-            for el in seq.child_elements().filter(|e| e.name.local_part() == "element") {
+        if let Some(seq) = ct
+            .child_elements()
+            .find(|e| e.name.local_part() == "sequence")
+        {
+            for el in seq
+                .child_elements()
+                .filter(|e| e.name.local_part() == "element")
+            {
                 let fname = el
                     .attribute("name")
                     .ok_or_else(|| XmlError::new(format!("element in '{name}' lacks a name")))?;
-                let tref = parse_type_attr(
-                    el.attribute("type")
-                        .ok_or_else(|| XmlError::new(format!("element '{fname}' lacks a type")))?,
-                )?;
+                let tref =
+                    parse_type_attr(el.attribute("type").ok_or_else(|| {
+                        XmlError::new(format!("element '{fname}' lacks a type"))
+                    })?)?;
                 let tref = if el.attribute("maxOccurs").map(|m| m != "1").unwrap_or(false) {
                     tref.array()
                 } else {
@@ -87,7 +102,10 @@ fn parse_message(msg: &Element) -> Result<Message, XmlError> {
         .ok_or_else(|| XmlError::new("message lacks a name"))?
         .to_string();
     let mut parts = Vec::new();
-    for part in msg.child_elements().filter(|e| e.name.local_part() == "part") {
+    for part in msg
+        .child_elements()
+        .filter(|e| e.name.local_part() == "part")
+    {
         let pname = part
             .attribute("name")
             .ok_or_else(|| XmlError::new(format!("part in message '{name}' lacks a name")))?;
@@ -106,7 +124,10 @@ fn parse_port_type(pt: &Element) -> Result<PortType, XmlError> {
         .ok_or_else(|| XmlError::new("portType lacks a name"))?
         .to_string();
     let mut operations = Vec::new();
-    for op in pt.child_elements().filter(|e| e.name.local_part() == "operation") {
+    for op in pt
+        .child_elements()
+        .filter(|e| e.name.local_part() == "operation")
+    {
         let op_name = op
             .attribute("name")
             .ok_or_else(|| XmlError::new("operation lacks a name"))?
@@ -146,7 +167,11 @@ fn parse_service(svc: &Element) -> Result<Service, XmlError> {
         .and_then(|a| a.attribute("location"))
         .unwrap_or_default()
         .to_string();
-    Ok(Service { name, port_name, endpoint_url: address })
+    Ok(Service {
+        name,
+        port_name,
+        endpoint_url: address,
+    })
 }
 
 fn parse_type_attr(attr: &str) -> Result<TypeRef, XmlError> {
@@ -260,8 +285,14 @@ mod tests {
 
     #[test]
     fn type_attr_forms() {
-        assert_eq!(parse_type_attr("xsd:int").unwrap(), TypeRef::Xsd(XsdType::Int));
-        assert_eq!(parse_type_attr("tns:Hit").unwrap(), TypeRef::Complex("Hit".into()));
+        assert_eq!(
+            parse_type_attr("xsd:int").unwrap(),
+            TypeRef::Xsd(XsdType::Int)
+        );
+        assert_eq!(
+            parse_type_attr("tns:Hit").unwrap(),
+            TypeRef::Complex("Hit".into())
+        );
         assert_eq!(
             parse_type_attr("tns:Hit[]").unwrap(),
             TypeRef::Complex("Hit".into()).array()

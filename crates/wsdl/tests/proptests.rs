@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wsrc_wsdl::{
-    compile, parser, writer, ComplexType, CompileOptions, Definitions, Message, Part, PortType,
+    compile, parser, writer, CompileOptions, ComplexType, Definitions, Message, Part, PortType,
     Schema, SchemaField, Service, TypeRef, WsdlOperation, XsdType,
 };
 

@@ -32,7 +32,11 @@ pub struct Element {
 impl Element {
     /// Creates an element with no attributes or children.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Element { name: QName::parse(name.as_ref()), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: QName::parse(name.as_ref()),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style: adds an attribute.
@@ -56,7 +60,10 @@ impl Element {
     /// The value of an attribute, matched on its full lexical name.
     pub fn attribute(&self, name: &str) -> Option<&str> {
         let q = QName::parse(name);
-        self.attributes.iter().find(|a| a.name == q).map(|a| a.value.as_str())
+        self.attributes
+            .iter()
+            .find(|a| a.name == q)
+            .map(|a| a.value.as_str())
     }
 
     /// Iterates over child elements only.
@@ -85,7 +92,10 @@ impl Element {
 
     /// Recursively counts elements in this subtree, including `self`.
     pub fn element_count(&self) -> usize {
-        1 + self.child_elements().map(Element::element_count).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::element_count)
+            .sum::<usize>()
     }
 
     /// Approximate retained size in bytes (for memory accounting).
@@ -136,7 +146,8 @@ impl Element {
     /// Serializes this subtree as an XML string.
     pub fn to_xml(&self) -> String {
         let mut w = XmlWriter::new();
-        self.write_to(&mut w).expect("fresh writer accepts a single tree");
+        self.write_to(&mut w)
+            .expect("fresh writer accepts a single tree");
         w.finish().expect("tree is balanced by construction")
     }
 
@@ -148,7 +159,10 @@ impl Element {
     }
 
     fn push_events(&self, out: &mut Vec<SaxEvent>) {
-        out.push(SaxEvent::StartElement { name: self.name.clone(), attributes: self.attributes.clone() });
+        out.push(SaxEvent::StartElement {
+            name: self.name.clone(),
+            attributes: self.attributes.clone(),
+        });
         for c in &self.children {
             match c {
                 Node::Element(e) => e.push_events(out),
@@ -156,7 +170,9 @@ impl Element {
                 Node::Comment(t) => out.push(SaxEvent::Comment(t.clone())),
             }
         }
-        out.push(SaxEvent::EndElement { name: self.name.clone() });
+        out.push(SaxEvent::EndElement {
+            name: self.name.clone(),
+        });
     }
 }
 
@@ -189,7 +205,8 @@ impl Document {
         let mut root: Option<Element> = None;
         for event in events.iter() {
             match event {
-                SaxEvent::StartDocument | SaxEvent::EndDocument
+                SaxEvent::StartDocument
+                | SaxEvent::EndDocument
                 | SaxEvent::ProcessingInstruction { .. } => {}
                 SaxEvent::StartElement { name, attributes } => {
                     stack.push(Element {
@@ -212,7 +229,9 @@ impl Document {
                         Some(parent) => parent.children.push(Node::Element(done)),
                         None => {
                             if root.is_some() {
-                                return Err(XmlError::new("multiple root elements in event stream"));
+                                return Err(XmlError::new(
+                                    "multiple root elements in event stream",
+                                ));
                             }
                             root = Some(done);
                         }
@@ -292,10 +311,15 @@ mod tests {
     fn adjacent_text_runs_merge() {
         let events: SaxEventSequence = vec![
             SaxEvent::StartDocument,
-            SaxEvent::StartElement { name: QName::local("e"), attributes: vec![] },
+            SaxEvent::StartElement {
+                name: QName::local("e"),
+                attributes: vec![],
+            },
             SaxEvent::Characters("a".into()),
             SaxEvent::Characters("b".into()),
-            SaxEvent::EndElement { name: QName::local("e") },
+            SaxEvent::EndElement {
+                name: QName::local("e"),
+            },
             SaxEvent::EndDocument,
         ]
         .into();
@@ -321,11 +345,16 @@ mod tests {
 
     #[test]
     fn unbalanced_event_streams_are_rejected() {
-        let open_only: SaxEventSequence =
-            vec![SaxEvent::StartElement { name: QName::local("a"), attributes: vec![] }].into();
+        let open_only: SaxEventSequence = vec![SaxEvent::StartElement {
+            name: QName::local("a"),
+            attributes: vec![],
+        }]
+        .into();
         assert!(Document::from_events(&open_only).is_err());
-        let close_only: SaxEventSequence =
-            vec![SaxEvent::EndElement { name: QName::local("a") }].into();
+        let close_only: SaxEventSequence = vec![SaxEvent::EndElement {
+            name: QName::local("a"),
+        }]
+        .into();
         assert!(Document::from_events(&close_only).is_err());
         let empty: SaxEventSequence = vec![SaxEvent::StartDocument, SaxEvent::EndDocument].into();
         assert!(Document::from_events(&empty).is_err());

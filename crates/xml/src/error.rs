@@ -16,12 +16,18 @@ pub struct XmlError {
 impl XmlError {
     /// Creates an error at a specific byte offset of the input.
     pub fn at(offset: usize, message: impl Into<String>) -> Self {
-        XmlError { message: message.into(), offset }
+        XmlError {
+            message: message.into(),
+            offset,
+        }
     }
 
     /// Creates an error that is not tied to an input position.
     pub fn new(message: impl Into<String>) -> Self {
-        XmlError { message: message.into(), offset: 0 }
+        XmlError {
+            message: message.into(),
+            offset: 0,
+        }
     }
 
     /// The human-readable description of the problem.

@@ -109,8 +109,11 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, XmlError> {
 }
 
 fn char_for(code: u32, name: &str) -> Result<char, XmlError> {
-    char::from_u32(code)
-        .ok_or_else(|| XmlError::new(format!("character reference '&{name};' is not a valid char")))
+    char::from_u32(code).ok_or_else(|| {
+        XmlError::new(format!(
+            "character reference '&{name};' is not a valid char"
+        ))
+    })
 }
 
 #[cfg(test)]

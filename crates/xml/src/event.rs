@@ -22,13 +22,21 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Attribute { name: QName::parse(&name.into()), value: value.into() }
+        Attribute {
+            name: QName::parse(&name.into()),
+            value: value.into(),
+        }
     }
 }
 
 impl fmt::Display for Attribute {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}=\"{}\"", self.name, crate::escape::escape_attribute(&self.value))
+        write!(
+            f,
+            "{}=\"{}\"",
+            self.name,
+            crate::escape::escape_attribute(&self.value)
+        )
     }
 }
 
@@ -183,13 +191,20 @@ impl SaxEventSequence {
 
     /// Approximate retained size in bytes (for Table 9 style accounting).
     pub fn approximate_size(&self) -> usize {
-        std::mem::size_of::<Self>() + self.events.iter().map(SaxEvent::approximate_size).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self
+                .events
+                .iter()
+                .map(SaxEvent::approximate_size)
+                .sum::<usize>()
     }
 }
 
 impl FromIterator<SaxEvent> for SaxEventSequence {
     fn from_iter<I: IntoIterator<Item = SaxEvent>>(iter: I) -> Self {
-        SaxEventSequence { events: iter.into_iter().collect() }
+        SaxEventSequence {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -228,9 +243,14 @@ mod tests {
     fn sample() -> SaxEventSequence {
         vec![
             SaxEvent::StartDocument,
-            SaxEvent::StartElement { name: QName::local("doc"), attributes: vec![] },
+            SaxEvent::StartElement {
+                name: QName::local("doc"),
+                attributes: vec![],
+            },
             SaxEvent::Characters("hi".into()),
-            SaxEvent::EndElement { name: QName::local("doc") },
+            SaxEvent::EndElement {
+                name: QName::local("doc"),
+            },
             SaxEvent::EndDocument,
         ]
         .into()
@@ -240,7 +260,11 @@ mod tests {
     fn display_matches_paper_table4_style() {
         assert_eq!(SaxEvent::StartDocument.to_string(), "start document");
         assert_eq!(
-            SaxEvent::StartElement { name: QName::local("para"), attributes: vec![] }.to_string(),
+            SaxEvent::StartElement {
+                name: QName::local("para"),
+                attributes: vec![]
+            }
+            .to_string(),
             "start element: para"
         );
         assert_eq!(
@@ -248,7 +272,10 @@ mod tests {
             "characters: Hello, world!"
         );
         assert_eq!(
-            SaxEvent::EndElement { name: QName::local("para") }.to_string(),
+            SaxEvent::EndElement {
+                name: QName::local("para")
+            }
+            .to_string(),
             "end element: para"
         );
         assert_eq!(SaxEvent::EndDocument.to_string(), "end document");
@@ -262,7 +289,13 @@ mod tests {
         let kinds: Vec<_> = seq.iter().map(SaxEvent::kind).collect();
         assert_eq!(
             kinds,
-            ["start document", "start element", "characters", "end element", "end document"]
+            [
+                "start document",
+                "start element",
+                "characters",
+                "end element",
+                "end document"
+            ]
         );
     }
 
@@ -275,8 +308,11 @@ mod tests {
 
     #[test]
     fn size_accounts_for_attributes() {
-        let bare = SaxEvent::StartElement { name: QName::local("e"), attributes: vec![] }
-            .approximate_size();
+        let bare = SaxEvent::StartElement {
+            name: QName::local("e"),
+            attributes: vec![],
+        }
+        .approximate_size();
         let with_attr = SaxEvent::StartElement {
             name: QName::local("e"),
             attributes: vec![Attribute::new("href", "value")],

@@ -30,12 +30,18 @@ pub struct QName {
 impl QName {
     /// Creates a name with no prefix.
     pub fn local(name: impl Into<String>) -> Self {
-        QName { prefix: String::new(), local: name.into() }
+        QName {
+            prefix: String::new(),
+            local: name.into(),
+        }
     }
 
     /// Creates a prefixed name.
     pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
-        QName { prefix: prefix.into(), local: local.into() }
+        QName {
+            prefix: prefix.into(),
+            local: local.into(),
+        }
     }
 
     /// Parses a lexical QName such as `ns:elem` or `elem`.
@@ -110,7 +116,9 @@ impl NamespaceContext {
     /// Panics if no scope is active; that indicates unbalanced push/pop by
     /// the caller, which is a programming error rather than bad input.
     pub fn pop_scope(&mut self) {
-        self.scopes.pop().expect("pop_scope without matching push_scope");
+        self.scopes
+            .pop()
+            .expect("pop_scope without matching push_scope");
     }
 
     /// Declares `prefix` (empty string for the default namespace) to map to

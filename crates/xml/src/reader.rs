@@ -93,7 +93,10 @@ impl<'x> XmlReader<'x> {
     ///
     /// Returns `Parse` for XML problems and `Handler` when the handler
     /// rejects an event.
-    pub fn parse_into<H: ContentHandler>(mut self, handler: &mut H) -> Result<(), ParseIntoError<H::Error>> {
+    pub fn parse_into<H: ContentHandler>(
+        mut self,
+        handler: &mut H,
+    ) -> Result<(), ParseIntoError<H::Error>> {
         while let Some(event) = self.next_event().map_err(ParseIntoError::Parse)? {
             crate::sax::dispatch(handler, &event).map_err(ParseIntoError::Handler)?;
         }
@@ -236,7 +239,9 @@ impl<'x> XmlReader<'x> {
             // The XML declaration is consumed silently (it is not a PI event
             // in SAX); it may only appear at the very start.
             if body_start != 2 {
-                return Err(self.err("XML declaration is only allowed at the start of the document"));
+                return Err(
+                    self.err("XML declaration is only allowed at the start of the document")
+                );
             }
             return self.next_event();
         }
@@ -264,7 +269,9 @@ impl<'x> XmlReader<'x> {
         self.pos = i + 1;
         match self.open_elements.pop() {
             Some(open) if open == name => Ok(SaxEvent::EndElement { name }),
-            Some(open) => Err(self.err(format!("mismatched end tag </{name}>; expected </{open}>"))),
+            Some(open) => {
+                Err(self.err(format!("mismatched end tag </{name}>; expected </{open}>")))
+            }
             None => Err(self.err(format!("end tag </{name}> with no open element"))),
         }
     }
@@ -322,10 +329,9 @@ impl<'x> XmlReader<'x> {
                 _ => {
                     let (attr, next) = self.read_attribute(i, &name)?;
                     if attributes.iter().any(|a| a.name == attr.name) {
-                        return Err(self.err(format!(
-                            "duplicate attribute '{}' on <{name}>",
-                            attr.name
-                        )));
+                        return Err(
+                            self.err(format!("duplicate attribute '{}' on <{name}>", attr.name))
+                        );
                     }
                     attributes.push(attr);
                     i = next;
@@ -334,10 +340,16 @@ impl<'x> XmlReader<'x> {
         }
     }
 
-    fn read_attribute(&self, start: usize, element: &QName) -> Result<(Attribute, usize), XmlError> {
+    fn read_attribute(
+        &self,
+        start: usize,
+        element: &QName,
+    ) -> Result<(Attribute, usize), XmlError> {
         let bytes = self.input.as_bytes();
         let mut i = start;
-        while i < bytes.len() && !matches!(bytes[i], b'=' | b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/') {
+        while i < bytes.len()
+            && !matches!(bytes[i], b'=' | b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/')
+        {
             i += 1;
         }
         let name_text = &self.input[start..i];
@@ -372,7 +384,13 @@ impl<'x> XmlReader<'x> {
         }
         let raw = &self.input[value_start..i];
         let value = unescape(raw).map_err(|e| self.err(e.message()))?;
-        Ok((Attribute { name, value: value.into_owned() }, i + 1))
+        Ok((
+            Attribute {
+                name,
+                value: value.into_owned(),
+            },
+            i + 1,
+        ))
     }
 
     fn check_name(&self, text: &str) -> Result<QName, XmlError> {
@@ -523,7 +541,10 @@ mod tests {
         assert_eq!(evs[1], SaxEvent::Comment(" hi ".into()));
         assert_eq!(
             evs[3],
-            SaxEvent::ProcessingInstruction { target: "pi".into(), data: "some data".into() }
+            SaxEvent::ProcessingInstruction {
+                target: "pi".into(),
+                data: "some data".into()
+            }
         );
     }
 
@@ -566,7 +587,9 @@ mod tests {
 
     #[test]
     fn text_outside_root_is_rejected() {
-        assert!(expect_err("hello<a/>").message().contains("outside the root"));
+        assert!(expect_err("hello<a/>")
+            .message()
+            .contains("outside the root"));
         assert!(expect_err("<a/>hello").message().contains("after the root"));
     }
 
@@ -590,7 +613,16 @@ mod tests {
 
     #[test]
     fn truncated_inputs_are_rejected_not_hung() {
-        for xml in ["<", "<a", "<a b", "<a b=", "<a b='x", "<a>", "<a><!-- ", "<a><![CDATA[x"] {
+        for xml in [
+            "<",
+            "<a",
+            "<a b",
+            "<a b=",
+            "<a b='x",
+            "<a>",
+            "<a><!-- ",
+            "<a><![CDATA[x",
+        ] {
             assert!(
                 XmlReader::new(xml).collect::<Result<Vec<_>, _>>().is_err(),
                 "expected error for {xml:?}"

@@ -27,7 +27,11 @@ pub trait ContentHandler {
     }
 
     /// Element begins. Attributes include namespace declarations.
-    fn start_element(&mut self, _name: &QName, _attributes: &[Attribute]) -> Result<(), Self::Error> {
+    fn start_element(
+        &mut self,
+        _name: &QName,
+        _attributes: &[Attribute],
+    ) -> Result<(), Self::Error> {
         Ok(())
     }
 
@@ -116,7 +120,8 @@ impl ContentHandler for Recorder {
     }
 
     fn end_element(&mut self, name: &QName) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::EndElement { name: name.clone() });
+        self.sequence
+            .push(SaxEvent::EndElement { name: name.clone() });
         Ok(())
     }
 
@@ -131,8 +136,10 @@ impl ContentHandler for Recorder {
     }
 
     fn processing_instruction(&mut self, target: &str, data: &str) -> Result<(), XmlError> {
-        self.sequence
-            .push(SaxEvent::ProcessingInstruction { target: target.to_string(), data: data.to_string() });
+        self.sequence.push(SaxEvent::ProcessingInstruction {
+            target: target.to_string(),
+            data: data.to_string(),
+        });
         Ok(())
     }
 }
@@ -220,11 +227,19 @@ mod tests {
     fn recorder_roundtrips_replay() {
         let events: SaxEventSequence = vec![
             SaxEvent::StartDocument,
-            SaxEvent::StartElement { name: QName::local("a"), attributes: vec![] },
+            SaxEvent::StartElement {
+                name: QName::local("a"),
+                attributes: vec![],
+            },
             SaxEvent::Characters("x".into()),
             SaxEvent::Comment("c".into()),
-            SaxEvent::ProcessingInstruction { target: "pi".into(), data: "d".into() },
-            SaxEvent::EndElement { name: QName::local("a") },
+            SaxEvent::ProcessingInstruction {
+                target: "pi".into(),
+                data: "d".into(),
+            },
+            SaxEvent::EndElement {
+                name: QName::local("a"),
+            },
             SaxEvent::EndDocument,
         ]
         .into();

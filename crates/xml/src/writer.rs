@@ -45,7 +45,10 @@ impl XmlWriter {
 
     /// Creates a writer that first emits `<?xml version="1.0" encoding="UTF-8"?>`.
     pub fn with_declaration() -> Self {
-        XmlWriter { declaration: true, ..XmlWriter::default() }
+        XmlWriter {
+            declaration: true,
+            ..XmlWriter::default()
+        }
     }
 
     /// Enables pretty-printing with the given indent width.
@@ -56,7 +59,8 @@ impl XmlWriter {
 
     fn write_declaration_if_needed(&mut self) {
         if self.declaration && self.out.is_empty() {
-            self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            self.out
+                .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
             if self.indent.is_some() {
                 self.out.push('\n');
             }
@@ -88,7 +92,9 @@ impl XmlWriter {
     /// Fails if the document's root element was already closed.
     pub fn start(&mut self, name: impl AsRef<str>) -> Result<&mut Self, XmlError> {
         if self.root_closed {
-            return Err(XmlError::new("cannot start an element after the root was closed"));
+            return Err(XmlError::new(
+                "cannot start an element after the root was closed",
+            ));
         }
         self.write_declaration_if_needed();
         self.close_pending_tag();
@@ -115,7 +121,11 @@ impl XmlWriter {
     ///
     /// Fails if content was already written to the element (attributes must
     /// come first).
-    pub fn attr(&mut self, name: impl AsRef<str>, value: impl AsRef<str>) -> Result<&mut Self, XmlError> {
+    pub fn attr(
+        &mut self,
+        name: impl AsRef<str>,
+        value: impl AsRef<str>,
+    ) -> Result<&mut Self, XmlError> {
         if !self.tag_open {
             return Err(XmlError::new(format!(
                 "attribute '{}' written after element content",
@@ -247,10 +257,14 @@ impl XmlWriter {
     /// Fails if elements remain open or nothing was written.
     pub fn finish(self) -> Result<String, XmlError> {
         if let Some(open) = self.open.last() {
-            return Err(XmlError::new(format!("finish() while <{open}> is still open")));
+            return Err(XmlError::new(format!(
+                "finish() while <{open}> is still open"
+            )));
         }
         if !self.root_closed {
-            return Err(XmlError::new("finish() before any root element was written"));
+            return Err(XmlError::new(
+                "finish() before any root element was written",
+            ));
         }
         Ok(self.out)
     }

@@ -32,7 +32,11 @@ fn xml_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (xml_name(), proptest::collection::vec((xml_name(), xml_text()), 0..3), xml_text())
+    let leaf = (
+        xml_name(),
+        proptest::collection::vec((xml_name(), xml_text()), 0..3),
+        xml_text(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut e = Element::new(&name);
             for (an, av) in attrs {
@@ -79,7 +83,12 @@ fn arb_element(depth: u32) -> BoxedStrategy<Element> {
 fn assert_tree_equivalent(a: &Element, b: &Element) {
     assert_eq!(a.name, b.name);
     assert_eq!(a.attributes, b.attributes);
-    assert_eq!(a.children.len(), b.children.len(), "children differ for <{}>", a.name);
+    assert_eq!(
+        a.children.len(),
+        b.children.len(),
+        "children differ for <{}>",
+        a.name
+    );
     for (ca, cb) in a.children.iter().zip(&b.children) {
         match (ca, cb) {
             (Node::Element(ea), Node::Element(eb)) => assert_tree_equivalent(ea, eb),

@@ -64,9 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_param("item", "a book");
 
     println!("correct policy (cart uncacheable):");
-    println!("  cart items before add: {}", cart_items(good.invoke(&get_cart)?.0.as_value()));
+    println!(
+        "  cart items before add: {}",
+        cart_items(good.invoke(&get_cart)?.0.as_value())
+    );
     good.invoke(&add_book)?;
-    println!("  cart items after add:  {}", cart_items(good.invoke(&get_cart)?.0.as_value()));
+    println!(
+        "  cart items after add:  {}",
+        cart_items(good.invoke(&get_cart)?.0.as_value())
+    );
 
     // Searches, in contrast, are cacheable and repeat cheaply.
     let search = RpcRequest::new(amazon::NAMESPACE, "KeywordSearch")
@@ -75,18 +81,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     good.invoke(&search)?;
     good.invoke(&search)?;
     let stats = good.cache().unwrap().stats();
-    println!("  search calls: {} hit / {} miss; cart calls counted uncacheable: {}\n",
-        stats.hits, stats.misses, stats.uncacheable);
+    println!(
+        "  search calls: {} hit / {} miss; cart calls counted uncacheable: {}\n",
+        stats.hits, stats.misses, stats.uncacheable
+    );
 
     // --- misconfigured: caching the cart returns stale state ---
     let bad = client_with(
         CachePolicy::new().with_default(OperationPolicy::cacheable(Duration::from_secs(3600))),
     );
     println!("misconfigured policy (everything cacheable):");
-    println!("  cart items before add: {}", cart_items(bad.invoke(&get_cart)?.0.as_value()));
+    println!(
+        "  cart items before add: {}",
+        cart_items(bad.invoke(&get_cart)?.0.as_value())
+    );
     bad.invoke(&add_book)?;
     let stale = cart_items(bad.invoke(&get_cart)?.0.as_value());
     println!("  cart items after add:  {stale}   <-- stale! the cached empty cart was returned");
-    assert_eq!(stale, 0, "demonstrates why cart operations must be uncacheable");
+    assert_eq!(
+        stale, 0,
+        "demonstrates why cart operations must be uncacheable"
+    );
     Ok(())
 }

@@ -48,9 +48,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     };
     let portal = MultiPortal::new(
-        make_client(google::PATH, google::registry(), google::operations(), google::default_policy()),
-        make_client(stock::PATH, stock::registry(), stock::operations(), stock::default_policy()),
-        make_client(news::PATH, news::registry(), news::operations(), news::default_policy()),
+        make_client(
+            google::PATH,
+            google::registry(),
+            google::operations(),
+            google::default_policy(),
+        ),
+        make_client(
+            stock::PATH,
+            stock::registry(),
+            stock::operations(),
+            stock::default_policy(),
+        ),
+        make_client(
+            news::PATH,
+            news::registry(),
+            news::operations(),
+            news::default_policy(),
+        ),
     );
     let portal_server = Server::bind("127.0.0.1:0", Arc::new(portal))?;
     println!("portal on http://127.0.0.1:{}/home\n", portal_server.port());

@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 use wsrcache::cache::repr::StoredResponse;
-use wsrcache::cache::{FastestSelector, PaperSelector, RepresentationSelector, ValueRepresentation};
+use wsrcache::cache::{
+    FastestSelector, PaperSelector, RepresentationSelector, ValueRepresentation,
+};
 use wsrcache::services::dispatch::SoapService;
 use wsrcache::services::google::{self, GoogleService};
 use wsrcache::soap::deserializer::read_response_xml_recording;
@@ -65,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (_, events) = read_response_xml_recording(&xml, &descriptor.return_type, &registry)?;
         let stored = StoredResponse::build(
             fastest_choice,
-            wsrcache::cache::repr::MissArtifacts { xml: &xml, events: &events, value: &value },
+            wsrcache::cache::repr::MissArtifacts {
+                xml: &xml,
+                events: &events,
+                value: &value,
+            },
             &registry,
         )?;
         let t = Instant::now();
@@ -84,10 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nrules applied (paper §6):");
-    println!("  a) immutable types            -> {}", ValueRepresentation::PassByReference.label());
-    println!("  b) bean/array types           -> {}", ValueRepresentation::ReflectionCopy.label());
-    println!("  c) serializable types         -> {}", ValueRepresentation::Serialization.label());
-    println!("  d) everything else            -> {}", ValueRepresentation::SaxEvents.label());
+    println!(
+        "  a) immutable types            -> {}",
+        ValueRepresentation::PassByReference.label()
+    );
+    println!(
+        "  b) bean/array types           -> {}",
+        ValueRepresentation::ReflectionCopy.label()
+    );
+    println!(
+        "  c) serializable types         -> {}",
+        ValueRepresentation::Serialization.label()
+    );
+    println!(
+        "  d) everything else            -> {}",
+        ValueRepresentation::SaxEvents.label()
+    );
     println!("(the FastestSelector additionally prefers the generated clone when present)");
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The back-end: a SOAP server hosting the dummy Google service.
     let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
     let server = Server::bind("127.0.0.1:0", Arc::new(dispatcher))?;
-    println!("dummy Google service listening on 127.0.0.1:{}", server.port());
+    println!(
+        "dummy Google service listening on 127.0.0.1:{}",
+        server.port()
+    );
 
     // 2. The client middleware with a transparent response cache.
     //    The §6 "optimal configuration" selector is the default: it picks
@@ -50,16 +53,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (first, d1) = client.invoke(&request)?;
     let miss_time = t0.elapsed();
     println!("\nfirst call  ({d1:?}, {miss_time:?}):");
-    println!("  suggestion: {:?}", first.as_value().as_str().unwrap_or("?"));
+    println!(
+        "  suggestion: {:?}",
+        first.as_value().as_str().unwrap_or("?")
+    );
 
     let t1 = Instant::now();
     let (second, d2) = client.invoke(&request)?;
     let hit_time = t1.elapsed();
     println!("second call ({d2:?}, {hit_time:?}):");
-    println!("  suggestion: {:?}", second.as_value().as_str().unwrap_or("?"));
+    println!(
+        "  suggestion: {:?}",
+        second.as_value().as_str().unwrap_or("?")
+    );
 
     assert_eq!(first.as_value(), second.as_value());
-    assert_eq!(server.requests_served(), 1, "the hit never reached the server");
+    assert_eq!(
+        server.requests_served(),
+        1,
+        "the hit never reached the server"
+    );
 
     // 4. A heavier operation: the large-and-complex GoogleSearch result.
     let search = RpcRequest::new(google::NAMESPACE, "doGoogleSearch")
@@ -92,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (stats.hit_ratio() * 100.0) as u32,
         cache.bytes(),
     );
-    println!("total requests that reached the server: {}", server.requests_served());
+    println!(
+        "total requests that reached the server: {}",
+        server.requests_served()
+    );
 
     // Cached entries expire after the per-operation TTL (1h by default
     // for Google operations per §3.2) — long enough for this demo.

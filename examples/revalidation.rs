@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_param("phrase", "revalidaton demo");
 
     let (_, d) = client.invoke(&request)?;
-    println!("t=0s      first call            -> {d:?} (full exchange, entry stored with validator)");
+    println!(
+        "t=0s      first call            -> {d:?} (full exchange, entry stored with validator)"
+    );
 
     let (_, d) = client.invoke(&request)?;
     println!("t=0s      repeat                -> {d:?} (no network)");
@@ -63,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     clock.advance_millis(ttl.as_millis() as u64 + 1);
     dispatcher.touch(SystemTime::now() + Duration::from_secs(1));
     let (_, d) = client.invoke(&request)?;
-    println!("t=122s    backend data changed  -> {d:?} (304 refused, full response replaced entry)");
+    println!(
+        "t=122s    backend data changed  -> {d:?} (304 refused, full response replaced entry)"
+    );
 
     let stats = cache.stats();
     println!(

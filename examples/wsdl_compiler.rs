@@ -39,15 +39,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}({}) -> {}",
             op.name,
-            op.params.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", "),
+            op.params
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
             op.return_type
         );
     }
 
     // 3. Generate Rust stub source (what a build script would write).
     let stub = codegen::generate_rust_stub(&parsed);
-    println!("\ngenerated {} lines of Rust stub source; excerpt:", stub.lines().count());
-    for line in stub.lines().filter(|l| l.starts_with("pub struct") || l.contains("pub fn")) {
+    println!(
+        "\ngenerated {} lines of Rust stub source; excerpt:",
+        stub.lines().count()
+    );
+    for line in stub
+        .lines()
+        .filter(|l| l.starts_with("pub struct") || l.contains("pub fn"))
+    {
         println!("  {line}");
     }
 
@@ -66,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_param("key", "k")
             .with_param("phrase", "wsdl compilr"),
     )?;
-    println!("\ncall through compiled artifacts: {:?}", result.as_value().as_str().unwrap_or("?"));
+    println!(
+        "\ncall through compiled artifacts: {:?}",
+        result.as_value().as_str().unwrap_or("?")
+    );
     Ok(())
 }

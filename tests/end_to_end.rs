@@ -37,7 +37,11 @@ fn stack() -> Stack {
     .operations(google::operations())
     .cache(cache)
     .build();
-    Stack { server, client, clock }
+    Stack {
+        server,
+        client,
+        clock,
+    }
 }
 
 fn spelling(phrase: &str) -> RpcRequest {
@@ -71,7 +75,11 @@ fn roundtrip_over_tcp_and_cache_hit_avoids_network() {
     let (v2, d2) = s.client.invoke(&spelling("helo")).expect("second call");
     assert_eq!(d2, Disposition::CacheHit);
     assert_eq!(v1.as_value(), v2.as_value());
-    assert_eq!(s.server.requests_served(), 1, "hit must not reach the server");
+    assert_eq!(
+        s.server.requests_served(),
+        1,
+        "hit must not reach the server"
+    );
 }
 
 #[test]
@@ -87,7 +95,10 @@ fn all_three_google_operations_roundtrip_over_tcp() {
     let result = v.as_value().as_struct().expect("struct");
     assert_eq!(result.type_name(), "GoogleSearchResult");
     assert_eq!(
-        result.get("resultElements").and_then(Value::as_array).map(<[Value]>::len),
+        result
+            .get("resultElements")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
         Some(10)
     );
 
@@ -173,7 +184,10 @@ fn server_shutdown_surfaces_as_client_error() {
     };
     assert!(port_dead);
     // Cached entry still answers…
-    let (_, d) = s.client.invoke(&spelling("x")).expect("cache still answers");
+    let (_, d) = s
+        .client
+        .invoke(&spelling("x"))
+        .expect("cache still answers");
     assert_eq!(d, Disposition::CacheHit);
     // …but a new request must fail.
     assert!(s.client.invoke(&spelling("brand new")).is_err());

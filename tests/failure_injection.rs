@@ -47,7 +47,10 @@ fn garbage_response_bodies_error_and_are_never_cached() {
         Url::new("g.test", 80, google::PATH),
     );
     for _ in 0..3 {
-        assert!(matches!(client.invoke(&spelling("x")), Err(ClientError::Soap(_))));
+        assert!(matches!(
+            client.invoke(&spelling("x")),
+            Err(ClientError::Soap(_))
+        ));
     }
     // Every attempt reached the server: the error was never cached.
     assert_eq!(calls.load(Ordering::SeqCst), 3);
@@ -58,7 +61,10 @@ fn garbage_response_bodies_error_and_are_never_cached() {
 fn truncated_envelope_is_rejected() {
     let truncated: Arc<dyn Handler> = Arc::new(|_req: &Request| {
         // Valid XML but not a complete SOAP response.
-        Response::ok("text/xml", b"<soapenv:Envelope xmlns:soapenv=\"x\"/>".to_vec())
+        Response::ok(
+            "text/xml",
+            b"<soapenv:Envelope xmlns:soapenv=\"x\"/>".to_vec(),
+        )
     });
     let client = caching_client(
         Arc::new(InProcTransport::new(truncated)),
@@ -98,7 +104,10 @@ fn capacity_pressure_evicts_but_never_corrupts() {
         ResponseCache::builder(google::registry())
             .policy(google::default_policy())
             .key_strategy(KeyStrategy::ToString)
-            .capacity(Capacity { max_entries: 4, max_bytes: usize::MAX })
+            .capacity(Capacity {
+                max_entries: 4,
+                max_bytes: usize::MAX,
+            })
             .build(),
     );
     let client = ServiceClient::builder(
@@ -112,8 +121,12 @@ fn capacity_pressure_evicts_but_never_corrupts() {
     // 20 distinct requests through a 4-entry cache.
     for round in 0..3 {
         for i in 0..20 {
-            let v = client.invoke_owned(&spelling(&format!("q{i}"))).expect("call");
-            let expected = client.invoke_owned(&spelling(&format!("q{i}"))).expect("repeat");
+            let v = client
+                .invoke_owned(&spelling(&format!("q{i}")))
+                .expect("call");
+            let expected = client
+                .invoke_owned(&spelling(&format!("q{i}")))
+                .expect("repeat");
             assert_eq!(v, expected, "round {round}, i {i}");
         }
     }
@@ -136,7 +149,9 @@ fn repeated_identical_requests_are_absorbed_by_the_cache() {
         let client = client.clone();
         workers.push(std::thread::spawn(move || {
             for _ in 0..50 {
-                client.invoke(&spelling("the same request")).expect("absorbed");
+                client
+                    .invoke(&spelling("the same request"))
+                    .expect("absorbed");
             }
         }));
     }
@@ -178,7 +193,10 @@ fn coalescing_absorbs_the_flood_completely() {
         let client = client.clone();
         workers.push(std::thread::spawn(move || {
             for _ in 0..50 {
-                client.as_ref().invoke(&spelling("the same request")).expect("absorbed");
+                client
+                    .as_ref()
+                    .invoke(&spelling("the same request"))
+                    .expect("absorbed");
             }
         }));
     }

@@ -64,14 +64,25 @@ fn every_strategy_hits_on_equivalent_requests() {
 
 #[test]
 fn every_strategy_distinguishes_any_changed_parameter() {
-    for strategy in [KeyStrategy::XmlMessage, KeyStrategy::Serialization, KeyStrategy::ToString] {
+    for strategy in [
+        KeyStrategy::XmlMessage,
+        KeyStrategy::Serialization,
+        KeyStrategy::ToString,
+    ] {
         let (client, transport) = client_with(strategy);
         client.invoke(&search("base", 10, false)).expect("warm");
         // Changing any single parameter — string, int or boolean — must miss.
-        for variant in [search("other", 10, false), search("base", 5, false), search("base", 10, true)]
-        {
+        for variant in [
+            search("other", 10, false),
+            search("base", 5, false),
+            search("base", 10, true),
+        ] {
             let (_, d) = client.invoke(&variant).expect("call");
-            assert_eq!(d, Disposition::CacheMiss, "{strategy:?} variant {variant:?}");
+            assert_eq!(
+                d,
+                Disposition::CacheMiss,
+                "{strategy:?} variant {variant:?}"
+            );
         }
         assert_eq!(transport.requests_served(), 4, "{strategy:?}");
     }
@@ -89,7 +100,11 @@ fn strategies_do_not_share_entries_across_operations() {
         .with_param("url", "identical");
     client.invoke(&spell).expect("spell miss");
     let (_, d) = client.invoke(&page).expect("page call");
-    assert_eq!(d, Disposition::CacheMiss, "different operations must not collide");
+    assert_eq!(
+        d,
+        Disposition::CacheMiss,
+        "different operations must not collide"
+    );
     assert_eq!(transport.requests_served(), 2);
 }
 
@@ -98,13 +113,20 @@ fn hit_ratio_accumulates_identically_across_strategies() {
     // 4 distinct queries, each asked 3 times: 4 misses, 8 hits under any
     // strategy — keys must be stable and injective at the middleware
     // level, not just in unit tests.
-    for strategy in [KeyStrategy::XmlMessage, KeyStrategy::Serialization, KeyStrategy::ToString] {
+    for strategy in [
+        KeyStrategy::XmlMessage,
+        KeyStrategy::Serialization,
+        KeyStrategy::ToString,
+    ] {
         let (client, _t) = client_with(strategy);
         for round in 0..3 {
             for q in ["a", "b", "c", "d"] {
                 let (_, d) = client.invoke(&search(q, 10, false)).expect("call");
-                let expected =
-                    if round == 0 { Disposition::CacheMiss } else { Disposition::CacheHit };
+                let expected = if round == 0 {
+                    Disposition::CacheMiss
+                } else {
+                    Disposition::CacheHit
+                };
                 assert_eq!(d, expected, "{strategy:?} round {round} q {q}");
             }
         }

@@ -71,7 +71,10 @@ fn default_middleware_applies_the_classification_end_to_end() {
     let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
     let cache = Arc::new(
         ResponseCache::builder(google::registry())
-            .policy(CachePolicy::new().with_default(OperationPolicy::cacheable(Duration::from_secs(60))))
+            .policy(
+                CachePolicy::new()
+                    .with_default(OperationPolicy::cacheable(Duration::from_secs(60))),
+            )
             .build(),
     );
     let client = ServiceClient::builder(
@@ -101,10 +104,13 @@ fn read_only_assertion_upgrades_search_to_sharing() {
     // §4.2.4: the administrator may assert responses are read-only,
     // upgrading even mutable types to pass-by-reference.
     let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
-    let policy = CachePolicy::new().with_default(
-        OperationPolicy::cacheable(Duration::from_secs(60)).with_read_only(),
+    let policy = CachePolicy::new()
+        .with_default(OperationPolicy::cacheable(Duration::from_secs(60)).with_read_only());
+    let cache = Arc::new(
+        ResponseCache::builder(google::registry())
+            .policy(policy)
+            .build(),
     );
-    let cache = Arc::new(ResponseCache::builder(google::registry()).policy(policy).build());
     let client = ServiceClient::builder(
         Url::new("g.test", 80, google::PATH),
         Arc::new(InProcTransport::new(Arc::new(dispatcher))),
@@ -116,5 +122,8 @@ fn read_only_assertion_upgrades_search_to_sharing() {
     let (_, search, _) = requests().remove(2);
     client.invoke(&search).expect("miss");
     let (handle, _) = client.invoke(&search).expect("hit");
-    assert!(handle.is_shared(), "read-only assertion should share the search result");
+    assert!(
+        handle.is_shared(),
+        "read-only assertion should share the search result"
+    );
 }

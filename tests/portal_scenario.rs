@@ -44,7 +44,11 @@ fn higher_hit_ratio_reduces_backend_traffic_proportionally() {
         r50.backend_requests
     );
     // 100%: only priming traffic.
-    assert!(r100.backend_requests <= 16, "100% ratio sent {}", r100.backend_requests);
+    assert!(
+        r100.backend_requests <= 16,
+        "100% ratio sent {}",
+        r100.backend_requests
+    );
 }
 
 #[test]

@@ -120,11 +120,18 @@ fn mutating_a_retrieved_object_never_poisons_the_cache() {
         let mut owned = client.invoke_owned(search).expect("hit");
         // The application scribbles over its copy (§3.1's side-effect
         // hazard)…
-        owned.as_struct_mut().unwrap().set("searchQuery", "VANDALIZED");
+        owned
+            .as_struct_mut()
+            .unwrap()
+            .set("searchQuery", "VANDALIZED");
         // …and the next hit still sees pristine data.
         let fresh = client.invoke_owned(search).expect("hit again");
         assert_eq!(
-            fresh.as_struct().unwrap().get("searchQuery").and_then(wsrcache::model::Value::as_str),
+            fresh
+                .as_struct()
+                .unwrap()
+                .get("searchQuery")
+                .and_then(wsrcache::model::Value::as_str),
             Some("equivalence"),
             "{repr}: cache was poisoned"
         );
@@ -140,7 +147,9 @@ fn read_only_policy_enables_sharing_for_mutable_types() {
         OperationPolicy::cacheable(Duration::from_secs(60)).with_read_only(),
     );
     let cache = Arc::new(
-        ResponseCache::builder(google::registry()).policy(policy).build(),
+        ResponseCache::builder(google::registry())
+            .policy(policy)
+            .build(),
     );
     let client = ServiceClient::builder(Url::new("b.test", 80, google::PATH), transport)
         .registry(google::registry())
@@ -150,5 +159,8 @@ fn read_only_policy_enables_sharing_for_mutable_types() {
     let search = &requests()[2];
     client.invoke(search).expect("warm");
     let (hit, _) = client.invoke(search).expect("hit");
-    assert!(hit.is_shared(), "read-only assertion should enable pass-by-reference");
+    assert!(
+        hit.is_shared(),
+        "read-only assertion should enable pass-by-reference"
+    );
 }

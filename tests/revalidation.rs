@@ -47,7 +47,13 @@ fn stack() -> Stack {
     .operations(google::operations())
     .cache(cache)
     .build();
-    Stack { dispatcher, server, client, clock, epoch }
+    Stack {
+        dispatcher,
+        server,
+        client,
+        clock,
+        epoch,
+    }
 }
 
 fn spelling(phrase: &str) -> RpcRequest {
@@ -78,7 +84,10 @@ fn expired_entry_is_revalidated_with_304() {
     assert_eq!(s.server.requests_served(), 2);
 
     // …and renewed the entry: the next lookup is a plain hit again.
-    let (_, d3) = s.client.invoke(&spelling("reval")).expect("hit after refresh");
+    let (_, d3) = s
+        .client
+        .invoke(&spelling("reval"))
+        .expect("hit after refresh");
     assert_eq!(d3, Disposition::CacheHit);
     assert_eq!(s.server.requests_served(), 2);
     let stats = s.client.cache().unwrap().stats();
@@ -92,8 +101,15 @@ fn modified_backend_data_defeats_revalidation() {
     s.clock.advance_millis(TTL.as_millis() as u64 + 1);
     // The backend's data changes after the entry went stale.
     s.dispatcher.touch(s.epoch + Duration::from_secs(120));
-    let (_, d) = s.client.invoke(&spelling("change-me")).expect("full refetch");
-    assert_eq!(d, Disposition::CacheMiss, "changed data must be re-fetched in full");
+    let (_, d) = s
+        .client
+        .invoke(&spelling("change-me"))
+        .expect("full refetch");
+    assert_eq!(
+        d,
+        Disposition::CacheMiss,
+        "changed data must be re-fetched in full"
+    );
     assert_eq!(s.server.requests_served(), 2);
     // The replacement entry is fresh again.
     let (_, d) = s.client.invoke(&spelling("change-me")).expect("hit");

@@ -45,7 +45,9 @@ fn google_wsdl_roundtrip_compile_and_call() {
     let result = client.invoke_owned(&search).expect("typed call");
     let s = result.as_struct().expect("GoogleSearchResult");
     assert_eq!(
-        s.get("resultElements").and_then(Value::as_array).map(<[Value]>::len),
+        s.get("resultElements")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
         Some(5)
     );
 }
@@ -54,7 +56,11 @@ fn google_wsdl_roundtrip_compile_and_call() {
 fn generated_stub_source_mentions_every_operation() {
     let defs = google::wsdl("http://google.test/soap/google");
     let src = codegen::generate_rust_stub(&defs);
-    for op in ["do_spelling_suggestion", "do_get_cached_page", "do_google_search"] {
+    for op in [
+        "do_spelling_suggestion",
+        "do_get_cached_page",
+        "do_google_search",
+    ] {
         assert!(src.contains(op), "stub lacks {op}");
     }
     for ty in ["GoogleSearchResult", "ResultElement", "DirectoryCategory"] {
@@ -161,9 +167,11 @@ fn a_service_defined_only_by_wsdl_works_end_to_end() {
         },
     };
     // Emit → parse → compile, then build BOTH sides from the compilation.
-    let compiled =
-        compile(&parser::parse_wsdl(&writer::write_wsdl(&defs).unwrap()).unwrap(), CompileOptions::default())
-            .unwrap();
+    let compiled = compile(
+        &parser::parse_wsdl(&writer::write_wsdl(&defs).unwrap()).unwrap(),
+        CompileOptions::default(),
+    )
+    .unwrap();
     let service = WsdlOnlyService {
         namespace: compiled.namespace.clone(),
         operations: compiled.operations.clone(),
@@ -190,7 +198,11 @@ fn a_service_defined_only_by_wsdl_works_end_to_end() {
     let hits = s.get("hits").and_then(Value::as_array).expect("hits array");
     assert_eq!(hits.len(), 3);
     assert_eq!(
-        hits[0].as_struct().unwrap().get("title").and_then(Value::as_str),
+        hits[0]
+            .as_struct()
+            .unwrap()
+            .get("title")
+            .and_then(Value::as_str),
         Some("rust #0")
     );
 }
