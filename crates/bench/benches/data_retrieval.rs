@@ -1,51 +1,57 @@
-//! Criterion micro-benchmark behind the paper's Table 7: cached-data
-//! retrieval time for each applicable representation × each Google
-//! operation, plus the store-side (build) costs as an ablation.
+//! Micro-benchmark behind the paper's Table 7: cached-data retrieval time
+//! for each applicable representation × each Google operation, plus the
+//! store-side (build) costs as an ablation.
+//!
+//! `harness = false`: the offline build has no `criterion`, so this is a
+//! plain `main` over [`wsrc_bench::timing::measure`]. Run with
+//! `cargo bench -p wsrc-bench`; pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wsrc_bench::fixtures::{google_fixtures, registry};
+use wsrc_bench::timing::{fmt_usec, measure, Protocol};
 use wsrc_cache::repr::{StoredResponse, ValueRepresentation};
 
-fn bench_retrieval(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = if quick {
+        Protocol::quick()
+    } else {
+        Protocol::paper()
+    };
     let fixtures = google_fixtures();
     let registry = registry();
-    let mut group = c.benchmark_group("table7_data_retrieval");
+
+    println!(
+        "table7_data_retrieval (mean usec over {} iters)",
+        protocol.measured
+    );
     for f in &fixtures {
         for repr in ValueRepresentation::ALL_EXTENDED {
             let Ok(stored) = StoredResponse::build(repr, f.artifacts(), &registry) else {
                 continue; // the paper's n/a cells
             };
-            group.bench_function(format!("{}/{}", f.operation, repr.label()), |b| {
-                b.iter(|| {
-                    stored
-                        .retrieve(std::hint::black_box(&f.return_type), &registry)
-                        .expect("stored entry retrieves")
-                })
+            let mean = measure(protocol, || {
+                stored
+                    .retrieve(std::hint::black_box(&f.return_type), &registry)
+                    .expect("stored entry retrieves")
             });
+            println!("{}/{}: {} usec", f.operation, repr.label(), fmt_usec(mean));
         }
     }
-    group.finish();
-}
 
-fn bench_store(c: &mut Criterion) {
-    let fixtures = google_fixtures();
-    let registry = registry();
-    let mut group = c.benchmark_group("store_side_costs");
+    println!(
+        "store_side_costs (mean usec over {} iters)",
+        protocol.measured
+    );
     for f in &fixtures {
         for repr in ValueRepresentation::ALL_EXTENDED {
             if StoredResponse::build(repr, f.artifacts(), &registry).is_err() {
                 continue;
             }
-            group.bench_function(format!("{}/{}", f.operation, repr.label()), |b| {
-                b.iter(|| {
-                    StoredResponse::build(repr, std::hint::black_box(f.artifacts()), &registry)
-                        .expect("applicable representation")
-                })
+            let mean = measure(protocol, || {
+                StoredResponse::build(repr, std::hint::black_box(f.artifacts()), &registry)
+                    .expect("applicable representation")
             });
+            println!("{}/{}: {} usec", f.operation, repr.label(), fmt_usec(mean));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_retrieval, bench_store);
-criterion_main!(benches);

@@ -1,31 +1,45 @@
-//! Criterion micro-benchmark behind the paper's Table 6: cache-key
-//! generation time for each strategy × each Google operation.
+//! Micro-benchmark behind the paper's Table 6: cache-key generation time
+//! for each strategy × each Google operation.
+//!
+//! `harness = false`: the offline build has no `criterion`, so this is a
+//! plain `main` over [`wsrc_bench::timing::measure`] (the paper's own
+//! warmup-then-measure protocol). Run with `cargo bench -p wsrc-bench`;
+//! pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wsrc_bench::fixtures::{google_fixtures, registry, ENDPOINT};
+use wsrc_bench::timing::{fmt_usec, measure, Protocol};
 use wsrc_cache::key::{generate_key, KeyStrategy};
 
-fn bench_key_generation(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = if quick {
+        Protocol::quick()
+    } else {
+        Protocol::paper()
+    };
     let fixtures = google_fixtures();
     let registry = registry();
-    let mut group = c.benchmark_group("table6_key_generation");
+    println!(
+        "table6_key_generation (mean usec over {} iters)",
+        protocol.measured
+    );
     for f in &fixtures {
         for strategy in KeyStrategy::CONCRETE {
-            group.bench_function(format!("{}/{}", f.operation, strategy.label()), |b| {
-                b.iter(|| {
-                    generate_key(
-                        strategy,
-                        ENDPOINT,
-                        std::hint::black_box(&f.request),
-                        &registry,
-                    )
-                    .expect("applicable strategy")
-                })
+            let mean = measure(protocol, || {
+                generate_key(
+                    strategy,
+                    ENDPOINT,
+                    std::hint::black_box(&f.request),
+                    &registry,
+                )
+                .expect("applicable strategy")
             });
+            println!(
+                "{}/{}: {} usec",
+                f.operation,
+                strategy.label(),
+                fmt_usec(mean)
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_key_generation);
-criterion_main!(benches);

@@ -1,61 +1,66 @@
 //! Ablation bench: where does the XML-message representation's cost go?
 //! Parsing, SAX replay, deserialization-from-events, and request
 //! serialization measured separately over the GoogleSearch response.
+//!
+//! `harness = false`: the offline build has no `criterion`, so this is a
+//! plain `main` over [`wsrc_bench::timing::measure`]. Run with
+//! `cargo bench -p wsrc-bench`; pass `--quick` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wsrc_bench::fixtures::{google_fixtures, registry};
+use wsrc_bench::timing::{fmt_usec, measure, Protocol};
 use wsrc_soap::deserializer::{read_response_events, read_response_xml};
 use wsrc_soap::serializer::serialize_request;
 use wsrc_xml::sax::Recorder;
 use wsrc_xml::XmlReader;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = if quick {
+        Protocol::quick()
+    } else {
+        Protocol::paper()
+    };
     let fixtures = google_fixtures();
     let registry = registry();
     let search = fixtures.last().expect("google search fixture");
-    let mut group = c.benchmark_group("xml_pipeline_google_search");
 
-    group.bench_function("parse_only", |b| {
-        b.iter(|| {
-            let mut recorder = Recorder::new();
-            XmlReader::new(std::hint::black_box(&search.xml))
-                .parse_into(&mut recorder)
-                .expect("fixture parses");
-            recorder
-        })
+    println!(
+        "xml_pipeline_google_search (mean usec over {} iters)",
+        protocol.measured
+    );
+
+    let mean = measure(protocol, || {
+        let mut recorder = Recorder::new();
+        XmlReader::new(std::hint::black_box(&search.xml))
+            .parse_into(&mut recorder)
+            .expect("fixture parses");
+        recorder
     });
+    println!("parse_only: {} usec", fmt_usec(mean));
 
-    group.bench_function("parse_and_deserialize", |b| {
-        b.iter(|| {
-            read_response_xml(
-                std::hint::black_box(&search.xml),
-                &search.return_type,
-                &registry,
-            )
-            .expect("fixture deserializes")
-        })
+    let mean = measure(protocol, || {
+        read_response_xml(
+            std::hint::black_box(&search.xml),
+            &search.return_type,
+            &registry,
+        )
+        .expect("fixture deserializes")
     });
+    println!("parse_and_deserialize: {} usec", fmt_usec(mean));
 
-    group.bench_function("replay_and_deserialize", |b| {
-        b.iter(|| {
-            read_response_events(
-                std::hint::black_box(&search.events),
-                &search.return_type,
-                &registry,
-            )
-            .expect("fixture deserializes")
-        })
+    let mean = measure(protocol, || {
+        read_response_events(
+            std::hint::black_box(&search.events),
+            &search.return_type,
+            &registry,
+        )
+        .expect("fixture deserializes")
     });
+    println!("replay_and_deserialize: {} usec", fmt_usec(mean));
 
-    group.bench_function("serialize_request", |b| {
-        b.iter(|| {
-            serialize_request(std::hint::black_box(&search.request), &registry)
-                .expect("request serializes")
-        })
+    let mean = measure(protocol, || {
+        serialize_request(std::hint::black_box(&search.request), &registry)
+            .expect("request serializes")
     });
-
-    group.finish();
+    println!("serialize_request: {} usec", fmt_usec(mean));
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

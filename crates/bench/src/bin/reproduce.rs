@@ -1,12 +1,18 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick] [--tcp] [--latency-ms N] <artifact>...
+//! reproduce [--quick] [--tcp] [--latency-ms N] [--no-metrics] <artifact>...
 //! artifacts: table1 table2 table3 table4 table5 table6 table7 table8
 //!            table9 figure3 figure4 optimal tables figures all
 //! ```
+//!
+//! After the artifacts run, the per-stage metrics the instrumented
+//! pipeline recorded (hits by representation, p50/p99 per stage) are
+//! printed and written to `results/metrics_summary.json`; suppress with
+//! `--no-metrics`.
 
 use wsrc_bench::figures::{render_figure, run_figure, speedups_at_full_hit, FigureConfig};
+use wsrc_bench::obs_report;
 use wsrc_bench::tables;
 use wsrc_bench::timing::Protocol;
 use wsrc_portal::scenario::TransportMode;
@@ -15,6 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let tcp = args.iter().any(|a| a == "--tcp");
+    let no_metrics = args.iter().any(|a| a == "--no-metrics");
     let latency_ms: u64 = args
         .iter()
         .filter_map(|a| a.strip_prefix("--latency-ms="))
@@ -132,6 +139,17 @@ fn main() {
                 eprintln!("unknown artifact '{other}'");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if !no_metrics {
+        let snapshot = wsrc_obs::global().snapshot();
+        println!("{}", obs_report::summary_tables(&snapshot));
+        let json = obs_report::per_stage_json(&snapshot);
+        let path = std::path::Path::new("results").join("metrics_summary.json");
+        match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &json)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
     }
 }

@@ -17,6 +17,7 @@
 
 pub mod figures;
 pub mod fixtures;
+pub mod obs_report;
 pub mod tables;
 pub mod timing;
 

@@ -1,0 +1,192 @@
+//! Per-stage metrics reporting for the `reproduce` binary.
+//!
+//! After the benchmark artifacts run, the process-wide
+//! [`MetricsRegistry`](wsrc_obs::MetricsRegistry) holds everything the
+//! instrumented pipeline recorded: cache hit/insert counters labelled by
+//! representation, and latency histograms for every stage (key
+//! generation, lookup, retrieve/build per representation, XML parse,
+//! binary (de)serialization, deep copies, client serialize / transport /
+//! deserialize). This module renders that snapshot as a human table and
+//! as the JSON document written under `results/` (schema in
+//! `EXPERIMENTS.md`).
+
+use crate::render_table;
+use wsrc_obs::MetricsSnapshot;
+
+fn fmt_usec_from_nanos(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1_000.0)
+}
+
+/// Renders the "hits by representation" and "latency per stage" tables.
+pub fn summary_tables(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let hits = snapshot.sum_counters_by_label("wsrc_cache_hits_total", "repr");
+    let inserts = snapshot.sum_counters_by_label("wsrc_cache_inserts_total", "repr");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (repr, hit_count) in &hits {
+        let insert_count = inserts
+            .iter()
+            .find(|(r, _)| r == repr)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        rows.push(vec![
+            repr.clone(),
+            hit_count.to_string(),
+            insert_count.to_string(),
+        ]);
+    }
+    for (repr, insert_count) in &inserts {
+        if !hits.iter().any(|(r, _)| r == repr) {
+            rows.push(vec![repr.clone(), "0".into(), insert_count.to_string()]);
+        }
+    }
+    if rows.is_empty() {
+        out.push_str("Cache traffic by representation: (no samples)\n");
+    } else {
+        out.push_str(&render_table(
+            "Cache traffic by representation",
+            &["representation", "hits", "inserts"],
+            &rows,
+        ));
+    }
+    out.push('\n');
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (id, h) in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        rows.push(vec![
+            format!("{}{}", id.name, id.render_labels()),
+            h.count.to_string(),
+            fmt_usec_from_nanos(h.p50_nanos()),
+            fmt_usec_from_nanos(h.p99_nanos()),
+            fmt_usec_from_nanos(h.mean_nanos()),
+        ]);
+    }
+    if rows.is_empty() {
+        out.push_str("Latency per stage: (no samples)\n");
+    } else {
+        out.push_str(&render_table(
+            "Latency per stage (microseconds; log2-bucket upper bounds)",
+            &["stage", "count", "p50", "p99", "mean"],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// Renders the snapshot as the `results/metrics_summary.json` document:
+/// `hits_by_repr`, `inserts_by_repr`, and one `stages` entry per
+/// non-empty histogram with count and p50/p99/mean nanoseconds.
+pub fn per_stage_json(snapshot: &MetricsSnapshot) -> String {
+    let counter_map = |pairs: &[(String, u64)]| -> String {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let hits = snapshot.sum_counters_by_label("wsrc_cache_hits_total", "repr");
+    let inserts = snapshot.sum_counters_by_label("wsrc_cache_inserts_total", "repr");
+    let stages: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(id, h)| {
+            let labels = id
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":\"{}\"", v.replace('"', "\\\"")))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{{{labels}}},\"count\":{},\
+                 \"p50_nanos\":{},\"p99_nanos\":{},\"mean_nanos\":{}}}",
+                id.name,
+                h.count,
+                h.p50_nanos(),
+                h.p99_nanos(),
+                h.mean_nanos()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"hits_by_repr\":{{{}}},\"inserts_by_repr\":{{{}}},\"stages\":[{}]}}",
+        counter_map(&hits),
+        counter_map(&inserts),
+        stages.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wsrc_obs::MetricsRegistry;
+
+    fn populated() -> MetricsSnapshot {
+        let r = Arc::new(MetricsRegistry::new());
+        r.counter(
+            "wsrc_cache_hits_total",
+            &[("cache", "a"), ("repr", "dom-tree")],
+        )
+        .add(4);
+        r.counter(
+            "wsrc_cache_hits_total",
+            &[("cache", "b"), ("repr", "dom-tree")],
+        )
+        .add(1);
+        r.counter(
+            "wsrc_cache_inserts_total",
+            &[("cache", "a"), ("repr", "sax-events")],
+        )
+        .add(2);
+        let h = r.histogram("wsrc_cache_stage_seconds", &[("stage", "lookup")]);
+        h.record_nanos(1_000);
+        h.record_nanos(2_000);
+        r.histogram("wsrc_xml_parse_seconds", &[("op", "read-all")]);
+        r.snapshot()
+    }
+
+    #[test]
+    fn tables_aggregate_across_caches_and_skip_empty_histograms() {
+        let text = summary_tables(&populated());
+        // 4 + 1 dom-tree hits summed across the two cache labels.
+        assert!(text.contains("dom-tree"), "{text}");
+        assert!(text.contains("| 5"), "{text}");
+        assert!(text.contains("sax-events"), "{text}");
+        assert!(
+            text.contains("wsrc_cache_stage_seconds{stage=\"lookup\"}"),
+            "{text}"
+        );
+        // The never-recorded parse histogram is not listed.
+        assert!(!text.contains("wsrc_xml_parse_seconds"), "{text}");
+    }
+
+    #[test]
+    fn json_is_wellformed_and_has_percentiles() {
+        let json = per_stage_json(&populated());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"dom-tree\":5"), "{json}");
+        assert!(json.contains("\"sax-events\":2"), "{json}");
+        assert!(
+            json.contains("\"name\":\"wsrc_cache_stage_seconds\""),
+            "{json}"
+        );
+        assert!(json.contains("\"p50_nanos\""), "{json}");
+        assert!(json.contains("\"p99_nanos\""), "{json}");
+        assert!(!json.contains("wsrc_xml_parse_seconds"), "{json}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholders() {
+        let snap = Arc::new(MetricsRegistry::new()).snapshot();
+        let text = summary_tables(&snap);
+        assert!(text.contains("(no samples)"));
+        let json = per_stage_json(&snap);
+        assert!(json.contains("\"stages\":[]"));
+    }
+}

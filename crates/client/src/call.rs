@@ -2,14 +2,32 @@
 
 use crate::error::ClientError;
 use crate::interceptor::InterceptorChain;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use wsrc_http::{Request, Transport, Url};
 use wsrc_model::typeinfo::TypeRegistry;
 use wsrc_model::Value;
+use wsrc_obs::Histogram;
 use wsrc_soap::deserializer::read_response_xml_recording;
 use wsrc_soap::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
 use wsrc_soap::serializer::serialize_request;
 use wsrc_xml::event::SaxEventSequence;
+
+/// Per-stage timers for the miss path, in the process-wide registry as
+/// `wsrc_client_stage_seconds{stage=…}`: request serialization, the HTTP
+/// exchange itself, and response deserialization.
+fn stage_timer(stage: &'static str) -> &'static Histogram {
+    static SERIALIZE: OnceLock<Histogram> = OnceLock::new();
+    static TRANSPORT: OnceLock<Histogram> = OnceLock::new();
+    static DESERIALIZE: OnceLock<Histogram> = OnceLock::new();
+    let cell = match stage {
+        "serialize" => &SERIALIZE,
+        "transport" => &TRANSPORT,
+        _ => &DESERIALIZE,
+    };
+    cell.get_or_init(|| {
+        wsrc_obs::global().histogram("wsrc_client_stage_seconds", &[("stage", stage)])
+    })
+}
 
 /// Everything a completed exchange produced — handed to the cache layer.
 #[derive(Debug)]
@@ -121,7 +139,9 @@ impl Call {
         descriptor
             .check_request(request)
             .map_err(ClientError::Soap)?;
-        let request_xml = serialize_request(request, &self.registry).map_err(ClientError::Soap)?;
+        let request_xml = stage_timer("serialize")
+            .time(|| serialize_request(request, &self.registry))
+            .map_err(ClientError::Soap)?;
         let mut http_request = Request::post(
             self.endpoint.path(),
             wsrc_soap::envelope::CONTENT_TYPE,
@@ -132,7 +152,8 @@ impl Call {
             http_request = http_request.with_header("If-Modified-Since", ims.to_string());
         }
         self.interceptors.apply_request(&mut http_request);
-        let mut http_response = self.transport.execute(&self.endpoint, &http_request)?;
+        let mut http_response = stage_timer("transport")
+            .time(|| self.transport.execute(&self.endpoint, &http_request))?;
         self.interceptors.apply_response(&mut http_response);
 
         if http_response.status == wsrc_http::Status::NOT_MODIFIED {
@@ -153,9 +174,9 @@ impl Call {
             .headers
             .get("Last-Modified")
             .map(str::to_string);
-        let (outcome, events) =
-            read_response_xml_recording(&body, &descriptor.return_type, &self.registry)
-                .map_err(ClientError::Soap)?;
+        let (outcome, events) = stage_timer("deserialize")
+            .time(|| read_response_xml_recording(&body, &descriptor.return_type, &self.registry))
+            .map_err(ClientError::Soap)?;
         match outcome {
             RpcOutcome::Return(value) => Ok(ConditionalOutcome::Fresh(Exchange {
                 response_xml: body,

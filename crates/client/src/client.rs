@@ -109,10 +109,14 @@ impl ServiceClient {
                     {
                         match inflight.join(key) {
                             Role::Leader(guard) => {
-                                let outcome = self.call.invoke(descriptor, request);
-                                guard.complete();
-                                let exchange = outcome?;
+                                // Store BEFORE completing the guard: a
+                                // follower released earlier could re-read
+                                // the cache ahead of the insert, miss, and
+                                // start a duplicate exchange. (Error paths
+                                // release via the guard's Drop.)
+                                let exchange = self.call.invoke(descriptor, request)?;
                                 let handle = self.store_exchange(cache, request, exchange);
+                                guard.complete();
                                 return Ok((handle, Disposition::CacheMiss));
                             }
                             Role::Follower => {

@@ -7,10 +7,22 @@
 //! arrives *before* the first response lands, which would otherwise fan
 //! out as duplicate back-end calls.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use wsrc_cache::CacheKey;
+use wsrc_obs::Counter;
+
+/// `wsrc_client_coalesce_total{role=…}` — how often a miss led the
+/// exchange vs. piggybacked on another thread's in-flight fetch.
+fn role_counter(role: &'static str) -> &'static Counter {
+    static LEADER: OnceLock<Counter> = OnceLock::new();
+    static FOLLOWER: OnceLock<Counter> = OnceLock::new();
+    let cell = match role {
+        "leader" => &LEADER,
+        _ => &FOLLOWER,
+    };
+    cell.get_or_init(|| wsrc_obs::global().counter("wsrc_client_coalesce_total", &[("role", role)]))
+}
 
 /// One in-progress fetch that followers can wait on.
 #[derive(Debug, Default)]
@@ -21,14 +33,14 @@ struct Flight {
 
 impl Flight {
     fn wait(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         while !*done {
-            self.cv.wait(&mut done);
+            done = self.cv.wait(done).unwrap();
         }
     }
 
     fn complete(&self) {
-        *self.done.lock() = true;
+        *self.done.lock().unwrap() = true;
         self.cv.notify_all();
     }
 }
@@ -66,7 +78,7 @@ impl LeaderGuard {
 
 impl Drop for LeaderGuard {
     fn drop(&mut self) {
-        self.table.flights.lock().remove(&self.key);
+        self.table.flights.lock().unwrap().remove(&self.key);
         self.flight.complete();
     }
 }
@@ -82,12 +94,13 @@ impl InflightTable {
     /// followers.
     pub fn join(self: &Arc<Self>, key: CacheKey) -> Role {
         let flight = {
-            let mut flights = self.flights.lock();
+            let mut flights = self.flights.lock().unwrap();
             match flights.get(&key) {
                 Some(existing) => Some(existing.clone()),
                 None => {
                     let flight = Arc::new(Flight::default());
                     flights.insert(key.clone(), flight.clone());
+                    role_counter("leader").inc();
                     return Role::Leader(LeaderGuard {
                         table: self.clone(),
                         key,
@@ -98,6 +111,7 @@ impl InflightTable {
         };
         let flight = flight.expect("either leader returned or follower has a flight");
         flight.wait();
+        role_counter("follower").inc();
         Role::Follower
     }
 }

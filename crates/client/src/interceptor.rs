@@ -1,6 +1,16 @@
 //! Request/response interceptors — the Axis handler-chain analog.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use wsrc_http::{Request, Response};
+use wsrc_obs::{Histogram, MetricsRegistry};
+
+/// The response header interceptors use to mark how the exchange relates
+/// to the client cache. Everything an interceptor sees travelled the
+/// network, so [`TimingInterceptor`] stamps `miss` — unless an upstream
+/// (e.g. a server-side gateway cache) already marked the response `hit`.
+pub const CACHE_HEADER: &str = "X-Wsrc-Cache";
 
 /// Observes (and may annotate) outgoing requests and incoming responses.
 ///
@@ -66,11 +76,128 @@ impl InterceptorChain {
     }
 }
 
+/// Records each exchange in memory: one `>` line per request, one `<`
+/// line per response (including its [`CACHE_HEADER`], so registering
+/// this *before* a [`TimingInterceptor`] proves the reverse-order
+/// response traversal). Clone the interceptor to keep a reading handle
+/// after pushing it into a chain.
+#[derive(Clone, Default)]
+pub struct LoggingInterceptor {
+    entries: Arc<Mutex<Vec<String>>>,
+}
+
+impl std::fmt::Debug for LoggingInterceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LoggingInterceptor({} entries)", self.entries())
+    }
+}
+
+impl LoggingInterceptor {
+    /// An empty log.
+    pub fn new() -> Self {
+        LoggingInterceptor::default()
+    }
+
+    /// Number of logged lines.
+    pub fn entries(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Copies the logged lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.entries.lock().unwrap().clone()
+    }
+}
+
+impl Interceptor for LoggingInterceptor {
+    fn on_request(&self, request: &mut Request) {
+        self.entries.lock().unwrap().push(format!(
+            "> {} {}",
+            request.method.as_str(),
+            request.target
+        ));
+    }
+
+    fn on_response(&self, response: &mut Response) {
+        let cache = response.headers.get(CACHE_HEADER).unwrap_or("-");
+        self.entries.lock().unwrap().push(format!(
+            "< {} {} cache={cache}",
+            response.status.0,
+            response.status.reason()
+        ));
+    }
+}
+
+/// Times each exchange (request seen → response seen) into a
+/// `wsrc_client_exchange_seconds` histogram and annotates the response:
+/// `X-Wsrc-Exchange-Nanos` with the measured duration, and
+/// [`CACHE_HEADER`] with `miss` when no upstream marked it already.
+pub struct TimingInterceptor {
+    histogram: Histogram,
+    starts: Mutex<HashMap<ThreadId, u64>>,
+}
+
+impl std::fmt::Debug for TimingInterceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TimingInterceptor")
+    }
+}
+
+impl Default for TimingInterceptor {
+    fn default() -> Self {
+        TimingInterceptor::new()
+    }
+}
+
+impl TimingInterceptor {
+    /// Records into the process-wide metrics registry.
+    pub fn new() -> Self {
+        TimingInterceptor::in_registry(&wsrc_obs::global())
+    }
+
+    /// Records into `registry` (tests use an isolated one).
+    pub fn in_registry(registry: &Arc<MetricsRegistry>) -> Self {
+        TimingInterceptor {
+            histogram: registry.histogram("wsrc_client_exchange_seconds", &[]),
+            starts: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Interceptor for TimingInterceptor {
+    fn on_request(&self, _request: &mut Request) {
+        // The exchange completes on the thread that started it, so the
+        // start timestamp is keyed by thread id (one interceptor can
+        // serve many concurrent callers).
+        self.starts
+            .lock()
+            .unwrap()
+            .insert(std::thread::current().id(), self.histogram.now_nanos());
+    }
+
+    fn on_response(&self, response: &mut Response) {
+        let start = self
+            .starts
+            .lock()
+            .unwrap()
+            .remove(&std::thread::current().id());
+        if let Some(start) = start {
+            let nanos = self.histogram.now_nanos().saturating_sub(start);
+            self.histogram.record_nanos(nanos);
+            response
+                .headers
+                .set("X-Wsrc-Exchange-Nanos", nanos.to_string());
+        }
+        if response.headers.get(CACHE_HEADER).is_none() {
+            response.headers.set(CACHE_HEADER, "miss");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
 
     struct Tagger(&'static str, Arc<AtomicUsize>);
 
@@ -107,6 +234,88 @@ mod tests {
         // Reverse order: b first.
         assert_eq!(resp.headers.get("X-Resp-b"), Some("2"));
         assert_eq!(resp.headers.get("X-Resp-a"), Some("3"));
+    }
+
+    #[test]
+    fn timing_interceptor_times_and_marks_misses() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut chain = InterceptorChain::new();
+        chain.push(TimingInterceptor::in_registry(&registry));
+        let mut req = Request::get("/soap");
+        chain.apply_request(&mut req);
+        let mut resp = Response::ok("text/xml", vec![]);
+        chain.apply_response(&mut resp);
+
+        assert_eq!(resp.headers.get(CACHE_HEADER), Some("miss"));
+        let nanos: u64 = resp
+            .headers
+            .get("X-Wsrc-Exchange-Nanos")
+            .expect("annotated")
+            .parse()
+            .expect("numeric");
+        let snap = registry.snapshot();
+        let h = snap
+            .histogram("wsrc_client_exchange_seconds", &[])
+            .expect("histogram registered");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_nanos, nanos);
+    }
+
+    #[test]
+    fn timing_interceptor_preserves_upstream_hit_marks() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let timing = TimingInterceptor::in_registry(&registry);
+        let mut req = Request::get("/soap");
+        timing.on_request(&mut req);
+        let mut resp = Response::ok("text/xml", vec![]).with_header(CACHE_HEADER, "hit");
+        timing.on_response(&mut resp);
+        // A server-side cache already marked this exchange; keep it.
+        assert_eq!(resp.headers.get(CACHE_HEADER), Some("hit"));
+    }
+
+    #[test]
+    fn logging_sees_timing_annotations_via_reverse_traversal() {
+        // Logging registered FIRST, timing second: on the response side
+        // the chain runs in reverse, so the timing interceptor annotates
+        // the response before the logger reads it.
+        let registry = Arc::new(MetricsRegistry::new());
+        let logger = LoggingInterceptor::new();
+        let mut chain = InterceptorChain::new();
+        chain.push(logger.clone());
+        chain.push(TimingInterceptor::in_registry(&registry));
+
+        let mut req = Request::get("/soap");
+        chain.apply_request(&mut req);
+        let mut resp = Response::ok("text/xml", vec![]);
+        chain.apply_response(&mut resp);
+
+        let lines = logger.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "> GET /soap");
+        assert_eq!(lines[1], "< 200 OK cache=miss");
+    }
+
+    #[test]
+    fn timing_interceptor_is_per_thread_safe() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let timing = Arc::new(TimingInterceptor::in_registry(&registry));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let timing = timing.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let mut req = Request::get("/x");
+                        timing.on_request(&mut req);
+                        let mut resp = Response::ok("text/plain", vec![]);
+                        timing.on_response(&mut resp);
+                        assert!(resp.headers.get("X-Wsrc-Exchange-Nanos").is_some());
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let h = snap.histogram("wsrc_client_exchange_seconds", &[]).unwrap();
+        assert_eq!(h.count, 200);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod interceptor;
 pub use call::Call;
 pub use client::{Disposition, ServiceClient, ServiceClientBuilder};
 pub use error::ClientError;
-pub use interceptor::{Interceptor, InterceptorChain};
+pub use interceptor::{Interceptor, InterceptorChain, LoggingInterceptor, TimingInterceptor};
 
 /// The typed-stub hook generated code calls through (see
 /// `wsrc_wsdl::codegen`).

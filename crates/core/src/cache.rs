@@ -18,6 +18,7 @@ use crate::store::{CacheStore, Capacity, Lookup};
 use std::sync::Arc;
 use std::time::Duration;
 use wsrc_model::typeinfo::{FieldType, TypeRegistry};
+use wsrc_obs::{Gauge, Histogram, MetricsRegistry};
 use wsrc_soap::rpc::RpcRequest;
 
 pub use crate::repr::MissArtifacts as ResponseData;
@@ -41,6 +42,56 @@ pub enum CacheOutcome {
     Miss,
 }
 
+/// Per-stage latency histograms and occupancy gauges for one cache, all
+/// registered under its `cache=<label>` in a [`MetricsRegistry`].
+struct CacheTimers {
+    /// `wsrc_cache_stage_seconds{stage="keygen",strategy=…}`.
+    keygen: Histogram,
+    /// `wsrc_cache_stage_seconds{stage="lookup"}` — the whole lookup path.
+    lookup: Histogram,
+    /// `wsrc_cache_stage_seconds{stage="insert"}` — the whole insert path.
+    insert: Histogram,
+    /// `wsrc_cache_retrieve_seconds{repr=…}` — stored form → object.
+    retrieve: [Histogram; ValueRepresentation::COUNT],
+    /// `wsrc_cache_build_seconds{repr=…}` — response artifacts → stored
+    /// form (only the successful representation records a sample).
+    build: [Histogram; ValueRepresentation::COUNT],
+    /// `wsrc_cache_entries` / `wsrc_cache_bytes` occupancy gauges.
+    entries: Gauge,
+    bytes: Gauge,
+}
+
+impl CacheTimers {
+    fn new(registry: &Arc<MetricsRegistry>, label: &str, strategy: KeyStrategy) -> Self {
+        let stage = |s: &str| {
+            registry.histogram(
+                "wsrc_cache_stage_seconds",
+                &[("cache", label), ("stage", s)],
+            )
+        };
+        let per_repr = |name: &str| {
+            ValueRepresentation::ALL_EXTENDED
+                .map(|r| registry.histogram(name, &[("cache", label), ("repr", r.metric_label())]))
+        };
+        CacheTimers {
+            keygen: registry.histogram(
+                "wsrc_cache_stage_seconds",
+                &[
+                    ("cache", label),
+                    ("stage", "keygen"),
+                    ("strategy", strategy.metric_label()),
+                ],
+            ),
+            lookup: stage("lookup"),
+            insert: stage("insert"),
+            retrieve: per_repr("wsrc_cache_retrieve_seconds"),
+            build: per_repr("wsrc_cache_build_seconds"),
+            entries: registry.gauge("wsrc_cache_entries", &[("cache", label)]),
+            bytes: registry.gauge("wsrc_cache_bytes", &[("cache", label)]),
+        }
+    }
+}
+
 /// The response cache for Web services client middleware.
 pub struct ResponseCache {
     store: CacheStore,
@@ -49,7 +100,9 @@ pub struct ResponseCache {
     selector: Arc<dyn RepresentationSelector>,
     clock: Arc<dyn Clock>,
     registry: TypeRegistry,
+    metrics: Arc<MetricsRegistry>,
     stats: CacheStats,
+    timers: CacheTimers,
 }
 
 impl std::fmt::Debug for ResponseCache {
@@ -73,6 +126,8 @@ impl ResponseCache {
             selector: Arc::new(PaperSelector),
             clock: Arc::new(SystemClock),
             capacity: Capacity::default(),
+            metrics: None,
+            metrics_label: None,
         }
     }
 
@@ -108,7 +163,12 @@ impl ResponseCache {
             self.stats.record_uncacheable();
             return CacheOutcome::Miss;
         }
-        let key = match generate_key(self.key_strategy, endpoint_url, request, &self.registry) {
+        let _lookup_span = self.timers.lookup.span();
+        let key = match self
+            .timers
+            .keygen
+            .time(|| generate_key(self.key_strategy, endpoint_url, request, &self.registry))
+        {
             Ok(k) => k,
             Err(_) => {
                 self.stats.record_miss();
@@ -116,21 +176,29 @@ impl ResponseCache {
             }
         };
         match self.store.get(&key, self.clock.now_millis()) {
-            Lookup::Live(stored) => match stored.retrieve(expected, &self.registry) {
-                Ok(handle) => {
-                    self.stats.record_hit();
-                    CacheOutcome::Fresh(handle)
+            Lookup::Live(stored) => {
+                let repr = stored.representation();
+                match self.timers.retrieve[repr.index()]
+                    .time(|| stored.retrieve(expected, &self.registry))
+                {
+                    Ok(handle) => {
+                        self.stats.record_hit(repr);
+                        CacheOutcome::Fresh(handle)
+                    }
+                    Err(_) => {
+                        // A cache entry that cannot produce its object is
+                        // poison; drop it and treat as a miss.
+                        self.store.invalidate(&key);
+                        self.stats.record_miss();
+                        CacheOutcome::Miss
+                    }
                 }
-                Err(_) => {
-                    // A cache entry that cannot produce its object is
-                    // poison; drop it and treat as a miss.
-                    self.store.invalidate(&key);
-                    self.stats.record_miss();
-                    CacheOutcome::Miss
-                }
-            },
+            }
             Lookup::Stale { stored, validator } => {
-                match stored.retrieve(expected, &self.registry) {
+                let repr = stored.representation();
+                match self.timers.retrieve[repr.index()]
+                    .time(|| stored.retrieve(expected, &self.registry))
+                {
                     Ok(handle) => {
                         self.stats.record_expired();
                         CacheOutcome::Stale { handle, validator }
@@ -199,7 +267,12 @@ impl ResponseCache {
             self.stats.record_uncacheable();
             return None;
         }
-        let key = generate_key(self.key_strategy, endpoint_url, request, &self.registry).ok()?;
+        let _insert_span = self.timers.insert.span();
+        let key = self
+            .timers
+            .keygen
+            .time(|| generate_key(self.key_strategy, endpoint_url, request, &self.registry))
+            .ok()?;
         let stored = self.build_stored(&policy, data)?;
         let repr = stored.representation();
         let now = self.clock.now_millis();
@@ -207,8 +280,11 @@ impl ResponseCache {
         let evicted = self
             .store
             .put_validated(key, stored, expires, now, validator);
-        self.stats.record_insert();
+        self.stats.record_insert(repr);
         self.stats.record_evictions(evicted);
+        let (entries, bytes) = self.store.occupancy();
+        self.timers.entries.set(entries as i64);
+        self.timers.bytes.set(bytes as i64);
         Some(repr)
     }
 
@@ -230,10 +306,22 @@ impl ResponseCache {
             ValueRepresentation::XmlMessage,
         ];
         for repr in chain {
+            let span = self.timers.build[repr.index()].span();
             match StoredResponse::build(repr, data, &self.registry) {
-                Ok(stored) => return Some(stored),
-                Err(CacheError::NotApplicable(_)) => continue,
-                Err(_) => break,
+                Ok(stored) => {
+                    span.finish();
+                    return Some(stored);
+                }
+                // Failed attempts record no sample — the histogram
+                // measures the cost of the representation actually used.
+                Err(CacheError::NotApplicable(_)) => {
+                    span.cancel();
+                    continue;
+                }
+                Err(_) => {
+                    span.cancel();
+                    break;
+                }
             }
         }
         self.stats.record_store_failure();
@@ -274,6 +362,20 @@ impl ResponseCache {
     /// Drops every entry.
     pub fn clear(&self) {
         self.store.clear();
+        self.timers.entries.set(0);
+        self.timers.bytes.set(0);
+    }
+
+    /// The metrics registry this cache records into (the process-wide
+    /// one unless overridden at build time) — hand it to a `/metrics`
+    /// endpoint for exposition.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The `cache=<label>` value on every metric this cache emits.
+    pub fn metrics_label(&self) -> &str {
+        self.stats.label()
     }
 
     /// The registry this cache types values with.
@@ -295,6 +397,8 @@ pub struct ResponseCacheBuilder {
     selector: Arc<dyn RepresentationSelector>,
     clock: Arc<dyn Clock>,
     capacity: Capacity,
+    metrics: Option<Arc<MetricsRegistry>>,
+    metrics_label: Option<String>,
 }
 
 impl std::fmt::Debug for ResponseCacheBuilder {
@@ -344,8 +448,26 @@ impl ResponseCacheBuilder {
         self
     }
 
+    /// Records metrics into `registry` instead of the process-wide one
+    /// (tests use an isolated registry for deterministic counters).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Sets the `cache=<label>` value on every metric this cache emits
+    /// (default: an auto-assigned `cache-N`).
+    pub fn metrics_label(mut self, label: impl Into<String>) -> Self {
+        self.metrics_label = Some(label.into());
+        self
+    }
+
     /// Finishes the cache.
     pub fn build(self) -> ResponseCache {
+        let metrics = self.metrics.unwrap_or_else(wsrc_obs::global);
+        let label = self.metrics_label.unwrap_or_else(crate::stats::auto_label);
+        let stats = CacheStats::in_registry(&metrics, &label);
+        let timers = CacheTimers::new(&metrics, &label, self.key_strategy);
         ResponseCache {
             store: CacheStore::new(self.capacity),
             policy: self.policy,
@@ -353,7 +475,9 @@ impl ResponseCacheBuilder {
             selector: self.selector,
             clock: self.clock,
             registry: self.registry,
-            stats: CacheStats::new(),
+            metrics,
+            stats,
+            timers,
         }
     }
 }
@@ -595,6 +719,75 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn metrics_registry_sees_stages_and_representations() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let cache = ResponseCache::builder(registry())
+            .cache_everything(Duration::from_secs(60))
+            .clock(ManualClock::new())
+            .metrics(metrics.clone())
+            .metrics_label("unit")
+            .build();
+        assert_eq!(cache.metrics_label(), "unit");
+        let f = fixture();
+        assert!(cache.lookup(URL, &request(), &f.expected).is_none());
+        let repr = cache.insert(URL, &request(), data(&f)).unwrap();
+        cache.lookup(URL, &request(), &f.expected).expect("hit");
+
+        let snap = metrics.snapshot();
+        let unit = ("cache", "unit");
+        assert_eq!(
+            snap.counter_value(
+                "wsrc_cache_hits_total",
+                &[unit, ("repr", repr.metric_label())]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("wsrc_cache_misses_total", &[unit]),
+            Some(1)
+        );
+        // Stage histograms: two lookups, one insert, one build and one
+        // retrieve under the representation actually used, and a keygen
+        // sample per keyed operation.
+        let h = |name: &str, labels: &[(&str, &str)]| {
+            snap.histogram(name, labels)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+                .count
+        };
+        assert_eq!(
+            h("wsrc_cache_stage_seconds", &[unit, ("stage", "lookup")]),
+            2
+        );
+        assert_eq!(
+            h("wsrc_cache_stage_seconds", &[unit, ("stage", "insert")]),
+            1
+        );
+        assert_eq!(
+            h(
+                "wsrc_cache_stage_seconds",
+                &[unit, ("stage", "keygen"), ("strategy", "auto")]
+            ),
+            3
+        );
+        let repr_label = ("repr", repr.metric_label());
+        assert_eq!(h("wsrc_cache_build_seconds", &[unit, repr_label]), 1);
+        assert_eq!(h("wsrc_cache_retrieve_seconds", &[unit, repr_label]), 1);
+        // Occupancy gauges track the store.
+        let gauge = |name: &str| {
+            let id = wsrc_obs::MetricId::new(name, &[unit]);
+            snap.gauges
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert_eq!(gauge("wsrc_cache_entries"), 1);
+        assert!(gauge("wsrc_cache_bytes") > 0);
+        cache.clear();
+        assert_eq!(cache.metrics().snapshot().gauges.len(), snap.gauges.len());
     }
 
     #[test]

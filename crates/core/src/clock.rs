@@ -1,99 +1,24 @@
 //! A mockable time source so TTL expiry is testable without sleeping.
+//!
+//! The implementation moved to `wsrc-obs` (the observability layer sits
+//! below every other crate and its span timers need the same
+//! abstraction); this module re-exports it so existing
+//! `wsrc_cache::clock::…` paths keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
-
-/// Supplies the current time in milliseconds on some monotone axis.
-pub trait Clock: Send + Sync {
-    /// Milliseconds since the clock's epoch. Must be non-decreasing.
-    fn now_millis(&self) -> u64;
-}
-
-/// The real wall clock (Unix epoch).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SystemClock;
-
-impl Clock for SystemClock {
-    fn now_millis(&self) -> u64 {
-        SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0)
-    }
-}
-
-/// A hand-advanced clock for tests.
-///
-/// ```
-/// use wsrc_cache::clock::{Clock, ManualClock};
-/// let clock = ManualClock::new();
-/// assert_eq!(clock.now_millis(), 0);
-/// clock.advance_millis(1500);
-/// assert_eq!(clock.now_millis(), 1500);
-/// ```
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    millis: Arc<AtomicU64>,
-}
-
-impl ManualClock {
-    /// A clock starting at 0.
-    pub fn new() -> Self {
-        ManualClock::default()
-    }
-
-    /// Advances the clock.
-    pub fn advance_millis(&self, delta: u64) {
-        self.millis.fetch_add(delta, Ordering::SeqCst);
-    }
-
-    /// A second handle to the same underlying clock.
-    pub fn handle(&self) -> ManualClock {
-        ManualClock {
-            millis: self.millis.clone(),
-        }
-    }
-}
-
-impl Clock for ManualClock {
-    fn now_millis(&self) -> u64 {
-        self.millis.load(Ordering::SeqCst)
-    }
-}
-
-impl<C: Clock + ?Sized> Clock for Arc<C> {
-    fn now_millis(&self) -> u64 {
-        (**self).now_millis()
-    }
-}
+pub use wsrc_obs::clock::{Clock, ManualClock, MonotonicClock, SystemClock};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn system_clock_is_monotone_enough() {
-        let c = SystemClock;
-        let a = c.now_millis();
-        let b = c.now_millis();
-        assert!(b >= a);
-        assert!(a > 1_600_000_000_000); // after 2020
-    }
-
-    #[test]
-    fn manual_clock_advances_and_shares() {
+    fn reexported_clocks_work_through_cache_paths() {
         let c = ManualClock::new();
-        let h = c.handle();
         c.advance_millis(10);
-        h.advance_millis(5);
-        assert_eq!(c.now_millis(), 15);
-        assert_eq!(h.now_millis(), 15);
-    }
-
-    #[test]
-    fn arc_clock_is_a_clock() {
-        let c: Arc<dyn Clock> = Arc::new(ManualClock::new());
-        assert_eq!(c.now_millis(), 0);
+        assert_eq!(c.now_millis(), 10);
+        let arc: Arc<dyn Clock> = Arc::new(c);
+        assert_eq!(arc.now_millis(), 10);
+        assert!(SystemClock.now_millis() > 1_600_000_000_000); // after 2020
     }
 }

@@ -48,6 +48,16 @@ impl KeyStrategy {
             KeyStrategy::Auto => "auto",
         }
     }
+
+    /// Stable kebab-case label for metric `strategy` label values.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            KeyStrategy::XmlMessage => "xml-message",
+            KeyStrategy::Serialization => "serialization",
+            KeyStrategy::ToString => "to-string",
+            KeyStrategy::Auto => "auto",
+        }
+    }
 }
 
 /// A generated cache key.

@@ -70,6 +70,11 @@ impl ValueRepresentation {
         ValueRepresentation::PassByReference,
     ];
 
+    /// Number of representations (the length of
+    /// [`ALL_EXTENDED`](ValueRepresentation::ALL_EXTENDED)); sizes
+    /// per-representation metric arrays.
+    pub const COUNT: usize = 7;
+
     /// Human-readable label matching the paper's tables and figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -80,6 +85,34 @@ impl ValueRepresentation {
             ValueRepresentation::CloneCopy => "Copy by clone",
             ValueRepresentation::PassByReference => "Pass by reference",
             ValueRepresentation::DomTree => "DOM tree",
+        }
+    }
+
+    /// Stable kebab-case label for metric `repr` label values.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            ValueRepresentation::XmlMessage => "xml-message",
+            ValueRepresentation::SaxEvents => "sax-events",
+            ValueRepresentation::Serialization => "serialization",
+            ValueRepresentation::ReflectionCopy => "reflection-copy",
+            ValueRepresentation::CloneCopy => "clone-copy",
+            ValueRepresentation::PassByReference => "pass-by-reference",
+            ValueRepresentation::DomTree => "dom-tree",
+        }
+    }
+
+    /// This representation's position in
+    /// [`ALL_EXTENDED`](ValueRepresentation::ALL_EXTENDED) — the index
+    /// into per-representation metric arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            ValueRepresentation::XmlMessage => 0,
+            ValueRepresentation::DomTree => 1,
+            ValueRepresentation::SaxEvents => 2,
+            ValueRepresentation::Serialization => 3,
+            ValueRepresentation::ReflectionCopy => 4,
+            ValueRepresentation::CloneCopy => 5,
+            ValueRepresentation::PassByReference => 6,
         }
     }
 

@@ -1,18 +1,39 @@
-//! Cache statistics counters.
+//! Cache statistics — a thin view over `wsrc-obs` counters.
+//!
+//! Historically these were free-standing `AtomicU64`s; they are now
+//! registered in a [`MetricsRegistry`] so the same numbers appear in the
+//! `/metrics` exposition, labelled by cache and by representation. The
+//! public [`snapshot`](CacheStats::snapshot)/[`StatsSnapshot`] API is
+//! unchanged (plus per-representation breakdowns and
+//! [`StatsSnapshot::to_json`]).
 
+use crate::repr::ValueRepresentation;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsrc_obs::{Counter, MetricsRegistry};
 
-/// Thread-safe hit/miss/eviction counters.
-#[derive(Debug, Default)]
+/// Distinguishes caches sharing one registry: each `CacheStats` built
+/// without an explicit label gets `cache-0`, `cache-1`, …
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Next auto-assigned `cache=<label>` value (`cache-0`, `cache-1`, …).
+pub(crate) fn auto_label() -> String {
+    format!("cache-{}", NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Thread-safe hit/miss/eviction counters, labelled `cache=<label>` in
+/// the owning registry; hits and inserts carry a `repr` label too.
+#[derive(Debug)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    expired: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
-    uncacheable: AtomicU64,
-    store_failures: AtomicU64,
-    revalidated: AtomicU64,
+    label: String,
+    hits_by_repr: [Counter; ValueRepresentation::COUNT],
+    inserts_by_repr: [Counter; ValueRepresentation::COUNT],
+    misses: Counter,
+    expired: Counter,
+    evictions: Counter,
+    uncacheable: Counter,
+    store_failures: Counter,
+    revalidated: Counter,
 }
 
 /// A point-in-time copy of the counters.
@@ -35,6 +56,11 @@ pub struct StatsSnapshot {
     pub store_failures: u64,
     /// Stale entries renewed by a successful revalidation (304).
     pub revalidated: u64,
+    /// Hits broken down by the stored entry's representation, indexed by
+    /// [`ValueRepresentation::index`].
+    pub hits_by_repr: [u64; ValueRepresentation::COUNT],
+    /// Inserts broken down by representation, same indexing.
+    pub inserts_by_repr: [u64; ValueRepresentation::COUNT],
 }
 
 impl StatsSnapshot {
@@ -47,50 +73,130 @@ impl StatsSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Hits for one representation.
+    pub fn hits_for(&self, repr: ValueRepresentation) -> u64 {
+        self.hits_by_repr[repr.index()]
+    }
+
+    /// Inserts for one representation.
+    pub fn inserts_for(&self, repr: ValueRepresentation) -> u64 {
+        self.inserts_by_repr[repr.index()]
+    }
+
+    /// Renders the snapshot as a JSON object (no external dependencies;
+    /// the schema is documented in `EXPERIMENTS.md`).
+    pub fn to_json(&self) -> String {
+        let by_repr = |arr: &[u64; ValueRepresentation::COUNT]| -> String {
+            ValueRepresentation::ALL_EXTENDED
+                .iter()
+                .map(|r| format!("\"{}\":{}", r.metric_label(), arr[r.index()]))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"expired\":{},\"inserts\":{},\
+             \"evictions\":{},\"uncacheable\":{},\"store_failures\":{},\
+             \"revalidated\":{},\"hit_ratio\":{:.6},\
+             \"hits_by_repr\":{{{}}},\"inserts_by_repr\":{{{}}}}}",
+            self.hits,
+            self.misses,
+            self.expired,
+            self.inserts,
+            self.evictions,
+            self.uncacheable,
+            self.store_failures,
+            self.revalidated,
+            self.hit_ratio(),
+            by_repr(&self.hits_by_repr),
+            by_repr(&self.inserts_by_repr),
+        )
+    }
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        CacheStats::new()
+    }
 }
 
 impl CacheStats {
-    /// Fresh zeroed counters.
+    /// Counters in the process-wide registry, auto-labelled
+    /// `cache="cache-N"` so multiple caches stay distinguishable.
     pub fn new() -> Self {
-        CacheStats::default()
+        CacheStats::in_registry(&wsrc_obs::global(), &auto_label())
     }
 
-    pub(crate) fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+    /// Counters registered in `registry` under `cache=<label>`.
+    pub fn in_registry(registry: &Arc<MetricsRegistry>, label: &str) -> Self {
+        let repr_counter = |name: &str, repr: ValueRepresentation| {
+            registry.counter(name, &[("cache", label), ("repr", repr.metric_label())])
+        };
+        let counter = |name: &str| registry.counter(name, &[("cache", label)]);
+        CacheStats {
+            label: label.to_string(),
+            hits_by_repr: ValueRepresentation::ALL_EXTENDED
+                .map(|r| repr_counter("wsrc_cache_hits_total", r)),
+            inserts_by_repr: ValueRepresentation::ALL_EXTENDED
+                .map(|r| repr_counter("wsrc_cache_inserts_total", r)),
+            misses: counter("wsrc_cache_misses_total"),
+            expired: counter("wsrc_cache_expired_total"),
+            evictions: counter("wsrc_cache_evictions_total"),
+            uncacheable: counter("wsrc_cache_uncacheable_total"),
+            store_failures: counter("wsrc_cache_store_failures_total"),
+            revalidated: counter("wsrc_cache_revalidated_total"),
+        }
+    }
+
+    /// The `cache` label these counters carry in the registry.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub(crate) fn record_hit(&self, repr: ValueRepresentation) {
+        self.hits_by_repr[repr.index()].inc();
     }
     pub(crate) fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
     pub(crate) fn record_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
-    pub(crate) fn record_insert(&self) {
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_insert(&self, repr: ValueRepresentation) {
+        self.inserts_by_repr[repr.index()].inc();
     }
     pub(crate) fn record_evictions(&self, n: u64) {
-        self.evictions.fetch_add(n, Ordering::Relaxed);
+        self.evictions.add(n);
     }
     pub(crate) fn record_uncacheable(&self) {
-        self.uncacheable.fetch_add(1, Ordering::Relaxed);
+        self.uncacheable.inc();
     }
     pub(crate) fn record_store_failure(&self) {
-        self.store_failures.fetch_add(1, Ordering::Relaxed);
+        self.store_failures.inc();
     }
     pub(crate) fn record_revalidated(&self) {
-        self.revalidated.fetch_add(1, Ordering::Relaxed);
+        self.revalidated.inc();
     }
 
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut hits_by_repr = [0u64; ValueRepresentation::COUNT];
+        let mut inserts_by_repr = [0u64; ValueRepresentation::COUNT];
+        for i in 0..ValueRepresentation::COUNT {
+            hits_by_repr[i] = self.hits_by_repr[i].value();
+            inserts_by_repr[i] = self.inserts_by_repr[i].value();
+        }
         StatsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            uncacheable: self.uncacheable.load(Ordering::Relaxed),
-            store_failures: self.store_failures.load(Ordering::Relaxed),
-            revalidated: self.revalidated.load(Ordering::Relaxed),
+            hits: hits_by_repr.iter().sum(),
+            misses: self.misses.value(),
+            expired: self.expired.value(),
+            inserts: inserts_by_repr.iter().sum(),
+            evictions: self.evictions.value(),
+            uncacheable: self.uncacheable.value(),
+            store_failures: self.store_failures.value(),
+            revalidated: self.revalidated.value(),
+            hits_by_repr,
+            inserts_by_repr,
         }
     }
 }
@@ -99,14 +205,20 @@ impl CacheStats {
 mod tests {
     use super::*;
 
+    fn isolated() -> (Arc<MetricsRegistry>, CacheStats) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let stats = CacheStats::in_registry(&registry, "test");
+        (registry, stats)
+    }
+
     #[test]
     fn counters_accumulate() {
-        let s = CacheStats::new();
-        s.record_hit();
-        s.record_hit();
+        let (_r, s) = isolated();
+        s.record_hit(ValueRepresentation::XmlMessage);
+        s.record_hit(ValueRepresentation::ReflectionCopy);
         s.record_miss();
         s.record_expired();
-        s.record_insert();
+        s.record_insert(ValueRepresentation::ReflectionCopy);
         s.record_evictions(3);
         s.record_uncacheable();
         s.record_store_failure();
@@ -120,6 +232,40 @@ mod tests {
         assert_eq!(snap.uncacheable, 1);
         assert_eq!(snap.store_failures, 1);
         assert_eq!(snap.revalidated, 1);
+        assert_eq!(snap.hits_for(ValueRepresentation::XmlMessage), 1);
+        assert_eq!(snap.hits_for(ValueRepresentation::ReflectionCopy), 1);
+        assert_eq!(snap.hits_for(ValueRepresentation::CloneCopy), 0);
+        assert_eq!(snap.inserts_for(ValueRepresentation::ReflectionCopy), 1);
+    }
+
+    #[test]
+    fn counters_are_visible_in_the_registry() {
+        let (registry, s) = isolated();
+        s.record_hit(ValueRepresentation::SaxEvents);
+        s.record_miss();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "wsrc_cache_hits_total",
+                &[("cache", "test"), ("repr", "sax-events")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("wsrc_cache_misses_total", &[("cache", "test")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn default_labels_are_distinct() {
+        let a = CacheStats::new();
+        let b = CacheStats::new();
+        assert_ne!(a.label(), b.label());
+        // Distinct labels → distinct counters despite the shared registry.
+        a.record_miss();
+        assert_eq!(a.snapshot().misses, 1);
+        assert_eq!(b.snapshot().misses, 0);
     }
 
     #[test]
@@ -131,5 +277,23 @@ mod tests {
             ..Default::default()
         };
         assert!((snap.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_and_complete() {
+        let (_r, s) = isolated();
+        s.record_hit(ValueRepresentation::CloneCopy);
+        s.record_miss();
+        let json = s.snapshot().to_json();
+        assert!(json.contains("\"hits\":1"));
+        assert!(json.contains("\"misses\":1"));
+        assert!(json.contains("\"hit_ratio\":0.5"));
+        assert!(json.contains("\"clone-copy\":1"));
+        assert!(json.contains("\"hits_by_repr\":{"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // All seven representations appear in each breakdown.
+        for repr in ValueRepresentation::ALL_EXTENDED {
+            assert_eq!(json.matches(repr.metric_label()).count(), 2, "{repr}");
+        }
     }
 }

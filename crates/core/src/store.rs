@@ -3,10 +3,10 @@
 
 use crate::key::CacheKey;
 use crate::repr::StoredResponse;
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 const SHARDS: usize = 16;
 
@@ -85,7 +85,7 @@ impl CacheStore {
     /// caller can attempt revalidation (paper §3.2's `If-Modified-Since`
     /// handshake).
     pub fn get(&self, key: &CacheKey, now_millis: u64) -> Lookup {
-        let mut shard = self.shard_for(key).lock();
+        let mut shard = self.shard_for(key).lock().unwrap();
         match shard.map.get_mut(key) {
             None => Lookup::Absent,
             Some(entry) if entry.expires_at_millis <= now_millis => {
@@ -112,7 +112,7 @@ impl CacheStore {
     /// Renews a (typically stale) entry's deadline after a successful
     /// revalidation. Returns whether the entry was present.
     pub fn refresh(&self, key: &CacheKey, expires_at_millis: u64) -> bool {
-        let mut shard = self.shard_for(key).lock();
+        let mut shard = self.shard_for(key).lock().unwrap();
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.expires_at_millis = expires_at_millis;
@@ -153,7 +153,7 @@ impl CacheStore {
         }
         let mut evicted = 0;
         {
-            let mut shard = self.shard_for(&key).lock();
+            let mut shard = self.shard_for(&key).lock().unwrap();
             if let Some(old) = shard.map.remove(&key) {
                 shard.bytes -= old.size_bytes;
             }
@@ -186,7 +186,7 @@ impl CacheStore {
         // relative to lookups, so a scan is simpler than a global heap.
         let mut victim: Option<(usize, CacheKey, u64, bool)> = None;
         for (i, shard) in self.shards.iter().enumerate() {
-            let shard = shard.lock();
+            let shard = shard.lock().unwrap();
             for (k, e) in shard.map.iter() {
                 let expired = e.expires_at_millis <= now_millis;
                 let candidate = (i, k.clone(), e.last_access_seq, expired);
@@ -207,7 +207,7 @@ impl CacheStore {
         }
         match victim {
             Some((i, key, _, _)) => {
-                let mut shard = self.shards[i].lock();
+                let mut shard = self.shards[i].lock().unwrap();
                 if let Some(e) = shard.map.remove(&key) {
                     shard.bytes -= e.size_bytes;
                 }
@@ -219,7 +219,7 @@ impl CacheStore {
 
     /// Removes one entry. Returns whether it was present.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        let mut shard = self.shard_for(key).lock();
+        let mut shard = self.shard_for(key).lock().unwrap();
         match shard.map.remove(key) {
             Some(e) => {
                 shard.bytes -= e.size_bytes;
@@ -232,15 +232,30 @@ impl CacheStore {
     /// Removes everything.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock();
+            let mut shard = shard.lock().unwrap();
             shard.map.clear();
             shard.bytes = 0;
         }
     }
 
+    /// Current `(entries, approximate bytes)` in a single shard sweep —
+    /// cheaper than calling [`len`](CacheStore::len) and
+    /// [`bytes`](CacheStore::bytes) back to back, and the two numbers
+    /// come from the same instant per shard (used for occupancy gauges).
+    pub fn occupancy(&self) -> (usize, usize) {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            entries += shard.map.len();
+            bytes += shard.bytes;
+        }
+        (entries, bytes)
+    }
+
     /// Current number of entries (including not-yet-reaped expired ones).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.occupancy().0
     }
 
     /// Whether the store is empty.
@@ -250,7 +265,7 @@ impl CacheStore {
 
     /// Current approximate byte usage.
     pub fn bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().bytes).sum()
+        self.occupancy().1
     }
 
     /// The configured capacity.
@@ -388,6 +403,15 @@ mod tests {
         });
         store.put(key(1), value(1000), 1000, 0);
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn occupancy_matches_len_and_bytes() {
+        let store = CacheStore::default();
+        store.put(key(1), value(100), 100, 0);
+        store.put(key(2), value(200), 100, 0);
+        assert_eq!(store.occupancy(), (store.len(), store.bytes()));
+        assert_eq!(store.occupancy().0, 2);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 use crate::error::HttpError;
 use crate::message::{Request, Response};
 use crate::url::Url;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A blocking HTTP client.
@@ -48,7 +48,7 @@ impl HttpClient {
     /// errors here — inspect [`Response::status`].
     pub fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
         let authority = url.authority();
-        let pooled = self.connections.lock().remove(&authority);
+        let pooled = self.connections.lock().unwrap().remove(&authority);
         if let Some(stream) = pooled {
             match self.roundtrip(stream, url, request) {
                 Ok(resp) => return Ok(resp),
@@ -88,7 +88,7 @@ impl HttpClient {
 
     /// Drops all pooled connections.
     pub fn clear_pool(&self) {
-        self.connections.lock().clear();
+        self.connections.lock().unwrap().clear();
     }
 
     fn connect(&self, authority: &str) -> Result<TcpStream, HttpError> {
@@ -119,7 +119,10 @@ impl HttpClient {
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
         if keep_alive {
-            self.connections.lock().insert(url.authority(), stream);
+            self.connections
+                .lock()
+                .unwrap()
+                .insert(url.authority(), stream);
         }
         Ok(response)
     }
@@ -184,7 +187,7 @@ mod tests {
             client.get(&url).unwrap();
         }
         // One pooled connection for the single destination.
-        assert_eq!(client.connections.lock().len(), 1);
+        assert_eq!(client.connections.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod url;
 pub use client::HttpClient;
 pub use error::HttpError;
 pub use message::{Headers, Method, Request, Response, Status};
-pub use server::{Handler, Server};
+pub use server::{Handler, MetricsRoute, Server};
 pub use transport::{InProcTransport, LatencyTransport, TcpTransport, Transport};
 pub use url::Url;

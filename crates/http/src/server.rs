@@ -29,6 +29,62 @@ where
     }
 }
 
+/// Wraps an application handler, answering `GET /metrics` from a
+/// [`MetricsRegistry`](wsrc_obs::MetricsRegistry) and delegating every
+/// other request to the inner handler.
+///
+/// The default body is the Prometheus text exposition; append
+/// `?format=json` for the JSON rendering.
+pub struct MetricsRoute {
+    registry: Arc<wsrc_obs::MetricsRegistry>,
+    inner: Arc<dyn Handler>,
+}
+
+impl std::fmt::Debug for MetricsRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRoute")
+    }
+}
+
+impl MetricsRoute {
+    /// Exposes the process-wide registry in front of `inner`.
+    pub fn new(inner: Arc<dyn Handler>) -> Self {
+        MetricsRoute::with_registry(wsrc_obs::global(), inner)
+    }
+
+    /// Exposes a specific registry in front of `inner`.
+    pub fn with_registry(
+        registry: Arc<wsrc_obs::MetricsRegistry>,
+        inner: Arc<dyn Handler>,
+    ) -> Self {
+        MetricsRoute { registry, inner }
+    }
+}
+
+impl Handler for MetricsRoute {
+    fn handle(&self, request: &Request) -> Response {
+        let (path, query) = match request.target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (request.target.as_str(), ""),
+        };
+        if request.method != crate::message::Method::Get || path != "/metrics" {
+            return self.inner.handle(request);
+        }
+        let snapshot = self.registry.snapshot();
+        if query.split('&').any(|kv| kv == "format=json") {
+            Response::ok(
+                "application/json",
+                wsrc_obs::to_json(&snapshot).into_bytes(),
+            )
+        } else {
+            Response::ok(
+                "text/plain; version=0.0.4",
+                wsrc_obs::to_prometheus(&snapshot).into_bytes(),
+            )
+        }
+    }
+}
+
 /// A running HTTP server. Dropping it shuts it down.
 #[derive(Debug)]
 pub struct Server {
@@ -235,6 +291,63 @@ mod tests {
         // New connections are refused or die without being served.
         let client2 = HttpClient::new();
         assert!(client2.get(&url).is_err());
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_and_json() {
+        let registry = Arc::new(wsrc_obs::MetricsRegistry::new());
+        registry
+            .counter(
+                "wsrc_cache_hits_total",
+                &[("cache", "m"), ("repr", "dom-tree")],
+            )
+            .add(3);
+        registry
+            .histogram("wsrc_xml_parse_seconds", &[("op", "read-all")])
+            .record_nanos(1_500);
+        let app: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::ok("text/plain", b"app".to_vec()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(MetricsRoute::with_registry(registry, app)),
+        )
+        .unwrap();
+        let client = HttpClient::new();
+
+        let text = client
+            .get(&Url::new("127.0.0.1", server.port(), "/metrics"))
+            .unwrap();
+        assert_eq!(
+            text.headers.get("Content-Type"),
+            Some("text/plain; version=0.0.4")
+        );
+        let body = text.body_text().into_owned();
+        assert!(
+            body.contains("wsrc_cache_hits_total{cache=\"m\",repr=\"dom-tree\"} 3"),
+            "{body}"
+        );
+        assert!(body.contains("wsrc_xml_parse_seconds_bucket"), "{body}");
+        assert!(
+            body.contains("# TYPE wsrc_xml_parse_seconds histogram"),
+            "{body}"
+        );
+
+        let json = client
+            .get(&Url::new(
+                "127.0.0.1",
+                server.port(),
+                "/metrics?format=json",
+            ))
+            .unwrap();
+        assert_eq!(json.headers.get("Content-Type"), Some("application/json"));
+        let jbody = json.body_text().into_owned();
+        assert!(jbody.contains("\"wsrc_cache_hits_total\""), "{jbody}");
+
+        // Everything else still reaches the application.
+        let other = client
+            .get(&Url::new("127.0.0.1", server.port(), "/anything"))
+            .unwrap();
+        assert_eq!(other.body_text(), "app");
     }
 
     #[test]

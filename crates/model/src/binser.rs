@@ -20,7 +20,18 @@ use crate::error::ModelError;
 use crate::typeinfo::TypeRegistry;
 use crate::value::{StructValue, Value};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use wsrc_obs::Histogram;
+
+fn serialize_timer() -> &'static Histogram {
+    static T: OnceLock<Histogram> = OnceLock::new();
+    T.get_or_init(|| wsrc_obs::global().histogram("wsrc_model_serialize_seconds", &[]))
+}
+
+fn deserialize_timer() -> &'static Histogram {
+    static T: OnceLock<Histogram> = OnceLock::new();
+    T.get_or_init(|| wsrc_obs::global().histogram("wsrc_model_deserialize_seconds", &[]))
+}
 
 const MAGIC: &[u8; 4] = b"WSRB";
 const VERSION: u8 = 2;
@@ -43,6 +54,7 @@ const TAG_STRING_REF: u8 = 10;
 /// [`serialize_checked`] to enforce the Java `Serializable` capability
 /// the way the paper's middleware does.
 pub fn serialize(value: &Value) -> Vec<u8> {
+    let _span = serialize_timer().span();
     let mut w = Writer {
         out: Vec::with_capacity(64),
         descriptors: HashMap::new(),
@@ -102,6 +114,7 @@ fn check_serializable(value: &Value, registry: &TypeRegistry) -> Result<(), Mode
 ///
 /// Returns [`ModelError::Corrupt`] on malformed input.
 pub fn deserialize(bytes: &[u8]) -> Result<Value, ModelError> {
+    let _span = deserialize_timer().span();
     let mut r = Reader {
         bytes,
         pos: 0,

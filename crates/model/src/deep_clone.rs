@@ -12,6 +12,13 @@
 use crate::error::ModelError;
 use crate::typeinfo::TypeRegistry;
 use crate::value::Value;
+use std::sync::OnceLock;
+use wsrc_obs::Histogram;
+
+fn copy_timer() -> &'static Histogram {
+    static T: OnceLock<Histogram> = OnceLock::new();
+    T.get_or_init(|| wsrc_obs::global().histogram("wsrc_copy_seconds", &[("mech", "clone")]))
+}
 
 /// Deep-copies `value` via its generated `clone()`.
 ///
@@ -35,6 +42,9 @@ pub fn clone_copy(value: &Value, registry: &TypeRegistry) -> Result<Value, Model
 /// no capability checks. Exposed for benchmarks that want to measure the
 /// mechanism without the classification cost.
 pub fn clone_unchecked(value: &Value) -> Value {
+    // Timed here (not in `clone_copy`) so the sample covers exactly the
+    // generated `clone()` body and is never recorded twice per copy.
+    let _span = copy_timer().span();
     value.clone()
 }
 

@@ -11,6 +11,13 @@
 use crate::error::ModelError;
 use crate::typeinfo::TypeRegistry;
 use crate::value::{StructValue, Value};
+use std::sync::OnceLock;
+use wsrc_obs::Histogram;
+
+fn copy_timer() -> &'static Histogram {
+    static T: OnceLock<Histogram> = OnceLock::new();
+    T.get_or_init(|| wsrc_obs::global().histogram("wsrc_copy_seconds", &[("mech", "reflect")]))
+}
 
 /// Deep-copies `value` using run-time introspection.
 ///
@@ -25,6 +32,7 @@ use crate::value::{StructValue, Value};
 /// Returns [`ModelError::NotSupported`] when some type in the tree is not
 /// a bean/array, and [`ModelError::UnknownType`] for unregistered structs.
 pub fn reflect_copy(value: &Value, registry: &TypeRegistry) -> Result<Value, ModelError> {
+    let _span = copy_timer().span();
     match value {
         Value::Bytes(b) => Ok(Value::Bytes(b.clone())),
         Value::Array(items) => copy_array(items, registry),

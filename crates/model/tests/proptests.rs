@@ -1,7 +1,9 @@
-//! Property-based tests: all copy mechanisms agree, copies are
-//! independent, serialization round-trips, rendering is stable.
+//! Randomized tests: all copy mechanisms agree, copies are independent,
+//! serialization round-trips, rendering is stable.
+//!
+//! The build environment is offline (no `proptest`), so these use a
+//! hand-rolled deterministic xorshift generator with fixed seeds.
 
-use proptest::prelude::*;
 use wsrc_model::binser;
 use wsrc_model::deep_clone::clone_unchecked;
 use wsrc_model::reflect::reflect_copy;
@@ -9,6 +11,57 @@ use wsrc_model::sizeof::deep_size;
 use wsrc_model::tostring::to_string_key;
 use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
 use wsrc_model::value::{StructValue, Value};
+
+const CASES: u64 = 256;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn bytes(&mut self, max: usize) -> Vec<u8> {
+        let n = self.below(max);
+        (0..n).map(|_| self.next() as u8).collect()
+    }
+
+    fn ascii(&mut self, max: usize) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+        let n = self.below(max + 1);
+        (0..n)
+            .map(|_| CHARS[self.below(CHARS.len())] as char)
+            .collect()
+    }
+
+    /// A finite double in ±1e12, never -0.0.
+    fn double(&mut self) -> f64 {
+        let d = ((self.next() % 2_000_001) as f64 / 1_000_000.0 - 1.0) * 1.0e12;
+        if d == 0.0 {
+            0.0
+        } else {
+            d
+        }
+    }
+}
 
 /// All generated structs use one of these registered bean types.
 fn registry() -> TypeRegistry {
@@ -31,107 +84,133 @@ fn registry() -> TypeRegistry {
         .build()
 }
 
-fn arb_value(depth: u32) -> BoxedStrategy<Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i32>().prop_map(Value::Int),
-        any::<i64>().prop_map(Value::Long),
-        // Finite doubles only: NaN breaks PartialEq-based assertions.
-        (-1.0e12..1.0e12f64).prop_map(|d| Value::Double(if d == 0.0 { 0.0 } else { d })),
-        "[a-zA-Z0-9 ]{0,20}".prop_map(Value::string),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-    ];
-    leaf.prop_recursive(depth, 64, 6, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            (
-                proptest::sample::select(vec!["A", "B"]),
-                proptest::collection::vec(inner, 0..3)
-            )
-                .prop_map(|(ty, vals)| {
-                    let mut s = StructValue::new(ty);
-                    for (i, v) in vals.into_iter().enumerate() {
-                        s.set(format!("f{i}"), v);
-                    }
-                    Value::Struct(s)
-                }),
-        ]
-    })
-    .boxed()
+fn arb_value(rng: &mut Rng, depth: u32) -> Value {
+    // At depth 0 only leaves; deeper levels sometimes nest.
+    let choice = if depth == 0 {
+        rng.below(7)
+    } else {
+        rng.below(9)
+    };
+    match choice {
+        0 => Value::Null,
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Int(rng.next() as i32),
+        3 => Value::Long(rng.next() as i64),
+        4 => Value::Double(rng.double()),
+        5 => Value::string(rng.ascii(20)),
+        6 => Value::Bytes(rng.bytes(64)),
+        7 => {
+            let n = rng.below(6);
+            Value::Array((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let ty = if rng.bool() { "A" } else { "B" };
+            let mut s = StructValue::new(ty);
+            for i in 0..rng.below(3) {
+                s.set(format!("f{i}"), arb_value(rng, depth - 1));
+            }
+            Value::Struct(s)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn binser_roundtrip_is_identity(v in arb_value(4)) {
+#[test]
+fn binser_roundtrip_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let v = arb_value(&mut rng, 4);
         let bytes = binser::serialize(&v);
-        prop_assert_eq!(binser::deserialize(&bytes).unwrap(), v);
+        assert_eq!(binser::deserialize(&bytes).unwrap(), v, "seed {seed}");
     }
+}
 
-    #[test]
-    fn binser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn binser_never_panics_on_garbage() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 1000);
+        let data = rng.bytes(256);
         let _ = binser::deserialize(&data);
     }
+}
 
-    #[test]
-    fn binser_never_panics_on_flipped_bytes(v in arb_value(3), idx in any::<u16>(), bit in 0u8..8) {
+#[test]
+fn binser_never_panics_on_flipped_bytes() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 2000);
+        let v = arb_value(&mut rng, 3);
         let mut bytes = binser::serialize(&v);
-        let i = (idx as usize) % bytes.len();
-        bytes[i] ^= 1 << bit;
+        let i = rng.below(bytes.len());
+        bytes[i] ^= 1 << rng.below(8);
         let _ = binser::deserialize(&bytes); // may error, must not panic
     }
+}
 
-    #[test]
-    fn clone_unchecked_equals_original(v in arb_value(4)) {
-        prop_assert_eq!(clone_unchecked(&v), v);
+#[test]
+fn clone_unchecked_equals_original() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 3000);
+        let v = arb_value(&mut rng, 4);
+        assert_eq!(clone_unchecked(&v), v, "seed {seed}");
     }
+}
 
-    #[test]
-    fn all_copy_mechanisms_agree(v in arb_value(4)) {
-        let r = registry();
+#[test]
+fn all_copy_mechanisms_agree() {
+    let r = registry();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 4000);
+        let v = arb_value(&mut rng, 4);
         let serial = binser::deserialize(&binser::serialize(&v)).unwrap();
-        prop_assert_eq!(&serial, &v);
+        assert_eq!(&serial, &v, "seed {seed}");
         if r.is_reflect_copyable(&v) {
-            prop_assert_eq!(reflect_copy(&v, &r).unwrap(), v.clone());
+            assert_eq!(reflect_copy(&v, &r).unwrap(), v.clone(), "seed {seed}");
         }
-        prop_assert_eq!(clone_unchecked(&v), v);
+        assert_eq!(clone_unchecked(&v), v, "seed {seed}");
     }
+}
 
-    #[test]
-    fn copies_are_independent(v in arb_value(4)) {
+#[test]
+fn copies_are_independent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 5000);
+        let v = arb_value(&mut rng, 4);
         // Mutating a serialization-based copy never affects the original.
         let original_bytes = binser::serialize(&v);
         let mut copy = binser::deserialize(&original_bytes).unwrap();
         mutate_first_mutable(&mut copy);
-        prop_assert_eq!(binser::serialize(&v), original_bytes);
+        assert_eq!(binser::serialize(&v), original_bytes, "seed {seed}");
     }
+}
 
-    #[test]
-    fn tostring_is_deterministic_and_injective_for_equal_values(
-        a in arb_value(3),
-        b in arb_value(3)
-    ) {
-        let r = registry();
+#[test]
+fn tostring_is_deterministic_and_injective_for_equal_values() {
+    let r = registry();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 6000);
+        let a = arb_value(&mut rng, 3);
+        let b = arb_value(&mut rng, 3);
         let ka = to_string_key(&a, &r);
         let kb = to_string_key(&b, &r);
         if let (Ok(ka), Ok(kb)) = (ka, kb) {
             if a == b {
-                prop_assert_eq!(&ka, &kb);
+                assert_eq!(&ka, &kb, "seed {seed}");
             } else {
                 // Canonical rendering must distinguish distinct values.
-                prop_assert_ne!(&ka, &kb);
+                assert_ne!(&ka, &kb, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn deep_size_is_positive_and_monotone_under_wrapping(v in arb_value(3)) {
+#[test]
+fn deep_size_is_positive_and_monotone_under_wrapping() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 7000);
+        let v = arb_value(&mut rng, 3);
         let base = deep_size(&v);
-        prop_assert!(base >= std::mem::size_of::<Value>());
+        assert!(base >= std::mem::size_of::<Value>());
         let wrapped = Value::Array(vec![v]);
-        prop_assert!(deep_size(&wrapped) > base);
+        assert!(deep_size(&wrapped) > base, "seed {seed}");
     }
 }
 

@@ -1,0 +1,191 @@
+//! A mockable time source so timing behaviour (TTL expiry, span
+//! durations) is testable without sleeping.
+//!
+//! This module originally lived in `wsrc-cache`; it moved here so the
+//! observability layer sits below every other crate. `wsrc_cache::clock`
+//! re-exports it, so existing paths keep working.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Supplies the current time on some monotone axis.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since the clock's epoch. Must be non-decreasing.
+    fn now_millis(&self) -> u64;
+
+    /// Nanoseconds since the clock's epoch. Must be non-decreasing.
+    ///
+    /// The default derives from [`now_millis`](Clock::now_millis);
+    /// implementations with finer resolution should override it — span
+    /// timings for sub-millisecond stages (XML parse, deep copy) depend
+    /// on it.
+    fn now_nanos(&self) -> u64 {
+        self.now_millis().saturating_mul(1_000_000)
+    }
+}
+
+/// The real wall clock (Unix epoch).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    fn now_nanos(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A monotonic clock anchored at its creation instant — the default for
+/// metric registries, where only durations matter.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_millis(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for tests.
+///
+/// ```
+/// use wsrc_obs::clock::{Clock, ManualClock};
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now_millis(), 0);
+/// clock.advance_millis(1500);
+/// assert_eq!(clock.now_millis(), 1500);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock starting at 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by whole milliseconds.
+    pub fn advance_millis(&self, delta: u64) {
+        self.advance_nanos(delta.saturating_mul(1_000_000));
+    }
+
+    /// Advances the clock by nanoseconds (for span-timing tests).
+    pub fn advance_nanos(&self, delta: u64) {
+        self.nanos.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// A second handle to the same underlying clock.
+    pub fn handle(&self) -> ManualClock {
+        ManualClock {
+            nanos: self.nanos.clone(),
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst) / 1_000_000
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_millis(&self) -> u64 {
+        (**self).now_millis()
+    }
+
+    fn now_nanos(&self) -> u64 {
+        (**self).now_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone_enough() {
+        let c = SystemClock;
+        let a = c.now_millis();
+        let b = c.now_millis();
+        assert!(b >= a);
+        assert!(a > 1_600_000_000_000); // after 2020
+        assert!(c.now_nanos() > 1_600_000_000_000_000_000);
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_nanos() > a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_shares() {
+        let c = ManualClock::new();
+        let h = c.handle();
+        c.advance_millis(10);
+        h.advance_millis(5);
+        assert_eq!(c.now_millis(), 15);
+        assert_eq!(h.now_millis(), 15);
+        c.advance_nanos(500);
+        assert_eq!(c.now_nanos(), 15_000_500);
+    }
+
+    #[test]
+    fn arc_clock_forwards_both_resolutions() {
+        let manual = ManualClock::new();
+        manual.advance_nanos(42);
+        let c: Arc<dyn Clock> = Arc::new(manual);
+        assert_eq!(c.now_nanos(), 42);
+        assert_eq!(c.now_millis(), 0);
+    }
+
+    #[test]
+    fn default_nanos_derives_from_millis() {
+        struct Coarse;
+        impl Clock for Coarse {
+            fn now_millis(&self) -> u64 {
+                7
+            }
+        }
+        assert_eq!(Coarse.now_nanos(), 7_000_000);
+    }
+}

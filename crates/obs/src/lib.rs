@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `wsrc-obs` — a dependency-free observability layer.
+//!
+//! The paper's core claim is quantitative: caching a *better* data
+//! representation removes measurable per-stage costs — parsing,
+//! deserialization, copying (Takase & Tatsubori, ICDCS'04, Tables 6–9).
+//! This crate provides the instrumentation substrate that lets every
+//! other crate in the workspace attribute time and traffic to a stage
+//! and a representation:
+//!
+//! - [`metrics`] — a [`MetricsRegistry`] of named atomic counters,
+//!   gauges and fixed log2-bucket latency histograms. Recording is
+//!   lock-free (plain atomics); only registration takes a lock, so hot
+//!   paths pre-register handles (or cache them in `OnceLock` statics).
+//! - [`span`] — a scope timer: [`Span::enter`] starts the clock and the
+//!   drop records the elapsed time into a histogram.
+//! - [`clock`] — the mockable time source (moved here from
+//!   `wsrc-cache`, which re-exports it); [`clock::ManualClock`] keeps
+//!   span tests deterministic.
+//! - [`render`] — Prometheus-style text exposition and a hand-rolled
+//!   JSON renderer (the build environment is offline: no `prometheus`,
+//!   no `serde`).
+//! - [`global`] — the process-wide default registry that library-level
+//!   instrumentation (XML parse, copy mechanisms, client stages)
+//!   records into.
+
+pub mod clock;
+pub mod global;
+pub mod metrics;
+pub mod render;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock, SystemClock};
+pub use global::global;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
+};
+pub use render::{to_json, to_prometheus};
+pub use span::Span;

@@ -1,0 +1,134 @@
+//! Scope timers: a [`Span`] reads the clock when entered and records
+//! the elapsed nanoseconds into its histogram when dropped.
+
+use crate::metrics::Histogram;
+
+/// A running timer tied to a [`Histogram`]. Dropping it records the
+/// elapsed time; [`Span::finish`] does the same but returns the
+/// duration.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    histogram: Histogram,
+    start_nanos: u64,
+    recorded: bool,
+}
+
+impl Span {
+    /// Starts timing against `histogram`, using the clock of the
+    /// registry the histogram came from.
+    pub fn enter(histogram: &Histogram) -> Span {
+        Span {
+            histogram: histogram.clone(),
+            start_nanos: histogram.now_nanos(),
+            recorded: false,
+        }
+    }
+
+    /// Nanoseconds elapsed so far, without recording.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.histogram.now_nanos().saturating_sub(self.start_nanos)
+    }
+
+    /// Stops the span, records the sample, and returns the elapsed
+    /// nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_nanos();
+        self.histogram.record_nanos(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+
+    /// Abandons the span without recording a sample (e.g. an error path
+    /// that should not pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.record_nanos(self.elapsed_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::metrics::MetricsRegistry;
+    use std::sync::Arc;
+
+    fn manual_registry() -> (MetricsRegistry, ManualClock) {
+        let clock = ManualClock::new();
+        let handle = clock.handle();
+        (MetricsRegistry::with_clock(Arc::new(clock)), handle)
+    }
+
+    #[test]
+    fn drop_records_elapsed() {
+        let (r, clock) = manual_registry();
+        let h = r.histogram("stage", &[]);
+        {
+            let _span = h.span();
+            clock.advance_nanos(1234);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum_nanos, 1234);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_duration() {
+        let (r, clock) = manual_registry();
+        let h = r.histogram("stage", &[]);
+        let span = h.span();
+        clock.advance_nanos(500);
+        assert_eq!(span.finish(), 500);
+        // finish consumed the span; drop must not double-record.
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum_nanos, 500);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let (r, clock) = manual_registry();
+        let h = r.histogram("stage", &[]);
+        let span = h.span();
+        clock.advance_nanos(500);
+        span.cancel();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let (r, clock) = manual_registry();
+        let outer = r.histogram("outer", &[]);
+        let inner = r.histogram("inner", &[]);
+        {
+            let _o = outer.span();
+            clock.advance_nanos(100);
+            {
+                let _i = inner.span();
+                clock.advance_nanos(50);
+            }
+            clock.advance_nanos(100);
+        }
+        assert_eq!(inner.snapshot().sum_nanos, 50);
+        assert_eq!(outer.snapshot().sum_nanos, 250);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let (r, clock) = manual_registry();
+        let h = r.histogram("op", &[]);
+        let out = h.time(|| {
+            clock.advance_nanos(42);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(h.snapshot().sum_nanos, 42);
+    }
+}

@@ -172,9 +172,9 @@ pub fn run_load<T: PortalTarget>(target: &T, config: &LoadConfig) -> LoadReport 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
     use std::collections::HashSet;
     use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Counts fetches and which queries were repeats.
     struct CountingTarget {
@@ -192,7 +192,7 @@ mod tests {
     impl PortalConn for CountingConn {
         fn fetch(&mut self, query: &str) -> Result<(), String> {
             self.total.fetch_add(1, Ordering::SeqCst);
-            if !self.seen.lock().insert(query.to_string()) {
+            if !self.seen.lock().unwrap().insert(query.to_string()) {
                 self.hits.fetch_add(1, Ordering::SeqCst);
             }
             Ok(())

@@ -6,8 +6,8 @@
 //! why caching them would be wrong.
 
 use crate::dispatch::SoapService;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
 use wsrc_cache::policy::{CachePolicy, OperationPolicy};
 use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
@@ -216,7 +216,7 @@ impl SoapService for AmazonService {
             .param("item")
             .and_then(Value::as_str)
             .map(str::to_string);
-        let mut carts = self.carts.lock();
+        let mut carts = self.carts.lock().unwrap();
         let items = carts.entry(cart_id.clone()).or_default();
         match op {
             "GetShoppingCart" | "GetTransactionDetails" => {}

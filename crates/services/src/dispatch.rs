@@ -1,9 +1,9 @@
 //! SOAP dispatcher: hosts [`SoapService`] implementations on the HTTP
 //! server, handling envelope parsing, routing and fault serialization.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, SystemTime};
 use wsrc_http::cache_control::{not_modified_since, stamp_validators};
 use wsrc_http::{Handler, Method, Request, Response, Status};
@@ -85,7 +85,7 @@ impl SoapDispatcher {
     /// requests receive full responses again.
     pub fn touch(&self, now: SystemTime) {
         if let Some(v) = &self.validation {
-            *v.last_modified.lock() = now;
+            *v.last_modified.lock().unwrap() = now;
         }
     }
 
@@ -115,7 +115,7 @@ impl SoapDispatcher {
         // The §3.2 conditional-request handshake: unchanged data answers
         // `304 Not Modified` without executing the service at all.
         if let Some(v) = &self.validation {
-            let last_modified = *v.last_modified.lock();
+            let last_modified = *v.last_modified.lock().unwrap();
             if not_modified_since(request, last_modified) {
                 return Response::not_modified();
             }
@@ -142,9 +142,11 @@ impl SoapDispatcher {
                         let resp =
                             Response::ok(wsrc_soap::envelope::CONTENT_TYPE, xml.into_bytes());
                         match &self.validation {
-                            Some(v) => {
-                                stamp_validators(resp, *v.last_modified.lock(), Some(v.max_age))
-                            }
+                            Some(v) => stamp_validators(
+                                resp,
+                                *v.last_modified.lock().unwrap(),
+                                Some(v.max_age),
+                            ),
                             None => resp,
                         }
                     }

@@ -14,6 +14,22 @@ use crate::escape::unescape;
 use crate::event::{Attribute, SaxEvent, SaxEventSequence};
 use crate::name::QName;
 use crate::sax::ContentHandler;
+use std::sync::OnceLock;
+use wsrc_obs::Histogram;
+
+/// Whole-document parse timers in the process-wide metrics registry,
+/// `wsrc_xml_parse_seconds{op=…}`. Initialised once; recording is
+/// lock-free afterwards. Per-event `next_event` calls are deliberately
+/// not timed — only the whole-document entry points.
+fn parse_timer(op: &'static str) -> &'static Histogram {
+    static READ_ALL: OnceLock<Histogram> = OnceLock::new();
+    static PARSE_INTO: OnceLock<Histogram> = OnceLock::new();
+    let cell = match op {
+        "read-all" => &READ_ALL,
+        _ => &PARSE_INTO,
+    };
+    cell.get_or_init(|| wsrc_obs::global().histogram("wsrc_xml_parse_seconds", &[("op", op)]))
+}
 
 /// A streaming XML pull parser.
 ///
@@ -71,6 +87,7 @@ impl<'x> XmlReader<'x> {
     ///
     /// Returns the first syntax or well-formedness error encountered.
     pub fn read_all(mut self) -> Result<Vec<SaxEvent>, XmlError> {
+        let _span = parse_timer("read-all").span();
         let mut events = Vec::new();
         while let Some(e) = self.next_event()? {
             events.push(e);
@@ -97,6 +114,7 @@ impl<'x> XmlReader<'x> {
         mut self,
         handler: &mut H,
     ) -> Result<(), ParseIntoError<H::Error>> {
+        let _span = parse_timer("parse-into").span();
         while let Some(event) = self.next_event().map_err(ParseIntoError::Parse)? {
             crate::sax::dispatch(handler, &event).map_err(ParseIntoError::Handler)?;
         }

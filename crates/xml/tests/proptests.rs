@@ -1,85 +1,91 @@
-//! Property-based tests for the XML substrate: arbitrary documents survive
-//! write→parse and parse→rewrite round-trips, and SAX recording is
+//! Randomized round-trip tests for the XML substrate: generated documents
+//! survive write→parse and parse→rewrite round-trips, and SAX recording is
 //! equivalent to direct parsing.
+//!
+//! The build environment is offline (no `proptest`), so these use a
+//! hand-rolled deterministic xorshift generator with fixed seeds —
+//! failures reproduce exactly by seed.
 
-use proptest::prelude::*;
 use wsrc_xml::dom::{Document, Element, Node};
 use wsrc_xml::escape::{escape_attribute, escape_text, unescape};
 use wsrc_xml::reader::XmlReader;
 use wsrc_xml::sax::Recorder;
 
-/// Text without NUL or other control chars XML 1.0 forbids.
-fn xml_text() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            // Mostly printable ASCII including the characters that need escaping.
-            proptest::char::range(' ', '~'),
-            Just('&'),
-            Just('<'),
-            Just('>'),
-            Just('"'),
-            Just('\''),
-            proptest::char::range('\u{a0}', '\u{2ff}'),
-            Just('日'),
-        ],
-        0..40,
-    )
-    .prop_map(|cs| cs.into_iter().collect())
-}
+const CASES: u64 = 256;
 
-fn xml_name() -> impl Strategy<Value = String> {
-    "[A-Za-z_][A-Za-z0-9_.-]{0,8}"
-}
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
 
-fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (
-        xml_name(),
-        proptest::collection::vec((xml_name(), xml_text()), 0..3),
-        xml_text(),
-    )
-        .prop_map(|(name, attrs, text)| {
-            let mut e = Element::new(&name);
-            for (an, av) in attrs {
-                if e.attribute(&an).is_none() {
-                    e = e.with_attr(an, av);
-                }
-            }
-            if !text.is_empty() {
-                e = e.with_text(text);
-            }
-            e
-        });
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        (
-            xml_name(),
-            proptest::collection::vec((xml_name(), xml_text()), 0..3),
-            proptest::collection::vec(arb_element(depth - 1), 0..4),
-            xml_text(),
-        )
-            .prop_map(|(name, attrs, children, text)| {
-                let mut e = Element::new(&name);
-                for (an, av) in attrs {
-                    if e.attribute(&an).is_none() {
-                        e = e.with_attr(an, av);
-                    }
-                }
-                if !text.is_empty() {
-                    e = e.with_text(text);
-                }
-                for c in children {
-                    e = e.with_child(c);
-                }
-                e
-            })
-            .boxed()
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, choices: &[T]) -> T {
+        choices[self.below(choices.len())]
     }
 }
 
-/// Normalizes a tree the way parsing normalizes it: adjacent text children
-/// merged (our builders never create adjacent text, so this is identity,
-/// but keep it for robustness) and nothing else.
+/// Text without NUL or other control chars XML 1.0 forbids; biased
+/// toward the characters that need escaping.
+fn xml_text(rng: &mut Rng) -> String {
+    let specials = ['&', '<', '>', '"', '\'', '\u{a0}', '\u{2ff}', '日'];
+    let n = rng.below(40);
+    (0..n)
+        .map(|_| {
+            if rng.below(4) == 0 {
+                rng.pick(&specials)
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            }
+        })
+        .collect()
+}
+
+fn xml_name(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.-";
+    let mut s = String::new();
+    s.push(FIRST[rng.below(FIRST.len())] as char);
+    for _ in 0..rng.below(9) {
+        s.push(REST[rng.below(REST.len())] as char);
+    }
+    s
+}
+
+fn arb_element(rng: &mut Rng, depth: u32) -> Element {
+    let mut e = Element::new(&xml_name(rng));
+    for _ in 0..rng.below(3) {
+        let an = xml_name(rng);
+        if e.attribute(&an).is_none() {
+            e = e.with_attr(an, xml_text(rng));
+        }
+    }
+    let text = xml_text(rng);
+    if !text.is_empty() {
+        e = e.with_text(text);
+    }
+    if depth > 0 {
+        for _ in 0..rng.below(4) {
+            e = e.with_child(arb_element(rng, depth - 1));
+        }
+    }
+    e
+}
+
 fn assert_tree_equivalent(a: &Element, b: &Element) {
     assert_eq!(a.name, b.name);
     assert_eq!(a.attributes, b.attributes);
@@ -97,65 +103,100 @@ fn assert_tree_equivalent(a: &Element, b: &Element) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn escape_text_roundtrips(s in xml_text()) {
+#[test]
+fn escape_text_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let s = xml_text(&mut rng);
         let escaped = escape_text(&s).into_owned();
         let unescaped = unescape(&escaped).unwrap().into_owned();
-        prop_assert_eq!(unescaped, s);
+        assert_eq!(unescaped, s, "seed {seed}");
     }
+}
 
-    #[test]
-    fn escape_attribute_roundtrips(s in xml_text()) {
+#[test]
+fn escape_attribute_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 1000);
+        let s = xml_text(&mut rng);
         let escaped = escape_attribute(&s).into_owned();
         let unescaped = unescape(&escaped).unwrap().into_owned();
-        prop_assert_eq!(unescaped, s);
+        assert_eq!(unescaped, s, "seed {seed}");
     }
+}
 
-    #[test]
-    fn dom_write_parse_roundtrip(root in arb_element(3)) {
+#[test]
+fn dom_write_parse_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 2000);
+        let root = arb_element(&mut rng, 3);
         let xml = root.to_xml();
-        let doc = Document::parse(&xml).unwrap();
+        let doc = Document::parse(&xml).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_tree_equivalent(&doc.root, &root);
     }
+}
 
-    #[test]
-    fn sax_record_equals_direct_parse(root in arb_element(3)) {
+#[test]
+fn sax_record_equals_direct_parse() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 3000);
+        let root = arb_element(&mut rng, 3);
         let xml = root.to_xml();
         let direct = XmlReader::new(&xml).read_sequence().unwrap();
         let mut rec = Recorder::new();
         XmlReader::new(&xml).parse_into(&mut rec).unwrap();
-        prop_assert_eq!(rec.into_sequence(), direct);
+        assert_eq!(rec.into_sequence(), direct, "seed {seed}");
     }
+}
 
-    #[test]
-    fn replayed_events_rebuild_same_document(root in arb_element(3)) {
+#[test]
+fn replayed_events_rebuild_same_document() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 4000);
+        let root = arb_element(&mut rng, 3);
         let xml = root.to_xml();
         let seq = XmlReader::new(&xml).read_sequence().unwrap();
         let from_events = Document::from_events(&seq).unwrap();
         let from_text = Document::parse(&xml).unwrap();
-        prop_assert_eq!(from_events, from_text);
+        assert_eq!(from_events, from_text, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rewritten_xml_reparses_identically(root in arb_element(3)) {
+#[test]
+fn rewritten_xml_reparses_identically() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 5000);
+        let root = arb_element(&mut rng, 3);
         let xml = root.to_xml();
         let seq = XmlReader::new(&xml).read_sequence().unwrap();
         let rewritten = wsrc_xml::writer::events_to_string(seq.iter()).unwrap();
         let seq2 = XmlReader::new(&rewritten).read_sequence().unwrap();
-        prop_assert_eq!(seq, seq2);
+        assert_eq!(seq, seq2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 6000);
+        let n = rng.below(200);
+        let s: String = (0..n)
+            .map(|_| char::from_u32(rng.next() as u32 % 0x400).unwrap_or('?'))
+            .collect();
         // Errors are fine; panics or hangs are not.
         let _ = XmlReader::new(&s).read_all();
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_tag_soup(s in "[<>&;'\"= a-z!?/\\[\\]-]{0,120}") {
+#[test]
+fn parser_never_panics_on_tag_soup() {
+    const SOUP: &[u8] = b"<>&;'\"= abcdefghijklmnopqrstuvwxyz!?/[]-";
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 7000);
+        let n = rng.below(120);
+        let s: String = (0..n)
+            .map(|_| SOUP[rng.below(SOUP.len())] as char)
+            .collect();
         let _ = XmlReader::new(&s).read_all();
     }
 }

@@ -109,6 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "total requests that reached the server: {}",
         server.requests_served()
     );
+    println!("stats as JSON: {}", stats.to_json());
 
     // Cached entries expire after the per-operation TTL (1h by default
     // for Google operations per §3.2) — long enough for this demo.

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, workspace tests, formatting.
+# The workspace has no external dependencies, so this runs without
+# network access; CARGO_NET_OFFLINE makes that explicit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+
+echo "verify: build, tests, and formatting all clean"

@@ -8,6 +8,7 @@ pub use wsrc_cache as cache;
 pub use wsrc_client as client;
 pub use wsrc_http as http;
 pub use wsrc_model as model;
+pub use wsrc_obs as obs;
 pub use wsrc_portal as portal;
 pub use wsrc_services as services;
 pub use wsrc_soap as soap;

@@ -4,7 +4,6 @@
 //! every operation.
 
 use std::sync::Arc;
-use std::time::Duration;
 use wsrcache::cache::{KeyStrategy, ResponseCache};
 use wsrcache::client::{Disposition, ServiceClient};
 use wsrcache::http::{InProcTransport, Url};

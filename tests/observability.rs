@@ -1,0 +1,191 @@
+//! End-to-end observability: the portal stack (dummy Google backend →
+//! SOAP dispatch → caching client middleware) recorded into a metrics
+//! registry, exposed over `GET /metrics`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsrcache::cache::{FixedSelector, KeyStrategy, ResponseCache, ValueRepresentation};
+use wsrcache::client::{Disposition, ServiceClient};
+use wsrcache::http::{
+    Handler, HttpClient, InProcTransport, MetricsRoute, Request, Response, Server, Url,
+};
+use wsrcache::obs::{ManualClock, MetricsRegistry};
+use wsrcache::services::google::{self, GoogleService};
+use wsrcache::services::SoapDispatcher;
+use wsrcache::soap::RpcRequest;
+
+fn portal_client(
+    registry: &Arc<MetricsRegistry>,
+    label: &str,
+    repr: ValueRepresentation,
+    clock: &ManualClock,
+) -> ServiceClient {
+    let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
+    let transport = Arc::new(InProcTransport::new(Arc::new(dispatcher)));
+    let cache = Arc::new(
+        ResponseCache::builder(google::registry())
+            .cache_everything(Duration::from_secs(60))
+            .key_strategy(KeyStrategy::ToString)
+            .selector(FixedSelector(repr))
+            .clock(clock.handle())
+            .metrics(registry.clone())
+            .metrics_label(label)
+            .build(),
+    );
+    ServiceClient::builder(Url::new("g.test", 80, google::PATH), transport)
+        .registry(google::registry())
+        .operations(google::operations())
+        .cache(cache)
+        .build()
+}
+
+fn spelling(phrase: &str) -> RpcRequest {
+    RpcRequest::new(google::NAMESPACE, "doSpellingSuggestion")
+        .with_param("key", "k")
+        .with_param("phrase", phrase)
+}
+
+#[test]
+fn per_representation_hit_counters_accumulate_end_to_end() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let clock = ManualClock::new();
+    let client = portal_client(&registry, "e2e", ValueRepresentation::DomTree, &clock);
+
+    // 3 distinct queries, each asked 3 times: 3 misses, 6 hits.
+    for _round in 0..3 {
+        for phrase in ["alpha", "beta", "gamma"] {
+            client.invoke(&spelling(phrase)).expect("call");
+        }
+    }
+
+    let snap = registry.snapshot();
+    let e2e = ("cache", "e2e");
+    assert_eq!(
+        snap.counter_value("wsrc_cache_hits_total", &[e2e, ("repr", "dom-tree")]),
+        Some(6)
+    );
+    // Hits under any other representation stay zero.
+    for repr in ValueRepresentation::ALL_EXTENDED {
+        if repr != ValueRepresentation::DomTree {
+            assert_eq!(
+                snap.counter_value(
+                    "wsrc_cache_hits_total",
+                    &[e2e, ("repr", repr.metric_label())]
+                ),
+                Some(0),
+                "{repr}"
+            );
+        }
+    }
+    assert_eq!(
+        snap.counter_value("wsrc_cache_misses_total", &[e2e]),
+        Some(3)
+    );
+    assert_eq!(
+        snap.counter_value("wsrc_cache_inserts_total", &[e2e, ("repr", "dom-tree")]),
+        Some(3)
+    );
+    // Every hit retrieved through the DOM-tree path, and each of the 9
+    // lookups recorded a latency sample.
+    let retrieve = snap
+        .histogram("wsrc_cache_retrieve_seconds", &[e2e, ("repr", "dom-tree")])
+        .expect("retrieve histogram");
+    assert_eq!(retrieve.count, 6);
+    let lookup = snap
+        .histogram("wsrc_cache_stage_seconds", &[e2e, ("stage", "lookup")])
+        .expect("lookup histogram");
+    assert_eq!(lookup.count, 9);
+}
+
+#[test]
+fn expired_lookups_count_as_expired_and_missed() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let clock = ManualClock::new();
+    let client = portal_client(&registry, "ttl", ValueRepresentation::SaxEvents, &clock);
+
+    let (_, d1) = client.invoke(&spelling("stale")).expect("prime");
+    assert_eq!(d1, Disposition::CacheMiss);
+    clock.advance_millis(61_000);
+    let (_, d2) = client.invoke(&spelling("stale")).expect("refetch");
+    assert_eq!(d2, Disposition::CacheMiss);
+
+    let snap = registry.snapshot();
+    let ttl = ("cache", "ttl");
+    // The expired lookup shows up in BOTH counters: `expired` records
+    // why the entry was unusable, `misses` records that the caller had
+    // to perform the exchange.
+    assert_eq!(
+        snap.counter_value("wsrc_cache_expired_total", &[ttl]),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter_value("wsrc_cache_misses_total", &[ttl]),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter_value("wsrc_cache_hits_total", &[ttl, ("repr", "sax-events")]),
+        Some(0)
+    );
+}
+
+#[test]
+fn metrics_endpoint_exposes_the_full_pipeline() {
+    // The cache records into the process-wide registry here (the
+    // default), because the XML/model/client stage histograms live
+    // there; a unique label keeps this test's counters identifiable.
+    let clock = ManualClock::new();
+    let dispatcher = SoapDispatcher::new().mount(google::PATH, Arc::new(GoogleService::new()));
+    let transport = Arc::new(InProcTransport::new(Arc::new(dispatcher)));
+    let cache = Arc::new(
+        ResponseCache::builder(google::registry())
+            .cache_everything(Duration::from_secs(60))
+            .key_strategy(KeyStrategy::ToString)
+            .selector(FixedSelector(ValueRepresentation::Serialization))
+            .clock(clock.handle())
+            .metrics_label("exposed")
+            .build(),
+    );
+    let client = ServiceClient::builder(Url::new("g.test", 80, google::PATH), transport)
+        .registry(google::registry())
+        .operations(google::operations())
+        .cache(cache.clone())
+        .build();
+    for _ in 0..2 {
+        client.invoke(&spelling("prometheus")).expect("call");
+    }
+
+    let app: Arc<dyn Handler> =
+        Arc::new(|_req: &Request| Response::ok("text/plain", b"portal".to_vec()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(MetricsRoute::with_registry(cache.metrics().clone(), app)),
+    )
+    .expect("bind");
+    let body = HttpClient::new()
+        .get(&Url::new("127.0.0.1", server.port(), "/metrics"))
+        .expect("GET /metrics")
+        .body_text()
+        .into_owned();
+
+    // Per-representation hit/miss counters…
+    assert!(
+        body.contains("wsrc_cache_hits_total{cache=\"exposed\",repr=\"serialization\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("wsrc_cache_misses_total{cache=\"exposed\"} 1"),
+        "{body}"
+    );
+    // …and the parse/deserialize/copy stage histograms from the layers
+    // below the cache (global registry; other tests may add samples, so
+    // presence is asserted rather than exact counts).
+    for metric in [
+        "# TYPE wsrc_xml_parse_seconds histogram",
+        "# TYPE wsrc_model_serialize_seconds histogram",
+        "# TYPE wsrc_model_deserialize_seconds histogram",
+        "wsrc_client_stage_seconds_bucket{stage=\"transport\"",
+        "wsrc_cache_retrieve_seconds_bucket{cache=\"exposed\",repr=\"serialization\"",
+    ] {
+        assert!(body.contains(metric), "missing {metric} in:\n{body}");
+    }
+}
