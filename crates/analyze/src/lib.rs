@@ -1,0 +1,157 @@
+//! `wsrc-analyze`: dependency-free static analysis for the wsrcache
+//! workspace.
+//!
+//! The paper's "optimal configuration" (§6) is only sound under
+//! invariants `rustc` cannot see — deep immutability of pass-by-reference
+//! cache values, acquire/release discipline around coalescing state,
+//! clock injection, panic-freedom on the hot path, and lock ordering.
+//! This crate enforces them as five named rules over a hand-rolled token
+//! model, with zero external dependencies so the workspace keeps building
+//! offline. See `README.md` for the suppression syntax and JSON schema.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{Diagnostic, RULES};
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during a workspace walk.
+/// `corpus` is excluded here so fixtures don't fail the workspace gate,
+/// but an explicitly named corpus path *is* scanned (that is how the
+/// fixture tests exercise the rules).
+const SKIP_DIRS: &[&str] = &["target", "corpus", ".git"];
+
+/// Collects every `.rs` file under `root` (or `root` itself if it is a
+/// file), sorted for deterministic output.
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    if root.is_file() {
+        if root.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(root.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if child.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&child, out);
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+}
+
+/// Analyzes every `.rs` file reachable from `paths` and returns the
+/// unsuppressed diagnostics, sorted by path and line. Unreadable files
+/// are skipped.
+pub fn analyze_paths(paths: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    for root in paths {
+        collect_rs_files(root, &mut files);
+    }
+    files.sort();
+    files.dedup();
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            Some(SourceFile::parse(&p.display().to_string(), &text))
+        })
+        .collect();
+    rules::run(&sources)
+}
+
+/// Renders diagnostics in the human-readable single-line format.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: [{}/{}] {}\n",
+            d.path, d.line, d.code, d.rule, d.message
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("wsrc-analyze: no violations\n");
+    } else {
+        out.push_str(&format!("wsrc-analyze: {} violation(s)\n", diags.len()));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as the stable JSON schema documented in
+/// `README.md` (`{"version":1,"violations":[...],"count":N}`).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"violations\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}\n", diags.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let diags = vec![Diagnostic {
+            code: "R4",
+            rule: "panic-freedom",
+            path: "a\\b\"c.rs".to_string(),
+            line: 7,
+            message: "line1\nline2".to_string(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"path\":\"a\\\\b\\\"c.rs\""));
+        assert!(json.contains("\"message\":\"line1\\nline2\""));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_reports_render_cleanly() {
+        assert!(render_text(&[]).contains("no violations"));
+        assert_eq!(
+            render_json(&[]),
+            "{\"version\":1,\"violations\":[],\"count\":0}\n"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! wsrc-analyze [PATH ...] [--format text|json] [--deny]
+//! ```
+//!
+//! With no paths, scans the current directory. `--deny` exits non-zero
+//! when any violation (or malformed suppression) is found — this is the
+//! mode `scripts/verify.sh` runs as a tier-1 gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: wsrc-analyze [PATH ...] [--format text|json] [--deny]");
+    eprintln!();
+    eprintln!("rules:");
+    for (code, id, summary) in wsrc_analyze::RULES {
+        eprintln!("  {code} {id:<18} {summary}");
+    }
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut format = Format::Text;
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+
+    let diags = wsrc_analyze::analyze_paths(&paths);
+    let rendered = match format {
+        Format::Text => wsrc_analyze::render_text(&diags),
+        Format::Json => wsrc_analyze::render_json(&diags),
+    };
+    print!("{rendered}");
+
+    if deny && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,551 @@
+//! The five workspace invariants, R1–R5.
+//!
+//! Each rule maps a paper-level soundness condition to a mechanical
+//! check over the token-level source model (see `DESIGN.md` §7 for the
+//! paper mapping):
+//!
+//! - **R1 `repr-safety`** — types reachable from the pass-by-reference
+//!   value graph must not contain interior mutability.
+//! - **R2 `relaxed-ordering`** — `Ordering::Relaxed` only in allowlisted
+//!   observability counter code.
+//! - **R3 `clock-discipline`** — no `Instant::now` / `SystemTime::now`
+//!   outside the `Clock` implementations.
+//! - **R4 `panic-freedom`** — no `.unwrap()` / `.expect()` in non-test
+//!   code of the `core`, `client` and `http` crates.
+//! - **R5 `lock-ordering`** — no nested lock acquisition inside one
+//!   function body.
+
+use crate::scan::SourceFile;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A rule violation (or malformed suppression) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Short code (`R1`…`R5`, `S0` for suppression syntax errors).
+    pub code: &'static str,
+    /// Stable rule id, also the `wsrc-allow` key.
+    pub rule: &'static str,
+    /// File path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// `(code, id, summary)` for every rule, in order.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "R1",
+        "repr-safety",
+        "no interior mutability in types reachable from pass-by-reference cache values",
+    ),
+    (
+        "R2",
+        "relaxed-ordering",
+        "Ordering::Relaxed only in allowlisted observability counter code",
+    ),
+    (
+        "R3",
+        "clock-discipline",
+        "no Instant::now / SystemTime::now outside the Clock implementations",
+    ),
+    (
+        "R4",
+        "panic-freedom",
+        "no unwrap()/expect() in non-test code of core, client and http",
+    ),
+    (
+        "R5",
+        "lock-ordering",
+        "no nested lock acquisition within one function body",
+    ),
+];
+
+/// Root types of the pass-by-reference sharing graph: the value tree the
+/// cache may hand to the application without copying, and the stored
+/// entry that wraps it.
+const R1_ROOTS: &[&str] = &["Value", "StructValue", "StoredResponse", "ValueHandle"];
+
+/// Interior-mutability carriers: presence of any of these in a type
+/// reachable from a shared cache value breaks the deep-immutability
+/// premise of pass-by-reference (paper §6 rule a / §4.2.4).
+const INTERIOR_MUTABILITY: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "SyncUnsafeCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "OnceLock",
+    "LazyLock",
+    "AtomicBool",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicPtr",
+];
+
+/// Files whose `Ordering::Relaxed` uses are the documented allowlist:
+/// the lock-free metrics counters in `wsrc-obs` (monotonic counters read
+/// only for exposition — no cross-thread ordering is derived from them).
+const R2_ALLOWLIST: &[&str] = &["crates/obs/src/metrics.rs"];
+
+/// The only files allowed to call `Instant::now` / `SystemTime::now`:
+/// the `Clock` trait implementations everything else injects.
+const R3_ALLOWLIST: &[&str] = &["crates/obs/src/clock.rs"];
+
+/// Crates whose non-test code must be panic-free (hot path of every
+/// cached call).
+const R4_SCOPE: &[&str] = &["crates/core/src/", "crates/client/src/", "crates/http/src/"];
+
+fn path_in(path: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| path.contains(n))
+}
+
+/// Runs every rule over `files` and returns unsuppressed diagnostics,
+/// sorted by path and line. Malformed suppressions are always reported.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rule_repr_safety(files, &mut diags);
+    for file in files {
+        rule_relaxed_ordering(file, &mut diags);
+        rule_clock_discipline(file, &mut diags);
+        rule_panic_freedom(file, &mut diags);
+        rule_lock_ordering(file, &mut diags);
+        for (line, why) in &file.malformed_suppressions {
+            diags.push(Diagnostic {
+                code: "S0",
+                rule: "suppression",
+                path: file.path.clone(),
+                line: *line,
+                message: format!("malformed wsrc-allow comment: {why}"),
+            });
+        }
+    }
+    // Apply suppressions (S0 is never suppressible).
+    let by_path: HashMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    diags.retain(|d| {
+        d.code == "S0"
+            || !by_path
+                .get(d.path.as_str())
+                .map(|f| f.is_suppressed(d.rule, d.line))
+                .unwrap_or(false)
+    });
+    diags.sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+    diags
+}
+
+/// R1: build the name-keyed type graph from non-test declarations, walk
+/// it from the pass-by-reference roots, and flag interior mutability in
+/// any reachable declaration.
+fn rule_repr_safety(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    let mut graph: HashMap<&str, Vec<(&SourceFile, &crate::scan::TypeDecl)>> = HashMap::new();
+    for file in files {
+        for decl in &file.types {
+            if !decl.in_test {
+                graph
+                    .entry(decl.name.as_str())
+                    .or_default()
+                    .push((file, decl));
+            }
+        }
+    }
+    let mut queue: VecDeque<&str> = R1_ROOTS.iter().copied().collect();
+    let mut seen: HashSet<&str> = queue.iter().copied().collect();
+    while let Some(name) = queue.pop_front() {
+        let Some(decls) = graph.get(name) else {
+            continue;
+        };
+        for (file, decl) in decls {
+            for (line, referent) in &decl.refs {
+                if INTERIOR_MUTABILITY.contains(&referent.as_str()) {
+                    diags.push(Diagnostic {
+                        code: "R1",
+                        rule: "repr-safety",
+                        path: file.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "`{referent}` inside `{name}`, which is reachable from a \
+                             pass-by-reference cache value; interior mutability breaks \
+                             the deep-immutability premise of shared cache entries"
+                        ),
+                    });
+                } else if graph.contains_key(referent.as_str()) && seen.insert(referent) {
+                    queue.push_back(referent);
+                }
+            }
+        }
+    }
+}
+
+/// R2: any `Relaxed` identifier outside the allowlist.
+fn rule_relaxed_ordering(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && path_in(&file.path, R2_ALLOWLIST) {
+        return;
+    }
+    for t in &file.tokens {
+        if t.is_ident("Relaxed") {
+            diags.push(Diagnostic {
+                code: "R2",
+                rule: "relaxed-ordering",
+                path: file.path.clone(),
+                line: t.line,
+                message: "Ordering::Relaxed outside the allowlisted wsrc-obs counters; \
+                          coalescing and cache state need acquire/release or stronger"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R3: `Instant::now` / `SystemTime::now` outside the Clock impls.
+fn rule_clock_discipline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && path_in(&file.path, R3_ALLOWLIST) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        let source = &toks[i];
+        if !(source.is_ident("Instant") || source.is_ident("SystemTime")) {
+            continue;
+        }
+        if toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':') && toks[i + 3].is_ident("now") {
+            diags.push(Diagnostic {
+                code: "R3",
+                rule: "clock-discipline",
+                path: file.path.clone(),
+                line: source.line,
+                message: format!(
+                    "raw `{}::now()` bypasses the swappable Clock; inject a \
+                     `wsrc_obs::Clock` so timing is testable under the fake clock",
+                    source.text
+                ),
+            });
+        }
+    }
+}
+
+/// R4: `.unwrap()` / `.expect(` in non-test code of the scoped crates.
+fn rule_panic_freedom(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && !path_in(&file.path, R4_SCOPE) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 1..toks.len().saturating_sub(1) {
+        let t = &toks[i];
+        let is_panicky = t.is_ident("unwrap") || t.is_ident("expect");
+        if !is_panicky || !toks[i - 1].is_punct('.') || !toks[i + 1].is_punct('(') {
+            continue;
+        }
+        if file.in_test(t.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            code: "R4",
+            rule: "panic-freedom",
+            path: file.path.clone(),
+            line: t.line,
+            message: format!(
+                "`.{}()` on the cache hot path; propagate a CacheError/ClientError \
+                 (or recover from lock poisoning via wsrc_obs::sync)",
+                t.text
+            ),
+        });
+    }
+}
+
+/// One live lock guard inside the R5 walker.
+struct Guard {
+    name: Option<String>,
+    depth: usize,
+    line: u32,
+}
+
+/// R5: walk each non-test function body and flag a lock acquisition
+/// while another guard may still be held. A guard is born from a
+/// `let g = …lock(…)…;` statement (live until its block closes or
+/// `drop(g)`), from a `match`/`if`/`while` scrutinee containing a lock
+/// (live for the following block), and a second lock inside one
+/// statement is flagged directly.
+fn rule_lock_ordering(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for span in &file.fns {
+        if !file.is_corpus && file.in_test(span.line) {
+            continue;
+        }
+        walk_fn_for_locks(file, span, diags);
+    }
+}
+
+fn is_lock_call(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.tokens;
+    if !toks[i].is_ident("lock") {
+        return false;
+    }
+    let called = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
+    if !called || i == 0 {
+        return false;
+    }
+    let prev_dot = toks[i - 1].is_punct('.');
+    let prev_path = i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+    prev_dot || prev_path
+}
+
+fn walk_fn_for_locks(file: &SourceFile, span: &crate::scan::FnSpan, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let (open, close) = span.body;
+    let mut depth = 1usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    // Per-statement state.
+    let mut stmt_is_let = false;
+    let mut stmt_head: Option<String> = None; // first ident of the statement
+    let mut let_name: Option<String> = None;
+    let mut stmt_lock_line: Option<u32> = None;
+
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match t.kind {
+            crate::lexer::TokenKind::Punct('{') => {
+                depth += 1;
+                // `match x.lock() { …` — the scrutinee temporary lives for
+                // the whole block.
+                if stmt_lock_line.is_some()
+                    && matches!(stmt_head.as_deref(), Some("match" | "if" | "while" | "for"))
+                {
+                    guards.push(Guard {
+                        name: None,
+                        depth,
+                        line: stmt_lock_line.unwrap_or(t.line),
+                    });
+                }
+                stmt_is_let = false;
+                stmt_head = None;
+                let_name = None;
+                stmt_lock_line = None;
+            }
+            crate::lexer::TokenKind::Punct('}') => {
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                stmt_is_let = false;
+                stmt_head = None;
+                let_name = None;
+                stmt_lock_line = None;
+            }
+            crate::lexer::TokenKind::Punct(';') => {
+                if stmt_is_let && stmt_lock_line.is_some() {
+                    guards.push(Guard {
+                        name: let_name.clone(),
+                        depth,
+                        line: stmt_lock_line.unwrap_or(t.line),
+                    });
+                }
+                stmt_is_let = false;
+                stmt_head = None;
+                let_name = None;
+                stmt_lock_line = None;
+            }
+            crate::lexer::TokenKind::Ident => {
+                if stmt_head.is_none() {
+                    stmt_head = Some(t.text.clone());
+                    if t.text == "let" {
+                        stmt_is_let = true;
+                    }
+                } else if stmt_is_let && let_name.is_none() && t.text != "mut" {
+                    let_name = Some(t.text.clone());
+                }
+                // `drop(g)` releases g's guard early.
+                if t.is_ident("drop") && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+                    if let Some(victim) = toks.get(i + 2) {
+                        if victim.kind == crate::lexer::TokenKind::Ident
+                            && toks.get(i + 3).map(|n| n.is_punct(')')).unwrap_or(false)
+                        {
+                            guards.retain(|g| g.name.as_deref() != Some(victim.text.as_str()));
+                        }
+                    }
+                }
+                if is_lock_call(file, i) {
+                    if let Some(held) = guards.first() {
+                        diags.push(Diagnostic {
+                            code: "R5",
+                            rule: "lock-ordering",
+                            path: file.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "nested lock acquisition in `{}`: a guard taken on line {} \
+                                 may still be held (deadlock-prone lock ordering)",
+                                span.name, held.line
+                            ),
+                        });
+                    } else if let Some(first) = stmt_lock_line {
+                        diags.push(Diagnostic {
+                            code: "R5",
+                            rule: "lock-ordering",
+                            path: file.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "two lock acquisitions in one statement in `{}` \
+                                 (first on line {first}); both guards are alive at once",
+                                span.name
+                            ),
+                        });
+                    }
+                    if stmt_lock_line.is_none() {
+                        stmt_lock_line = Some(t.line);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn diags_for(path: &str, src: &str) -> Vec<Diagnostic> {
+        run(&[SourceFile::parse(path, src)])
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn r1_flags_interior_mutability_reachable_from_roots() {
+        let src = "pub enum Value { S(String), N(Node) }\n\
+                   pub struct Node { score: RefCell<f64> }";
+        let d = diags_for("crates/model/src/value.rs", src);
+        assert_eq!(codes(&d), ["R1"]);
+        assert!(d[0].message.contains("RefCell"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn r1_ignores_unreachable_and_test_types() {
+        let src = "pub struct Unrelated { m: Mutex<u8> }\n\
+                   pub enum Value { S(String) }\n\
+                   #[cfg(test)]\nmod tests { struct Value2 { c: Cell<u8> } }";
+        assert!(diags_for("crates/model/src/value.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_relaxed_outside_allowlist() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let d = diags_for("crates/core/src/stats.rs", src);
+        assert_eq!(codes(&d), ["R2"]);
+        assert!(diags_for("crates/obs/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_raw_clocks_outside_clock_impls() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let d = diags_for("crates/portal/src/loadgen.rs", src);
+        assert_eq!(codes(&d), ["R3", "R3"]);
+        assert!(diags_for("crates/obs/src/clock.rs", src).is_empty());
+        // Strings and comments never trigger.
+        let quiet = "fn f() { let s = \"Instant::now()\"; } // Instant::now()";
+        assert!(diags_for("crates/portal/src/loadgen.rs", quiet).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_unwrap_in_scoped_nontest_code_only() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn g(x: Option<u8>) { x.unwrap(); } }";
+        assert_eq!(codes(&diags_for("crates/core/src/cache.rs", src)), ["R4"]);
+        assert!(diags_for("crates/model/src/value.rs", src).is_empty());
+        // unwrap_or_else is not unwrap.
+        let ok = "fn f(x: Result<u8, u8>) { x.unwrap_or_else(|e| e); }";
+        assert!(diags_for("crates/core/src/cache.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_nested_let_guards() {
+        let src = "fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                   let ga = a.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   let gb = b.lock().unwrap_or_else(|e| e.into_inner());\n}";
+        let d = diags_for("crates/services/src/x.rs", src);
+        assert_eq!(codes(&d), ["R5"]);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn r5_allows_sequential_scoped_guards_and_drop() {
+        let seq = "fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                   { let ga = a.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+                   { let gb = b.lock().unwrap_or_else(|e| e.into_inner()); }\n}";
+        assert!(diags_for("crates/services/src/x.rs", seq).is_empty());
+        let dropped = "fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                   let ga = a.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   drop(ga);\n\
+                   let gb = b.lock().unwrap_or_else(|e| e.into_inner());\n}";
+        assert!(diags_for("crates/services/src/x.rs", dropped).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_match_scrutinee_guard_overlap() {
+        let src = "fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                   match a.lock() {\n\
+                   Ok(g) => { let h = b.lock(); }\n\
+                   Err(_) => {}\n}\n}";
+        assert_eq!(codes(&diags_for("crates/services/src/x.rs", src)), ["R5"]);
+    }
+
+    #[test]
+    fn r5_two_locks_in_one_statement() {
+        let src = "fn f(a: &Mutex<u8>, b: &Mutex<u8>) {\n\
+                   let s = *a.lock().unwrap_or_else(|e| e.into_inner())\n\
+                     + *b.lock().unwrap_or_else(|e| e.into_inner());\n}";
+        assert_eq!(codes(&diags_for("crates/services/src/x.rs", src)), ["R5"]);
+    }
+
+    #[test]
+    fn r5_per_iteration_guards_do_not_leak_out_of_loops() {
+        let src = "fn f(shards: &[Mutex<u8>], v: &Mutex<u8>) {\n\
+                   for s in shards { let g = s.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+                   let g2 = v.lock().unwrap_or_else(|e| e.into_inner());\n}";
+        assert!(diags_for("crates/services/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppressions_silence_matching_rule_with_reason() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // wsrc-allow(relaxed-ordering): monotonic counter, no ordering derived\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n}";
+        assert!(diags_for("crates/core/src/stats.rs", src).is_empty());
+        // Wrong rule id does not silence.
+        let wrong = "fn f(c: &AtomicU64) {\n\
+                   // wsrc-allow(panic-freedom): wrong rule\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n}";
+        assert_eq!(codes(&diags_for("crates/core/src/stats.rs", wrong)), ["R2"]);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported_and_do_not_silence() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // wsrc-allow(relaxed-ordering)\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n}";
+        let d = diags_for("crates/core/src/stats.rs", src);
+        assert_eq!(codes(&d), ["S0", "R2"]);
+    }
+
+    #[test]
+    fn corpus_files_are_in_scope_for_every_rule() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        let d = diags_for("crates/analyze/tests/corpus/r4_unwrap.rs", src);
+        assert_eq!(codes(&d), ["R4"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests: the `wsrc-analyze` binary against the fixture
+//! corpus, plus the workspace-is-clean gate.
+//!
+//! Every rule R1–R5 has at least one triggering and one clean fixture;
+//! the binary must exit non-zero under `--deny` for triggers and zero
+//! for clean files.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn corpus(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name)
+}
+
+/// Runs `wsrc-analyze --deny` on `paths`; returns (exit-ok, stdout).
+fn run_deny(paths: &[PathBuf], extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_wsrc-analyze"))
+        .arg("--deny")
+        .args(extra)
+        .args(paths)
+        .output()
+        .expect("spawn wsrc-analyze");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn assert_triggers(fixture: &str, code: &str) {
+    let (ok, stdout) = run_deny(&[corpus(fixture)], &[]);
+    assert!(!ok, "{fixture} must fail --deny; output:\n{stdout}");
+    assert!(
+        stdout.contains(&format!("[{code}/")),
+        "{fixture} must report {code}; output:\n{stdout}"
+    );
+}
+
+fn assert_clean(fixture: &str) {
+    let (ok, stdout) = run_deny(&[corpus(fixture)], &[]);
+    assert!(ok, "{fixture} must pass --deny; output:\n{stdout}");
+    assert!(stdout.contains("no violations"), "output:\n{stdout}");
+}
+
+#[test]
+fn r1_fixtures() {
+    assert_triggers("r1_trigger.rs", "R1");
+    assert_clean("r1_clean.rs");
+}
+
+#[test]
+fn r2_fixtures() {
+    assert_triggers("r2_trigger.rs", "R2");
+    assert_clean("r2_clean.rs");
+}
+
+#[test]
+fn r3_fixtures() {
+    assert_triggers("r3_trigger.rs", "R3");
+    assert_clean("r3_clean.rs");
+}
+
+#[test]
+fn r4_fixtures() {
+    assert_triggers("r4_trigger.rs", "R4");
+    assert_clean("r4_clean.rs");
+}
+
+#[test]
+fn r5_fixtures() {
+    assert_triggers("r5_trigger.rs", "R5");
+    assert_clean("r5_clean.rs");
+}
+
+#[test]
+fn suppression_fixtures() {
+    assert_clean("suppressed.rs");
+    // A reason-less wsrc-allow is reported (S0) and does not silence R2.
+    let (ok, stdout) = run_deny(&[corpus("bad_suppression.rs")], &[]);
+    assert!(!ok, "bad_suppression.rs must fail --deny");
+    assert!(stdout.contains("[S0/suppression]"), "output:\n{stdout}");
+    assert!(
+        stdout.contains("[R2/relaxed-ordering]"),
+        "output:\n{stdout}"
+    );
+}
+
+#[test]
+fn whole_corpus_fails_deny() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let (ok, stdout) = run_deny(&[dir], &[]);
+    assert!(!ok, "corpus as a whole must fail --deny");
+    for code in ["R1", "R2", "R3", "R4", "R5", "S0"] {
+        assert!(
+            stdout.contains(&format!("[{code}/")),
+            "expected {code} in corpus scan; output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let (ok, stdout) = run_deny(&[corpus("r4_trigger.rs")], &["--format", "json"]);
+    assert!(!ok);
+    assert!(stdout.starts_with("{\"version\":1,\"violations\":["));
+    assert!(stdout.contains("\"code\":\"R4\""));
+    assert!(stdout.contains("\"rule\":\"panic-freedom\""));
+    assert!(stdout.contains("\"line\":"));
+    assert!(stdout.trim_end().ends_with("\"count\":2}"));
+}
+
+/// The tier-1 gate: the workspace's own sources must be deny-clean.
+/// The walker skips `target/` and `corpus/` on descent, so this scans
+/// exactly what `scripts/verify.sh` gates.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let (ok, stdout) = run_deny(&[root.join("crates"), root.join("src")], &[]);
+    assert!(ok, "workspace must be deny-clean; output:\n{stdout}");
+}

@@ -1,0 +1,7 @@
+//! Trigger: a `wsrc-allow` without a reason is itself a diagnostic (S0)
+//! and does not silence the underlying violation.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // wsrc-allow(relaxed-ordering)
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+//! R1 clean: the root type is deeply immutable, and interior mutability
+//! in a type *not* reachable from any root is fine.
+
+pub struct StructValue {
+    pub type_name: String,
+    pub fields: Vec<(String, u64)>,
+}
+
+pub struct IsolatedRegistry {
+    pub hits: AtomicU64,
+}

@@ -1,0 +1,13 @@
+//! R1 trigger: interior mutability reachable from the `Value` root.
+//! `Value -> Node -> RefCell` breaks the deep-immutability premise of
+//! pass-by-reference cache entries.
+
+pub enum Value {
+    Null,
+    Node(Node),
+}
+
+pub struct Node {
+    pub label: String,
+    pub cached_len: RefCell<u64>,
+}

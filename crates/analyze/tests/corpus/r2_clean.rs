@@ -1,0 +1,5 @@
+//! R2 clean: sequentially-consistent ordering is always allowed.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,6 @@
+//! R2 trigger: `Ordering::Relaxed` outside the wsrc-obs counter
+//! allowlist.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

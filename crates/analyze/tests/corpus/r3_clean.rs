@@ -1,0 +1,6 @@
+//! R3 clean: time comes from an injected `Clock`, so tests can drive it
+//! with the fake.
+
+pub fn stamp(clock: &dyn Clock) -> u64 {
+    clock.now_millis()
+}

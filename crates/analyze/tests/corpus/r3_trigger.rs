@@ -1,0 +1,5 @@
+//! R3 trigger: raw clock reads bypass the swappable `Clock`.
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,6 @@
+//! R4 clean: errors are propagated or defaulted, never panicked on.
+
+pub fn first_byte(payload: Option<Vec<u8>>) -> Result<u8, CacheError> {
+    let bytes = payload.ok_or(CacheError::Missing)?;
+    Ok(bytes.first().copied().unwrap_or(0))
+}

@@ -1,0 +1,6 @@
+//! R4 trigger: panics on the hot path.
+
+pub fn first_byte(payload: Option<Vec<u8>>) -> u8 {
+    let bytes = payload.expect("payload must be present");
+    bytes.first().copied().unwrap()
+}

@@ -1,0 +1,22 @@
+//! R5 clean: guards are scoped so at most one lock is ever held.
+
+pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
+    {
+        let mut src = from.lock().unwrap_or_else(|e| e.into_inner());
+        *src -= amount;
+    }
+    {
+        let mut dst = to.lock().unwrap_or_else(|e| e.into_inner());
+        *dst += amount;
+    }
+}
+
+pub fn drain(shards: &[Mutex<u64>]) -> u64 {
+    let mut total = 0;
+    for shard in shards {
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        total += *guard;
+        *guard = 0;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+//! R5 trigger: the second guard is acquired while the first is held —
+//! the deadlock-prone shape the rule exists to catch.
+
+pub fn transfer(from: &Mutex<u64>, to: &Mutex<u64>, amount: u64) {
+    let mut src = from.lock().unwrap_or_else(|e| e.into_inner());
+    let mut dst = to.lock().unwrap_or_else(|e| e.into_inner());
+    *src -= amount;
+    *dst += amount;
+}

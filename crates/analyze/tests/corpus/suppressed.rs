@@ -1,0 +1,7 @@
+//! Clean because the violation carries a well-formed `wsrc-allow`
+//! suppression with a reason.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // wsrc-allow(relaxed-ordering): fixture demonstrating a well-formed suppression
+    counter.fetch_add(1, Ordering::Relaxed)
+}

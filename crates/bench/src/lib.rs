@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Benchmark harness reproducing every table and figure of the paper.
 //!

@@ -3,7 +3,8 @@
 //! excluded", then measure 10,000 more. Rust has no JIT, but the warmup
 //! still settles caches, allocator arenas and branch predictors.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use wsrc_obs::{Clock, MonotonicClock};
 
 /// Iteration counts for a measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,11 +41,13 @@ pub fn measure<T>(protocol: Protocol, mut f: impl FnMut() -> T) -> Duration {
     for _ in 0..protocol.warmup {
         std::hint::black_box(f());
     }
-    let start = Instant::now();
+    let clock = MonotonicClock::new();
+    let start = clock.now_nanos();
     for _ in 0..protocol.measured {
         std::hint::black_box(f());
     }
-    start.elapsed() / protocol.measured.max(1) as u32
+    let elapsed = Duration::from_nanos(clock.now_nanos().saturating_sub(start));
+    elapsed / protocol.measured.max(1) as u32
 }
 
 /// Formats a per-operation duration the way the paper's tables do

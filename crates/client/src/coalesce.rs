@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use wsrc_cache::CacheKey;
-use wsrc_obs::Counter;
+use wsrc_obs::{sync, Counter};
 
 /// `wsrc_client_coalesce_total{role=…}` — how often a miss led the
 /// exchange vs. piggybacked on another thread's in-flight fetch.
@@ -33,14 +33,14 @@ struct Flight {
 
 impl Flight {
     fn wait(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = sync::lock(&self.done);
         while !*done {
-            done = self.cv.wait(done).unwrap();
+            done = sync::wait(&self.cv, done);
         }
     }
 
     fn complete(&self) {
-        *self.done.lock().unwrap() = true;
+        *sync::lock(&self.done) = true;
         self.cv.notify_all();
     }
 }
@@ -78,7 +78,7 @@ impl LeaderGuard {
 
 impl Drop for LeaderGuard {
     fn drop(&mut self) {
-        self.table.flights.lock().unwrap().remove(&self.key);
+        sync::lock(&self.table.flights).remove(&self.key);
         self.flight.complete();
     }
 }
@@ -93,10 +93,10 @@ impl InflightTable {
     /// later callers block until the leader finishes and then return as
     /// followers.
     pub fn join(self: &Arc<Self>, key: CacheKey) -> Role {
-        let flight = {
-            let mut flights = self.flights.lock().unwrap();
+        let existing = {
+            let mut flights = sync::lock(&self.flights);
             match flights.get(&key) {
-                Some(existing) => Some(existing.clone()),
+                Some(existing) => existing.clone(),
                 None => {
                     let flight = Arc::new(Flight::default());
                     flights.insert(key.clone(), flight.clone());
@@ -109,8 +109,7 @@ impl InflightTable {
                 }
             }
         };
-        let flight = flight.expect("either leader returned or follower has a flight");
-        flight.wait();
+        existing.wait();
         role_counter("follower").inc();
         Role::Follower
     }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use wsrc_http::{Request, Response};
-use wsrc_obs::{Histogram, MetricsRegistry};
+use wsrc_obs::{sync, Histogram, MetricsRegistry};
 
 /// The response header interceptors use to mark how the exchange relates
 /// to the client cache. Everything an interceptor sees travelled the
@@ -100,27 +100,23 @@ impl LoggingInterceptor {
 
     /// Number of logged lines.
     pub fn entries(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        sync::lock(&self.entries).len()
     }
 
     /// Copies the logged lines.
     pub fn lines(&self) -> Vec<String> {
-        self.entries.lock().unwrap().clone()
+        sync::lock(&self.entries).clone()
     }
 }
 
 impl Interceptor for LoggingInterceptor {
     fn on_request(&self, request: &mut Request) {
-        self.entries.lock().unwrap().push(format!(
-            "> {} {}",
-            request.method.as_str(),
-            request.target
-        ));
+        sync::lock(&self.entries).push(format!("> {} {}", request.method.as_str(), request.target));
     }
 
     fn on_response(&self, response: &mut Response) {
         let cache = response.headers.get(CACHE_HEADER).unwrap_or("-");
-        self.entries.lock().unwrap().push(format!(
+        sync::lock(&self.entries).push(format!(
             "< {} {} cache={cache}",
             response.status.0,
             response.status.reason()
@@ -169,18 +165,11 @@ impl Interceptor for TimingInterceptor {
         // The exchange completes on the thread that started it, so the
         // start timestamp is keyed by thread id (one interceptor can
         // serve many concurrent callers).
-        self.starts
-            .lock()
-            .unwrap()
-            .insert(std::thread::current().id(), self.histogram.now_nanos());
+        sync::lock(&self.starts).insert(std::thread::current().id(), self.histogram.now_nanos());
     }
 
     fn on_response(&self, response: &mut Response) {
-        let start = self
-            .starts
-            .lock()
-            .unwrap()
-            .remove(&std::thread::current().id());
+        let start = sync::lock(&self.starts).remove(&std::thread::current().id());
         if let Some(start) = start {
             let nanos = self.histogram.now_nanos().saturating_sub(start);
             self.histogram.record_nanos(nanos);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Web services client middleware — the Apache-Axis analog.
 //!
@@ -18,6 +19,7 @@ pub mod interceptor;
 
 pub use call::Call;
 pub use client::{Disposition, ServiceClient, ServiceClientBuilder};
+pub use coalesce::{InflightTable, LeaderGuard, Role};
 pub use error::ClientError;
 pub use interceptor::{Interceptor, InterceptorChain, LoggingInterceptor, TimingInterceptor};
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! The paper's contribution: a transparent response cache for Web
 //! services client middleware, with selectable cache-key and cache-value

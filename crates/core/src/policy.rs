@@ -140,7 +140,9 @@ impl CachePolicy {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let op = parts.next().expect("non-empty line has a first token");
+            let Some(op) = parts.next() else {
+                continue;
+            };
             let verb = parts
                 .next()
                 .ok_or_else(|| format!("line {}: missing cacheable/uncacheable", lineno + 1))?;

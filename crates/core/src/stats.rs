@@ -18,7 +18,7 @@ static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Next auto-assigned `cache=<label>` value (`cache-0`, `cache-1`, …).
 pub(crate) fn auto_label() -> String {
-    format!("cache-{}", NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed))
+    format!("cache-{}", NEXT_CACHE_ID.fetch_add(1, Ordering::SeqCst))
 }
 
 /// Thread-safe hit/miss/eviction counters, labelled `cache=<label>` in

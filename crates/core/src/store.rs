@@ -7,6 +7,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+use wsrc_obs::sync;
 
 const SHARDS: usize = 16;
 
@@ -76,7 +77,7 @@ impl CacheStore {
 
     fn next_seq(&self) -> u64 {
         self.access_seq
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Looks up a live entry, refreshing its recency. Expired entries
@@ -85,7 +86,7 @@ impl CacheStore {
     /// caller can attempt revalidation (paper §3.2's `If-Modified-Since`
     /// handshake).
     pub fn get(&self, key: &CacheKey, now_millis: u64) -> Lookup {
-        let mut shard = self.shard_for(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard_for(key));
         match shard.map.get_mut(key) {
             None => Lookup::Absent,
             Some(entry) if entry.expires_at_millis <= now_millis => {
@@ -112,7 +113,7 @@ impl CacheStore {
     /// Renews a (typically stale) entry's deadline after a successful
     /// revalidation. Returns whether the entry was present.
     pub fn refresh(&self, key: &CacheKey, expires_at_millis: u64) -> bool {
-        let mut shard = self.shard_for(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard_for(key));
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.expires_at_millis = expires_at_millis;
@@ -153,7 +154,7 @@ impl CacheStore {
         }
         let mut evicted = 0;
         {
-            let mut shard = self.shard_for(&key).lock().unwrap();
+            let mut shard = sync::lock(self.shard_for(&key));
             if let Some(old) = shard.map.remove(&key) {
                 shard.bytes -= old.size_bytes;
             }
@@ -186,7 +187,7 @@ impl CacheStore {
         // relative to lookups, so a scan is simpler than a global heap.
         let mut victim: Option<(usize, CacheKey, u64, bool)> = None;
         for (i, shard) in self.shards.iter().enumerate() {
-            let shard = shard.lock().unwrap();
+            let shard = sync::lock(shard);
             for (k, e) in shard.map.iter() {
                 let expired = e.expires_at_millis <= now_millis;
                 let candidate = (i, k.clone(), e.last_access_seq, expired);
@@ -207,7 +208,7 @@ impl CacheStore {
         }
         match victim {
             Some((i, key, _, _)) => {
-                let mut shard = self.shards[i].lock().unwrap();
+                let mut shard = sync::lock(&self.shards[i]);
                 if let Some(e) = shard.map.remove(&key) {
                     shard.bytes -= e.size_bytes;
                 }
@@ -219,7 +220,7 @@ impl CacheStore {
 
     /// Removes one entry. Returns whether it was present.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        let mut shard = self.shard_for(key).lock().unwrap();
+        let mut shard = sync::lock(self.shard_for(key));
         match shard.map.remove(key) {
             Some(e) => {
                 shard.bytes -= e.size_bytes;
@@ -232,7 +233,7 @@ impl CacheStore {
     /// Removes everything.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = sync::lock(shard);
             shard.map.clear();
             shard.bytes = 0;
         }
@@ -246,7 +247,7 @@ impl CacheStore {
         let mut entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
-            let shard = shard.lock().unwrap();
+            let shard = sync::lock(shard);
             entries += shard.map.len();
             bytes += shard.bytes;
         }

@@ -139,6 +139,13 @@ pub fn not_modified_since(req: &Request, last_modified: SystemTime) -> bool {
 mod tests {
     use super::*;
     use crate::message::Status;
+    use std::time::UNIX_EPOCH;
+    use wsrc_obs::{Clock, SystemClock};
+
+    /// Wall time via the injected clock (analyzer rule R3).
+    fn clock_now() -> SystemTime {
+        UNIX_EPOCH + Duration::from_millis(SystemClock.now_millis())
+    }
 
     #[test]
     fn parses_common_directives() {
@@ -210,9 +217,9 @@ mod tests {
     #[test]
     fn requests_without_validators_never_304() {
         let req = Request::get("/x");
-        assert!(!not_modified_since(&req, SystemTime::now()));
+        assert!(!not_modified_since(&req, clock_now()));
         let bad = Request::get("/x").with_header("If-Modified-Since", "garbage");
-        assert!(!not_modified_since(&bad, SystemTime::now()));
+        assert!(!not_modified_since(&bad, clock_now()));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::Duration;
+use wsrc_obs::sync;
 
 /// A blocking HTTP client.
 ///
@@ -48,7 +49,7 @@ impl HttpClient {
     /// errors here — inspect [`Response::status`].
     pub fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
         let authority = url.authority();
-        let pooled = self.connections.lock().unwrap().remove(&authority);
+        let pooled = sync::lock(&self.connections).remove(&authority);
         if let Some(stream) = pooled {
             match self.roundtrip(stream, url, request) {
                 Ok(resp) => return Ok(resp),
@@ -88,7 +89,7 @@ impl HttpClient {
 
     /// Drops all pooled connections.
     pub fn clear_pool(&self) {
-        self.connections.lock().unwrap().clear();
+        sync::lock(&self.connections).clear();
     }
 
     fn connect(&self, authority: &str) -> Result<TcpStream, HttpError> {
@@ -119,10 +120,7 @@ impl HttpClient {
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
         if keep_alive {
-            self.connections
-                .lock()
-                .unwrap()
-                .insert(url.authority(), stream);
+            sync::lock(&self.connections).insert(url.authority(), stream);
         }
         Ok(response)
     }

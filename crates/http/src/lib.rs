@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Minimal HTTP/1.1 substrate for the wsrcache project.
 //!

@@ -136,7 +136,7 @@ mod tests {
     use super::*;
     use crate::message::Status;
     use crate::server::Server;
-    use std::time::Instant;
+    use wsrc_obs::{Clock, MonotonicClock};
 
     fn echo_handler() -> Arc<dyn Handler> {
         Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()))
@@ -174,9 +174,10 @@ mod tests {
             Duration::from_millis(20),
         );
         let url = Url::new("virtual", 80, "/");
-        let start = Instant::now();
+        let clock = MonotonicClock::new();
+        let start = clock.now_nanos();
         t.execute(&url, &Request::get("/")).unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert!(clock.now_nanos() - start >= 20_000_000);
         assert_eq!(t.latency(), Duration::from_millis(20));
     }
 

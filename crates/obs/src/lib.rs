@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `wsrc-obs` — a dependency-free observability layer.
 //!
@@ -24,12 +25,16 @@
 //! - [`global`] — the process-wide default registry that library-level
 //!   instrumentation (XML parse, copy mechanisms, client stages)
 //!   records into.
+//! - [`sync`] — poison-tolerant `Mutex`/`Condvar` helpers so hot paths
+//!   stay panic-free (analyzer rule R4) without sprinkling
+//!   `unwrap_or_else(PoisonError::into_inner)` everywhere.
 
 pub mod clock;
 pub mod global;
 pub mod metrics;
 pub mod render;
 pub mod span;
+pub mod sync;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, SystemClock};
 pub use global::global;

@@ -1,0 +1,56 @@
+//! Poison-tolerant locking helpers.
+//!
+//! The cache hot path must be panic-free (analyzer rule R4), which rules
+//! out `.lock().unwrap()`. Poisoning only signals that *another* thread
+//! panicked while holding the guard; for the cache's own state —
+//! monotone maps, counters, condvar-paired flags — the data is still
+//! structurally valid, so every caller in this workspace prefers
+//! recovering the guard over propagating a secondary panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `cv` with `guard`, recovering the guard on poison.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "data survives the panic");
+    }
+
+    #[test]
+    fn wait_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *lock(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = lock(m);
+        while !*done {
+            done = wait(cv, done);
+        }
+        waker.join().unwrap();
+    }
+}

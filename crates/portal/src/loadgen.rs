@@ -7,7 +7,8 @@
 //! ratio ticks, and a globally unique query otherwise.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use wsrc_obs::{Clock, MonotonicClock};
 
 /// Load parameters.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +94,7 @@ impl QuerySchedule {
 
     /// The next query in the global schedule.
     pub fn next_query(&self) -> String {
-        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        let i = self.counter.fetch_add(1, Ordering::SeqCst);
         // Bresenham-style accumulator: request i is a "hit" request when
         // the integer part of i*ratio advances.
         let before = (i as f64 * self.hit_ratio) as u64;
@@ -111,6 +112,16 @@ impl QuerySchedule {
 /// The workers share the global schedule, so the aggregate mix matches
 /// the target hit ratio regardless of per-worker interleaving.
 pub fn run_load<T: PortalTarget>(target: &T, config: &LoadConfig) -> LoadReport {
+    run_load_with_clock(target, config, &MonotonicClock::new())
+}
+
+/// [`run_load`] with an injected time source, so report timing is
+/// deterministic under [`wsrc_obs::ManualClock`] (analyzer rule R3).
+pub fn run_load_with_clock<T: PortalTarget>(
+    target: &T,
+    config: &LoadConfig,
+    clock: &dyn Clock,
+) -> LoadReport {
     let schedule = QuerySchedule::new(config.hit_ratio, config.hot_queries);
     // Priming phase: hot queries are warmed so the measured phase sees
     // the intended hit ratio (the paper likewise measures after warmup).
@@ -124,39 +135,39 @@ pub fn run_load<T: PortalTarget>(target: &T, config: &LoadConfig) -> LoadReport 
     let completed = AtomicUsize::new(0);
     let errors = AtomicUsize::new(0);
     let total_latency_nanos = AtomicU64::new(0);
-    let start = Instant::now();
+    let start = clock.now_nanos();
     std::thread::scope(|scope| {
         for _ in 0..config.concurrency.max(1) {
             scope.spawn(|| {
                 let mut conn = target.connect();
                 loop {
                     // Claim one request slot.
-                    let prev = remaining.fetch_sub(1, Ordering::Relaxed);
+                    let prev = remaining.fetch_sub(1, Ordering::SeqCst);
                     if prev == 0 || prev > config.requests {
-                        remaining.store(0, Ordering::Relaxed);
+                        remaining.store(0, Ordering::SeqCst);
                         return;
                     }
                     let query = schedule.next_query();
-                    let t0 = Instant::now();
+                    let t0 = clock.now_nanos();
                     match conn.fetch(&query) {
                         Ok(()) => {
-                            completed.fetch_add(1, Ordering::Relaxed);
-                            total_latency_nanos
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            completed.fetch_add(1, Ordering::SeqCst);
+                            let nanos = clock.now_nanos().saturating_sub(t0);
+                            total_latency_nanos.fetch_add(nanos, Ordering::SeqCst);
                         }
                         Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            errors.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                 }
             });
         }
     });
-    let elapsed = start.elapsed();
-    let completed = completed.load(Ordering::Relaxed);
-    let errors = errors.load(Ordering::Relaxed);
+    let elapsed = Duration::from_nanos(clock.now_nanos().saturating_sub(start));
+    let completed = completed.load(Ordering::SeqCst);
+    let errors = errors.load(Ordering::SeqCst);
     let mean_response = if completed > 0 {
-        Duration::from_nanos(total_latency_nanos.load(Ordering::Relaxed) / completed as u64)
+        Duration::from_nanos(total_latency_nanos.load(Ordering::SeqCst) / completed as u64)
     } else {
         Duration::ZERO
     };
@@ -302,6 +313,49 @@ mod tests {
         );
         assert_eq!(report.completed + report.errors, 100);
         assert!(report.errors > 0);
+    }
+
+    #[test]
+    fn manual_clock_makes_report_timing_deterministic() {
+        use wsrc_obs::ManualClock;
+        struct TickingTarget {
+            clock: ManualClock,
+        }
+        struct TickingConn {
+            clock: ManualClock,
+        }
+        impl PortalConn for TickingConn {
+            fn fetch(&mut self, _q: &str) -> Result<(), String> {
+                // Every fetch "takes" exactly 2ms of fake time.
+                self.clock.advance_millis(2);
+                Ok(())
+            }
+        }
+        impl PortalTarget for TickingTarget {
+            type Conn = TickingConn;
+            fn connect(&self) -> TickingConn {
+                TickingConn {
+                    clock: self.clock.handle(),
+                }
+            }
+        }
+        let clock = ManualClock::new();
+        let target = TickingTarget {
+            clock: clock.handle(),
+        };
+        let config = LoadConfig {
+            concurrency: 1,
+            requests: 10,
+            hit_ratio: 0.0,
+            hot_queries: 1,
+        };
+        let report = run_load_with_clock(&target, &config, &clock);
+        assert_eq!(report.completed, 10);
+        // Priming (1 hot query) happens before the measured window, so
+        // the window is exactly 10 fetches × 2ms.
+        assert_eq!(report.elapsed, Duration::from_millis(20));
+        assert_eq!(report.mean_response, Duration::from_millis(2));
+        assert!((report.throughput_rps - 500.0).abs() < 1e-6);
     }
 
     #[test]

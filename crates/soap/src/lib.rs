@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! SOAP 1.1 layer: envelopes, RPC-style typed encoding, faults.
 //!

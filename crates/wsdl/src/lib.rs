@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! WSDL 1.1 (with an XML Schema subset): model, writer, parser and the
 //! "WSDL compiler".

@@ -10,5 +10,8 @@ export CARGO_NET_OFFLINE=true
 cargo build --release
 cargo test -q --workspace
 cargo fmt --check
+# Workspace invariants (R1-R5): representation safety, atomics audit,
+# clock discipline, panic freedom, lock ordering. See crates/analyze.
+cargo run -q --release -p wsrc-analyze -- --deny crates src
 
-echo "verify: build, tests, and formatting all clean"
+echo "verify: build, tests, formatting, and analysis all clean"
