@@ -1,0 +1,94 @@
+//! Store / client-hit-path benchmark with a machine-readable report.
+//!
+//! ```text
+//! bench_store [--smoke] [--out PATH] [--threads 1,4,16]
+//! ```
+//!
+//! The full run measures with a real monotonic clock and writes
+//! `results/BENCH_store.json`; `--smoke` (run by `scripts/verify.sh`)
+//! uses a deterministic fake clock, tiny op counts, and writes to
+//! `target/bench_store_smoke.json`. Either way the emitted report is
+//! validated against the `wsrc-bench-store/v1` schema and the process
+//! exits non-zero when the shape is wrong.
+
+use wsrc_bench::render_table;
+use wsrc_bench::store_bench::{report_to_json, run_plan, validate_report, BenchPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| {
+        if smoke {
+            "target/bench_store_smoke.json".to_string()
+        } else {
+            "results/BENCH_store.json".to_string()
+        }
+    });
+    let mut plan = if smoke {
+        BenchPlan::smoke()
+    } else {
+        BenchPlan::full()
+    };
+    if let Some(list) = flag_value(&args, "--threads") {
+        let counts: Vec<usize> = list
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        if counts.is_empty() {
+            eprintln!("bench_store: unusable --threads value '{list}'");
+            std::process::exit(2);
+        }
+        plan.thread_counts = counts;
+    }
+
+    let results = run_plan(&plan);
+    let json = report_to_json(plan.mode(), &results);
+    if let Err(why) = validate_report(&json) {
+        eprintln!("bench_store: report failed schema validation: {why}");
+        std::process::exit(1);
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("bench_store: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_store: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.threads.to_string(),
+                r.ops.to_string(),
+                format!("{:.0}", r.ops_per_sec),
+                r.latency.p50_nanos().to_string(),
+                r.latency.p99_nanos().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("bench_store ({} mode) -> {out}", plan.mode()),
+            &["scenario", "threads", "ops", "ops/s", "p50 ns", "p99 ns"],
+            &rows,
+        )
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    if let Some(v) = args
+        .iter()
+        .find_map(|a| a.strip_prefix(&format!("{flag}=")))
+    {
+        return Some(v.to_string());
+    }
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}

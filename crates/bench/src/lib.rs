@@ -18,7 +18,9 @@
 
 pub mod figures;
 pub mod fixtures;
+pub mod json;
 pub mod obs_report;
+pub mod store_bench;
 pub mod tables;
 pub mod timing;
 

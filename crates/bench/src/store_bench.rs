@@ -1,0 +1,568 @@
+//! The store / hit-path benchmark behind the `bench_store` binary.
+//!
+//! Drives [`CacheStore`] directly (read-heavy, write-heavy and
+//! eviction-pressure mixes) and the full client hit path (keygen →
+//! lookup → retrieve) once per cache-value representation, each at
+//! several thread counts, and reports ops/s plus p50/p99 latency from
+//! the `wsrc-obs` log2 histograms as machine-readable JSON
+//! (`results/BENCH_store.json`).
+//!
+//! Timing goes through the injected [`Clock`]: the full run uses a
+//! [`MonotonicClock`], while `--smoke` (wired into `scripts/verify.sh`)
+//! uses a [`ManualClock`] that advances a fixed amount per operation, so
+//! the smoke report's shape — and its op counts — are deterministic.
+//! Smoke runs assert the JSON schema only, never timings.
+
+use crate::json::Json;
+use std::sync::Arc;
+use std::time::Duration;
+use wsrc_cache::policy::{CachePolicy, OperationPolicy};
+use wsrc_cache::repr::ValueRepresentation;
+use wsrc_cache::store::{CacheStore, Capacity};
+use wsrc_cache::{CacheKey, ResponseCache, ResponseData, StoredResponse};
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_obs::{Clock, HistogramSnapshot, ManualClock, MetricsRegistry, MonotonicClock};
+use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::rpc::RpcRequest;
+use wsrc_soap::serializer::serialize_response;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "wsrc-bench-store/v1";
+
+/// Fixed fake-time advance per operation in smoke mode (1 µs), making
+/// smoke-mode elapsed time a pure function of the op counts.
+const SMOKE_TICK_NANOS: u64 = 1_000;
+
+/// The time source driving a benchmark run.
+///
+/// Both arms come from `wsrc-obs` (analyzer rule R3: no raw
+/// `Instant::now` outside the clock implementations).
+pub enum BenchClock {
+    /// Real monotonic time — the full benchmark.
+    Mono(MonotonicClock),
+    /// Hand-advanced fake time — deterministic smoke runs.
+    Manual(ManualClock),
+}
+
+impl BenchClock {
+    /// A real-time clock anchored at "now".
+    pub fn monotonic() -> Self {
+        BenchClock::Mono(MonotonicClock::new())
+    }
+
+    /// A fake clock starting at 0.
+    pub fn manual() -> Self {
+        BenchClock::Manual(ManualClock::new())
+    }
+
+    /// Advances fake time by the fixed per-op tick (no-op in real time).
+    fn tick(&self) {
+        if let BenchClock::Manual(clock) = self {
+            clock.advance_nanos(SMOKE_TICK_NANOS);
+        }
+    }
+
+    /// A second handle onto the same time axis.
+    fn handle(&self) -> BenchClock {
+        match self {
+            BenchClock::Mono(clock) => BenchClock::Mono(*clock),
+            BenchClock::Manual(clock) => BenchClock::Manual(clock.handle()),
+        }
+    }
+}
+
+impl Clock for BenchClock {
+    fn now_millis(&self) -> u64 {
+        match self {
+            BenchClock::Mono(clock) => clock.now_millis(),
+            BenchClock::Manual(clock) => clock.now_millis(),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        match self {
+            BenchClock::Mono(clock) => clock.now_nanos(),
+            BenchClock::Manual(clock) => clock.now_nanos(),
+        }
+    }
+}
+
+/// Sizing for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchPlan {
+    /// Thread counts each scenario runs at.
+    pub thread_counts: Vec<usize>,
+    /// Total operations for the store read-heavy mix.
+    pub read_ops: u64,
+    /// Total operations for the store write-heavy mix.
+    pub write_ops: u64,
+    /// Total operations for the store eviction-pressure mix.
+    pub evict_ops: u64,
+    /// Total operations per client hit-path representation.
+    pub client_ops: u64,
+    /// Whether this is a smoke run (fake clock, schema check only).
+    pub smoke: bool,
+}
+
+impl BenchPlan {
+    /// The full measurement plan (real clock, 1/4/16 threads).
+    pub fn full() -> Self {
+        BenchPlan {
+            thread_counts: vec![1, 4, 16],
+            read_ops: 200_000,
+            write_ops: 100_000,
+            evict_ops: 40_000,
+            client_ops: 20_000,
+            smoke: false,
+        }
+    }
+
+    /// The deterministic smoke plan run by `scripts/verify.sh`.
+    pub fn smoke() -> Self {
+        BenchPlan {
+            thread_counts: vec![1, 2],
+            read_ops: 400,
+            write_ops: 200,
+            evict_ops: 200,
+            client_ops: 100,
+            smoke: true,
+        }
+    }
+
+    /// The mode string stamped into the report.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    fn clock(&self) -> BenchClock {
+        if self.smoke {
+            BenchClock::manual()
+        } else {
+            BenchClock::monotonic()
+        }
+    }
+}
+
+/// One scenario × thread-count measurement.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name (`store/read-heavy`, `client/hit/<repr>`, …).
+    pub scenario: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations actually executed.
+    pub ops: u64,
+    /// Wall-clock (or fake-clock) nanoseconds for the whole scenario.
+    pub elapsed_nanos: u64,
+    /// Throughput over the measured window.
+    pub ops_per_sec: f64,
+    /// Per-operation latency distribution (log2 buckets).
+    pub latency: HistogramSnapshot,
+}
+
+/// Deterministic stateless mixer: thread id + op index → pseudo-random
+/// u64 (splitmix64 finalizer), so workers need no shared RNG state.
+fn mix(thread: usize, i: u64) -> u64 {
+    let mut x = ((thread as u64) << 48) ^ i ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Runs one scenario: `op(thread, i)` is called `ops/threads` times per
+/// worker, with per-op latency recorded into a fresh log2 histogram.
+fn run_scenario(
+    name: &str,
+    threads: usize,
+    total_ops: u64,
+    clock: &BenchClock,
+    op: impl Fn(usize, u64) + Sync,
+) -> ScenarioResult {
+    let per_thread = (total_ops / threads.max(1) as u64).max(1);
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("bench_op_nanos", &[("scenario", name)]);
+    let start = clock.now_nanos();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let histogram = histogram.clone();
+            let clock = clock.handle();
+            let op = &op;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let t0 = clock.now_nanos();
+                    op(t, i);
+                    clock.tick();
+                    histogram.record_nanos(clock.now_nanos().saturating_sub(t0));
+                }
+            });
+        }
+    });
+    let elapsed_nanos = clock.now_nanos().saturating_sub(start).max(1);
+    let ops = per_thread * threads as u64;
+    ScenarioResult {
+        scenario: name.to_string(),
+        threads,
+        ops,
+        elapsed_nanos,
+        ops_per_sec: ops as f64 * 1e9 / elapsed_nanos as f64,
+        latency: histogram.snapshot(),
+    }
+}
+
+/// A ~1 KiB stored response for raw-store scenarios (Arc-backed, so
+/// per-op clones are pointer bumps, as on the real hit path).
+fn store_value() -> StoredResponse {
+    StoredResponse::XmlMessage(Arc::from("x".repeat(1024)))
+}
+
+fn store_key(i: u64) -> CacheKey {
+    CacheKey::Text(format!("bench-key-{i:06}"))
+}
+
+/// Logical "now" for raw-store scenarios: expiry semantics are exercised
+/// by the client-path scenarios; the raw mixes pin time so the measured
+/// work is purely table bookkeeping.
+const STORE_NOW_MILLIS: u64 = 1;
+const STORE_FAR_FUTURE: u64 = u64::MAX;
+
+/// Store scenario: 95% lookups / 5% replacements over a hot key space.
+fn bench_store_reads(plan: &BenchPlan, threads: usize) -> ScenarioResult {
+    let clock = plan.clock();
+    let store = CacheStore::new(Capacity {
+        max_entries: 16_384,
+        max_bytes: 256 << 20,
+    });
+    let keys: Vec<CacheKey> = (0..4096).map(store_key).collect();
+    let value = store_value();
+    for key in &keys {
+        let _ = store.put(
+            key.clone(),
+            value.clone(),
+            STORE_FAR_FUTURE,
+            STORE_NOW_MILLIS,
+        );
+    }
+    run_scenario(
+        "store/read-heavy",
+        threads,
+        plan.read_ops,
+        &clock,
+        |t, i| {
+            let r = mix(t, i);
+            let key = &keys[(r % 4096) as usize];
+            if r % 100 < 5 {
+                let _ = store.put(
+                    key.clone(),
+                    value.clone(),
+                    STORE_FAR_FUTURE,
+                    STORE_NOW_MILLIS,
+                );
+            } else {
+                std::hint::black_box(store.get(key, STORE_NOW_MILLIS));
+            }
+        },
+    )
+}
+
+/// Store scenario: 50% lookups / 50% replacements.
+fn bench_store_writes(plan: &BenchPlan, threads: usize) -> ScenarioResult {
+    let clock = plan.clock();
+    let store = CacheStore::new(Capacity {
+        max_entries: 16_384,
+        max_bytes: 256 << 20,
+    });
+    let keys: Vec<CacheKey> = (0..4096).map(store_key).collect();
+    let value = store_value();
+    run_scenario(
+        "store/write-heavy",
+        threads,
+        plan.write_ops,
+        &clock,
+        |t, i| {
+            let r = mix(t, i);
+            let key = &keys[(r % 4096) as usize];
+            if r % 2 == 0 {
+                let _ = store.put(
+                    key.clone(),
+                    value.clone(),
+                    STORE_FAR_FUTURE,
+                    STORE_NOW_MILLIS,
+                );
+            } else {
+                std::hint::black_box(store.get(key, STORE_NOW_MILLIS));
+            }
+        },
+    )
+}
+
+/// Store scenario: every op inserts a previously unseen key into a
+/// 1k-entry store, forcing an eviction per insert at steady state.
+fn bench_store_evictions(plan: &BenchPlan, threads: usize) -> ScenarioResult {
+    let clock = plan.clock();
+    let store = CacheStore::new(Capacity {
+        max_entries: 1024,
+        max_bytes: 256 << 20,
+    });
+    let value = store_value();
+    run_scenario(
+        "store/evict-pressure",
+        threads,
+        plan.evict_ops,
+        &clock,
+        |t, i| {
+            let key = CacheKey::Text(format!("evict-{t}-{i}"));
+            let _ = store.put(key, value.clone(), STORE_FAR_FUTURE, STORE_NOW_MILLIS);
+        },
+    )
+}
+
+const CLIENT_URL: &str = "http://backend.bench/soap";
+
+fn client_registry() -> TypeRegistry {
+    TypeRegistry::builder()
+        .register(TypeDescriptor::new(
+            "Item",
+            vec![
+                FieldDescriptor::new("name", FieldType::String),
+                FieldDescriptor::new("qty", FieldType::Int),
+            ],
+        ))
+        .build()
+}
+
+/// Full client hit path for one representation: keygen → store lookup →
+/// retrieve (stored form → application object).
+fn bench_client_hits(
+    plan: &BenchPlan,
+    threads: usize,
+    repr: ValueRepresentation,
+) -> Option<ScenarioResult> {
+    let clock = plan.clock();
+    let registry = client_registry();
+    let mut policy =
+        OperationPolicy::cacheable(Duration::from_secs(360_000)).with_representation(repr);
+    if repr == ValueRepresentation::PassByReference {
+        policy = policy.with_read_only();
+    }
+    let cache = ResponseCache::builder(registry.clone())
+        .policy(CachePolicy::new().with_default(policy))
+        .clock(clock.handle())
+        .metrics(Arc::new(MetricsRegistry::new()))
+        .metrics_label("bench-store")
+        .build();
+    let value = Value::Struct(
+        StructValue::new("Item")
+            .with("name", "bench")
+            .with("qty", 7),
+    );
+    let expected = FieldType::Struct("Item".into());
+    let xml = serialize_response("urn:bench", "getItem", "return", &value, &registry).ok()?;
+    let (_, events) = read_response_xml_recording(&xml, &expected, &registry).ok()?;
+    let requests: Vec<RpcRequest> = (0..64)
+        .map(|i| RpcRequest::new("urn:bench", "getItem").with_param("id", i))
+        .collect();
+    for request in &requests {
+        let actual = cache.insert(
+            CLIENT_URL,
+            request,
+            ResponseData {
+                xml: &xml,
+                events: &events,
+                value: &value,
+            },
+        )?;
+        // The forced representation was not applicable and fell back:
+        // skip rather than report a duplicate of the fallback's scenario.
+        if actual != repr {
+            return None;
+        }
+    }
+    let name = format!("client/hit/{}", repr.metric_label());
+    Some(run_scenario(
+        &name,
+        threads,
+        plan.client_ops,
+        &clock,
+        |t, i| {
+            let request = &requests[(mix(t, i) % 64) as usize];
+            std::hint::black_box(cache.lookup(CLIENT_URL, request, &expected));
+        },
+    ))
+}
+
+/// Runs the whole plan, in a stable scenario order.
+pub fn run_plan(plan: &BenchPlan) -> Vec<ScenarioResult> {
+    let mut results = Vec::new();
+    for &threads in &plan.thread_counts {
+        results.push(bench_store_reads(plan, threads));
+        results.push(bench_store_writes(plan, threads));
+        results.push(bench_store_evictions(plan, threads));
+    }
+    for repr in ValueRepresentation::ALL_EXTENDED {
+        for &threads in &plan.thread_counts {
+            if let Some(result) = bench_client_hits(plan, threads, repr) {
+                results.push(result);
+            }
+        }
+    }
+    results
+}
+
+/// Renders the report document (see [`SCHEMA`]).
+pub fn report_to_json(mode: &str, results: &[ScenarioResult]) -> String {
+    let scenarios = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scenario\":\"{}\",\"threads\":{},\"ops\":{},\
+                 \"elapsed_nanos\":{},\"ops_per_sec\":{:.1},\"latency\":{}}}",
+                r.scenario,
+                r.threads,
+                r.ops,
+                r.elapsed_nanos,
+                r.ops_per_sec,
+                r.latency.to_json_object()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"schema\":\"{SCHEMA}\",\n  \"mode\":\"{mode}\",\n  \"scenarios\":[\n{scenarios}\n  ]\n}}\n"
+    )
+}
+
+/// Structural validation of a report document: schema tag, mode, and the
+/// required numeric fields on every scenario. Timings are deliberately
+/// not checked — smoke mode asserts shape, not speed.
+pub fn validate_report(json: &str) -> Result<(), String> {
+    let doc = Json::parse(json)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag: {other:?}")),
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("bad mode: {other:?}")),
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("empty scenarios array".to_string());
+    }
+    for s in scenarios {
+        let name = s
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("scenario missing name")?;
+        for field in ["threads", "ops", "elapsed_nanos", "ops_per_sec"] {
+            let v = s
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{name}: missing numeric field {field}"))?;
+            if v <= 0.0 {
+                return Err(format!("{name}: non-positive {field}"));
+            }
+        }
+        let latency = s
+            .get("latency")
+            .ok_or_else(|| format!("{name}: missing latency"))?;
+        for field in ["count", "p50_nanos", "p99_nanos", "mean_nanos"] {
+            latency
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{name}: latency missing {field}"))?;
+        }
+    }
+    for prefix in [
+        "store/read-heavy",
+        "store/write-heavy",
+        "store/evict-pressure",
+        "client/hit/",
+    ] {
+        if !scenarios.iter().any(|s| {
+            s.get("scenario")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with(prefix))
+        }) {
+            return Err(format!("no scenario matching {prefix}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> BenchPlan {
+        BenchPlan {
+            thread_counts: vec![1, 2],
+            read_ops: 64,
+            write_ops: 64,
+            evict_ops: 64,
+            client_ops: 16,
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn tiny_smoke_run_produces_a_valid_report() {
+        let plan = tiny_plan();
+        let results = run_plan(&plan);
+        // 3 store scenarios × 2 thread counts, plus at least one
+        // client-path representation × 2 thread counts.
+        assert!(results.len() >= 8, "only {} scenarios", results.len());
+        let json = report_to_json(plan.mode(), &results);
+        validate_report(&json).unwrap();
+    }
+
+    #[test]
+    fn smoke_mode_ops_and_elapsed_are_deterministic() {
+        let plan = tiny_plan();
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.ops, y.ops);
+            // Fake time advances exactly once per op, so the measured
+            // window is a pure function of the op count.
+            assert_eq!(x.elapsed_nanos, y.elapsed_nanos);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_reports() {
+        let plan = tiny_plan();
+        let results = run_plan(&plan);
+        let good = report_to_json("smoke", &results);
+        assert!(validate_report(&good.replace("wsrc-bench-store/v1", "v0")).is_err());
+        assert!(validate_report(&good.replace("\"mode\":\"smoke\"", "\"mode\":\"x\"")).is_err());
+        assert!(validate_report(&good.replace("\"p99_nanos\"", "\"p99\"")).is_err());
+        assert!(validate_report(
+            "{\"schema\":\"wsrc-bench-store/v1\",\"mode\":\"full\",\"scenarios\":[]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mixer_spreads_threads_and_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for i in 0..256 {
+                seen.insert(mix(t, i) % 4096);
+            }
+        }
+        // 1024 draws over 4096 cells should cover a decent fraction.
+        assert!(seen.len() > 700, "poor dispersion: {}", seen.len());
+    }
+}

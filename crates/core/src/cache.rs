@@ -35,8 +35,9 @@ pub enum CacheOutcome {
         /// The stale application object (usable if revalidation
         /// succeeds).
         handle: ValueHandle,
-        /// The revalidation token stored with the entry.
-        validator: String,
+        /// The revalidation token stored with the entry. Shared with the
+        /// store (`Arc<str>`) so stale lookups never copy the token.
+        validator: Arc<str>,
     },
     /// Nothing usable is cached.
     Miss,

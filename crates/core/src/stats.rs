@@ -8,6 +8,7 @@
 //! [`StatsSnapshot::to_json`]).
 
 use crate::repr::ValueRepresentation;
+use crate::store::EvictionSummary;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wsrc_obs::{Counter, MetricsRegistry};
@@ -30,7 +31,8 @@ pub struct CacheStats {
     inserts_by_repr: [Counter; ValueRepresentation::COUNT],
     misses: Counter,
     expired: Counter,
-    evictions: Counter,
+    evictions_expired: Counter,
+    evictions_lru: Counter,
     uncacheable: Counter,
     store_failures: Counter,
     revalidated: Counter,
@@ -47,8 +49,12 @@ pub struct StatsSnapshot {
     pub expired: u64,
     /// Entries stored.
     pub inserts: u64,
-    /// Entries evicted for capacity.
+    /// Entries evicted for capacity (expired + live victims).
     pub evictions: u64,
+    /// Evicted entries whose TTL had already lapsed (reaping).
+    pub evictions_expired: u64,
+    /// Evicted entries that were still live — true LRU displacement.
+    pub evictions_lru: u64,
     /// Requests whose operation policy forbids caching.
     pub uncacheable: u64,
     /// Responses that could not be stored under any permitted
@@ -96,7 +102,8 @@ impl StatsSnapshot {
         };
         format!(
             "{{\"hits\":{},\"misses\":{},\"expired\":{},\"inserts\":{},\
-             \"evictions\":{},\"uncacheable\":{},\"store_failures\":{},\
+             \"evictions\":{},\"evictions_expired\":{},\"evictions_lru\":{},\
+             \"uncacheable\":{},\"store_failures\":{},\
              \"revalidated\":{},\"hit_ratio\":{:.6},\
              \"hits_by_repr\":{{{}}},\"inserts_by_repr\":{{{}}}}}",
             self.hits,
@@ -104,6 +111,8 @@ impl StatsSnapshot {
             self.expired,
             self.inserts,
             self.evictions,
+            self.evictions_expired,
+            self.evictions_lru,
             self.uncacheable,
             self.store_failures,
             self.revalidated,
@@ -141,7 +150,14 @@ impl CacheStats {
                 .map(|r| repr_counter("wsrc_cache_inserts_total", r)),
             misses: counter("wsrc_cache_misses_total"),
             expired: counter("wsrc_cache_expired_total"),
-            evictions: counter("wsrc_cache_evictions_total"),
+            evictions_expired: registry.counter(
+                "wsrc_cache_evictions_total",
+                &[("cache", label), ("kind", "expired")],
+            ),
+            evictions_lru: registry.counter(
+                "wsrc_cache_evictions_total",
+                &[("cache", label), ("kind", "lru")],
+            ),
             uncacheable: counter("wsrc_cache_uncacheable_total"),
             store_failures: counter("wsrc_cache_store_failures_total"),
             revalidated: counter("wsrc_cache_revalidated_total"),
@@ -165,8 +181,13 @@ impl CacheStats {
     pub(crate) fn record_insert(&self, repr: ValueRepresentation) {
         self.inserts_by_repr[repr.index()].inc();
     }
-    pub(crate) fn record_evictions(&self, n: u64) {
-        self.evictions.add(n);
+    pub(crate) fn record_evictions(&self, summary: EvictionSummary) {
+        if summary.expired > 0 {
+            self.evictions_expired.add(summary.expired);
+        }
+        if summary.live > 0 {
+            self.evictions_lru.add(summary.live);
+        }
     }
     pub(crate) fn record_uncacheable(&self) {
         self.uncacheable.inc();
@@ -186,12 +207,16 @@ impl CacheStats {
             hits_by_repr[i] = self.hits_by_repr[i].value();
             inserts_by_repr[i] = self.inserts_by_repr[i].value();
         }
+        let evictions_expired = self.evictions_expired.value();
+        let evictions_lru = self.evictions_lru.value();
         StatsSnapshot {
             hits: hits_by_repr.iter().sum(),
             misses: self.misses.value(),
             expired: self.expired.value(),
             inserts: inserts_by_repr.iter().sum(),
-            evictions: self.evictions.value(),
+            evictions: evictions_expired + evictions_lru,
+            evictions_expired,
+            evictions_lru,
             uncacheable: self.uncacheable.value(),
             store_failures: self.store_failures.value(),
             revalidated: self.revalidated.value(),
@@ -219,7 +244,10 @@ mod tests {
         s.record_miss();
         s.record_expired();
         s.record_insert(ValueRepresentation::ReflectionCopy);
-        s.record_evictions(3);
+        s.record_evictions(EvictionSummary {
+            expired: 1,
+            live: 2,
+        });
         s.record_uncacheable();
         s.record_store_failure();
         s.record_revalidated();
@@ -229,6 +257,8 @@ mod tests {
         assert_eq!(snap.expired, 1);
         assert_eq!(snap.inserts, 1);
         assert_eq!(snap.evictions, 3);
+        assert_eq!(snap.evictions_expired, 1);
+        assert_eq!(snap.evictions_lru, 2);
         assert_eq!(snap.uncacheable, 1);
         assert_eq!(snap.store_failures, 1);
         assert_eq!(snap.revalidated, 1);
@@ -287,6 +317,8 @@ mod tests {
         let json = s.snapshot().to_json();
         assert!(json.contains("\"hits\":1"));
         assert!(json.contains("\"misses\":1"));
+        assert!(json.contains("\"evictions_expired\":0"));
+        assert!(json.contains("\"evictions_lru\":0"));
         assert!(json.contains("\"hit_ratio\":0.5"));
         assert!(json.contains("\"clone-copy\":1"));
         assert!(json.contains("\"hits_by_repr\":{"));

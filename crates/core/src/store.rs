@@ -1,15 +1,50 @@
 //! The concurrent cache table: sharded hash map with TTL expiry and
-//! size-aware LRU eviction.
+//! size-aware intrusive-LRU eviction.
+//!
+//! # Architecture
+//!
+//! The store is split into power-of-two many shards, each guarded by its
+//! own mutex. A shard owns a slab (`Vec<Option<Slot>>`) of entries plus an
+//! *intrusive* doubly-linked LRU list threaded through the slots with
+//! `u32` indices — no `unsafe`, no pointer juggling, no allocation per
+//! promotion. Every operation:
+//!
+//! - hashes the key **exactly once** (the same 64-bit hash selects the
+//!   shard and keys the shard's index table),
+//! - locks **exactly one** shard,
+//! - runs in O(1): `get` promotes by relinking three nodes, `put` evicts
+//!   LRU-first within the locked shard at O(1) per victim.
+//!
+//! Capacity is budgeted per shard (`max_entries / shards`,
+//! `max_bytes / shards`), which makes the configured global limits hard
+//! invariants without any cross-shard coordination: no global counters,
+//! no all-shard re-checks, and eviction never inspects another shard's
+//! entries. [`CacheStore::new`] sizes the shard count down automatically
+//! so small capacities still get a meaningful per-shard budget.
+//!
+//! Eviction prefers already-expired victims: it inspects up to
+//! [`EVICT_SCAN`] entries from the cold end of the LRU list and takes the
+//! first expired one, falling back to the least-recently-used live entry.
+//! The entry being inserted is pinned for the duration of its own `put`
+//! so a fresh insert can never evict itself.
 
 use crate::key::CacheKey;
 use crate::repr::StoredResponse;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::{Arc, Mutex};
 use wsrc_obs::sync;
 
-const SHARDS: usize = 16;
+/// Upper bound on the automatically chosen shard count.
+const MAX_AUTO_SHARDS: usize = 16;
+/// Upper bound on an explicitly requested shard count.
+const MAX_SHARDS: usize = 1024;
+/// Sentinel index terminating intrusive lists.
+const NIL: u32 = u32::MAX;
+/// How many cold-end LRU entries an eviction inspects looking for an
+/// already-expired victim before settling for the coldest live entry.
+const EVICT_SCAN: usize = 8;
 
 /// Capacity limits for a [`CacheStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,83 +64,488 @@ impl Default for Capacity {
     }
 }
 
-#[derive(Debug)]
-struct Entry {
-    stored: StoredResponse,
-    expires_at_millis: u64,
-    last_access_seq: u64,
-    size_bytes: usize,
-    /// Opaque revalidation token (e.g. an HTTP `Last-Modified` value).
-    /// Entries with a validator outlive their TTL as *stale* entries that
-    /// can be refreshed by a successful revalidation.
-    validator: Option<String>,
+/// What a [`CacheStore::put`] evicted to make room, split by whether the
+/// victims' TTLs had already lapsed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionSummary {
+    /// Victims that were already expired (reaping, not displacement).
+    pub expired: u64,
+    /// Victims that were still live — true LRU casualties.
+    pub live: u64,
 }
 
+impl EvictionSummary {
+    /// Total number of entries evicted.
+    pub fn total(&self) -> u64 {
+        self.expired + self.live
+    }
+}
+
+/// Hashes a key once with the std SipHash; the result both selects the
+/// shard and keys the shard's index table.
+fn hash_key(key: &CacheKey) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A cheap finalizing mixer for the shard tables, which are keyed by the
+/// already-SipHashed `u64` from [`hash_key`]. Identity hashing would reuse
+/// the same low bits that picked the shard; one multiply-xor round
+/// (splitmix64's finalizer core) redistributes them.
 #[derive(Debug, Default)]
-struct Shard {
-    map: HashMap<CacheKey, Entry>,
-    bytes: usize,
-}
+struct Mix64(u64);
 
-/// A sharded, mutex-per-shard cache table.
-///
-/// Entries expire at their per-entry deadline (checked lazily on `get`)
-/// and are evicted least-recently-used-first when either capacity limit
-/// would be exceeded.
-#[derive(Debug)]
-pub struct CacheStore {
-    shards: Vec<Mutex<Shard>>,
-    capacity: Capacity,
-    access_seq: std::sync::atomic::AtomicU64,
-}
+impl Hasher for Mix64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
 
-impl CacheStore {
-    /// An empty store with the given capacity.
-    pub fn new(capacity: Capacity) -> Self {
-        CacheStore {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            capacity,
-            access_seq: std::sync::atomic::AtomicU64::new(0),
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the store only ever feeds `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
+    fn write_u64(&mut self, value: u64) {
+        let mut x = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 29;
+        self.0 = x;
+    }
+}
+
+/// One cache entry, addressed by its slab index. `lru_prev`/`lru_next`
+/// thread the shard's recency list (`prev` points toward the hot end);
+/// `chain_next` resolves full-64-bit hash collisions within the table.
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    hash: u64,
+    stored: StoredResponse,
+    expires_at_millis: u64,
+    size_bytes: usize,
+    /// Opaque revalidation token (e.g. an HTTP `Last-Modified` value).
+    /// Entries with a validator outlive their TTL as *stale* entries that
+    /// can be refreshed by a successful revalidation (paper §3.2).
+    validator: Option<Arc<str>>,
+    lru_prev: u32,
+    lru_next: u32,
+    chain_next: u32,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// Slab of entries; freed slots are recycled via `free`.
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    /// Full key hash → slab index of the first entry in the chain.
+    table: HashMap<u64, u32, BuildHasherDefault<Mix64>>,
+    /// Most-recently-used entry, or `NIL` when empty.
+    lru_head: u32,
+    /// Least-recently-used entry, or `NIL` when empty.
+    lru_tail: u32,
+    entries: usize,
+    bytes: usize,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            table: HashMap::default(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            entries: 0,
+            bytes: 0,
+        }
+    }
+}
+
+impl Shard {
+    fn slot(&self, idx: u32) -> Option<&Slot> {
+        if idx == NIL {
+            return None;
+        }
+        self.slots.get(idx as usize)?.as_ref()
     }
 
-    fn next_seq(&self) -> u64 {
-        self.access_seq
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    fn slot_mut(&mut self, idx: u32) -> Option<&mut Slot> {
+        if idx == NIL {
+            return None;
+        }
+        self.slots.get_mut(idx as usize)?.as_mut()
     }
 
-    /// Looks up a live entry, refreshing its recency. Expired entries
-    /// without a validator are removed and reported as `Expired`; expired
-    /// entries *with* a validator are kept and reported as `Stale` so the
-    /// caller can attempt revalidation (paper §3.2's `If-Modified-Since`
-    /// handshake).
-    pub fn get(&self, key: &CacheKey, now_millis: u64) -> Lookup {
-        let mut shard = sync::lock(self.shard_for(key));
-        match shard.map.get_mut(key) {
-            None => Lookup::Absent,
-            Some(entry) if entry.expires_at_millis <= now_millis => {
-                if let Some(validator) = entry.validator.clone() {
-                    entry.last_access_seq = self.next_seq();
-                    Lookup::Stale {
-                        stored: entry.stored.clone(),
-                        validator,
-                    }
+    /// Finds the slab index holding `key`, walking the (almost always
+    /// single-element) collision chain for its hash.
+    fn find(&self, hash: u64, key: &CacheKey) -> Option<u32> {
+        let mut idx = *self.table.get(&hash)?;
+        while idx != NIL {
+            let slot = self.slot(idx)?;
+            if slot.key == *key {
+                return Some(idx);
+            }
+            idx = slot.chain_next;
+        }
+        None
+    }
+
+    fn lru_unlink(&mut self, idx: u32) {
+        let (prev, next) = match self.slot(idx) {
+            Some(slot) => (slot.lru_prev, slot.lru_next),
+            None => return,
+        };
+        match self.slot_mut(prev) {
+            Some(p) => p.lru_next = next,
+            None => self.lru_head = next,
+        }
+        match self.slot_mut(next) {
+            Some(n) => n.lru_prev = prev,
+            None => self.lru_tail = prev,
+        }
+        if let Some(slot) = self.slot_mut(idx) {
+            slot.lru_prev = NIL;
+            slot.lru_next = NIL;
+        }
+    }
+
+    fn lru_push_front(&mut self, idx: u32) {
+        let old_head = self.lru_head;
+        if let Some(slot) = self.slot_mut(idx) {
+            slot.lru_prev = NIL;
+            slot.lru_next = old_head;
+        }
+        match self.slot_mut(old_head) {
+            Some(head) => head.lru_prev = idx,
+            None => self.lru_tail = idx,
+        }
+        self.lru_head = idx;
+    }
+
+    /// Moves `idx` to the hot end of the recency list — three relinks,
+    /// O(1), no allocation.
+    fn touch(&mut self, idx: u32) {
+        if self.lru_head == idx {
+            return;
+        }
+        self.lru_unlink(idx);
+        self.lru_push_front(idx);
+    }
+
+    /// Inserts a slot not currently present, returning its slab index.
+    fn insert_new(&mut self, mut slot: Slot) -> u32 {
+        let idx = match self.free.pop() {
+            Some(recycled) => recycled,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        slot.chain_next = self.table.get(&slot.hash).copied().unwrap_or(NIL);
+        self.table.insert(slot.hash, idx);
+        self.entries += 1;
+        self.bytes += slot.size_bytes;
+        if let Some(cell) = self.slots.get_mut(idx as usize) {
+            *cell = Some(slot);
+        }
+        self.lru_push_front(idx);
+        idx
+    }
+
+    /// Replaces the payload of an existing slot, adjusting byte accounting.
+    fn replace(
+        &mut self,
+        idx: u32,
+        stored: StoredResponse,
+        expires_at_millis: u64,
+        size_bytes: usize,
+        validator: Option<Arc<str>>,
+    ) {
+        let old_size = match self.slot_mut(idx) {
+            Some(slot) => {
+                let old = slot.size_bytes;
+                slot.stored = stored;
+                slot.expires_at_millis = expires_at_millis;
+                slot.size_bytes = size_bytes;
+                slot.validator = validator;
+                old
+            }
+            None => return,
+        };
+        self.bytes = self.bytes.saturating_sub(old_size) + size_bytes;
+    }
+
+    /// Removes and returns the slot at `idx`: unlinks it from the recency
+    /// list, unchains it from the table, updates accounting, recycles the
+    /// slab cell.
+    fn remove_index(&mut self, idx: u32) -> Option<Slot> {
+        self.lru_unlink(idx);
+        let slot = self.slots.get_mut(idx as usize)?.take()?;
+        match self.table.get(&slot.hash).copied() {
+            Some(head) if head == idx => {
+                if slot.chain_next == NIL {
+                    self.table.remove(&slot.hash);
                 } else {
-                    let size = entry.size_bytes;
-                    shard.map.remove(key);
-                    shard.bytes -= size;
-                    Lookup::Expired
+                    self.table.insert(slot.hash, slot.chain_next);
                 }
             }
-            Some(entry) => {
-                entry.last_access_seq = self.next_seq();
-                Lookup::Live(entry.stored.clone())
+            Some(mut cur) => {
+                while cur != NIL {
+                    let next = match self.slot(cur) {
+                        Some(s) => s.chain_next,
+                        None => NIL,
+                    };
+                    if next == idx {
+                        if let Some(s) = self.slot_mut(cur) {
+                            s.chain_next = slot.chain_next;
+                        }
+                        break;
+                    }
+                    cur = next;
+                }
+            }
+            None => {}
+        }
+        self.entries = self.entries.saturating_sub(1);
+        self.bytes = self.bytes.saturating_sub(slot.size_bytes);
+        self.free.push(idx);
+        Some(slot)
+    }
+
+    /// Chooses the next eviction victim: the first expired entry within
+    /// [`EVICT_SCAN`] steps of the cold end, else the coldest live entry.
+    /// The slot at `pin` (the entry being inserted right now) is never
+    /// chosen; `None` means nothing but the pinned entry remains.
+    fn pick_victim(&self, now_millis: u64, pin: u32) -> Option<u32> {
+        let mut fallback = NIL;
+        let mut idx = self.lru_tail;
+        for _ in 0..EVICT_SCAN {
+            if idx == NIL {
+                break;
+            }
+            let slot = self.slot(idx)?;
+            if idx != pin {
+                if slot.expires_at_millis <= now_millis {
+                    return Some(idx);
+                }
+                if fallback == NIL {
+                    fallback = idx;
+                }
+            }
+            idx = slot.lru_prev;
+        }
+        if fallback == NIL {
+            None
+        } else {
+            Some(fallback)
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.table.clear();
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
+        self.entries = 0;
+        self.bytes = 0;
+    }
+
+    /// Cross-checks every invariant the shard maintains incrementally.
+    fn check(&self, shard_no: usize) -> Result<(), String> {
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        let sum_bytes: usize = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|slot| slot.size_bytes)
+            .sum();
+        if live != self.entries {
+            return Err(format!(
+                "shard {shard_no}: entries={} but {live} occupied slots",
+                self.entries
+            ));
+        }
+        if sum_bytes != self.bytes {
+            return Err(format!(
+                "shard {shard_no}: bytes={} but slots sum to {sum_bytes}",
+                self.bytes
+            ));
+        }
+        if self.free.len() + live != self.slots.len() {
+            return Err(format!(
+                "shard {shard_no}: {} free + {live} live != {} slots",
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+        // Recency list must visit every live slot exactly once, both ways.
+        let walks: [(u32, fn(&Slot) -> u32, u32); 2] = [
+            (self.lru_head, |s: &Slot| s.lru_next, self.lru_tail),
+            (self.lru_tail, |s: &Slot| s.lru_prev, self.lru_head),
+        ];
+        for (from, link, end) in walks {
+            let mut idx = from;
+            let mut seen = 0usize;
+            let mut last = NIL;
+            while idx != NIL {
+                seen += 1;
+                if seen > live {
+                    return Err(format!("shard {shard_no}: recency list cycle"));
+                }
+                last = idx;
+                idx = match self.slot(idx) {
+                    Some(slot) => link(slot),
+                    None => return Err(format!("shard {shard_no}: dangling recency link {idx}")),
+                };
+            }
+            if seen != live {
+                return Err(format!(
+                    "shard {shard_no}: recency list visits {seen} of {live} slots"
+                ));
+            }
+            if last != end {
+                return Err(format!("shard {shard_no}: recency list endpoint mismatch"));
+            }
+        }
+        // Every table chain member must carry the bucket's hash, and the
+        // chains together must cover every live slot.
+        let mut chained = 0usize;
+        for (&hash, &head) in &self.table {
+            let mut idx = head;
+            while idx != NIL {
+                chained += 1;
+                if chained > live {
+                    return Err(format!("shard {shard_no}: collision chain cycle"));
+                }
+                let slot = match self.slot(idx) {
+                    Some(slot) => slot,
+                    None => return Err(format!("shard {shard_no}: dangling chain link {idx}")),
+                };
+                if slot.hash != hash {
+                    return Err(format!("shard {shard_no}: slot hash mismatch in chain"));
+                }
+                idx = slot.chain_next;
+            }
+        }
+        if chained != live {
+            return Err(format!(
+                "shard {shard_no}: chains cover {chained} of {live} slots"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A sharded, mutex-per-shard cache table with intrusive per-shard LRU.
+///
+/// Entries expire at their per-entry deadline (checked lazily on `get`)
+/// and are evicted least-recently-used-first **within their shard** when
+/// the shard's slice of the capacity budget would be exceeded. See the
+/// module docs for the full design.
+#[derive(Debug)]
+pub struct CacheStore {
+    shards: Vec<Mutex<Shard>>,
+    /// `shards.len() - 1`; the shard count is always a power of two.
+    shard_mask: usize,
+    capacity: Capacity,
+    shard_max_entries: usize,
+    shard_max_bytes: usize,
+}
+
+/// Largest power of two `<= x` (callers guarantee `x >= 1`).
+fn prev_power_of_two(x: usize) -> usize {
+    match x.checked_ilog2() {
+        Some(log) => 1 << log,
+        None => 1,
+    }
+}
+
+impl CacheStore {
+    /// An empty store with the given capacity and an automatically sized
+    /// shard count: the largest power of two that is at most
+    /// `min(16, max_entries)`, so every shard's entry budget is at least
+    /// one and the global limits stay hard invariants.
+    pub fn new(capacity: Capacity) -> Self {
+        let shards = prev_power_of_two(capacity.max_entries.clamp(1, MAX_AUTO_SHARDS));
+        CacheStore::with_shards(capacity, shards)
+    }
+
+    /// An empty store with an explicit shard count (rounded down to a
+    /// power of two and clamped to `1..=1024`). Budgets are split evenly:
+    /// each shard holds at most `max_entries / shards` entries and
+    /// `max_bytes / shards` bytes. Single-shard stores give the exact
+    /// classic LRU order, which the deterministic tests rely on.
+    pub fn with_shards(capacity: Capacity, shards: usize) -> Self {
+        let shards = prev_power_of_two(shards.clamp(1, MAX_SHARDS));
+        CacheStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: shards - 1,
+            capacity,
+            shard_max_entries: capacity.max_entries / shards,
+            shard_max_bytes: capacity.max_bytes / shards,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shard_mask + 1
+    }
+
+    /// The per-shard slice of the configured capacity.
+    pub fn shard_budget(&self) -> Capacity {
+        Capacity {
+            max_entries: self.shard_max_entries,
+            max_bytes: self.shard_max_bytes,
+        }
+    }
+
+    /// Shard index for a key hash. Uses high bits, leaving the table's
+    /// mixer to redistribute the rest.
+    fn shard_index(&self, hash: u64) -> usize {
+        ((hash >> 32) as usize) & self.shard_mask
+    }
+
+    /// Looks up a live entry, refreshing its recency in O(1). Expired
+    /// entries without a validator are removed and reported as `Expired`;
+    /// expired entries *with* a validator are kept and reported as
+    /// `Stale` so the caller can attempt revalidation (paper §3.2's
+    /// `If-Modified-Since` handshake).
+    pub fn get(&self, key: &CacheKey, now_millis: u64) -> Lookup {
+        let hash = hash_key(key);
+        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return Lookup::Absent;
+        };
+        let (expired, validator) = match shard.slot(idx) {
+            Some(slot) => (slot.expires_at_millis <= now_millis, slot.validator.clone()),
+            None => return Lookup::Absent,
+        };
+        match (expired, validator) {
+            (true, None) => {
+                let _ = shard.remove_index(idx);
+                Lookup::Expired
+            }
+            (true, Some(validator)) => {
+                shard.touch(idx);
+                match shard.slot(idx) {
+                    Some(slot) => Lookup::Stale {
+                        stored: slot.stored.clone(),
+                        validator,
+                    },
+                    None => Lookup::Absent,
+                }
+            }
+            (false, _) => {
+                shard.touch(idx);
+                match shard.slot(idx) {
+                    Some(slot) => Lookup::Live(slot.stored.clone()),
+                    None => Lookup::Absent,
+                }
             }
         }
     }
@@ -113,26 +553,28 @@ impl CacheStore {
     /// Renews a (typically stale) entry's deadline after a successful
     /// revalidation. Returns whether the entry was present.
     pub fn refresh(&self, key: &CacheKey, expires_at_millis: u64) -> bool {
-        let mut shard = sync::lock(self.shard_for(key));
-        match shard.map.get_mut(key) {
-            Some(entry) => {
-                entry.expires_at_millis = expires_at_millis;
-                entry.last_access_seq = self.next_seq();
-                true
-            }
-            None => false,
+        let hash = hash_key(key);
+        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return false;
+        };
+        if let Some(slot) = shard.slot_mut(idx) {
+            slot.expires_at_millis = expires_at_millis;
         }
+        shard.touch(idx);
+        true
     }
 
-    /// Inserts (or replaces) an entry expiring at `expires_at_millis`.
-    /// Returns how many entries were evicted to make room.
+    /// Inserts (or replaces) an entry expiring at `expires_at_millis`,
+    /// evicting within the locked shard as needed. Returns what was
+    /// evicted to make room.
     pub fn put(
         &self,
         key: CacheKey,
         stored: StoredResponse,
         expires_at_millis: u64,
         now_millis: u64,
-    ) -> u64 {
+    ) -> EvictionSummary {
         self.put_validated(key, stored, expires_at_millis, now_millis, None)
     }
 
@@ -146,96 +588,62 @@ impl CacheStore {
         expires_at_millis: u64,
         now_millis: u64,
         validator: Option<String>,
-    ) -> u64 {
+    ) -> EvictionSummary {
+        let mut summary = EvictionSummary::default();
         let size_bytes = stored.approximate_size() + key.approximate_size();
-        // Entries larger than the whole budget are not cacheable at all.
-        if size_bytes > self.capacity.max_bytes {
-            return 0;
+        // Entries that can never fit a shard's budget are not cacheable.
+        if self.shard_max_entries == 0 || size_bytes > self.shard_max_bytes {
+            return summary;
         }
-        let mut evicted = 0;
-        {
-            let mut shard = sync::lock(self.shard_for(&key));
-            if let Some(old) = shard.map.remove(&key) {
-                shard.bytes -= old.size_bytes;
+        let validator: Option<Arc<str>> = validator.map(Arc::from);
+        let hash = hash_key(&key);
+        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let pinned = match shard.find(hash, &key) {
+            Some(idx) => {
+                shard.replace(idx, stored, expires_at_millis, size_bytes, validator);
+                shard.touch(idx);
+                idx
             }
-            shard.map.insert(
+            None => shard.insert_new(Slot {
                 key,
-                Entry {
-                    stored,
-                    expires_at_millis,
-                    last_access_seq: self.next_seq(),
-                    size_bytes,
-                    validator,
-                },
-            );
-            shard.bytes += size_bytes;
-        }
-        while self.len() > self.capacity.max_entries || self.bytes() > self.capacity.max_bytes {
-            if !self.evict_one(now_millis) {
+                hash,
+                stored,
+                expires_at_millis,
+                size_bytes,
+                validator,
+                lru_prev: NIL,
+                lru_next: NIL,
+                chain_next: NIL,
+            }),
+        };
+        while shard.entries > self.shard_max_entries || shard.bytes > self.shard_max_bytes {
+            let Some(victim) = shard.pick_victim(now_millis, pinned) else {
                 break;
-            }
-            evicted += 1;
-        }
-        evicted
-    }
-
-    /// Evicts the globally least-recently-used entry (preferring expired
-    /// entries). Returns whether anything was evicted.
-    fn evict_one(&self, now_millis: u64) -> bool {
-        // Find the victim shard by scanning shard minima — the store holds
-        // at most tens of thousands of entries, and eviction is rare
-        // relative to lookups, so a scan is simpler than a global heap.
-        let mut victim: Option<(usize, CacheKey, u64, bool)> = None;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let shard = sync::lock(shard);
-            for (k, e) in shard.map.iter() {
-                let expired = e.expires_at_millis <= now_millis;
-                let candidate = (i, k.clone(), e.last_access_seq, expired);
-                victim = Some(match victim.take() {
-                    None => candidate,
-                    Some(best) => {
-                        // Expired beats live; otherwise lower seq (older) wins.
-                        let better = (candidate.3 && !best.3)
-                            || (candidate.3 == best.3 && candidate.2 < best.2);
-                        if better {
-                            candidate
-                        } else {
-                            best
-                        }
-                    }
-                });
+            };
+            match shard.remove_index(victim) {
+                Some(slot) if slot.expires_at_millis <= now_millis => summary.expired += 1,
+                Some(_) => summary.live += 1,
+                None => break,
             }
         }
-        match victim {
-            Some((i, key, _, _)) => {
-                let mut shard = sync::lock(&self.shards[i]);
-                if let Some(e) = shard.map.remove(&key) {
-                    shard.bytes -= e.size_bytes;
-                }
-                true
-            }
-            None => false,
-        }
+        summary
     }
 
     /// Removes one entry. Returns whether it was present.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        let mut shard = sync::lock(self.shard_for(key));
-        match shard.map.remove(key) {
-            Some(e) => {
-                shard.bytes -= e.size_bytes;
-                true
-            }
-            None => false,
-        }
+        let hash = hash_key(key);
+        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return false;
+        };
+        shard.remove_index(idx).is_some()
     }
 
     /// Removes everything.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = sync::lock(shard);
-            shard.map.clear();
-            shard.bytes = 0;
+            shard.clear();
         }
     }
 
@@ -243,12 +651,13 @@ impl CacheStore {
     /// cheaper than calling [`len`](CacheStore::len) and
     /// [`bytes`](CacheStore::bytes) back to back, and the two numbers
     /// come from the same instant per shard (used for occupancy gauges).
+    /// Reads each shard's maintained counters; no entry iteration.
     pub fn occupancy(&self) -> (usize, usize) {
         let mut entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
             let shard = sync::lock(shard);
-            entries += shard.map.len();
+            entries += shard.entries;
             bytes += shard.bytes;
         }
         (entries, bytes)
@@ -273,6 +682,22 @@ impl CacheStore {
     pub fn capacity(&self) -> Capacity {
         self.capacity
     }
+
+    /// Cross-checks every shard's incremental accounting (entry/byte
+    /// counters, recency list, collision chains, slab free list) against
+    /// a from-scratch recount. Intended for tests and stress harnesses;
+    /// takes each shard lock in turn.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        for (shard_no, shard) in self.shards.iter().enumerate() {
+            let shard = sync::lock(shard);
+            shard.check(shard_no)?;
+        }
+        Ok(())
+    }
 }
 
 impl Default for CacheStore {
@@ -295,15 +720,15 @@ pub enum Lookup {
     Stale {
         /// The stale stored response.
         stored: StoredResponse,
-        /// The revalidation token recorded at insertion.
-        validator: String,
+        /// The revalidation token recorded at insertion (shared, not
+        /// cloned per lookup).
+        validator: Arc<str>,
     },
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn key(n: usize) -> CacheKey {
         CacheKey::Text(format!("key-{n}"))
@@ -346,17 +771,22 @@ mod tests {
 
     #[test]
     fn entry_capacity_evicts_lru() {
-        let store = CacheStore::new(Capacity {
-            max_entries: 3,
-            max_bytes: usize::MAX,
-        });
+        // One shard so the recency order is the exact classic LRU order.
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 3,
+                max_bytes: usize::MAX,
+            },
+            1,
+        );
         for i in 0..3 {
             store.put(key(i), value(10), 1000, 0);
         }
         // Touch key 0 so key 1 becomes the LRU.
         assert!(matches!(store.get(&key(0), 0), Lookup::Live(_)));
         let evicted = store.put(key(3), value(10), 1000, 0);
-        assert_eq!(evicted, 1);
+        assert_eq!(evicted.total(), 1);
+        assert_eq!(evicted.live, 1);
         assert_eq!(store.len(), 3);
         assert!(
             matches!(store.get(&key(1), 0), Lookup::Absent),
@@ -368,32 +798,59 @@ mod tests {
 
     #[test]
     fn byte_capacity_evicts() {
-        let store = CacheStore::new(Capacity {
-            max_entries: usize::MAX,
-            max_bytes: 5000,
-        });
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: usize::MAX,
+                max_bytes: 5000,
+            },
+            1,
+        );
         for i in 0..10 {
             store.put(key(i), value(1000), 1000, 0);
         }
         assert!(store.bytes() <= 5000, "bytes={}", store.bytes());
         assert!(store.len() < 10);
+        store.audit().unwrap();
     }
 
     #[test]
     fn expired_entries_are_preferred_eviction_victims() {
-        let store = CacheStore::new(Capacity {
-            max_entries: 2,
-            max_bytes: usize::MAX,
-        });
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+            1,
+        );
         store.put(key(0), value(10), 10, 0); // expires at 10
         store.put(key(1), value(10), 1000, 0);
-        // Insert at time 50: key 0 is expired and should be the victim
-        // even though key 1 is older in access order... (key0 older anyway;
-        // make key0 most-recently-used to prove expiry preference)
+        // Make key 0 most-recently-used to prove the choice is expiry
+        // preference, not recency order.
         assert!(matches!(store.get(&key(0), 5), Lookup::Live(_)));
-        store.put(key(2), value(10), 1000, 50);
+        let evicted = store.put(key(2), value(10), 1000, 50);
+        assert_eq!(evicted.expired, 1);
+        assert_eq!(evicted.live, 0);
         assert!(matches!(store.get(&key(0), 50), Lookup::Absent));
         assert!(matches!(store.get(&key(1), 50), Lookup::Live(_)));
+    }
+
+    #[test]
+    fn fresh_insert_is_never_its_own_victim() {
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 1,
+                max_bytes: usize::MAX,
+            },
+            1,
+        );
+        store.put(key(0), value(10), 1000, 0);
+        // Insert an entry that is *already expired* at insertion time.
+        // Expiry preference would otherwise pick it as its own victim.
+        let evicted = store.put(key(1), value(10), 10, 50);
+        assert_eq!(evicted.live, 1, "the old live entry is the victim");
+        assert_eq!(store.len(), 1);
+        assert!(matches!(store.get(&key(0), 50), Lookup::Absent));
+        assert!(matches!(store.get(&key(1), 5), Lookup::Live(_)));
     }
 
     #[test]
@@ -404,6 +861,35 @@ mod tests {
         });
         store.put(key(1), value(1000), 1000, 0);
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn auto_sharding_keeps_global_caps_hard() {
+        let store = CacheStore::new(Capacity {
+            max_entries: 10,
+            max_bytes: 4096,
+        });
+        assert_eq!(store.shard_count(), 8);
+        assert_eq!(store.shard_budget().max_entries, 1);
+        for i in 0..100 {
+            store.put(key(i), value(100), 1000, 0);
+        }
+        assert!(store.len() <= 10, "len={}", store.len());
+        assert!(store.bytes() <= 4096, "bytes={}", store.bytes());
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn shard_counts_round_down_to_powers_of_two() {
+        let cap = Capacity::default();
+        assert_eq!(CacheStore::new(cap).shard_count(), 16);
+        assert_eq!(CacheStore::with_shards(cap, 5).shard_count(), 4);
+        assert_eq!(CacheStore::with_shards(cap, 0).shard_count(), 1);
+        let tiny = CacheStore::new(Capacity {
+            max_entries: 1,
+            max_bytes: 100,
+        });
+        assert_eq!(tiny.shard_count(), 1);
     }
 
     #[test]
@@ -433,7 +919,7 @@ mod tests {
         let store = CacheStore::default();
         store.put_validated(key(1), value(10), 100, 0, Some("etag-1".into()));
         match store.get(&key(1), 150) {
-            Lookup::Stale { validator, .. } => assert_eq!(validator, "etag-1"),
+            Lookup::Stale { validator, .. } => assert_eq!(&*validator, "etag-1"),
             other => panic!("expected stale, got {other:?}"),
         }
         // Still present; refresh renews it.
@@ -446,6 +932,62 @@ mod tests {
     fn refresh_of_missing_entry_is_false() {
         let store = CacheStore::default();
         assert!(!store.refresh(&key(9), 10));
+    }
+
+    #[test]
+    fn collision_chains_resolve_same_hash_keys() {
+        // Drive a Shard directly with two manufactured same-hash slots to
+        // exercise the chain_next path that real SipHash output (almost)
+        // never hits.
+        let mut shard = Shard::default();
+        let slot = |n: usize| Slot {
+            key: key(n),
+            hash: 0xDEAD_BEEF,
+            stored: value(8),
+            expires_at_millis: 1000,
+            size_bytes: 10,
+            validator: None,
+            lru_prev: NIL,
+            lru_next: NIL,
+            chain_next: NIL,
+        };
+        let a = shard.insert_new(slot(1));
+        let b = shard.insert_new(slot(2));
+        assert_eq!(shard.find(0xDEAD_BEEF, &key(1)), Some(a));
+        assert_eq!(shard.find(0xDEAD_BEEF, &key(2)), Some(b));
+        shard.check(0).unwrap();
+        // Remove the chain head; the survivor must stay findable.
+        assert!(shard.remove_index(b).is_some());
+        assert_eq!(shard.find(0xDEAD_BEEF, &key(1)), Some(a));
+        assert_eq!(shard.find(0xDEAD_BEEF, &key(2)), None);
+        shard.check(0).unwrap();
+        // And remove a mid-chain member after re-adding.
+        let c = shard.insert_new(slot(3));
+        assert!(shard.remove_index(a).is_some());
+        assert_eq!(shard.find(0xDEAD_BEEF, &key(3)), Some(c));
+        shard.check(0).unwrap();
+    }
+
+    #[test]
+    fn audit_passes_after_mixed_workload() {
+        let store = CacheStore::new(Capacity {
+            max_entries: 32,
+            max_bytes: 64 * 1024,
+        });
+        for round in 0..4 {
+            for i in 0..100 {
+                store.put(key(i), value(16 + (i % 50)), 1000 + i as u64, round);
+            }
+            for i in (0..100).step_by(3) {
+                let _ = store.get(&key(i), round);
+            }
+            for i in (0..100).step_by(7) {
+                store.invalidate(&key(i));
+            }
+            store.audit().unwrap();
+        }
+        store.clear();
+        store.audit().unwrap();
     }
 
     #[test]
@@ -473,5 +1015,6 @@ mod tests {
             t.join().unwrap();
         }
         assert!(store.len() <= 64);
+        store.audit().unwrap();
     }
 }

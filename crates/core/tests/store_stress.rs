@@ -1,0 +1,301 @@
+//! Stress and property tests for the sharded intrusive-LRU store:
+//! eviction order against a reference model, per-shard capacity
+//! boundaries, and multi-threaded accounting drift.
+//!
+//! The build environment is offline (no `proptest`), so these use a
+//! hand-rolled deterministic xorshift generator with fixed seeds, like
+//! `proptests.rs`.
+
+use std::sync::Arc;
+use wsrc_cache::repr::StoredResponse;
+use wsrc_cache::store::{CacheStore, Capacity, Lookup};
+use wsrc_cache::CacheKey;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn key(n: usize) -> CacheKey {
+    CacheKey::Text(format!("key-{n}"))
+}
+
+fn value(size: usize) -> StoredResponse {
+    StoredResponse::XmlMessage(Arc::from("x".repeat(size)))
+}
+
+const FAR_FUTURE: u64 = u64::MAX;
+
+/// A straightforward reference LRU: most-recent key at the back.
+struct ModelLru {
+    order: Vec<usize>,
+    cap: usize,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        ModelLru {
+            order: Vec::new(),
+            cap,
+        }
+    }
+
+    fn touch(&mut self, k: usize) -> bool {
+        match self.order.iter().position(|&x| x == k) {
+            Some(pos) => {
+                self.order.remove(pos);
+                self.order.push(k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the evicted key, if inserting `k` displaced one.
+    fn put(&mut self, k: usize) -> Option<usize> {
+        if self.touch(k) {
+            return None;
+        }
+        self.order.push(k);
+        if self.order.len() > self.cap {
+            Some(self.order.remove(0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Under interleaved gets and puts (no expiry in play), the store's
+/// eviction order must equal the classic LRU access order, eviction by
+/// eviction.
+#[test]
+fn lru_eviction_order_matches_reference_model() {
+    for seed in 1..=8u64 {
+        let mut rng = Rng::new(seed);
+        let cap = 2 + rng.below(14);
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: cap,
+                max_bytes: usize::MAX,
+            },
+            1,
+        );
+        let mut model = ModelLru::new(cap);
+        let keyspace = cap * 3;
+        for step in 0..2000 {
+            let k = rng.below(keyspace);
+            if rng.below(3) == 0 {
+                // Lookup: both sides must agree on presence, and a hit
+                // promotes on both sides.
+                let hit = matches!(store.get(&key(k), 0), Lookup::Live(_));
+                assert_eq!(
+                    hit,
+                    model.touch(k),
+                    "seed {seed} step {step}: presence of key {k} diverged"
+                );
+            } else {
+                let summary = store.put(key(k), value(8), FAR_FUTURE, 0);
+                match model.put(k) {
+                    Some(victim) => {
+                        assert_eq!(
+                            summary.total(),
+                            1,
+                            "seed {seed} step {step}: model evicted {victim}, store evicted \
+                             {summary:?}"
+                        );
+                        assert!(
+                            matches!(store.get(&key(victim), 0), Lookup::Absent),
+                            "seed {seed} step {step}: store kept key {victim}, the model's victim"
+                        );
+                    }
+                    None => assert_eq!(
+                        summary.total(),
+                        0,
+                        "seed {seed} step {step}: store evicted without model displacement"
+                    ),
+                }
+            }
+        }
+        assert_eq!(store.len(), model.order.len(), "seed {seed}: final sizes");
+        for &k in &model.order {
+            assert!(
+                matches!(store.get(&key(k), 0), Lookup::Live(_)),
+                "seed {seed}: model key {k} missing from store"
+            );
+        }
+        store.audit().expect("accounting after property run");
+    }
+}
+
+/// Entry budgets hold exactly at the boundary: a shard accepts up to its
+/// slice of `max_entries` and displaces beyond it.
+#[test]
+fn per_shard_entry_budget_boundary() {
+    let store = CacheStore::with_shards(
+        Capacity {
+            max_entries: 8,
+            max_bytes: usize::MAX,
+        },
+        4,
+    );
+    assert_eq!(store.shard_budget().max_entries, 2);
+    for i in 0..100 {
+        store.put(key(i), value(8), FAR_FUTURE, 0);
+    }
+    // Whatever the key distribution, no shard exceeds 2, so the global
+    // cap is a hard invariant.
+    assert!(store.len() <= 8, "len={}", store.len());
+    assert!(store.len() >= 4, "every shard should hold something");
+    store.audit().expect("accounting at the entry boundary");
+}
+
+/// Byte budgets hold exactly at the boundary: an entry of exactly the
+/// shard budget is accepted, one byte more is refused outright.
+#[test]
+fn per_shard_byte_budget_boundary() {
+    // Learn the exact accounted size of one entry from an uncapped store.
+    let probe = CacheStore::with_shards(Capacity::default(), 1);
+    probe.put(key(0), value(100), FAR_FUTURE, 0);
+    let exact = probe.bytes();
+
+    let fits = CacheStore::with_shards(
+        Capacity {
+            max_entries: usize::MAX,
+            max_bytes: exact,
+        },
+        1,
+    );
+    fits.put(key(0), value(100), FAR_FUTURE, 0);
+    assert_eq!(fits.len(), 1, "entry of exactly the budget is accepted");
+
+    let refuses = CacheStore::with_shards(
+        Capacity {
+            max_entries: usize::MAX,
+            max_bytes: exact - 1,
+        },
+        1,
+    );
+    refuses.put(key(0), value(100), FAR_FUTURE, 0);
+    assert_eq!(
+        refuses.len(),
+        0,
+        "entry one byte over the budget is refused"
+    );
+
+    // At exactly two budgets, a second insert keeps both; a third
+    // displaces the least recent.
+    let two = CacheStore::with_shards(
+        Capacity {
+            max_entries: usize::MAX,
+            max_bytes: exact * 2,
+        },
+        1,
+    );
+    two.put(key(0), value(100), FAR_FUTURE, 0);
+    two.put(key(1), value(100), FAR_FUTURE, 0);
+    assert_eq!(two.len(), 2);
+    let summary = two.put(key(2), value(100), FAR_FUTURE, 0);
+    assert_eq!(summary.live, 1);
+    assert_eq!(two.len(), 2);
+    assert!(matches!(two.get(&key(0), 0), Lookup::Absent));
+    two.audit().expect("accounting at the byte boundary");
+}
+
+/// The ISSUE's eviction-pressure scenario: 10k unique inserts into a
+/// 1k-entry store. Every insert displaces within one locked shard; the
+/// eviction count reconciles exactly with the final occupancy.
+#[test]
+fn eviction_pressure_ten_k_inserts_into_one_k_store() {
+    let store = CacheStore::new(Capacity {
+        max_entries: 1000,
+        max_bytes: 64 * 1024 * 1024,
+    });
+    let mut evicted = 0u64;
+    for i in 0..10_000 {
+        let summary = store.put(key(i), value(64), FAR_FUTURE, 0);
+        assert_eq!(summary.expired, 0, "nothing expires in this run");
+        evicted += summary.total();
+    }
+    assert!(store.len() <= 1000, "len={}", store.len());
+    assert_eq!(
+        evicted + store.len() as u64,
+        10_000,
+        "every insert is either resident or evicted"
+    );
+    store.audit().expect("accounting under eviction pressure");
+}
+
+/// Sixteen writer threads hammer overlapping keys through get/put/
+/// invalidate while an auditor thread repeatedly cross-checks every
+/// shard's accounting; counters must never drift.
+#[test]
+fn sixteen_thread_stress_accounting_never_drifts() {
+    let store = Arc::new(CacheStore::new(Capacity {
+        max_entries: 256,
+        max_bytes: 512 * 1024,
+    }));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let auditor = {
+        let store = store.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut audits = 0u32;
+            while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                store.audit().expect("mid-flight audit");
+                audits += 1;
+                std::thread::yield_now();
+            }
+            audits
+        })
+    };
+    let mut workers = Vec::new();
+    for t in 0..16u64 {
+        let store = store.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(t + 1);
+            for i in 0..2000usize {
+                let k = rng.below(600);
+                match rng.below(10) {
+                    0 => {
+                        store.invalidate(&key(k));
+                    }
+                    1..=4 => {
+                        let _ = store.get(&key(k), i as u64);
+                    }
+                    _ => {
+                        let size = 16 + rng.below(240);
+                        let ttl = 1 + rng.below(5000) as u64;
+                        store.put(key(k), value(size), i as u64 + ttl, i as u64);
+                    }
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    done.store(true, std::sync::atomic::Ordering::SeqCst);
+    let audits = auditor.join().expect("auditor");
+    assert!(audits > 0, "auditor must have run at least once");
+    store.audit().expect("final audit");
+    let (entries, bytes) = store.occupancy();
+    assert!(entries <= 256, "entries={entries}");
+    assert!(bytes <= 512 * 1024, "bytes={bytes}");
+}

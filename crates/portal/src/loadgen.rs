@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
-use wsrc_obs::{Clock, MonotonicClock};
+use wsrc_obs::{Clock, MetricsRegistry, MonotonicClock};
 
 /// Load parameters.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +45,12 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Mean response time over completed requests.
     pub mean_response: Duration,
+    /// Median response time (upper bound of the log2 histogram bucket
+    /// holding the 50th percentile).
+    pub p50_response: Duration,
+    /// Tail response time (upper bound of the bucket holding the 99th
+    /// percentile).
+    pub p99_response: Duration,
     /// Completed requests per second.
     pub throughput_rps: f64,
 }
@@ -135,6 +141,10 @@ pub fn run_load_with_clock<T: PortalTarget>(
     let completed = AtomicUsize::new(0);
     let errors = AtomicUsize::new(0);
     let total_latency_nanos = AtomicU64::new(0);
+    // Per-request latencies go into a private log2 histogram so the
+    // report can quote p50/p99 without keeping every sample.
+    let histograms = MetricsRegistry::new();
+    let latency = histograms.histogram("wsrc_load_response_nanos", &[]);
     let start = clock.now_nanos();
     std::thread::scope(|scope| {
         for _ in 0..config.concurrency.max(1) {
@@ -154,6 +164,7 @@ pub fn run_load_with_clock<T: PortalTarget>(
                             completed.fetch_add(1, Ordering::SeqCst);
                             let nanos = clock.now_nanos().saturating_sub(t0);
                             total_latency_nanos.fetch_add(nanos, Ordering::SeqCst);
+                            latency.record_nanos(nanos);
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::SeqCst);
@@ -171,11 +182,14 @@ pub fn run_load_with_clock<T: PortalTarget>(
     } else {
         Duration::ZERO
     };
+    let snapshot = latency.snapshot();
     LoadReport {
         completed,
         errors,
         elapsed,
         mean_response,
+        p50_response: Duration::from_nanos(snapshot.p50_nanos()),
+        p99_response: Duration::from_nanos(snapshot.p99_nanos()),
         throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
     }
 }
@@ -355,6 +369,10 @@ mod tests {
         // the window is exactly 10 fetches × 2ms.
         assert_eq!(report.elapsed, Duration::from_millis(20));
         assert_eq!(report.mean_response, Duration::from_millis(2));
+        // 2ms falls in the log2 bucket with upper bound 2^21 ns; every
+        // sample is identical so p50 == p99.
+        assert_eq!(report.p50_response, Duration::from_nanos(1 << 21));
+        assert_eq!(report.p99_response, report.p50_response);
         assert!((report.throughput_rps - 500.0).abs() < 1e-6);
     }
 

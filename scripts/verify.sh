@@ -9,6 +9,10 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release
 cargo test -q --workspace
+# Deterministic store/hit-path benchmark smoke: fixed op counts under a
+# manual clock; validates the BENCH_store JSON schema, never timings.
+cargo run -q --release -p wsrc-bench --bin bench_store -- --smoke \
+  --out target/bench_store_smoke.json
 cargo fmt --check
 # Workspace invariants (R1-R5): representation safety, atomics audit,
 # clock discipline, panic freedom, lock ordering. See crates/analyze.
