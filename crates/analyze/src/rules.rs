@@ -1,4 +1,4 @@
-//! The five workspace invariants, R1–R5.
+//! The six workspace invariants, R1–R6.
 //!
 //! Each rule maps a paper-level soundness condition to a mechanical
 //! check over the token-level source model (see `DESIGN.md` §7 for the
@@ -14,6 +14,9 @@
 //!   code of the `core`, `client` and `http` crates.
 //! - **R5 `lock-ordering`** — no nested lock acquisition inside one
 //!   function body.
+//! - **R6 `zero-copy-pipeline`** — no copying methods (`.to_vec()`,
+//!   `.clone()`, …) on the shared body/event buffers outside the
+//!   allowlisted construction sites.
 
 use crate::scan::SourceFile;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -59,6 +62,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R5",
         "lock-ordering",
         "no nested lock acquisition within one function body",
+    ),
+    (
+        "R6",
+        "zero-copy-pipeline",
+        "no copying methods on shared body/event buffers outside construction sites",
     ),
 ];
 
@@ -109,6 +117,20 @@ const R3_ALLOWLIST: &[&str] = &["crates/obs/src/clock.rs"];
 /// cached call).
 const R4_SCOPE: &[&str] = &["crates/core/src/", "crates/client/src/", "crates/http/src/"];
 
+/// Receiver names that denote the pipeline's shared payload buffers —
+/// the HTTP body and the recorded event sequence, under the names the
+/// workspace gives them.
+const R6_BUFFERS: &[&str] = &["body", "response_xml", "response_events", "xml_bytes"];
+
+/// Methods that materialize a copy of a shared buffer.
+const R6_COPY_METHODS: &[&str] = &["to_vec", "to_owned", "into_owned", "clone"];
+
+/// The only files allowed to copy payload bytes: the `Body` newtype
+/// (the single read-buffer → `Arc<[u8]>` copy at construction) and the
+/// SAX arena (which owns the event buffers and the owned-event
+/// compatibility bridge).
+const R6_ALLOWLIST: &[&str] = &["crates/http/src/body.rs", "crates/xml/src/event.rs"];
+
 fn path_in(path: &str, needles: &[&str]) -> bool {
     needles.iter().any(|n| path.contains(n))
 }
@@ -123,6 +145,7 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
         rule_clock_discipline(file, &mut diags);
         rule_panic_freedom(file, &mut diags);
         rule_lock_ordering(file, &mut diags);
+        rule_zero_copy_pipeline(file, &mut diags);
         for (line, why) in &file.malformed_suppressions {
             diags.push(Diagnostic {
                 code: "S0",
@@ -262,6 +285,59 @@ fn rule_panic_freedom(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 t.text
             ),
         });
+    }
+}
+
+/// R6: copying methods on the shared payload buffers. The pipeline's
+/// contract is that body bytes and recorded events are copied exactly
+/// once, at construction; every later layer shares the `Arc`. A
+/// `.to_vec()` / `.clone()` / `.to_owned()` / `.into_owned()` whose
+/// receiver is one of the buffer names — or a `.to_owned_events()`
+/// call, the deliberate owned-event bridge — reintroduces a per-layer
+/// copy and is flagged outside the allowlisted construction files.
+fn rule_zero_copy_pipeline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && path_in(&file.path, R6_ALLOWLIST) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        let t = &toks[i];
+        if file.in_test(t.line) {
+            continue;
+        }
+        // `<buffer>.copy_method(`
+        if R6_BUFFERS.contains(&t.text.as_str())
+            && t.kind == crate::lexer::TokenKind::Ident
+            && toks[i + 1].is_punct('.')
+            && R6_COPY_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct('(')
+        {
+            diags.push(Diagnostic {
+                code: "R6",
+                rule: "zero-copy-pipeline",
+                path: file.path.clone(),
+                line: toks[i + 2].line,
+                message: format!(
+                    "`.{}()` on shared buffer `{}`; the pipeline copies payload bytes \
+                     once at construction — share the `Arc` (`Body::shared`, `Arc::clone`) \
+                     instead of materializing a copy",
+                    toks[i + 2].text,
+                    t.text
+                ),
+            });
+        }
+        // `.to_owned_events(` — the owned-event compatibility bridge.
+        if t.is_punct('.') && toks[i + 1].is_ident("to_owned_events") && toks[i + 2].is_punct('(') {
+            diags.push(Diagnostic {
+                code: "R6",
+                rule: "zero-copy-pipeline",
+                path: file.path.clone(),
+                line: toks[i + 1].line,
+                message: "`.to_owned_events()` materializes every recorded event; iterate \
+                          the arena (`SaxEventSequence::iter`) or replay it instead"
+                    .to_string(),
+            });
+        }
     }
 }
 
@@ -518,6 +594,40 @@ mod tests {
                    for s in shards { let g = s.lock().unwrap_or_else(|e| e.into_inner()); }\n\
                    let g2 = v.lock().unwrap_or_else(|e| e.into_inner());\n}";
         assert!(diags_for("crates/services/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_buffer_copies_outside_construction_sites() {
+        let src = "fn f(req: &Request) -> Vec<u8> { req.body.to_vec() }";
+        let d = diags_for("crates/portal/src/site.rs", src);
+        assert_eq!(codes(&d), ["R6"]);
+        assert!(d[0].message.contains("to_vec"));
+        // The Body construction site itself is allowlisted.
+        assert!(diags_for("crates/http/src/body.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_clone_and_owned_event_bridge() {
+        let cl = "fn f(e: &Exchange) { store(e.response_events.clone()); }";
+        assert_eq!(codes(&diags_for("crates/portal/src/site.rs", cl)), ["R6"]);
+        let bridge = "fn f(seq: &SaxEventSequence) { let v = seq.to_owned_events(); }";
+        assert_eq!(
+            codes(&diags_for("crates/portal/src/site.rs", bridge)),
+            ["R6"]
+        );
+        assert!(diags_for("crates/xml/src/event.rs", bridge).is_empty());
+    }
+
+    #[test]
+    fn r6_ignores_tests_and_unrelated_receivers() {
+        let test_only = "#[cfg(test)]\nmod tests { fn f(req: &Request) { req.body.clone(); } }";
+        assert!(diags_for("crates/portal/src/site.rs", test_only).is_empty());
+        // Non-buffer receivers copy freely.
+        let ok = "fn f(names: &[String]) -> Vec<String> { names.to_vec() }";
+        assert!(diags_for("crates/portal/src/site.rs", ok).is_empty());
+        // Non-copy methods on buffers are fine.
+        let len = "fn f(req: &Request) -> usize { req.body.len() }";
+        assert!(diags_for("crates/portal/src/site.rs", len).is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! R6 trigger: copying a shared payload buffer layer-by-layer.
+
+fn echo(request: &Request) -> Response {
+    // Copies the whole payload even though `Body` shares its bytes.
+    let bytes = request.body.to_vec();
+    Response::ok("text/plain", bytes)
+}
+
+fn stash(exchange: &Exchange) -> Vec<SaxEvent> {
+    // Materializes every recorded event out of the arena.
+    exchange.response_events.to_owned_events()
+}

@@ -1,0 +1,93 @@
+//! Message-pipeline benchmark with a machine-readable report.
+//!
+//! ```text
+//! bench_pipeline [--smoke] [--out PATH]
+//! ```
+//!
+//! The full run measures parse / replay / build / retrieve with a real
+//! monotonic clock and writes `results/BENCH_pipeline.json` (including
+//! the compiled-in PR 3 baseline column); `--smoke` (run by
+//! `scripts/verify.sh`) uses a deterministic fake clock, tiny op counts,
+//! and writes to `target/bench_pipeline_smoke.json`. Either way the
+//! report is validated against the `wsrc-bench-pipeline/v1` schema and
+//! the process exits non-zero when the shape is wrong.
+
+use wsrc_bench::pipeline_bench::{
+    report_to_json, run_plan, validate_report, PipelinePlan, BASELINE_PR3,
+};
+use wsrc_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| {
+        if smoke {
+            "target/bench_pipeline_smoke.json".to_string()
+        } else {
+            "results/BENCH_pipeline.json".to_string()
+        }
+    });
+    let plan = if smoke {
+        PipelinePlan::smoke()
+    } else {
+        PipelinePlan::full()
+    };
+
+    let results = run_plan(&plan);
+    let json = report_to_json(plan.mode(), &results);
+    if let Err(why) = validate_report(&json) {
+        eprintln!("bench_pipeline: report failed schema validation: {why}");
+        std::process::exit(1);
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("bench_pipeline: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_pipeline: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let baseline_for = |scenario: &str| {
+        BASELINE_PR3
+            .iter()
+            .find(|(name, _)| *name == scenario)
+            .map(|(_, ns)| format!("{ns:.0}"))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.ops.to_string(),
+                format!("{:.0}", r.ns_per_op),
+                baseline_for(&r.scenario),
+                r.latency.p50_nanos().to_string(),
+                r.latency.p99_nanos().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("bench_pipeline ({} mode) -> {out}", plan.mode()),
+            &["scenario", "ops", "ns/op", "pr3 ns/op", "p50 ns", "p99 ns"],
+            &rows,
+        )
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    if let Some(v) = args
+        .iter()
+        .find_map(|a| a.strip_prefix(&format!("{flag}=")))
+    {
+        return Some(v.to_string());
+    }
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}

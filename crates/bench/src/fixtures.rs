@@ -29,15 +29,19 @@ pub struct OperationFixture {
     pub value: Value,
     /// The response envelope XML.
     pub xml: String,
-    /// The SAX events recorded while parsing `xml`.
-    pub events: SaxEventSequence,
+    /// The same XML as a shared byte buffer — what the transport's
+    /// response body would hand the cache on a real miss.
+    pub xml_bytes: std::sync::Arc<[u8]>,
+    /// The SAX events recorded while parsing `xml`, shared as on the
+    /// real miss path.
+    pub events: std::sync::Arc<SaxEventSequence>,
 }
 
 impl OperationFixture {
     /// The artifacts a cache miss would hand to the cache.
     pub fn artifacts(&self) -> MissArtifacts<'_> {
         MissArtifacts {
-            xml: &self.xml,
+            xml: &self.xml_bytes,
             events: &self.events,
             value: &self.value,
         }
@@ -103,8 +107,9 @@ pub fn google_fixtures() -> Vec<OperationFixture> {
                 request,
                 return_type,
                 value,
+                xml_bytes: std::sync::Arc::from(xml.as_bytes()),
                 xml,
-                events,
+                events: std::sync::Arc::new(events),
             }
         })
         .collect()

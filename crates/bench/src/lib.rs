@@ -20,6 +20,7 @@ pub mod figures;
 pub mod fixtures;
 pub mod json;
 pub mod obs_report;
+pub mod pipeline_bench;
 pub mod store_bench;
 pub mod tables;
 pub mod timing;

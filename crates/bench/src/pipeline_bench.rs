@@ -1,0 +1,441 @@
+//! The message-pipeline benchmark behind the `bench_pipeline` binary.
+//!
+//! Measures the per-message cost of each pipeline stage over the three
+//! Google fixtures (§5.1): raw XML parsing into a SAX sequence, replaying
+//! a recorded sequence, and building / retrieving every cache-value
+//! representation. Results go to `results/BENCH_pipeline.json`
+//! (schema [`SCHEMA`]) next to a compiled-in PR 3 baseline so the
+//! zero-copy pipeline's effect is visible in one document.
+//!
+//! Timing goes through the injected [`Clock`] (analyzer rule R3): the
+//! full run uses a [`MonotonicClock`]; `--smoke` (wired into
+//! `scripts/verify.sh`) uses a [`ManualClock`] advancing a fixed tick per
+//! operation, so the smoke report's shape is deterministic and only the
+//! JSON schema — never timings — is asserted.
+
+use crate::fixtures::{google_fixtures, registry, OperationFixture};
+use crate::json::Json;
+use wsrc_cache::repr::{StoredResponse, ValueRepresentation};
+use wsrc_model::typeinfo::TypeRegistry;
+use wsrc_obs::{Clock, HistogramSnapshot, ManualClock, MetricsRegistry, MonotonicClock};
+use wsrc_xml::reader::XmlReader;
+use wsrc_xml::sax::ContentHandler;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "wsrc-bench-pipeline/v1";
+
+/// Fixed fake-time advance per operation in smoke mode (1 µs).
+const SMOKE_TICK_NANOS: u64 = 1_000;
+
+/// Mean ns/op per scenario measured at the PR 3 harness baseline
+/// (commit 302d0e1, owned-event `SaxEventSequence`, `String`-named
+/// `QName`, per-layer body copies), captured with the full plan on the
+/// same machine class that produces `results/BENCH_pipeline.json`.
+pub const BASELINE_PR3: &[(&str, f64)] = &[
+    ("xml/parse", 26216.6),
+    ("sax/replay", 84.3),
+    ("build/xml-message", 169.5),
+    ("build/dom-tree", 13186.2),
+    ("build/sax-events", 7206.4),
+    ("build/serialization", 4727.7),
+    ("build/reflection-copy", 5667.5),
+    ("build/clone-copy", 6907.8),
+    ("build/pass-by-reference", 2418.8),
+    ("retrieve/xml-message", 46047.1),
+    ("retrieve/dom-tree", 17253.7),
+    ("retrieve/sax-events", 28184.7),
+    ("retrieve/serialization", 6712.5),
+    ("retrieve/reflection-copy", 6081.9),
+    ("retrieve/clone-copy", 5821.9),
+    ("retrieve/pass-by-reference", 104.4),
+];
+
+/// Label identifying the baseline column of the report.
+pub const BASELINE_LABEL: &str = "pr3-302d0e1";
+
+/// The time source driving a run (see `store_bench::BenchClock`; kept
+/// separate so the two harnesses stay independently readable).
+pub enum BenchClock {
+    /// Real monotonic time — the full benchmark.
+    Mono(MonotonicClock),
+    /// Hand-advanced fake time — deterministic smoke runs.
+    Manual(ManualClock),
+}
+
+impl BenchClock {
+    fn tick(&self) {
+        if let BenchClock::Manual(clock) = self {
+            clock.advance_nanos(SMOKE_TICK_NANOS);
+        }
+    }
+}
+
+impl Clock for BenchClock {
+    fn now_millis(&self) -> u64 {
+        match self {
+            BenchClock::Mono(clock) => clock.now_millis(),
+            BenchClock::Manual(clock) => clock.now_millis(),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        match self {
+            BenchClock::Mono(clock) => clock.now_nanos(),
+            BenchClock::Manual(clock) => clock.now_nanos(),
+        }
+    }
+}
+
+/// Sizing for one pipeline run. All scenarios are single-threaded: the
+/// pipeline stages are pure CPU; concurrency is `bench_store`'s job.
+#[derive(Debug, Clone)]
+pub struct PipelinePlan {
+    /// Ops for the XML-parse scenario.
+    pub parse_ops: u64,
+    /// Ops for the SAX-replay scenario.
+    pub replay_ops: u64,
+    /// Ops per representation for the build scenarios.
+    pub build_ops: u64,
+    /// Ops per representation for the retrieve scenarios.
+    pub retrieve_ops: u64,
+    /// Whether this is a smoke run (fake clock, schema check only).
+    pub smoke: bool,
+}
+
+impl PipelinePlan {
+    /// The full measurement plan (real clock).
+    pub fn full() -> Self {
+        PipelinePlan {
+            parse_ops: 20_000,
+            replay_ops: 60_000,
+            build_ops: 30_000,
+            retrieve_ops: 30_000,
+            smoke: false,
+        }
+    }
+
+    /// The deterministic smoke plan run by `scripts/verify.sh`.
+    pub fn smoke() -> Self {
+        PipelinePlan {
+            parse_ops: 30,
+            replay_ops: 60,
+            build_ops: 30,
+            retrieve_ops: 30,
+            smoke: true,
+        }
+    }
+
+    /// The mode string stamped into the report.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    fn clock(&self) -> BenchClock {
+        if self.smoke {
+            BenchClock::Manual(ManualClock::new())
+        } else {
+            BenchClock::Mono(MonotonicClock::new())
+        }
+    }
+}
+
+/// One scenario measurement.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Scenario name (`xml/parse`, `build/<repr>`, `retrieve/<repr>`, …).
+    pub scenario: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Wall-clock (or fake-clock) nanoseconds for the whole scenario.
+    pub elapsed_nanos: u64,
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Throughput over the measured window.
+    pub ops_per_sec: f64,
+    /// Per-operation latency distribution (log2 buckets).
+    pub latency: HistogramSnapshot,
+}
+
+/// Swallows replayed events; overriding nothing, it costs exactly the
+/// dispatch — the floor any SAX consumer pays.
+struct NullHandler;
+
+impl ContentHandler for NullHandler {
+    type Error = std::convert::Infallible;
+}
+
+/// Runs one single-threaded scenario, recording per-op latency.
+fn run_scenario(
+    name: &str,
+    ops: u64,
+    clock: &BenchClock,
+    mut op: impl FnMut(u64),
+) -> PipelineResult {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("bench_pipeline_nanos", &[("scenario", name)]);
+    let start = clock.now_nanos();
+    for i in 0..ops {
+        let t0 = clock.now_nanos();
+        op(i);
+        clock.tick();
+        histogram.record_nanos(clock.now_nanos().saturating_sub(t0));
+    }
+    let elapsed_nanos = clock.now_nanos().saturating_sub(start).max(1);
+    PipelineResult {
+        scenario: name.to_string(),
+        ops,
+        elapsed_nanos,
+        ns_per_op: elapsed_nanos as f64 / ops.max(1) as f64,
+        ops_per_sec: ops as f64 * 1e9 / elapsed_nanos as f64,
+        latency: histogram.snapshot(),
+    }
+}
+
+fn bench_parse(plan: &PipelinePlan, fixtures: &[OperationFixture]) -> PipelineResult {
+    let clock = plan.clock();
+    run_scenario("xml/parse", plan.parse_ops, &clock, |i| {
+        let f = &fixtures[(i % fixtures.len() as u64) as usize];
+        std::hint::black_box(XmlReader::new(&f.xml).read_sequence().ok());
+    })
+}
+
+fn bench_replay(plan: &PipelinePlan, fixtures: &[OperationFixture]) -> PipelineResult {
+    let clock = plan.clock();
+    run_scenario("sax/replay", plan.replay_ops, &clock, |i| {
+        let f = &fixtures[(i % fixtures.len() as u64) as usize];
+        let mut sink = NullHandler;
+        let _ = std::hint::black_box(f.events.replay(&mut sink));
+    })
+}
+
+/// The fixtures to which `repr` applies (paper Table 7 "n/a" cells make
+/// some build attempts fail by design — those fixtures are skipped).
+fn applicable<'f>(
+    repr: ValueRepresentation,
+    fixtures: &'f [OperationFixture],
+    registry: &TypeRegistry,
+) -> Vec<(&'f OperationFixture, StoredResponse)> {
+    fixtures
+        .iter()
+        .filter_map(|f| {
+            StoredResponse::build(repr, f.artifacts(), registry)
+                .ok()
+                .map(|stored| (f, stored))
+        })
+        .collect()
+}
+
+fn bench_build(
+    plan: &PipelinePlan,
+    repr: ValueRepresentation,
+    fixtures: &[OperationFixture],
+    registry: &TypeRegistry,
+) -> Option<PipelineResult> {
+    let clock = plan.clock();
+    let usable: Vec<&OperationFixture> = applicable(repr, fixtures, registry)
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
+    if usable.is_empty() {
+        return None;
+    }
+    let name = format!("build/{}", repr.metric_label());
+    Some(run_scenario(&name, plan.build_ops, &clock, |i| {
+        let f = usable[(i % usable.len() as u64) as usize];
+        std::hint::black_box(StoredResponse::build(repr, f.artifacts(), registry).ok());
+    }))
+}
+
+fn bench_retrieve(
+    plan: &PipelinePlan,
+    repr: ValueRepresentation,
+    fixtures: &[OperationFixture],
+    registry: &TypeRegistry,
+) -> Option<PipelineResult> {
+    let clock = plan.clock();
+    let usable = applicable(repr, fixtures, registry);
+    if usable.is_empty() {
+        return None;
+    }
+    let name = format!("retrieve/{}", repr.metric_label());
+    Some(run_scenario(&name, plan.retrieve_ops, &clock, |i| {
+        let (f, stored) = &usable[(i % usable.len() as u64) as usize];
+        std::hint::black_box(stored.retrieve(&f.return_type, registry).ok());
+    }))
+}
+
+/// Runs the whole plan in a stable scenario order.
+pub fn run_plan(plan: &PipelinePlan) -> Vec<PipelineResult> {
+    let fixtures = google_fixtures();
+    let registry = registry();
+    let mut results = vec![bench_parse(plan, &fixtures), bench_replay(plan, &fixtures)];
+    for repr in ValueRepresentation::ALL_EXTENDED {
+        if let Some(r) = bench_build(plan, repr, &fixtures, &registry) {
+            results.push(r);
+        }
+    }
+    for repr in ValueRepresentation::ALL_EXTENDED {
+        if let Some(r) = bench_retrieve(plan, repr, &fixtures, &registry) {
+            results.push(r);
+        }
+    }
+    results
+}
+
+/// Renders the report document (see [`SCHEMA`]): a `baseline` section
+/// with the compiled-in PR 3 numbers and a `scenarios` array with the
+/// measurements of this build.
+pub fn report_to_json(mode: &str, results: &[PipelineResult]) -> String {
+    let baseline = BASELINE_PR3
+        .iter()
+        .map(|(scenario, ns)| {
+            format!("      {{\"scenario\":\"{scenario}\",\"ns_per_op\":{ns:.1}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scenarios = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scenario\":\"{}\",\"ops\":{},\"elapsed_nanos\":{},\
+                 \"ns_per_op\":{:.1},\"ops_per_sec\":{:.1},\"latency\":{}}}",
+                r.scenario,
+                r.ops,
+                r.elapsed_nanos,
+                r.ns_per_op,
+                r.ops_per_sec,
+                r.latency.to_json_object()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"schema\":\"{SCHEMA}\",\n  \"mode\":\"{mode}\",\n  \
+         \"baseline\":{{\"label\":\"{BASELINE_LABEL}\",\"rows\":[\n{baseline}\n  ]}},\n  \
+         \"scenarios\":[\n{scenarios}\n  ]\n}}\n"
+    )
+}
+
+/// Structural validation of a report document: schema tag, mode, the
+/// baseline section, and the required numeric fields on every scenario.
+/// Timings are deliberately not checked — smoke asserts shape, not speed.
+pub fn validate_report(json: &str) -> Result<(), String> {
+    let doc = Json::parse(json)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag: {other:?}")),
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("bad mode: {other:?}")),
+    }
+    let baseline = doc.get("baseline").ok_or("missing baseline section")?;
+    baseline
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("baseline missing label")?;
+    let rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing rows array")?;
+    for row in rows {
+        row.get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("baseline row missing scenario")?;
+        row.get("ns_per_op")
+            .and_then(Json::as_num)
+            .ok_or("baseline row missing ns_per_op")?;
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("empty scenarios array".to_string());
+    }
+    for s in scenarios {
+        let name = s
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("scenario missing name")?;
+        for field in ["ops", "elapsed_nanos", "ns_per_op", "ops_per_sec"] {
+            let v = s
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{name}: missing numeric field {field}"))?;
+            if v <= 0.0 {
+                return Err(format!("{name}: non-positive {field}"));
+            }
+        }
+        let latency = s
+            .get("latency")
+            .ok_or_else(|| format!("{name}: missing latency"))?;
+        for field in ["count", "p50_nanos", "p99_nanos", "mean_nanos"] {
+            latency
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{name}: latency missing {field}"))?;
+        }
+    }
+    for required in [
+        "xml/parse",
+        "sax/replay",
+        "build/xml-message",
+        "build/sax-events",
+        "retrieve/xml-message",
+        "retrieve/sax-events",
+    ] {
+        if !scenarios.iter().any(|s| {
+            s.get("scenario")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n == required)
+        }) {
+            return Err(format!("missing required scenario {required}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_a_valid_report() {
+        let plan = PipelinePlan::smoke();
+        let results = run_plan(&plan);
+        // parse + replay + at least xml/sax/serialized/shared-ref rows
+        // on both the build and retrieve sides.
+        assert!(results.len() >= 10, "only {} scenarios", results.len());
+        let json = report_to_json(plan.mode(), &results);
+        validate_report(&json).unwrap();
+    }
+
+    #[test]
+    fn smoke_mode_is_deterministic() {
+        let plan = PipelinePlan::smoke();
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.elapsed_nanos, y.elapsed_nanos);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_reports() {
+        let plan = PipelinePlan::smoke();
+        let results = run_plan(&plan);
+        let good = report_to_json("smoke", &results);
+        assert!(validate_report(&good.replace("wsrc-bench-pipeline/v1", "v0")).is_err());
+        assert!(validate_report(&good.replace("\"baseline\"", "\"baseliny\"")).is_err());
+        assert!(validate_report(&good.replace("xml/parse", "xml/parsed")).is_err());
+        assert!(validate_report(&good.replace("\"ns_per_op\"", "\"ns\"")).is_err());
+    }
+}

@@ -219,7 +219,7 @@ fn run_scenario(
 /// A ~1 KiB stored response for raw-store scenarios (Arc-backed, so
 /// per-op clones are pointer bumps, as on the real hit path).
 fn store_value() -> StoredResponse {
-    StoredResponse::XmlMessage(Arc::from("x".repeat(1024)))
+    StoredResponse::XmlMessage(Arc::from("x".repeat(1024).into_bytes()))
 }
 
 fn store_key(i: u64) -> CacheKey {
@@ -365,6 +365,8 @@ fn bench_client_hits(
     let expected = FieldType::Struct("Item".into());
     let xml = serialize_response("urn:bench", "getItem", "return", &value, &registry).ok()?;
     let (_, events) = read_response_xml_recording(&xml, &expected, &registry).ok()?;
+    let xml: Arc<[u8]> = Arc::from(xml.into_bytes());
+    let events = Arc::new(events);
     let requests: Vec<RpcRequest> = (0..64)
         .map(|i| RpcRequest::new("urn:bench", "getItem").with_param("id", i))
         .collect();

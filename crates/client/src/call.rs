@@ -30,12 +30,17 @@ fn stage_timer(stage: &'static str) -> &'static Histogram {
 }
 
 /// Everything a completed exchange produced — handed to the cache layer.
+///
+/// The XML bytes are the HTTP response body's own allocation and the
+/// event sequence is behind an `Arc`, so storing either representation
+/// in the cache is a reference-count bump: the bytes read from the
+/// socket are never copied again.
 #[derive(Debug)]
 pub struct Exchange {
-    /// The response XML text.
-    pub response_xml: String,
+    /// The response XML bytes, shared with the HTTP response body.
+    pub response_xml: Arc<[u8]>,
     /// The SAX events recorded while parsing the response.
-    pub response_events: SaxEventSequence,
+    pub response_events: Arc<SaxEventSequence>,
     /// The deserialized return value.
     pub value: Value,
     /// The response's `Last-Modified` header, if the server sent one —
@@ -145,7 +150,7 @@ impl Call {
         let mut http_request = Request::post(
             self.endpoint.path(),
             wsrc_soap::envelope::CONTENT_TYPE,
-            request_xml.into_bytes(),
+            request_xml,
         )
         .with_header("SOAPAction", format!("\"{}\"", descriptor.soap_action));
         if let Some(ims) = if_modified_since {
@@ -160,14 +165,16 @@ impl Call {
             return Ok(ConditionalOutcome::NotModified);
         }
         // Both 200 and 500 may carry SOAP envelopes (faults use 500).
-        let body = String::from_utf8_lossy(&http_response.body).into_owned();
+        // Strict UTF-8: a mangled body fails loudly instead of being
+        // silently repaired and then cached.
+        let body = http_response.body_text().map_err(ClientError::Http)?;
         if !http_response.status.is_success()
             && http_response.status != wsrc_http::Status::INTERNAL_SERVER_ERROR
         {
             return Err(ClientError::Http(wsrc_http::HttpError::Status {
                 code: http_response.status.0,
                 reason: http_response.status.reason().to_string(),
-                body,
+                body: body.to_string(),
             }));
         }
         let last_modified = http_response
@@ -175,12 +182,14 @@ impl Call {
             .get("Last-Modified")
             .map(str::to_string);
         let (outcome, events) = stage_timer("deserialize")
-            .time(|| read_response_xml_recording(&body, &descriptor.return_type, &self.registry))
+            .time(|| read_response_xml_recording(body, &descriptor.return_type, &self.registry))
             .map_err(ClientError::Soap)?;
         match outcome {
+            // Zero-copy hand-off: the exchange shares the HTTP body's
+            // allocation instead of re-owning the text.
             RpcOutcome::Return(value) => Ok(ConditionalOutcome::Fresh(Exchange {
-                response_xml: body,
-                response_events: events,
+                response_xml: http_response.body.shared(),
+                response_events: Arc::new(events),
                 value,
                 last_modified,
             })),
@@ -217,8 +226,12 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             let registry = TypeRegistry::new();
             let ops = vec![echo_op()];
-            let req = wsrc_soap::deserializer::parse_request(&request.body_text(), &ops, &registry)
-                .expect("valid request");
+            let req = wsrc_soap::deserializer::parse_request(
+                request.body_text().expect("soap request is utf-8"),
+                &ops,
+                &registry,
+            )
+            .expect("valid request");
             let text = req
                 .param("text")
                 .and_then(Value::as_str)
@@ -253,7 +266,8 @@ mod tests {
         let req = RpcRequest::new("urn:Echo", "echo").with_param("text", "hello");
         let exchange = call.invoke(&echo_op(), &req).unwrap();
         assert_eq!(exchange.value, Value::string("echo: hello"));
-        assert!(exchange.response_xml.contains("echoResponse"));
+        let xml = std::str::from_utf8(&exchange.response_xml).unwrap();
+        assert!(xml.contains("echoResponse"));
         assert!(exchange.response_events.len() > 5);
         assert_eq!(transport.requests_served(), 1);
     }

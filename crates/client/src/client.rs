@@ -286,9 +286,12 @@ mod tests {
     fn upper_handler() -> Arc<dyn Handler> {
         Arc::new(|request: &Request| {
             let registry = TypeRegistry::new();
-            let req =
-                wsrc_soap::deserializer::parse_request(&request.body_text(), &[op()], &registry)
-                    .expect("valid request");
+            let req = wsrc_soap::deserializer::parse_request(
+                request.body_text().expect("soap request is utf-8"),
+                &[op()],
+                &registry,
+            )
+            .expect("valid request");
             let text = req
                 .param("text")
                 .and_then(Value::as_str)

@@ -509,8 +509,8 @@ mod tests {
     }
 
     struct Fixture {
-        xml: String,
-        events: SaxEventSequence,
+        xml: Arc<[u8]>,
+        events: Arc<SaxEventSequence>,
         value: Value,
         expected: FieldType,
     }
@@ -521,8 +521,8 @@ mod tests {
         let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
         let (_, events) = read_response_xml_recording(&xml, &expected, &registry()).unwrap();
         Fixture {
-            xml,
-            events,
+            xml: Arc::from(xml.into_bytes()),
+            events: Arc::new(events),
             value,
             expected,
         }
@@ -654,6 +654,8 @@ mod tests {
         let xml = serialize_response("urn:t", "getItem", "return", &value, &registry()).unwrap();
         let (_, events) =
             read_response_xml_recording(&xml, &FieldType::String, &registry()).unwrap();
+        let xml: Arc<[u8]> = Arc::from(xml.into_bytes());
+        let events = Arc::new(events);
         let repr = cache
             .insert(
                 URL,

@@ -135,12 +135,18 @@ impl fmt::Display for ValueRepresentation {
 }
 
 /// What a cache miss produced, from which any representation can be built.
+///
+/// The XML bytes and the event sequence arrive as shared buffers: the
+/// XML slice is the HTTP response body itself and the events are the
+/// sequence recorded during deserialization, so building the
+/// `XmlMessage` or `SaxEvents` representation is a reference-count bump
+/// — no byte of the response is copied between socket read and store.
 #[derive(Debug, Clone, Copy)]
 pub struct MissArtifacts<'m> {
-    /// The raw response XML text.
-    pub xml: &'m str,
+    /// The raw response XML bytes, shared with the transport body.
+    pub xml: &'m Arc<[u8]>,
     /// The SAX event sequence recorded while deserializing the response.
-    pub events: &'m SaxEventSequence,
+    pub events: &'m Arc<SaxEventSequence>,
     /// The deserialized application object.
     pub value: &'m Value,
 }
@@ -151,8 +157,8 @@ pub struct MissArtifacts<'m> {
 /// concurrently without copying the stored form itself.
 #[derive(Debug, Clone)]
 pub enum StoredResponse {
-    /// Response XML text.
-    XmlMessage(Arc<str>),
+    /// Response XML bytes — the shared HTTP body slice itself.
+    XmlMessage(Arc<[u8]>),
     /// Parsed DOM tree of the response.
     DomTree(Arc<wsrc_xml::Document>),
     /// Recorded post-parsing representation.
@@ -219,7 +225,8 @@ impl StoredResponse {
     ) -> Result<StoredResponse, CacheError> {
         match repr {
             ValueRepresentation::XmlMessage => {
-                Ok(StoredResponse::XmlMessage(Arc::from(artifacts.xml)))
+                // Zero-copy: the stored entry shares the response body.
+                Ok(StoredResponse::XmlMessage(Arc::clone(artifacts.xml)))
             }
             ValueRepresentation::DomTree => {
                 // Rebuild the DOM from the recorded events (no re-parse).
@@ -227,9 +234,10 @@ impl StoredResponse {
                     .map_err(|e| CacheError::Soap(e.into()))?;
                 Ok(StoredResponse::DomTree(Arc::new(document)))
             }
-            ValueRepresentation::SaxEvents => Ok(StoredResponse::SaxEvents(Arc::new(
-                artifacts.events.clone(),
-            ))),
+            ValueRepresentation::SaxEvents => {
+                // Zero-copy: the stored entry shares the recorded arena.
+                Ok(StoredResponse::SaxEvents(Arc::clone(artifacts.events)))
+            }
             ValueRepresentation::Serialization => {
                 let bytes = binser::serialize_checked(artifacts.value, registry)?;
                 Ok(StoredResponse::Serialized(Arc::from(
@@ -281,10 +289,15 @@ impl StoredResponse {
         registry: &TypeRegistry,
     ) -> Result<ValueHandle, CacheError> {
         match self {
-            StoredResponse::XmlMessage(xml) => match read_response_xml(xml, expected, registry)? {
-                RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
-                RpcOutcome::Fault(f) => Err(CacheError::Soap(f.into())),
-            },
+            StoredResponse::XmlMessage(xml) => {
+                let text = std::str::from_utf8(xml).map_err(|e| {
+                    CacheError::Unusable(format!("cached xml is not valid utf-8: {e}"))
+                })?;
+                match read_response_xml(text, expected, registry)? {
+                    RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
+                    RpcOutcome::Fault(f) => Err(CacheError::Soap(f.into())),
+                }
+            }
             StoredResponse::DomTree(document) => {
                 match read_response_dom(document, expected, registry)? {
                     RpcOutcome::Return(v) => Ok(ValueHandle::Owned(v)),
@@ -352,10 +365,20 @@ mod tests {
     }
 
     struct Fixture {
-        xml: String,
-        events: SaxEventSequence,
+        xml: Arc<[u8]>,
+        events: Arc<SaxEventSequence>,
         value: Value,
         expected: FieldType,
+    }
+
+    impl Fixture {
+        fn artifacts(&self) -> MissArtifacts<'_> {
+            MissArtifacts {
+                xml: &self.xml,
+                events: &self.events,
+                value: &self.value,
+            }
+        }
     }
 
     fn fixture(value: Value, expected: FieldType) -> Fixture {
@@ -364,8 +387,8 @@ mod tests {
         let (outcome, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
         assert_eq!(outcome.as_return().unwrap(), &value);
         Fixture {
-            xml,
-            events,
+            xml: Arc::from(xml.into_bytes()),
+            events: Arc::new(events),
             value,
             expected,
         }
@@ -386,11 +409,7 @@ mod tests {
     fn every_representation_retrieves_the_same_object() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let artifacts = f.artifacts();
         for repr in ValueRepresentation::ALL_EXTENDED {
             let stored = StoredResponse::build(repr, artifacts, &r)
                 .unwrap_or_else(|e| panic!("{repr} failed to build: {e}"));
@@ -404,11 +423,7 @@ mod tests {
     fn only_pass_by_reference_shares() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let artifacts = f.artifacts();
         for repr in ValueRepresentation::ALL {
             let stored = StoredResponse::build(repr, artifacts, &r).unwrap();
             let handle = stored.retrieve(&f.expected, &r).unwrap();
@@ -424,11 +439,7 @@ mod tests {
     fn retrieved_copies_are_independent_of_the_cache() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let artifacts = f.artifacts();
         for repr in [
             ValueRepresentation::XmlMessage,
             ValueRepresentation::DomTree,
@@ -477,21 +488,13 @@ mod tests {
         let r = registry();
         // Bare string (SpellingSuggestion): reflection and clone are n/a.
         let s = fixture(Value::string("suggestion"), FieldType::String);
-        let art = MissArtifacts {
-            xml: &s.xml,
-            events: &s.events,
-            value: &s.value,
-        };
+        let art = s.artifacts();
         assert!(StoredResponse::build(ValueRepresentation::ReflectionCopy, art, &r).is_err());
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
         assert!(StoredResponse::build(ValueRepresentation::PassByReference, art, &r).is_ok());
         // Byte array (CachedPage): clone is n/a, reflection works.
         let b = fixture(Value::Bytes(vec![1; 64]), FieldType::Bytes);
-        let art = MissArtifacts {
-            xml: &b.xml,
-            events: &b.events,
-            value: &b.value,
-        };
+        let art = b.artifacts();
         assert!(StoredResponse::build(ValueRepresentation::ReflectionCopy, art, &r).is_ok());
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
     }
@@ -503,11 +506,7 @@ mod tests {
             Value::Struct(StructValue::new("NoClone").with("x", 1)),
             FieldType::Struct("NoClone".into()),
         );
-        let art = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let art = f.artifacts();
         assert!(StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).is_err());
         // But serialization and reflection work for this generated type.
         assert!(StoredResponse::build(ValueRepresentation::Serialization, art, &r).is_ok());
@@ -518,11 +517,7 @@ mod tests {
     fn sizes_follow_paper_table9_ordering_for_structs() {
         let r = registry();
         let f = struct_fixture();
-        let art = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let art = f.artifacts();
         let xml = StoredResponse::build(ValueRepresentation::XmlMessage, art, &r).unwrap();
         let ser = StoredResponse::build(ValueRepresentation::Serialization, art, &r).unwrap();
         let obj = StoredResponse::build(ValueRepresentation::CloneCopy, art, &r).unwrap();
@@ -560,11 +555,7 @@ mod tests {
     fn dom_tree_representation_is_parse_free_and_equivalent() {
         let r = registry();
         let f = struct_fixture();
-        let artifacts = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let artifacts = f.artifacts();
         let stored = StoredResponse::build(ValueRepresentation::DomTree, artifacts, &r).unwrap();
         assert_eq!(stored.representation(), ValueRepresentation::DomTree);
         let got = stored.retrieve(&f.expected, &r).unwrap();
@@ -579,11 +570,7 @@ mod tests {
     fn shared_handles_alias_the_cached_object() {
         let r = registry();
         let f = struct_fixture();
-        let art = MissArtifacts {
-            xml: &f.xml,
-            events: &f.events,
-            value: &f.value,
-        };
+        let art = f.artifacts();
         let stored = StoredResponse::build(ValueRepresentation::PassByReference, art, &r).unwrap();
         let h1 = stored.retrieve(&f.expected, &r).unwrap();
         let h2 = stored.retrieve(&f.expected, &r).unwrap();

@@ -735,7 +735,7 @@ mod tests {
     }
 
     fn value(size: usize) -> StoredResponse {
-        StoredResponse::XmlMessage(Arc::from("x".repeat(size)))
+        StoredResponse::XmlMessage(Arc::from("x".repeat(size).into_bytes()))
     }
 
     #[test]

@@ -149,6 +149,8 @@ fn applicable_representations_agree_on_retrieval() {
         let xml = serialize_response("urn:t", "op", "return", &value, &r).unwrap();
         let (outcome, events) = read_response_xml_recording(&xml, &expected, &r).unwrap();
         assert_eq!(outcome.as_return().unwrap(), &value, "seed {seed}");
+        let xml: std::sync::Arc<[u8]> = std::sync::Arc::from(xml.into_bytes());
+        let events = std::sync::Arc::new(events);
         let artifacts = MissArtifacts {
             xml: &xml,
             events: &events,
@@ -179,7 +181,7 @@ fn store_never_exceeds_capacity() {
             let k = rng.below(40);
             let size = 1 + rng.below(399);
             let key = CacheKey::Text(format!("k{k}"));
-            let value = StoredResponse::XmlMessage(Arc::from("v".repeat(size)));
+            let value = StoredResponse::XmlMessage(Arc::from("v".repeat(size).into_bytes()));
             store.put(key, value, u64::MAX, 0);
             assert!(store.len() <= 10, "len {} > 10 (seed {seed})", store.len());
             assert!(
@@ -201,7 +203,7 @@ fn store_get_after_put_returns_live_until_expiry() {
         let key = CacheKey::Text("k".into());
         store.put(
             key.clone(),
-            StoredResponse::XmlMessage(Arc::from("v")),
+            StoredResponse::XmlMessage(Arc::from(&b"v"[..])),
             ttl,
             0,
         );

@@ -38,7 +38,7 @@ fn key(n: usize) -> CacheKey {
 }
 
 fn value(size: usize) -> StoredResponse {
-    StoredResponse::XmlMessage(Arc::from("x".repeat(size)))
+    StoredResponse::XmlMessage(Arc::from("x".repeat(size).into_bytes()))
 }
 
 const FAR_FUTURE: u64 = u64::MAX;

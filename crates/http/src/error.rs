@@ -25,6 +25,11 @@ pub enum HttpError {
     },
     /// The operation exceeded its deadline.
     Timeout,
+    /// A body was accessed as text but is not valid UTF-8. Raised by
+    /// the strict accessors ([`crate::Body::text`]) that replaced the
+    /// old lossy ones — bad bytes now fail loudly instead of being
+    /// silently replaced before caching.
+    BodyNotUtf8(std::str::Utf8Error),
 }
 
 impl HttpError {
@@ -42,6 +47,7 @@ impl fmt::Display for HttpError {
             HttpError::BadUrl(u) => write!(f, "invalid url: {u}"),
             HttpError::Status { code, reason, .. } => write!(f, "http status {code} {reason}"),
             HttpError::Timeout => f.write_str("http operation timed out"),
+            HttpError::BodyNotUtf8(e) => write!(f, "body is not valid utf-8: {e}"),
         }
     }
 }
@@ -50,6 +56,7 @@ impl Error for HttpError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             HttpError::Io(e) => Some(e),
+            HttpError::BodyNotUtf8(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +91,10 @@ mod tests {
         };
         assert!(s.to_string().contains("500"));
         assert_eq!(HttpError::Timeout.to_string(), "http operation timed out");
+        let utf8 = std::str::from_utf8(&[0xff]).unwrap_err();
+        assert!(HttpError::BodyNotUtf8(utf8)
+            .to_string()
+            .contains("not valid utf-8"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   in-process dispatch, and a simulated-latency wrapper for
 //!   deterministic benchmarks.
 
+pub mod body;
 pub mod cache_control;
 pub mod client;
 pub mod date;
@@ -25,6 +26,7 @@ pub mod server;
 pub mod transport;
 pub mod url;
 
+pub use body::Body;
 pub use client::HttpClient;
 pub use error::HttpError;
 pub use message::{Headers, Method, Request, Response, Status};

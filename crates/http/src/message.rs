@@ -1,8 +1,15 @@
 //! HTTP request/response model and wire (de)serialization.
+//!
+//! Bodies are shared [`Body`] buffers (`Arc<[u8]>`): bytes are copied
+//! once at construction and every later layer shares the allocation.
+//! Wire serialization builds the whole head in one preallocated buffer
+//! and pushes head + body to the socket with a single vectored write.
 
+use crate::body::Body;
 use crate::error::HttpError;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, IoSlice, Write};
 
 /// Request methods the substrate supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,8 +165,8 @@ pub struct Request {
     pub target: String,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Shared body bytes.
+    pub body: Body,
 }
 
 impl Request {
@@ -169,19 +176,19 @@ impl Request {
             method: Method::Get,
             target: target.into(),
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
     /// Creates a POST request with a body.
-    pub fn post(target: impl Into<String>, content_type: &str, body: Vec<u8>) -> Self {
+    pub fn post(target: impl Into<String>, content_type: &str, body: impl Into<Body>) -> Self {
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type);
         Request {
             method: Method::Post,
             target: target.into(),
             headers,
-            body,
+            body: body.into(),
         }
     }
 
@@ -192,23 +199,25 @@ impl Request {
     }
 
     /// Serializes onto a writer, filling in `Content-Length` and `Host`.
+    /// The head is assembled once in a preallocated buffer and pushed
+    /// together with the body in a single vectored write.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, w: &mut W, host: &str) -> Result<(), HttpError> {
-        let mut head = format!("{} {} HTTP/1.1\r\n", self.method, self.target);
+        let mut head = String::with_capacity(64 + host.len() + headers_wire_len(&self.headers));
+        head.push_str(self.method.as_str());
+        head.push(' ');
+        head.push_str(&self.target);
+        head.push_str(" HTTP/1.1\r\n");
         if !self.headers.contains("Host") {
-            head.push_str(&format!("Host: {host}\r\n"));
+            head.push_str("Host: ");
+            head.push_str(host);
+            head.push_str("\r\n");
         }
-        for (n, v) in self.headers.iter() {
-            head.push_str(&format!("{n}: {v}\r\n"));
-        }
-        head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
-        w.flush()?;
-        Ok(())
+        push_header_lines(&mut head, &self.headers, self.body.len());
+        write_message(w, &head, &self.body)
     }
 
     /// Reads one request from a buffered reader. Returns `Ok(None)` on a
@@ -236,7 +245,8 @@ impl Request {
             )));
         }
         let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
+        // The one copy in the pipeline: read buffer → shared Body.
+        let body = Body::from(read_body(r, &headers)?);
         Ok(Some(Request {
             method,
             target,
@@ -245,9 +255,13 @@ impl Request {
         }))
     }
 
-    /// The request body as UTF-8 text (lossy).
-    pub fn body_text(&self) -> std::borrow::Cow<'_, str> {
-        String::from_utf8_lossy(&self.body)
+    /// The request body as UTF-8 text, strictly validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::BodyNotUtf8`] for invalid UTF-8.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        self.body.text()
     }
 }
 
@@ -258,13 +272,14 @@ pub struct Response {
     pub status: Status,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Shared body bytes.
+    pub body: Body,
 }
 
 impl Response {
     /// Creates a response with a body and content type.
-    pub fn new(status: Status, content_type: &str, body: Vec<u8>) -> Self {
+    pub fn new(status: Status, content_type: &str, body: impl Into<Body>) -> Self {
+        let body = body.into();
         let mut headers = Headers::new();
         if !body.is_empty() || status.is_success() {
             headers.set("Content-Type", content_type);
@@ -277,7 +292,7 @@ impl Response {
     }
 
     /// A `200 OK` response.
-    pub fn ok(content_type: &str, body: Vec<u8>) -> Self {
+    pub fn ok(content_type: &str, body: impl Into<Body>) -> Self {
         Response::new(Status::OK, content_type, body)
     }
 
@@ -286,17 +301,13 @@ impl Response {
         Response {
             status: Status::NOT_MODIFIED,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
     /// A plain-text error response.
     pub fn error(status: Status, message: &str) -> Self {
-        Response::new(
-            status,
-            "text/plain; charset=utf-8",
-            message.as_bytes().to_vec(),
-        )
+        Response::new(status, "text/plain; charset=utf-8", message.as_bytes())
     }
 
     /// Builder-style header setter.
@@ -305,21 +316,22 @@ impl Response {
         self
     }
 
-    /// Serializes onto a writer, filling in `Content-Length`.
+    /// Serializes onto a writer, filling in `Content-Length`. The head
+    /// is assembled once in a preallocated buffer and pushed together
+    /// with the body in a single vectored write.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
-        let mut head = format!("HTTP/1.1 {}\r\n", self.status);
-        for (n, v) in self.headers.iter() {
-            head.push_str(&format!("{n}: {v}\r\n"));
-        }
-        head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
-        w.flush()?;
-        Ok(())
+        let mut head = String::with_capacity(64 + headers_wire_len(&self.headers));
+        head.push_str("HTTP/1.1 ");
+        let _ = write!(head, "{}", self.status.0);
+        head.push(' ');
+        head.push_str(self.status.reason());
+        head.push_str("\r\n");
+        push_header_lines(&mut head, &self.headers, self.body.len());
+        write_message(w, &head, &self.body)
     }
 
     /// Reads one response from a buffered reader.
@@ -344,7 +356,8 @@ impl Response {
             .parse()
             .map_err(|_| HttpError::protocol("bad status code"))?;
         let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
+        // The one copy in the pipeline: read buffer → shared Body.
+        let body = Body::from(read_body(r, &headers)?);
         Ok(Response {
             status: Status(code),
             headers,
@@ -352,10 +365,68 @@ impl Response {
         })
     }
 
-    /// The response body as UTF-8 text (lossy).
-    pub fn body_text(&self) -> std::borrow::Cow<'_, str> {
-        String::from_utf8_lossy(&self.body)
+    /// The response body as UTF-8 text, strictly validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::BodyNotUtf8`] for invalid UTF-8.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        self.body.text()
     }
+}
+
+/// Wire length of the header block, for preallocating the head buffer
+/// (`name: value\r\n` per line, plus room for `Content-Length`).
+fn headers_wire_len(headers: &Headers) -> usize {
+    headers
+        .iter()
+        .map(|(n, v)| n.len() + v.len() + 4)
+        .sum::<usize>()
+        + 32
+}
+
+/// Appends the header lines plus the final `Content-Length` line and
+/// blank separator to a head buffer, with no intermediate allocations.
+fn push_header_lines(head: &mut String, headers: &Headers, body_len: usize) {
+    for (n, v) in headers.iter() {
+        head.push_str(n);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("Content-Length: ");
+    let _ = write!(head, "{body_len}");
+    head.push_str("\r\n\r\n");
+}
+
+/// Writes head and body with vectored I/O: both buffers go to the
+/// writer in one syscall when the transport supports it, instead of
+/// the old two sequential `write_all` calls.
+fn write_message<W: Write>(w: &mut W, head: &str, body: &[u8]) -> Result<(), HttpError> {
+    let head = head.as_bytes();
+    let total = head.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let (head_rest, body_rest) = if written < head.len() {
+            (&head[written..], body)
+        } else {
+            (&[][..], &body[written - head.len()..])
+        };
+        let bufs = [IoSlice::new(head_rest), IoSlice::new(body_rest)];
+        match w.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole http message",
+                )))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    w.flush()?;
+    Ok(())
 }
 
 fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
@@ -562,6 +633,59 @@ mod tests {
         assert!(Status::OK.is_success());
         assert!(!Status::INTERNAL_SERVER_ERROR.is_success());
         assert_eq!(Status(299).reason(), "Unknown");
+    }
+
+    /// A writer that accepts at most a few bytes per call, forcing
+    /// `write_message` to iterate across the head/body boundary.
+    struct Trickle {
+        data: Vec<u8>,
+        max: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.max);
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let resp = Response::ok("text/xml", b"<payload>0123456789</payload>".to_vec());
+        let mut full = Vec::new();
+        resp.write_to(&mut full).unwrap();
+        for max in [1, 3, 7] {
+            let mut trickle = Trickle {
+                data: Vec::new(),
+                max,
+            };
+            resp.write_to(&mut trickle).unwrap();
+            assert_eq!(trickle.data, full, "differs at max={max}");
+        }
+    }
+
+    #[test]
+    fn bodies_are_shared_not_copied() {
+        let resp = Response::ok("text/xml", b"<r/>".to_vec());
+        let cloned = resp.clone();
+        assert!(resp.body.ptr_eq(&cloned.body));
+        assert!(std::sync::Arc::ptr_eq(
+            &resp.body.shared(),
+            &cloned.body.shared()
+        ));
+    }
+
+    #[test]
+    fn strict_body_text_round_trip() {
+        let req = Request::post("/svc", "text/xml", b"<x/>".to_vec());
+        assert_eq!(req.body_text().unwrap(), "<x/>");
+        let bad = Response::ok("application/octet-stream", vec![0xff, 0x00]);
+        assert!(matches!(bad.body_text(), Err(HttpError::BodyNotUtf8(_))));
     }
 
     #[test]

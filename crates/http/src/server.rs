@@ -241,7 +241,7 @@ mod tests {
         let (server, url) = hello_server();
         let client = HttpClient::new();
         let resp = client.get(&url).unwrap();
-        assert_eq!(resp.body_text(), "hello /world");
+        assert_eq!(resp.body_text().unwrap(), "hello /world");
         assert_eq!(server.requests_served(), 1);
     }
 
@@ -323,7 +323,7 @@ mod tests {
             text.headers.get("Content-Type"),
             Some("text/plain; version=0.0.4")
         );
-        let body = text.body_text().into_owned();
+        let body = text.body_text().unwrap().to_string();
         assert!(
             body.contains("wsrc_cache_hits_total{cache=\"m\",repr=\"dom-tree\"} 3"),
             "{body}"
@@ -342,14 +342,14 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(json.headers.get("Content-Type"), Some("application/json"));
-        let jbody = json.body_text().into_owned();
+        let jbody = json.body_text().unwrap().to_string();
         assert!(jbody.contains("\"wsrc_cache_hits_total\""), "{jbody}");
 
         // Everything else still reaches the application.
         let other = client
             .get(&Url::new("127.0.0.1", server.port(), "/anything"))
             .unwrap();
-        assert_eq!(other.body_text(), "app");
+        assert_eq!(other.body_text().unwrap(), "app");
     }
 
     #[test]

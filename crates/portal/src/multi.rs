@@ -224,7 +224,10 @@ mod tests {
             "/home?q=caching&symbols=ibm,sun&topic=middleware",
         ));
         assert_eq!(resp.status, Status::OK);
-        let html = resp.body_text().into_owned();
+        let html = resp
+            .body_text()
+            .expect("portal pages are utf-8")
+            .to_string();
         assert!(html.contains("<section id=\"search\">"), "{html}");
         assert!(html.contains("<section id=\"ticker\">"));
         assert!(html.contains("<section id=\"news\">"));
@@ -249,7 +252,10 @@ mod tests {
         let p = portal();
         let resp = p.handle(&Request::get("/home"));
         assert_eq!(resp.status, Status::OK);
-        assert!(resp.body_text().contains("IBM"));
+        assert!(resp
+            .body_text()
+            .expect("portal pages are utf-8")
+            .contains("IBM"));
     }
 
     #[test]

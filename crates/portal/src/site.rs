@@ -147,7 +147,10 @@ mod tests {
         let p = portal();
         let resp = p.handle(&Request::get("/portal?q=rust+caching"));
         assert_eq!(resp.status, Status::OK);
-        let html = resp.body_text().into_owned();
+        let html = resp
+            .body_text()
+            .expect("portal pages are utf-8")
+            .to_string();
         assert!(html.contains("<h1>Results for rust+caching</h1>"), "{html}");
         assert!(html.matches("<li>").count() == 10, "ten result items");
     }
@@ -188,6 +191,9 @@ mod tests {
     fn query_extraction_handles_extra_params() {
         let p = portal();
         let resp = p.handle(&Request::get("/portal?q=zig&page=2"));
-        assert!(resp.body_text().contains("Results for zig"));
+        assert!(resp
+            .body_text()
+            .expect("portal pages are utf-8")
+            .contains("Results for zig"));
     }
 }

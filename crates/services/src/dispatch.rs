@@ -120,7 +120,11 @@ impl SoapDispatcher {
                 return Response::not_modified();
             }
         }
-        let rpc = match parse_request(&request.body_text(), &route.operations, &route.registry) {
+        let body = match request.body_text() {
+            Ok(b) => b,
+            Err(_) => return Response::error(Status::BAD_REQUEST, "request body is not utf-8"),
+        };
+        let rpc = match parse_request(body, &route.operations, &route.registry) {
             Ok(r) => r,
             Err(e) => return fault_response(&client_fault(e)),
         };
@@ -237,7 +241,10 @@ mod tests {
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder", xml));
         assert_eq!(resp.status, Status::OK);
-        assert!(resp.body_text().contains(">5</return>"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains(">5</return>"));
     }
 
     #[test]
@@ -259,7 +266,10 @@ mod tests {
         let d = dispatcher();
         let resp = d.handle(&soap_post("/soap/adder", "garbage".into()));
         assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
-        assert!(resp.body_text().contains("soapenv:Client"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains("soapenv:Client"));
     }
 
     #[test]
@@ -268,7 +278,10 @@ mod tests {
         let req = RpcRequest::new("urn:Adder", "subtract").with_param("a", 1);
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder", xml));
-        assert!(resp.body_text().contains("unknown operation"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains("unknown operation"));
     }
 
     #[test]
@@ -280,8 +293,14 @@ mod tests {
         let xml = serialize_request(&req, &TypeRegistry::new()).unwrap();
         let resp = d.handle(&soap_post("/soap/adder", xml));
         assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
-        assert!(resp.body_text().contains("integer overflow"));
-        assert!(resp.body_text().contains("soapenv:Server"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains("integer overflow"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains("soapenv:Server"));
     }
 
     #[test]
@@ -316,7 +335,10 @@ mod tests {
         d.touch(t0 + Duration::from_secs(10));
         let resp = d.handle(&soap_post("/soap/adder", xml).with_header("If-Modified-Since", lm));
         assert_eq!(resp.status, Status::OK);
-        assert!(resp.body_text().contains(">3</return>"));
+        assert!(resp
+            .body_text()
+            .expect("soap bodies are utf-8")
+            .contains(">3</return>"));
     }
 
     #[test]

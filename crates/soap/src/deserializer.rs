@@ -18,7 +18,7 @@ use wsrc_model::typeinfo::{FieldType, TypeRegistry};
 use wsrc_model::value::{StructValue, Value};
 use wsrc_xml::event::{Attribute, SaxEventSequence};
 use wsrc_xml::sax::{ContentHandler, Recorder, Tee};
-use wsrc_xml::{QName, XmlReader};
+use wsrc_xml::{QName, Symbol, XmlReader};
 
 /// Reads a response envelope (parse + deserialize).
 ///
@@ -105,8 +105,10 @@ enum State {
 
 #[derive(Debug)]
 struct Frame {
-    /// Element name as written (field xml name / `item`).
-    name: String,
+    /// Element local name as written (field xml name / `item`). An
+    /// interned symbol shared with the event that delivered it — frames
+    /// on the replay hit path allocate nothing for names.
+    name: Symbol,
     expected: Option<FieldType>,
     xsi_type_local: Option<String>,
     nil: bool,
@@ -203,7 +205,7 @@ impl ResponseReader {
             }
         }
         self.frames.push(Frame {
-            name: name.local_part().to_string(),
+            name: name.local_symbol().clone(),
             expected,
             xsi_type_local,
             nil,
@@ -246,7 +248,7 @@ impl ResponseReader {
                         let type_name = frame
                             .xsi_type_local
                             .clone()
-                            .unwrap_or_else(|| frame.name.clone());
+                            .unwrap_or_else(|| frame.name.as_str().to_string());
                         frame.strukt = Some(StructValue::new(type_name));
                     }
                 }
@@ -284,7 +286,7 @@ impl ResponseReader {
             .expected
             .clone()
             .or_else(|| type_from_xsi(frame.xsi_type_local.as_deref()));
-        parse_scalar(&frame.text, effective.as_ref(), &frame.name)
+        parse_scalar(&frame.text, effective.as_ref(), frame.name.as_str())
     }
 
     fn attach(&mut self, value: Value, name: &str) -> Result<(), SoapError> {
@@ -449,7 +451,7 @@ impl ContentHandler for ResponseReader {
                     self.result = Some(value);
                     self.state = State::AfterValue;
                 } else {
-                    self.attach(value, &element_name)?;
+                    self.attach(value, element_name.as_str())?;
                 }
             }
             State::AfterValue | State::InWrapper => {

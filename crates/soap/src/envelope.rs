@@ -25,6 +25,40 @@ pub const PREFIX_SERVICE: &str = "ns1";
 /// The MIME type of SOAP 1.1 messages.
 pub const CONTENT_TYPE: &str = "text/xml; charset=utf-8";
 
+// Precomputed qualified names for the writer's fixed vocabulary. The
+// serializer used to assemble each of these with `format!` on every
+// element it wrote; they are spelled out once here instead (a test
+// asserts they stay in sync with the PREFIX_* constants above).
+
+/// `soapenv:Envelope` element name.
+pub const QN_ENVELOPE: &str = "soapenv:Envelope";
+/// `soapenv:Body` element name.
+pub const QN_BODY: &str = "soapenv:Body";
+/// `soapenv:Fault` element name.
+pub const QN_FAULT: &str = "soapenv:Fault";
+/// `soapenv:encodingStyle` attribute name.
+pub const QN_ENCODING_STYLE: &str = "soapenv:encodingStyle";
+/// `xsi:type` attribute name.
+pub const QN_XSI_TYPE: &str = "xsi:type";
+/// `xsi:nil` attribute name.
+pub const QN_XSI_NIL: &str = "xsi:nil";
+/// `xsd:boolean` type name.
+pub const QN_XSD_BOOLEAN: &str = "xsd:boolean";
+/// `xsd:int` type name.
+pub const QN_XSD_INT: &str = "xsd:int";
+/// `xsd:long` type name.
+pub const QN_XSD_LONG: &str = "xsd:long";
+/// `xsd:double` type name.
+pub const QN_XSD_DOUBLE: &str = "xsd:double";
+/// `xsd:string` type name.
+pub const QN_XSD_STRING: &str = "xsd:string";
+/// `xsd:base64Binary` type name.
+pub const QN_XSD_BASE64: &str = "xsd:base64Binary";
+/// `soapenc:Array` type name.
+pub const QN_ENC_ARRAY: &str = "soapenc:Array";
+/// `soapenc:arrayType` attribute name.
+pub const QN_ENC_ARRAY_TYPE: &str = "soapenc:arrayType";
+
 /// Whether `name` is the envelope's `Envelope` element (any prefix).
 pub fn is_envelope(name: &QName) -> bool {
     name.local_part() == "Envelope"
@@ -69,5 +103,27 @@ mod tests {
     #[test]
     fn response_wrapper_convention() {
         assert_eq!(response_wrapper("doGoogleSearch"), "doGoogleSearchResponse");
+    }
+
+    #[test]
+    fn precomputed_names_match_prefixes() {
+        for (qn, prefix, local) in [
+            (QN_ENVELOPE, PREFIX_ENV, "Envelope"),
+            (QN_BODY, PREFIX_ENV, "Body"),
+            (QN_FAULT, PREFIX_ENV, "Fault"),
+            (QN_ENCODING_STYLE, PREFIX_ENV, "encodingStyle"),
+            (QN_XSI_TYPE, PREFIX_XSI, "type"),
+            (QN_XSI_NIL, PREFIX_XSI, "nil"),
+            (QN_XSD_BOOLEAN, PREFIX_XSD, "boolean"),
+            (QN_XSD_INT, PREFIX_XSD, "int"),
+            (QN_XSD_LONG, PREFIX_XSD, "long"),
+            (QN_XSD_DOUBLE, PREFIX_XSD, "double"),
+            (QN_XSD_STRING, PREFIX_XSD, "string"),
+            (QN_XSD_BASE64, PREFIX_XSD, "base64Binary"),
+            (QN_ENC_ARRAY, PREFIX_ENC, "Array"),
+            (QN_ENC_ARRAY_TYPE, PREFIX_ENC, "arrayType"),
+        ] {
+            assert_eq!(qn, format!("{prefix}:{local}"));
+        }
     }
 }

@@ -23,9 +23,9 @@ pub fn serialize_request(
 ) -> Result<String, SoapError> {
     let mut w = XmlWriter::with_declaration();
     start_envelope(&mut w)?;
-    w.start(format!("{PREFIX_ENV}:Body"))?;
+    w.start(QN_BODY)?;
     w.start(format!("{PREFIX_SERVICE}:{}", request.operation))?;
-    w.attr(format!("{PREFIX_ENV}:encodingStyle"), SOAP_ENC_NS)?;
+    w.attr(QN_ENCODING_STYLE, SOAP_ENC_NS)?;
     w.namespace(PREFIX_SERVICE, &request.namespace)?;
     for (name, value) in &request.params {
         write_value(&mut w, name, value, registry)?;
@@ -50,9 +50,9 @@ pub fn serialize_response(
 ) -> Result<String, SoapError> {
     let mut w = XmlWriter::with_declaration();
     start_envelope(&mut w)?;
-    w.start(format!("{PREFIX_ENV}:Body"))?;
+    w.start(QN_BODY)?;
     w.start(format!("{PREFIX_SERVICE}:{}", response_wrapper(operation)))?;
-    w.attr(format!("{PREFIX_ENV}:encodingStyle"), SOAP_ENC_NS)?;
+    w.attr(QN_ENCODING_STYLE, SOAP_ENC_NS)?;
     w.namespace(PREFIX_SERVICE, namespace)?;
     write_value(&mut w, return_name, value, registry)?;
     w.end()?; // wrapper
@@ -69,8 +69,8 @@ pub fn serialize_response(
 pub fn serialize_fault(fault: &SoapFault) -> Result<String, SoapError> {
     let mut w = XmlWriter::with_declaration();
     start_envelope(&mut w)?;
-    w.start(format!("{PREFIX_ENV}:Body"))?;
-    w.start(format!("{PREFIX_ENV}:Fault"))?;
+    w.start(QN_BODY)?;
+    w.start(QN_FAULT)?;
     w.element_with_text("faultcode", &fault.code)?;
     w.element_with_text("faultstring", &fault.string)?;
     if let Some(detail) = &fault.detail {
@@ -83,7 +83,7 @@ pub fn serialize_fault(fault: &SoapFault) -> Result<String, SoapError> {
 }
 
 fn start_envelope(w: &mut XmlWriter) -> Result<(), SoapError> {
-    w.start(format!("{PREFIX_ENV}:Envelope"))?;
+    w.start(QN_ENVELOPE)?;
     w.namespace(PREFIX_ENV, SOAP_ENV_NS)?;
     w.namespace(PREFIX_ENC, SOAP_ENC_NS)?;
     w.namespace(PREFIX_XSD, XSD_NS)?;
@@ -118,47 +118,41 @@ fn write_value_typed(
     w.start(name)?;
     match value {
         Value::Null => {
-            w.attr(format!("{PREFIX_XSI}:nil"), "true")?;
+            w.attr(QN_XSI_NIL, "true")?;
         }
         Value::Bool(b) => {
             if !known {
-                w.attr(
-                    format!("{PREFIX_XSI}:type"),
-                    format!("{PREFIX_XSD}:boolean"),
-                )?;
+                w.attr(QN_XSI_TYPE, QN_XSD_BOOLEAN)?;
             }
             w.text(if *b { "true" } else { "false" })?;
         }
         Value::Int(i) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:int"))?;
+                w.attr(QN_XSI_TYPE, QN_XSD_INT)?;
             }
             w.text(i.to_string())?;
         }
         Value::Long(l) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:long"))?;
+                w.attr(QN_XSI_TYPE, QN_XSD_LONG)?;
             }
             w.text(l.to_string())?;
         }
         Value::Double(d) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:double"))?;
+                w.attr(QN_XSI_TYPE, QN_XSD_DOUBLE)?;
             }
             w.text(format_double(*d))?;
         }
         Value::String(s) => {
             if !known {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_XSD}:string"))?;
+                w.attr(QN_XSI_TYPE, QN_XSD_STRING)?;
             }
             w.text(s.as_ref())?;
         }
         Value::Bytes(b) => {
             if !known {
-                w.attr(
-                    format!("{PREFIX_XSI}:type"),
-                    format!("{PREFIX_XSD}:base64Binary"),
-                )?;
+                w.attr(QN_XSI_TYPE, QN_XSD_BASE64)?;
             }
             w.text(base64::encode(b))?;
         }
@@ -168,9 +162,9 @@ fn write_value_typed(
                 _ => None,
             };
             if item_type.is_none() {
-                w.attr(format!("{PREFIX_XSI}:type"), format!("{PREFIX_ENC}:Array"))?;
+                w.attr(QN_XSI_TYPE, QN_ENC_ARRAY)?;
                 w.attr(
-                    format!("{PREFIX_ENC}:arrayType"),
+                    QN_ENC_ARRAY_TYPE,
                     format!("{PREFIX_XSD}:anyType[{}]", items.len()),
                 )?;
             }
@@ -180,10 +174,7 @@ fn write_value_typed(
         }
         Value::Struct(s) => {
             if !known {
-                w.attr(
-                    format!("{PREFIX_XSI}:type"),
-                    format!("{PREFIX_SERVICE}:{}", s.type_name()),
-                )?;
+                w.attr(QN_XSI_TYPE, format!("{PREFIX_SERVICE}:{}", s.type_name()))?;
             }
             let descriptor = registry.get(s.type_name());
             for (field_name, field_value) in s.fields() {

@@ -2,7 +2,7 @@
 //! event sequences for DOM-based middleware.
 
 use crate::error::XmlError;
-use crate::event::{Attribute, SaxEvent, SaxEventSequence};
+use crate::event::{Attribute, SaxEvent, SaxEventRef, SaxEventSequence};
 use crate::name::QName;
 use crate::reader::XmlReader;
 use crate::writer::XmlWriter;
@@ -205,21 +205,21 @@ impl Document {
         let mut root: Option<Element> = None;
         for event in events.iter() {
             match event {
-                SaxEvent::StartDocument
-                | SaxEvent::EndDocument
-                | SaxEvent::ProcessingInstruction { .. } => {}
-                SaxEvent::StartElement { name, attributes } => {
+                SaxEventRef::StartDocument
+                | SaxEventRef::EndDocument
+                | SaxEventRef::ProcessingInstruction { .. } => {}
+                SaxEventRef::StartElement { name, attributes } => {
                     stack.push(Element {
                         name: name.clone(),
-                        attributes: attributes.clone(),
+                        attributes: attributes.to_vec(),
                         children: Vec::new(),
                     });
                 }
-                SaxEvent::EndElement { name } => {
+                SaxEventRef::EndElement { name } => {
                     let done = stack
                         .pop()
                         .ok_or_else(|| XmlError::new("end element without start"))?;
-                    if &done.name != name {
+                    if done.name != *name {
                         return Err(XmlError::new(format!(
                             "unbalanced events: <{}> closed by </{}>",
                             done.name, name
@@ -237,19 +237,19 @@ impl Document {
                         }
                     }
                 }
-                SaxEvent::Characters(t) => {
+                SaxEventRef::Characters(t) => {
                     if let Some(parent) = stack.last_mut() {
                         // Merge adjacent text runs for a canonical tree.
                         if let Some(Node::Text(prev)) = parent.children.last_mut() {
                             prev.push_str(t);
                         } else {
-                            parent.children.push(Node::Text(t.clone()));
+                            parent.children.push(Node::Text(t.to_string()));
                         }
                     }
                 }
-                SaxEvent::Comment(t) => {
+                SaxEventRef::Comment(t) => {
                     if let Some(parent) = stack.last_mut() {
-                        parent.children.push(Node::Comment(t.clone()));
+                        parent.children.push(Node::Comment(t.to_string()));
                     }
                 }
             }

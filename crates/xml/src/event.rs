@@ -5,8 +5,17 @@
 //! document. [`SaxEventSequence`] is that representation — it can be
 //! recorded once and replayed into any [`crate::sax::ContentHandler`]
 //! without re-parsing the XML text.
+//!
+//! Since the zero-copy pipeline rework the sequence is stored in *arena*
+//! form: one contiguous event vector whose character/comment/PI payloads
+//! are range-indexed slices of a single shared text buffer, and whose
+//! element/attribute names are [`crate::symbol::Symbol`]s deduplicated
+//! through an embedded [`SymbolTable`]. Replaying borrows straight out
+//! of the arenas — the hit path performs no allocation — while
+//! [`SaxEvent`] remains the owned, per-event compatibility view.
 
 use crate::name::QName;
+use crate::symbol::SymbolTable;
 use std::fmt;
 
 /// An attribute as reported on a start-element event.
@@ -21,9 +30,9 @@ pub struct Attribute {
 
 impl Attribute {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>, value: impl Into<String>) -> Self {
         Attribute {
-            name: QName::parse(&name.into()),
+            name: QName::parse(name.as_ref()),
             value: value.into(),
         }
     }
@@ -42,6 +51,10 @@ impl fmt::Display for Attribute {
 
 /// One parsing event, mirroring the SAX `ContentHandler` callbacks the
 /// paper's Table 4 illustrates.
+///
+/// This is the *owned* event form — the compatibility view of an arena
+/// [`SaxEventSequence`] entry (see [`SaxEventRef`] for the borrowed
+/// form that replay and iteration use).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SaxEvent {
     /// Document begins.
@@ -88,32 +101,30 @@ impl SaxEvent {
         }
     }
 
-    /// Approximate retained heap + inline size in bytes of this event.
+    /// Approximate retained heap + inline size in bytes of this event as
+    /// an *owned* value (every string charged to this event).
     ///
-    /// Used for the paper's Table 9 style memory accounting of cached SAX
-    /// sequences. Sizes are estimates of live bytes, not allocator-rounded.
+    /// Arena sequences account differently — names interned in the
+    /// sequence's [`SymbolTable`] are charged once per table; see
+    /// [`SaxEventSequence::approximate_size`].
     pub fn approximate_size(&self) -> usize {
         let base = std::mem::size_of::<SaxEvent>();
         match self {
             SaxEvent::StartDocument | SaxEvent::EndDocument => base,
             SaxEvent::StartElement { name, attributes } => {
-                base + qname_heap(name)
+                base + name.text_len()
                     + attributes
                         .iter()
                         .map(|a| {
-                            std::mem::size_of::<Attribute>() + qname_heap(&a.name) + a.value.len()
+                            std::mem::size_of::<Attribute>() + a.name.text_len() + a.value.len()
                         })
                         .sum::<usize>()
             }
-            SaxEvent::EndElement { name } => base + qname_heap(name),
+            SaxEvent::EndElement { name } => base + name.text_len(),
             SaxEvent::Characters(s) | SaxEvent::Comment(s) => base + s.len(),
             SaxEvent::ProcessingInstruction { target, data } => base + target.len() + data.len(),
         }
     }
-}
-
-fn qname_heap(q: &QName) -> usize {
-    q.prefix().len() + q.local_part().len()
 }
 
 impl fmt::Display for SaxEvent {
@@ -131,8 +142,171 @@ impl fmt::Display for SaxEvent {
     }
 }
 
+/// One event *borrowed* from an arena [`SaxEventSequence`]: names point
+/// at the sequence's interned symbols, text at its shared buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SaxEventRef<'a> {
+    /// Document begins.
+    StartDocument,
+    /// Document ends.
+    EndDocument,
+    /// `<name attr="…">`.
+    StartElement {
+        /// Element name as written.
+        name: &'a QName,
+        /// Attributes in document order.
+        attributes: &'a [Attribute],
+    },
+    /// `</name>` or the implicit close of `<name/>`.
+    EndElement {
+        /// Element name as written.
+        name: &'a QName,
+    },
+    /// Character data.
+    Characters(&'a str),
+    /// `<!-- … -->`.
+    Comment(&'a str),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// The PI target.
+        target: &'a str,
+        /// Everything after the target.
+        data: &'a str,
+    },
+}
+
+impl SaxEventRef<'_> {
+    /// Short label matching [`SaxEvent::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SaxEventRef::StartDocument => "start document",
+            SaxEventRef::EndDocument => "end document",
+            SaxEventRef::StartElement { .. } => "start element",
+            SaxEventRef::EndElement { .. } => "end element",
+            SaxEventRef::Characters(_) => "characters",
+            SaxEventRef::Comment(_) => "comment",
+            SaxEventRef::ProcessingInstruction { .. } => "processing instruction",
+        }
+    }
+
+    /// Materializes the owned compatibility form of this event.
+    pub fn to_owned_event(&self) -> SaxEvent {
+        match *self {
+            SaxEventRef::StartDocument => SaxEvent::StartDocument,
+            SaxEventRef::EndDocument => SaxEvent::EndDocument,
+            SaxEventRef::StartElement { name, attributes } => SaxEvent::StartElement {
+                name: name.clone(),
+                attributes: attributes.to_vec(),
+            },
+            SaxEventRef::EndElement { name } => SaxEvent::EndElement { name: name.clone() },
+            SaxEventRef::Characters(text) => SaxEvent::Characters(text.to_string()),
+            SaxEventRef::Comment(text) => SaxEvent::Comment(text.to_string()),
+            SaxEventRef::ProcessingInstruction { target, data } => {
+                SaxEvent::ProcessingInstruction {
+                    target: target.to_string(),
+                    data: data.to_string(),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SaxEventRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxEventRef::StartDocument | SaxEventRef::EndDocument => f.write_str(self.kind()),
+            SaxEventRef::StartElement { name, .. } => write!(f, "start element: {name}"),
+            SaxEventRef::EndElement { name } => write!(f, "end element: {name}"),
+            SaxEventRef::Characters(s) => write!(f, "characters: {s}"),
+            SaxEventRef::Comment(s) => write!(f, "comment: {s}"),
+            SaxEventRef::ProcessingInstruction { target, data } => {
+                write!(f, "processing instruction: {target} {data}")
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a SaxEvent> for SaxEventRef<'a> {
+    fn from(event: &'a SaxEvent) -> Self {
+        match event {
+            SaxEvent::StartDocument => SaxEventRef::StartDocument,
+            SaxEvent::EndDocument => SaxEventRef::EndDocument,
+            SaxEvent::StartElement { name, attributes } => {
+                SaxEventRef::StartElement { name, attributes }
+            }
+            SaxEvent::EndElement { name } => SaxEventRef::EndElement { name },
+            SaxEvent::Characters(text) => SaxEventRef::Characters(text),
+            SaxEvent::Comment(text) => SaxEventRef::Comment(text),
+            SaxEvent::ProcessingInstruction { target, data } => {
+                SaxEventRef::ProcessingInstruction { target, data }
+            }
+        }
+    }
+}
+
+impl PartialEq<SaxEvent> for SaxEventRef<'_> {
+    fn eq(&self, other: &SaxEvent) -> bool {
+        match (self, other) {
+            (SaxEventRef::StartDocument, SaxEvent::StartDocument)
+            | (SaxEventRef::EndDocument, SaxEvent::EndDocument) => true,
+            (
+                SaxEventRef::StartElement { name, attributes },
+                SaxEvent::StartElement {
+                    name: n,
+                    attributes: a,
+                },
+            ) => *name == n && *attributes == a.as_slice(),
+            (SaxEventRef::EndElement { name }, SaxEvent::EndElement { name: n }) => *name == n,
+            (SaxEventRef::Characters(s), SaxEvent::Characters(t))
+            | (SaxEventRef::Comment(s), SaxEvent::Comment(t)) => s == t,
+            (
+                SaxEventRef::ProcessingInstruction { target, data },
+                SaxEvent::ProcessingInstruction { target: t, data: d },
+            ) => target == t && data == d,
+            _ => false,
+        }
+    }
+}
+
+/// A byte range into one of the sequence's arenas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ArenaSpan {
+    start: u32,
+    end: u32,
+}
+
+impl ArenaSpan {
+    fn new(start: usize, end: usize) -> ArenaSpan {
+        ArenaSpan {
+            start: u32::try_from(start).expect("SAX arena exceeds u32 range"),
+            end: u32::try_from(end).expect("SAX arena exceeds u32 range"),
+        }
+    }
+
+    fn text<'a>(&self, arena: &'a str) -> &'a str {
+        &arena[self.start as usize..self.end as usize]
+    }
+
+    fn attrs<'a>(&self, arena: &'a [Attribute]) -> &'a [Attribute] {
+        &arena[self.start as usize..self.end as usize]
+    }
+}
+
+/// Compact arena entry: names inline (two `Arc` pointers via [`QName`]),
+/// payloads as ranges into the shared buffers.
+#[derive(Debug, Clone, PartialEq)]
+enum ArenaEvent {
+    StartDocument,
+    EndDocument,
+    StartElement { name: QName, attrs: ArenaSpan },
+    EndElement { name: QName },
+    Characters(ArenaSpan),
+    Comment(ArenaSpan),
+    ProcessingInstruction { target: ArenaSpan, data: ArenaSpan },
+}
+
 /// A recorded sequence of SAX events — the paper's cached "SAX events
-/// sequence" value representation.
+/// sequence" value representation, stored in arena form.
 ///
 /// ```
 /// use wsrc_xml::reader::XmlReader;
@@ -143,9 +317,15 @@ impl fmt::Display for SaxEvent {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SaxEventSequence {
-    events: Vec<SaxEvent>,
+    events: Vec<ArenaEvent>,
+    /// All attributes of all start-elements, contiguously.
+    attrs: Vec<Attribute>,
+    /// All character/comment/PI text, contiguously.
+    text: String,
+    /// Distinct element/attribute names, each held once.
+    symbols: SymbolTable,
 }
 
 impl SaxEventSequence {
@@ -154,9 +334,96 @@ impl SaxEventSequence {
         SaxEventSequence::default()
     }
 
-    /// Appends one event.
+    /// Appends one owned event, moving its payload into the arenas.
     pub fn push(&mut self, event: SaxEvent) {
-        self.events.push(event);
+        match event {
+            SaxEvent::StartDocument => self.events.push(ArenaEvent::StartDocument),
+            SaxEvent::EndDocument => self.events.push(ArenaEvent::EndDocument),
+            SaxEvent::StartElement { name, attributes } => {
+                let name = self.symbols.unify_qname(&name);
+                let start = self.attrs.len();
+                for a in attributes {
+                    let name = self.symbols.unify_qname(&a.name);
+                    self.attrs.push(Attribute {
+                        name,
+                        value: a.value,
+                    });
+                }
+                self.events.push(ArenaEvent::StartElement {
+                    name,
+                    attrs: ArenaSpan::new(start, self.attrs.len()),
+                });
+            }
+            SaxEvent::EndElement { name } => {
+                let name = self.symbols.unify_qname(&name);
+                self.events.push(ArenaEvent::EndElement { name });
+            }
+            SaxEvent::Characters(text) => self.record_characters(&text),
+            SaxEvent::Comment(text) => self.record_comment(&text),
+            SaxEvent::ProcessingInstruction { target, data } => {
+                self.record_processing_instruction(&target, &data)
+            }
+        }
+    }
+
+    /// Records a start-element, interning the names through the
+    /// sequence's symbol table (pointer bumps when already interned).
+    pub fn record_start_element(&mut self, name: &QName, attributes: &[Attribute]) {
+        let name = self.symbols.unify_qname(name);
+        let start = self.attrs.len();
+        for a in attributes {
+            let name = self.symbols.unify_qname(&a.name);
+            self.attrs.push(Attribute {
+                name,
+                value: a.value.clone(),
+            });
+        }
+        self.events.push(ArenaEvent::StartElement {
+            name,
+            attrs: ArenaSpan::new(start, self.attrs.len()),
+        });
+    }
+
+    /// Records an end-element.
+    pub fn record_end_element(&mut self, name: &QName) {
+        let name = self.symbols.unify_qname(name);
+        self.events.push(ArenaEvent::EndElement { name });
+    }
+
+    /// Records a start-document marker.
+    pub fn record_start_document(&mut self) {
+        self.events.push(ArenaEvent::StartDocument);
+    }
+
+    /// Records an end-document marker.
+    pub fn record_end_document(&mut self) {
+        self.events.push(ArenaEvent::EndDocument);
+    }
+
+    /// Records character data into the shared text arena.
+    pub fn record_characters(&mut self, text: &str) {
+        let span = self.append_text(text);
+        self.events.push(ArenaEvent::Characters(span));
+    }
+
+    /// Records a comment into the shared text arena.
+    pub fn record_comment(&mut self, text: &str) {
+        let span = self.append_text(text);
+        self.events.push(ArenaEvent::Comment(span));
+    }
+
+    /// Records a processing instruction into the shared text arena.
+    pub fn record_processing_instruction(&mut self, target: &str, data: &str) {
+        let target = self.append_text(target);
+        let data = self.append_text(data);
+        self.events
+            .push(ArenaEvent::ProcessingInstruction { target, data });
+    }
+
+    fn append_text(&mut self, text: &str) -> ArenaSpan {
+        let start = self.text.len();
+        self.text.push_str(text);
+        ArenaSpan::new(start, self.text.len())
     }
 
     /// Number of recorded events.
@@ -169,54 +436,139 @@ impl SaxEventSequence {
         self.events.is_empty()
     }
 
-    /// The recorded events in order.
-    pub fn events(&self) -> &[SaxEvent] {
-        &self.events
+    /// The event at `index`, borrowed from the arenas.
+    pub fn get(&self, index: usize) -> Option<SaxEventRef<'_>> {
+        self.events.get(index).map(|e| self.view(e))
     }
 
-    /// Iterates over the recorded events.
-    pub fn iter(&self) -> std::slice::Iter<'_, SaxEvent> {
-        self.events.iter()
+    /// Iterates over the recorded events as borrowed views.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            seq: self,
+            inner: self.events.iter(),
+        }
+    }
+
+    /// Materializes the owned-event compatibility view of the whole
+    /// sequence (allocates; the hit path never needs this).
+    pub fn to_owned_events(&self) -> Vec<SaxEvent> {
+        self.iter().map(|e| e.to_owned_event()).collect()
+    }
+
+    /// The distinct names referenced by this sequence.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Replays the recorded events into a handler, exactly as a parser
     /// would have delivered them. This is the cache-hit path for the SAX
-    /// representation: no XML parsing happens.
+    /// representation: no XML parsing — and, in arena form, no
+    /// allocation — happens; every callback borrows from the arenas.
     pub fn replay<H: crate::sax::ContentHandler>(&self, handler: &mut H) -> Result<(), H::Error> {
         for event in &self.events {
-            crate::sax::dispatch(handler, event)?;
+            match event {
+                ArenaEvent::StartDocument => handler.start_document()?,
+                ArenaEvent::EndDocument => handler.end_document()?,
+                ArenaEvent::StartElement { name, attrs } => {
+                    handler.start_element(name, attrs.attrs(&self.attrs))?
+                }
+                ArenaEvent::EndElement { name } => handler.end_element(name)?,
+                ArenaEvent::Characters(span) => handler.characters(span.text(&self.text))?,
+                ArenaEvent::Comment(span) => handler.comment(span.text(&self.text))?,
+                ArenaEvent::ProcessingInstruction { target, data } => handler
+                    .processing_instruction(target.text(&self.text), data.text(&self.text))?,
+            }
         }
         Ok(())
     }
 
-    /// Approximate retained size in bytes (for Table 9 style accounting).
+    /// Approximate retained size in bytes (paper Table 9 accounting).
+    ///
+    /// Events are charged at their fixed arena width, text at its byte
+    /// length, attribute values at theirs — and every distinct name is
+    /// charged **once** via the embedded symbol table, not once per
+    /// event referencing it.
     pub fn approximate_size(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.events.len() * std::mem::size_of::<ArenaEvent>()
             + self
-                .events
+                .attrs
                 .iter()
-                .map(SaxEvent::approximate_size)
+                .map(|a| std::mem::size_of::<Attribute>() + a.value.len())
                 .sum::<usize>()
+            + self.text.len()
+            + self.symbols.names_bytes()
+    }
+
+    fn view<'a>(&'a self, event: &'a ArenaEvent) -> SaxEventRef<'a> {
+        match event {
+            ArenaEvent::StartDocument => SaxEventRef::StartDocument,
+            ArenaEvent::EndDocument => SaxEventRef::EndDocument,
+            ArenaEvent::StartElement { name, attrs } => SaxEventRef::StartElement {
+                name,
+                attributes: attrs.attrs(&self.attrs),
+            },
+            ArenaEvent::EndElement { name } => SaxEventRef::EndElement { name },
+            ArenaEvent::Characters(span) => SaxEventRef::Characters(span.text(&self.text)),
+            ArenaEvent::Comment(span) => SaxEventRef::Comment(span.text(&self.text)),
+            ArenaEvent::ProcessingInstruction { target, data } => {
+                SaxEventRef::ProcessingInstruction {
+                    target: target.text(&self.text),
+                    data: data.text(&self.text),
+                }
+            }
+        }
     }
 }
 
+/// Two sequences are equal when they replay the same events, regardless
+/// of how their arenas are laid out or which tables interned the names.
+impl PartialEq for SaxEventSequence {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// Borrowed iterator over a sequence's events.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    seq: &'a SaxEventSequence,
+    inner: std::slice::Iter<'a, ArenaEvent>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = SaxEventRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|e| self.seq.view(e))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
 impl FromIterator<SaxEvent> for SaxEventSequence {
     fn from_iter<I: IntoIterator<Item = SaxEvent>>(iter: I) -> Self {
-        SaxEventSequence {
-            events: iter.into_iter().collect(),
-        }
+        let mut seq = SaxEventSequence::new();
+        seq.extend(iter);
+        seq
     }
 }
 
 impl Extend<SaxEvent> for SaxEventSequence {
     fn extend<I: IntoIterator<Item = SaxEvent>>(&mut self, iter: I) {
-        self.events.extend(iter);
+        for event in iter {
+            self.push(event);
+        }
     }
 }
 
 impl From<Vec<SaxEvent>> for SaxEventSequence {
     fn from(events: Vec<SaxEvent>) -> Self {
-        SaxEventSequence { events }
+        events.into_iter().collect()
     }
 }
 
@@ -224,15 +576,15 @@ impl IntoIterator for SaxEventSequence {
     type Item = SaxEvent;
     type IntoIter = std::vec::IntoIter<SaxEvent>;
     fn into_iter(self) -> Self::IntoIter {
-        self.events.into_iter()
+        self.to_owned_events().into_iter()
     }
 }
 
 impl<'a> IntoIterator for &'a SaxEventSequence {
-    type Item = &'a SaxEvent;
-    type IntoIter = std::slice::Iter<'a, SaxEvent>;
+    type Item = SaxEventRef<'a>;
+    type IntoIter = Iter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.events.iter()
+        self.iter()
     }
 }
 
@@ -286,7 +638,7 @@ mod tests {
         let seq = sample();
         assert_eq!(seq.len(), 5);
         assert!(!seq.is_empty());
-        let kinds: Vec<_> = seq.iter().map(SaxEvent::kind).collect();
+        let kinds: Vec<_> = seq.iter().map(|e| e.kind()).collect();
         assert_eq!(
             kinds,
             [
@@ -325,5 +677,103 @@ mod tests {
     fn attribute_display_escapes_value() {
         let a = Attribute::new("t", "a\"b");
         assert_eq!(a.to_string(), "t=\"a&quot;b\"");
+    }
+
+    #[test]
+    fn arena_roundtrips_owned_events() {
+        let owned = vec![
+            SaxEvent::StartDocument,
+            SaxEvent::StartElement {
+                name: QName::parse("ns:doc"),
+                attributes: vec![Attribute::new("ns:attr", "v1"), Attribute::new("b", "v2")],
+            },
+            SaxEvent::Characters("hello".into()),
+            SaxEvent::Comment("note".into()),
+            SaxEvent::ProcessingInstruction {
+                target: "pi".into(),
+                data: "d".into(),
+            },
+            SaxEvent::EndElement {
+                name: QName::parse("ns:doc"),
+            },
+            SaxEvent::EndDocument,
+        ];
+        let seq: SaxEventSequence = owned.clone().into();
+        assert_eq!(seq.to_owned_events(), owned);
+        for (a, b) in seq.iter().zip(&owned) {
+            assert_eq!(a, *b);
+        }
+        assert_eq!(seq.get(2), Some(SaxEventRef::Characters("hello")));
+        assert_eq!(seq.get(99), None);
+    }
+
+    #[test]
+    fn equality_is_semantic_across_arena_layouts() {
+        // Same events pushed in one batch vs. recorded incrementally.
+        let a = sample();
+        let mut b = SaxEventSequence::new();
+        b.record_start_document();
+        b.record_start_element(&QName::local("doc"), &[]);
+        b.record_characters("hi");
+        b.record_end_element(&QName::local("doc"));
+        b.record_end_document();
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.record_characters("extra");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn repeated_names_are_interned_once() {
+        let mut seq = SaxEventSequence::new();
+        let item = QName::local("item");
+        for _ in 0..100 {
+            seq.record_start_element(&item, &[]);
+            seq.record_end_element(&item);
+        }
+        assert_eq!(seq.len(), 200);
+        assert_eq!(seq.symbols().len(), 1);
+        assert_eq!(seq.symbols().names_bytes(), "item".len());
+        // All events share one allocation for the name.
+        let mut locals = seq.iter().filter_map(|e| match e {
+            SaxEventRef::StartElement { name, .. } | SaxEventRef::EndElement { name } => {
+                Some(name.local_symbol().clone())
+            }
+            _ => None,
+        });
+        let first = locals.next().unwrap();
+        assert!(locals.all(|s| s.ptr_eq(&first)));
+    }
+
+    #[test]
+    fn size_charges_interned_names_once() {
+        let mut small = SaxEventSequence::new();
+        let mut big = SaxEventSequence::new();
+        let name = QName::local("element-with-a-long-name");
+        for seq_ops in [(&mut small, 2usize), (&mut big, 200usize)] {
+            let (seq, n) = seq_ops;
+            for _ in 0..n {
+                seq.record_start_element(&name, &[]);
+                seq.record_end_element(&name);
+            }
+        }
+        let per_event = (big.approximate_size() - small.approximate_size()) as f64
+            / (big.len() - small.len()) as f64;
+        // The marginal event costs its arena slot only — far less than
+        // the 24-byte name it references.
+        assert!(
+            per_event < std::mem::size_of::<ArenaEvent>() as f64 + 1.0,
+            "marginal event size {per_event} should not include the name"
+        );
+        assert_eq!(big.symbols().names_bytes(), small.symbols().names_bytes());
+    }
+
+    #[test]
+    fn replay_delivers_borrowed_events() {
+        use crate::sax::Recorder;
+        let seq = sample();
+        let mut rec = Recorder::new();
+        seq.replay(&mut rec).unwrap();
+        assert_eq!(rec.sequence(), &seq);
     }
 }

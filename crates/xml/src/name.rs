@@ -1,5 +1,6 @@
 //! Qualified names and namespace scope handling.
 
+use crate::symbol::Symbol;
 use std::fmt;
 
 /// The reserved `xmlns` attribute prefix.
@@ -14,6 +15,11 @@ pub const XML_NS_URI: &str = "http://www.w3.org/XML/1998/namespace";
 /// a [`NamespaceContext`], which mirrors how a streaming parser or a SAX
 /// consumer tracks in-scope bindings.
 ///
+/// Both parts are interned [`Symbol`]s: cloning a `QName` is two pointer
+/// bumps, names produced through one [`crate::symbol::SymbolTable`]
+/// share their text allocations, and equality/hashing reuse the hash
+/// computed when the name was interned.
+///
 /// ```
 /// use wsrc_xml::name::QName;
 /// let q = QName::parse("soap:Envelope");
@@ -23,24 +29,29 @@ pub const XML_NS_URI: &str = "http://www.w3.org/XML/1998/namespace";
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QName {
-    prefix: String,
-    local: String,
+    prefix: Option<Symbol>,
+    local: Symbol,
 }
 
 impl QName {
     /// Creates a name with no prefix.
-    pub fn local(name: impl Into<String>) -> Self {
+    pub fn local(name: impl AsRef<str>) -> Self {
         QName {
-            prefix: String::new(),
-            local: name.into(),
+            prefix: None,
+            local: Symbol::new(name.as_ref()),
         }
     }
 
     /// Creates a prefixed name.
-    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn prefixed(prefix: impl AsRef<str>, local: impl AsRef<str>) -> Self {
+        let prefix = prefix.as_ref();
         QName {
-            prefix: prefix.into(),
-            local: local.into(),
+            prefix: if prefix.is_empty() {
+                None
+            } else {
+                Some(Symbol::new(prefix))
+            },
+            local: Symbol::new(local.as_ref()),
         }
     }
 
@@ -52,24 +63,54 @@ impl QName {
         }
     }
 
+    /// Assembles a name from already interned symbols (the allocation-free
+    /// constructor used by [`crate::symbol::SymbolTable::intern_qname`]).
+    pub fn from_symbols(prefix: Option<Symbol>, local: Symbol) -> Self {
+        QName {
+            prefix: prefix.filter(|p| !p.is_empty()),
+            local,
+        }
+    }
+
     /// The prefix part; empty for unprefixed names.
     pub fn prefix(&self) -> &str {
-        &self.prefix
+        self.prefix.as_ref().map(Symbol::as_str).unwrap_or("")
     }
 
     /// The local part of the name.
     pub fn local_part(&self) -> &str {
+        self.local.as_str()
+    }
+
+    /// The interned prefix symbol, if any.
+    pub fn prefix_symbol(&self) -> Option<&Symbol> {
+        self.prefix.as_ref()
+    }
+
+    /// The interned local-part symbol.
+    pub fn local_symbol(&self) -> &Symbol {
         &self.local
     }
 
     /// Whether this name has a prefix.
     pub fn is_prefixed(&self) -> bool {
-        !self.prefix.is_empty()
+        self.prefix.is_some()
     }
 
     /// Whether this is the `xmlns` attribute or an `xmlns:foo` declaration.
     pub fn is_namespace_declaration(&self) -> bool {
-        self.prefix == XMLNS || (self.prefix.is_empty() && self.local == XMLNS)
+        match &self.prefix {
+            Some(p) => *p == XMLNS,
+            None => self.local == XMLNS,
+        }
+    }
+
+    /// Heap bytes retained by this name if it were the only owner of its
+    /// text (interned names are typically shared; see
+    /// [`crate::symbol::SymbolTable::names_bytes`] for charged-once
+    /// accounting).
+    pub fn text_len(&self) -> usize {
+        self.prefix().len() + self.local.len()
     }
 }
 
@@ -78,10 +119,9 @@ impl QName {
 // constructors and getters.
 impl fmt::Display for QName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.prefix.is_empty() {
-            f.write_str(&self.local)
-        } else {
-            write!(f, "{}:{}", self.prefix, self.local)
+        match &self.prefix {
+            None => f.write_str(self.local.as_str()),
+            Some(prefix) => write!(f, "{}:{}", prefix, self.local),
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::escape::unescape;
 use crate::event::{Attribute, SaxEvent, SaxEventSequence};
 use crate::name::QName;
 use crate::sax::ContentHandler;
+use crate::symbol::SymbolTable;
 use std::sync::OnceLock;
 use wsrc_obs::Histogram;
 
@@ -23,9 +24,11 @@ use wsrc_obs::Histogram;
 /// not timed — only the whole-document entry points.
 fn parse_timer(op: &'static str) -> &'static Histogram {
     static READ_ALL: OnceLock<Histogram> = OnceLock::new();
+    static READ_SEQUENCE: OnceLock<Histogram> = OnceLock::new();
     static PARSE_INTO: OnceLock<Histogram> = OnceLock::new();
     let cell = match op {
         "read-all" => &READ_ALL,
+        "read-sequence" => &READ_SEQUENCE,
         _ => &PARSE_INTO,
     };
     cell.get_or_init(|| wsrc_obs::global().histogram("wsrc_xml_parse_seconds", &[("op", op)]))
@@ -59,6 +62,9 @@ pub struct XmlReader<'x> {
     open_elements: Vec<QName>,
     seen_root: bool,
     pending_end: bool,
+    /// Names seen so far: repeated element/attribute names in one
+    /// document come back as pointer bumps, hashed once.
+    symbols: SymbolTable,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +84,7 @@ impl<'x> XmlReader<'x> {
             open_elements: Vec::new(),
             seen_root: false,
             pending_end: false,
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -95,13 +102,21 @@ impl<'x> XmlReader<'x> {
         Ok(events)
     }
 
-    /// Parses the whole document into a [`SaxEventSequence`].
+    /// Parses the whole document into an arena [`SaxEventSequence`],
+    /// recording events straight into the sequence's buffers (names are
+    /// interned once here and unified into the sequence's own table
+    /// without re-hashing).
     ///
     /// # Errors
     ///
     /// Returns the first syntax or well-formedness error encountered.
-    pub fn read_sequence(self) -> Result<SaxEventSequence, XmlError> {
-        Ok(self.read_all()?.into())
+    pub fn read_sequence(mut self) -> Result<SaxEventSequence, XmlError> {
+        let _span = parse_timer("read-sequence").span();
+        let mut sequence = SaxEventSequence::new();
+        while let Some(event) = self.next_event()? {
+            sequence.push(event);
+        }
+        Ok(sequence)
     }
 
     /// Parses the document, pushing events into `handler`.
@@ -359,7 +374,7 @@ impl<'x> XmlReader<'x> {
     }
 
     fn read_attribute(
-        &self,
+        &mut self,
         start: usize,
         element: &QName,
     ) -> Result<(Attribute, usize), XmlError> {
@@ -411,7 +426,7 @@ impl<'x> XmlReader<'x> {
         ))
     }
 
-    fn check_name(&self, text: &str) -> Result<QName, XmlError> {
+    fn check_name(&mut self, text: &str) -> Result<QName, XmlError> {
         if text.is_empty() {
             return Err(self.err("empty name"));
         }
@@ -436,7 +451,9 @@ impl<'x> XmlReader<'x> {
         if second.map(|s| s.contains(':')).unwrap_or(false) {
             return Err(self.err(format!("invalid name '{text}': more than one ':'")));
         }
-        Ok(QName::parse(text))
+        // Intern rather than parse: the same name in the same document
+        // yields symbols sharing one allocation and one hash.
+        Ok(self.symbols.intern_qname(text))
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {

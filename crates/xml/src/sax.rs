@@ -102,44 +102,37 @@ impl ContentHandler for Recorder {
     type Error = XmlError;
 
     fn start_document(&mut self) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::StartDocument);
+        self.sequence.record_start_document();
         Ok(())
     }
 
     fn end_document(&mut self) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::EndDocument);
+        self.sequence.record_end_document();
         Ok(())
     }
 
     fn start_element(&mut self, name: &QName, attributes: &[Attribute]) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::StartElement {
-            name: name.clone(),
-            attributes: attributes.to_vec(),
-        });
+        self.sequence.record_start_element(name, attributes);
         Ok(())
     }
 
     fn end_element(&mut self, name: &QName) -> Result<(), XmlError> {
-        self.sequence
-            .push(SaxEvent::EndElement { name: name.clone() });
+        self.sequence.record_end_element(name);
         Ok(())
     }
 
     fn characters(&mut self, text: &str) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::Characters(text.to_string()));
+        self.sequence.record_characters(text);
         Ok(())
     }
 
     fn comment(&mut self, text: &str) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::Comment(text.to_string()));
+        self.sequence.record_comment(text);
         Ok(())
     }
 
     fn processing_instruction(&mut self, target: &str, data: &str) -> Result<(), XmlError> {
-        self.sequence.push(SaxEvent::ProcessingInstruction {
-            target: target.to_string(),
-            data: data.to_string(),
-        });
+        self.sequence.record_processing_instruction(target, data);
         Ok(())
     }
 }

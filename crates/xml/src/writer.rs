@@ -2,7 +2,7 @@
 
 use crate::error::XmlError;
 use crate::escape::{escape_attribute, escape_text};
-use crate::event::{Attribute, SaxEvent};
+use crate::event::{Attribute, SaxEvent, SaxEventRef};
 use crate::name::QName;
 
 /// Builds an XML document into an in-memory `String`.
@@ -285,30 +285,31 @@ impl XmlWriter {
 ///
 /// Fails when the event stream itself is ill-formed (e.g. unbalanced
 /// elements).
-pub fn events_to_string<'e, I>(events: I) -> Result<String, XmlError>
+pub fn events_to_string<'e, I, E>(events: I) -> Result<String, XmlError>
 where
-    I: IntoIterator<Item = &'e SaxEvent>,
+    I: IntoIterator<Item = E>,
+    E: Into<SaxEventRef<'e>>,
 {
     let mut w = XmlWriter::new();
     for event in events {
-        match event {
-            SaxEvent::StartDocument | SaxEvent::EndDocument => {}
-            SaxEvent::StartElement { name, attributes } => {
+        match event.into() {
+            SaxEventRef::StartDocument | SaxEventRef::EndDocument => {}
+            SaxEventRef::StartElement { name, attributes } => {
                 w.start(name.to_string())?;
                 for Attribute { name, value } in attributes {
                     w.attr(name.to_string(), value)?;
                 }
             }
-            SaxEvent::EndElement { .. } => {
+            SaxEventRef::EndElement { .. } => {
                 w.end()?;
             }
-            SaxEvent::Characters(text) => {
+            SaxEventRef::Characters(text) => {
                 w.text(text)?;
             }
-            SaxEvent::Comment(text) => {
+            SaxEventRef::Comment(text) => {
                 w.comment(text)?;
             }
-            SaxEvent::ProcessingInstruction { target, data } => {
+            SaxEventRef::ProcessingInstruction { target, data } => {
                 let pi = if data.is_empty() {
                     format!("<?{target}?>")
                 } else {

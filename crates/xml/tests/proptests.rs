@@ -10,6 +10,7 @@ use wsrc_xml::dom::{Document, Element, Node};
 use wsrc_xml::escape::{escape_attribute, escape_text, unescape};
 use wsrc_xml::reader::XmlReader;
 use wsrc_xml::sax::Recorder;
+use wsrc_xml::SaxEventRef;
 
 const CASES: u64 = 256;
 
@@ -172,6 +173,126 @@ fn rewritten_xml_reparses_identically() {
         let rewritten = wsrc_xml::writer::events_to_string(seq.iter()).unwrap();
         let seq2 = XmlReader::new(&rewritten).read_sequence().unwrap();
         assert_eq!(seq, seq2, "seed {seed}");
+    }
+}
+
+/// `SaxEventSequence::approximate_size` must track real heap use within a
+/// fixed factor: never below the payload bytes actually retained, never
+/// above payload plus a bounded per-event/per-attribute overhead.
+///
+/// The payload ground truth is computed independently of the accounting
+/// under test: distinct name strings charged once (the interning
+/// contract), text/comment/PI content and attribute values at byte
+/// length.
+#[test]
+fn arena_size_within_fixed_factor_of_heap_use() {
+    use std::collections::HashSet;
+
+    // Generous fixed bounds on the arena's per-record bookkeeping; the
+    // test fails if accounting drifts past them, i.e. stops being
+    // "payload plus a constant per record".
+    const PER_RECORD: usize = 192;
+    const BASE: usize = 1024;
+
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 8000);
+        let root = arb_element(&mut rng, 3);
+        let xml = root.to_xml();
+        let seq = XmlReader::new(&xml).read_sequence().unwrap();
+
+        let mut names: HashSet<String> = HashSet::new();
+        let mut payload = 0usize;
+        let mut attr_count = 0usize;
+        for event in seq.iter() {
+            match event {
+                SaxEventRef::StartElement { name, attributes } => {
+                    names.insert(name.prefix().to_string());
+                    names.insert(name.local_part().to_string());
+                    for a in attributes {
+                        names.insert(a.name.prefix().to_string());
+                        names.insert(a.name.local_part().to_string());
+                        payload += a.value.len();
+                        attr_count += 1;
+                    }
+                }
+                SaxEventRef::EndElement { name } => {
+                    names.insert(name.prefix().to_string());
+                    names.insert(name.local_part().to_string());
+                }
+                SaxEventRef::Characters(s) | SaxEventRef::Comment(s) => payload += s.len(),
+                SaxEventRef::ProcessingInstruction { target, data } => {
+                    payload += target.len() + data.len()
+                }
+                _ => {}
+            }
+        }
+        payload += names.iter().map(String::len).sum::<usize>();
+
+        let approx = seq.approximate_size();
+        assert!(
+            approx >= payload,
+            "seed {seed}: approximate_size {approx} undercounts payload {payload}"
+        );
+        let budget = payload + PER_RECORD * (seq.len() + attr_count) + BASE;
+        assert!(
+            approx <= budget,
+            "seed {seed}: approximate_size {approx} exceeds budget {budget} \
+             ({} events, {attr_count} attributes, payload {payload})",
+            seq.len()
+        );
+    }
+}
+
+/// Interned names are charged once per symbol table, not once per event:
+/// adding more elements with an already seen (long) name grows the
+/// sequence by the fixed per-event width only, and the arena accounting
+/// stays strictly below the owned-event accounting that charges the
+/// name on every event.
+#[test]
+fn interned_names_charged_once_per_table() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed + 9000);
+        // A name long enough that per-event charging would dominate.
+        let name: String = std::iter::repeat_n("LongName", 24 + rng.below(16)).collect();
+        let few = 8;
+        let many = few + 16 + rng.below(48);
+        let doc = |k: usize| {
+            let mut s = String::from("<root>");
+            for _ in 0..k {
+                s.push('<');
+                s.push_str(&name);
+                s.push_str("/>");
+            }
+            s.push_str("</root>");
+            s
+        };
+
+        let seq_few = XmlReader::new(&doc(few)).read_sequence().unwrap();
+        let seq_many = XmlReader::new(&doc(many)).read_sequence().unwrap();
+
+        // Each extra element adds two events (start + end) but zero new
+        // name bytes; per-element growth must stay under one name copy.
+        let growth = seq_many.approximate_size() - seq_few.approximate_size();
+        let per_element = growth / (many - few);
+        assert!(
+            per_element < name.len(),
+            "seed {seed}: {per_element} bytes per repeated <{}…> element \
+             suggests the name is charged per event, not per table",
+            &name[..8]
+        );
+
+        // Owned events charge the name on every start/end; the arena
+        // must come in strictly below that once the name repeats.
+        let owned: usize = seq_many
+            .to_owned_events()
+            .iter()
+            .map(|e| e.approximate_size())
+            .sum();
+        assert!(
+            seq_many.approximate_size() < owned,
+            "seed {seed}: arena {} not below owned {owned}",
+            seq_many.approximate_size()
+        );
     }
 }
 

@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let metrics = HttpClient::new()
         .get(&Url::new("127.0.0.1", port, "/metrics"))?
-        .body_text()
-        .into_owned();
+        .body_text()?
+        .to_string();
     println!(
         "\nself-scrape of GET /metrics ({} bytes), cache series:",
         metrics.len()

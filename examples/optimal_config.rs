@@ -65,6 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("known operation");
         let xml = serialize_response(google::NAMESPACE, op, "return", &value, &registry)?;
         let (_, events) = read_response_xml_recording(&xml, &descriptor.return_type, &registry)?;
+        let xml: std::sync::Arc<[u8]> = std::sync::Arc::from(xml.into_bytes());
+        let events = std::sync::Arc::new(events);
         let stored = StoredResponse::build(
             fastest_choice,
             wsrcache::cache::repr::MissArtifacts {

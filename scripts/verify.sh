@@ -13,9 +13,14 @@ cargo test -q --workspace
 # manual clock; validates the BENCH_store JSON schema, never timings.
 cargo run -q --release -p wsrc-bench --bin bench_store -- --smoke \
   --out target/bench_store_smoke.json
+# Zero-copy pipeline benchmark smoke: few iterations, validates the
+# BENCH_pipeline JSON schema (wsrc-bench-pipeline/v1), never timings.
+cargo run -q --release -p wsrc-bench --bin bench_pipeline -- --smoke \
+  --out target/bench_pipeline_smoke.json
 cargo fmt --check
-# Workspace invariants (R1-R5): representation safety, atomics audit,
-# clock discipline, panic freedom, lock ordering. See crates/analyze.
+# Workspace invariants (R1-R6): representation safety, atomics audit,
+# clock discipline, panic freedom, lock ordering, zero-copy pipeline.
+# See crates/analyze.
 cargo run -q --release -p wsrc-analyze -- --deny crates src
 
 echo "verify: build, tests, formatting, and analysis all clean"

@@ -165,7 +165,8 @@ fn metrics_endpoint_exposes_the_full_pipeline() {
         .get(&Url::new("127.0.0.1", server.port(), "/metrics"))
         .expect("GET /metrics")
         .body_text()
-        .into_owned();
+        .expect("metrics body is utf-8")
+        .to_string();
 
     // Per-representation hit/miss counters…
     assert!(
