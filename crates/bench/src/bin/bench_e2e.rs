@@ -1,0 +1,130 @@
+//! End-to-end network benchmark with a machine-readable report.
+//!
+//! ```text
+//! bench_e2e [--smoke] [--out PATH] [--pool N] [--runs N]
+//! ```
+//!
+//! The full run drives real client→server→cache round trips over
+//! loopback TCP with a monotonic clock and writes
+//! `results/BENCH_e2e.json` (including the compiled-in PR 4
+//! single-connection baseline column); `--smoke` (run by
+//! `scripts/verify.sh`) uses a deterministic fake clock, tiny request
+//! counts, and writes to `target/bench_e2e_smoke.json`. `--pool N`
+//! overrides the client pool size per authority — `--pool 1` reproduces
+//! the old single-socket client and is how the baseline column was
+//! captured. `--runs N` repeats the plan N times and keeps the
+//! best-of-N throughput per scenario, suppressing scheduler noise on
+//! small shared machines. Either way the report is validated against
+//! the `wsrc-bench-e2e/v1` schema and the process exits non-zero when
+//! the shape is wrong.
+
+use wsrc_bench::e2e_bench::{
+    report_to_json, run_plan_best_of, validate_report, E2ePlan, BASELINE_PR4,
+};
+use wsrc_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| {
+        if smoke {
+            "target/bench_e2e_smoke.json".to_string()
+        } else {
+            "results/BENCH_e2e.json".to_string()
+        }
+    });
+    let mut plan = if smoke {
+        E2ePlan::smoke()
+    } else {
+        E2ePlan::full()
+    };
+    if let Some(n) = flag_value(&args, "--pool") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => plan.pool = Some(n),
+            _ => {
+                eprintln!("bench_e2e: --pool takes a positive integer, got {n}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut runs = 1;
+    if let Some(n) = flag_value(&args, "--runs") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => runs = n,
+            _ => {
+                eprintln!("bench_e2e: --runs takes a positive integer, got {n}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let pool_label = plan
+        .pool
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "callers".to_string());
+
+    let results = run_plan_best_of(&plan, runs);
+    let json = report_to_json(plan.mode(), &pool_label, &results);
+    if let Err(why) = validate_report(&json) {
+        eprintln!("bench_e2e: report failed schema validation: {why}");
+        std::process::exit(1);
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("bench_e2e: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_e2e: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let baseline_for = |scenario: &str| {
+        BASELINE_PR4
+            .iter()
+            .find(|(name, _)| *name == scenario)
+            .map(|(_, rps)| *rps)
+    };
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let base = baseline_for(&r.scenario);
+            vec![
+                r.scenario.clone(),
+                r.callers.to_string(),
+                r.load.completed.to_string(),
+                format!("{:.0}", r.load.throughput_rps),
+                base.map(|b| format!("{b:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                base.filter(|b| *b > 0.0)
+                    .map(|b| format!("{:.2}x", r.load.throughput_rps / b))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{}", r.load.p50_response.as_micros()),
+                format!("{}", r.load.p99_response.as_micros()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "bench_e2e ({} mode, pool={pool_label}) -> {out}",
+                plan.mode()
+            ),
+            &["scenario", "callers", "done", "rps", "pr4 rps", "speedup", "p50 us", "p99 us",],
+            &rows,
+        )
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    if let Some(v) = args
+        .iter()
+        .find_map(|a| a.strip_prefix(&format!("{flag}=")))
+    {
+        return Some(v.to_string());
+    }
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}

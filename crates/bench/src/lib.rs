@@ -16,6 +16,7 @@
 //! cargo run --release -p wsrc-bench --bin reproduce -- all
 //! ```
 
+pub mod e2e_bench;
 pub mod figures;
 pub mod fixtures;
 pub mod json;

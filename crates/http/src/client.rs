@@ -1,4 +1,14 @@
-//! A blocking HTTP/1.1 client with per-destination connection reuse.
+//! A blocking HTTP/1.1 client with a real per-destination connection
+//! pool.
+//!
+//! Each `host:port` gets up to [`PoolConfig::max_per_authority`]
+//! concurrent connections. Callers check a connection (or the right to
+//! dial one) out of the pool, blocking up to
+//! [`PoolConfig::checkout_timeout`] when every slot is busy —
+//! expiry surfaces as the typed [`HttpError::PoolExhausted`]. Idle
+//! connections older than [`PoolConfig::idle_ttl`] are reaped at
+//! checkout. Successful keep-alive round trips return the connection to
+//! the pool; failures release the slot so waiters can dial afresh.
 
 use crate::error::HttpError;
 use crate::message::{Request, Response};
@@ -6,60 +16,148 @@ use crate::url::Url;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
-use wsrc_obs::sync;
+use wsrc_obs::{sync, Clock, Histogram, MonotonicClock};
+
+/// Sizing for the client connection pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum concurrent connections per `host:port`.
+    pub max_per_authority: usize,
+    /// How long a checkout blocks for a free slot before failing with
+    /// [`HttpError::PoolExhausted`].
+    pub checkout_timeout: Duration,
+    /// Idle pooled connections older than this are closed instead of
+    /// reused (servers reap idle peers on their own schedule; a fresh
+    /// dial beats a half-closed socket).
+    pub idle_ttl: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_per_authority: 8,
+            checkout_timeout: Duration::from_secs(5),
+            idle_ttl: Duration::from_secs(10),
+        }
+    }
+}
+
+/// An idle pooled connection and when it went idle.
+struct IdleConn {
+    stream: TcpStream,
+    since_nanos: u64,
+}
+
+/// Per-authority pool accounting: idle connections plus the number of
+/// checked-out slots (in-flight connections or dial permits).
+#[derive(Default)]
+struct AuthorityPool {
+    idle: Vec<IdleConn>,
+    in_use: usize,
+}
 
 /// A blocking HTTP client.
 ///
-/// Connections are kept alive and reused per `host:port`. The client is
-/// `Send + Sync`; concurrent calls to the same destination serialize on
-/// that destination's connection (the portal load generator gives each
-/// worker its own client to avoid that).
-#[derive(Debug)]
+/// Connections are kept alive and pooled per `host:port`, with up to
+/// [`PoolConfig::max_per_authority`] in flight at once — concurrent
+/// callers to one destination no longer serialize on a single socket.
+/// The client is `Send + Sync` and is meant to be shared.
 pub struct HttpClient {
-    connections: Mutex<HashMap<String, TcpStream>>,
+    pool: Mutex<HashMap<String, AuthorityPool>>,
+    slot_freed: Condvar,
+    config: PoolConfig,
     timeout: Option<Duration>,
+    clock: std::sync::Arc<dyn Clock>,
+    checkout_wait: Histogram,
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClient")
+            .field("config", &self.config)
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HttpClient {
-    /// Creates a client with a default 30-second I/O timeout.
+    /// Creates a client with a default 30-second I/O timeout and default
+    /// pool sizing.
     pub fn new() -> Self {
-        HttpClient {
-            connections: Mutex::new(HashMap::new()),
-            timeout: Some(Duration::from_secs(30)),
-        }
+        HttpClient::with_settings(Some(Duration::from_secs(30)), PoolConfig::default())
     }
 
     /// Creates a client with a custom I/O timeout (`None` blocks forever).
     pub fn with_timeout(timeout: Option<Duration>) -> Self {
+        HttpClient::with_settings(timeout, PoolConfig::default())
+    }
+
+    /// Creates a client with custom pool sizing.
+    pub fn with_pool(config: PoolConfig) -> Self {
+        HttpClient::with_settings(Some(Duration::from_secs(30)), config)
+    }
+
+    /// Creates a client with explicit I/O timeout and pool sizing.
+    /// Checkout-wait timings land in the process-wide metrics registry
+    /// as `wsrc_http_pool_checkout_wait_seconds`.
+    pub fn with_settings(timeout: Option<Duration>, config: PoolConfig) -> Self {
         HttpClient {
-            connections: Mutex::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            slot_freed: Condvar::new(),
+            config,
             timeout,
+            clock: std::sync::Arc::new(MonotonicClock::new()),
+            checkout_wait: wsrc_obs::global()
+                .histogram("wsrc_http_pool_checkout_wait_seconds", &[]),
         }
     }
 
-    /// Executes a request against `url`, reusing a pooled connection when
-    /// possible and transparently reconnecting once if the pooled
-    /// connection went stale.
+    /// The pool sizing in effect.
+    pub fn pool_config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Idle pooled connections across all destinations (for tests and
+    /// diagnostics).
+    pub fn idle_connections(&self) -> usize {
+        sync::lock(&self.pool).values().map(|p| p.idle.len()).sum()
+    }
+
+    /// Checked-out connections across all destinations.
+    pub fn in_use_connections(&self) -> usize {
+        sync::lock(&self.pool).values().map(|p| p.in_use).sum()
+    }
+
+    /// Executes a request against `url`, using a pooled connection when
+    /// one is free, dialing when the destination has spare capacity, and
+    /// blocking (up to the checkout deadline) when it does not. A stale
+    /// pooled connection is transparently replaced once.
     ///
     /// # Errors
     ///
-    /// Returns transport or protocol errors; HTTP error statuses are *not*
-    /// errors here — inspect [`Response::status`].
+    /// Returns transport or protocol errors, and
+    /// [`HttpError::PoolExhausted`] when every connection stays busy past
+    /// the checkout deadline. HTTP error statuses are *not* errors here —
+    /// inspect [`Response::status`].
     pub fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
         let authority = url.authority();
-        let pooled = sync::lock(&self.connections).remove(&authority);
-        if let Some(stream) = pooled {
-            match self.roundtrip(stream, url, request) {
-                Ok(resp) => return Ok(resp),
-                // Stale keep-alive connection: fall through to reconnect.
-                Err(HttpError::Io(_)) | Err(HttpError::Protocol(_)) => {}
-                Err(other) => return Err(other),
+        let pooled = self.checkout(&authority)?;
+        match self.drive(pooled, &authority, url, request) {
+            Ok((response, Some(stream))) => {
+                self.check_in(&authority, stream);
+                Ok(response)
+            }
+            Ok((response, None)) => {
+                self.release(&authority);
+                Ok(response)
+            }
+            Err(e) => {
+                self.release(&authority);
+                Err(e)
             }
         }
-        let stream = self.connect(&authority)?;
-        self.roundtrip(stream, url, request)
     }
 
     /// Convenience: POST `body` to `url` with the given content type.
@@ -87,9 +185,97 @@ impl HttpClient {
         self.execute(url, &req)
     }
 
-    /// Drops all pooled connections.
+    /// Drops all idle pooled connections. Checked-out slots are
+    /// unaffected and return to an empty pool.
     pub fn clear_pool(&self) {
-        sync::lock(&self.connections).clear();
+        for pool in sync::lock(&self.pool).values_mut() {
+            pool.idle.clear();
+        }
+    }
+
+    /// Acquires one slot for `authority`: an idle pooled connection
+    /// (`Some`), or a permit to dial a new one (`None`).
+    fn checkout(&self, authority: &str) -> Result<Option<TcpStream>, HttpError> {
+        let started = self.clock.now_nanos();
+        let deadline = started.saturating_add(duration_nanos(self.config.checkout_timeout));
+        let ttl = duration_nanos(self.config.idle_ttl);
+        let mut pool = sync::lock(&self.pool);
+        loop {
+            let now = self.clock.now_nanos();
+            let entry = pool.entry(authority.to_string()).or_default();
+            // Reap idle connections past their TTL (newest kept last).
+            entry
+                .idle
+                .retain(|c| now.saturating_sub(c.since_nanos) < ttl);
+            if let Some(conn) = entry.idle.pop() {
+                entry.in_use += 1;
+                drop(pool);
+                self.checkout_wait
+                    .record_nanos(self.clock.now_nanos().saturating_sub(started));
+                return Ok(Some(conn.stream));
+            }
+            if entry.in_use < self.config.max_per_authority.max(1) {
+                entry.in_use += 1;
+                drop(pool);
+                self.checkout_wait
+                    .record_nanos(self.clock.now_nanos().saturating_sub(started));
+                return Ok(None);
+            }
+            if now >= deadline {
+                return Err(HttpError::PoolExhausted);
+            }
+            let (guard, _timed_out) =
+                sync::wait_timeout(&self.slot_freed, pool, Duration::from_nanos(deadline - now));
+            pool = guard;
+        }
+    }
+
+    /// Returns a healthy keep-alive connection to the idle pool.
+    fn check_in(&self, authority: &str, stream: TcpStream) {
+        let now = self.clock.now_nanos();
+        {
+            let mut pool = sync::lock(&self.pool);
+            let entry = pool.entry(authority.to_string()).or_default();
+            entry.idle.push(IdleConn {
+                stream,
+                since_nanos: now,
+            });
+            entry.in_use = entry.in_use.saturating_sub(1);
+        }
+        self.slot_freed.notify_one();
+    }
+
+    /// Frees a slot without returning a connection (failure or
+    /// `Connection: close`).
+    fn release(&self, authority: &str) {
+        {
+            let mut pool = sync::lock(&self.pool);
+            let entry = pool.entry(authority.to_string()).or_default();
+            entry.in_use = entry.in_use.saturating_sub(1);
+        }
+        self.slot_freed.notify_one();
+    }
+
+    /// Runs the round trip on the checked-out slot: reuse the pooled
+    /// connection if one came out, transparently redialing once when it
+    /// proves stale; otherwise dial directly.
+    fn drive(
+        &self,
+        pooled: Option<TcpStream>,
+        authority: &str,
+        url: &Url,
+        request: &Request,
+    ) -> Result<(Response, Option<TcpStream>), HttpError> {
+        if let Some(stream) = pooled {
+            match self.roundtrip(stream, url, request) {
+                Ok(done) => return Ok(done),
+                // Stale keep-alive connection: fall through to redial.
+                Err(HttpError::Io(_)) | Err(HttpError::Protocol(_)) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        let stream = self.connect(authority)?;
+        self.roundtrip(stream, url, request)
     }
 
     fn connect(&self, authority: &str) -> Result<TcpStream, HttpError> {
@@ -100,17 +286,19 @@ impl HttpClient {
         Ok(stream)
     }
 
+    /// One request/response exchange. Returns the connection alongside
+    /// the response when the server kept it open for reuse. The request
+    /// is borrowed as-is; only the serialized request line carries the
+    /// destination path (no clone of the request or its shared body).
     fn roundtrip(
         &self,
         stream: TcpStream,
         url: &Url,
         request: &Request,
-    ) -> Result<Response, HttpError> {
-        let mut req = request.clone();
-        req.target = url.path().to_string();
+    ) -> Result<(Response, Option<TcpStream>), HttpError> {
         {
             let mut writer = BufWriter::new(stream.try_clone()?);
-            req.write_to(&mut writer, &url.authority())?;
+            request.write_to_target(&mut writer, &url.authority(), url.path())?;
         }
         let mut reader = BufReader::new(stream.try_clone()?);
         let response = Response::read_from(&mut reader)?;
@@ -119,11 +307,12 @@ impl HttpClient {
             .get("Connection")
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
-        if keep_alive {
-            sync::lock(&self.connections).insert(url.authority(), stream);
-        }
-        Ok(response)
+        Ok((response, keep_alive.then_some(stream)))
     }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 impl Default for HttpClient {
@@ -184,8 +373,98 @@ mod tests {
         for _ in 0..5 {
             client.get(&url).unwrap();
         }
-        // One pooled connection for the single destination.
-        assert_eq!(client.connections.lock().unwrap().len(), 1);
+        // Sequential requests share one pooled connection; nothing is
+        // checked out between calls.
+        assert_eq!(client.idle_connections(), 1);
+        assert_eq!(client.in_use_connections(), 0);
+    }
+
+    #[test]
+    fn pool_grows_to_demand_up_to_the_cap() {
+        let (_server, _handler, url) = start_echo();
+        let client = Arc::new(HttpClient::with_pool(PoolConfig {
+            max_per_authority: 4,
+            ..PoolConfig::default()
+        }));
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let client = client.clone();
+            let url = url.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let r = client.get(&url).unwrap();
+                    assert_eq!(r.status, Status::OK);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let idle = client.idle_connections();
+        assert!(
+            (1..=4).contains(&idle),
+            "pool holds between 1 and max_per_authority connections, got {idle}"
+        );
+        assert_eq!(client.in_use_connections(), 0, "every slot returned");
+    }
+
+    #[test]
+    fn checkout_deadline_expiry_is_pool_exhausted() {
+        let (_server, _handler, url) = start_echo();
+        let client = HttpClient::with_pool(PoolConfig {
+            max_per_authority: 1,
+            checkout_timeout: Duration::from_millis(50),
+            ..PoolConfig::default()
+        });
+        // Hold the only slot by checking it out directly.
+        let authority = url.authority();
+        let permit = client.checkout(&authority).unwrap();
+        assert!(permit.is_none(), "fresh pool hands out a dial permit");
+        let err = client.get(&url).unwrap_err();
+        assert!(
+            matches!(err, HttpError::PoolExhausted),
+            "expected PoolExhausted, got {err:?}"
+        );
+        // Releasing the slot makes the destination usable again.
+        client.release(&authority);
+        assert_eq!(client.get(&url).unwrap().status, Status::OK);
+    }
+
+    #[test]
+    fn waiting_checkout_proceeds_when_a_slot_frees() {
+        let (_server, _handler, url) = start_echo();
+        let client = Arc::new(HttpClient::with_pool(PoolConfig {
+            max_per_authority: 1,
+            checkout_timeout: Duration::from_secs(10),
+            ..PoolConfig::default()
+        }));
+        let authority = url.authority();
+        let permit = client.checkout(&authority).unwrap();
+        assert!(permit.is_none());
+        let waiter = {
+            let client = client.clone();
+            let url = url.clone();
+            std::thread::spawn(move || client.get(&url).map(|r| r.status))
+        };
+        // The waiter blocks on the full pool until the slot frees.
+        std::thread::sleep(Duration::from_millis(30));
+        client.release(&authority);
+        assert_eq!(waiter.join().unwrap().unwrap(), Status::OK);
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_ttl() {
+        let (_server, _handler, url) = start_echo();
+        let client = HttpClient::with_pool(PoolConfig {
+            idle_ttl: Duration::from_millis(30),
+            ..PoolConfig::default()
+        });
+        client.get(&url).unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        // The next checkout reaps the stale connection and dials fresh.
+        client.get(&url).unwrap();
+        assert_eq!(client.idle_connections(), 1);
     }
 
     #[test]
@@ -216,6 +495,28 @@ mod tests {
         // Port 1 is essentially never listening.
         let url = Url::new("127.0.0.1", 1, "/");
         assert!(matches!(client.get(&url), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_client() {
+        let (_server, handler, url) = start_echo();
+        let client = Arc::new(HttpClient::new());
+        let mut threads = Vec::new();
+        for _ in 0..16 {
+            let url = url.clone();
+            let client = client.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let r = client.get(&url).unwrap();
+                    assert_eq!(r.status, Status::OK);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handler.hits.load(Ordering::SeqCst), 320);
+        assert_eq!(client.in_use_connections(), 0);
     }
 
     #[test]

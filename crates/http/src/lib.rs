@@ -8,8 +8,11 @@
 //! layer the client middleware and the dummy services run on:
 //!
 //! - [`message`] — request/response model with case-insensitive headers.
-//! - [`client`] — a blocking keep-alive client over `std::net`.
-//! - [`server`] — a thread-per-connection server with graceful shutdown.
+//! - [`client`] — a blocking keep-alive client over `std::net` with a
+//!   bounded per-destination connection pool.
+//! - [`server`] — a bounded worker-pool server with backpressure
+//!   (503 + `Retry-After` once the connection queue fills) and graceful
+//!   shutdown that joins every worker.
 //! - [`cache_control`] — `Cache-Control` / `If-Modified-Since` / `304`
 //!   support mirroring the paper's §3.2 discussion of HTTP consistency.
 //! - [`transport`] — a pluggable transport abstraction: real TCP, direct
@@ -27,9 +30,9 @@ pub mod transport;
 pub mod url;
 
 pub use body::Body;
-pub use client::HttpClient;
+pub use client::{HttpClient, PoolConfig};
 pub use error::HttpError;
 pub use message::{Headers, Method, Request, Response, Status};
-pub use server::{Handler, MetricsRoute, Server};
+pub use server::{Handler, MetricsRoute, Server, ServerConfig};
 pub use transport::{InProcTransport, LatencyTransport, TcpTransport, Transport};
 pub use url::Url;

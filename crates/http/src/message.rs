@@ -70,6 +70,9 @@ impl Status {
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
     /// `500 Internal Server Error` — carries SOAP faults.
     pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// `503 Service Unavailable` — the server's connection queue is
+    /// full; sent with `Retry-After` by the overload path.
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     /// The standard reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -80,6 +83,7 @@ impl Status {
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -206,10 +210,27 @@ impl Request {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, w: &mut W, host: &str) -> Result<(), HttpError> {
+        self.write_to_target(w, host, &self.target)
+    }
+
+    /// Like [`write_to`](Request::write_to), but serializes `target` in
+    /// the request line instead of `self.target`. The client uses this
+    /// to rewrite the path for a destination URL without cloning the
+    /// whole request (and its shared body) first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to_target<W: Write>(
+        &self,
+        w: &mut W,
+        host: &str,
+        target: &str,
+    ) -> Result<(), HttpError> {
         let mut head = String::with_capacity(64 + host.len() + headers_wire_len(&self.headers));
         head.push_str(self.method.as_str());
         head.push(' ');
-        head.push_str(&self.target);
+        head.push_str(target);
         head.push_str(" HTTP/1.1\r\n");
         if !self.headers.contains("Host") {
             head.push_str("Host: ");
@@ -554,6 +575,24 @@ mod tests {
         assert_eq!(parsed.target, "/svc");
         assert_eq!(parsed.body, b"<x/>");
         assert_eq!(parsed.headers.get("soapaction"), Some("\"op\""));
+    }
+
+    #[test]
+    fn write_to_target_overrides_request_line_only() {
+        let req = Request::post("/original", "text/xml", b"<x/>".to_vec());
+        let mut wire = Vec::new();
+        req.write_to_target(&mut wire, "example.test:80", "/rewritten")
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("POST /rewritten HTTP/1.1\r\n"), "{text}");
+        assert_eq!(req.target, "/original", "request itself is untouched");
+    }
+
+    #[test]
+    fn service_unavailable_has_reason_phrase() {
+        assert_eq!(Status::SERVICE_UNAVAILABLE.0, 503);
+        assert_eq!(Status::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
+        assert!(!Status::SERVICE_UNAVAILABLE.is_success());
     }
 
     #[test]

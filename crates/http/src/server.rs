@@ -1,15 +1,25 @@
-//! A thread-per-connection HTTP/1.1 server with keep-alive and graceful
-//! shutdown — the "servlet engine" substrate hosting the dummy services
-//! and the portal site.
+//! A worker-pool HTTP/1.1 server with keep-alive, backpressure and
+//! graceful shutdown — the "servlet engine" substrate hosting the dummy
+//! services and the portal site.
+//!
+//! Concurrency is bounded end to end: a fixed pool of worker threads
+//! (sized by [`ServerConfig::workers`]) drains an MPMC connection queue
+//! with a hard capacity ([`ServerConfig::queue_capacity`]). When the
+//! queue is full, new connections are answered immediately with
+//! `503 Service Unavailable` and `Retry-After` instead of spawning an
+//! unbounded thread per connection. Shutdown joins every worker, so no
+//! connection threads outlive the [`Server`].
 
 use crate::error::HttpError;
 use crate::message::{Request, Response};
-use std::io::{BufReader, BufWriter};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use wsrc_obs::{sync, Clock, Counter, Gauge, Histogram, MetricsRegistry, MonotonicClock};
 
 /// Application logic behind a [`Server`].
 ///
@@ -85,43 +95,207 @@ impl Handler for MetricsRoute {
     }
 }
 
+/// Sizing and observability knobs for a [`Server`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the connection queue. Default:
+    /// `std::thread::available_parallelism()` (at least 2).
+    pub workers: usize,
+    /// Hard cap on connections waiting for a worker; connections
+    /// arriving beyond it are answered `503 Service Unavailable`.
+    /// Requeued keep-alive connections are exempt (they were already
+    /// admitted), so the instantaneous depth may briefly exceed this.
+    pub queue_capacity: usize,
+    /// How long an idle keep-alive connection is kept before the server
+    /// closes it. Replaces the old hard-coded 60 s.
+    pub idle_keep_alive: Duration,
+    /// Value of the `Retry-After` header on `503` rejections.
+    pub retry_after: Duration,
+    /// Registry receiving the server's queue/worker/connection metrics.
+    pub registry: Arc<MetricsRegistry>,
+    /// Time source for idle accounting and queue-wait timing.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2),
+            queue_capacity: 256,
+            idle_keep_alive: Duration::from_secs(15),
+            retry_after: Duration::from_secs(1),
+            registry: wsrc_obs::global(),
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("idle_keep_alive", &self.idle_keep_alive)
+            .field("retry_after", &self.retry_after)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A running HTTP server. Dropping it shuts it down.
 #[derive(Debug)]
 pub struct Server {
     port: u16,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
-#[derive(Debug)]
+/// One admitted connection travelling through the queue. Buffered
+/// reader/writer state travels with it, so a worker can hand a
+/// keep-alive connection back to the queue without losing bytes a
+/// pipelining client may already have sent.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// When the connection last finished a request (or was accepted).
+    idle_since_nanos: u64,
+    /// When the connection last entered the queue.
+    enqueued_nanos: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, poll: Duration, now_nanos: u64) -> Result<Conn, HttpError> {
+        stream.set_nodelay(true)?;
+        // Workers poll in short quanta so idle connections can yield the
+        // worker and shutdown stays prompt.
+        stream.set_read_timeout(Some(poll))?;
+        let read_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            idle_since_nanos: now_nanos,
+            enqueued_nanos: now_nanos,
+        })
+    }
+}
+
+struct ServerMetrics {
+    queue_depth: Gauge,
+    busy_workers: Gauge,
+    open_connections: Gauge,
+    rejected: Counter,
+    queue_wait: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+        ServerMetrics {
+            queue_depth: registry.gauge("wsrc_http_queue_depth", &[]),
+            busy_workers: registry.gauge("wsrc_http_busy_workers", &[]),
+            open_connections: registry.gauge("wsrc_http_open_connections", &[]),
+            rejected: registry.counter("wsrc_http_rejected_total", &[]),
+            queue_wait: registry.histogram("wsrc_http_queue_wait_seconds", &[]),
+        }
+    }
+}
+
 struct Shared {
     shutting_down: AtomicBool,
     requests_served: AtomicU64,
+    live_workers: AtomicUsize,
+    handler: Arc<dyn Handler>,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    idle_keep_alive: Duration,
+    poll_quantum: Duration,
+    retry_after: Duration,
+    clock: Arc<dyn Clock>,
+    metrics: ServerMetrics,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shutting_down", &self.shutting_down)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a worker should do with a connection after serving it.
+enum ServeOutcome {
+    /// Close the connection (EOF, error, idle timeout, shutdown, or
+    /// `Connection: close`).
+    Close,
+    /// Keep-alive connection yielding the worker to queued peers.
+    Requeue,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `handler` on background threads.
+    /// serving `handler` with default [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Returns I/O errors from binding the listener.
     pub fn bind<A: ToSocketAddrs>(addr: A, handler: Arc<dyn Handler>) -> Result<Server, HttpError> {
+        Server::bind_with_config(addr, handler, ServerConfig::default())
+    }
+
+    /// Binds with explicit sizing/observability configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from binding the listener or spawning threads.
+    pub fn bind_with_config<A: ToSocketAddrs>(
+        addr: A,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<Server, HttpError> {
         let listener = TcpListener::bind(addr)?;
         let port = listener.local_addr()?.port();
+        let worker_count = config.workers.max(1);
+        let poll_quantum = config
+            .idle_keep_alive
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
         let shared = Arc::new(Shared {
             shutting_down: AtomicBool::new(false),
             requests_served: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(0),
+            handler,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            idle_keep_alive: config.idle_keep_alive,
+            poll_quantum,
+            retry_after: config.retry_after,
+            clock: config.clock,
+            metrics: ServerMetrics::new(&config.registry),
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("http-accept-{port}"))
-            .spawn(move || accept_loop(listener, handler, accept_shared))
+            .spawn(move || accept_loop(listener, accept_shared))
             .map_err(HttpError::Io)?;
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let worker_shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("http-worker-{port}-{i}"))
+                .spawn(move || worker_loop(worker_shared))
+                .map_err(HttpError::Io)?;
+            workers.push(handle);
+        }
         Ok(Server {
             port,
             shared,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -136,8 +310,26 @@ impl Server {
         self.shared.requests_served.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and waits for the accept loop to exit.
-    /// In-flight connections finish their current request.
+    /// Configured worker-pool size.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker threads currently alive — the bounded-concurrency
+    /// invariant: never exceeds [`worker_count`](Server::worker_count),
+    /// and zero once [`shutdown`](Server::shutdown) returns.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently waiting in the queue.
+    pub fn queued_connections(&self) -> usize {
+        sync::lock(&self.shared.queue).len()
+    }
+
+    /// Requests shutdown and joins the accept loop and every worker.
+    /// Requests already being handled are finished; connections still
+    /// waiting in the queue are closed unserved.
     pub fn shutdown(&mut self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
@@ -147,6 +339,18 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let drained = {
+            let mut queue = sync::lock(&self.shared.queue);
+            let n = queue.len();
+            queue.clear();
+            n
+        };
+        self.shared.metrics.queue_depth.set(0);
+        self.shared.metrics.open_connections.add(-(drained as i64));
     }
 }
 
@@ -156,63 +360,163 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: Arc<dyn Handler>, shared: Arc<Shared>) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let handler = handler.clone();
-        let shared = shared.clone();
-        let _ = std::thread::Builder::new()
-            .name("http-conn".to_string())
-            .spawn(move || connection_loop(stream, handler, shared));
+        admit(stream, &shared);
     }
 }
 
-fn connection_loop(stream: TcpStream, handler: Arc<dyn Handler>, shared: Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    // Idle keep-alive connections are reaped so shutdown is prompt.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-    let Ok(read_half) = stream.try_clone() else {
+/// Admits a fresh connection into the queue, or rejects it with `503`
+/// when the queue is at capacity.
+fn admit(stream: TcpStream, shared: &Shared) {
+    let over_capacity = {
+        let queue = sync::lock(&shared.queue);
+        queue.len() >= shared.queue_capacity
+    };
+    if over_capacity {
+        reject(stream, shared);
+        return;
+    }
+    let now = shared.clock.now_nanos();
+    let Ok(conn) = Conn::new(stream, shared.poll_quantum, now) else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    shared.metrics.open_connections.add(1);
+    enqueue(conn, shared);
+}
+
+/// Pushes a connection (fresh or requeued) and wakes one worker.
+fn enqueue(mut conn: Conn, shared: &Shared) {
+    conn.enqueued_nanos = shared.clock.now_nanos();
+    let depth = {
+        let mut queue = sync::lock(&shared.queue);
+        queue.push_back(conn);
+        queue.len()
+    };
+    shared.metrics.queue_depth.set(depth as i64);
+    shared.queue_cv.notify_one();
+}
+
+/// Best-effort `503 Service Unavailable` + `Retry-After`, then close.
+fn reject(stream: TcpStream, shared: &Shared) {
+    shared.metrics.rejected.add(1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let response = Response::error(
+        crate::message::Status::SERVICE_UNAVAILABLE,
+        "connection queue full",
+    )
+    .with_header("Retry-After", shared.retry_after.as_secs().to_string())
+    .with_header("Connection", "close");
+    let _ = response.write_to(&mut stream);
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+    while let Some(mut conn) = next_conn(&shared) {
+        shared
+            .metrics
+            .queue_wait
+            .record_nanos(shared.clock.now_nanos().saturating_sub(conn.enqueued_nanos));
+        shared.metrics.busy_workers.add(1);
+        let outcome = serve_connection(&mut conn, &shared);
+        shared.metrics.busy_workers.add(-1);
+        match outcome {
+            ServeOutcome::Close => shared.metrics.open_connections.add(-1),
+            ServeOutcome::Requeue => enqueue(conn, &shared),
+        }
+    }
+    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Blocks until a connection is available or shutdown begins.
+fn next_conn(shared: &Shared) -> Option<Conn> {
+    let mut queue = sync::lock(&shared.queue);
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
+            return None;
         }
-        let request = match Request::read_from(&mut reader) {
+        if let Some(conn) = queue.pop_front() {
+            shared.metrics.queue_depth.set(queue.len() as i64);
+            return Some(conn);
+        }
+        queue = sync::wait(&shared.queue_cv, queue);
+    }
+}
+
+/// Serves requests on one connection until it closes, idles out, or
+/// yields the worker to queued peers.
+fn serve_connection(conn: &mut Conn, shared: &Shared) -> ServeOutcome {
+    loop {
+        // Wait for the next request head one poll quantum at a time, so
+        // shutdown is noticed promptly and an idle connection hands its
+        // worker back whenever other connections are waiting.
+        loop {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return ServeOutcome::Close;
+            }
+            match conn.reader.fill_buf().map(|buf| buf.is_empty()) {
+                Ok(true) => return ServeOutcome::Close, // clean EOF
+                Ok(false) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    let idle = shared
+                        .clock
+                        .now_nanos()
+                        .saturating_sub(conn.idle_since_nanos);
+                    let limit = shared.idle_keep_alive.as_nanos().min(u64::MAX as u128) as u64;
+                    if idle >= limit {
+                        return ServeOutcome::Close;
+                    }
+                    if !sync::lock(&shared.queue).is_empty() {
+                        return ServeOutcome::Requeue;
+                    }
+                }
+                Err(_) => return ServeOutcome::Close,
+            }
+        }
+        let request = match Request::read_from(&mut conn.reader) {
             Ok(Some(req)) => req,
-            Ok(None) => return, // clean close
-            Err(HttpError::Timeout) => return,
-            Err(HttpError::Io(_)) => return,
+            Ok(None) => return ServeOutcome::Close,
+            Err(HttpError::Timeout) | Err(HttpError::Io(_)) => return ServeOutcome::Close,
             Err(_) => {
                 // Malformed request: best-effort 400, then close.
                 let resp =
                     Response::error(crate::message::Status::BAD_REQUEST, "malformed request");
-                let _ = resp.write_to(&mut writer);
-                return;
+                let _ = resp.write_to(&mut conn.writer);
+                return ServeOutcome::Close;
             }
         };
         // Work that arrives after shutdown began is refused; only requests
         // already in flight are finished.
         if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
+            return ServeOutcome::Close;
         }
         let close_requested = request
             .headers
             .get("Connection")
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
-        let response = handler.handle(&request);
+        let response = shared.handler.handle(&request);
         shared.requests_served.fetch_add(1, Ordering::SeqCst);
-        if response.write_to(&mut writer).is_err() {
-            return;
+        if response.write_to(&mut conn.writer).is_err() {
+            return ServeOutcome::Close;
         }
+        conn.idle_since_nanos = shared.clock.now_nanos();
         if close_requested {
-            return;
+            return ServeOutcome::Close;
+        }
+        // Fairness between keep-alive connections: yield the worker when
+        // peers are queued and this client has nothing buffered yet.
+        if conn.reader.buffer().is_empty() && !sync::lock(&shared.queue).is_empty() {
+            return ServeOutcome::Requeue;
         }
     }
 }
@@ -234,6 +538,16 @@ mod tests {
         .unwrap();
         let url = Url::new("127.0.0.1", server.port(), "/world");
         (server, url)
+    }
+
+    /// Bounded progress wait (not a timing assertion): spins until
+    /// `predicate` holds or a generous deadline passes.
+    fn wait_until(what: &str, mut predicate: impl FnMut() -> bool) {
+        let clock = wsrc_obs::MonotonicClock::new();
+        while !predicate() {
+            assert!(clock.now_millis() < 10_000, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]
@@ -290,9 +604,196 @@ mod tests {
         server.shutdown();
         server.shutdown();
         assert!(clock.now_millis() - start < 5_000);
+        assert_eq!(server.live_workers(), 0, "every worker joined");
         // New connections are refused or die without being served.
         let client2 = HttpClient::new();
         assert!(client2.get(&url).is_err());
+    }
+
+    #[test]
+    fn queue_full_returns_503_with_retry_after() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::ok("text/plain", b"ok".to_vec()));
+        let server = Server::bind_with_config(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                retry_after: Duration::from_secs(7),
+                registry: registry.clone(),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/x");
+
+        // c1 pins the single worker on a served keep-alive connection.
+        let client = HttpClient::new();
+        client.get(&url).unwrap();
+        // c2 occupies the only queue slot (it never sends a request, so
+        // the queue stays non-empty from here on).
+        let _c2 = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        wait_until("c2 to be queued", || {
+            server.queued_connections() >= 1
+                || registry
+                    .snapshot()
+                    .counter_value("wsrc_http_rejected_total", &[])
+                    .unwrap_or(0)
+                    > 0
+        });
+
+        // The flood: every further connection is rejected, not spawned.
+        use std::io::Read;
+        for _ in 0..3 {
+            let mut flood = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+            flood
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut buf = String::new();
+            flood.read_to_string(&mut buf).unwrap();
+            assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+            assert!(buf.contains("Retry-After: 7"), "{buf}");
+        }
+
+        // Bounded-concurrency invariants: the worker pool never grew, and
+        // the rejections were counted.
+        assert_eq!(server.worker_count(), 1);
+        assert_eq!(server.live_workers(), 1);
+        let rejected = registry
+            .snapshot()
+            .counter_value("wsrc_http_rejected_total", &[])
+            .unwrap_or(0);
+        assert!(rejected >= 3, "rejected {rejected}");
+    }
+
+    #[test]
+    fn graceful_shutdown_under_load_finishes_in_flight_and_joins_all() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: &Request| Response::ok("text/plain", req.target.clone().into_bytes()));
+        let mut server = Server::bind_with_config(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/load");
+        let mut callers = Vec::new();
+        for _ in 0..8 {
+            let url = url.clone();
+            callers.push(std::thread::spawn(move || {
+                let client = HttpClient::new();
+                let mut completed = 0u64;
+                loop {
+                    match client.get(&url) {
+                        // Every response that arrives must be complete.
+                        Ok(resp) => {
+                            assert_eq!(resp.body_text().unwrap(), "/load");
+                            completed += 1;
+                        }
+                        Err(_) => return completed, // server is gone
+                    }
+                }
+            }));
+        }
+        wait_until("some load to flow", || server.requests_served() >= 32);
+        server.shutdown();
+        assert_eq!(server.live_workers(), 0, "no leaked worker threads");
+        assert_eq!(server.worker_count(), 0, "all handles joined");
+        let total: u64 = callers.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(total >= 32, "callers completed {total}");
+    }
+
+    #[test]
+    fn idle_keep_alive_timeout_is_configurable() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::ok("text/plain", b"ok".to_vec()));
+        let server = Server::bind_with_config(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                idle_keep_alive: Duration::from_millis(100),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        use std::io::{Read, Write};
+        stream
+            .write_all(b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
+        // No `Connection: close`, yet the server hangs up once the
+        // connection sits idle past the configured 100 ms.
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    }
+
+    #[test]
+    fn open_connections_gauge_tracks_lifecycle() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::ok("text/plain", b"ok".to_vec()));
+        let server = Server::bind_with_config(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                registry: registry.clone(),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/x");
+        let gauge = registry.gauge("wsrc_http_open_connections", &[]);
+        let c1 = HttpClient::new();
+        let c2 = HttpClient::new();
+        c1.get(&url).unwrap();
+        c2.get(&url).unwrap();
+        assert_eq!(gauge.value(), 2, "two live keep-alive connections");
+        drop(c1);
+        drop(c2);
+        wait_until("connection close to be noticed", || gauge.value() == 0);
+    }
+
+    #[test]
+    fn keep_alive_connections_share_fewer_workers_fairly() {
+        // More connections than workers: requeueing must keep every
+        // caller progressing instead of starving the later ones.
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: &Request| Response::ok("text/plain", req.target.clone().into_bytes()));
+        let server = Server::bind_with_config(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/fair");
+        let mut callers = Vec::new();
+        for _ in 0..6 {
+            let url = url.clone();
+            callers.push(std::thread::spawn(move || {
+                let client = HttpClient::new();
+                for _ in 0..10 {
+                    let resp = client.get(&url).unwrap();
+                    assert_eq!(resp.body_text().unwrap(), "/fair");
+                }
+            }));
+        }
+        for t in callers {
+            t.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 60);
+        assert_eq!(server.live_workers(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::url::Url;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use wsrc_obs::{Clock, MonotonicClock};
 
 /// Sends one HTTP request to an endpoint and returns the response.
 pub trait Transport: Send + Sync {
@@ -28,24 +29,37 @@ pub trait Transport: Send + Sync {
 }
 
 /// Real TCP transport backed by [`HttpClient`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TcpTransport {
-    client: HttpClient,
+    client: Arc<HttpClient>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::new()
+    }
 }
 
 impl TcpTransport {
     /// Creates a transport with default client settings.
     pub fn new() -> Self {
-        TcpTransport {
-            client: HttpClient::new(),
-        }
+        TcpTransport::with_client(Arc::new(HttpClient::new()))
     }
 
     /// Creates a transport with a custom I/O timeout.
     pub fn with_timeout(timeout: Option<Duration>) -> Self {
-        TcpTransport {
-            client: HttpClient::with_timeout(timeout),
-        }
+        TcpTransport::with_client(Arc::new(HttpClient::with_timeout(timeout)))
+    }
+
+    /// Creates a transport over a shared client, so many transports (or
+    /// many load-generator connections) draw from one connection pool.
+    pub fn with_client(client: Arc<HttpClient>) -> Self {
+        TcpTransport { client }
+    }
+
+    /// The underlying shared client.
+    pub fn client(&self) -> &Arc<HttpClient> {
+        &self.client
     }
 }
 
@@ -99,12 +113,25 @@ impl Transport for InProcTransport {
 pub struct LatencyTransport<T> {
     inner: T,
     latency: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 impl<T: Transport> LatencyTransport<T> {
-    /// Wraps `inner`, sleeping `latency` per request.
+    /// Wraps `inner`, sleeping `latency` per request on the real clock.
     pub fn new(inner: T, latency: Duration) -> Self {
-        LatencyTransport { inner, latency }
+        LatencyTransport::with_clock(inner, latency, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Wraps `inner` with an injected clock. Under
+    /// [`wsrc_obs::ManualClock`] the "sleep" advances virtual time
+    /// instead of blocking, so latency-sensitive tests run
+    /// deterministically and instantly.
+    pub fn with_clock(inner: T, latency: Duration, clock: Arc<dyn Clock>) -> Self {
+        LatencyTransport {
+            inner,
+            latency,
+            clock,
+        }
     }
 
     /// The configured latency.
@@ -120,7 +147,7 @@ impl<T: Transport> LatencyTransport<T> {
 
 impl<T: Transport> Transport for LatencyTransport<T> {
     fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
-        std::thread::sleep(self.latency);
+        self.clock.sleep(self.latency);
         self.inner.execute(url, request)
     }
 }
@@ -136,7 +163,7 @@ mod tests {
     use super::*;
     use crate::message::Status;
     use crate::server::Server;
-    use wsrc_obs::{Clock, MonotonicClock};
+    use wsrc_obs::ManualClock;
 
     fn echo_handler() -> Arc<dyn Handler> {
         Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()))
@@ -179,6 +206,37 @@ mod tests {
         t.execute(&url, &Request::get("/")).unwrap();
         assert!(clock.now_nanos() - start >= 20_000_000);
         assert_eq!(t.latency(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn latency_transport_is_deterministic_under_manual_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let t = LatencyTransport::with_clock(
+            InProcTransport::new(echo_handler()),
+            Duration::from_secs(3600), // an hour of fake latency...
+            clock.clone(),
+        );
+        let url = Url::new("virtual", 80, "/");
+        let wall = MonotonicClock::new();
+        let wall_start = wall.now_nanos();
+        t.execute(&url, &Request::get("/")).unwrap();
+        // ...advances virtual time without blocking the test.
+        assert_eq!(clock.now_nanos(), 3_600_000_000_000);
+        assert!(wall.now_nanos() - wall_start < 1_000_000_000);
+    }
+
+    #[test]
+    fn tcp_transports_can_share_one_pooled_client() {
+        let client = Arc::new(HttpClient::new());
+        let a = TcpTransport::with_client(client.clone());
+        let b = TcpTransport::with_client(client.clone());
+        assert!(Arc::ptr_eq(a.client(), b.client()));
+        let server = Server::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let url = Url::new("127.0.0.1", server.port(), "/svc");
+        a.execute(&url, &Request::get("/svc")).unwrap();
+        b.execute(&url, &Request::get("/svc")).unwrap();
+        // Both transports drew from the same pool.
+        assert_eq!(client.idle_connections(), 1);
     }
 
     #[test]

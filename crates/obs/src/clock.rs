@@ -23,6 +23,16 @@ pub trait Clock: Send + Sync {
     fn now_nanos(&self) -> u64 {
         self.now_millis().saturating_mul(1_000_000)
     }
+
+    /// Blocks the caller until `duration` has passed *on this clock*.
+    ///
+    /// Real clocks sleep the thread; [`ManualClock`] advances itself
+    /// instead, so latency injection routed through the clock (e.g.
+    /// `wsrc_http::LatencyTransport`) is instantaneous and deterministic
+    /// in tests.
+    fn sleep(&self, duration: std::time::Duration) {
+        std::thread::sleep(duration);
+    }
 }
 
 /// The real wall clock (Unix epoch).
@@ -123,6 +133,12 @@ impl Clock for ManualClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::SeqCst)
     }
+
+    /// Fake time never blocks: sleeping advances the clock (and every
+    /// handle to it) without suspending the thread.
+    fn sleep(&self, duration: std::time::Duration) {
+        self.advance_nanos(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
 }
 
 impl<C: Clock + ?Sized> Clock for Arc<C> {
@@ -132,6 +148,10 @@ impl<C: Clock + ?Sized> Clock for Arc<C> {
 
     fn now_nanos(&self) -> u64 {
         (**self).now_nanos()
+    }
+
+    fn sleep(&self, duration: std::time::Duration) {
+        (**self).sleep(duration);
     }
 }
 
@@ -176,6 +196,26 @@ mod tests {
         let c: Arc<dyn Clock> = Arc::new(manual);
         assert_eq!(c.now_nanos(), 42);
         assert_eq!(c.now_millis(), 0);
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_without_blocking() {
+        let c = ManualClock::new();
+        let h = c.handle();
+        c.sleep(std::time::Duration::from_millis(250));
+        assert_eq!(c.now_millis(), 250);
+        assert_eq!(h.now_millis(), 250, "handles share the advance");
+        let arc: Arc<dyn Clock> = Arc::new(h);
+        arc.sleep(std::time::Duration::from_millis(250));
+        assert_eq!(c.now_millis(), 500, "Arc forwards sleep to the impl");
+    }
+
+    #[test]
+    fn real_clock_sleep_actually_elapses() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        c.sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_nanos() - a >= 2_000_000);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! structurally valid, so every caller in this workspace prefers
 //! recovering the guard over propagating a secondary panic.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
 
 /// Acquires `mutex`, recovering the guard if a previous holder panicked.
 pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -17,6 +18,20 @@ pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Blocks on `cv` with `guard`, recovering the guard on poison.
 pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `cv` for at most `timeout`, recovering the guard on poison.
+///
+/// Callers deciding deadlines should re-check their own clock rather than
+/// trusting the [`WaitTimeoutResult`] alone — spurious wakeups return
+/// early with `timed_out() == false`.
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -35,6 +50,33 @@ mod tests {
         .join();
         assert!(m.is_poisoned());
         assert_eq!(*lock(&m), 7, "data survives the panic");
+    }
+
+    #[test]
+    fn wait_timeout_returns_after_deadline() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let guard = lock(&pair.0);
+        let (guard, result) = wait_timeout(&pair.1, guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert!(!*guard);
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *lock(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = lock(m);
+        while !*done {
+            let (guard, _) = wait_timeout(cv, done, std::time::Duration::from_secs(5));
+            done = guard;
+        }
+        waker.join().unwrap();
     }
 
     #[test]

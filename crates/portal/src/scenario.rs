@@ -8,7 +8,8 @@ use std::time::Duration;
 use wsrc_cache::{FixedSelector, KeyStrategy, ResponseCache, ValueRepresentation};
 use wsrc_client::ServiceClient;
 use wsrc_http::{
-    Handler, HttpClient, InProcTransport, Request, Server, Status, TcpTransport, Transport, Url,
+    Handler, HttpClient, InProcTransport, PoolConfig, Request, Server, Status, TcpTransport,
+    Transport, Url,
 };
 use wsrc_services::google::{self, GoogleService};
 use wsrc_services::SoapDispatcher;
@@ -139,8 +140,13 @@ pub fn run_portal_scenario(config: &ScenarioConfig) -> ScenarioResult {
         TransportMode::Tcp => {
             let server = Server::bind("127.0.0.1:0", portal.clone() as Arc<dyn Handler>)
                 .expect("bind portal");
+            let pool = PoolConfig {
+                max_per_authority: config.concurrency.max(1),
+                ..PoolConfig::default()
+            };
             let target = TcpPortal {
                 url: Url::new("127.0.0.1", server.port(), "/portal"),
+                client: Arc::new(HttpClient::with_pool(pool)),
             };
             let report = run_load(&target, &load_config);
             drop(server);
@@ -218,10 +224,14 @@ impl PortalTarget for InProcPortal {
 
 struct TcpPortal {
     url: Url,
+    /// One pooled client shared by every load-generator connection, so
+    /// the generator exercises (and benefits from) the client-side
+    /// connection pool instead of dialing a socket per worker.
+    client: Arc<HttpClient>,
 }
 
 struct TcpConn {
-    client: HttpClient,
+    client: Arc<HttpClient>,
     url: Url,
 }
 
@@ -240,7 +250,7 @@ impl PortalTarget for TcpPortal {
     type Conn = TcpConn;
     fn connect(&self) -> TcpConn {
         TcpConn {
-            client: HttpClient::new(),
+            client: self.client.clone(),
             url: self.url.clone(),
         }
     }

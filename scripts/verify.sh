@@ -17,10 +17,15 @@ cargo run -q --release -p wsrc-bench --bin bench_store -- --smoke \
 # BENCH_pipeline JSON schema (wsrc-bench-pipeline/v1), never timings.
 cargo run -q --release -p wsrc-bench --bin bench_pipeline -- --smoke \
   --out target/bench_pipeline_smoke.json
+# End-to-end network benchmark smoke: real TCP round trips with fake-
+# clock timing; validates the BENCH_e2e JSON schema (wsrc-bench-e2e/v1),
+# never timings.
+cargo run -q --release -p wsrc-bench --bin bench_e2e -- --smoke \
+  --out target/bench_e2e_smoke.json
 cargo fmt --check
-# Workspace invariants (R1-R6): representation safety, atomics audit,
-# clock discipline, panic freedom, lock ordering, zero-copy pipeline.
-# See crates/analyze.
+# Workspace invariants (R1-R7): representation safety, atomics audit,
+# clock discipline, panic freedom, lock ordering, zero-copy pipeline,
+# bounded spawning. See crates/analyze.
 cargo run -q --release -p wsrc-analyze -- --deny crates src
 
 echo "verify: build, tests, formatting, and analysis all clean"
