@@ -4,10 +4,12 @@
 //! The paper's "optimal configuration" (§6) is only sound under
 //! invariants `rustc` cannot see — deep immutability of pass-by-reference
 //! cache values, acquire/release discipline around coalescing state,
-//! clock injection, panic-freedom on the hot path, and lock ordering.
-//! This crate enforces them as five named rules over a hand-rolled token
-//! model, with zero external dependencies so the workspace keeps building
-//! offline. See `README.md` for the suppression syntax and JSON schema.
+//! clock injection, panic-freedom on the hot path, lock ordering,
+//! zero-copy payload sharing, bounded concurrency, and trace-root
+//! discipline. This crate enforces them as eight named rules (R1–R8)
+//! over a hand-rolled token model, with zero external dependencies so
+//! the workspace keeps building offline. See `README.md` for the
+//! suppression syntax and JSON schema.
 
 #![forbid(unsafe_code)]
 

@@ -1,4 +1,4 @@
-//! The seven workspace invariants, R1–R7.
+//! The eight workspace invariants, R1–R8.
 //!
 //! Each rule maps a paper-level soundness condition to a mechanical
 //! check over the token-level source model (see `DESIGN.md` §7 for the
@@ -21,6 +21,9 @@
 //!   `Builder::spawn` outside the allowlisted pool construction sites;
 //!   concurrency must be bounded (worker pools, connection pools,
 //!   joined scopes).
+//! - **R8 `trace-discipline`** — no `root_span` minting outside the
+//!   allowlisted edge-of-the-world sites; servers and middleware must
+//!   continue propagated contexts so one request stays one trace.
 
 use crate::scan::SourceFile;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -28,7 +31,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// A rule violation (or malformed suppression) at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Short code (`R1`…`R7`, `S0` for suppression syntax errors).
+    /// Short code (`R1`…`R8`, `S0` for suppression syntax errors).
     pub code: &'static str,
     /// Stable rule id, also the `wsrc-allow` key.
     pub rule: &'static str,
@@ -76,6 +79,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R7",
         "bounded-spawn",
         "no raw thread::spawn / Builder::spawn outside allowlisted pool construction",
+    ),
+    (
+        "R8",
+        "trace-discipline",
+        "no root_span minting outside allowlisted trace-origin sites",
     ),
 ];
 
@@ -146,6 +154,18 @@ const R6_ALLOWLIST: &[&str] = &["crates/http/src/body.rs", "crates/xml/src/event
 /// a pool or a joined `thread::scope`.
 const R7_ALLOWLIST: &[&str] = &["crates/http/src/server.rs"];
 
+/// The only places allowed to mint a new trace root: the tracer's own
+/// definition, the load generator (the real edge of the world), and the
+/// bench/smoke drivers. Everything in between — server, client
+/// middleware, portal handlers — must continue a propagated context via
+/// `span_from`/`child_span`, or a single user request shatters into
+/// disconnected trees.
+const R8_ALLOWLIST: &[&str] = &[
+    "crates/obs/src/trace.rs",
+    "crates/portal/src/loadgen.rs",
+    "crates/bench/",
+];
+
 fn path_in(path: &str, needles: &[&str]) -> bool {
     needles.iter().any(|n| path.contains(n))
 }
@@ -162,6 +182,7 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
         rule_lock_ordering(file, &mut diags);
         rule_zero_copy_pipeline(file, &mut diags);
         rule_bounded_spawn(file, &mut diags);
+        rule_trace_discipline(file, &mut diags);
         for (line, why) in &file.malformed_suppressions {
             diags.push(Diagnostic {
                 code: "S0",
@@ -414,6 +435,40 @@ fn rule_bounded_spawn(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                     .to_string(),
             });
         }
+    }
+}
+
+/// R8: `root_span(` calls outside the allowlisted trace-origin sites.
+/// A root span starts a brand-new trace; minting one mid-pipeline
+/// (server, client middleware, portal handler) severs the request from
+/// the caller's trace, so the span tree a user fetches from `/trace`
+/// silently loses its children. Interior layers must continue the
+/// propagated context (`Tracer::span_from`, `trace::child_span`)
+/// instead. Test code is exempt: tests routinely mint roots to set up
+/// a traced scope.
+fn rule_trace_discipline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !file.is_corpus && path_in(&file.path, R8_ALLOWLIST) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        let t = &toks[i];
+        if !t.is_ident("root_span") || !toks[i + 1].is_punct('(') {
+            continue;
+        }
+        if file.in_test(t.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            code: "R8",
+            rule: "trace-discipline",
+            path: file.path.clone(),
+            line: t.line,
+            message: "`root_span(…)` outside the allowlisted trace origins mints a \
+                      disconnected trace mid-request; continue the propagated context \
+                      with `Tracer::span_from` or `trace::child_span` instead"
+                .to_string(),
+        });
     }
 }
 
@@ -733,6 +788,32 @@ mod tests {
         // statement) is not this rule's business.
         let other = "fn f(pool: &Pool) { pool.spawn(job); }";
         assert!(diags_for("crates/portal/src/loadgen.rs", other).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_root_span_outside_trace_origins() {
+        let src = "fn handle(tracer: &Arc<Tracer>, req: &Request) {\n\
+                   let span = tracer.root_span(\"server\", req.target());\n\
+                   span.finish();\n}";
+        let d = diags_for("crates/http/src/server.rs", src);
+        assert_eq!(codes(&d), ["R8"]);
+        assert!(d[0].message.contains("span_from"));
+        assert_eq!(d[0].line, 2);
+        // The allowlisted origins mint roots freely.
+        assert!(diags_for("crates/portal/src/loadgen.rs", src).is_empty());
+        assert!(diags_for("crates/bench/src/trace_smoke.rs", src).is_empty());
+        assert!(diags_for("crates/obs/src/trace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r8_permits_tests_and_continuation_apis() {
+        let test_only = "#[cfg(test)]\nmod tests {\n\
+                         fn f(t: &Arc<Tracer>) { t.root_span(\"x\", \"/r\").finish(); }\n}";
+        assert!(diags_for("crates/http/src/server.rs", test_only).is_empty());
+        let continued = "fn handle(t: &Arc<Tracer>, ctx: TraceContext) {\n\
+                         let span = t.span_from(ctx, \"server\", \"server\", \"/r\");\n\
+                         let child = wsrc_obs::trace::child_span(\"step\", \"lookup\");\n}";
+        assert!(diags_for("crates/http/src/server.rs", continued).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end tests: the `wsrc-analyze` binary against the fixture
 //! corpus, plus the workspace-is-clean gate.
 //!
-//! Every rule R1–R7 has at least one triggering and one clean fixture;
+//! Every rule R1–R8 has at least one triggering and one clean fixture;
 //! the binary must exit non-zero under `--deny` for triggers and zero
 //! for clean files.
 
@@ -86,6 +86,12 @@ fn r7_fixtures() {
 }
 
 #[test]
+fn r8_fixtures() {
+    assert_triggers("r8_trigger.rs", "R8");
+    assert_clean("r8_clean.rs");
+}
+
+#[test]
 fn suppression_fixtures() {
     assert_clean("suppressed.rs");
     // A reason-less wsrc-allow is reported (S0) and does not silence R2.
@@ -103,7 +109,7 @@ fn whole_corpus_fails_deny() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let (ok, stdout) = run_deny(&[dir], &[]);
     assert!(!ok, "corpus as a whole must fail --deny");
-    for code in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "S0"] {
+    for code in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "S0"] {
         assert!(
             stdout.contains(&format!("[{code}/")),
             "expected {code} in corpus scan; output:\n{stdout}"

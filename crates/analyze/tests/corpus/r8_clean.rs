@@ -1,0 +1,23 @@
+//! R8 clean: interior layers continue the propagated context — the
+//! server resumes the wire trace with `span_from`, inner stages attach
+//! via `child_span`, and nobody mints a new root mid-request.
+
+pub fn handle(tracer: &Arc<Tracer>, request: &Request) -> Response {
+    let span = request
+        .traceparent()
+        .map(|ctx| tracer.span_from(ctx, "server", "server", request.target()));
+    let response = dispatch(request);
+    if let Some(span) = span {
+        span.finish();
+    }
+    response
+}
+
+pub fn lookup(cache: &Cache, key: &Key) -> Option<Entry> {
+    let span = wsrc_obs::trace::child_span("cache-lookup", "lookup");
+    let entry = cache.get(key);
+    if let Some(span) = span {
+        span.finish();
+    }
+    entry
+}

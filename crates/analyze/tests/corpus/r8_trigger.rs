@@ -1,0 +1,10 @@
+//! R8 trigger: a mid-pipeline handler minting a fresh trace root
+//! instead of continuing the propagated context — the request's span
+//! tree shatters into disconnected traces.
+
+pub fn handle(tracer: &Arc<Tracer>, request: &Request) -> Response {
+    let span = tracer.root_span("server", request.target());
+    let response = dispatch(request);
+    span.finish();
+    response
+}

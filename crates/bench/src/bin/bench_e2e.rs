@@ -103,6 +103,7 @@ fn main() {
                     .unwrap_or_else(|| "-".into()),
                 format!("{}", r.load.p50_response.as_micros()),
                 format!("{}", r.load.p99_response.as_micros()),
+                format!("{}", r.load.p999_response.as_micros()),
             ]
         })
         .collect();
@@ -113,7 +114,10 @@ fn main() {
                 "bench_e2e ({} mode, pool={pool_label}) -> {out}",
                 plan.mode()
             ),
-            &["scenario", "callers", "done", "rps", "pr4 rps", "speedup", "p50 us", "p99 us",],
+            &[
+                "scenario", "callers", "done", "rps", "pr4 rps", "speedup", "p50 us", "p99 us",
+                "p999 us",
+            ],
             &rows,
         )
     );

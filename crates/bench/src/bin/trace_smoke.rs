@@ -1,0 +1,21 @@
+//! Deterministic end-to-end tracing smoke (run by `scripts/verify.sh`).
+//!
+//! ```text
+//! trace_smoke
+//! ```
+//!
+//! Drives a traced miss and hit through client → server → portal →
+//! cache → back-end under a shared fake clock, fetches `GET /trace`,
+//! and exits non-zero unless the retained span tree names every
+//! pipeline stage and the root span's direct children cover ≥90% of its
+//! wall time.
+
+fn main() {
+    match wsrc_bench::trace_smoke::run_trace_smoke() {
+        Ok(report) => print!("{report}"),
+        Err(why) => {
+            eprintln!("trace_smoke: FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+}

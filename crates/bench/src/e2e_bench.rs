@@ -348,7 +348,7 @@ pub fn report_to_json(mode: &str, pool: &str, results: &[E2eResult]) -> String {
                 "    {{\"scenario\":\"{}\",\"representation\":\"{}\",\"mix\":\"{}\",\
                  \"hit_ratio\":{},\"callers\":{},\"requests\":{},\"completed\":{},\
                  \"errors\":{},\"elapsed_nanos\":{},\"throughput_rps\":{:.1},\
-                 \"mean_nanos\":{},\"p50_nanos\":{},\"p99_nanos\":{}}}",
+                 \"mean_nanos\":{},\"p50_nanos\":{},\"p99_nanos\":{},\"p999_nanos\":{}}}",
                 r.scenario,
                 r.representation,
                 r.mix,
@@ -362,6 +362,7 @@ pub fn report_to_json(mode: &str, pool: &str, results: &[E2eResult]) -> String {
                 r.load.mean_response.as_nanos(),
                 r.load.p50_response.as_nanos(),
                 r.load.p99_response.as_nanos(),
+                r.load.p999_response.as_nanos(),
             )
         })
         .collect::<Vec<_>>()
@@ -429,6 +430,7 @@ pub fn validate_report(json: &str) -> Result<(), String> {
             "mean_nanos",
             "p50_nanos",
             "p99_nanos",
+            "p999_nanos",
         ] {
             let v = s
                 .get(field)

@@ -25,6 +25,7 @@ pub mod pipeline_bench;
 pub mod store_bench;
 pub mod tables;
 pub mod timing;
+pub mod trace_smoke;
 
 /// Renders a text table with a header row, aligning columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -62,6 +62,7 @@ pub fn summary_tables(snapshot: &MetricsSnapshot) -> String {
             h.count.to_string(),
             fmt_usec_from_nanos(h.p50_nanos()),
             fmt_usec_from_nanos(h.p99_nanos()),
+            fmt_usec_from_nanos(h.p999_nanos()),
             fmt_usec_from_nanos(h.mean_nanos()),
         ]);
     }
@@ -70,11 +71,54 @@ pub fn summary_tables(snapshot: &MetricsSnapshot) -> String {
     } else {
         out.push_str(&render_table(
             "Latency per stage (microseconds; log2-bucket upper bounds)",
-            &["stage", "count", "p50", "p99", "mean"],
+            &["stage", "count", "p50", "p99", "p999", "mean"],
             &rows,
         ));
     }
     out
+}
+
+/// Renders the tracer's slowest retained traces: route, trace id, total
+/// duration and the top per-stage self times — the table that links an
+/// aggregate tail percentile back to concrete span trees.
+pub fn slowest_traces_table(store: &wsrc_obs::TraceStore) -> String {
+    let slowest = store.slowest();
+    if slowest.is_empty() {
+        return "Slowest traces: (none retained)\n".to_string();
+    }
+    let rows: Vec<Vec<String>> = slowest
+        .iter()
+        .map(|t| {
+            let mut stages = wsrc_obs::sampler::stage_breakdown(std::slice::from_ref(t));
+            // Breakdown comes back stage-alphabetical; "top" means by
+            // self time here.
+            stages.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let top = stages
+                .iter()
+                .take(3)
+                .map(|(stage, nanos)| format!("{stage}={}", fmt_usec_from_nanos(*nanos)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                t.route.clone(),
+                wsrc_obs::trace::format_trace_id(t.trace_id),
+                fmt_usec_from_nanos(t.duration_nanos),
+                if t.error { "yes" } else { "no" }.to_string(),
+                top,
+            ]
+        })
+        .collect();
+    render_table(
+        "Slowest traces (tail-sampled, per route)",
+        &[
+            "route",
+            "trace id",
+            "total us",
+            "error",
+            "top stages (self us)",
+        ],
+        &rows,
+    )
 }
 
 /// Renders the snapshot as the `results/metrics_summary.json` document:
@@ -179,6 +223,21 @@ mod tests {
         assert!(json.contains("\"p50_nanos\""), "{json}");
         assert!(json.contains("\"p99_nanos\""), "{json}");
         assert!(!json.contains("wsrc_xml_parse_seconds"), "{json}");
+    }
+
+    #[test]
+    fn slowest_traces_render_as_a_table() {
+        let tracer = wsrc_obs::Tracer::new(Arc::new(wsrc_obs::ManualClock::new()));
+        {
+            let span = tracer.root_span("bench", "/portal");
+            span.finish();
+        }
+        let text = slowest_traces_table(tracer.store());
+        assert!(text.contains("/portal"), "{text}");
+        assert!(text.contains("trace id"), "{text}");
+
+        let empty = wsrc_obs::Tracer::new(Arc::new(wsrc_obs::ManualClock::new()));
+        assert!(slowest_traces_table(empty.store()).contains("none retained"));
     }
 
     #[test]

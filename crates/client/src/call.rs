@@ -12,6 +12,24 @@ use wsrc_soap::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
 use wsrc_soap::serializer::serialize_request;
 use wsrc_xml::event::SaxEventSequence;
 
+/// Runs one pipeline stage under a trace span (when a trace is active on
+/// this thread), marking the span failed when the stage errors.
+fn traced<T, E>(
+    name: &'static str,
+    stage: &'static str,
+    f: impl FnOnce() -> Result<T, E>,
+) -> Result<T, E> {
+    let span = wsrc_obs::trace::child_span(name, stage);
+    let result = f();
+    if let Some(mut span) = span {
+        if result.is_err() {
+            span.set_error();
+        }
+        span.finish();
+    }
+    result
+}
+
 /// Per-stage timers for the miss path, in the process-wide registry as
 /// `wsrc_client_stage_seconds{stage=…}`: request serialization, the HTTP
 /// exchange itself, and response deserialization.
@@ -144,9 +162,10 @@ impl Call {
         descriptor
             .check_request(request)
             .map_err(ClientError::Soap)?;
-        let request_xml = stage_timer("serialize")
-            .time(|| serialize_request(request, &self.registry))
-            .map_err(ClientError::Soap)?;
+        let request_xml = traced("serialize", "serialize", || {
+            stage_timer("serialize").time(|| serialize_request(request, &self.registry))
+        })
+        .map_err(ClientError::Soap)?;
         let mut http_request = Request::post(
             self.endpoint.path(),
             wsrc_soap::envelope::CONTENT_TYPE,
@@ -157,8 +176,9 @@ impl Call {
             http_request = http_request.with_header("If-Modified-Since", ims.to_string());
         }
         self.interceptors.apply_request(&mut http_request);
-        let mut http_response = stage_timer("transport")
-            .time(|| self.transport.execute(&self.endpoint, &http_request))?;
+        let mut http_response = traced("exchange", "transport", || {
+            stage_timer("transport").time(|| self.transport.execute(&self.endpoint, &http_request))
+        })?;
         self.interceptors.apply_response(&mut http_response);
 
         if http_response.status == wsrc_http::Status::NOT_MODIFIED {
@@ -181,9 +201,11 @@ impl Call {
             .headers
             .get("Last-Modified")
             .map(str::to_string);
-        let (outcome, events) = stage_timer("deserialize")
-            .time(|| read_response_xml_recording(body, &descriptor.return_type, &self.registry))
-            .map_err(ClientError::Soap)?;
+        let (outcome, events) = traced("parse", "parse", || {
+            stage_timer("deserialize")
+                .time(|| read_response_xml_recording(body, &descriptor.return_type, &self.registry))
+        })
+        .map_err(ClientError::Soap)?;
         match outcome {
             // Zero-copy hand-off: the exchange shares the HTTP body's
             // allocation instead of re-owning the text.

@@ -80,8 +80,30 @@ impl ServiceClient {
             return Ok((ValueHandle::Owned(exchange.value), Disposition::Uncached));
         };
         loop {
-            match cache.lookup_detailed(&self.endpoint_url, request, &descriptor.return_type) {
-                CacheOutcome::Fresh(handle) => return Ok((handle, Disposition::CacheHit)),
+            // Under an active trace the cache interaction becomes its own
+            // span, annotated with the outcome so a `/trace` reader can
+            // tell hits from misses without cross-referencing metrics.
+            let lookup = {
+                let span = wsrc_obs::trace::child_span("cache-lookup", "lookup");
+                let outcome =
+                    cache.lookup_detailed(&self.endpoint_url, request, &descriptor.return_type);
+                if let Some(mut span) = span {
+                    span.annotate(match &outcome {
+                        CacheOutcome::Fresh(_) => "outcome=hit",
+                        CacheOutcome::Stale { .. } => "outcome=stale",
+                        CacheOutcome::Miss => "outcome=miss",
+                    });
+                    span.finish();
+                }
+                outcome
+            };
+            match lookup {
+                CacheOutcome::Fresh(handle) => {
+                    if let Some(span) = wsrc_obs::trace::child_span("cache-retrieve", "retrieve") {
+                        span.finish();
+                    }
+                    return Ok((handle, Disposition::CacheHit));
+                }
                 CacheOutcome::Stale { handle, validator } => {
                     // Expired but revalidatable: ask the server whether the
                     // response changed since the cached copy.
@@ -141,6 +163,7 @@ impl ServiceClient {
         request: &RpcRequest,
         exchange: Exchange,
     ) -> ValueHandle {
+        let span = wsrc_obs::trace::child_span("cache-build", "build");
         let Exchange {
             response_xml,
             response_events,
@@ -157,6 +180,9 @@ impl ServiceClient {
             },
             last_modified,
         );
+        if let Some(span) = span {
+            span.finish();
+        }
         ValueHandle::Owned(value)
     }
 

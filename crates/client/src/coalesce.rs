@@ -8,6 +8,7 @@
 //! out as duplicate back-end calls.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use wsrc_cache::CacheKey;
 use wsrc_obs::{sync, Counter};
@@ -29,6 +30,10 @@ fn role_counter(role: &'static str) -> &'static Counter {
 struct Flight {
     done: Mutex<bool>,
     cv: Condvar,
+    /// The leader's active trace span id (0 when the leader was not
+    /// tracing). Followers reference it from their coalesce-wait span so
+    /// a trace reader can jump to the exchange that actually ran.
+    leader_span: AtomicU64,
 }
 
 impl Flight {
@@ -99,6 +104,9 @@ impl InflightTable {
                 Some(existing) => existing.clone(),
                 None => {
                     let flight = Arc::new(Flight::default());
+                    if let Some(ctx) = wsrc_obs::trace::current_context() {
+                        flight.leader_span.store(ctx.span_id, Ordering::SeqCst);
+                    }
                     flights.insert(key.clone(), flight.clone());
                     role_counter("leader").inc();
                     return Role::Leader(LeaderGuard {
@@ -109,7 +117,20 @@ impl InflightTable {
                 }
             }
         };
+        // A tracing follower records its wait as a span referencing the
+        // leader's exchange span, so coalesced requests stay correlatable.
+        let span = wsrc_obs::trace::child_span("coalesce-wait", "coalesce");
         existing.wait();
+        if let Some(mut span) = span {
+            let leader = existing.leader_span.load(Ordering::SeqCst);
+            if leader != 0 {
+                span.annotate(format!(
+                    "leader_span={}",
+                    wsrc_obs::trace::format_span_id(leader)
+                ));
+            }
+            span.finish();
+        }
         role_counter("follower").inc();
         Role::Follower
     }

@@ -178,7 +178,18 @@ impl Interceptor for TimingInterceptor {
                 .set("X-Wsrc-Exchange-Nanos", nanos.to_string());
         }
         if response.headers.get(CACHE_HEADER).is_none() {
-            response.headers.set(CACHE_HEADER, "miss");
+            // Under an active trace the annotation carries the trace id,
+            // so a logged `cache=miss` line is correlatable with its
+            // `/trace` span tree.
+            let trace_id = wsrc_obs::trace::current_trace_id();
+            if trace_id != 0 {
+                response.headers.set(
+                    CACHE_HEADER,
+                    format!("miss; trace={}", wsrc_obs::trace::format_trace_id(trace_id)),
+                );
+            } else {
+                response.headers.set(CACHE_HEADER, "miss");
+            }
         }
     }
 }
@@ -248,6 +259,24 @@ mod tests {
             .expect("histogram registered");
         assert_eq!(h.count, 1);
         assert_eq!(h.sum_nanos, nanos);
+    }
+
+    #[test]
+    fn cache_annotation_carries_the_trace_id() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let timing = TimingInterceptor::in_registry(&registry);
+        let tracer = wsrc_obs::Tracer::new(Arc::new(wsrc_obs::ManualClock::new()));
+        let root = tracer.root_span("test", "/soap");
+        let expected = format!(
+            "miss; trace={}",
+            wsrc_obs::trace::format_trace_id(root.trace_id())
+        );
+        let mut req = Request::get("/soap");
+        timing.on_request(&mut req);
+        let mut resp = Response::ok("text/xml", vec![]);
+        timing.on_response(&mut resp);
+        assert_eq!(resp.headers.get(CACHE_HEADER), Some(expected.as_str()));
+        root.finish();
     }
 
     #[test]

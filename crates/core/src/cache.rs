@@ -164,7 +164,7 @@ impl ResponseCache {
             self.stats.record_uncacheable();
             return CacheOutcome::Miss;
         }
-        let _lookup_span = self.timers.lookup.span();
+        let _lookup_span = self.timers.lookup.timer();
         let key = match self
             .timers
             .keygen
@@ -268,7 +268,7 @@ impl ResponseCache {
             self.stats.record_uncacheable();
             return None;
         }
-        let _insert_span = self.timers.insert.span();
+        let _insert_span = self.timers.insert.timer();
         let key = self
             .timers
             .keygen
@@ -307,20 +307,20 @@ impl ResponseCache {
             ValueRepresentation::XmlMessage,
         ];
         for repr in chain {
-            let span = self.timers.build[repr.index()].span();
+            let timer = self.timers.build[repr.index()].timer();
             match StoredResponse::build(repr, data, &self.registry) {
                 Ok(stored) => {
-                    span.finish();
+                    timer.finish();
                     return Some(stored);
                 }
                 // Failed attempts record no sample — the histogram
                 // measures the cost of the representation actually used.
                 Err(CacheError::NotApplicable(_)) => {
-                    span.cancel();
+                    timer.cancel();
                     continue;
                 }
                 Err(_) => {
-                    span.cancel();
+                    timer.cancel();
                     break;
                 }
             }

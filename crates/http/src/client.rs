@@ -143,8 +143,31 @@ impl HttpClient {
     /// inspect [`Response::status`].
     pub fn execute(&self, url: &Url, request: &Request) -> Result<Response, HttpError> {
         let authority = url.authority();
-        let pooled = self.checkout(&authority)?;
-        match self.drive(pooled, &authority, url, request) {
+        // When a trace is active on this thread, the pool checkout and
+        // the wire exchange each become child spans, and the exchange's
+        // context rides the request as a `traceparent` header so the
+        // server can continue the tree.
+        let pooled = {
+            let span = wsrc_obs::trace::child_span("pool-checkout", "checkout");
+            let result = self.checkout(&authority);
+            if let Some(mut span) = span {
+                if result.is_err() {
+                    span.set_error();
+                }
+                span.finish();
+            }
+            result?
+        };
+        let mut span = wsrc_obs::trace::child_span("transfer", "transfer");
+        let traceparent = span.as_ref().map(|s| s.context().to_traceparent());
+        let driven = self.drive(pooled, &authority, url, request, traceparent.as_deref());
+        if let Some(mut span) = span.take() {
+            if driven.is_err() {
+                span.set_error();
+            }
+            span.finish();
+        }
+        match driven {
             Ok((response, Some(stream))) => {
                 self.check_in(&authority, stream);
                 Ok(response)
@@ -265,9 +288,10 @@ impl HttpClient {
         authority: &str,
         url: &Url,
         request: &Request,
+        traceparent: Option<&str>,
     ) -> Result<(Response, Option<TcpStream>), HttpError> {
         if let Some(stream) = pooled {
-            match self.roundtrip(stream, url, request) {
+            match self.roundtrip(stream, url, request, traceparent) {
                 Ok(done) => return Ok(done),
                 // Stale keep-alive connection: fall through to redial.
                 Err(HttpError::Io(_)) | Err(HttpError::Protocol(_)) => {}
@@ -275,7 +299,7 @@ impl HttpClient {
             }
         }
         let stream = self.connect(authority)?;
-        self.roundtrip(stream, url, request)
+        self.roundtrip(stream, url, request, traceparent)
     }
 
     fn connect(&self, authority: &str) -> Result<TcpStream, HttpError> {
@@ -295,10 +319,19 @@ impl HttpClient {
         stream: TcpStream,
         url: &Url,
         request: &Request,
+        traceparent: Option<&str>,
     ) -> Result<(Response, Option<TcpStream>), HttpError> {
         {
             let mut writer = BufWriter::new(stream.try_clone()?);
-            request.write_to_target(&mut writer, &url.authority(), url.path())?;
+            match traceparent {
+                Some(value) => request.write_to_target_with_headers(
+                    &mut writer,
+                    &url.authority(),
+                    url.path(),
+                    &[(wsrc_obs::TRACEPARENT_HEADER, value)],
+                )?,
+                None => request.write_to_target(&mut writer, &url.authority(), url.path())?,
+            }
         }
         let mut reader = BufReader::new(stream.try_clone()?);
         let response = Response::read_from(&mut reader)?;

@@ -227,7 +227,27 @@ impl Request {
         host: &str,
         target: &str,
     ) -> Result<(), HttpError> {
-        let mut head = String::with_capacity(64 + host.len() + headers_wire_len(&self.headers));
+        self.write_to_target_with_headers(w, host, target, &[])
+    }
+
+    /// Like [`write_to_target`](Request::write_to_target), additionally
+    /// serializing `extra` header lines. The client uses this to inject
+    /// per-exchange headers (e.g. `traceparent`) without mutating or
+    /// cloning the shared request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to_target_with_headers<W: Write>(
+        &self,
+        w: &mut W,
+        host: &str,
+        target: &str,
+        extra: &[(&str, &str)],
+    ) -> Result<(), HttpError> {
+        let extra_len: usize = extra.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        let mut head =
+            String::with_capacity(64 + host.len() + extra_len + headers_wire_len(&self.headers));
         head.push_str(self.method.as_str());
         head.push(' ');
         head.push_str(target);
@@ -236,6 +256,14 @@ impl Request {
             head.push_str("Host: ");
             head.push_str(host);
             head.push_str("\r\n");
+        }
+        for (name, value) in extra {
+            if !self.headers.contains(name) {
+                head.push_str(name);
+                head.push_str(": ");
+                head.push_str(value);
+                head.push_str("\r\n");
+            }
         }
         push_header_lines(&mut head, &self.headers, self.body.len());
         write_message(w, &head, &self.body)

@@ -19,7 +19,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use wsrc_obs::{sync, Clock, Counter, Gauge, Histogram, MetricsRegistry, MonotonicClock};
+use wsrc_obs::{
+    sync, Clock, Counter, Gauge, Histogram, MetricsRegistry, MonotonicClock, TraceContext, Tracer,
+    TRACEPARENT_HEADER,
+};
 
 /// Application logic behind a [`Server`].
 ///
@@ -40,13 +43,16 @@ where
 }
 
 /// Wraps an application handler, answering `GET /metrics` from a
-/// [`MetricsRegistry`](wsrc_obs::MetricsRegistry) and delegating every
-/// other request to the inner handler.
+/// [`MetricsRegistry`](wsrc_obs::MetricsRegistry), `GET /trace` from a
+/// [`Tracer`]'s tail-sampled trace store, and delegating every other
+/// request to the inner handler.
 ///
-/// The default body is the Prometheus text exposition; append
-/// `?format=json` for the JSON rendering.
+/// The default `/metrics` body is the Prometheus text exposition;
+/// append `?format=json` for the JSON rendering. `/trace` is always
+/// JSON: recent and slowest traces as span trees.
 pub struct MetricsRoute {
     registry: Arc<wsrc_obs::MetricsRegistry>,
+    tracer: Arc<Tracer>,
     inner: Arc<dyn Handler>,
 }
 
@@ -57,17 +63,29 @@ impl std::fmt::Debug for MetricsRoute {
 }
 
 impl MetricsRoute {
-    /// Exposes the process-wide registry in front of `inner`.
+    /// Exposes the process-wide registry and tracer in front of `inner`.
     pub fn new(inner: Arc<dyn Handler>) -> Self {
         MetricsRoute::with_registry(wsrc_obs::global(), inner)
     }
 
-    /// Exposes a specific registry in front of `inner`.
+    /// Exposes a specific registry (and the process-wide tracer) in
+    /// front of `inner`.
     pub fn with_registry(
         registry: Arc<wsrc_obs::MetricsRegistry>,
         inner: Arc<dyn Handler>,
     ) -> Self {
-        MetricsRoute { registry, inner }
+        MetricsRoute {
+            registry,
+            tracer: wsrc_obs::global_tracer(),
+            inner,
+        }
+    }
+
+    /// Serves `/trace` from a specific tracer instead of the
+    /// process-wide one (pair this with [`ServerConfig::tracer`]).
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -77,8 +95,15 @@ impl Handler for MetricsRoute {
             Some((p, q)) => (p, q),
             None => (request.target.as_str(), ""),
         };
-        if request.method != crate::message::Method::Get || path != "/metrics" {
+        if request.method != crate::message::Method::Get || (path != "/metrics" && path != "/trace")
+        {
             return self.inner.handle(request);
+        }
+        if path == "/trace" {
+            return Response::ok(
+                "application/json",
+                self.tracer.store().to_json().into_bytes(),
+            );
         }
         let snapshot = self.registry.snapshot();
         if query.split('&').any(|kv| kv == "format=json") {
@@ -115,6 +140,10 @@ pub struct ServerConfig {
     pub registry: Arc<MetricsRegistry>,
     /// Time source for idle accounting and queue-wait timing.
     pub clock: Arc<dyn Clock>,
+    /// Tracer continuing `traceparent` contexts received on requests.
+    /// The server never mints roots — untraced requests stay untraced
+    /// (rule R8's no-orphan-roots discipline).
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +158,7 @@ impl Default for ServerConfig {
             retry_after: Duration::from_secs(1),
             registry: wsrc_obs::global(),
             clock: Arc::new(MonotonicClock::new()),
+            tracer: wsrc_obs::global_tracer(),
         }
     }
 }
@@ -214,6 +244,7 @@ struct Shared {
     poll_quantum: Duration,
     retry_after: Duration,
     clock: Arc<dyn Clock>,
+    tracer: Arc<Tracer>,
     metrics: ServerMetrics,
 }
 
@@ -275,6 +306,7 @@ impl Server {
             poll_quantum,
             retry_after: config.retry_after,
             clock: config.clock,
+            tracer: config.tracer,
             metrics: ServerMetrics::new(&config.registry),
         });
         let accept_shared = shared.clone();
@@ -402,17 +434,36 @@ fn enqueue(mut conn: Conn, shared: &Shared) {
 }
 
 /// Best-effort `503 Service Unavailable` + `Retry-After`, then close.
+///
+/// A briefly-bounded read of the request head recovers the caller's
+/// `traceparent`, so a rejected request is still correlatable from the
+/// client side; clients that sent nothing yet get a plain 503 once the
+/// short deadline passes.
 fn reject(stream: TcpStream, shared: &Shared) {
     shared.metrics.rejected.add(1);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let traceparent = stream
+        .try_clone()
+        .ok()
+        .and_then(|read_half| {
+            Request::read_from(&mut BufReader::new(read_half))
+                .ok()
+                .flatten()
+        })
+        .and_then(|req| req.headers.get(TRACEPARENT_HEADER).map(str::to_string))
+        .filter(|value| TraceContext::parse_traceparent(value).is_some());
     let mut stream = stream;
-    let response = Response::error(
+    let mut response = Response::error(
         crate::message::Status::SERVICE_UNAVAILABLE,
         "connection queue full",
     )
     .with_header("Retry-After", shared.retry_after.as_secs().to_string())
     .with_header("Connection", "close");
+    if let Some(value) = traceparent {
+        response.headers.set(TRACEPARENT_HEADER, value);
+    }
     let _ = response.write_to(&mut stream);
 }
 
@@ -452,6 +503,9 @@ fn next_conn(shared: &Shared) -> Option<Conn> {
 /// Serves requests on one connection until it closes, idles out, or
 /// yields the worker to queued peers.
 fn serve_connection(conn: &mut Conn, shared: &Shared) -> ServeOutcome {
+    // The queue wait applies to the first request served after this
+    // dequeue; later keep-alive requests on the connection did not wait.
+    let mut queue_wait_nanos = shared.clock.now_nanos().saturating_sub(conn.enqueued_nanos);
     loop {
         // Wait for the next request head one poll quantum at a time, so
         // shutdown is noticed promptly and an idle connection hands its
@@ -504,8 +558,48 @@ fn serve_connection(conn: &mut Conn, shared: &Shared) -> ServeOutcome {
             .get("Connection")
             .map(|v| v.eq_ignore_ascii_case("close"))
             .unwrap_or(false);
-        let response = shared.handler.handle(&request);
+        // Continue a propagated trace context, if the request carries
+        // one: the server span parents onto the caller's wire span, and
+        // the time spent in the connection queue becomes a retroactive
+        // child ending where the server span begins.
+        let span = request
+            .headers
+            .get(TRACEPARENT_HEADER)
+            .and_then(TraceContext::parse_traceparent)
+            .map(|ctx| {
+                let route = match request.target.split_once('?') {
+                    Some((path, _)) => path,
+                    None => request.target.as_str(),
+                };
+                shared.tracer.span_from(ctx, "server", "server", route)
+            });
+        if let Some(span) = &span {
+            // Recorded even at zero wait so every traced request's tree
+            // names the queue stage (and fake-clock smokes stay stable).
+            let end = span.start_nanos();
+            span.child_record(
+                "queue-wait",
+                "queue",
+                end.saturating_sub(queue_wait_nanos),
+                end,
+            );
+        }
+        queue_wait_nanos = 0;
+        let mut response = shared.handler.handle(&request);
         shared.requests_served.fetch_add(1, Ordering::SeqCst);
+        if let Some(mut span) = span {
+            if response.status.0 >= 500 {
+                span.set_error();
+            }
+            span.annotate(format!("status={}", response.status.0));
+            // Echo the caller's context so the response is correlatable.
+            if let Some(value) = request.headers.get(TRACEPARENT_HEADER) {
+                response.headers.set(TRACEPARENT_HEADER, value.to_string());
+            }
+            // Finish (and drain) before the response leaves, so a
+            // caller querying /trace right after sees the server spans.
+            span.finish();
+        }
         if response.write_to(&mut conn.writer).is_err() {
             return ServeOutcome::Close;
         }

@@ -54,7 +54,7 @@ const TAG_STRING_REF: u8 = 10;
 /// [`serialize_checked`] to enforce the Java `Serializable` capability
 /// the way the paper's middleware does.
 pub fn serialize(value: &Value) -> Vec<u8> {
-    let _span = serialize_timer().span();
+    let _span = serialize_timer().timer();
     let mut w = Writer {
         out: Vec::with_capacity(64),
         descriptors: HashMap::new(),
@@ -114,7 +114,7 @@ fn check_serializable(value: &Value, registry: &TypeRegistry) -> Result<(), Mode
 ///
 /// Returns [`ModelError::Corrupt`] on malformed input.
 pub fn deserialize(bytes: &[u8]) -> Result<Value, ModelError> {
-    let _span = deserialize_timer().span();
+    let _span = deserialize_timer().timer();
     let mut r = Reader {
         bytes,
         pos: 0,

@@ -44,7 +44,7 @@ pub fn clone_copy(value: &Value, registry: &TypeRegistry) -> Result<Value, Model
 pub fn clone_unchecked(value: &Value) -> Value {
     // Timed here (not in `clone_copy`) so the sample covers exactly the
     // generated `clone()` body and is never recorded twice per copy.
-    let _span = copy_timer().span();
+    let _span = copy_timer().timer();
     value.clone()
 }
 

@@ -32,7 +32,7 @@ fn copy_timer() -> &'static Histogram {
 /// Returns [`ModelError::NotSupported`] when some type in the tree is not
 /// a bean/array, and [`ModelError::UnknownType`] for unregistered structs.
 pub fn reflect_copy(value: &Value, registry: &TypeRegistry) -> Result<Value, ModelError> {
-    let _span = copy_timer().span();
+    let _span = copy_timer().timer();
     match value {
         Value::Bytes(b) => Ok(Value::Bytes(b.clone())),
         Value::Array(items) => copy_array(items, registry),

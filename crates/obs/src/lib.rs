@@ -14,17 +14,24 @@
 //!   gauges and fixed log2-bucket latency histograms. Recording is
 //!   lock-free (plain atomics); only registration takes a lock, so hot
 //!   paths pre-register handles (or cache them in `OnceLock` statics).
-//! - [`span`] — a scope timer: [`Span::enter`] starts the clock and the
-//!   drop records the elapsed time into a histogram.
+//! - [`span`] — a scope timer: [`ScopeTimer::enter`] starts the clock
+//!   and the drop records the elapsed time into a histogram.
+//! - [`trace`] — per-request distributed tracing: a [`TraceContext`]
+//!   propagated over the wire, [`trace::ActiveSpan`]s recorded against
+//!   the injected clock, and histogram exemplars linking aggregate
+//!   buckets back to full span trees.
+//! - [`sampler`] — the tail-sampling [`TraceStore`]: keeps error
+//!   traces, the slowest-N per route, and a probabilistic sample of
+//!   the rest, rendered as span trees for `GET /trace`.
 //! - [`clock`] — the mockable time source (moved here from
 //!   `wsrc-cache`, which re-exports it); [`clock::ManualClock`] keeps
-//!   span tests deterministic.
+//!   timer and trace tests deterministic.
 //! - [`render`] — Prometheus-style text exposition and a hand-rolled
 //!   JSON renderer (the build environment is offline: no `prometheus`,
 //!   no `serde`).
-//! - [`global`] — the process-wide default registry that library-level
-//!   instrumentation (XML parse, copy mechanisms, client stages)
-//!   records into.
+//! - [`global`] — the process-wide default registry and tracer that
+//!   library-level instrumentation (XML parse, copy mechanisms, client
+//!   stages) records into.
 //! - [`sync`] — poison-tolerant `Mutex`/`Condvar` helpers so hot paths
 //!   stay panic-free (analyzer rule R4) without sprinkling
 //!   `unwrap_or_else(PoisonError::into_inner)` everywhere.
@@ -33,13 +40,17 @@ pub mod clock;
 pub mod global;
 pub mod metrics;
 pub mod render;
+pub mod sampler;
 pub mod span;
 pub mod sync;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, SystemClock};
-pub use global::global;
+pub use global::{global, global_tracer};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
 };
 pub use render::{to_json, to_prometheus};
-pub use span::Span;
+pub use sampler::{StoredTrace, TraceStore, TraceStoreConfig};
+pub use span::ScopeTimer;
+pub use trace::{SpanRecord, TraceContext, Tracer, TRACEPARENT_HEADER};

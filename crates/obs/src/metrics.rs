@@ -8,7 +8,7 @@
 //! typically in a `OnceLock` static or a struct field.
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::span::Span;
+use crate::span::ScopeTimer;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -134,6 +134,12 @@ pub struct HistogramCore {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    // Exemplars: the last trace id (128-bit, split across two cells)
+    // that landed in each bucket. Best-effort — a concurrent pair of
+    // writers can interleave hi/lo, which at worst yields a stale or
+    // mixed id; exemplars are debugging breadcrumbs, not ground truth.
+    exemplar_hi: [AtomicU64; BUCKETS],
+    exemplar_lo: [AtomicU64; BUCKETS],
 }
 
 impl HistogramCore {
@@ -142,6 +148,8 @@ impl HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            exemplar_hi: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_lo: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -165,10 +173,15 @@ impl HistogramCore {
         }
     }
 
-    fn record_nanos(&self, nanos: u64) {
-        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    fn record_nanos(&self, nanos: u64, trace_id: u128) {
+        let i = Self::bucket_index(nanos);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplar_hi[i].store((trace_id >> 64) as u64, Ordering::Relaxed);
+            self.exemplar_lo[i].store(trace_id as u64, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -180,12 +193,19 @@ impl HistogramCore {
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            exemplars: (0..BUCKETS)
+                .map(|i| {
+                    let hi = self.exemplar_hi[i].load(Ordering::Relaxed) as u128;
+                    let lo = self.exemplar_lo[i].load(Ordering::Relaxed) as u128;
+                    (hi << 64) | lo
+                })
+                .collect(),
         }
     }
 }
 
-/// A latency histogram handle; carries the registry clock so spans can
-/// be started directly from it.
+/// A latency histogram handle; carries the registry clock so scope
+/// timers can be started directly from it.
 #[derive(Clone)]
 pub struct Histogram {
     core: Arc<HistogramCore>,
@@ -201,9 +221,18 @@ impl std::fmt::Debug for Histogram {
 }
 
 impl Histogram {
-    /// Records one sample, lock-free.
+    /// Records one sample, lock-free. When the recording thread is
+    /// inside a sampled trace span ([`crate::trace`]), the sample's
+    /// bucket remembers that trace id as its exemplar.
     pub fn record_nanos(&self, nanos: u64) {
-        self.core.record_nanos(nanos);
+        self.core
+            .record_nanos(nanos, crate::trace::current_trace_id());
+    }
+
+    /// Records one sample with an explicit exemplar trace id (0 for
+    /// none), for callers that carry a context across threads.
+    pub fn record_nanos_with_exemplar(&self, nanos: u64, trace_id: u128) {
+        self.core.record_nanos(nanos, trace_id);
     }
 
     /// Records a [`Duration`] sample.
@@ -211,18 +240,18 @@ impl Histogram {
         self.record_nanos(d.as_nanos() as u64);
     }
 
-    /// Starts a [`Span`] that records into this histogram on drop.
-    pub fn span(&self) -> Span {
-        Span::enter(self)
+    /// Starts a [`ScopeTimer`] that records into this histogram on drop.
+    pub fn timer(&self) -> ScopeTimer {
+        ScopeTimer::enter(self)
     }
 
     /// Times a closure.
     pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
-        let _span = self.span();
+        let _timer = self.timer();
         f()
     }
 
-    /// The clock's current reading (used by [`Span`]).
+    /// The clock's current reading (used by [`ScopeTimer`]).
     pub fn now_nanos(&self) -> u64 {
         self.clock.now_nanos()
     }
@@ -263,12 +292,12 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// A registry timing spans with a fresh [`MonotonicClock`].
+    /// A registry timing scopes with a fresh [`MonotonicClock`].
     pub fn new() -> Self {
         MetricsRegistry::with_clock(Arc::new(MonotonicClock::new()))
     }
 
-    /// A registry timing spans with the given clock — tests pass a
+    /// A registry timing scopes with the given clock — tests pass a
     /// [`crate::clock::ManualClock`] handle for deterministic durations.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         MetricsRegistry {
@@ -277,7 +306,7 @@ impl MetricsRegistry {
         }
     }
 
-    /// The clock spans started from this registry's histograms use.
+    /// The clock timers started from this registry's histograms use.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
     }
@@ -336,11 +365,11 @@ impl MetricsRegistry {
         }
     }
 
-    /// Get-or-create a histogram and immediately enter a span on it —
-    /// the `Span::enter("parse")` convenience. Takes the registration
+    /// Get-or-create a histogram and immediately start a timer on it —
+    /// the `ScopeTimer::enter` convenience. Takes the registration
     /// lock; prefer holding a [`Histogram`] handle on hot paths.
-    pub fn span(&self, name: &str, labels: &[(&str, &str)]) -> Span {
-        self.histogram(name, labels).span()
+    pub fn timer(&self, name: &str, labels: &[(&str, &str)]) -> ScopeTimer {
+        self.histogram(name, labels).timer()
     }
 
     /// A point-in-time copy of every metric. Values are read with
@@ -369,6 +398,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples in nanoseconds.
     pub sum_nanos: u64,
+    /// Per-bucket exemplar trace ids (0 = no exemplar). May be empty
+    /// for snapshots built by hand; index-aligned with `buckets`.
+    pub exemplars: Vec<u128>,
 }
 
 impl HistogramSnapshot {
@@ -400,6 +432,17 @@ impl HistogramSnapshot {
         self.quantile_nanos(0.99)
     }
 
+    /// 99.9th-percentile upper bound in nanoseconds — the SLO tail the
+    /// loadgen summary reports alongside p50/p99.
+    pub fn p999_nanos(&self) -> u64 {
+        self.quantile_nanos(0.999)
+    }
+
+    /// The exemplar trace id of bucket `i` (0 when none was recorded).
+    pub fn exemplar(&self, i: usize) -> u128 {
+        self.exemplars.get(i).copied().unwrap_or(0)
+    }
+
     /// Mean sample in nanoseconds (0 when empty).
     pub fn mean_nanos(&self) -> u64 {
         if self.count == 0 {
@@ -410,14 +453,16 @@ impl HistogramSnapshot {
     }
 
     /// Renders the snapshot's summary statistics as a JSON object
-    /// (`{"count":…,"p50_nanos":…,"p99_nanos":…,"mean_nanos":…}`), the
-    /// shared latency schema of benchmark reports (`BENCH_*.json`).
+    /// (`{"count":…,"p50_nanos":…,"p99_nanos":…,"p999_nanos":…,`
+    /// `"mean_nanos":…}`), the shared latency schema of benchmark
+    /// reports (`BENCH_*.json`).
     pub fn to_json_object(&self) -> String {
         format!(
-            "{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{},\"mean_nanos\":{}}}",
+            "{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{},\"p999_nanos\":{},\"mean_nanos\":{}}}",
             self.count,
             self.p50_nanos(),
             self.p99_nanos(),
+            self.p999_nanos(),
             self.mean_nanos()
         )
     }
@@ -527,8 +572,25 @@ mod tests {
         assert_eq!(snap.count, 100);
         assert_eq!(snap.p50_nanos(), 1024);
         assert_eq!(snap.p99_nanos(), 1024);
+        assert_eq!(snap.p999_nanos(), 1 << 20);
         assert_eq!(snap.quantile_nanos(1.0), 1 << 20);
         assert!(snap.mean_nanos() > 1000 && snap.mean_nanos() < 1_000_000);
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_trace_id_per_bucket() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("stage_seconds", &[]);
+        h.record_nanos_with_exemplar(1000, 0xabcd);
+        h.record_nanos_with_exemplar(1000, 0xef01);
+        h.record_nanos_with_exemplar(1_000_000, 7);
+        h.record_nanos(500_000); // no trace context: keeps prior exemplar
+        let snap = h.snapshot();
+        let fast = HistogramCore::bucket_index(1000);
+        let slow = HistogramCore::bucket_index(1_000_000);
+        assert_eq!(snap.exemplar(fast), 0xef01, "last writer wins");
+        assert_eq!(snap.exemplar(slow), 7);
+        assert_eq!(snap.exemplar(0), 0, "untouched bucket has none");
     }
 
     #[test]
@@ -538,18 +600,18 @@ mod tests {
         assert_eq!(snap.mean_nanos(), 0);
         assert_eq!(
             snap.to_json_object(),
-            "{\"count\":0,\"p50_nanos\":0,\"p99_nanos\":0,\"mean_nanos\":0}"
+            "{\"count\":0,\"p50_nanos\":0,\"p99_nanos\":0,\"p999_nanos\":0,\"mean_nanos\":0}"
         );
     }
 
     #[test]
-    fn spans_use_the_registry_clock() {
+    fn timers_use_the_registry_clock() {
         let clock = ManualClock::new();
         let handle = clock.handle();
         let r = MetricsRegistry::with_clock(std::sync::Arc::new(clock));
         let h = r.histogram("op_seconds", &[]);
         {
-            let _span = h.span();
+            let _timer = h.timer();
             handle.advance_nanos(5000);
         }
         let snap = h.snapshot();

@@ -5,6 +5,7 @@
 //! directly.
 
 use crate::metrics::{HistogramCore, HistogramSnapshot, MetricId, MetricsSnapshot};
+use crate::trace::format_trace_id;
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -33,7 +34,8 @@ fn fmt_seconds(nanos: u64) -> String {
 ///
 /// Counters become `name{labels} value`, gauges likewise, histograms
 /// become the conventional `_bucket{le="…"}` (cumulative, in seconds),
-/// `_sum` and `_count` series.
+/// `_sum` and `_count` series. Buckets that remember an exemplar trace
+/// id append it OpenMetrics-style: `… 5 # {trace_id="<32 hex>"}`.
 pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let mut emit_type = String::new();
@@ -85,6 +87,12 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
             out.push_str(&id.render_labels_with_extra(&[("le", &le)]));
             out.push(' ');
             out.push_str(&cumulative.to_string());
+            let exemplar = h.exemplar(i);
+            if exemplar != 0 {
+                out.push_str(" # {trace_id=\"");
+                out.push_str(&format_trace_id(exemplar));
+                out.push_str("\"}");
+            }
             out.push('\n');
         }
         out.push_str(&id.name);
@@ -117,20 +125,35 @@ fn json_id(id: &MetricId) -> String {
 }
 
 fn json_histogram(h: &HistogramSnapshot) -> String {
+    let exemplars: Vec<String> = h
+        .exemplars
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| **id != 0)
+        .map(|(i, id)| {
+            format!(
+                "{{\"bucket\":{i},\"trace_id\":\"{}\"}}",
+                format_trace_id(*id)
+            )
+        })
+        .collect();
     format!(
-        "\"count\":{},\"sum_nanos\":{},\"mean_nanos\":{},\"p50_nanos\":{},\"p99_nanos\":{}",
+        "\"count\":{},\"sum_nanos\":{},\"mean_nanos\":{},\"p50_nanos\":{},\"p99_nanos\":{},\"p999_nanos\":{},\"exemplars\":[{}]",
         h.count,
         h.sum_nanos,
         h.mean_nanos(),
         h.p50_nanos(),
-        h.p99_nanos()
+        h.p99_nanos(),
+        h.p999_nanos(),
+        exemplars.join(",")
     )
 }
 
 /// Renders a snapshot as JSON:
 /// `{"counters":[{"name":…,"labels":{…},"value":…}],`
 /// `"gauges":[…],"histograms":[{…,"count":…,"sum_nanos":…,`
-/// `"mean_nanos":…,"p50_nanos":…,"p99_nanos":…}]}`.
+/// `"mean_nanos":…,"p50_nanos":…,"p99_nanos":…,"p999_nanos":…,`
+/// `"exemplars":[{"bucket":…,"trace_id":"…"}]}]}`.
 pub fn to_json(snap: &MetricsSnapshot) -> String {
     let counters: Vec<String> = snap
         .counters
@@ -232,6 +255,38 @@ mod tests {
             to_json(&snap),
             "{\"counters\":[],\"gauges\":[],\"histograms\":[]}"
         );
+    }
+
+    #[test]
+    fn exemplars_render_in_both_expositions() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("wsrc_stage_seconds", &[("stage", "build")]);
+        h.record_nanos_with_exemplar(1000, 0xdead_beef);
+        let snap = r.snapshot();
+        let text = to_prometheus(&snap);
+        assert!(
+            text.contains(
+                "wsrc_stage_seconds_bucket{stage=\"build\",le=\"0.000001024\"} 1 \
+                 # {trace_id=\"000000000000000000000000deadbeef\"}"
+            ),
+            "missing Prometheus exemplar in:\n{text}"
+        );
+        let json = to_json(&snap);
+        assert!(json.contains("\"p999_nanos\":1024"));
+        assert!(json.contains(
+            "\"exemplars\":[{\"bucket\":10,\"trace_id\":\"000000000000000000000000deadbeef\"}]"
+        ));
+    }
+
+    #[test]
+    fn histograms_without_exemplars_render_plain_buckets() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(
+            !text.contains(" # {trace_id="),
+            "no stray exemplars:\n{text}"
+        );
+        let json = to_json(&sample_snapshot());
+        assert!(json.contains("\"exemplars\":[]"));
     }
 
     #[test]

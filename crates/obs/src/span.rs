@@ -1,23 +1,27 @@
-//! Scope timers: a [`Span`] reads the clock when entered and records
-//! the elapsed nanoseconds into its histogram when dropped.
+//! Scope timers: a [`ScopeTimer`] reads the clock when entered and
+//! records the elapsed nanoseconds into its histogram when dropped.
+//!
+//! Not to be confused with trace spans ([`crate::trace`]): a scope
+//! timer feeds an aggregate latency distribution, a trace span records
+//! one causally-linked interval of a specific request.
 
 use crate::metrics::Histogram;
 
 /// A running timer tied to a [`Histogram`]. Dropping it records the
-/// elapsed time; [`Span::finish`] does the same but returns the
+/// elapsed time; [`ScopeTimer::finish`] does the same but returns the
 /// duration.
-#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
-pub struct Span {
+#[must_use = "a scope timer records on drop; binding it to `_` drops it immediately"]
+pub struct ScopeTimer {
     histogram: Histogram,
     start_nanos: u64,
     recorded: bool,
 }
 
-impl Span {
+impl ScopeTimer {
     /// Starts timing against `histogram`, using the clock of the
     /// registry the histogram came from.
-    pub fn enter(histogram: &Histogram) -> Span {
-        Span {
+    pub fn enter(histogram: &Histogram) -> ScopeTimer {
+        ScopeTimer {
             histogram: histogram.clone(),
             start_nanos: histogram.now_nanos(),
             recorded: false,
@@ -29,7 +33,7 @@ impl Span {
         self.histogram.now_nanos().saturating_sub(self.start_nanos)
     }
 
-    /// Stops the span, records the sample, and returns the elapsed
+    /// Stops the timer, records the sample, and returns the elapsed
     /// nanoseconds.
     pub fn finish(mut self) -> u64 {
         let elapsed = self.elapsed_nanos();
@@ -38,14 +42,14 @@ impl Span {
         elapsed
     }
 
-    /// Abandons the span without recording a sample (e.g. an error path
-    /// that should not pollute the latency distribution).
+    /// Abandons the timer without recording a sample (e.g. an error
+    /// path that should not pollute the latency distribution).
     pub fn cancel(mut self) {
         self.recorded = true;
     }
 }
 
-impl Drop for Span {
+impl Drop for ScopeTimer {
     fn drop(&mut self) {
         if !self.recorded {
             self.histogram.record_nanos(self.elapsed_nanos());
@@ -55,7 +59,6 @@ impl Drop for Span {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::clock::ManualClock;
     use crate::metrics::MetricsRegistry;
     use std::sync::Arc;
@@ -71,7 +74,7 @@ mod tests {
         let (r, clock) = manual_registry();
         let h = r.histogram("stage", &[]);
         {
-            let _span = h.span();
+            let _timer = h.timer();
             clock.advance_nanos(1234);
         }
         let snap = h.snapshot();
@@ -83,10 +86,10 @@ mod tests {
     fn finish_records_once_and_returns_duration() {
         let (r, clock) = manual_registry();
         let h = r.histogram("stage", &[]);
-        let span = h.span();
+        let timer = h.timer();
         clock.advance_nanos(500);
-        assert_eq!(span.finish(), 500);
-        // finish consumed the span; drop must not double-record.
+        assert_eq!(timer.finish(), 500);
+        // finish consumed the timer; drop must not double-record.
         let snap = h.snapshot();
         assert_eq!(snap.count, 1);
         assert_eq!(snap.sum_nanos, 500);
@@ -96,22 +99,22 @@ mod tests {
     fn cancel_records_nothing() {
         let (r, clock) = manual_registry();
         let h = r.histogram("stage", &[]);
-        let span = h.span();
+        let timer = h.timer();
         clock.advance_nanos(500);
-        span.cancel();
+        timer.cancel();
         assert_eq!(h.snapshot().count, 0);
     }
 
     #[test]
-    fn nested_spans_record_independently() {
+    fn nested_timers_record_independently() {
         let (r, clock) = manual_registry();
         let outer = r.histogram("outer", &[]);
         let inner = r.histogram("inner", &[]);
         {
-            let _o = outer.span();
+            let _o = outer.timer();
             clock.advance_nanos(100);
             {
-                let _i = inner.span();
+                let _i = inner.timer();
                 clock.advance_nanos(50);
             }
             clock.advance_nanos(100);

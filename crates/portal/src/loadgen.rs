@@ -51,6 +51,9 @@ pub struct LoadReport {
     /// Tail response time (upper bound of the bucket holding the 99th
     /// percentile).
     pub p99_response: Duration,
+    /// Extreme-tail response time (bucket upper bound at the 99.9th
+    /// percentile) — the tail that tail-sampled traces explain.
+    pub p999_response: Duration,
     /// Completed requests per second.
     pub throughput_rps: f64,
 }
@@ -128,6 +131,37 @@ pub fn run_load_with_clock<T: PortalTarget>(
     config: &LoadConfig,
     clock: &dyn Clock,
 ) -> LoadReport {
+    run_load_inner(target, config, clock, None)
+}
+
+/// [`run_load_with_clock`] with request tracing: every measured request
+/// becomes a root span in `tracer` (the load generator is the designated
+/// trace root — servers and clients only continue propagated contexts),
+/// so the report's tail percentiles are explainable from the tracer's
+/// tail-sampled store.
+pub fn run_load_traced<T: PortalTarget>(
+    target: &T,
+    config: &LoadConfig,
+    clock: &dyn Clock,
+    tracer: &std::sync::Arc<wsrc_obs::Tracer>,
+) -> LoadReport {
+    run_load_inner(target, config, clock, Some(tracer))
+}
+
+/// Per-stage critical-path breakdown of the traces `tracer` retained:
+/// self time (span duration minus direct children) summed per stage,
+/// descending. Feed it a tracer from [`run_load_traced`] to see where
+/// the measured requests actually spent their time.
+pub fn critical_path_breakdown(tracer: &std::sync::Arc<wsrc_obs::Tracer>) -> Vec<(String, u64)> {
+    wsrc_obs::sampler::stage_breakdown(&tracer.store().recent())
+}
+
+fn run_load_inner<T: PortalTarget>(
+    target: &T,
+    config: &LoadConfig,
+    clock: &dyn Clock,
+    tracer: Option<&std::sync::Arc<wsrc_obs::Tracer>>,
+) -> LoadReport {
     let schedule = QuerySchedule::new(config.hit_ratio, config.hot_queries);
     // Priming phase: hot queries are warmed so the measured phase sees
     // the intended hit ratio (the paper likewise measures after warmup).
@@ -158,8 +192,16 @@ pub fn run_load_with_clock<T: PortalTarget>(
                         return;
                     }
                     let query = schedule.next_query();
+                    let root = tracer.map(|t| t.root_span("loadgen", "/portal"));
                     let t0 = clock.now_nanos();
-                    match conn.fetch(&query) {
+                    let outcome = conn.fetch(&query);
+                    if let Some(mut root) = root {
+                        if outcome.is_err() {
+                            root.set_error();
+                        }
+                        root.finish();
+                    }
+                    match outcome {
                         Ok(()) => {
                             completed.fetch_add(1, Ordering::SeqCst);
                             let nanos = clock.now_nanos().saturating_sub(t0);
@@ -190,6 +232,7 @@ pub fn run_load_with_clock<T: PortalTarget>(
         mean_response,
         p50_response: Duration::from_nanos(snapshot.p50_nanos()),
         p99_response: Duration::from_nanos(snapshot.p99_nanos()),
+        p999_response: Duration::from_nanos(snapshot.p999_nanos()),
         throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
     }
 }
@@ -373,7 +416,55 @@ mod tests {
         // sample is identical so p50 == p99.
         assert_eq!(report.p50_response, Duration::from_nanos(1 << 21));
         assert_eq!(report.p99_response, report.p50_response);
+        assert_eq!(report.p999_response, report.p50_response);
         assert!((report.throughput_rps - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_runs_root_every_request_and_break_down_stages() {
+        use wsrc_obs::ManualClock;
+        struct PlainTarget;
+        struct PlainConn;
+        impl PortalConn for PlainConn {
+            fn fetch(&mut self, _q: &str) -> Result<(), String> {
+                // A traced fetch contributes a child stage span, the way
+                // the real portal's client middleware does.
+                if let Some(span) = wsrc_obs::trace::child_span("fetch", "transfer") {
+                    span.finish();
+                }
+                Ok(())
+            }
+        }
+        impl PortalTarget for PlainTarget {
+            type Conn = PlainConn;
+            fn connect(&self) -> PlainConn {
+                PlainConn
+            }
+        }
+        let clock = ManualClock::new();
+        let tracer = wsrc_obs::Tracer::new(Arc::new(clock.handle()));
+        let config = LoadConfig {
+            concurrency: 2,
+            requests: 20,
+            hit_ratio: 0.0,
+            hot_queries: 1,
+        };
+        let report = run_load_traced(&PlainTarget, &config, &clock, &tracer);
+        assert_eq!(report.completed, 20);
+        // Every request rooted a trace; the tail-sampling store retained
+        // at least the slowest-N for the route.
+        let recent = tracer.store().recent();
+        assert!(!recent.is_empty(), "traced load retains traces");
+        assert!(recent.iter().all(|t| t.route == "/portal"));
+        assert!(recent
+            .iter()
+            .all(|t| t.spans.iter().any(|s| s.stage == "transfer")));
+        let breakdown = critical_path_breakdown(&tracer);
+        assert!(
+            breakdown.iter().any(|(stage, _)| stage == "root")
+                || breakdown.iter().any(|(stage, _)| stage == "transfer"),
+            "breakdown covers recorded stages: {breakdown:?}"
+        );
     }
 
     #[test]

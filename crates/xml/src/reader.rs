@@ -94,7 +94,7 @@ impl<'x> XmlReader<'x> {
     ///
     /// Returns the first syntax or well-formedness error encountered.
     pub fn read_all(mut self) -> Result<Vec<SaxEvent>, XmlError> {
-        let _span = parse_timer("read-all").span();
+        let _span = parse_timer("read-all").timer();
         let mut events = Vec::new();
         while let Some(e) = self.next_event()? {
             events.push(e);
@@ -111,7 +111,7 @@ impl<'x> XmlReader<'x> {
     ///
     /// Returns the first syntax or well-formedness error encountered.
     pub fn read_sequence(mut self) -> Result<SaxEventSequence, XmlError> {
-        let _span = parse_timer("read-sequence").span();
+        let _span = parse_timer("read-sequence").timer();
         let mut sequence = SaxEventSequence::new();
         while let Some(event) = self.next_event()? {
             sequence.push(event);
@@ -129,7 +129,7 @@ impl<'x> XmlReader<'x> {
         mut self,
         handler: &mut H,
     ) -> Result<(), ParseIntoError<H::Error>> {
-        let _span = parse_timer("parse-into").span();
+        let _span = parse_timer("parse-into").timer();
         while let Some(event) = self.next_event().map_err(ParseIntoError::Parse)? {
             crate::sax::dispatch(handler, &event).map_err(ParseIntoError::Handler)?;
         }

@@ -22,10 +22,14 @@ cargo run -q --release -p wsrc-bench --bin bench_pipeline -- --smoke \
 # never timings.
 cargo run -q --release -p wsrc-bench --bin bench_e2e -- --smoke \
   --out target/bench_e2e_smoke.json
+# End-to-end tracing smoke: a traced miss+hit over real TCP under a
+# fake clock; asserts every pipeline stage appears in the /trace span
+# tree and the root's direct children cover >=90% of its wall time.
+cargo run -q --release -p wsrc-bench --bin trace_smoke
 cargo fmt --check
-# Workspace invariants (R1-R7): representation safety, atomics audit,
+# Workspace invariants (R1-R8): representation safety, atomics audit,
 # clock discipline, panic freedom, lock ordering, zero-copy pipeline,
-# bounded spawning. See crates/analyze.
+# bounded spawning, trace-root discipline. See crates/analyze.
 cargo run -q --release -p wsrc-analyze -- --deny crates src
 
 echo "verify: build, tests, formatting, and analysis all clean"
