@@ -1,0 +1,928 @@
+//! Interprocedural workspace model.
+//!
+//! [`Workspace::build`] resolves a set of parsed [`SourceFile`]s into
+//! items with qualified names: `impl` blocks give functions an owning
+//! type, struct declarations map lock-typed fields to named *lock
+//! classes* (`"CacheStore.shards"`, `"Shared.queue"`, ...), and a
+//! token walker extracts per-function facts:
+//!
+//! * **acquisitions** — every `sync::lock(..)` / `sync::lock_class(..)`
+//!   / `.lock(..)` site, with the lock class derived from the mutex
+//!   expression's field path and the set of classes already held;
+//! * **call sites** — every `name(..)` / `recv.name(..)` / `X::name(..)`
+//!   occurrence with a receiver shape for later resolution, and the
+//!   held-lock set at the site;
+//! * **blocking sites** — condvar waits (recording which guard class
+//!   they release) and blocking I/O primitives (socket read/write,
+//!   accept, connect, sleep), again with the held set.
+//!
+//! Held-set tracking is *statement conservative*: a guard produced by a
+//! temporary (`sync::lock(&m).push(..)`) is considered held for every
+//! call in the same statement, matching Rust's end-of-statement
+//! temporary lifetimes. Plain `if`/`while` condition temporaries drop
+//! at the `{`; `match`/`if let`/`while let`/`for` heads keep theirs for
+//! the whole block, as the scrutinee does. Guards re-acquired by
+//! `sync::wait*` keep their class held (the wait returns the guard).
+//!
+//! `crates/obs/src/sync.rs` is the *intrinsics file*: its helpers are
+//! modelled as primitives by the walker, so its own body is excluded
+//! from fact extraction.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::SourceFile;
+use std::collections::HashMap;
+
+/// Path suffix of the lock-helper module whose helpers are modelled as
+/// intrinsics rather than analyzed as ordinary functions.
+const SYNC_INTRINSICS: &str = "obs/src/sync.rs";
+
+/// Type-name wrappers skipped when deriving a parameter or field type.
+const WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Vec", "VecDeque", "HashMap", "BTreeMap", "HashSet", "BTreeSet",
+    "Result", "Mutex", "RwLock", "RefCell", "Cell", "OnceLock",
+];
+
+/// Method names treated as potentially blocking when called as
+/// `recv.name(..)`. Deliberately excludes bare `write`/`join` (too many
+/// innocent homonyms: `fmt::Write::write`, `Path::join`).
+const BLOCKING_METHODS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_line",
+    "fill_buf",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "accept",
+    "recv",
+    "recv_timeout",
+    "connect",
+];
+
+/// `module::name(..)` path calls treated as blocking primitives.
+const BLOCKING_PATHS: &[(&str, &str)] = &[("thread", "sleep"), ("TcpStream", "connect")];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "break", "continue", "let", "in",
+    "as", "move", "ref", "mut", "fn", "impl", "struct", "enum", "trait", "where", "pub", "use",
+    "mod", "const", "static", "unsafe", "dyn",
+];
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `name(..)` — a free call.
+    Free,
+    /// `X::name(..)` or `module::name(..)`.
+    Path(String),
+    /// `self.name(..)`.
+    SelfDot,
+    /// `var.name(..)`.
+    Var(String),
+    /// `a.b.name(..)` / `self.b.name(..)` — keyed by the last field.
+    Field(String),
+    /// `expr.name(..)` with a non-path receiver (`foo().bar(..)`,
+    /// `xs[i].bar(..)`).
+    Other,
+}
+
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Lock class, e.g. `"CacheStore.shards"` or a bare variable name.
+    pub class: String,
+    pub line: u32,
+    /// Classes already held when this acquisition happens.
+    pub held: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    pub receiver: Receiver,
+    pub line: u32,
+    /// Classes held at the call.
+    pub held: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// What blocks: `"condvar-wait"` or the primitive's name.
+    pub what: String,
+    pub line: u32,
+    pub held: Vec<String>,
+    /// For condvar waits: the lock class of the guard the wait consumes
+    /// and re-acquires. Waiting on the only held guard is the one
+    /// legitimate way to block "under" a lock.
+    pub releases: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Index into `Workspace::paths`.
+    pub file: usize,
+    pub name: String,
+    /// Owning type when declared in an `impl` block.
+    pub owner: Option<String>,
+    pub line: u32,
+    /// Parameter name -> derived type name (wrappers stripped).
+    pub params: HashMap<String, String>,
+    /// All capitalized type idents in the signature (for R10's
+    /// "takes a StoredResponse" check).
+    pub param_types: Vec<String>,
+    /// Body brace token range, for rules that re-inspect the tokens.
+    pub body: (usize, usize),
+    pub acquisitions: Vec<Acquisition>,
+    pub calls: Vec<CallSite>,
+    pub blocking: Vec<BlockSite>,
+}
+
+impl FnModel {
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct EnumModel {
+    pub file: usize,
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<(String, u32)>,
+}
+
+/// The resolved workspace: functions, lock-field maps, enums.
+pub struct Workspace {
+    /// Paths, index-aligned with `FnModel::file`.
+    pub paths: Vec<String>,
+    pub fns: Vec<FnModel>,
+    /// Function name -> indices into `fns` (in file/source order).
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// Lock-typed struct field -> owning type names.
+    pub mutex_fields: HashMap<String, Vec<String>>,
+    /// Struct field -> (owner, derived type) for receiver typing.
+    pub field_types: HashMap<String, Vec<(String, String)>>,
+    pub enums: Vec<EnumModel>,
+}
+
+impl Workspace {
+    pub fn build(files: &[SourceFile]) -> Workspace {
+        let mut mutex_fields: HashMap<String, Vec<String>> = HashMap::new();
+        let mut field_types: HashMap<String, Vec<(String, String)>> = HashMap::new();
+        let mut enums = Vec::new();
+        for (idx, file) in files.iter().enumerate() {
+            collect_structs_and_enums(idx, file, &mut mutex_fields, &mut field_types, &mut enums);
+        }
+        let mut fns = Vec::new();
+        for (idx, file) in files.iter().enumerate() {
+            if file.path.ends_with(SYNC_INTRINSICS) {
+                continue;
+            }
+            let impls = find_impls(&file.tokens);
+            for span in &file.fns {
+                // Test-only functions are out of the model; corpus
+                // fixtures are production-classed by scan.rs already.
+                if file.in_test(span.line) {
+                    continue;
+                }
+                let owner = impls
+                    .iter()
+                    .filter(|(_, open, close)| *open < span.body.0 && span.body.1 <= *close)
+                    .min_by_key(|(_, open, close)| close - open)
+                    .map(|(name, _, _)| name.clone());
+                let (params, param_types) = parse_params(&file.tokens, span.name_idx, span.body.0);
+                let mut f = FnModel {
+                    file: idx,
+                    name: span.name.clone(),
+                    owner,
+                    line: span.line,
+                    params,
+                    param_types,
+                    body: span.body,
+                    acquisitions: Vec::new(),
+                    calls: Vec::new(),
+                    blocking: Vec::new(),
+                };
+                walk_fn(&mut f, file, span.body, &mutex_fields);
+                fns.push(f);
+            }
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Workspace {
+            paths: files.iter().map(|f| f.path.clone()).collect(),
+            fns,
+            by_name,
+            mutex_fields,
+            field_types,
+            enums,
+        }
+    }
+}
+
+/// `impl` blocks as (type name, body-open token, body-close token).
+fn find_impls(tokens: &[Token]) -> Vec<(String, usize, usize)> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip `impl<..>` generics.
+        if j < tokens.len() && tokens[j].is_punct('<') {
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    angle += 1;
+                } else if tokens[j].is_punct('>') && !tokens[j - 1].is_punct('-') {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Read the head up to `{`; the implemented type is the path
+        // after `for` when present (trait impl), else the first path.
+        let mut first_path: Vec<String> = Vec::new();
+        let mut for_path: Vec<String> = Vec::new();
+        let mut after_for = false;
+        let mut angle = 0i32;
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && j >= 1 && !tokens[j - 1].is_punct('-') {
+                angle = (angle - 1).max(0);
+            } else if angle == 0 && t.is_ident("for") {
+                after_for = true;
+            } else if angle == 0 && t.is_ident("where") {
+                break;
+            } else if angle == 0 && t.kind == TokenKind::Ident && t.text != "dyn" {
+                if after_for {
+                    for_path.push(t.text.clone());
+                } else {
+                    first_path.push(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        while j < tokens.len() && !tokens[j].is_punct('{') {
+            j += 1;
+        }
+        if j < tokens.len() {
+            let close = crate::scan::matching_brace(tokens, j);
+            let path = if after_for { &for_path } else { &first_path };
+            if let Some(name) = path.last() {
+                impls.push((name.clone(), j, close));
+            }
+            i = j + 1;
+        } else {
+            break;
+        }
+    }
+    impls
+}
+
+/// The "interesting" type name in a field/parameter type's ident
+/// sequence: the first capitalized ident that is not a wrapper.
+fn derive_type(idents: &[String]) -> Option<String> {
+    idents
+        .iter()
+        .find(|t| {
+            t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && !WRAPPERS.contains(&t.as_str())
+        })
+        .cloned()
+}
+
+fn collect_structs_and_enums(
+    file_idx: usize,
+    file: &SourceFile,
+    mutex_fields: &mut HashMap<String, Vec<String>>,
+    field_types: &mut HashMap<String, Vec<(String, String)>>,
+    enums: &mut Vec<EnumModel>,
+) {
+    let tokens = &file.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_struct = tokens[i].is_ident("struct");
+        let is_enum = tokens[i].is_ident("enum");
+        if !is_struct && !is_enum {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` (tuple/unit structs end at `;`).
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('{') if paren == 0 => break,
+                TokenKind::Punct(';') if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let close = crate::scan::matching_brace(tokens, j);
+        if is_struct {
+            collect_fields(&name_tok.text, tokens, j, close, mutex_fields, field_types);
+        } else {
+            let mut variants = Vec::new();
+            let mut depth = 0i32;
+            let mut paren = 0i32;
+            let mut expect_variant = true;
+            for k in j + 1..close {
+                let t = &tokens[k];
+                match t.kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => depth -= 1,
+                    TokenKind::Punct('(') => paren += 1,
+                    TokenKind::Punct(')') => paren -= 1,
+                    TokenKind::Punct(',') if depth == 0 && paren == 0 => expect_variant = true,
+                    TokenKind::Ident if depth == 0 && paren == 0 && expect_variant => {
+                        variants.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+            }
+            enums.push(EnumModel {
+                file: file_idx,
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                variants,
+            });
+        }
+        i = close + 1;
+    }
+}
+
+fn collect_fields(
+    owner: &str,
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    mutex_fields: &mut HashMap<String, Vec<String>>,
+    field_types: &mut HashMap<String, Vec<(String, String)>>,
+) {
+    let mut k = open + 1;
+    let mut depth = 0i32;
+    while k < close {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') => depth -= 1,
+            TokenKind::Punct('>') if !tokens[k - 1].is_punct('-') => depth -= 1,
+            TokenKind::Ident
+                if depth == 0
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && !tokens.get(k + 2).is_some_and(|n| n.is_punct(':')) =>
+            {
+                let field = t.text.clone();
+                // Scan the type until the field-separating comma.
+                let mut ty_idents = Vec::new();
+                let mut d = 0i32;
+                let mut m = k + 2;
+                while m < close {
+                    let tt = &tokens[m];
+                    match tt.kind {
+                        TokenKind::Punct('<')
+                        | TokenKind::Punct('(')
+                        | TokenKind::Punct('[')
+                        | TokenKind::Punct('{') => d += 1,
+                        TokenKind::Punct('>') if !tokens[m - 1].is_punct('-') => d -= 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                            d -= 1
+                        }
+                        TokenKind::Punct(',') if d == 0 => break,
+                        TokenKind::Ident => ty_idents.push(tt.text.clone()),
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                let lockish = ty_idents
+                    .iter()
+                    .any(|t| t == "Mutex" || t == "RwLock" || t == "Condvar");
+                if lockish {
+                    let owners = mutex_fields.entry(field.clone()).or_default();
+                    if !owners.contains(&owner.to_string()) {
+                        owners.push(owner.to_string());
+                    }
+                }
+                if let Some(ty) = derive_type(&ty_idents) {
+                    field_types
+                        .entry(field)
+                        .or_default()
+                        .push((owner.to_string(), ty));
+                }
+                k = m;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// Parses `fn name<..>(params) -> ..` between the name and the body.
+fn parse_params(
+    tokens: &[Token],
+    name_idx: usize,
+    body_open: usize,
+) -> (HashMap<String, String>, Vec<String>) {
+    let mut params = HashMap::new();
+    let mut param_types = Vec::new();
+    // Find the parameter-list `(`.
+    let mut j = name_idx + 1;
+    let mut angle = 0i32;
+    while j < body_open {
+        if tokens[j].is_punct('<') {
+            angle += 1;
+        } else if tokens[j].is_punct('>') && !tokens[j - 1].is_punct('-') {
+            angle = (angle - 1).max(0);
+        } else if tokens[j].is_punct('(') && angle == 0 {
+            break;
+        }
+        j += 1;
+    }
+    if j >= body_open {
+        return (params, param_types);
+    }
+    let mut depth = 1i32;
+    let mut k = j + 1;
+    while k < body_open && depth > 0 {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => depth -= 1,
+            TokenKind::Ident
+                if depth == 1
+                    && t.text != "mut"
+                    && t.text != "self"
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && !tokens.get(k + 2).is_some_and(|n| n.is_punct(':')) =>
+            {
+                let name = t.text.clone();
+                let mut ty_idents = Vec::new();
+                let mut d = 0i32;
+                let mut m = k + 2;
+                while m < body_open {
+                    let tt = &tokens[m];
+                    match tt.kind {
+                        TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                            d += 1
+                        }
+                        TokenKind::Punct('>') if !tokens[m - 1].is_punct('-') => d -= 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                            if d == 0 {
+                                break;
+                            }
+                            d -= 1;
+                        }
+                        TokenKind::Punct(',') if d == 0 => break,
+                        TokenKind::Ident => ty_idents.push(tt.text.clone()),
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                for ty in &ty_idents {
+                    if ty.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && !WRAPPERS.contains(&ty.as_str())
+                        && !param_types.contains(ty)
+                    {
+                        param_types.push(ty.clone());
+                    }
+                }
+                if let Some(ty) = derive_type(&ty_idents) {
+                    params.insert(name, ty);
+                }
+                k = m;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (params, param_types)
+}
+
+/// A guard live in some enclosing block.
+struct LiveGuard {
+    var: Option<String>,
+    class: String,
+    depth: usize,
+}
+
+#[derive(Default)]
+struct StmtState {
+    head: Option<String>,
+    is_let: bool,
+    let_var: Option<String>,
+    /// `if let` / `while let` detection.
+    head_has_let: bool,
+    /// Locks acquired by temporaries in this statement.
+    locks: Vec<(String, u32)>,
+    calls: Vec<(String, Receiver, u32)>,
+    blocks: Vec<(String, u32, Option<String>)>,
+}
+
+/// Walks one function body, filling `f.acquisitions/calls/blocking`.
+fn walk_fn(
+    f: &mut FnModel,
+    file: &SourceFile,
+    body: (usize, usize),
+    mutex_fields: &HashMap<String, Vec<String>>,
+) {
+    let tokens = &file.tokens;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 1usize;
+    let mut st = StmtState::default();
+    let mut i = body.0 + 1;
+    while i < body.1 {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct(';') => {
+                flush_stmt(f, &guards, &mut st);
+                if st.is_let {
+                    for (class, _) in st.locks.drain(..) {
+                        guards.push(LiveGuard {
+                            var: st.let_var.clone(),
+                            class,
+                            depth,
+                        });
+                    }
+                }
+                st = StmtState::default();
+            }
+            TokenKind::Punct('{') => {
+                flush_stmt(f, &guards, &mut st);
+                depth += 1;
+                // `match`/`for` scrutinee and `if let`/`while let`
+                // head temporaries live for the whole block.
+                let binds = matches!(st.head.as_deref(), Some("match") | Some("for"))
+                    || (matches!(st.head.as_deref(), Some("if") | Some("while"))
+                        && st.head_has_let);
+                if binds {
+                    for (class, _) in st.locks.drain(..) {
+                        guards.push(LiveGuard {
+                            var: None,
+                            class,
+                            depth,
+                        });
+                    }
+                }
+                st = StmtState::default();
+            }
+            TokenKind::Punct('}') => {
+                flush_stmt(f, &guards, &mut st);
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                st = StmtState::default();
+            }
+            TokenKind::Ident => {
+                // Nested `fn` items are modelled separately: skip.
+                if t.text == "fn" {
+                    let mut j = i + 1;
+                    while j < body.1 && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < body.1 && tokens[j].is_punct('{') {
+                        i = crate::scan::matching_brace(tokens, j) + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    continue;
+                }
+                if st.head.is_none() {
+                    if t.text != "else" {
+                        st.head = Some(t.text.clone());
+                        if t.text == "let" {
+                            st.is_let = true;
+                        }
+                    }
+                } else if matches!(st.head.as_deref(), Some("if") | Some("while"))
+                    && t.text == "let"
+                {
+                    st.head_has_let = true;
+                } else if st.is_let && st.let_var.is_none() && t.text != "mut" {
+                    st.let_var = Some(t.text.clone());
+                }
+                // Macro invocation: `name!(..)` is not a call.
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    i += 2;
+                    continue;
+                }
+                // `drop(var)` releases a guard mid-scope.
+                if t.text == "drop"
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && tokens
+                        .get(i + 2)
+                        .is_some_and(|n| n.kind == TokenKind::Ident)
+                    && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+                {
+                    let victim = tokens[i + 2].text.clone();
+                    guards.retain(|g| g.var.as_deref() != Some(victim.as_str()));
+                    i += 4;
+                    continue;
+                }
+                if let Some(next) = consume_intrinsic(tokens, i, &mut st, mutex_fields) {
+                    i = next;
+                    continue;
+                }
+                // Ordinary call site.
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !KEYWORDS.contains(&t.text.as_str())
+                {
+                    let receiver = receiver_of(tokens, i);
+                    st.calls.push((t.text.clone(), receiver, t.line));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush_stmt(f, &guards, &mut st);
+}
+
+/// Moves the statement's buffered facts into the model with the held
+/// set fixed at (live guards + this statement's temporaries).
+fn flush_stmt(f: &mut FnModel, guards: &[LiveGuard], st: &mut StmtState) {
+    if st.calls.is_empty() && st.blocks.is_empty() && st.locks.is_empty() {
+        return;
+    }
+    let mut base: Vec<String> = Vec::new();
+    for g in guards {
+        if !base.contains(&g.class) {
+            base.push(g.class.clone());
+        }
+    }
+    // Acquisitions: held = guards + temporaries acquired earlier in
+    // the same statement (source order).
+    let mut so_far = base.clone();
+    for (class, line) in &st.locks {
+        f.acquisitions.push(Acquisition {
+            class: class.clone(),
+            line: *line,
+            held: so_far.clone(),
+        });
+        if !so_far.contains(class) {
+            so_far.push(class.clone());
+        }
+    }
+    // Calls/blocking sites are conservatively under *all* statement
+    // locks (temporaries live to the end of the statement).
+    let mut held = base;
+    for (class, _) in &st.locks {
+        if !held.contains(class) {
+            held.push(class.clone());
+        }
+    }
+    for (name, receiver, line) in st.calls.drain(..) {
+        f.calls.push(CallSite {
+            name,
+            receiver,
+            line,
+            held: held.clone(),
+        });
+    }
+    for (what, line, releases_var) in st.blocks.drain(..) {
+        // Resolve the released guard variable to its class.
+        let releases = releases_var.and_then(|v| {
+            guards
+                .iter()
+                .rev()
+                .find(|g| g.var.as_deref() == Some(v.as_str()))
+                .map(|g| g.class.clone())
+        });
+        f.blocking.push(BlockSite {
+            what,
+            line,
+            held: held.clone(),
+            releases,
+        });
+    }
+}
+
+/// Recognizes lock/wait/blocking-primitive patterns at ident `i`.
+/// Returns the token index to continue from when one was consumed.
+fn consume_intrinsic(
+    tokens: &[Token],
+    i: usize,
+    st: &mut StmtState,
+    mutex_fields: &HashMap<String, Vec<String>>,
+) -> Option<usize> {
+    let t = &tokens[i];
+    if !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    let prev_dot = i >= 1 && tokens[i - 1].is_punct('.');
+    let path_prefix = |name: &str| -> bool {
+        i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident(name)
+    };
+    match t.text.as_str() {
+        "lock" | "lock_class" if prev_dot || path_prefix("sync") => {
+            let chain = if prev_dot {
+                back_chain(tokens, i - 1)
+            } else {
+                arg_chain(tokens, i + 1, t.text == "lock_class")
+            };
+            let class = classify_lock_chain(&chain, t.line, mutex_fields);
+            st.locks.push((class, t.line));
+            Some(i + 2)
+        }
+        "wait" | "wait_timeout" | "wait_class" | "wait_timeout_class"
+            if prev_dot || path_prefix("sync") =>
+        {
+            // `sync::wait*(cv, guard, ..)` releases its guard argument;
+            // a bare `x.wait()` releases nothing we can see.
+            let releases = if prev_dot {
+                first_arg_ident(tokens, i + 1)
+            } else {
+                second_arg_ident(tokens, i + 1)
+            };
+            st.blocks
+                .push(("condvar-wait".to_string(), t.line, releases));
+            Some(i + 2)
+        }
+        name if prev_dot && BLOCKING_METHODS.contains(&name) => {
+            st.blocks.push((name.to_string(), t.line, None));
+            Some(i + 2)
+        }
+        name => {
+            for (module, primitive) in BLOCKING_PATHS {
+                if name == *primitive && path_prefix(module) {
+                    st.blocks
+                        .push((format!("{module}::{primitive}"), t.line, None));
+                    return Some(i + 2);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Walks a `a.b.c` receiver chain backwards from the `.` at `dot`.
+fn back_chain(tokens: &[Token], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut k = dot;
+    loop {
+        if !tokens[k].is_punct('.') || k == 0 {
+            break;
+        }
+        let prev = &tokens[k - 1];
+        if prev.kind != TokenKind::Ident {
+            // `foo().bar(..)`, `xs[i].bar(..)` — not a plain path.
+            chain.clear();
+            break;
+        }
+        chain.push(prev.text.clone());
+        if k < 2 {
+            break;
+        }
+        k -= 2;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Reads the `&path.to.mutex` argument of `sync::lock(..)` /
+/// `sync::lock_class("class", ..)` starting just after the `(`.
+fn arg_chain(tokens: &[Token], open: usize, skip_literal: bool) -> Vec<String> {
+    let mut k = open + 1;
+    if skip_literal {
+        // Skip the class-name literal and its comma.
+        while k < tokens.len() && !tokens[k].is_punct(',') {
+            k += 1;
+        }
+        k += 1;
+    }
+    let mut chain = Vec::new();
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('&') => {}
+            TokenKind::Ident if t.text == "mut" => {}
+            TokenKind::Ident => {
+                chain.push(t.text.clone());
+                if !tokens.get(k + 1).is_some_and(|n| n.is_punct('.')) {
+                    break;
+                }
+                k += 1; // skip the `.`
+            }
+            _ => break,
+        }
+        k += 1;
+    }
+    chain
+}
+
+fn first_arg_ident(tokens: &[Token], open: usize) -> Option<String> {
+    let t = tokens.get(open + 1)?;
+    if t.kind == TokenKind::Ident
+        && tokens
+            .get(open + 2)
+            .is_some_and(|n| n.is_punct(')') || n.is_punct(','))
+    {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// The second argument of `sync::wait*(&cv, guard, ..)` when it is a
+/// single identifier.
+fn second_arg_ident(tokens: &[Token], open: usize) -> Option<String> {
+    let mut k = open + 1;
+    let mut depth = 0i32;
+    while k < tokens.len() {
+        match tokens[k].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(',') if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let t = tokens.get(k + 1)?;
+    if t.kind == TokenKind::Ident
+        && tokens
+            .get(k + 2)
+            .is_some_and(|n| n.is_punct(')') || n.is_punct(','))
+    {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// Lock class from a receiver/argument chain: the final field name,
+/// prefixed with the owning type when that is unambiguous
+/// workspace-wide (`"CacheStore.shards"`). Bare variables keep their
+/// name; an unrecognizable receiver gets a site-unique class so it
+/// can never alias another lock into a false cycle.
+fn classify_lock_chain(
+    chain: &[String],
+    line: u32,
+    mutex_fields: &HashMap<String, Vec<String>>,
+) -> String {
+    match chain.len() {
+        0 => format!("?anon@{line}"),
+        1 => chain[0].clone(),
+        _ => {
+            let field = chain.last().expect("non-empty chain");
+            match mutex_fields.get(field) {
+                Some(owners) if owners.len() == 1 => format!("{}.{field}", owners[0]),
+                _ => field.clone(),
+            }
+        }
+    }
+}
+
+fn receiver_of(tokens: &[Token], i: usize) -> Receiver {
+    if i >= 1 && tokens[i - 1].is_punct('.') {
+        let chain = back_chain(tokens, i - 1);
+        return match chain.len() {
+            0 => Receiver::Other,
+            1 if chain[0] == "self" => Receiver::SelfDot,
+            1 => Receiver::Var(chain[0].clone()),
+            _ => Receiver::Field(chain.last().expect("non-empty").clone()),
+        };
+    }
+    if i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].kind == TokenKind::Ident
+    {
+        return Receiver::Path(tokens[i - 3].text.clone());
+    }
+    Receiver::Free
+}

@@ -1,4 +1,5 @@
-//! The eight workspace invariants, R1–R8.
+//! The workspace invariants: token-level rules R1–R8 and the
+//! interprocedural rules R5v2/R9/R10.
 //!
 //! Each rule maps a paper-level soundness condition to a mechanical
 //! check over the token-level source model (see `DESIGN.md` §7 for the
@@ -24,7 +25,44 @@
 //! - **R8 `trace-discipline`** — no `root_span` minting outside the
 //!   allowlisted edge-of-the-world sites; servers and middleware must
 //!   continue propagated contexts so one request stays one trace.
+//!
+//! The interprocedural rules run over the call-graph model in
+//! [`crate::model`] / [`crate::callgraph`]:
+//!
+//! - **R5v2 `lock-order-graph`** — the whole-workspace lock-acquisition
+//!   graph (edges cross function boundaries via per-function lock
+//!   summaries) must be cycle-free; diagnostics carry the full
+//!   `f -> g -> h` witness chain for every edge of the cycle.
+//! - **R9 `no-blocking-under-lock`** — no potentially blocking call
+//!   (socket read/write, condvar wait, `TcpStream::connect`, sleep) and
+//!   no call into transitively blocking code while a guard is held; a
+//!   condvar wait on the *only* held guard is exempt, since it releases
+//!   that guard while parked.
+//! - **R10 `budget-accounting`** — every `StoredResponse` variant sizes
+//!   itself in a same-file `approximate_size` with no wildcard arm, and
+//!   every `CacheStore` function accepting a `StoredResponse` reaches an
+//!   `approximate_size` call, so new representations cannot silently
+//!   escape the store's byte budget.
+//!
+//! # Adding a rule
+//!
+//! 1. Pick the next code and a kebab-case id; append both to [`RULES`]
+//!    (the id doubles as the `wsrc-allow(<id>): reason` suppression key
+//!    and the SARIF rule id — never reuse or renumber).
+//! 2. Token-local checks get a `rule_*` function over one
+//!    [`SourceFile`], called from [`run`]; interprocedural checks go in
+//!    `callgraph.rs::check` where the workspace model, call graph and
+//!    lock summaries already exist.
+//! 3. Emit [`Diagnostic`]s with a real file/line anchor (that is where
+//!    suppressions are looked up) and a message that says *why* the
+//!    invariant matters, not just what matched.
+//! 4. Add a `<rule>_trigger.rs` / `<rule>_clean.rs` fixture pair under
+//!    `tests/corpus/` (names must be unique corpus-wide: the whole
+//!    corpus is scanned as one model) and extend `tests/corpus.rs`.
+//! 5. Document the paper-soundness mapping in `DESIGN.md` §7 and the
+//!    README's analyzer section.
 
+use crate::callgraph;
 use crate::scan::SourceFile;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -84,6 +122,21 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R8",
         "trace-discipline",
         "no root_span minting outside allowlisted trace-origin sites",
+    ),
+    (
+        "R5v2",
+        "lock-order-graph",
+        "no cycles in the whole-workspace lock-acquisition graph (interprocedural)",
+    ),
+    (
+        "R9",
+        "no-blocking-under-lock",
+        "no potentially blocking call while a lock guard is held (condvar wait on the only held guard exempt)",
+    ),
+    (
+        "R10",
+        "budget-accounting",
+        "every StoredResponse variant and CacheStore insert path charges approximate_size to the byte budget",
     ),
 ];
 
@@ -170,9 +223,23 @@ fn path_in(path: &str, needles: &[&str]) -> bool {
     needles.iter().any(|n| path.contains(n))
 }
 
+/// Full analysis result: diagnostics plus the call-resolution report.
+pub struct RunOutput {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Lock-relevant call sites the resolver could not bind.
+    pub unresolved: Vec<callgraph::UnresolvedSite>,
+    /// Effect-free unresolved sites (counted, not listed).
+    pub benign_unresolved: usize,
+}
+
 /// Runs every rule over `files` and returns unsuppressed diagnostics,
-/// sorted by path and line. Malformed suppressions are always reported.
+/// sorted by (path, line, code) and deduped so output is byte-stable.
 pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    run_full(files).diagnostics
+}
+
+/// [`run`], plus the unresolved-call bucket from the call graph.
+pub fn run_full(files: &[SourceFile]) -> RunOutput {
     let mut diags = Vec::new();
     rule_repr_safety(files, &mut diags);
     for file in files {
@@ -193,6 +260,8 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
             });
         }
     }
+    let inter = callgraph::check(files);
+    diags.extend(inter.diagnostics);
     // Apply suppressions (S0 is never suppressible).
     let by_path: HashMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
     diags.retain(|d| {
@@ -202,8 +271,15 @@ pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
                 .map(|f| f.is_suppressed(d.rule, d.line))
                 .unwrap_or(false)
     });
-    diags.sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
-    diags
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.code, &a.message).cmp(&(&b.path, b.line, b.code, &b.message))
+    });
+    diags.dedup();
+    RunOutput {
+        diagnostics: diags,
+        unresolved: inter.unresolved,
+        benign_unresolved: inter.benign_unresolved,
+    }
 }
 
 /// R1: build the name-keyed type graph from non-test declarations, walk
@@ -496,7 +572,7 @@ fn rule_lock_ordering(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
 
 fn is_lock_call(file: &SourceFile, i: usize) -> bool {
     let toks = &file.tokens;
-    if !toks[i].is_ident("lock") {
+    if !toks[i].is_ident("lock") && !toks[i].is_ident("lock_class") {
         return false;
     }
     let called = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);

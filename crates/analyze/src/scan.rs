@@ -41,6 +41,9 @@ pub struct FnSpan {
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the function-name identifier (the signature —
+    /// generics, parameters, return type — sits between it and `body.0`).
+    pub name_idx: usize,
     /// Token indices of the opening and closing body braces (inclusive).
     pub body: (usize, usize),
 }
@@ -146,7 +149,7 @@ fn parse_suppression(line: u32, text: &str, file: &mut SourceFile) {
 
 /// Finds the token index of the brace matching the opening brace at
 /// `open` (which must be `{`). Returns the last token on failure.
-fn matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         match t.kind {
@@ -340,6 +343,7 @@ fn find_fns(file: &mut SourceFile) {
             fns.push(FnSpan {
                 name: name_tok.text.clone(),
                 line: tokens[i].line,
+                name_idx: i + 1,
                 body: (j, close),
             });
         }

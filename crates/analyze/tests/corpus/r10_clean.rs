@@ -1,0 +1,30 @@
+//! Corpus fixture: R10 clean — every representation sizes itself
+//! (or-pattern groups count once per group), no wildcard arm, and the
+//! insert path charges `approximate_size` before storing.
+
+pub enum StoredResponse {
+    NanoText(String),
+    NanoBlob(Vec<u8>),
+    NanoPair(String, Vec<u8>),
+}
+
+impl StoredResponse {
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            StoredResponse::NanoText(s) => s.len(),
+            StoredResponse::NanoBlob(b) | StoredResponse::NanoPair(_, b) => b.len() + 16,
+        }
+    }
+}
+
+pub struct CacheStore {
+    pub entries_r10c: Vec<(String, StoredResponse)>,
+    pub budget_used_r10c: usize,
+}
+
+impl CacheStore {
+    pub fn r10c_insert(&mut self, key: String, stored: StoredResponse) {
+        self.budget_used_r10c += stored.approximate_size() + key.len();
+        self.entries_r10c.push((key, stored));
+    }
+}

@@ -1,0 +1,30 @@
+//! Corpus fixture: R10 budget-accounting violations.
+//!
+//! Three distinct failures: a wildcard arm in `approximate_size`
+//! (future variants default-size silently), a variant that never
+//! computes a size, and a `CacheStore` insert path that stores a
+//! `StoredResponse` without ever charging it to the byte budget.
+
+pub enum StoredResponse {
+    TinyText(String),
+    TinyBlob(Vec<u8>),
+}
+
+impl StoredResponse {
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            StoredResponse::TinyText(s) => s.capacity(),
+            _ => 8,
+        }
+    }
+}
+
+pub struct CacheStore {
+    pub entries_r10t: Vec<(String, StoredResponse)>,
+}
+
+impl CacheStore {
+    pub fn r10t_insert(&mut self, key: String, stored: StoredResponse) {
+        self.entries_r10t.push((key, stored));
+    }
+}

@@ -1,0 +1,24 @@
+//! Corpus fixture: R5v2 clean — cross-function lock use with one
+//! consistent acquisition order (`eps` strictly before `zeta`), so the
+//! workspace acquisition graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct PairEpsZeta {
+    pub eps: Mutex<u32>,
+    pub zeta: Mutex<u32>,
+}
+
+pub fn r5v2c_ez(p: &PairEpsZeta) -> u32 {
+    let held = p.eps.lock().unwrap_or_else(|e| e.into_inner());
+    *held + r5v2c_take_zeta(p)
+}
+
+pub fn r5v2c_take_zeta(p: &PairEpsZeta) -> u32 {
+    *p.zeta.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn r5v2c_ez_again(p: &PairEpsZeta) -> u32 {
+    let held = p.eps.lock().unwrap_or_else(|e| e.into_inner());
+    *held + r5v2c_take_zeta(p)
+}

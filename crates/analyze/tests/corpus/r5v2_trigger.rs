@@ -1,0 +1,35 @@
+//! Corpus fixture: R5v2 lock-order-graph violation.
+//!
+//! No single function nests two guards (old R5 stays quiet), but the
+//! workspace-level acquisition graph has a cycle:
+//! `r5v2_ab` takes `alpha` then calls into `beta`, while `r5v2_ba`
+//! takes `beta` then calls into `alpha`. Two threads running the two
+//! paths deadlock. The diagnostic must carry both witness chains.
+//!
+//! This is the same inversion the runtime witness stress test
+//! (`crates/obs/tests/lock_witness.rs`) provokes dynamically.
+
+use std::sync::Mutex;
+
+pub struct PairAlphaBeta {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+pub fn r5v2_ab(p: &PairAlphaBeta) -> u32 {
+    let held = p.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    *held + r5v2_take_beta(p)
+}
+
+pub fn r5v2_take_beta(p: &PairAlphaBeta) -> u32 {
+    *p.beta.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn r5v2_ba(p: &PairAlphaBeta) -> u32 {
+    let held = p.beta.lock().unwrap_or_else(|e| e.into_inner());
+    *held + r5v2_take_alpha(p)
+}
+
+pub fn r5v2_take_alpha(p: &PairAlphaBeta) -> u32 {
+    *p.alpha.lock().unwrap_or_else(|e| e.into_inner())
+}

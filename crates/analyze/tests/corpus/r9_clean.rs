@@ -1,0 +1,30 @@
+//! Corpus fixture: R9 clean — blocking I/O happens only after the guard
+//! is released, and a condvar wait (which atomically releases the guard
+//! it was given) is exempt.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+pub struct DeltaQueue {
+    pub delta: Mutex<Vec<u8>>,
+    pub delta_cv: Condvar,
+}
+
+pub fn r9c_wait_for_data(q: &DeltaQueue) -> Vec<u8> {
+    let mut held = q.delta.lock().unwrap_or_else(|e| e.into_inner());
+    while held.is_empty() {
+        held = q.delta_cv.wait(held).unwrap_or_else(|e| e.into_inner());
+    }
+    std::mem::take(&mut held)
+}
+
+pub fn r9c_read_then_store(q: &DeltaQueue, stream: &mut TcpStream) {
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    {
+        let mut held = q.delta.lock().unwrap_or_else(|e| e.into_inner());
+        held.extend_from_slice(&buf[..n]);
+    }
+    q.delta_cv.notify_one();
+}

@@ -1,0 +1,33 @@
+//! Corpus fixture: R9 no-blocking-under-lock violations.
+//!
+//! `r9_direct_read` performs a maybe-blocking socket read while holding
+//! a mutex guard; `r9_transitive` holds the same class and calls a
+//! helper whose summary blocks. Both must be flagged, the second with a
+//! call-chain witness.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct GammaState {
+    pub gamma: Mutex<Vec<u8>>,
+}
+
+pub fn r9_direct_read(s: &GammaState, stream: &mut TcpStream) {
+    let mut buf = [0u8; 64];
+    let mut held = s.gamma.lock().unwrap_or_else(|e| e.into_inner());
+    let n = stream.read(&mut buf).unwrap_or(0);
+    held.extend_from_slice(&buf[..n]);
+}
+
+pub fn r9_transitive(s: &GammaState, stream: &mut TcpStream) {
+    let mut held = s.gamma.lock().unwrap_or_else(|e| e.into_inner());
+    let chunk = r9_blocking_helper(stream);
+    held.extend_from_slice(&chunk);
+}
+
+pub fn r9_blocking_helper(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    buf[..n].to_vec()
+}

@@ -1,0 +1,34 @@
+//! Corpus fixture: exercises the unresolved-call bucket.
+//!
+//! `aliased` is an untyped local, so `aliased.acquire_omega()` cannot
+//! be bound: two workspace methods share the name and both acquire a
+//! lock, making the site lock-relevant. It must be *reported* in the
+//! unresolved bucket (never silently dropped) but must not produce a
+//! violation — soundness gaps are surfaced, not guessed at.
+
+use std::sync::Mutex;
+
+pub struct OmegaOne {
+    pub omega_a: Mutex<u32>,
+}
+
+pub struct OmegaTwo {
+    pub omega_b: Mutex<u32>,
+}
+
+impl OmegaOne {
+    pub fn acquire_omega(&self) -> u32 {
+        *self.omega_a.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl OmegaTwo {
+    pub fn acquire_omega(&self) -> u32 {
+        *self.omega_b.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub fn omega_untyped(one: &OmegaOne) -> u32 {
+    let aliased = one;
+    aliased.acquire_omega()
+}

@@ -38,14 +38,14 @@ struct Flight {
 
 impl Flight {
     fn wait(&self) {
-        let mut done = sync::lock(&self.done);
+        let mut done = sync::lock_class("Flight.done", &self.done);
         while !*done {
-            done = sync::wait(&self.cv, done);
+            done = sync::wait_class(&self.cv, done);
         }
     }
 
     fn complete(&self) {
-        *sync::lock(&self.done) = true;
+        *sync::lock_class("Flight.done", &self.done) = true;
         self.cv.notify_all();
     }
 }
@@ -83,7 +83,7 @@ impl LeaderGuard {
 
 impl Drop for LeaderGuard {
     fn drop(&mut self) {
-        sync::lock(&self.table.flights).remove(&self.key);
+        sync::lock_class("InflightTable.flights", &self.table.flights).remove(&self.key);
         self.flight.complete();
     }
 }
@@ -99,7 +99,7 @@ impl InflightTable {
     /// followers.
     pub fn join(self: &Arc<Self>, key: CacheKey) -> Role {
         let existing = {
-            let mut flights = sync::lock(&self.flights);
+            let mut flights = sync::lock_class("InflightTable.flights", &self.flights);
             match flights.get(&key) {
                 Some(existing) => existing.clone(),
                 None => {

@@ -517,7 +517,7 @@ impl CacheStore {
     /// `If-Modified-Since` handshake).
     pub fn get(&self, key: &CacheKey, now_millis: u64) -> Lookup {
         let hash = hash_key(key);
-        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let Some(idx) = shard.find(hash, key) else {
             return Lookup::Absent;
         };
@@ -554,7 +554,7 @@ impl CacheStore {
     /// revalidation. Returns whether the entry was present.
     pub fn refresh(&self, key: &CacheKey, expires_at_millis: u64) -> bool {
         let hash = hash_key(key);
-        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let Some(idx) = shard.find(hash, key) else {
             return false;
         };
@@ -597,7 +597,7 @@ impl CacheStore {
         }
         let validator: Option<Arc<str>> = validator.map(Arc::from);
         let hash = hash_key(&key);
-        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let pinned = match shard.find(hash, &key) {
             Some(idx) => {
                 shard.replace(idx, stored, expires_at_millis, size_bytes, validator);
@@ -632,7 +632,7 @@ impl CacheStore {
     /// Removes one entry. Returns whether it was present.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
         let hash = hash_key(key);
-        let mut shard = sync::lock(&self.shards[self.shard_index(hash)]);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let Some(idx) = shard.find(hash, key) else {
             return false;
         };
@@ -642,7 +642,7 @@ impl CacheStore {
     /// Removes everything.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = sync::lock(shard);
+            let mut shard = sync::lock_class("CacheStore.shards", shard);
             shard.clear();
         }
     }
@@ -656,7 +656,7 @@ impl CacheStore {
         let mut entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
-            let shard = sync::lock(shard);
+            let shard = sync::lock_class("CacheStore.shards", shard);
             entries += shard.entries;
             bytes += shard.bytes;
         }
@@ -693,7 +693,7 @@ impl CacheStore {
     /// A description of the first violated invariant.
     pub fn audit(&self) -> Result<(), String> {
         for (shard_no, shard) in self.shards.iter().enumerate() {
-            let shard = sync::lock(shard);
+            let shard = sync::lock_class("CacheStore.shards", shard);
             shard.check(shard_no)?;
         }
         Ok(())

@@ -122,12 +122,18 @@ impl HttpClient {
     /// Idle pooled connections across all destinations (for tests and
     /// diagnostics).
     pub fn idle_connections(&self) -> usize {
-        sync::lock(&self.pool).values().map(|p| p.idle.len()).sum()
+        sync::lock_class("HttpClient.pool", &self.pool)
+            .values()
+            .map(|p| p.idle.len())
+            .sum()
     }
 
     /// Checked-out connections across all destinations.
     pub fn in_use_connections(&self) -> usize {
-        sync::lock(&self.pool).values().map(|p| p.in_use).sum()
+        sync::lock_class("HttpClient.pool", &self.pool)
+            .values()
+            .map(|p| p.in_use)
+            .sum()
     }
 
     /// Executes a request against `url`, using a pooled connection when
@@ -211,7 +217,7 @@ impl HttpClient {
     /// Drops all idle pooled connections. Checked-out slots are
     /// unaffected and return to an empty pool.
     pub fn clear_pool(&self) {
-        for pool in sync::lock(&self.pool).values_mut() {
+        for pool in sync::lock_class("HttpClient.pool", &self.pool).values_mut() {
             pool.idle.clear();
         }
     }
@@ -222,7 +228,7 @@ impl HttpClient {
         let started = self.clock.now_nanos();
         let deadline = started.saturating_add(duration_nanos(self.config.checkout_timeout));
         let ttl = duration_nanos(self.config.idle_ttl);
-        let mut pool = sync::lock(&self.pool);
+        let mut pool = sync::lock_class("HttpClient.pool", &self.pool);
         loop {
             let now = self.clock.now_nanos();
             let entry = pool.entry(authority.to_string()).or_default();
@@ -247,8 +253,11 @@ impl HttpClient {
             if now >= deadline {
                 return Err(HttpError::PoolExhausted);
             }
-            let (guard, _timed_out) =
-                sync::wait_timeout(&self.slot_freed, pool, Duration::from_nanos(deadline - now));
+            let (guard, _timed_out) = sync::wait_timeout_class(
+                &self.slot_freed,
+                pool,
+                Duration::from_nanos(deadline - now),
+            );
             pool = guard;
         }
     }
@@ -257,7 +266,7 @@ impl HttpClient {
     fn check_in(&self, authority: &str, stream: TcpStream) {
         let now = self.clock.now_nanos();
         {
-            let mut pool = sync::lock(&self.pool);
+            let mut pool = sync::lock_class("HttpClient.pool", &self.pool);
             let entry = pool.entry(authority.to_string()).or_default();
             entry.idle.push(IdleConn {
                 stream,
@@ -272,7 +281,7 @@ impl HttpClient {
     /// `Connection: close`).
     fn release(&self, authority: &str) {
         {
-            let mut pool = sync::lock(&self.pool);
+            let mut pool = sync::lock_class("HttpClient.pool", &self.pool);
             let entry = pool.entry(authority.to_string()).or_default();
             entry.in_use = entry.in_use.saturating_sub(1);
         }

@@ -356,7 +356,7 @@ impl Server {
 
     /// Connections currently waiting in the queue.
     pub fn queued_connections(&self) -> usize {
-        sync::lock(&self.shared.queue).len()
+        sync::lock_class("Shared.queue", &self.shared.queue).len()
     }
 
     /// Requests shutdown and joins the accept loop and every worker.
@@ -376,7 +376,7 @@ impl Server {
             let _ = w.join();
         }
         let drained = {
-            let mut queue = sync::lock(&self.shared.queue);
+            let mut queue = sync::lock_class("Shared.queue", &self.shared.queue);
             let n = queue.len();
             queue.clear();
             n
@@ -406,7 +406,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// when the queue is at capacity.
 fn admit(stream: TcpStream, shared: &Shared) {
     let over_capacity = {
-        let queue = sync::lock(&shared.queue);
+        let queue = sync::lock_class("Shared.queue", &shared.queue);
         queue.len() >= shared.queue_capacity
     };
     if over_capacity {
@@ -425,7 +425,7 @@ fn admit(stream: TcpStream, shared: &Shared) {
 fn enqueue(mut conn: Conn, shared: &Shared) {
     conn.enqueued_nanos = shared.clock.now_nanos();
     let depth = {
-        let mut queue = sync::lock(&shared.queue);
+        let mut queue = sync::lock_class("Shared.queue", &shared.queue);
         queue.push_back(conn);
         queue.len()
     };
@@ -487,7 +487,7 @@ fn worker_loop(shared: Arc<Shared>) {
 
 /// Blocks until a connection is available or shutdown begins.
 fn next_conn(shared: &Shared) -> Option<Conn> {
-    let mut queue = sync::lock(&shared.queue);
+    let mut queue = sync::lock_class("Shared.queue", &shared.queue);
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return None;
@@ -496,7 +496,7 @@ fn next_conn(shared: &Shared) -> Option<Conn> {
             shared.metrics.queue_depth.set(queue.len() as i64);
             return Some(conn);
         }
-        queue = sync::wait(&shared.queue_cv, queue);
+        queue = sync::wait_class(&shared.queue_cv, queue);
     }
 }
 
@@ -529,7 +529,7 @@ fn serve_connection(conn: &mut Conn, shared: &Shared) -> ServeOutcome {
                     if idle >= limit {
                         return ServeOutcome::Close;
                     }
-                    if !sync::lock(&shared.queue).is_empty() {
+                    if !sync::lock_class("Shared.queue", &shared.queue).is_empty() {
                         return ServeOutcome::Requeue;
                     }
                 }
@@ -609,7 +609,9 @@ fn serve_connection(conn: &mut Conn, shared: &Shared) -> ServeOutcome {
         }
         // Fairness between keep-alive connections: yield the worker when
         // peers are queued and this client has nothing buffered yet.
-        if conn.reader.buffer().is_empty() && !sync::lock(&shared.queue).is_empty() {
+        if conn.reader.buffer().is_empty()
+            && !sync::lock_class("Shared.queue", &shared.queue).is_empty()
+        {
             return ServeOutcome::Requeue;
         }
     }

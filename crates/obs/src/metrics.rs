@@ -280,7 +280,7 @@ impl std::fmt::Debug for MetricsRegistry {
         write!(
             f,
             "MetricsRegistry({} metrics)",
-            self.slots.lock().unwrap().len()
+            crate::sync::lock_class("MetricsRegistry.slots", &self.slots).len()
         )
     }
 }
@@ -318,7 +318,7 @@ impl MetricsRegistry {
     /// Panics if the id is already registered as a different kind.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let id = MetricId::new(name, labels);
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = crate::sync::lock_class("MetricsRegistry.slots", &self.slots);
         let slot = slots
             .entry(id)
             .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
@@ -335,7 +335,7 @@ impl MetricsRegistry {
     /// Panics if the id is already registered as a different kind.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = MetricId::new(name, labels);
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = crate::sync::lock_class("MetricsRegistry.slots", &self.slots);
         let slot = slots
             .entry(id)
             .or_insert_with(|| Slot::Gauge(Arc::new(AtomicI64::new(0))));
@@ -352,7 +352,7 @@ impl MetricsRegistry {
     /// Panics if the id is already registered as a different kind.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let id = MetricId::new(name, labels);
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = crate::sync::lock_class("MetricsRegistry.slots", &self.slots);
         let slot = slots
             .entry(id)
             .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCore::new())));
@@ -376,7 +376,7 @@ impl MetricsRegistry {
     /// relaxed loads — the snapshot is consistent per metric, not
     /// across metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let slots = self.slots.lock().unwrap();
+        let slots = crate::sync::lock_class("MetricsRegistry.slots", &self.slots);
         let mut snap = MetricsSnapshot::default();
         for (id, slot) in slots.iter() {
             match slot {

@@ -203,14 +203,16 @@ impl TraceStore {
     /// Registers `trace_id` as owned by an in-process global root, so
     /// provisional (wire-continued) finalizations leave it pending.
     pub fn open_root(&self, trace_id: u128) {
-        sync::lock(&self.inner).open_roots.insert(trace_id);
+        sync::lock_class("TraceStore.inner", &self.inner)
+            .open_roots
+            .insert(trace_id);
     }
 
     /// Accepts a batch of finished spans from a thread buffer.
     pub fn record_batch(&self, batch: Vec<SpanRecord>) {
         let mut dropped = 0u64;
         {
-            let mut inner = sync::lock(&self.inner);
+            let mut inner = sync::lock_class("TraceStore.inner", &self.inner);
             for span in batch {
                 let known = inner.pending.contains_key(&span.trace_id);
                 if !known && inner.pending.len() >= self.config.max_pending {
@@ -242,7 +244,7 @@ impl TraceStore {
         provisional: bool,
     ) {
         let retained = {
-            let mut inner = sync::lock(&self.inner);
+            let mut inner = sync::lock_class("TraceStore.inner", &self.inner);
             if provisional && inner.open_roots.contains(&trace_id) {
                 return;
             }
@@ -292,7 +294,7 @@ impl TraceStore {
 
     /// Retained traces, newest first.
     pub fn recent(&self) -> Vec<StoredTrace> {
-        sync::lock(&self.inner)
+        sync::lock_class("TraceStore.inner", &self.inner)
             .recent
             .iter()
             .rev()
@@ -302,7 +304,7 @@ impl TraceStore {
 
     /// The slowest retained traces across all routes, slowest first.
     pub fn slowest(&self) -> Vec<StoredTrace> {
-        let mut all: Vec<StoredTrace> = sync::lock(&self.inner)
+        let mut all: Vec<StoredTrace> = sync::lock_class("TraceStore.inner", &self.inner)
             .slowest
             .values()
             .flatten()
@@ -319,7 +321,9 @@ impl TraceStore {
 
     /// Traces with spans still awaiting finalization.
     pub fn pending_traces(&self) -> usize {
-        sync::lock(&self.inner).pending.len()
+        sync::lock_class("TraceStore.inner", &self.inner)
+            .pending
+            .len()
     }
 
     /// Renders the store for `GET /trace`:

@@ -1,4 +1,5 @@
-//! Poison-tolerant locking helpers.
+//! Poison-tolerant locking helpers, plus a debug-only lock-order
+//! witness.
 //!
 //! The cache hot path must be panic-free (analyzer rule R4), which rules
 //! out `.lock().unwrap()`. Poisoning only signals that *another* thread
@@ -6,6 +7,27 @@
 //! monotone maps, counters, condvar-paired flags — the data is still
 //! structurally valid, so every caller in this workspace prefers
 //! recovering the guard over propagating a secondary panic.
+//!
+//! # Lock-order witness
+//!
+//! [`lock_class`] is [`lock`] with a *lock class* label — the same
+//! `"Owner.field"` classes the static analyzer's R5v2 rule derives for
+//! the workspace acquisition graph. In debug builds every `lock_class`
+//! acquisition is checked against a process-global edge set: each
+//! thread keeps a stack of the classes it holds, acquiring `B` while
+//! holding `A` records the edge `A -> B` together with a captured
+//! backtrace, and a later acquisition of `A` under `B` **panics**
+//! carrying *both* backtraces — the prior `B`-under-`A` site and the
+//! current inversion. The same cycle is what R5v2 reports statically
+//! (see `crates/analyze/tests/corpus/r5v2_trigger.rs` and the stress
+//! test in `crates/obs/tests/lock_witness.rs`); the witness catches
+//! orders the static model cannot see (trait objects, closures, calls
+//! through `dyn`). In release builds the witness is compiled out and
+//! [`lock_class`] costs exactly one poison-recovering `lock()`.
+//!
+//! Re-acquiring a class already held by the same thread also panics
+//! immediately: with `std::sync::Mutex` that is a guaranteed
+//! self-deadlock, not an ordering question.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 use std::time::Duration;
@@ -32,6 +54,180 @@ pub fn wait_timeout<'a, T>(
 ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
     cv.wait_timeout(guard, timeout)
         .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A [`MutexGuard`] labelled with its lock class. Dereferences to the
+/// protected data; releases the class on the witness stack when
+/// dropped. Obtain one via [`lock_class`].
+pub struct ClassGuard<'a, T> {
+    // `Option` so `wait_class` can move the inner guard out while the
+    // wrapper (and its witness registration) stays alive across the
+    // wait; `None` only ever transiently inside this module.
+    guard: Option<MutexGuard<'a, T>>,
+    class: &'static str,
+}
+
+impl<T> ClassGuard<'_, T> {
+    /// The lock class this guard was acquired under.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+
+    fn inner(&self) -> &MutexGuard<'_, T> {
+        match &self.guard {
+            Some(g) => g,
+            // Unreachable: the Option is only `None` mid-`wait_class`,
+            // while the wrapper is exclusively borrowed there.
+            None => unreachable!("ClassGuard dereferenced without its guard"),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for ClassGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner()
+    }
+}
+
+impl<T> std::ops::DerefMut for ClassGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.guard {
+            Some(g) => g,
+            None => unreachable!("ClassGuard dereferenced without its guard"),
+        }
+    }
+}
+
+impl<T> Drop for ClassGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the inner guard (releasing the mutex) before retiring
+        // the class from this thread's witness stack.
+        if self.guard.take().is_some() {
+            witness::released(self.class);
+        }
+    }
+}
+
+/// [`lock`], labelled with the acquisition's lock class.
+///
+/// `class` should be the analyzer-visible class of `mutex`
+/// (`"Owner.field"`); keeping the two in agreement is what lets a
+/// runtime inversion panic and a static R5v2 diagnostic point at the
+/// same bug. The witness check runs *before* the mutex is touched, so
+/// an inversion panics instead of deadlocking.
+pub fn lock_class<'a, T>(class: &'static str, mutex: &'a Mutex<T>) -> ClassGuard<'a, T> {
+    witness::acquiring(class);
+    ClassGuard {
+        guard: Some(lock(mutex)),
+        class,
+    }
+}
+
+/// [`wait`] for a [`ClassGuard`]: blocks on `cv`, atomically releasing
+/// and reacquiring the guard's mutex. The class stays on the witness
+/// stack for the duration — the wait returns holding the same lock, so
+/// from an ordering perspective nothing was released.
+pub fn wait_class<'a, T>(cv: &Condvar, mut guard: ClassGuard<'a, T>) -> ClassGuard<'a, T> {
+    if let Some(inner) = guard.guard.take() {
+        guard.guard = Some(cv.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+    guard
+}
+
+/// [`wait_timeout`] for a [`ClassGuard`]; see [`wait_class`].
+pub fn wait_timeout_class<'a, T>(
+    cv: &Condvar,
+    mut guard: ClassGuard<'a, T>,
+    timeout: Duration,
+) -> (ClassGuard<'a, T>, WaitTimeoutResult) {
+    // The Option is always `Some` here (no public API removes the inner
+    // guard), but stay panic-free: fall back to a zero wait via the
+    // plain helpers if it ever is not.
+    let inner = guard.guard.take();
+    match inner {
+        Some(g) => {
+            let (g, r) = cv
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.guard = Some(g);
+            (guard, r)
+        }
+        None => unreachable!("wait_timeout_class on an empty ClassGuard"),
+    }
+}
+
+/// Debug-build lock-order witness: per-thread class stacks, a global
+/// first-seen edge set with captured backtraces, and a panic carrying
+/// both stacks when an acquisition inverts a recorded edge.
+#[cfg(debug_assertions)]
+mod witness {
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    thread_local! {
+        /// Classes held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `(held, acquired)` -> backtrace of the first acquisition that
+    /// created the edge. Never pruned: classes are a small static set.
+    fn edges() -> &'static Mutex<HashMap<(&'static str, &'static str), String>> {
+        static EDGES: OnceLock<Mutex<HashMap<(&'static str, &'static str), String>>> =
+            OnceLock::new();
+        EDGES.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub(super) fn acquiring(class: &'static str) {
+        let stack: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+        assert!(
+            !stack.contains(&class),
+            "lock-order witness: thread re-acquires class `{class}` it already holds \
+             (held: {stack:?}); with std::sync::Mutex this self-deadlocks"
+        );
+        if !stack.is_empty() {
+            let bt = Backtrace::force_capture().to_string();
+            let mut map = edges().lock().unwrap_or_else(PoisonError::into_inner);
+            for &under in &stack {
+                if let Some(prior) = map.get(&(class, under)) {
+                    let msg = format!(
+                        "lock-order witness: inversion of `{class}` and `{under}` — this \
+                         thread acquires `{class}` while holding `{under}`, but `{under}` \
+                         was previously acquired while holding `{class}`. Static rule R5v2 \
+                         flags the same cycle.\n\
+                         --- stack that acquired `{under}` under `{class}` ---\n{prior}\n\
+                         --- stack now acquiring `{class}` under `{under}` ---\n{bt}"
+                    );
+                    drop(map);
+                    panic!("{msg}");
+                }
+            }
+            for &under in &stack {
+                map.entry((under, class)).or_insert_with(|| bt.clone());
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(class));
+    }
+
+    pub(super) fn released(class: &'static str) {
+        HELD.with(|h| {
+            let mut s = h.borrow_mut();
+            // Guards may drop out of acquisition order; retire the most
+            // recent instance of the class.
+            if let Some(pos) = s.iter().rposition(|&c| c == class) {
+                s.remove(pos);
+            }
+        });
+    }
+}
+
+/// Release builds: the witness costs nothing.
+#[cfg(not(debug_assertions))]
+mod witness {
+    pub(super) fn acquiring(_class: &'static str) {}
+    pub(super) fn released(_class: &'static str) {}
 }
 
 #[cfg(test)]
@@ -94,5 +290,71 @@ mod tests {
             done = wait(cv, done);
         }
         waker.join().unwrap();
+    }
+
+    #[test]
+    fn class_guard_locks_and_releases() {
+        let m = Mutex::new(41u32);
+        {
+            let mut g = lock_class("tests.m", &m);
+            *g += 1;
+            assert_eq!(g.class(), "tests.m");
+        }
+        // Released: a plain lock succeeds immediately.
+        assert_eq!(*lock(&m), 42);
+    }
+
+    #[test]
+    fn wait_timeout_class_returns_after_deadline() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let guard = lock_class("tests.pair", &pair.0);
+        let (guard, result) =
+            wait_timeout_class(&pair.1, guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert!(!*guard);
+    }
+
+    #[test]
+    fn wait_class_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *lock_class("tests.wake", m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = lock_class("tests.wake", m);
+        while !*done {
+            done = wait_class(cv, done);
+        }
+        waker.join().unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn witness_panics_on_same_thread_reentry() {
+        let m1 = Mutex::new(0u32);
+        let err = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _a = lock_class("tests.reentry", &m1);
+                // Second acquisition of the same class on this thread:
+                // guaranteed deadlock, so the witness panics instead.
+                let m2 = Mutex::new(0u32);
+                let _b = lock_class("tests.reentry", &m2);
+            })
+            .join()
+        })
+        .unwrap_err();
+        let msg = panic_text(&err);
+        assert!(msg.contains("re-acquires class `tests.reentry`"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    fn panic_text(err: &Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
     }
 }
