@@ -628,13 +628,67 @@ fn check_r10(ws: &Workspace, cg: &CallGraph, files: &[SourceFile], out: &mut Vec
             }
         }
     }
-    // Every CacheStore entry point accepting a StoredResponse must
-    // charge it to the budget somewhere on its call path.
+    // Multi-form entries: any file implementing `CacheEntry` must size
+    // the entry in that same file, and the sizing must delegate to the
+    // per-form `approximate_size` so every representation a hit later
+    // materializes stays chargeable to the byte budget.
+    let entry_files: BTreeSet<usize> = ws
+        .fns
+        .iter()
+        .filter(|f| f.owner.as_deref() == Some("CacheEntry"))
+        .map(|f| f.file)
+        .collect();
+    for file in entry_files {
+        let first_line = ws
+            .fns
+            .iter()
+            .filter(|f| f.file == file && f.owner.as_deref() == Some("CacheEntry"))
+            .map(|f| f.line)
+            .min()
+            .unwrap_or(1);
+        let Some(size_fn) = ws.fns.iter().find(|f| {
+            f.file == file
+                && f.name == "approximate_size"
+                && f.owner.as_deref() == Some("CacheEntry")
+        }) else {
+            out.push(Diagnostic {
+                code: "R10",
+                rule: "budget-accounting",
+                path: ws.paths[file].clone(),
+                line: first_line,
+                message: "`CacheEntry` has no same-file `approximate_size` impl; \
+                          a multi-form entry must charge every form to the store's \
+                          byte budget"
+                    .to_string(),
+            });
+            continue;
+        };
+        if !size_fn.calls.iter().any(|c| c.name == "approximate_size") {
+            out.push(Diagnostic {
+                code: "R10",
+                rule: "budget-accounting",
+                path: ws.paths[file].clone(),
+                line: size_fn.line,
+                message: "`CacheEntry::approximate_size` never calls the per-form \
+                          `approximate_size`; forms added by convert-on-hit would \
+                          escape the byte budget"
+                    .to_string(),
+            });
+        }
+    }
+    // Every CacheStore entry point accepting a StoredResponse (a single
+    // form) or a CacheEntry (a multi-form entry) must charge it to the
+    // budget somewhere on its call path.
     let mut reach_memo: HashMap<usize, bool> = HashMap::new();
     for (fi, f) in ws.fns.iter().enumerate() {
-        if f.owner.as_deref() != Some("CacheStore")
-            || !f.param_types.iter().any(|t| t == "StoredResponse")
-        {
+        let Some(stored_param) = f
+            .param_types
+            .iter()
+            .find(|t| *t == "StoredResponse" || *t == "CacheEntry")
+        else {
+            continue;
+        };
+        if f.owner.as_deref() != Some("CacheStore") {
             continue;
         }
         let mut visiting = BTreeSet::new();
@@ -645,7 +699,7 @@ fn check_r10(ws: &Workspace, cg: &CallGraph, files: &[SourceFile], out: &mut Vec
                 path: ws.paths[f.file].clone(),
                 line: f.line,
                 message: format!(
-                    "`CacheStore::{}` accepts a `StoredResponse` but never calls \
+                    "`CacheStore::{}` accepts a `{stored_param}` but never calls \
                      `approximate_size` on any path; entries inserted here escape \
                      the byte budget",
                     f.name

@@ -39,10 +39,12 @@
 //!   condvar wait on the *only* held guard is exempt, since it releases
 //!   that guard while parked.
 //! - **R10 `budget-accounting`** — every `StoredResponse` variant sizes
-//!   itself in a same-file `approximate_size` with no wildcard arm, and
-//!   every `CacheStore` function accepting a `StoredResponse` reaches an
-//!   `approximate_size` call, so new representations cannot silently
-//!   escape the store's byte budget.
+//!   itself in a same-file `approximate_size` with no wildcard arm,
+//!   every `CacheEntry` impl sizes itself by delegating to its forms'
+//!   `approximate_size`, and every `CacheStore` function accepting a
+//!   `StoredResponse` or `CacheEntry` reaches an `approximate_size`
+//!   call, so new representations cannot silently escape the store's
+//!   byte budget.
 //!
 //! # Adding a rule
 //!
@@ -136,7 +138,7 @@ pub const RULES: &[(&str, &str, &str)] = &[
     (
         "R10",
         "budget-accounting",
-        "every StoredResponse variant and CacheStore insert path charges approximate_size to the byte budget",
+        "every StoredResponse variant, CacheEntry form and CacheStore insert path charges approximate_size to the byte budget",
     ),
 ];
 
@@ -199,7 +201,15 @@ const R6_COPY_METHODS: &[&str] = &["to_vec", "to_owned", "into_owned", "clone"];
 /// (the single read-buffer → `Arc<[u8]>` copy at construction) and the
 /// SAX arena (which owns the event buffers and the owned-event
 /// compatibility bridge).
-const R6_ALLOWLIST: &[&str] = &["crates/http/src/body.rs", "crates/xml/src/event.rs"];
+/// `entry.rs` is additionally sanctioned: convert-on-hit materializes a
+/// new representation from a stored form exactly once per (entry,
+/// target), which necessarily copies payload bytes at the conversion
+/// site.
+const R6_ALLOWLIST: &[&str] = &[
+    "crates/http/src/body.rs",
+    "crates/xml/src/event.rs",
+    "crates/core/src/entry.rs",
+];
 
 /// The only file allowed to spawn raw OS threads: the HTTP server's
 /// pool construction (one accept thread plus a fixed set of workers,

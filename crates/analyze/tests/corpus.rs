@@ -168,6 +168,31 @@ fn r10_fixtures() {
     assert_clean("r10_clean.rs");
 }
 
+/// Multi-form entry coverage: `CacheEntry` must delegate sizing to its
+/// forms, and a `CacheStore` path accepting a whole entry must charge
+/// it, same as one accepting a single `StoredResponse`.
+#[test]
+fn r10_entry_fixtures() {
+    let (ok, stdout) = run_deny(&[corpus("r10_entry_trigger.rs")], &[]);
+    assert!(
+        !ok,
+        "r10_entry_trigger.rs must fail --deny; output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[R10/budget-accounting]"),
+        "output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("never calls the per-form"),
+        "non-delegating entry sizing flagged; output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("`CacheStore::r10e_insert`") && stdout.contains("`CacheEntry`"),
+        "uncharged entry insert path flagged; output:\n{stdout}"
+    );
+    assert_clean("r10_entry_clean.rs");
+}
+
 /// Lock-relevant calls the resolver cannot bind are reported, not
 /// silently dropped — and they never fail `--deny` on their own.
 #[test]

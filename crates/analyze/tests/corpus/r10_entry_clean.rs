@@ -1,0 +1,39 @@
+//! Corpus fixture: R10 multi-form entry clean — the entry sums its
+//! forms' own `approximate_size`, and the store charges the whole
+//! entry to the byte budget before storing it.
+
+pub struct BlobForm {
+    pub bytes_r10f: Vec<u8>,
+}
+
+impl BlobForm {
+    pub fn approximate_size(&self) -> usize {
+        self.bytes_r10f.len()
+    }
+}
+
+pub struct CacheEntry {
+    pub forms_r10f: Vec<BlobForm>,
+}
+
+impl CacheEntry {
+    pub fn approximate_size(&self) -> usize {
+        let mut total = 16;
+        for form in &self.forms_r10f {
+            total += form.approximate_size();
+        }
+        total
+    }
+}
+
+pub struct CacheStore {
+    pub entries_r10f: Vec<(String, CacheEntry)>,
+    pub budget_used_r10f: usize,
+}
+
+impl CacheStore {
+    pub fn r10f_insert(&mut self, key: String, entry: CacheEntry) {
+        self.budget_used_r10f += entry.approximate_size() + key.len();
+        self.entries_r10f.push((key, entry));
+    }
+}

@@ -1,0 +1,37 @@
+//! Corpus fixture: R10 multi-form entry violations.
+//!
+//! Two distinct failures: a `CacheEntry::approximate_size` that guesses
+//! a flat per-form constant instead of delegating to each form's own
+//! `approximate_size`, and a `CacheStore` insert path that stores a
+//! whole `CacheEntry` without ever charging it to the byte budget.
+
+pub struct EntryForm {
+    pub bytes_r10e: Vec<u8>,
+}
+
+impl EntryForm {
+    pub fn approximate_size(&self) -> usize {
+        self.bytes_r10e.len()
+    }
+}
+
+pub struct CacheEntry {
+    pub forms_r10e: Vec<EntryForm>,
+}
+
+impl CacheEntry {
+    pub fn approximate_size(&self) -> usize {
+        // Guesses a flat constant: forms added later are never sized.
+        self.forms_r10e.len() * 8
+    }
+}
+
+pub struct CacheStore {
+    pub entries_r10e: Vec<(String, CacheEntry)>,
+}
+
+impl CacheStore {
+    pub fn r10e_insert(&mut self, key: String, entry: CacheEntry) {
+        self.entries_r10e.push((key, entry));
+    }
+}

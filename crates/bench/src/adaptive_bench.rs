@@ -1,0 +1,641 @@
+//! The adaptive-vs-fixed representation benchmark behind the
+//! `bench_adaptive` binary.
+//!
+//! Replays three mixed workloads (read-heavy, churn, balanced) against
+//! one cache per selection policy: the online [`AdaptivePolicy`] and a
+//! fixed forced representation for each of the seven forms. The cost of
+//! a policy on a workload is the summed wall-clock (or fake-clock)
+//! nanoseconds spent inside the cache interaction — lookup, plus the
+//! insert on a miss — so build cost, retrieve cost and convert-on-hit
+//! all land on the meter, exactly the costs the adaptive scorer models.
+//!
+//! The report (`results/BENCH_adaptive.json`) carries per-workload and
+//! aggregate costs plus an `adaptive_wins` verdict: aggregate adaptive
+//! cost no worse than every fixed policy. The full binary exits
+//! non-zero when the verdict is false, so a committed report is a
+//! checked claim. `--smoke` uses a [`ManualClock`] advancing a fixed
+//! tick per operation, making smoke costs a pure function of op counts
+//! (every policy ties, the verdict trivially holds) — smoke asserts
+//! report shape, never speed.
+
+use crate::json::Json;
+use crate::store_bench::{mix, BenchClock};
+use std::sync::Arc;
+use std::time::Duration;
+use wsrc_cache::policy::{AdaptivePolicy, CachePolicy, OperationPolicy};
+use wsrc_cache::repr::ValueRepresentation;
+use wsrc_cache::{ResponseCache, ResponseData};
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_obs::{Clock, MetricsRegistry};
+use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::rpc::RpcRequest;
+use wsrc_soap::serializer::serialize_response;
+use wsrc_xml::event::SaxEventSequence;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "wsrc-bench-adaptive/v1";
+
+const URL: &str = "http://backend.bench/soap";
+const NS: &str = "urn:bench";
+const TTL: Duration = Duration::from_secs(600);
+
+/// Hot-key space for the small-bean operation.
+const ITEM_KEYS: u64 = 32;
+/// Hot-key space for the read-only catalog operation.
+const CATALOG_KEYS: u64 = 8;
+/// Items in the catalog response: cloning, replaying or re-parsing it
+/// per hit is expensive, while sharing it by reference is free.
+const CATALOG_ITEMS: usize = 128;
+/// Bulk payload size for the churn operation (bytes before base64).
+const SEARCH_PAYLOAD: usize = 32 * 1024;
+
+/// Sizing for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct AdaptivePlan {
+    /// Operations replayed per (workload, policy) pair.
+    pub workload_ops: u64,
+    /// Whether this is a smoke run (fake clock, schema check only).
+    pub smoke: bool,
+}
+
+impl AdaptivePlan {
+    /// The full measurement plan (real clock).
+    pub fn full() -> Self {
+        AdaptivePlan {
+            workload_ops: 30_000,
+            smoke: false,
+        }
+    }
+
+    /// The deterministic smoke plan run by `scripts/verify.sh`.
+    pub fn smoke() -> Self {
+        AdaptivePlan {
+            workload_ops: 240,
+            smoke: true,
+        }
+    }
+
+    /// The mode tag stamped into the report.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    fn clock(&self) -> BenchClock {
+        if self.smoke {
+            BenchClock::manual()
+        } else {
+            BenchClock::monotonic()
+        }
+    }
+}
+
+/// One workload mix: percentages for the two hot operations; the
+/// remainder goes to the always-unique-key churn operation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Report name for the workload.
+    pub name: &'static str,
+    /// Percent of ops hitting `getItem` over [`ITEM_KEYS`] hot keys.
+    pub item_pct: u64,
+    /// Percent of ops hitting `getCatalog` over [`CATALOG_KEYS`] hot
+    /// keys.
+    pub catalog_pct: u64,
+}
+
+/// The three mixed workloads every policy is measured on.
+pub const WORKLOADS: [WorkloadSpec; 3] = [
+    // Hit-dominated: retrieve cost decides; fixed XML re-parses per hit.
+    WorkloadSpec {
+        name: "read-heavy",
+        item_pct: 70,
+        catalog_pct: 25,
+    },
+    // Insert-dominated: build cost decides; fixed copying policies pay
+    // a bulk clone per miss that the zero-copy forms never pay.
+    WorkloadSpec {
+        name: "churn",
+        item_pct: 20,
+        catalog_pct: 10,
+    },
+    // Neither side dominates; a single fixed form loses somewhere.
+    WorkloadSpec {
+        name: "balanced",
+        item_pct: 40,
+        catalog_pct: 30,
+    },
+];
+
+/// Measured outcome of one (workload, policy) pair.
+#[derive(Debug, Clone)]
+pub struct PolicyResult {
+    /// Policy label: `adaptive` or `fixed/<representation>`.
+    pub policy: String,
+    /// Operations replayed.
+    pub ops: u64,
+    /// Summed nanoseconds inside the cache interaction.
+    pub total_cost_nanos: u64,
+    /// Cache hits over the run.
+    pub hits: u64,
+    /// Cache misses over the run.
+    pub misses: u64,
+    /// Convert-on-hit materializations over the run.
+    pub conversions: u64,
+}
+
+impl PolicyResult {
+    /// Mean cost per operation.
+    pub fn cost_per_op(&self) -> f64 {
+        self.total_cost_nanos as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// All policies measured on one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The workload's report name.
+    pub workload: &'static str,
+    /// One row per policy, adaptive first.
+    pub results: Vec<PolicyResult>,
+}
+
+/// The policy label for the adaptive row.
+pub const ADAPTIVE_LABEL: &str = "adaptive";
+
+fn fixed_label(repr: ValueRepresentation) -> String {
+    format!("fixed/{}", repr.metric_label())
+}
+
+/// One operation's canonical request/response material, produced once
+/// through the real SOAP pipeline and shared (Arc-backed) across every
+/// insert, as on the real exchange path.
+struct OpFixture {
+    op: &'static str,
+    xml: Arc<[u8]>,
+    events: Arc<SaxEventSequence>,
+    value: Value,
+    expected: FieldType,
+}
+
+impl OpFixture {
+    fn build(op: &'static str, value: Value, expected: FieldType, registry: &TypeRegistry) -> Self {
+        let xml =
+            serialize_response(NS, op, "return", &value, registry).expect("serialize fixture");
+        let (_, events) = read_response_xml_recording(&xml, &expected, registry).expect("record");
+        OpFixture {
+            op,
+            xml: Arc::from(xml.into_bytes()),
+            events: Arc::new(events),
+            value,
+            expected,
+        }
+    }
+
+    fn data(&self) -> ResponseData<'_> {
+        ResponseData {
+            xml: &self.xml,
+            events: &self.events,
+            value: &self.value,
+        }
+    }
+}
+
+/// The three operations: a small mutable bean (hot reads), a large
+/// read-only catalog bean (share-by-reference is free, every copying
+/// or re-parsing representation pays per hit) and a bulk byte payload
+/// (churn inserts where a copying build is expensive).
+struct Fixtures {
+    registry: TypeRegistry,
+    item: OpFixture,
+    catalog: OpFixture,
+    search: OpFixture,
+}
+
+impl Fixtures {
+    fn build() -> Self {
+        let registry = TypeRegistry::builder()
+            .register(TypeDescriptor::new(
+                "Item",
+                vec![
+                    FieldDescriptor::new("name", FieldType::String),
+                    FieldDescriptor::new("qty", FieldType::Int),
+                ],
+            ))
+            .register(TypeDescriptor::new(
+                "Catalog",
+                vec![FieldDescriptor::new(
+                    "items",
+                    FieldType::ArrayOf(Box::new(FieldType::Struct("Item".into()))),
+                )],
+            ))
+            .build();
+        let item = OpFixture::build(
+            "getItem",
+            Value::Struct(
+                StructValue::new("Item")
+                    .with("name", "bench-item")
+                    .with("qty", 7),
+            ),
+            FieldType::Struct("Item".into()),
+            &registry,
+        );
+        let catalog_items: Vec<Value> = (0..CATALOG_ITEMS)
+            .map(|i| {
+                Value::Struct(
+                    StructValue::new("Item")
+                        .with("name", format!("catalog-item-{i:04}"))
+                        .with("qty", i as i32),
+                )
+            })
+            .collect();
+        let catalog = OpFixture::build(
+            "getCatalog",
+            Value::Struct(StructValue::new("Catalog").with("items", Value::Array(catalog_items))),
+            FieldType::Struct("Catalog".into()),
+            &registry,
+        );
+        let search = OpFixture::build(
+            "search",
+            Value::Bytes(vec![0xAB; SEARCH_PAYLOAD]),
+            FieldType::Bytes,
+            &registry,
+        );
+        Fixtures {
+            registry,
+            item,
+            catalog,
+            search,
+        }
+    }
+
+    /// Picks the operation and key id for op `i` under `spec`.
+    fn pick(&self, spec: &WorkloadSpec, i: u64) -> (&OpFixture, u64) {
+        let r = mix(0, i);
+        let roll = r % 100;
+        if roll < spec.item_pct {
+            (&self.item, r % ITEM_KEYS)
+        } else if roll < spec.item_pct + spec.catalog_pct {
+            (&self.catalog, r % CATALOG_KEYS)
+        } else {
+            // Unique key per op index: every churn op is a miss+insert.
+            (&self.search, i)
+        }
+    }
+}
+
+/// Builds the cache under test. `None` is the adaptive policy; `Some`
+/// forces that representation for every operation. The catalog
+/// operation is declared read-only for every cache alike — it is an
+/// attribute of the operation, not of the selection policy — which
+/// admits pass-by-reference as a candidate there.
+fn build_cache(
+    fixtures: &Fixtures,
+    clock: &BenchClock,
+    forced: Option<ValueRepresentation>,
+) -> ResponseCache {
+    let mut default = OperationPolicy::cacheable(TTL);
+    if let Some(repr) = forced {
+        default = default.with_representation(repr);
+    }
+    let catalog = default.clone().with_read_only();
+    let mut builder = ResponseCache::builder(fixtures.registry.clone())
+        .policy(
+            CachePolicy::new()
+                .with_default(default)
+                .with(fixtures.catalog.op, catalog),
+        )
+        .clock(clock.handle())
+        .metrics(Arc::new(MetricsRegistry::new()))
+        .metrics_label("bench-adaptive");
+    if forced.is_none() {
+        builder = builder.adaptive(Arc::new(AdaptivePolicy::new()));
+    }
+    builder.build()
+}
+
+/// Replays one workload against one cache and meters the interaction.
+fn run_policy(
+    plan: &AdaptivePlan,
+    fixtures: &Fixtures,
+    spec: &WorkloadSpec,
+    forced: Option<ValueRepresentation>,
+) -> PolicyResult {
+    let clock = plan.clock();
+    let cache = build_cache(fixtures, &clock, forced);
+    let mut total_cost_nanos = 0u64;
+    for i in 0..plan.workload_ops {
+        let (fixture, key_id) = fixtures.pick(spec, i);
+        let request = RpcRequest::new(NS, fixture.op).with_param("id", key_id as i64);
+        let t0 = clock.now_nanos();
+        let hit = cache.lookup(URL, &request, &fixture.expected);
+        if hit.is_none() {
+            std::hint::black_box(cache.insert(URL, &request, fixture.data()));
+        }
+        clock.tick();
+        total_cost_nanos += clock.now_nanos().saturating_sub(t0);
+        std::hint::black_box(hit);
+    }
+    let stats = cache.stats();
+    PolicyResult {
+        policy: forced.map_or_else(|| ADAPTIVE_LABEL.to_string(), fixed_label),
+        ops: plan.workload_ops,
+        total_cost_nanos: total_cost_nanos.max(1),
+        hits: stats.hits,
+        misses: stats.misses,
+        conversions: stats.conversions,
+    }
+}
+
+/// Runs every workload against the adaptive policy and all seven fixed
+/// policies, in a stable order (adaptive first, then `ALL_EXTENDED`).
+pub fn run_plan(plan: &AdaptivePlan) -> Vec<WorkloadResult> {
+    let fixtures = Fixtures::build();
+    WORKLOADS
+        .iter()
+        .map(|spec| {
+            let mut results = vec![run_policy(plan, &fixtures, spec, None)];
+            for repr in ValueRepresentation::ALL_EXTENDED {
+                results.push(run_policy(plan, &fixtures, spec, Some(repr)));
+            }
+            WorkloadResult {
+                workload: spec.name,
+                results,
+            }
+        })
+        .collect()
+}
+
+/// Sums each policy's cost across workloads, preserving row order.
+pub fn aggregate(workloads: &[WorkloadResult]) -> Vec<PolicyResult> {
+    let mut rows: Vec<PolicyResult> = Vec::new();
+    for wl in workloads {
+        for r in &wl.results {
+            match rows.iter_mut().find(|row| row.policy == r.policy) {
+                Some(row) => {
+                    row.ops += r.ops;
+                    row.total_cost_nanos += r.total_cost_nanos;
+                    row.hits += r.hits;
+                    row.misses += r.misses;
+                    row.conversions += r.conversions;
+                }
+                None => rows.push(r.clone()),
+            }
+        }
+    }
+    rows
+}
+
+/// The headline verdict: the adaptive aggregate cost is no worse than
+/// every fixed policy's aggregate cost.
+pub fn adaptive_wins(aggregate: &[PolicyResult]) -> bool {
+    let Some(adaptive) = aggregate.iter().find(|r| r.policy == ADAPTIVE_LABEL) else {
+        return false;
+    };
+    aggregate
+        .iter()
+        .filter(|r| r.policy != ADAPTIVE_LABEL)
+        .all(|r| adaptive.total_cost_nanos <= r.total_cost_nanos)
+}
+
+fn result_to_json(r: &PolicyResult) -> String {
+    format!(
+        "{{\"policy\":\"{}\",\"ops\":{},\"total_cost_nanos\":{},\
+         \"cost_per_op_nanos\":{:.1},\"hits\":{},\"misses\":{},\"conversions\":{}}}",
+        r.policy,
+        r.ops,
+        r.total_cost_nanos,
+        r.cost_per_op(),
+        r.hits,
+        r.misses,
+        r.conversions
+    )
+}
+
+/// Renders the report document (see [`SCHEMA`]).
+pub fn report_to_json(mode: &str, workloads: &[WorkloadResult]) -> String {
+    let body = workloads
+        .iter()
+        .map(|wl| {
+            let rows = wl
+                .results
+                .iter()
+                .map(|r| format!("      {}", result_to_json(r)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "    {{\"workload\":\"{}\",\"results\":[\n{rows}\n    ]}}",
+                wl.workload
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let agg = aggregate(workloads);
+    let agg_rows = agg
+        .iter()
+        .map(|r| format!("    {}", result_to_json(r)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let wins = adaptive_wins(&agg);
+    format!(
+        "{{\n  \"schema\":\"{SCHEMA}\",\n  \"mode\":\"{mode}\",\n  \
+         \"workloads\":[\n{body}\n  ],\n  \
+         \"aggregate\":[\n{agg_rows}\n  ],\n  \
+         \"adaptive_wins\":{wins}\n}}\n"
+    )
+}
+
+/// Structural validation of a report document: schema tag, mode, all
+/// three workloads each carrying the adaptive row and one row per fixed
+/// representation, an aggregate consistent with the per-workload sums,
+/// and an `adaptive_wins` flag consistent with the aggregate. Timings
+/// are deliberately not bounded — smoke asserts shape, not speed.
+pub fn validate_report(json: &str) -> Result<(), String> {
+    let doc = Json::parse(json)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag: {other:?}")),
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("bad mode: {other:?}")),
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("missing workloads array")?;
+    if workloads.len() < WORKLOADS.len() {
+        return Err(format!(
+            "expected at least {} workloads, found {}",
+            WORKLOADS.len(),
+            workloads.len()
+        ));
+    }
+    let mut expected_rows: Vec<String> = vec![ADAPTIVE_LABEL.to_string()];
+    expected_rows.extend(
+        ValueRepresentation::ALL_EXTENDED
+            .iter()
+            .map(|r| fixed_label(*r)),
+    );
+    let mut sums: Vec<(String, u64)> = Vec::new();
+    for wl in workloads {
+        let name = wl
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("workload missing name")?;
+        let results = wl
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: missing results array"))?;
+        for policy in &expected_rows {
+            let row = results
+                .iter()
+                .find(|r| r.get("policy").and_then(Json::as_str) == Some(policy))
+                .ok_or_else(|| format!("{name}: missing row for policy {policy}"))?;
+            for field in ["ops", "total_cost_nanos", "cost_per_op_nanos"] {
+                let v = row
+                    .get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{name}/{policy}: missing numeric {field}"))?;
+                if v <= 0.0 {
+                    return Err(format!("{name}/{policy}: non-positive {field}"));
+                }
+            }
+            for field in ["hits", "misses", "conversions"] {
+                row.get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{name}/{policy}: missing numeric {field}"))?;
+            }
+            let cost = row
+                .get("total_cost_nanos")
+                .and_then(Json::as_num)
+                .unwrap_or(0.0) as u64;
+            match sums.iter_mut().find(|(p, _)| p == policy) {
+                Some((_, total)) => *total += cost,
+                None => sums.push((policy.clone(), cost)),
+            }
+        }
+    }
+    let agg = doc
+        .get("aggregate")
+        .and_then(Json::as_arr)
+        .ok_or("missing aggregate array")?;
+    for (policy, expected_cost) in &sums {
+        let row = agg
+            .iter()
+            .find(|r| r.get("policy").and_then(Json::as_str) == Some(policy))
+            .ok_or_else(|| format!("aggregate: missing row for policy {policy}"))?;
+        let cost = row
+            .get("total_cost_nanos")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("aggregate/{policy}: missing total_cost_nanos"))?
+            as u64;
+        if cost != *expected_cost {
+            return Err(format!(
+                "aggregate/{policy}: cost {cost} != per-workload sum {expected_cost}"
+            ));
+        }
+    }
+    let wins = match doc.get("adaptive_wins") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing boolean adaptive_wins".to_string()),
+    };
+    let adaptive_cost = sums
+        .iter()
+        .find(|(p, _)| p == ADAPTIVE_LABEL)
+        .map(|(_, c)| *c)
+        .ok_or("no adaptive aggregate")?;
+    let holds = sums
+        .iter()
+        .filter(|(p, _)| p != ADAPTIVE_LABEL)
+        .all(|(_, c)| adaptive_cost <= *c);
+    if wins != holds {
+        return Err(format!(
+            "adaptive_wins={wins} contradicts aggregate costs (holds={holds})"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> AdaptivePlan {
+        AdaptivePlan {
+            workload_ops: 48,
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn tiny_smoke_run_produces_a_valid_report() {
+        let workloads = run_plan(&tiny_plan());
+        assert_eq!(workloads.len(), WORKLOADS.len());
+        for wl in &workloads {
+            // Adaptive row plus one per representation.
+            assert_eq!(wl.results.len(), 1 + ValueRepresentation::COUNT);
+            assert_eq!(wl.results[0].policy, ADAPTIVE_LABEL);
+            for r in &wl.results {
+                assert_eq!(r.hits + r.misses, r.ops, "{}: every op resolves", r.policy);
+            }
+        }
+        let json = report_to_json("smoke", &workloads);
+        validate_report(&json).expect("smoke report must validate");
+    }
+
+    #[test]
+    fn smoke_costs_and_counts_are_deterministic() {
+        let a = run_plan(&tiny_plan());
+        let b = run_plan(&tiny_plan());
+        for (wa, wb) in a.iter().zip(&b) {
+            for (ra, rb) in wa.results.iter().zip(&wb.results) {
+                assert_eq!(ra.policy, rb.policy);
+                assert_eq!(ra.ops, rb.ops);
+                // Fake-clock cost is a pure function of the op count.
+                assert_eq!(ra.total_cost_nanos, rb.total_cost_nanos, "{}", ra.policy);
+                assert_eq!((ra.hits, ra.misses), (rb.hits, rb.misses), "{}", ra.policy);
+            }
+        }
+        // Equal fake-clock costs mean the verdict holds by tie.
+        assert!(adaptive_wins(&aggregate(&a)));
+    }
+
+    #[test]
+    fn validator_rejects_broken_reports() {
+        let workloads = run_plan(&tiny_plan());
+        let good = report_to_json("smoke", &workloads);
+        validate_report(&good).unwrap();
+        // Wrong schema tag.
+        let bad = good.replace(SCHEMA, "wsrc-bench-adaptive/v0");
+        assert!(validate_report(&bad).is_err());
+        // A fixed policy row goes missing.
+        let bad = good.replace("fixed/clone-copy", "fixed/clone-kopy");
+        assert!(validate_report(&bad).is_err());
+        // Verdict contradicting the aggregate numbers.
+        let bad = good.replace("\"adaptive_wins\":true", "\"adaptive_wins\":false");
+        assert!(validate_report(&bad).is_err());
+        // Not JSON at all.
+        assert!(validate_report("{").is_err());
+    }
+
+    #[test]
+    fn workload_mixes_cover_all_three_operations() {
+        let fixtures = Fixtures::build();
+        for spec in &WORKLOADS {
+            let mut ops = std::collections::BTreeSet::new();
+            for i in 0..256 {
+                ops.insert(fixtures.pick(spec, i).0.op);
+            }
+            assert_eq!(
+                ops.len(),
+                3,
+                "{}: all operations must appear in the mix",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Adaptive-vs-fixed representation benchmark with a machine-readable
+//! report.
+//!
+//! ```text
+//! bench_adaptive [--smoke] [--out PATH] [--ops N]
+//! ```
+//!
+//! The full run measures with a real monotonic clock, writes
+//! `results/BENCH_adaptive.json`, and exits non-zero unless the
+//! adaptive policy's aggregate cost is no worse than every fixed
+//! single-representation policy — so a committed report is a checked
+//! claim, not prose. `--smoke` (run by `scripts/verify.sh`) uses a
+//! deterministic fake clock, tiny op counts, and writes to
+//! `target/bench_adaptive_smoke.json`; it validates report shape only.
+
+use wsrc_bench::adaptive_bench::{
+    adaptive_wins, aggregate, report_to_json, run_plan, validate_report, AdaptivePlan,
+};
+use wsrc_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| {
+        if smoke {
+            "target/bench_adaptive_smoke.json".to_string()
+        } else {
+            "results/BENCH_adaptive.json".to_string()
+        }
+    });
+    let mut plan = if smoke {
+        AdaptivePlan::smoke()
+    } else {
+        AdaptivePlan::full()
+    };
+    if let Some(ops) = flag_value(&args, "--ops") {
+        match ops.trim().parse::<u64>() {
+            Ok(n) if n > 0 => plan.workload_ops = n,
+            _ => {
+                eprintln!("bench_adaptive: unusable --ops value '{ops}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workloads = run_plan(&plan);
+    let json = report_to_json(plan.mode(), &workloads);
+    if let Err(why) = validate_report(&json) {
+        eprintln!("bench_adaptive: report failed schema validation: {why}");
+        std::process::exit(1);
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("bench_adaptive: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_adaptive: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for wl in &workloads {
+        for r in &wl.results {
+            rows.push(vec![
+                wl.workload.to_string(),
+                r.policy.clone(),
+                r.ops.to_string(),
+                format!("{:.0}", r.cost_per_op()),
+                r.hits.to_string(),
+                r.misses.to_string(),
+                r.conversions.to_string(),
+            ]);
+        }
+    }
+    let agg = aggregate(&workloads);
+    for r in &agg {
+        rows.push(vec![
+            "aggregate".to_string(),
+            r.policy.clone(),
+            r.ops.to_string(),
+            format!("{:.0}", r.cost_per_op()),
+            r.hits.to_string(),
+            r.misses.to_string(),
+            r.conversions.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!("bench_adaptive ({} mode) -> {out}", plan.mode()),
+            &[
+                "workload",
+                "policy",
+                "ops",
+                "cost/op ns",
+                "hits",
+                "misses",
+                "conversions",
+            ],
+            &rows,
+        )
+    );
+
+    let wins = adaptive_wins(&agg);
+    println!("adaptive_wins: {wins}");
+    if !smoke && !wins {
+        eprintln!(
+            "bench_adaptive: adaptive policy lost to a fixed representation on aggregate cost"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    if let Some(v) = args
+        .iter()
+        .find_map(|a| a.strip_prefix(&format!("{flag}=")))
+    {
+        return Some(v.to_string());
+    }
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}

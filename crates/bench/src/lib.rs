@@ -16,6 +16,7 @@
 //! cargo run --release -p wsrc-bench --bin reproduce -- all
 //! ```
 
+pub mod adaptive_bench;
 pub mod e2e_bench;
 pub mod figures;
 pub mod fixtures;

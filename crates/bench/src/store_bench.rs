@@ -19,7 +19,7 @@ use std::time::Duration;
 use wsrc_cache::policy::{CachePolicy, OperationPolicy};
 use wsrc_cache::repr::ValueRepresentation;
 use wsrc_cache::store::{CacheStore, Capacity};
-use wsrc_cache::{CacheKey, ResponseCache, ResponseData, StoredResponse};
+use wsrc_cache::{CacheEntry, CacheKey, ResponseCache, ResponseData, StoredResponse};
 use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
 use wsrc_model::value::{StructValue, Value};
 use wsrc_obs::{Clock, HistogramSnapshot, ManualClock, MetricsRegistry, MonotonicClock};
@@ -57,14 +57,14 @@ impl BenchClock {
     }
 
     /// Advances fake time by the fixed per-op tick (no-op in real time).
-    fn tick(&self) {
+    pub(crate) fn tick(&self) {
         if let BenchClock::Manual(clock) = self {
             clock.advance_nanos(SMOKE_TICK_NANOS);
         }
     }
 
     /// A second handle onto the same time axis.
-    fn handle(&self) -> BenchClock {
+    pub(crate) fn handle(&self) -> BenchClock {
         match self {
             BenchClock::Mono(clock) => BenchClock::Mono(*clock),
             BenchClock::Manual(clock) => BenchClock::Manual(clock.handle()),
@@ -167,7 +167,7 @@ pub struct ScenarioResult {
 
 /// Deterministic stateless mixer: thread id + op index → pseudo-random
 /// u64 (splitmix64 finalizer), so workers need no shared RNG state.
-fn mix(thread: usize, i: u64) -> u64 {
+pub(crate) fn mix(thread: usize, i: u64) -> u64 {
     let mut x = ((thread as u64) << 48) ^ i ^ 0x9e37_79b9_7f4a_7c15;
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -218,8 +218,10 @@ fn run_scenario(
 
 /// A ~1 KiB stored response for raw-store scenarios (Arc-backed, so
 /// per-op clones are pointer bumps, as on the real hit path).
-fn store_value() -> StoredResponse {
-    StoredResponse::XmlMessage(Arc::from("x".repeat(1024).into_bytes()))
+fn store_value() -> CacheEntry {
+    CacheEntry::single(StoredResponse::XmlMessage(Arc::from(
+        "x".repeat(1024).into_bytes(),
+    )))
 }
 
 fn store_key(i: u64) -> CacheKey {

@@ -89,16 +89,25 @@ impl ServiceClient {
                     cache.lookup_detailed(&self.endpoint_url, request, &descriptor.return_type);
                 if let Some(mut span) = span {
                     span.annotate(match &outcome {
-                        CacheOutcome::Fresh(_) => "outcome=hit",
+                        CacheOutcome::Fresh { .. } => "outcome=hit",
                         CacheOutcome::Stale { .. } => "outcome=stale",
                         CacheOutcome::Miss => "outcome=miss",
                     });
+                    // Convert-on-hit is rare enough to be worth calling
+                    // out per-span.
+                    if let CacheOutcome::Fresh {
+                        converted: Some(repr),
+                        ..
+                    } = &outcome
+                    {
+                        span.annotate(format!("converted-to={}", repr.metric_label()));
+                    }
                     span.finish();
                 }
                 outcome
             };
             match lookup {
-                CacheOutcome::Fresh(handle) => {
+                CacheOutcome::Fresh { handle, .. } => {
                     if let Some(span) = wsrc_obs::trace::child_span("cache-retrieve", "retrieve") {
                         span.finish();
                     }

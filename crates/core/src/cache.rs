@@ -7,17 +7,19 @@
 //! "does not need to be at all conscious of how the response data is
 //! cached" (paper §6).
 
-use crate::classify::{PaperSelector, RepresentationSelector};
+use crate::classify::{candidate_representations, PaperSelector, RepresentationSelector};
 use crate::clock::{Clock, SystemClock};
+use crate::entry::CacheEntry;
 use crate::error::CacheError;
-use crate::key::{generate_key, KeyStrategy};
-use crate::policy::{CachePolicy, OperationPolicy};
+use crate::key::{generate_key, CacheKey, KeyStrategy};
+use crate::policy::{AdaptivePolicy, CachePolicy, OperationPolicy, SelectionMode};
 use crate::repr::{StoredResponse, ValueHandle, ValueRepresentation};
 use crate::stats::{CacheStats, StatsSnapshot};
-use crate::store::{CacheStore, Capacity, Lookup};
+use crate::store::{AddFormOutcome, CacheStore, Capacity, Lookup};
 use std::sync::Arc;
 use std::time::Duration;
 use wsrc_model::typeinfo::{FieldType, TypeRegistry};
+use wsrc_model::Value;
 use wsrc_obs::{Gauge, Histogram, MetricsRegistry};
 use wsrc_soap::rpc::RpcRequest;
 
@@ -27,7 +29,13 @@ pub use crate::repr::MissArtifacts as ResponseData;
 #[derive(Debug)]
 pub enum CacheOutcome {
     /// A fresh entry answered the lookup.
-    Fresh(ValueHandle),
+    Fresh {
+        /// The retrieved application object.
+        handle: ValueHandle,
+        /// When the hit triggered a convert-on-hit, the representation
+        /// that was materialized alongside (for tracing/diagnostics).
+        converted: Option<ValueRepresentation>,
+    },
     /// An expired entry with a revalidation token is available: the
     /// caller may revalidate (e.g. with `If-Modified-Since`) and either
     /// [`ResponseCache::refresh`] the entry or replace it.
@@ -57,6 +65,9 @@ struct CacheTimers {
     /// `wsrc_cache_build_seconds{repr=…}` — response artifacts → stored
     /// form (only the successful representation records a sample).
     build: [Histogram; ValueRepresentation::COUNT],
+    /// `wsrc_cache_convert_seconds{repr=…}` — convert-on-hit target
+    /// materialization (arena replay / re-serialization, never network).
+    convert: [Histogram; ValueRepresentation::COUNT],
     /// `wsrc_cache_entries` / `wsrc_cache_bytes` occupancy gauges.
     entries: Gauge,
     bytes: Gauge,
@@ -87,6 +98,7 @@ impl CacheTimers {
             insert: stage("insert"),
             retrieve: per_repr("wsrc_cache_retrieve_seconds"),
             build: per_repr("wsrc_cache_build_seconds"),
+            convert: per_repr("wsrc_cache_convert_seconds"),
             entries: registry.gauge("wsrc_cache_entries", &[("cache", label)]),
             bytes: registry.gauge("wsrc_cache_bytes", &[("cache", label)]),
         }
@@ -99,6 +111,7 @@ pub struct ResponseCache {
     policy: CachePolicy,
     key_strategy: KeyStrategy,
     selector: Arc<dyn RepresentationSelector>,
+    adaptive: Option<Arc<AdaptivePolicy>>,
     clock: Arc<dyn Clock>,
     registry: TypeRegistry,
     metrics: Arc<MetricsRegistry>,
@@ -125,6 +138,7 @@ impl ResponseCache {
             policy: CachePolicy::new(),
             key_strategy: KeyStrategy::Auto,
             selector: Arc::new(PaperSelector),
+            adaptive: None,
             clock: Arc::new(SystemClock),
             capacity: Capacity::default(),
             metrics: None,
@@ -144,7 +158,7 @@ impl ResponseCache {
         expected: &FieldType,
     ) -> Option<ValueHandle> {
         match self.lookup_detailed(endpoint_url, request, expected) {
-            CacheOutcome::Fresh(handle) => Some(handle),
+            CacheOutcome::Fresh { handle, .. } => Some(handle),
             // Without a revalidating caller a stale entry is a miss.
             CacheOutcome::Stale { .. } | CacheOutcome::Miss => None,
         }
@@ -177,14 +191,31 @@ impl ResponseCache {
             }
         };
         match self.store.get(&key, self.clock.now_millis()) {
-            Lookup::Live(stored) => {
-                let repr = stored.representation();
-                match self.timers.retrieve[repr.index()]
-                    .time(|| stored.retrieve(expected, &self.registry))
-                {
+            Lookup::Live(found) => {
+                let entry = found.entry;
+                let serving = self.serving_form(&request.operation, &entry);
+                let repr = serving.representation();
+                let histogram = &self.timers.retrieve[repr.index()];
+                let started = histogram.now_nanos();
+                let result = serving.retrieve(expected, &self.registry);
+                let elapsed = histogram.now_nanos().saturating_sub(started);
+                histogram.record_nanos(elapsed);
+                match result {
                     Ok(handle) => {
                         self.stats.record_hit(repr);
-                        CacheOutcome::Fresh(handle)
+                        if let Some(ad) = &self.adaptive {
+                            ad.record_retrieve(&request.operation, repr, elapsed);
+                        }
+                        let converted = self.maybe_convert(
+                            &key,
+                            request,
+                            &entry,
+                            found.hits,
+                            repr,
+                            handle.as_value(),
+                            expected,
+                        );
+                        CacheOutcome::Fresh { handle, converted }
                     }
                     Err(_) => {
                         // A cache entry that cannot produce its object is
@@ -195,10 +226,13 @@ impl ResponseCache {
                     }
                 }
             }
-            Lookup::Stale { stored, validator } => {
-                let repr = stored.representation();
+            Lookup::Stale { entry, validator } => {
+                // Stale entries serve the cheapest present form too, but
+                // never convert: they may be replaced momentarily.
+                let serving = self.serving_form(&request.operation, &entry);
+                let repr = serving.representation();
                 match self.timers.retrieve[repr.index()]
-                    .time(|| stored.retrieve(expected, &self.registry))
+                    .time(|| serving.retrieve(expected, &self.registry))
                 {
                     Ok(handle) => {
                         self.stats.record_expired();
@@ -274,14 +308,16 @@ impl ResponseCache {
             .keygen
             .time(|| generate_key(self.key_strategy, endpoint_url, request, &self.registry))
             .ok()?;
-        let stored = self.build_stored(&policy, data)?;
-        let repr = stored.representation();
+        let (entry, repr, mode) = self.build_entry(&request.operation, &policy, data)?;
         let now = self.clock.now_millis();
         let expires = now.saturating_add(policy.ttl.as_millis() as u64);
         let evicted = self
             .store
-            .put_validated(key, stored, expires, now, validator);
+            .put_validated(key, entry, expires, now, validator);
         self.stats.record_insert(repr);
+        if let Some(mode) = mode {
+            self.stats.record_selection(mode, repr);
+        }
         self.stats.record_evictions(evicted);
         let (entries, bytes) = self.store.occupancy();
         self.timers.entries.set(entries as i64);
@@ -289,44 +325,146 @@ impl ResponseCache {
         Some(repr)
     }
 
-    /// Picks a representation and builds the stored form, falling back
-    /// down the always-applicable chain when the preferred choice is not
-    /// applicable to this value.
-    fn build_stored(
+    /// Picks a representation and builds the initial single-form entry,
+    /// falling back down the always-applicable chain when the preferred
+    /// choice is not applicable to this value.
+    ///
+    /// Selection precedence: a forced
+    /// [`with_representation`](OperationPolicy::with_representation)
+    /// override wins outright; otherwise the adaptive policy (when
+    /// installed) scores the candidate set; otherwise the static
+    /// selector decides. The returned mode is `None` on the static path
+    /// (no decision counter is recorded for it).
+    fn build_entry(
         &self,
+        operation: &str,
         policy: &OperationPolicy,
         data: ResponseData<'_>,
-    ) -> Option<StoredResponse> {
-        let preferred = policy.representation.unwrap_or_else(|| {
-            self.selector
-                .select(data.value, &self.registry, policy.read_only)
-        });
+    ) -> Option<(CacheEntry, ValueRepresentation, Option<SelectionMode>)> {
+        let candidates = candidate_representations(data.value, &self.registry, policy.read_only);
+        let (preferred, mode) = if let Some(forced) = policy.representation {
+            (forced, Some(SelectionMode::Forced))
+        } else if let Some(ad) = &self.adaptive {
+            let selection = ad.select_insert(operation, &candidates);
+            (selection.representation, Some(selection.mode))
+        } else {
+            let repr = self
+                .selector
+                .select(data.value, &self.registry, policy.read_only);
+            (repr, None)
+        };
         let chain = [
             preferred,
             ValueRepresentation::SaxEvents,
             ValueRepresentation::XmlMessage,
         ];
         for repr in chain {
-            let timer = self.timers.build[repr.index()].timer();
+            let histogram = &self.timers.build[repr.index()];
+            let started = histogram.now_nanos();
             match StoredResponse::build(repr, data, &self.registry) {
                 Ok(stored) => {
-                    timer.finish();
-                    return Some(stored);
+                    let elapsed = histogram.now_nanos().saturating_sub(started);
+                    histogram.record_nanos(elapsed);
+                    if let Some(ad) = &self.adaptive {
+                        ad.record_build(operation, repr, elapsed, stored.approximate_size());
+                    }
+                    let mask = candidates.iter().fold(0u8, |m, r| m | r.bit());
+                    let entry = CacheEntry::single(stored).with_candidates(mask);
+                    return Some((entry, repr, mode));
                 }
                 // Failed attempts record no sample — the histogram
                 // measures the cost of the representation actually used.
-                Err(CacheError::NotApplicable(_)) => {
-                    timer.cancel();
-                    continue;
-                }
-                Err(_) => {
-                    timer.cancel();
-                    break;
-                }
+                Err(CacheError::NotApplicable(_)) => continue,
+                Err(_) => break,
             }
         }
         self.stats.record_store_failure();
         None
+    }
+
+    /// The form a hit should be served from: the adaptive policy's
+    /// cheapest-to-retrieve *present* form, else the entry's primary.
+    fn serving_form<'a>(&self, operation: &str, entry: &'a CacheEntry) -> &'a StoredResponse {
+        self.adaptive
+            .as_ref()
+            .and_then(|ad| ad.preferred_form(operation, entry.present_mask()))
+            .and_then(|repr| entry.form(repr))
+            .unwrap_or_else(|| entry.primary())
+    }
+
+    /// Convert-on-hit: when the adaptive policy judges that a cheaper
+    /// representation would pay for its one-time build cost under this
+    /// key's observed hit rate, materialize it once and store it
+    /// alongside the existing forms. The claim in the store
+    /// ([`CacheStore::try_begin_convert`]) guarantees concurrent hits
+    /// convert at most once per (key, target).
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_convert(
+        &self,
+        key: &CacheKey,
+        request: &RpcRequest,
+        entry: &CacheEntry,
+        hits: u64,
+        served: ValueRepresentation,
+        value: &Value,
+        expected: &FieldType,
+    ) -> Option<ValueRepresentation> {
+        let ad = self.adaptive.as_ref()?;
+        let operation = &request.operation;
+        let target = ad.preferred_form(operation, entry.candidates_mask())?;
+        if entry.has(target) || !ad.should_convert(operation, hits, served, target) {
+            return None;
+        }
+        if !self.store.try_begin_convert(key, target) {
+            return None;
+        }
+        let mut span = wsrc_obs::trace::child_span("cache-convert", "cache");
+        let histogram = &self.timers.convert[target.index()];
+        let started = histogram.now_nanos();
+        let result = entry.convert_to(
+            target,
+            value,
+            &request.namespace,
+            operation,
+            expected,
+            &self.registry,
+        );
+        let elapsed = histogram.now_nanos().saturating_sub(started);
+        let now = self.clock.now_millis();
+        match result {
+            Ok(form) => {
+                histogram.record_nanos(elapsed);
+                let size = form.approximate_size();
+                match self.store.finish_convert(key, target, Some(form), now) {
+                    AddFormOutcome::Added(evicted) => {
+                        self.stats.record_conversion(target);
+                        self.stats.record_evictions(evicted);
+                        ad.record_conversion(operation, target, elapsed, size);
+                        let (entries, bytes) = self.store.occupancy();
+                        self.timers.entries.set(entries as i64);
+                        self.timers.bytes.set(bytes as i64);
+                        if let Some(span) = span.as_mut() {
+                            span.annotate(format!(
+                                "converted {} -> {}",
+                                served.metric_label(),
+                                target.metric_label()
+                            ));
+                        }
+                        Some(target)
+                    }
+                    // Raced with a replacement/eviction or the form no
+                    // longer fits — nothing was stored.
+                    _ => None,
+                }
+            }
+            Err(_) => {
+                self.store.finish_convert(key, target, None, now);
+                if let Some(span) = span.as_mut() {
+                    span.set_error();
+                }
+                None
+            }
+        }
     }
 
     /// The cache key this cache would use for `request`, if the strategy
@@ -396,6 +534,7 @@ pub struct ResponseCacheBuilder {
     policy: CachePolicy,
     key_strategy: KeyStrategy,
     selector: Arc<dyn RepresentationSelector>,
+    adaptive: Option<Arc<AdaptivePolicy>>,
     clock: Arc<dyn Clock>,
     capacity: Capacity,
     metrics: Option<Arc<MetricsRegistry>>,
@@ -437,6 +576,18 @@ impl ResponseCacheBuilder {
         self
     }
 
+    /// Installs the online [`AdaptivePolicy`]: inserts score the
+    /// candidate representations from observed build/retrieve costs and
+    /// sizes, hits may convert the entry to a cheaper form in place.
+    /// Takes an `Arc` so callers can keep a handle for inspection or
+    /// pre-seeding. Forced `with_representation` overrides still win;
+    /// the static selector is only consulted when no adaptive policy is
+    /// installed.
+    pub fn adaptive(mut self, policy: Arc<AdaptivePolicy>) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
     /// Sets the clock (tests use [`crate::clock::ManualClock`]).
     pub fn clock(mut self, clock: impl Clock + 'static) -> Self {
         self.clock = Arc::new(clock);
@@ -469,11 +620,18 @@ impl ResponseCacheBuilder {
         let label = self.metrics_label.unwrap_or_else(crate::stats::auto_label);
         let stats = CacheStats::in_registry(&metrics, &label);
         let timers = CacheTimers::new(&metrics, &label, self.key_strategy);
+        if let Some(ad) = &self.adaptive {
+            // Share the cache's own latency histograms with the policy
+            // so scoring starts from live observations even for
+            // representations this operation has not tried yet.
+            ad.attach_observations(timers.build.clone(), timers.retrieve.clone());
+        }
         ResponseCache {
             store: CacheStore::new(self.capacity),
             policy: self.policy,
             key_strategy: self.key_strategy,
             selector: self.selector,
+            adaptive: self.adaptive,
             clock: self.clock,
             registry: self.registry,
             metrics,

@@ -95,6 +95,39 @@ impl RepresentationSelector for FixedSelector {
     }
 }
 
+/// Every representation `value` supports — the candidate set the
+/// adaptive policy scores and the conversion targets a multi-form
+/// entry may grow into (the paper's Table 7 column minus its "n/a"
+/// cells). The XML-derived forms apply to any response; the
+/// application-object forms require the matching registry capability,
+/// and pass-by-reference additionally requires immutability or the
+/// administrator's read-only assertion. Ordered as
+/// [`ValueRepresentation::ALL_EXTENDED`].
+pub fn candidate_representations(
+    value: &Value,
+    registry: &TypeRegistry,
+    read_only: bool,
+) -> Vec<ValueRepresentation> {
+    let mut out = vec![
+        ValueRepresentation::XmlMessage,
+        ValueRepresentation::DomTree,
+        ValueRepresentation::SaxEvents,
+    ];
+    if registry.is_deeply_serializable(value) {
+        out.push(ValueRepresentation::Serialization);
+    }
+    if registry.is_reflect_copyable(value) {
+        out.push(ValueRepresentation::ReflectionCopy);
+    }
+    if registry.is_deeply_cloneable(value) {
+        out.push(ValueRepresentation::CloneCopy);
+    }
+    if value.is_deeply_immutable() || read_only {
+        out.push(ValueRepresentation::PassByReference);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +230,35 @@ mod tests {
         assert_eq!(
             s.select(&Value::Bytes(vec![1]), &r, false),
             ValueRepresentation::ReflectionCopy
+        );
+    }
+
+    #[test]
+    fn candidate_sets_track_capabilities() {
+        let r = registry();
+        let bean = Value::Struct(StructValue::new("Bean").with("x", 1));
+        let c = candidate_representations(&bean, &r, false);
+        assert!(c.contains(&ValueRepresentation::XmlMessage));
+        assert!(c.contains(&ValueRepresentation::SaxEvents));
+        assert!(c.contains(&ValueRepresentation::ReflectionCopy));
+        assert!(c.contains(&ValueRepresentation::CloneCopy));
+        assert!(!c.contains(&ValueRepresentation::PassByReference));
+        // The read-only assertion unlocks sharing for the same object.
+        assert!(candidate_representations(&bean, &r, true)
+            .contains(&ValueRepresentation::PassByReference));
+        // Immutables share without any assertion; no object copies.
+        let s = candidate_representations(&Value::string("x"), &r, false);
+        assert!(s.contains(&ValueRepresentation::PassByReference));
+        assert!(!s.contains(&ValueRepresentation::ReflectionCopy));
+        // Opaque types still have the three XML-derived forms.
+        let o = candidate_representations(&Value::Struct(StructValue::new("Opaque")), &r, false);
+        assert_eq!(
+            o,
+            vec![
+                ValueRepresentation::XmlMessage,
+                ValueRepresentation::DomTree,
+                ValueRepresentation::SaxEvents,
+            ]
         );
     }
 

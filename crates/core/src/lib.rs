@@ -15,6 +15,8 @@
 //!   client-side administrator (paper §3.2).
 //! - [`classify`] — the §6 optimal-configuration selector that picks a
 //!   representation per response object at run time.
+//! - [`entry`] — multi-representation cache entries: one response held
+//!   under several forms at once, converted lazily on hits.
 //! - [`store`] — the concurrent sharded cache table with TTL expiry and
 //!   size-aware LRU eviction.
 //! - [`cache`] — [`cache::ResponseCache`], the facade the client
@@ -25,6 +27,7 @@
 pub mod cache;
 pub mod classify;
 pub mod clock;
+pub mod entry;
 pub mod error;
 pub mod key;
 pub mod policy;
@@ -35,9 +38,10 @@ pub mod store;
 pub use cache::{CacheOutcome, ResponseCache, ResponseCacheBuilder, ResponseData};
 pub use classify::{FastestSelector, FixedSelector, PaperSelector, RepresentationSelector};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use entry::CacheEntry;
 pub use error::CacheError;
 pub use key::{CacheKey, KeyStrategy};
-pub use policy::{CachePolicy, OperationPolicy};
+pub use policy::{AdaptivePolicy, CachePolicy, OperationPolicy, Selection, SelectionMode};
 pub use repr::{StoredResponse, ValueHandle, ValueRepresentation};
 pub use stats::{CacheStats, StatsSnapshot};
 pub use store::{CacheStore, Capacity};

@@ -1,14 +1,28 @@
-//! Per-operation cache policy — paper §3.2.
+//! Per-operation cache policy — paper §3.2 — and the online
+//! [`AdaptivePolicy`] that replaces the paper's offline §6
+//! optimal-configuration table.
 //!
 //! "We suggest that these cache policies are configured by a client
 //! application administrator or deployer": each operation is declared
 //! cacheable or uncacheable, with a TTL, an optional read-only assertion
 //! (enabling pass-by-reference for mutable types, §4.2.4) and an optional
 //! fixed representation override.
+//!
+//! Selection precedence, highest first:
+//!
+//! 1. [`OperationPolicy::with_representation`] — the administrator's
+//!    forced override; the adaptive policy is never consulted.
+//! 2. [`AdaptivePolicy`], when installed on the cache — online scoring
+//!    from live build/retrieve/size observations.
+//! 3. The static [`RepresentationSelector`](crate::classify) — the
+//!    paper's offline table.
 
 use crate::repr::ValueRepresentation;
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
+use wsrc_obs::metrics::Histogram;
+use wsrc_obs::sync;
 
 /// Policy for one operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,6 +210,340 @@ fn parse_repr(s: &str) -> Option<ValueRepresentation> {
     }
 }
 
+/// How an insert-time representation was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMode {
+    /// The administrator forced it via
+    /// [`OperationPolicy::with_representation`].
+    Forced,
+    /// The adaptive policy is still gathering samples for this
+    /// operation and picked the least-observed candidate.
+    Explore,
+    /// The adaptive policy picked the lowest-scoring candidate from
+    /// its observations.
+    Exploit,
+}
+
+impl SelectionMode {
+    /// Stable label for the `mode` metric label.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            SelectionMode::Forced => "forced",
+            SelectionMode::Explore => "explore",
+            SelectionMode::Exploit => "exploit",
+        }
+    }
+}
+
+/// An insert-time decision from the [`AdaptivePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The representation to build first.
+    pub representation: ValueRepresentation,
+    /// How it was chosen.
+    pub mode: SelectionMode,
+}
+
+/// Per-representation observation sums for one operation. Means derived
+/// from these drive scoring; integer sums keep recording O(1) and the
+/// scoring path allocation-free.
+#[derive(Debug, Default, Clone, Copy)]
+struct ReprStats {
+    build_nanos_sum: u64,
+    build_count: u64,
+    retrieve_nanos_sum: u64,
+    retrieve_count: u64,
+    size_bytes_sum: u64,
+    size_count: u64,
+}
+
+impl ReprStats {
+    fn build_mean(&self) -> Option<u64> {
+        (self.build_count > 0).then(|| self.build_nanos_sum / self.build_count)
+    }
+
+    fn retrieve_mean(&self) -> Option<u64> {
+        (self.retrieve_count > 0).then(|| self.retrieve_nanos_sum / self.retrieve_count)
+    }
+
+    fn size_mean(&self) -> Option<u64> {
+        (self.size_count > 0).then(|| self.size_bytes_sum / self.size_count)
+    }
+}
+
+/// One operation's observation state.
+#[derive(Debug, Default)]
+struct OpState {
+    /// Responses inserted for this operation.
+    inserts: u64,
+    /// Cache hits served for this operation.
+    hits: u64,
+    per: [ReprStats; ValueRepresentation::COUNT],
+}
+
+/// The cache-wide histograms the policy falls back to when an operation
+/// has no local samples for a representation yet — costs observed for
+/// *other* operations still inform the first decisions for a new one.
+#[derive(Debug)]
+struct Observations {
+    build: [Histogram; ValueRepresentation::COUNT],
+    retrieve: [Histogram; ValueRepresentation::COUNT],
+}
+
+/// Online representation selection — ROADMAP item 1's replacement for
+/// the paper's offline §6 optimal-configuration table.
+///
+/// The policy keeps per-operation, per-representation sums of observed
+/// build cost, retrieve cost and approximate stored size, plus
+/// insert/hit counts. At insert time it scores every applicable
+/// representation as
+///
+/// ```text
+/// score = build_mean
+///       + expected_hits × retrieve_mean
+///       + size_weight × size_mean / 1024
+/// ```
+///
+/// where `expected_hits = hits / max(1, inserts)` for the operation, and
+/// picks the cheapest (ties go to the faster-retrieval representation).
+/// Until every candidate has [`min
+/// samples`](AdaptivePolicy::with_min_samples) local build observations
+/// it explores the least-observed candidate instead. At retrieve time
+/// [`preferred_form`](AdaptivePolicy::preferred_form) picks the
+/// cheapest-to-retrieve *present* form, and
+/// [`should_convert`](AdaptivePolicy::should_convert) decides whether a
+/// popular entry has earned a one-time conversion to a faster form.
+///
+/// See the module docs for precedence against
+/// [`OperationPolicy::with_representation`] and the static selector.
+#[derive(Debug)]
+pub struct AdaptivePolicy {
+    state: Mutex<HashMap<String, OpState>>,
+    observations: OnceLock<Observations>,
+    min_samples: u64,
+    size_weight_nanos_per_kib: u64,
+    convert_after_hits: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy::new()
+    }
+}
+
+impl AdaptivePolicy {
+    /// A policy with default tuning: 2 build samples per candidate
+    /// before exploiting, 50 ns/KiB size weight, conversions allowed
+    /// from the first repeat hit.
+    pub fn new() -> Self {
+        AdaptivePolicy {
+            state: Mutex::new(HashMap::new()),
+            observations: OnceLock::new(),
+            min_samples: 2,
+            size_weight_nanos_per_kib: 50,
+            convert_after_hits: 1,
+        }
+    }
+
+    /// Local build samples each candidate needs before the policy stops
+    /// exploring an operation (0 disables exploration).
+    pub fn with_min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Memory-pressure weight: nanoseconds of penalty per KiB of
+    /// approximate stored size (0 scores purely on time).
+    pub fn with_size_weight(mut self, nanos_per_kib: u64) -> Self {
+        self.size_weight_nanos_per_kib = nanos_per_kib;
+        self
+    }
+
+    /// Minimum hits an entry must have served before a convert-on-hit
+    /// is considered.
+    pub fn with_convert_after_hits(mut self, hits: u64) -> Self {
+        self.convert_after_hits = hits;
+        self
+    }
+
+    /// Installs the cache-wide per-representation build/retrieve
+    /// histograms used as a fallback when an operation has no local
+    /// samples. First caller wins; the cache builder calls this once.
+    pub(crate) fn attach_observations(
+        &self,
+        build: [Histogram; ValueRepresentation::COUNT],
+        retrieve: [Histogram; ValueRepresentation::COUNT],
+    ) {
+        let _ = self.observations.set(Observations { build, retrieve });
+    }
+
+    /// Build-cost estimate: local mean, else the cache-wide histogram.
+    fn build_est(&self, stats: &ReprStats, repr: ValueRepresentation) -> Option<u64> {
+        stats.build_mean().or_else(|| {
+            let snap = self.observations.get()?.build[repr.index()].snapshot();
+            (snap.count > 0).then(|| snap.mean_nanos())
+        })
+    }
+
+    /// Retrieve-cost estimate: local mean, else the cache-wide histogram.
+    fn retrieve_est(&self, stats: &ReprStats, repr: ValueRepresentation) -> Option<u64> {
+        stats.retrieve_mean().or_else(|| {
+            let snap = self.observations.get()?.retrieve[repr.index()].snapshot();
+            (snap.count > 0).then(|| snap.mean_nanos())
+        })
+    }
+
+    /// Picks the representation to build first for an insert of
+    /// `operation`, from the applicable `candidates` (never empty).
+    pub fn select_insert(&self, operation: &str, candidates: &[ValueRepresentation]) -> Selection {
+        let state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let Some(op) = state.get(operation) else {
+            // Never seen: explore, preferring the fastest-retrieval
+            // candidate first.
+            let repr = candidates
+                .iter()
+                .copied()
+                .max_by_key(|r| r.index())
+                .unwrap_or(ValueRepresentation::XmlMessage);
+            return Selection {
+                representation: repr,
+                mode: SelectionMode::Explore,
+            };
+        };
+        let unexplored = candidates
+            .iter()
+            .copied()
+            .filter(|r| op.per[r.index()].build_count < self.min_samples)
+            .min_by_key(|r| (op.per[r.index()].build_count, std::cmp::Reverse(r.index())));
+        if let Some(repr) = unexplored {
+            return Selection {
+                representation: repr,
+                mode: SelectionMode::Explore,
+            };
+        }
+        let expected_hits = op.hits / op.inserts.max(1);
+        let repr = candidates
+            .iter()
+            .copied()
+            .min_by_key(|r| {
+                let stats = &op.per[r.index()];
+                let build = self.build_est(stats, *r).unwrap_or(u64::MAX / 4);
+                let retrieve = self.retrieve_est(stats, *r).unwrap_or(u64::MAX / 4);
+                let size_kib = stats.size_mean().unwrap_or(0) / 1024;
+                let score = build
+                    .saturating_add(expected_hits.saturating_mul(retrieve))
+                    .saturating_add(self.size_weight_nanos_per_kib.saturating_mul(size_kib));
+                (score, std::cmp::Reverse(r.index()))
+            })
+            .unwrap_or(ValueRepresentation::XmlMessage);
+        Selection {
+            representation: repr,
+            mode: SelectionMode::Exploit,
+        }
+    }
+
+    /// The cheapest-to-retrieve representation among `mask` (a
+    /// [`ValueRepresentation::bit`] set), judged by observed retrieve
+    /// costs for `operation`. `None` when no masked representation has
+    /// any observation — the caller falls back to the primary form.
+    pub fn preferred_form(&self, operation: &str, mask: u8) -> Option<ValueRepresentation> {
+        let state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let op = state.get(operation)?;
+        ValueRepresentation::from_mask(mask)
+            .filter_map(|r| {
+                self.retrieve_est(&op.per[r.index()], r)
+                    .map(|cost| (cost, std::cmp::Reverse(r.index()), r))
+            })
+            .min_by_key(|&(cost, idx, _)| (cost, idx))
+            .map(|(_, _, r)| r)
+    }
+
+    /// Whether an entry that has served `hits` lookups from `from`
+    /// should be converted once to `to`: the projected retrieval
+    /// savings over a comparable number of future hits must repay the
+    /// conversion (build) cost plus the size penalty of the extra form.
+    /// Conversions are exploit-only — every cost involved must have
+    /// been observed.
+    pub fn should_convert(
+        &self,
+        operation: &str,
+        hits: u64,
+        from: ValueRepresentation,
+        to: ValueRepresentation,
+    ) -> bool {
+        if from == to || hits < self.convert_after_hits {
+            return false;
+        }
+        let state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let Some(op) = state.get(operation) else {
+            return false;
+        };
+        let (Some(from_retrieve), Some(to_retrieve), Some(to_build)) = (
+            self.retrieve_est(&op.per[from.index()], from),
+            self.retrieve_est(&op.per[to.index()], to),
+            self.build_est(&op.per[to.index()], to),
+        ) else {
+            return false;
+        };
+        if to_retrieve >= from_retrieve {
+            return false;
+        }
+        let size_penalty = self
+            .size_weight_nanos_per_kib
+            .saturating_mul(op.per[to.index()].size_mean().unwrap_or(0) / 1024);
+        // An entry hit `hits` times is expected to serve about as many
+        // more; the conversion must pay for itself over that horizon.
+        hits.saturating_mul(from_retrieve - to_retrieve) > to_build.saturating_add(size_penalty)
+    }
+
+    /// Records a miss-path build: `repr` was materialized for
+    /// `operation` in `nanos`, occupying `size_bytes`.
+    pub fn record_build(
+        &self,
+        operation: &str,
+        repr: ValueRepresentation,
+        nanos: u64,
+        size_bytes: usize,
+    ) {
+        let mut state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let op = state.entry(operation.to_string()).or_default();
+        op.inserts += 1;
+        let stats = &mut op.per[repr.index()];
+        stats.build_nanos_sum += nanos;
+        stats.build_count += 1;
+        stats.size_bytes_sum += size_bytes as u64;
+        stats.size_count += 1;
+    }
+
+    /// Records a hit-path retrieval from `repr` for `operation`.
+    pub fn record_retrieve(&self, operation: &str, repr: ValueRepresentation, nanos: u64) {
+        let mut state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let op = state.entry(operation.to_string()).or_default();
+        op.hits += 1;
+        let stats = &mut op.per[repr.index()];
+        stats.retrieve_nanos_sum += nanos;
+        stats.retrieve_count += 1;
+    }
+
+    /// Records a convert-on-hit materialization of `repr` — a build
+    /// observation that does not count as an insert.
+    pub fn record_conversion(
+        &self,
+        operation: &str,
+        repr: ValueRepresentation,
+        nanos: u64,
+        size_bytes: usize,
+    ) {
+        let mut state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        let op = state.entry(operation.to_string()).or_default();
+        let stats = &mut op.per[repr.index()];
+        stats.build_nanos_sum += nanos;
+        stats.build_count += 1;
+        stats.size_bytes_sum += size_bytes as u64;
+        stats.size_count += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +623,98 @@ mod tests {
             .with_representation(ValueRepresentation::CloneCopy);
         assert!(p.read_only);
         assert_eq!(p.representation, Some(ValueRepresentation::CloneCopy));
+    }
+
+    #[test]
+    fn adaptive_explores_every_candidate_then_exploits() {
+        let p = AdaptivePolicy::new()
+            .with_min_samples(1)
+            .with_size_weight(0);
+        let c = [
+            ValueRepresentation::XmlMessage,
+            ValueRepresentation::CloneCopy,
+        ];
+        // Unseen operation: explore, fastest-retrieval candidate first.
+        let s = p.select_insert("op", &c);
+        assert_eq!(s.mode, SelectionMode::Explore);
+        assert_eq!(s.representation, ValueRepresentation::CloneCopy);
+        p.record_build("op", ValueRepresentation::CloneCopy, 1_000, 100);
+        // The other candidate is still unsampled: keep exploring.
+        let s = p.select_insert("op", &c);
+        assert_eq!(s.mode, SelectionMode::Explore);
+        assert_eq!(s.representation, ValueRepresentation::XmlMessage);
+        p.record_build("op", ValueRepresentation::XmlMessage, 10, 100);
+        // All sampled; no hits yet, so build cost decides: XML's 10ns
+        // build beats the 1µs copy.
+        let s = p.select_insert("op", &c);
+        assert_eq!(s.mode, SelectionMode::Exploit);
+        assert_eq!(s.representation, ValueRepresentation::XmlMessage);
+        // A hit-heavy history flips the decision: XML re-parses at
+        // 100µs a hit while the clone copies in 10ns.
+        for _ in 0..10 {
+            p.record_retrieve("op", ValueRepresentation::XmlMessage, 100_000);
+        }
+        p.record_retrieve("op", ValueRepresentation::CloneCopy, 10);
+        let s = p.select_insert("op", &c);
+        assert_eq!(s.mode, SelectionMode::Exploit);
+        assert_eq!(s.representation, ValueRepresentation::CloneCopy);
+    }
+
+    #[test]
+    fn size_weight_penalizes_bulky_representations() {
+        let heavy = AdaptivePolicy::new()
+            .with_min_samples(0)
+            .with_size_weight(1_000_000);
+        let c = [
+            ValueRepresentation::XmlMessage,
+            ValueRepresentation::DomTree,
+        ];
+        // Equal time costs, wildly different sizes.
+        heavy.record_build("op", ValueRepresentation::XmlMessage, 100, 1024);
+        heavy.record_build("op", ValueRepresentation::DomTree, 100, 64 * 1024);
+        heavy.record_retrieve("op", ValueRepresentation::XmlMessage, 100);
+        heavy.record_retrieve("op", ValueRepresentation::DomTree, 100);
+        let s = heavy.select_insert("op", &c);
+        assert_eq!(s.representation, ValueRepresentation::XmlMessage);
+    }
+
+    #[test]
+    fn preferred_form_reads_observed_retrieve_costs() {
+        let p = AdaptivePolicy::new();
+        let mask = ValueRepresentation::XmlMessage.bit() | ValueRepresentation::SaxEvents.bit();
+        // Nothing observed anywhere: no preference.
+        assert_eq!(p.preferred_form("op", mask), None);
+        p.record_retrieve("op", ValueRepresentation::XmlMessage, 50_000);
+        p.record_retrieve("op", ValueRepresentation::SaxEvents, 5_000);
+        assert_eq!(
+            p.preferred_form("op", mask),
+            Some(ValueRepresentation::SaxEvents)
+        );
+        // Masked-out representations are never preferred.
+        assert_eq!(
+            p.preferred_form("op", ValueRepresentation::XmlMessage.bit()),
+            Some(ValueRepresentation::XmlMessage)
+        );
+    }
+
+    #[test]
+    fn conversions_require_observed_payoff() {
+        let p = AdaptivePolicy::new()
+            .with_convert_after_hits(2)
+            .with_size_weight(0);
+        let from = ValueRepresentation::XmlMessage;
+        let to = ValueRepresentation::CloneCopy;
+        // Unknown costs: never convert.
+        assert!(!p.should_convert("op", 10, from, to));
+        p.record_retrieve("op", from, 100_000);
+        p.record_retrieve("op", to, 1_000);
+        p.record_build("op", to, 50_000, 256);
+        // Below the popularity threshold: not yet.
+        assert!(!p.should_convert("op", 1, from, to));
+        // 2 projected hits save 2×99µs > the 50µs build: convert.
+        assert!(p.should_convert("op", 2, from, to));
+        // Converting to itself or to a slower form never pays.
+        assert!(!p.should_convert("op", 10, from, from));
+        assert!(!p.should_convert("op", 10, to, from));
     }
 }

@@ -116,6 +116,22 @@ impl ValueRepresentation {
         }
     }
 
+    /// This representation's bit in a representation-set mask (shifted
+    /// [`index`](ValueRepresentation::index); fits `u8` since
+    /// [`COUNT`](ValueRepresentation::COUNT) is 7).
+    pub fn bit(&self) -> u8 {
+        1u8 << self.index()
+    }
+
+    /// Decodes a mask produced with [`bit`](ValueRepresentation::bit)
+    /// back into representations, in
+    /// [`ALL_EXTENDED`](ValueRepresentation::ALL_EXTENDED) order.
+    pub fn from_mask(mask: u8) -> impl Iterator<Item = ValueRepresentation> {
+        ValueRepresentation::ALL_EXTENDED
+            .into_iter()
+            .filter(move |r| mask & r.bit() != 0)
+    }
+
     /// Whether this representation stores the application object itself
     /// (and therefore must respect copy semantics, §3.1).
     pub fn stores_application_object(&self) -> bool {

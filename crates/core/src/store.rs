@@ -27,9 +27,20 @@
 //! first expired one, falling back to the least-recently-used live entry.
 //! The entry being inserted is pinned for the duration of its own `put`
 //! so a fresh insert can never evict itself.
+//!
+//! # Multi-form entries
+//!
+//! Each slot holds a [`CacheEntry`] — one response under one or several
+//! representations. [`CacheStore::add_form`] charges a lazily converted
+//! form to the same slot (and the shard byte budget) in place;
+//! [`CacheStore::try_begin_convert`]/[`CacheStore::finish_convert`] gate
+//! conversions so concurrent hitters materialize a wanted form exactly
+//! once. All forms of an entry share one slot and therefore leave the
+//! budget together on eviction.
 
+use crate::entry::CacheEntry;
 use crate::key::CacheKey;
-use crate::repr::StoredResponse;
+use crate::repr::{StoredResponse, ValueRepresentation};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -124,13 +135,19 @@ impl Hasher for Mix64 {
 struct Slot {
     key: CacheKey,
     hash: u64,
-    stored: StoredResponse,
+    entry: CacheEntry,
     expires_at_millis: u64,
     size_bytes: usize,
     /// Opaque revalidation token (e.g. an HTTP `Last-Modified` value).
     /// Entries with a validator outlive their TTL as *stale* entries that
     /// can be refreshed by a successful revalidation (paper §3.2).
     validator: Option<Arc<str>>,
+    /// Live lookups served from this slot since it was (re)inserted —
+    /// the per-key popularity signal the adaptive policy reads.
+    hits: u64,
+    /// Bitmask of representations a conversion is in flight for
+    /// (claimed via [`CacheStore::try_begin_convert`]).
+    converting: u8,
     lru_prev: u32,
     lru_next: u32,
     chain_next: u32,
@@ -256,11 +273,13 @@ impl Shard {
         idx
     }
 
-    /// Replaces the payload of an existing slot, adjusting byte accounting.
+    /// Replaces the payload of an existing slot, adjusting byte
+    /// accounting. A replacement is a fresh response: the hit count and
+    /// any in-flight conversion claims reset with it.
     fn replace(
         &mut self,
         idx: u32,
-        stored: StoredResponse,
+        entry: CacheEntry,
         expires_at_millis: u64,
         size_bytes: usize,
         validator: Option<Arc<str>>,
@@ -268,10 +287,12 @@ impl Shard {
         let old_size = match self.slot_mut(idx) {
             Some(slot) => {
                 let old = slot.size_bytes;
-                slot.stored = stored;
+                slot.entry = entry;
                 slot.expires_at_millis = expires_at_millis;
                 slot.size_bytes = size_bytes;
                 slot.validator = validator;
+                slot.hits = 0;
+                slot.converting = 0;
                 old
             }
             None => return,
@@ -375,6 +396,19 @@ impl Shard {
                 "shard {shard_no}: bytes={} but slots sum to {sum_bytes}",
                 self.bytes
             ));
+        }
+        // Multi-form reconciliation: the bytes charged for a slot must
+        // equal the sum of its forms' sizes (via the entry) plus its key
+        // — a lazily added form that skipped accounting shows up here.
+        for slot in self.slots.iter().flatten() {
+            let expected = slot.entry.approximate_size() + slot.key.approximate_size();
+            if slot.size_bytes != expected {
+                return Err(format!(
+                    "shard {shard_no}: slot charges {} bytes but its {} form(s) sum to {expected}",
+                    slot.size_bytes,
+                    slot.entry.forms().len()
+                ));
+            }
         }
         if self.free.len() + live != self.slots.len() {
             return Err(format!(
@@ -534,7 +568,7 @@ impl CacheStore {
                 shard.touch(idx);
                 match shard.slot(idx) {
                     Some(slot) => Lookup::Stale {
-                        stored: slot.stored.clone(),
+                        entry: slot.entry.clone(),
                         validator,
                     },
                     None => Lookup::Absent,
@@ -542,8 +576,14 @@ impl CacheStore {
             }
             (false, _) => {
                 shard.touch(idx);
-                match shard.slot(idx) {
-                    Some(slot) => Lookup::Live(slot.stored.clone()),
+                match shard.slot_mut(idx) {
+                    Some(slot) => {
+                        slot.hits += 1;
+                        Lookup::Live(FoundEntry {
+                            entry: slot.entry.clone(),
+                            hits: slot.hits,
+                        })
+                    }
                     None => Lookup::Absent,
                 }
             }
@@ -571,11 +611,11 @@ impl CacheStore {
     pub fn put(
         &self,
         key: CacheKey,
-        stored: StoredResponse,
+        entry: CacheEntry,
         expires_at_millis: u64,
         now_millis: u64,
     ) -> EvictionSummary {
-        self.put_validated(key, stored, expires_at_millis, now_millis, None)
+        self.put_validated(key, entry, expires_at_millis, now_millis, None)
     }
 
     /// [`put`](CacheStore::put) with a revalidation token. Entries with a
@@ -584,38 +624,51 @@ impl CacheStore {
     pub fn put_validated(
         &self,
         key: CacheKey,
-        stored: StoredResponse,
+        entry: CacheEntry,
         expires_at_millis: u64,
         now_millis: u64,
         validator: Option<String>,
     ) -> EvictionSummary {
-        let mut summary = EvictionSummary::default();
-        let size_bytes = stored.approximate_size() + key.approximate_size();
+        let size_bytes = entry.approximate_size() + key.approximate_size();
         // Entries that can never fit a shard's budget are not cacheable.
         if self.shard_max_entries == 0 || size_bytes > self.shard_max_bytes {
-            return summary;
+            return EvictionSummary::default();
         }
         let validator: Option<Arc<str>> = validator.map(Arc::from);
         let hash = hash_key(&key);
         let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let pinned = match shard.find(hash, &key) {
             Some(idx) => {
-                shard.replace(idx, stored, expires_at_millis, size_bytes, validator);
+                shard.replace(idx, entry, expires_at_millis, size_bytes, validator);
                 shard.touch(idx);
                 idx
             }
             None => shard.insert_new(Slot {
                 key,
                 hash,
-                stored,
+                entry,
                 expires_at_millis,
                 size_bytes,
                 validator,
+                hits: 0,
+                converting: 0,
                 lru_prev: NIL,
                 lru_next: NIL,
                 chain_next: NIL,
             }),
         };
+        self.evict_over_budget(&mut shard, now_millis, pinned)
+    }
+
+    /// Evicts within a locked shard until its budget holds, never
+    /// choosing the pinned slot.
+    fn evict_over_budget(
+        &self,
+        shard: &mut Shard,
+        now_millis: u64,
+        pinned: u32,
+    ) -> EvictionSummary {
+        let mut summary = EvictionSummary::default();
         while shard.entries > self.shard_max_entries || shard.bytes > self.shard_max_bytes {
             let Some(victim) = shard.pick_victim(now_millis, pinned) else {
                 break;
@@ -627,6 +680,103 @@ impl CacheStore {
             }
         }
         summary
+    }
+
+    /// Materializes `form` alongside the existing forms of the entry
+    /// under `key`, charging its size to the shard byte budget (evicting
+    /// *other* entries as needed — the enlarged entry itself is pinned).
+    ///
+    /// This is how a convert-on-hit publishes its result; the usual
+    /// call path claims the conversion first with
+    /// [`try_begin_convert`](CacheStore::try_begin_convert) and lands
+    /// here via [`finish_convert`](CacheStore::finish_convert).
+    pub fn add_form(
+        &self,
+        key: &CacheKey,
+        form: StoredResponse,
+        now_millis: u64,
+    ) -> AddFormOutcome {
+        let hash = hash_key(key);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return AddFormOutcome::Gone;
+        };
+        self.add_form_locked(&mut shard, idx, form, now_millis)
+    }
+
+    /// [`add_form`](CacheStore::add_form) on an already located slot in a
+    /// locked shard.
+    fn add_form_locked(
+        &self,
+        shard: &mut Shard,
+        idx: u32,
+        form: StoredResponse,
+        now_millis: u64,
+    ) -> AddFormOutcome {
+        let added_size = form.approximate_size();
+        let Some(slot) = shard.slot_mut(idx) else {
+            return AddFormOutcome::Gone;
+        };
+        if slot.entry.has(form.representation()) {
+            return AddFormOutcome::AlreadyPresent;
+        }
+        let new_size = slot.size_bytes + added_size;
+        // An entry that would alone exceed the shard budget cannot grow;
+        // the existing forms stay as they are.
+        if new_size > self.shard_max_bytes {
+            return AddFormOutcome::Rejected;
+        }
+        slot.entry.add_form(form);
+        slot.size_bytes = new_size;
+        shard.bytes += added_size;
+        AddFormOutcome::Added(self.evict_over_budget(shard, now_millis, idx))
+    }
+
+    /// Claims the right to convert the entry under `key` to `target`.
+    /// Returns `false` when the form is already present, another
+    /// converter already claimed it, or the entry is gone — in every
+    /// case the caller must not convert. A successful claim must be
+    /// released with [`finish_convert`](CacheStore::finish_convert).
+    pub fn try_begin_convert(&self, key: &CacheKey, target: ValueRepresentation) -> bool {
+        let hash = hash_key(key);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return false;
+        };
+        let Some(slot) = shard.slot_mut(idx) else {
+            return false;
+        };
+        if slot.entry.has(target) || slot.converting & target.bit() != 0 {
+            return false;
+        }
+        slot.converting |= target.bit();
+        true
+    }
+
+    /// Releases a conversion claim taken with
+    /// [`try_begin_convert`](CacheStore::try_begin_convert), publishing
+    /// the converted form when the conversion succeeded (`Some`) and
+    /// merely dropping the claim when it failed (`None`, reported as
+    /// [`Rejected`](AddFormOutcome::Rejected) since nothing was added).
+    pub fn finish_convert(
+        &self,
+        key: &CacheKey,
+        target: ValueRepresentation,
+        form: Option<StoredResponse>,
+        now_millis: u64,
+    ) -> AddFormOutcome {
+        let hash = hash_key(key);
+        let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
+        let Some(idx) = shard.find(hash, key) else {
+            return AddFormOutcome::Gone;
+        };
+        if let Some(slot) = shard.slot_mut(idx) {
+            slot.converting &= !target.bit();
+        }
+        match form {
+            Some(form) => self.add_form_locked(&mut shard, idx, form, now_millis),
+            None => AddFormOutcome::Rejected,
+        }
     }
 
     /// Removes one entry. Returns whether it was present.
@@ -714,16 +864,43 @@ pub enum Lookup {
     /// An entry existed but its TTL had elapsed; it was removed.
     Expired,
     /// A live entry.
-    Live(StoredResponse),
+    Live(FoundEntry),
     /// An expired entry that carries a revalidation token; it remains
     /// stored and can be renewed with [`CacheStore::refresh`].
     Stale {
-        /// The stale stored response.
-        stored: StoredResponse,
+        /// The stale multi-form entry.
+        entry: CacheEntry,
         /// The revalidation token recorded at insertion (shared, not
         /// cloned per lookup).
         validator: Arc<str>,
     },
+}
+
+/// A live entry returned by [`CacheStore::get`], with the per-key
+/// popularity signal the adaptive policy reads.
+#[derive(Debug)]
+pub struct FoundEntry {
+    /// The multi-form entry (forms share `Arc`s with the stored slot).
+    pub entry: CacheEntry,
+    /// Live lookups served under this key since (re)insertion,
+    /// including this one.
+    pub hits: u64,
+}
+
+/// Result of [`CacheStore::add_form`] /
+/// [`CacheStore::finish_convert`].
+#[derive(Debug)]
+pub enum AddFormOutcome {
+    /// The form was stored and charged; carries what had to be evicted
+    /// elsewhere to fit it.
+    Added(EvictionSummary),
+    /// The entry already holds that representation; nothing changed.
+    AlreadyPresent,
+    /// Adding the form would make this entry alone exceed the shard
+    /// byte budget (or the conversion failed); nothing changed.
+    Rejected,
+    /// The entry is no longer in the store.
+    Gone,
 }
 
 #[cfg(test)]
@@ -734,8 +911,15 @@ mod tests {
         CacheKey::Text(format!("key-{n}"))
     }
 
-    fn value(size: usize) -> StoredResponse {
-        StoredResponse::XmlMessage(Arc::from("x".repeat(size).into_bytes()))
+    fn value(size: usize) -> CacheEntry {
+        CacheEntry::single(StoredResponse::XmlMessage(Arc::from(
+            "x".repeat(size).into_bytes(),
+        )))
+    }
+
+    /// A second representation to add alongside `value`'s XML form.
+    fn extra_form(size: usize) -> StoredResponse {
+        StoredResponse::Serialized(Arc::from(vec![0u8; size].into_boxed_slice()))
     }
 
     #[test]
@@ -940,16 +1124,22 @@ mod tests {
         // exercise the chain_next path that real SipHash output (almost)
         // never hits.
         let mut shard = Shard::default();
-        let slot = |n: usize| Slot {
-            key: key(n),
-            hash: 0xDEAD_BEEF,
-            stored: value(8),
-            expires_at_millis: 1000,
-            size_bytes: 10,
-            validator: None,
-            lru_prev: NIL,
-            lru_next: NIL,
-            chain_next: NIL,
+        let slot = |n: usize| {
+            let entry = value(8);
+            let size_bytes = entry.approximate_size() + key(n).approximate_size();
+            Slot {
+                key: key(n),
+                hash: 0xDEAD_BEEF,
+                entry,
+                expires_at_millis: 1000,
+                size_bytes,
+                validator: None,
+                hits: 0,
+                converting: 0,
+                lru_prev: NIL,
+                lru_next: NIL,
+                chain_next: NIL,
+            }
         };
         let a = shard.insert_new(slot(1));
         let b = shard.insert_new(slot(2));
@@ -988,6 +1178,171 @@ mod tests {
         }
         store.clear();
         store.audit().unwrap();
+    }
+
+    #[test]
+    fn added_forms_are_charged_and_reconciled() {
+        let store = CacheStore::with_shards(Capacity::default(), 1);
+        store.put(key(1), value(100), 1000, 0);
+        let before = store.bytes();
+        let form = extra_form(64);
+        let form_size = form.approximate_size();
+        match store.add_form(&key(1), form, 0) {
+            AddFormOutcome::Added(evicted) => assert_eq!(evicted.total(), 0),
+            other => panic!("expected Added, got {other:?}"),
+        }
+        assert_eq!(store.bytes(), before + form_size);
+        store.audit().unwrap();
+        match store.get(&key(1), 0) {
+            Lookup::Live(found) => {
+                assert_eq!(found.entry.forms().len(), 2);
+                assert!(found.entry.has(ValueRepresentation::XmlMessage));
+                assert!(found.entry.has(ValueRepresentation::Serialization));
+            }
+            other => panic!("expected live, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_forms_of_an_entry_leave_the_budget_together() {
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+            1,
+        );
+        store.put(key(0), value(10), 1000, 0);
+        store.put(key(1), value(10), 1000, 0);
+        assert!(matches!(
+            store.add_form(&key(0), extra_form(500), 0),
+            AddFormOutcome::Added(_)
+        ));
+        let with_both_entries = store.bytes();
+        // Make key 0 (the two-form entry) the LRU, then displace it.
+        assert!(matches!(store.get(&key(1), 0), Lookup::Live(_)));
+        let evicted = store.put(key(2), value(10), 1000, 0);
+        assert_eq!(evicted.live, 1);
+        assert!(matches!(store.get(&key(0), 0), Lookup::Absent));
+        // Both of key 0's forms left the byte budget with it: what
+        // remains is the two single-form entries, which together weigh
+        // what they did before the big form was added.
+        let single = value(10).approximate_size();
+        let expected = 2 * single + key(1).approximate_size() + key(2).approximate_size();
+        assert_eq!(store.bytes(), expected);
+        assert!(store.bytes() < with_both_entries);
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn add_form_that_busts_the_budget_alone_is_rejected() {
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 10,
+                max_bytes: 600,
+            },
+            1,
+        );
+        store.put(key(1), value(10), 1000, 0);
+        let before = store.bytes();
+        assert!(matches!(
+            store.add_form(&key(1), extra_form(600), 0),
+            AddFormOutcome::Rejected
+        ));
+        assert_eq!(store.bytes(), before);
+        match store.get(&key(1), 0) {
+            Lookup::Live(found) => assert_eq!(found.entry.forms().len(), 1),
+            other => panic!("expected live, got {other:?}"),
+        }
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn add_form_evicts_other_entries_to_fit() {
+        let single = value(10).approximate_size() + key(0).approximate_size();
+        let store = CacheStore::with_shards(
+            Capacity {
+                max_entries: 10,
+                // Room for two single-form entries plus a little slack,
+                // but not for the extra form too.
+                max_bytes: 2 * single + 64,
+            },
+            1,
+        );
+        store.put(key(0), value(10), 1000, 0);
+        store.put(key(1), value(10), 1000, 0);
+        match store.add_form(&key(1), extra_form(48), 0) {
+            AddFormOutcome::Added(evicted) => assert_eq!(evicted.live, 1),
+            other => panic!("expected Added, got {other:?}"),
+        }
+        // The enlarged entry was pinned; its neighbour was the victim.
+        assert!(matches!(store.get(&key(0), 0), Lookup::Absent));
+        assert!(matches!(store.get(&key(1), 0), Lookup::Live(_)));
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn add_form_for_missing_key_is_gone() {
+        let store = CacheStore::default();
+        assert!(matches!(
+            store.add_form(&key(9), extra_form(8), 0),
+            AddFormOutcome::Gone
+        ));
+    }
+
+    #[test]
+    fn conversion_claims_are_exclusive_and_released() {
+        let store = CacheStore::default();
+        store.put(key(1), value(10), 1000, 0);
+        let target = ValueRepresentation::Serialization;
+        assert!(store.try_begin_convert(&key(1), target));
+        // Second claimant is turned away while the first is in flight.
+        assert!(!store.try_begin_convert(&key(1), target));
+        // …but a different target can be claimed concurrently.
+        assert!(store.try_begin_convert(&key(1), ValueRepresentation::DomTree));
+        match store.finish_convert(&key(1), target, Some(extra_form(8)), 0) {
+            AddFormOutcome::Added(_) => {}
+            other => panic!("expected Added, got {other:?}"),
+        }
+        // Now the form is present: no further claims for it.
+        assert!(!store.try_begin_convert(&key(1), target));
+        assert!(matches!(
+            store.add_form(&key(1), extra_form(8), 0),
+            AddFormOutcome::AlreadyPresent
+        ));
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn failed_conversion_releases_the_claim() {
+        let store = CacheStore::default();
+        store.put(key(1), value(10), 1000, 0);
+        let target = ValueRepresentation::Serialization;
+        assert!(store.try_begin_convert(&key(1), target));
+        assert!(matches!(
+            store.finish_convert(&key(1), target, None, 0),
+            AddFormOutcome::Rejected
+        ));
+        // The claim is free again for a retry.
+        assert!(store.try_begin_convert(&key(1), target));
+    }
+
+    #[test]
+    fn hit_counts_accumulate_and_reset_on_replacement() {
+        let store = CacheStore::default();
+        store.put(key(1), value(10), 1000, 0);
+        for expected in 1..=3u64 {
+            match store.get(&key(1), 0) {
+                Lookup::Live(found) => assert_eq!(found.hits, expected),
+                other => panic!("expected live, got {other:?}"),
+            }
+        }
+        // A replacement is a fresh response: popularity starts over.
+        store.put(key(1), value(10), 1000, 0);
+        match store.get(&key(1), 0) {
+            Lookup::Live(found) => assert_eq!(found.hits, 1),
+            other => panic!("expected live, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Integration tests for adaptive representation selection and
+//! convert-on-hit on multi-form entries.
+//!
+//! The adaptive policy is pre-seeded with observations that dominate
+//! the (tiny, real) latencies the cache records during the test, so
+//! every decision below is deterministic.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsrc_cache::clock::ManualClock;
+use wsrc_cache::policy::{AdaptivePolicy, CachePolicy, OperationPolicy, SelectionMode};
+use wsrc_cache::repr::ValueRepresentation;
+use wsrc_cache::{ResponseCache, ResponseData};
+use wsrc_model::typeinfo::{FieldDescriptor, FieldType, TypeDescriptor, TypeRegistry};
+use wsrc_model::value::{StructValue, Value};
+use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::rpc::RpcRequest;
+use wsrc_soap::serializer::serialize_response;
+use wsrc_xml::event::SaxEventSequence;
+
+const URL: &str = "http://backend.test/soap";
+const OP: &str = "getItem";
+
+/// One seeded nanosecond figure that dwarfs any real latency the test
+/// machine can record (1 second), so seeded means stay decisive.
+const SLOW: u64 = 1_000_000_000;
+const FAST: u64 = 10;
+
+fn registry() -> TypeRegistry {
+    TypeRegistry::builder()
+        .register(TypeDescriptor::new(
+            "Item",
+            vec![
+                FieldDescriptor::new("name", FieldType::String),
+                FieldDescriptor::new("qty", FieldType::Int),
+            ],
+        ))
+        .build()
+}
+
+struct Fixture {
+    xml: Arc<[u8]>,
+    events: Arc<SaxEventSequence>,
+    value: Value,
+    expected: FieldType,
+}
+
+fn fixture() -> Fixture {
+    let value = Value::Struct(StructValue::new("Item").with("name", "n").with("qty", 2));
+    let expected = FieldType::Struct("Item".into());
+    let xml = serialize_response("urn:t", OP, "return", &value, &registry()).unwrap();
+    let (_, events) = read_response_xml_recording(&xml, &expected, &registry()).unwrap();
+    Fixture {
+        xml: Arc::from(xml.into_bytes()),
+        events: Arc::new(events),
+        value,
+        expected,
+    }
+}
+
+fn request() -> RpcRequest {
+    RpcRequest::new("urn:t", OP).with_param("id", 7)
+}
+
+fn data(f: &Fixture) -> ResponseData<'_> {
+    ResponseData {
+        xml: &f.xml,
+        events: &f.events,
+        value: &f.value,
+    }
+}
+
+/// A cache whose entries are forced to start as `XmlMessage`, with an
+/// adaptive policy seeded so that converting to `CloneCopy` is clearly
+/// worthwhile from the very first hit.
+fn convert_ready_cache() -> (ResponseCache, Arc<AdaptivePolicy>) {
+    let adaptive = Arc::new(
+        AdaptivePolicy::new()
+            .with_size_weight(0)
+            .with_convert_after_hits(1),
+    );
+    // Retrieval from the stored XML is "slow", clone retrieval is
+    // "fast" and cheap to build: the payoff test passes at one hit.
+    adaptive.record_retrieve(OP, ValueRepresentation::XmlMessage, SLOW);
+    adaptive.record_retrieve(OP, ValueRepresentation::CloneCopy, FAST);
+    adaptive.record_build(OP, ValueRepresentation::CloneCopy, FAST, 64);
+    let cache = ResponseCache::builder(registry())
+        .policy(
+            CachePolicy::new().with(
+                OP,
+                OperationPolicy::cacheable(Duration::from_secs(600))
+                    .with_representation(ValueRepresentation::XmlMessage),
+            ),
+        )
+        .clock(ManualClock::new())
+        .adaptive(adaptive.clone())
+        .build();
+    (cache, adaptive)
+}
+
+#[test]
+fn convert_on_hit_happens_exactly_once() {
+    let (cache, _adaptive) = convert_ready_cache();
+    let f = fixture();
+    assert_eq!(
+        cache.insert(URL, &request(), data(&f)),
+        Some(ValueRepresentation::XmlMessage)
+    );
+    // First hit serves the XML form and converts once to CloneCopy.
+    let hit = cache.lookup(URL, &request(), &f.expected).expect("hit");
+    assert_eq!(hit.as_value(), &f.value);
+    let stats = cache.stats();
+    assert_eq!(stats.conversions, 1);
+    assert_eq!(stats.conversions_for(ValueRepresentation::CloneCopy), 1);
+    assert_eq!(stats.hits_for(ValueRepresentation::XmlMessage), 1);
+    // Every further hit is served from the converted form; the counter
+    // never moves again because the form is already present.
+    for _ in 0..10 {
+        let hit = cache.lookup(URL, &request(), &f.expected).expect("hit");
+        assert_eq!(hit.as_value(), &f.value);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.conversions, 1, "conversion must happen exactly once");
+    assert_eq!(stats.hits_for(ValueRepresentation::CloneCopy), 10);
+}
+
+#[test]
+fn concurrent_converters_coalesce() {
+    for round in 0..8 {
+        let (cache, _adaptive) = convert_ready_cache();
+        let cache = Arc::new(cache);
+        let f = Arc::new(fixture());
+        cache.insert(URL, &request(), data(&f));
+        // Many threads hammer the same hot key; the conversion claim in
+        // the store must let exactly one of them materialize the form.
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let f = f.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let hit = cache.lookup(URL, &request(), &f.expected).expect("hit");
+                    assert_eq!(hit.as_value(), &f.value);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            cache.stats().conversions,
+            1,
+            "concurrent converters must coalesce to one conversion (round {round})"
+        );
+    }
+}
+
+/// The scoring flip, end to end under a [`ManualClock`]: with no hit
+/// history the policy picks the cheap-to-build form; once hits dominate
+/// it flips to the cheap-to-retrieve form. Running the same schedule
+/// twice must make identical decisions.
+#[test]
+fn scoring_flips_deterministically_under_manual_clock() {
+    let run = || {
+        // Convert-on-hit is disabled so the flip is visible purely
+        // through insert-time selections.
+        let adaptive = AdaptivePolicy::new()
+            .with_min_samples(0)
+            .with_size_weight(0)
+            .with_convert_after_hits(u64::MAX);
+        // Seed both candidates' build costs only: XmlMessage is cheap to
+        // build, CloneCopy expensive. With zero observed hits the
+        // expected-hits term vanishes and build cost decides.
+        adaptive.record_build(OP, ValueRepresentation::XmlMessage, FAST, 64);
+        adaptive.record_build(OP, ValueRepresentation::CloneCopy, SLOW / 2, 64);
+        let adaptive = Arc::new(adaptive);
+        let clock = ManualClock::new();
+        let handle = clock.handle();
+        let cache = ResponseCache::builder(registry())
+            .cache_everything(Duration::from_secs(1))
+            .clock(clock)
+            .adaptive(adaptive.clone())
+            .build();
+        let f = fixture();
+
+        // Expected hits per insert are ~0: score reduces to build cost,
+        // and the cheap-to-build XML form wins.
+        let first = cache.insert(URL, &request(), data(&f)).unwrap();
+
+        // Record a burst of (seeded) hits so the expected-hits term
+        // dominates, then let the entry expire and re-insert.
+        for _ in 0..8 {
+            adaptive.record_retrieve(OP, ValueRepresentation::XmlMessage, SLOW);
+            adaptive.record_retrieve(OP, ValueRepresentation::CloneCopy, FAST);
+        }
+        handle.advance_millis(2_000);
+        let second = cache.insert(URL, &request(), data(&f)).unwrap();
+        let stats = cache.stats();
+        (first, second, stats)
+    };
+
+    let (first, second, stats) = run();
+    assert_eq!(first, ValueRepresentation::XmlMessage);
+    assert_eq!(
+        second,
+        ValueRepresentation::CloneCopy,
+        "hit-dominated scoring must flip to the cheap-to-retrieve form"
+    );
+    assert_eq!(
+        stats.selections_for(SelectionMode::Exploit, ValueRepresentation::XmlMessage),
+        1
+    );
+    assert_eq!(
+        stats.selections_for(SelectionMode::Exploit, ValueRepresentation::CloneCopy),
+        1
+    );
+
+    // Determinism: an identical second run makes identical decisions.
+    let (first2, second2, stats2) = run();
+    assert_eq!((first, second), (first2, second2));
+    assert_eq!(stats.selections, stats2.selections);
+}

@@ -181,7 +181,9 @@ fn store_never_exceeds_capacity() {
             let k = rng.below(40);
             let size = 1 + rng.below(399);
             let key = CacheKey::Text(format!("k{k}"));
-            let value = StoredResponse::XmlMessage(Arc::from("v".repeat(size).into_bytes()));
+            let value = wsrc_cache::CacheEntry::single(StoredResponse::XmlMessage(Arc::from(
+                "v".repeat(size).into_bytes(),
+            )));
             store.put(key, value, u64::MAX, 0);
             assert!(store.len() <= 10, "len {} > 10 (seed {seed})", store.len());
             assert!(
@@ -203,7 +205,7 @@ fn store_get_after_put_returns_live_until_expiry() {
         let key = CacheKey::Text("k".into());
         store.put(
             key.clone(),
-            StoredResponse::XmlMessage(Arc::from(&b"v"[..])),
+            wsrc_cache::CacheEntry::single(StoredResponse::XmlMessage(Arc::from(&b"v"[..]))),
             ttl,
             0,
         );

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use wsrc_cache::repr::StoredResponse;
 use wsrc_cache::store::{CacheStore, Capacity, Lookup};
-use wsrc_cache::CacheKey;
+use wsrc_cache::{CacheEntry, CacheKey};
 
 /// Deterministic xorshift64* generator.
 struct Rng(u64);
@@ -37,8 +37,10 @@ fn key(n: usize) -> CacheKey {
     CacheKey::Text(format!("key-{n}"))
 }
 
-fn value(size: usize) -> StoredResponse {
-    StoredResponse::XmlMessage(Arc::from("x".repeat(size).into_bytes()))
+fn value(size: usize) -> CacheEntry {
+    CacheEntry::single(StoredResponse::XmlMessage(Arc::from(
+        "x".repeat(size).into_bytes(),
+    )))
 }
 
 const FAR_FUTURE: u64 = u64::MAX;

@@ -22,6 +22,11 @@ cargo run -q --release -p wsrc-bench --bin bench_pipeline -- --smoke \
 # never timings.
 cargo run -q --release -p wsrc-bench --bin bench_e2e -- --smoke \
   --out target/bench_e2e_smoke.json
+# Adaptive-vs-fixed representation benchmark smoke: fixed op counts
+# under a manual clock; validates the BENCH_adaptive JSON schema
+# (wsrc-bench-adaptive/v1), never timings or the win verdict.
+cargo run -q --release -p wsrc-bench --bin bench_adaptive -- --smoke \
+  --out target/bench_adaptive_smoke.json
 # End-to-end tracing smoke: a traced miss+hit over real TCP under a
 # fake clock; asserts every pipeline stage appears in the /trace span
 # tree and the root's direct children cover >=90% of its wall time.
