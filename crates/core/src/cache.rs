@@ -15,7 +15,7 @@ use crate::key::{generate_key, CacheKey, KeyStrategy};
 use crate::policy::{AdaptivePolicy, CachePolicy, OperationPolicy, SelectionMode};
 use crate::repr::{StoredResponse, ValueHandle, ValueRepresentation};
 use crate::stats::{CacheStats, StatsSnapshot};
-use crate::store::{AddFormOutcome, CacheStore, Capacity, Lookup};
+use crate::store::{AddFormOutcome, CacheStore, Capacity, FoundEntry, Lookup};
 use std::sync::Arc;
 use std::time::Duration;
 use wsrc_model::typeinfo::{FieldType, TypeRegistry};
@@ -191,8 +191,11 @@ impl ResponseCache {
             }
         };
         match self.store.get(&key, self.clock.now_millis()) {
-            Lookup::Live(found) => {
-                let entry = found.entry;
+            Lookup::Live(FoundEntry {
+                entry,
+                hits,
+                generation,
+            }) => {
                 let serving = self.serving_form(&request.operation, &entry);
                 let repr = serving.representation();
                 let histogram = &self.timers.retrieve[repr.index()];
@@ -210,7 +213,8 @@ impl ResponseCache {
                             &key,
                             request,
                             &entry,
-                            found.hits,
+                            hits,
+                            generation,
                             repr,
                             handle.as_value(),
                             expected,
@@ -311,14 +315,23 @@ impl ResponseCache {
         let (entry, repr, mode) = self.build_entry(&request.operation, &policy, data)?;
         let now = self.clock.now_millis();
         let expires = now.saturating_add(policy.ttl.as_millis() as u64);
-        let evicted = self
+        let accepted = self
             .store
             .put_validated(key, entry, expires, now, validator);
         self.stats.record_insert(repr);
         if let Some(mode) = mode {
             self.stats.record_selection(mode, repr);
         }
-        self.stats.record_evictions(evicted);
+        if let Some(evicted) = accepted {
+            // Only entries the store accepted count as inserts for the
+            // adaptive policy — a refused (oversized) entry can never
+            // serve a hit, and counting it would deflate
+            // `expected_hits = hits / inserts`.
+            if let Some(ad) = &self.adaptive {
+                ad.record_insert(&request.operation);
+            }
+            self.stats.record_evictions(evicted);
+        }
         let (entries, bytes) = self.store.occupancy();
         self.timers.entries.set(entries as i64);
         self.timers.bytes.set(bytes as i64);
@@ -397,7 +410,9 @@ impl ResponseCache {
     /// key's observed hit rate, materialize it once and store it
     /// alongside the existing forms. The claim in the store
     /// ([`CacheStore::try_begin_convert`]) guarantees concurrent hits
-    /// convert at most once per (key, target).
+    /// convert at most once per (key, target); `generation` ties the
+    /// claim to the payload this hit was served from, so a conversion
+    /// raced by a replacement publishes nothing.
     #[allow(clippy::too_many_arguments)]
     fn maybe_convert(
         &self,
@@ -405,6 +420,7 @@ impl ResponseCache {
         request: &RpcRequest,
         entry: &CacheEntry,
         hits: u64,
+        generation: u64,
         served: ValueRepresentation,
         value: &Value,
         expected: &FieldType,
@@ -415,9 +431,16 @@ impl ResponseCache {
         if entry.has(target) || !ad.should_convert(operation, hits, served, target) {
             return None;
         }
-        if !self.store.try_begin_convert(key, target) {
+        if !self.store.try_begin_convert(key, target, generation) {
             return None;
         }
+        let claim = ConvertClaim {
+            store: &self.store,
+            key,
+            target,
+            generation,
+            armed: true,
+        };
         let mut span = wsrc_obs::trace::child_span("cache-convert", "cache");
         let histogram = &self.timers.convert[target.index()];
         let started = histogram.now_nanos();
@@ -435,7 +458,7 @@ impl ResponseCache {
             Ok(form) => {
                 histogram.record_nanos(elapsed);
                 let size = form.approximate_size();
-                match self.store.finish_convert(key, target, Some(form), now) {
+                match claim.finish(Some(form), now) {
                     AddFormOutcome::Added(evicted) => {
                         self.stats.record_conversion(target);
                         self.stats.record_evictions(evicted);
@@ -458,7 +481,7 @@ impl ResponseCache {
                 }
             }
             Err(_) => {
-                self.store.finish_convert(key, target, None, now);
+                claim.finish(None, now);
                 if let Some(span) = span.as_mut() {
                     span.set_error();
                 }
@@ -525,6 +548,42 @@ impl ResponseCache {
     /// The effective policy for an operation (for diagnostics).
     pub fn policy_for(&self, operation: &str) -> OperationPolicy {
         self.policy.for_operation(operation)
+    }
+}
+
+/// A conversion claim taken with [`CacheStore::try_begin_convert`],
+/// released on drop: if `convert_to` panics (or any early return lands
+/// between claim and publish), the target's `converting` bit is freed
+/// instead of blocking that representation until the entry is replaced.
+struct ConvertClaim<'a> {
+    store: &'a CacheStore,
+    key: &'a CacheKey,
+    target: ValueRepresentation,
+    /// The payload generation the claim was taken at; the store refuses
+    /// the release/publish if the slot has been replaced since.
+    generation: u64,
+    armed: bool,
+}
+
+impl ConvertClaim<'_> {
+    /// Publishes the converted form (`Some`) or merely releases the
+    /// claim (`None`), consuming the guard.
+    fn finish(mut self, form: Option<StoredResponse>, now_millis: u64) -> AddFormOutcome {
+        self.armed = false;
+        self.store
+            .finish_convert(self.key, self.target, self.generation, form, now_millis)
+    }
+}
+
+impl Drop for ConvertClaim<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Release-only: nothing is published, so the timestamp
+            // (which only drives eviction when a form lands) is unused.
+            let _ = self
+                .store
+                .finish_convert(self.key, self.target, self.generation, None, 0);
+        }
     }
 }
 
@@ -949,6 +1008,37 @@ mod tests {
         assert!(gauge("wsrc_cache_bytes") > 0);
         cache.clear();
         assert_eq!(cache.metrics().snapshot().gauges.len(), snap.gauges.len());
+    }
+
+    #[test]
+    fn convert_claim_guard_releases_on_unwind() {
+        let store = CacheStore::default();
+        let key = CacheKey::Text("k".into());
+        let entry = CacheEntry::single(StoredResponse::XmlMessage(Arc::from(
+            "x".repeat(16).into_bytes(),
+        )));
+        store.put(key.clone(), entry, 1000, 0);
+        let generation = match store.get(&key, 0) {
+            Lookup::Live(found) => found.generation,
+            other => panic!("expected live, got {other:?}"),
+        };
+        let target = ValueRepresentation::Serialization;
+        assert!(store.try_begin_convert(&key, target, generation));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _claim = ConvertClaim {
+                store: &store,
+                key: &key,
+                target,
+                generation,
+                armed: true,
+            };
+            panic!("conversion blew up");
+        }));
+        assert!(unwound.is_err());
+        // The guard released the claim during unwind: a later hit can
+        // claim (and perform) the conversion instead of finding the
+        // target permanently blocked.
+        assert!(store.try_begin_convert(&key, target, generation));
     }
 
     #[test]

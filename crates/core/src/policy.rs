@@ -304,7 +304,8 @@ struct Observations {
 ///       + size_weight × size_mean / 1024
 /// ```
 ///
-/// where `expected_hits = hits / max(1, inserts)` for the operation, and
+/// where `expected_hits = hits / max(1, inserts)` for the operation
+/// (counting only inserts the store actually accepted), and
 /// picks the cheapest (ties go to the faster-retrieval representation).
 /// Until every candidate has [`min
 /// samples`](AdaptivePolicy::with_min_samples) local build observations
@@ -497,7 +498,10 @@ impl AdaptivePolicy {
     }
 
     /// Records a miss-path build: `repr` was materialized for
-    /// `operation` in `nanos`, occupying `size_bytes`.
+    /// `operation` in `nanos`, occupying `size_bytes`. The cost and
+    /// size are valid observations whether or not the store goes on to
+    /// accept the entry; the insert itself is counted separately by
+    /// [`record_insert`](AdaptivePolicy::record_insert) once it does.
     pub fn record_build(
         &self,
         operation: &str,
@@ -507,12 +511,21 @@ impl AdaptivePolicy {
     ) {
         let mut state = sync::lock_class("AdaptivePolicy.state", &self.state);
         let op = state.entry(operation.to_string()).or_default();
-        op.inserts += 1;
         let stats = &mut op.per[repr.index()];
         stats.build_nanos_sum += nanos;
         stats.build_count += 1;
         stats.size_bytes_sum += size_bytes as u64;
         stats.size_count += 1;
+    }
+
+    /// Counts a response actually stored for `operation`. Called only
+    /// after the store accepts the entry: builds whose entries are
+    /// refused (e.g. oversized for any shard) can never serve a hit,
+    /// so counting them would deflate `expected_hits = hits / inserts`
+    /// and bias scoring toward cheap-build representations.
+    pub fn record_insert(&self, operation: &str) {
+        let mut state = sync::lock_class("AdaptivePolicy.state", &self.state);
+        state.entry(operation.to_string()).or_default().inserts += 1;
     }
 
     /// Records a hit-path retrieval from `repr` for `operation`.
@@ -695,6 +708,33 @@ mod tests {
             p.preferred_form("op", ValueRepresentation::XmlMessage.bit()),
             Some(ValueRepresentation::XmlMessage)
         );
+    }
+
+    #[test]
+    fn rejected_builds_do_not_deflate_expected_hits() {
+        let p = AdaptivePolicy::new()
+            .with_min_samples(0)
+            .with_size_weight(0);
+        let c = [
+            ValueRepresentation::XmlMessage,
+            ValueRepresentation::CloneCopy,
+        ];
+        // Ten builds were observed but only one entry was accepted by
+        // the store (the rest were refused, e.g. oversized).
+        for _ in 0..10 {
+            p.record_build("op", ValueRepresentation::XmlMessage, 10, 0);
+        }
+        p.record_build("op", ValueRepresentation::CloneCopy, 50_000, 0);
+        p.record_insert("op");
+        p.record_retrieve("op", ValueRepresentation::XmlMessage, 100_000);
+        p.record_retrieve("op", ValueRepresentation::CloneCopy, 10);
+        // expected_hits = 2 hits / 1 accepted insert = 2: the retrieve
+        // term dominates and the cheap-to-retrieve clone wins. Counting
+        // the nine refused builds as inserts would zero expected_hits
+        // and flip the choice to the cheap-to-build XML form.
+        let s = p.select_insert("op", &c);
+        assert_eq!(s.mode, SelectionMode::Exploit);
+        assert_eq!(s.representation, ValueRepresentation::CloneCopy);
     }
 
     #[test]

@@ -35,8 +35,13 @@
 //! form to the same slot (and the shard byte budget) in place;
 //! [`CacheStore::try_begin_convert`]/[`CacheStore::finish_convert`] gate
 //! conversions so concurrent hitters materialize a wanted form exactly
-//! once. All forms of an entry share one slot and therefore leave the
-//! budget together on eviction.
+//! once. Claims are *generation-stamped*: every insert or replacement
+//! bumps a per-shard counter stamped onto the slot, lookups report it in
+//! [`FoundEntry`], and a claim or publish whose stamp no longer matches
+//! the slot is refused — a conversion raced by a replacement can neither
+//! attach a form built from the old response to the new entry nor
+//! release a claim legitimately re-taken on it. All forms of an entry
+//! share one slot and therefore leave the budget together on eviction.
 
 use crate::entry::CacheEntry;
 use crate::key::CacheKey;
@@ -148,6 +153,11 @@ struct Slot {
     /// Bitmask of representations a conversion is in flight for
     /// (claimed via [`CacheStore::try_begin_convert`]).
     converting: u8,
+    /// Per-shard monotonic stamp identifying this slot's current
+    /// payload; bumped on insert and replacement. Conversion claims
+    /// carry the generation they were read at, so claims and publishes
+    /// against a since-replaced payload are refused.
+    generation: u64,
     lru_prev: u32,
     lru_next: u32,
     chain_next: u32,
@@ -166,6 +176,10 @@ struct Shard {
     lru_tail: u32,
     entries: usize,
     bytes: usize,
+    /// Last generation stamp handed out; never reset (not even by
+    /// [`clear`](Shard::clear)) so a stamp can never be reused by a
+    /// later payload within this shard.
+    last_generation: u64,
 }
 
 impl Default for Shard {
@@ -178,6 +192,7 @@ impl Default for Shard {
             lru_tail: NIL,
             entries: 0,
             bytes: 0,
+            last_generation: 0,
         }
     }
 }
@@ -253,8 +268,15 @@ impl Shard {
         self.lru_push_front(idx);
     }
 
+    /// The generation stamp for a payload being installed right now.
+    fn bump_generation(&mut self) -> u64 {
+        self.last_generation += 1;
+        self.last_generation
+    }
+
     /// Inserts a slot not currently present, returning its slab index.
     fn insert_new(&mut self, mut slot: Slot) -> u32 {
+        slot.generation = self.bump_generation();
         let idx = match self.free.pop() {
             Some(recycled) => recycled,
             None => {
@@ -275,7 +297,9 @@ impl Shard {
 
     /// Replaces the payload of an existing slot, adjusting byte
     /// accounting. A replacement is a fresh response: the hit count and
-    /// any in-flight conversion claims reset with it.
+    /// any in-flight conversion claims reset with it, and the slot's
+    /// generation is bumped so outstanding claims against the old
+    /// payload can no longer touch this one.
     fn replace(
         &mut self,
         idx: u32,
@@ -284,6 +308,7 @@ impl Shard {
         size_bytes: usize,
         validator: Option<Arc<str>>,
     ) {
+        let generation = self.bump_generation();
         let old_size = match self.slot_mut(idx) {
             Some(slot) => {
                 let old = slot.size_bytes;
@@ -293,6 +318,7 @@ impl Shard {
                 slot.validator = validator;
                 slot.hits = 0;
                 slot.converting = 0;
+                slot.generation = generation;
                 old
             }
             None => return,
@@ -374,6 +400,8 @@ impl Shard {
         self.lru_tail = NIL;
         self.entries = 0;
         self.bytes = 0;
+        // `last_generation` deliberately survives: stamps stay unique
+        // for the shard's whole lifetime.
     }
 
     /// Cross-checks every invariant the shard maintains incrementally.
@@ -407,6 +435,12 @@ impl Shard {
                     "shard {shard_no}: slot charges {} bytes but its {} form(s) sum to {expected}",
                     slot.size_bytes,
                     slot.entry.forms().len()
+                ));
+            }
+            if slot.generation == 0 || slot.generation > self.last_generation {
+                return Err(format!(
+                    "shard {shard_no}: slot generation {} outside 1..={}",
+                    slot.generation, self.last_generation
                 ));
             }
         }
@@ -582,6 +616,7 @@ impl CacheStore {
                         Lookup::Live(FoundEntry {
                             entry: slot.entry.clone(),
                             hits: slot.hits,
+                            generation: slot.generation,
                         })
                     }
                     None => Lookup::Absent,
@@ -607,7 +642,8 @@ impl CacheStore {
 
     /// Inserts (or replaces) an entry expiring at `expires_at_millis`,
     /// evicting within the locked shard as needed. Returns what was
-    /// evicted to make room.
+    /// evicted to make room (nothing when the entry was refused — use
+    /// [`put_validated`](CacheStore::put_validated) to distinguish).
     pub fn put(
         &self,
         key: CacheKey,
@@ -616,11 +652,14 @@ impl CacheStore {
         now_millis: u64,
     ) -> EvictionSummary {
         self.put_validated(key, entry, expires_at_millis, now_millis, None)
+            .unwrap_or_default()
     }
 
     /// [`put`](CacheStore::put) with a revalidation token. Entries with a
     /// validator become `Stale` instead of `Expired` when their TTL
-    /// lapses.
+    /// lapses. Returns `None` when the entry was refused because it can
+    /// never fit a shard's budget (nothing was stored), `Some` with the
+    /// eviction summary otherwise.
     pub fn put_validated(
         &self,
         key: CacheKey,
@@ -628,11 +667,11 @@ impl CacheStore {
         expires_at_millis: u64,
         now_millis: u64,
         validator: Option<String>,
-    ) -> EvictionSummary {
+    ) -> Option<EvictionSummary> {
         let size_bytes = entry.approximate_size() + key.approximate_size();
         // Entries that can never fit a shard's budget are not cacheable.
         if self.shard_max_entries == 0 || size_bytes > self.shard_max_bytes {
-            return EvictionSummary::default();
+            return None;
         }
         let validator: Option<Arc<str>> = validator.map(Arc::from);
         let hash = hash_key(&key);
@@ -652,12 +691,13 @@ impl CacheStore {
                 validator,
                 hits: 0,
                 converting: 0,
+                generation: 0, // stamped by insert_new
                 lru_prev: NIL,
                 lru_next: NIL,
                 chain_next: NIL,
             }),
         };
-        self.evict_over_budget(&mut shard, now_millis, pinned)
+        Some(self.evict_over_budget(&mut shard, now_millis, pinned))
     }
 
     /// Evicts within a locked shard until its budget holds, never
@@ -732,12 +772,20 @@ impl CacheStore {
         AddFormOutcome::Added(self.evict_over_budget(shard, now_millis, idx))
     }
 
-    /// Claims the right to convert the entry under `key` to `target`.
-    /// Returns `false` when the form is already present, another
-    /// converter already claimed it, or the entry is gone — in every
-    /// case the caller must not convert. A successful claim must be
-    /// released with [`finish_convert`](CacheStore::finish_convert).
-    pub fn try_begin_convert(&self, key: &CacheKey, target: ValueRepresentation) -> bool {
+    /// Claims the right to convert the entry under `key` to `target`,
+    /// where `generation` is the stamp the caller read in
+    /// [`FoundEntry`]. Returns `false` when the payload has been
+    /// replaced since that read (generation mismatch), the form is
+    /// already present, another converter already claimed it, or the
+    /// entry is gone — in every case the caller must not convert. A
+    /// successful claim must be released with
+    /// [`finish_convert`](CacheStore::finish_convert).
+    pub fn try_begin_convert(
+        &self,
+        key: &CacheKey,
+        target: ValueRepresentation,
+        generation: u64,
+    ) -> bool {
         let hash = hash_key(key);
         let mut shard = sync::lock_class("CacheStore.shards", &self.shards[self.shard_index(hash)]);
         let Some(idx) = shard.find(hash, key) else {
@@ -746,7 +794,10 @@ impl CacheStore {
         let Some(slot) = shard.slot_mut(idx) else {
             return false;
         };
-        if slot.entry.has(target) || slot.converting & target.bit() != 0 {
+        if slot.generation != generation
+            || slot.entry.has(target)
+            || slot.converting & target.bit() != 0
+        {
             return false;
         }
         slot.converting |= target.bit();
@@ -758,10 +809,19 @@ impl CacheStore {
     /// the converted form when the conversion succeeded (`Some`) and
     /// merely dropping the claim when it failed (`None`, reported as
     /// [`Rejected`](AddFormOutcome::Rejected) since nothing was added).
+    ///
+    /// `generation` must be the stamp the claim was taken at. When the
+    /// slot's payload has been replaced in the interim the call is a
+    /// no-op returning [`Gone`](AddFormOutcome::Gone): the form was
+    /// converted from a superseded response and must not be attached to
+    /// the new entry, and the new payload's claim bits (reset at
+    /// replacement, possibly re-taken by another converter) are not
+    /// touched.
     pub fn finish_convert(
         &self,
         key: &CacheKey,
         target: ValueRepresentation,
+        generation: u64,
         form: Option<StoredResponse>,
         now_millis: u64,
     ) -> AddFormOutcome {
@@ -770,8 +830,9 @@ impl CacheStore {
         let Some(idx) = shard.find(hash, key) else {
             return AddFormOutcome::Gone;
         };
-        if let Some(slot) = shard.slot_mut(idx) {
-            slot.converting &= !target.bit();
+        match shard.slot_mut(idx) {
+            Some(slot) if slot.generation == generation => slot.converting &= !target.bit(),
+            _ => return AddFormOutcome::Gone,
         }
         match form {
             Some(form) => self.add_form_locked(&mut shard, idx, form, now_millis),
@@ -885,6 +946,12 @@ pub struct FoundEntry {
     /// Live lookups served under this key since (re)insertion,
     /// including this one.
     pub hits: u64,
+    /// Generation stamp of the payload this entry was read from. Pass
+    /// it to [`CacheStore::try_begin_convert`] /
+    /// [`CacheStore::finish_convert`] so a conversion raced by a
+    /// replacement is refused instead of attaching a form built from
+    /// the superseded response.
+    pub generation: u64,
 }
 
 /// Result of [`CacheStore::add_form`] /
@@ -920,6 +987,15 @@ mod tests {
     /// A second representation to add alongside `value`'s XML form.
     fn extra_form(size: usize) -> StoredResponse {
         StoredResponse::Serialized(Arc::from(vec![0u8; size].into_boxed_slice()))
+    }
+
+    /// The generation stamp of the live entry under `k` (panics when
+    /// the lookup is not a live hit).
+    fn live_generation(store: &CacheStore, k: &CacheKey) -> u64 {
+        match store.get(k, 0) {
+            Lookup::Live(found) => found.generation,
+            other => panic!("expected live, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1043,7 +1119,9 @@ mod tests {
             max_entries: 10,
             max_bytes: 100,
         });
-        store.put(key(1), value(1000), 1000, 0);
+        assert!(store
+            .put_validated(key(1), value(1000), 1000, 0, None)
+            .is_none());
         assert_eq!(store.len(), 0);
     }
 
@@ -1136,6 +1214,7 @@ mod tests {
                 validator: None,
                 hits: 0,
                 converting: 0,
+                generation: 0, // stamped by insert_new
                 lru_prev: NIL,
                 lru_next: NIL,
                 chain_next: NIL,
@@ -1294,18 +1373,19 @@ mod tests {
     fn conversion_claims_are_exclusive_and_released() {
         let store = CacheStore::default();
         store.put(key(1), value(10), 1000, 0);
+        let generation = live_generation(&store, &key(1));
         let target = ValueRepresentation::Serialization;
-        assert!(store.try_begin_convert(&key(1), target));
+        assert!(store.try_begin_convert(&key(1), target, generation));
         // Second claimant is turned away while the first is in flight.
-        assert!(!store.try_begin_convert(&key(1), target));
+        assert!(!store.try_begin_convert(&key(1), target, generation));
         // …but a different target can be claimed concurrently.
-        assert!(store.try_begin_convert(&key(1), ValueRepresentation::DomTree));
-        match store.finish_convert(&key(1), target, Some(extra_form(8)), 0) {
+        assert!(store.try_begin_convert(&key(1), ValueRepresentation::DomTree, generation));
+        match store.finish_convert(&key(1), target, generation, Some(extra_form(8)), 0) {
             AddFormOutcome::Added(_) => {}
             other => panic!("expected Added, got {other:?}"),
         }
         // Now the form is present: no further claims for it.
-        assert!(!store.try_begin_convert(&key(1), target));
+        assert!(!store.try_begin_convert(&key(1), target, generation));
         assert!(matches!(
             store.add_form(&key(1), extra_form(8), 0),
             AddFormOutcome::AlreadyPresent
@@ -1317,14 +1397,72 @@ mod tests {
     fn failed_conversion_releases_the_claim() {
         let store = CacheStore::default();
         store.put(key(1), value(10), 1000, 0);
+        let generation = live_generation(&store, &key(1));
         let target = ValueRepresentation::Serialization;
-        assert!(store.try_begin_convert(&key(1), target));
+        assert!(store.try_begin_convert(&key(1), target, generation));
         assert!(matches!(
-            store.finish_convert(&key(1), target, None, 0),
+            store.finish_convert(&key(1), target, generation, None, 0),
             AddFormOutcome::Rejected
         ));
         // The claim is free again for a retry.
-        assert!(store.try_begin_convert(&key(1), target));
+        assert!(store.try_begin_convert(&key(1), target, generation));
+    }
+
+    #[test]
+    fn stale_generation_cannot_claim_a_replaced_entry() {
+        let store = CacheStore::default();
+        store.put(key(1), value(10), 1000, 0);
+        let old_generation = live_generation(&store, &key(1));
+        let target = ValueRepresentation::Serialization;
+        // Replacement bumps the generation: a claim read before it must
+        // be refused, whether the slot was replaced in place…
+        store.put(key(1), value(10), 1000, 0);
+        assert!(!store.try_begin_convert(&key(1), target, old_generation));
+        let replaced = live_generation(&store, &key(1));
+        assert!(store.try_begin_convert(&key(1), target, replaced));
+        // …or removed and re-inserted under the same key.
+        assert!(store.invalidate(&key(1)));
+        store.put(key(1), value(10), 1000, 0);
+        assert!(!store.try_begin_convert(&key(1), target, replaced));
+        assert!(store.try_begin_convert(&key(1), target, live_generation(&store, &key(1))));
+    }
+
+    #[test]
+    fn stale_finish_neither_publishes_nor_releases_the_new_claim() {
+        let store = CacheStore::default();
+        store.put(key(1), value(10), 1000, 0);
+        let old_generation = live_generation(&store, &key(1));
+        let target = ValueRepresentation::Serialization;
+        assert!(store.try_begin_convert(&key(1), target, old_generation));
+        // The entry is replaced while the conversion is in flight, and a
+        // second converter legitimately claims the same target on the
+        // new payload.
+        store.put(key(1), value(10), 1000, 0);
+        let new_generation = live_generation(&store, &key(1));
+        assert!(store.try_begin_convert(&key(1), target, new_generation));
+        // The first converter finishes with a form built from the OLD
+        // response: it must not be attached to the new entry…
+        assert!(matches!(
+            store.finish_convert(&key(1), target, old_generation, Some(extra_form(8)), 0),
+            AddFormOutcome::Gone
+        ));
+        match store.get(&key(1), 0) {
+            Lookup::Live(found) => {
+                assert_eq!(
+                    found.entry.forms().len(),
+                    1,
+                    "stale form must not be published"
+                );
+            }
+            other => panic!("expected live, got {other:?}"),
+        }
+        // …and the second converter's claim must survive it.
+        assert!(!store.try_begin_convert(&key(1), target, new_generation));
+        match store.finish_convert(&key(1), target, new_generation, Some(extra_form(8)), 0) {
+            AddFormOutcome::Added(_) => {}
+            other => panic!("expected Added, got {other:?}"),
+        }
+        store.audit().unwrap();
     }
 
     #[test]
