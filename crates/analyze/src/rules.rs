@@ -17,7 +17,10 @@
 //!   function body.
 //! - **R6 `zero-copy-pipeline`** — no copying methods (`.to_vec()`,
 //!   `.clone()`, …) on the shared body/event buffers outside the
-//!   allowlisted construction sites.
+//!   allowlisted construction sites; and inside the zero-alloc XML
+//!   reader, no `.to_string()` / `.to_owned()` / `String::from(` on
+//!   parser input spans outside the one sanctioned owned-copy
+//!   function.
 //! - **R7 `bounded-spawn`** — no raw `thread::spawn` /
 //!   `Builder::spawn` outside the allowlisted pool construction sites;
 //!   concurrency must be bounded (worker pools, connection pools,
@@ -113,7 +116,7 @@ pub const RULES: &[(&str, &str, &str)] = &[
     (
         "R6",
         "zero-copy-pipeline",
-        "no copying methods on shared body/event buffers outside construction sites",
+        "no copying methods on shared buffers or parser input spans outside sanctioned sites",
     ),
     (
         "R7",
@@ -210,6 +213,19 @@ const R6_ALLOWLIST: &[&str] = &[
     "crates/xml/src/event.rs",
     "crates/core/src/entry.rs",
 ];
+
+/// The parser file subject to R6's parser-span check. The byte-table
+/// reader emits borrowed spans of its input (that is the whole point of
+/// the zero-alloc rewrite), so any `.to_string()` / `.to_owned()` /
+/// `String::from(` inside it silently reintroduces a per-event heap
+/// copy on the miss path. Corpus fixtures whose filename contains
+/// `r6_parser` opt into the same check.
+const R6_PARSER_SCOPE: &[&str] = &["crates/xml/src/reader.rs"];
+
+/// The one function in the parser allowed to copy an input span into an
+/// owned `String`: the compatibility bridge behind
+/// `XmlReader::next_event`. Everything else delivers spans borrowed.
+const R6_PARSER_SANCTIONED_FN: &str = "owned_text";
 
 /// The only file allowed to spawn raw OS threads: the HTTP server's
 /// pool construction (one accept thread plus a fixed set of workers,
@@ -419,6 +435,7 @@ fn rule_panic_freedom(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
 /// call, the deliberate owned-event bridge — reintroduces a per-layer
 /// copy and is flagged outside the allowlisted construction files.
 fn rule_zero_copy_pipeline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    r6_parser_spans(file, diags);
     if !file.is_corpus && path_in(&file.path, R6_ALLOWLIST) {
         return;
     }
@@ -459,6 +476,63 @@ fn rule_zero_copy_pipeline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 message: "`.to_owned_events()` materializes every recorded event; iterate \
                           the arena (`SaxEventSequence::iter`) or replay it instead"
                     .to_string(),
+            });
+        }
+    }
+}
+
+/// R6, parser-span check: owned-copy calls inside the zero-alloc
+/// reader. The reader's event sinks receive `&str` spans borrowed from
+/// the input (or the entity scratch); copying one to a `String` anywhere
+/// except [`R6_PARSER_SANCTIONED_FN`] — the `next_event` compatibility
+/// bridge — undoes the zero-allocation contract one event at a time.
+/// Detected shapes, outside test code and outside the sanctioned
+/// function body: `.to_string(`, `.to_owned(`, and `String::from(`.
+fn r6_parser_spans(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let in_scope =
+        path_in(&file.path, R6_PARSER_SCOPE) || (file.is_corpus && file.path.contains("r6_parser"));
+    if !in_scope {
+        return;
+    }
+    let sanctioned: Vec<(usize, usize)> = file
+        .fns
+        .iter()
+        .filter(|f| f.name == R6_PARSER_SANCTIONED_FN)
+        .map(|f| f.body)
+        .collect();
+    let in_sanctioned = |idx: usize| sanctioned.iter().any(|&(lo, hi)| lo <= idx && idx <= hi);
+    let toks = &file.tokens;
+    for i in 0..toks.len().saturating_sub(2) {
+        let t = &toks[i];
+        if file.in_test(t.line) || in_sanctioned(i) {
+            continue;
+        }
+        // `.to_string(` / `.to_owned(`
+        let method = t.is_punct('.')
+            && (toks[i + 1].is_ident("to_string") || toks[i + 1].is_ident("to_owned"))
+            && toks[i + 2].is_punct('(');
+        // `String::from(`
+        let string_from = t.is_ident("String")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks.get(i + 3).map(|n| n.is_ident("from")).unwrap_or(false)
+            && toks.get(i + 4).map(|n| n.is_punct('(')).unwrap_or(false);
+        if method || string_from {
+            let (what, line) = if method {
+                (format!("`.{}()`", toks[i + 1].text), toks[i + 1].line)
+            } else {
+                ("`String::from(…)`".to_string(), t.line)
+            };
+            diags.push(Diagnostic {
+                code: "R6",
+                rule: "zero-copy-pipeline",
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "{what} copies a parser input span; the reader delivers spans \
+                     borrowed — route the one sanctioned owned copy through \
+                     `{R6_PARSER_SANCTIONED_FN}` (the `next_event` bridge)"
+                ),
             });
         }
     }

@@ -79,6 +79,34 @@ fn r6_fixtures() {
     assert_clean("r6_clean.rs");
 }
 
+/// Parser-span extension of R6: owned copies of reader input spans are
+/// flagged unless they go through the sanctioned `owned_text` function.
+#[test]
+fn r6_parser_fixtures() {
+    let (ok, stdout) = run_deny(&[corpus("r6_parser_trigger.rs")], &[]);
+    assert!(
+        !ok,
+        "r6_parser_trigger.rs must fail --deny; output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[R6/zero-copy-pipeline]"),
+        "output:\n{stdout}"
+    );
+    for what in ["`.to_string()`", "`.to_owned()`", "`String::from(…)`"] {
+        assert!(
+            stdout.contains(what),
+            "all three copy shapes flagged ({what}); output:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("owned_text"),
+        "diagnostic names the sanctioned site; output:\n{stdout}"
+    );
+    // The clean fixture contains a `.to_string()` — inside the
+    // sanctioned `owned_text` body, where it is allowed.
+    assert_clean("r6_parser_clean.rs");
+}
+
 #[test]
 fn r7_fixtures() {
     assert_triggers("r7_trigger.rs", "R7");

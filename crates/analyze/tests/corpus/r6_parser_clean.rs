@@ -1,0 +1,17 @@
+//! R6 parser-span clean: spans flow to the sink borrowed, and the one
+//! owned copy the compatibility bridge needs goes through the
+//! sanctioned `owned_text` function.
+
+/// The single sanctioned owned-copy site.
+fn owned_text(text: &str) -> String {
+    text.to_string()
+}
+
+fn r6pc_deliver_text(sink: &mut dyn EventSink, input: &str, start: usize, lt: usize) {
+    // Borrowed delivery: no copy at all.
+    sink.characters(&input[start..lt]);
+}
+
+fn r6pc_owned_event(text: &str) -> SaxEvent {
+    SaxEvent::Characters(owned_text(text))
+}

@@ -1,0 +1,15 @@
+//! R6 parser-span trigger: the reader materializing owned copies of
+//! input spans at delivery sites instead of handing them out borrowed.
+
+fn r6p_deliver_text(input: &str, start: usize, lt: usize) -> SaxEvent {
+    // Owned copy of a borrowed input span at the characters site.
+    SaxEvent::Characters(input[start..lt].to_string())
+}
+
+fn r6p_deliver_pi(target: &str, data: &str) -> SaxEvent {
+    SaxEvent::ProcessingInstruction {
+        // Copies the target span out of the input.
+        target: String::from(target),
+        data: data.to_owned(),
+    }
+}

@@ -6,14 +6,14 @@
 //!
 //! The full run measures parse / replay / build / retrieve with a real
 //! monotonic clock and writes `results/BENCH_pipeline.json` (including
-//! the compiled-in PR 3 baseline column); `--smoke` (run by
+//! the compiled-in PR 9 baseline column); `--smoke` (run by
 //! `scripts/verify.sh`) uses a deterministic fake clock, tiny op counts,
 //! and writes to `target/bench_pipeline_smoke.json`. Either way the
 //! report is validated against the `wsrc-bench-pipeline/v1` schema and
 //! the process exits non-zero when the shape is wrong.
 
 use wsrc_bench::pipeline_bench::{
-    report_to_json, run_plan, validate_report, PipelinePlan, BASELINE_PR3,
+    report_to_json, run_plan, validate_report, PipelinePlan, BASELINE_PR9,
 };
 use wsrc_bench::render_table;
 
@@ -53,7 +53,7 @@ fn main() {
     }
 
     let baseline_for = |scenario: &str| {
-        BASELINE_PR3
+        BASELINE_PR9
             .iter()
             .find(|(name, _)| *name == scenario)
             .map(|(_, ns)| format!("{ns:.0}"))
@@ -76,7 +76,7 @@ fn main() {
         "{}",
         render_table(
             &format!("bench_pipeline ({} mode) -> {out}", plan.mode()),
-            &["scenario", "ops", "ns/op", "pr3 ns/op", "p50 ns", "p99 ns"],
+            &["scenario", "ops", "ns/op", "pr9 ns/op", "p50 ns", "p99 ns"],
             &rows,
         )
     );

@@ -4,8 +4,8 @@
 //! Google fixtures (§5.1): raw XML parsing into a SAX sequence, replaying
 //! a recorded sequence, and building / retrieving every cache-value
 //! representation. Results go to `results/BENCH_pipeline.json`
-//! (schema [`SCHEMA`]) next to a compiled-in PR 3 baseline so the
-//! zero-copy pipeline's effect is visible in one document.
+//! (schema [`SCHEMA`]) next to a compiled-in PR 9 baseline so the
+//! zero-alloc parser rewrite's effect is visible in one document.
 //!
 //! Timing goes through the injected [`Clock`] (analyzer rule R3): the
 //! full run uses a [`MonotonicClock`]; `--smoke` (wired into
@@ -27,31 +27,35 @@ pub const SCHEMA: &str = "wsrc-bench-pipeline/v1";
 /// Fixed fake-time advance per operation in smoke mode (1 µs).
 const SMOKE_TICK_NANOS: u64 = 1_000;
 
-/// Mean ns/op per scenario measured at the PR 3 harness baseline
-/// (commit 302d0e1, owned-event `SaxEventSequence`, `String`-named
-/// `QName`, per-layer body copies), captured with the full plan on the
-/// same machine class that produces `results/BENCH_pipeline.json`.
-pub const BASELINE_PR3: &[(&str, f64)] = &[
-    ("xml/parse", 26216.6),
-    ("sax/replay", 84.3),
-    ("build/xml-message", 169.5),
-    ("build/dom-tree", 13186.2),
-    ("build/sax-events", 7206.4),
-    ("build/serialization", 4727.7),
-    ("build/reflection-copy", 5667.5),
-    ("build/clone-copy", 6907.8),
-    ("build/pass-by-reference", 2418.8),
-    ("retrieve/xml-message", 46047.1),
-    ("retrieve/dom-tree", 17253.7),
-    ("retrieve/sax-events", 28184.7),
-    ("retrieve/serialization", 6712.5),
-    ("retrieve/reflection-copy", 6081.9),
-    ("retrieve/clone-copy", 5821.9),
-    ("retrieve/pass-by-reference", 104.4),
+/// Mean ns/op per scenario measured at the PR 9 baseline (commit
+/// 75a8f7b: zero-copy pipeline and arena events in place, but the
+/// char-iterating, `String`-per-event XML reader). Captured with the
+/// full plan, per-scenario best of five interleaved runs, on the same
+/// machine and in the same session as the committed
+/// `results/BENCH_pipeline.json`, so the parser rewrite's effect is
+/// isolated from machine drift. The `parse/*` split scenarios did not
+/// exist at PR 9 and have no baseline row.
+pub const BASELINE_PR9: &[(&str, f64)] = &[
+    ("xml/parse", 26581.8),
+    ("sax/replay", 402.7),
+    ("build/xml-message", 122.0),
+    ("build/dom-tree", 6533.7),
+    ("build/sax-events", 117.2),
+    ("build/serialization", 5529.9),
+    ("build/reflection-copy", 6408.7),
+    ("build/clone-copy", 7184.1),
+    ("build/pass-by-reference", 2781.0),
+    ("retrieve/xml-message", 49186.7),
+    ("retrieve/dom-tree", 17580.4),
+    ("retrieve/sax-events", 23467.6),
+    ("retrieve/serialization", 7605.6),
+    ("retrieve/reflection-copy", 6408.1),
+    ("retrieve/clone-copy", 6384.3),
+    ("retrieve/pass-by-reference", 120.2),
 ];
 
 /// Label identifying the baseline column of the report.
-pub const BASELINE_LABEL: &str = "pr3-302d0e1";
+pub const BASELINE_LABEL: &str = "pr9-75a8f7b";
 
 /// The time source driving a run (see `store_bench::BenchClock`; kept
 /// separate so the two harnesses stay independently readable).
@@ -203,6 +207,27 @@ fn bench_parse(plan: &PipelinePlan, fixtures: &[OperationFixture]) -> PipelineRe
     })
 }
 
+/// Parse split by entity density: the reader's fast path hands text out
+/// as borrowed input spans and only drops to the unescape scratch when
+/// a `&` appears, so the two populations isolate the slow path's cost.
+/// `doGoogleSearch` carries ~40 references; the other two fixtures none.
+fn bench_parse_split(plan: &PipelinePlan, fixtures: &[OperationFixture]) -> Vec<PipelineResult> {
+    let (entity, plain): (Vec<&OperationFixture>, Vec<&OperationFixture>) =
+        fixtures.iter().partition(|f| f.xml.contains('&'));
+    let mut results = Vec::new();
+    for (name, subset) in [("parse/no-entity", &plain), ("parse/entity-heavy", &entity)] {
+        if subset.is_empty() {
+            continue;
+        }
+        let clock = plan.clock();
+        results.push(run_scenario(name, plan.parse_ops, &clock, |i| {
+            let f = subset[(i % subset.len() as u64) as usize];
+            std::hint::black_box(XmlReader::new(&f.xml).read_sequence().ok());
+        }));
+    }
+    results
+}
+
 fn bench_replay(plan: &PipelinePlan, fixtures: &[OperationFixture]) -> PipelineResult {
     let clock = plan.clock();
     run_scenario("sax/replay", plan.replay_ops, &clock, |i| {
@@ -272,7 +297,9 @@ fn bench_retrieve(
 pub fn run_plan(plan: &PipelinePlan) -> Vec<PipelineResult> {
     let fixtures = google_fixtures();
     let registry = registry();
-    let mut results = vec![bench_parse(plan, &fixtures), bench_replay(plan, &fixtures)];
+    let mut results = vec![bench_parse(plan, &fixtures)];
+    results.extend(bench_parse_split(plan, &fixtures));
+    results.push(bench_replay(plan, &fixtures));
     for repr in ValueRepresentation::ALL_EXTENDED {
         if let Some(r) = bench_build(plan, repr, &fixtures, &registry) {
             results.push(r);
@@ -290,7 +317,7 @@ pub fn run_plan(plan: &PipelinePlan) -> Vec<PipelineResult> {
 /// with the compiled-in PR 3 numbers and a `scenarios` array with the
 /// measurements of this build.
 pub fn report_to_json(mode: &str, results: &[PipelineResult]) -> String {
-    let baseline = BASELINE_PR3
+    let baseline = BASELINE_PR9
         .iter()
         .map(|(scenario, ns)| {
             format!("      {{\"scenario\":\"{scenario}\",\"ns_per_op\":{ns:.1}}}")
@@ -383,6 +410,8 @@ pub fn validate_report(json: &str) -> Result<(), String> {
     }
     for required in [
         "xml/parse",
+        "parse/no-entity",
+        "parse/entity-heavy",
         "sax/replay",
         "build/xml-message",
         "build/sax-events",

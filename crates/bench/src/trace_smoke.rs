@@ -90,6 +90,19 @@ pub fn run_trace_smoke() -> Result<String, String> {
     let client = HttpClient::with_timeout(Some(Duration::from_secs(10)));
     let base = Url::new("127.0.0.1", server.port(), "/portal");
 
+    // Regression guard on the reader's instrumentation: the zero-alloc
+    // parser must keep recording `wsrc_xml_parse_seconds` into the
+    // process-wide registry. Measured as a delta so parses from
+    // elsewhere in the process can only add, never fake, the signal.
+    let parse_count = |snap: &wsrc_obs::MetricsSnapshot| -> u64 {
+        ["read-all", "read-sequence", "parse-into"]
+            .iter()
+            .filter_map(|op| snap.histogram("wsrc_xml_parse_seconds", &[("op", op)]))
+            .map(|h| h.count)
+            .sum()
+    };
+    let parses_before = parse_count(&wsrc_obs::global().snapshot());
+
     // One miss (pays the back-end latency) and one hit on the same query.
     for _ in 0..2 {
         let mut root = tracer.root_span("trace-smoke", "/portal");
@@ -105,6 +118,15 @@ pub fn run_trace_smoke() -> Result<String, String> {
             Ok(resp) => return Err(format!("portal answered {}", resp.status)),
             Err(e) => return Err(format!("portal request failed: {e}")),
         }
+    }
+
+    let parses_after = parse_count(&wsrc_obs::global().snapshot());
+    if parses_after <= parses_before {
+        return Err(format!(
+            "wsrc_xml_parse_seconds did not advance across a miss+hit \
+             (count {parses_before} before, {parses_after} after); the \
+             reader's parse timers are no longer recording"
+        ));
     }
 
     // The endpoint must serve the same trees the store retained.
@@ -153,10 +175,11 @@ pub fn run_trace_smoke() -> Result<String, String> {
     }
     Ok(format!(
         "trace_smoke: {} traces retained, {} spans in miss trace, \
-         root coverage {:.1}%, /trace payload {} bytes\n{}",
+         root coverage {:.1}%, {} parse(s) timed, /trace payload {} bytes\n{}",
         recent.len(),
         miss.spans.len(),
         coverage * 100.0,
+        parses_after - parses_before,
         text.len(),
         crate::obs_report::slowest_traces_table(tracer.store())
     ))

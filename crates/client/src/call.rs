@@ -7,7 +7,7 @@ use wsrc_http::{Request, Transport, Url};
 use wsrc_model::typeinfo::TypeRegistry;
 use wsrc_model::Value;
 use wsrc_obs::Histogram;
-use wsrc_soap::deserializer::read_response_xml_recording;
+use wsrc_soap::deserializer::read_response_bytes_recording;
 use wsrc_soap::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
 use wsrc_soap::serializer::serialize_request;
 use wsrc_xml::event::SaxEventSequence;
@@ -185,12 +185,10 @@ impl Call {
             return Ok(ConditionalOutcome::NotModified);
         }
         // Both 200 and 500 may carry SOAP envelopes (faults use 500).
-        // Strict UTF-8: a mangled body fails loudly instead of being
-        // silently repaired and then cached.
-        let body = http_response.body_text().map_err(ClientError::Http)?;
         if !http_response.status.is_success()
             && http_response.status != wsrc_http::Status::INTERNAL_SERVER_ERROR
         {
+            let body = http_response.body_text().map_err(ClientError::Http)?;
             return Err(ClientError::Http(wsrc_http::HttpError::Status {
                 code: http_response.status.0,
                 reason: http_response.status.reason().to_string(),
@@ -201,9 +199,18 @@ impl Call {
             .headers
             .get("Last-Modified")
             .map(str::to_string);
+        // The parser reads the shared body bytes directly (strict UTF-8:
+        // a mangled body fails loudly instead of being silently repaired
+        // and then cached) and records the arena sequence in the same
+        // pass — the miss path never materializes owned events.
         let (outcome, events) = traced("parse", "parse", || {
-            stage_timer("deserialize")
-                .time(|| read_response_xml_recording(body, &descriptor.return_type, &self.registry))
+            stage_timer("deserialize").time(|| {
+                read_response_bytes_recording(
+                    http_response.body.as_bytes(),
+                    &descriptor.return_type,
+                    &self.registry,
+                )
+            })
         })
         .map_err(ClientError::Soap)?;
         match outcome {

@@ -16,9 +16,9 @@ use crate::fault::SoapFault;
 use crate::rpc::{OperationDescriptor, RpcOutcome, RpcRequest};
 use wsrc_model::typeinfo::{FieldType, TypeRegistry};
 use wsrc_model::value::{StructValue, Value};
-use wsrc_xml::event::{Attribute, SaxEventSequence};
-use wsrc_xml::sax::{ContentHandler, Recorder, Tee};
-use wsrc_xml::{QName, Symbol, XmlReader};
+use wsrc_xml::event::SaxEventSequence;
+use wsrc_xml::sax::ContentHandler;
+use wsrc_xml::{Attributes, QName, Symbol, XmlReader};
 
 /// Reads a response envelope (parse + deserialize).
 ///
@@ -55,8 +55,13 @@ pub fn read_response_events(
     reader.finish()
 }
 
-/// Reads a response envelope while simultaneously recording its SAX event
+/// Reads a response envelope while also producing its SAX event
 /// sequence, so a cache miss pays for only one parse.
+///
+/// The parse records borrowed payloads straight into the arena sequence
+/// ([`XmlReader::read_sequence`]) — no owned intermediate events exist —
+/// and the deserializer then replays the arena, which is the same cheap
+/// walk the cache-hit path uses.
 ///
 /// # Errors
 ///
@@ -66,21 +71,31 @@ pub fn read_response_xml_recording(
     expected: &FieldType,
     registry: &TypeRegistry,
 ) -> Result<(RpcOutcome, SaxEventSequence), SoapError> {
-    let mut recorder = Recorder::new();
-    let mut reader = ResponseReader::new(expected.clone(), registry.clone());
-    {
-        let mut tee = Tee::new(&mut recorder, &mut reader);
-        XmlReader::new(xml)
-            .parse_into(&mut tee)
-            .map_err(|e| match e {
-                wsrc_xml::reader::ParseIntoError::Parse(xe) => SoapError::Xml(xe),
-                wsrc_xml::reader::ParseIntoError::Handler(te) => match te {
-                    wsrc_xml::sax::TeeError::First(xe) => SoapError::Xml(xe),
-                    wsrc_xml::sax::TeeError::Second(se) => se,
-                },
-            })?;
-    }
-    Ok((reader.finish()?, recorder.into_sequence()))
+    let events = XmlReader::new(xml)
+        .read_sequence()
+        .map_err(SoapError::Xml)?;
+    let outcome = read_response_events(&events, expected, registry)?;
+    Ok((outcome, events))
+}
+
+/// [`read_response_xml_recording`] over raw body bytes (the transport's
+/// shared `Arc<[u8]>` payload): the reader UTF-8-validates the whole
+/// buffer once up front and parses without a `&str` round-trip.
+///
+/// # Errors
+///
+/// Same conditions as [`read_response_xml_recording`], plus an XML error
+/// when the bytes are not valid UTF-8.
+pub fn read_response_bytes_recording(
+    bytes: &[u8],
+    expected: &FieldType,
+    registry: &TypeRegistry,
+) -> Result<(RpcOutcome, SaxEventSequence), SoapError> {
+    let events = XmlReader::from_bytes(bytes)
+        .and_then(XmlReader::read_sequence)
+        .map_err(SoapError::Xml)?;
+    let outcome = read_response_events(&events, expected, registry)?;
+    Ok((outcome, events))
 }
 
 fn flatten_parse_error(e: wsrc_xml::reader::ParseIntoError<SoapError>) -> SoapError {
@@ -185,7 +200,7 @@ impl ResponseReader {
     fn push_value_frame(
         &mut self,
         name: &QName,
-        attributes: &[Attribute],
+        attributes: Attributes<'_>,
         expected: Option<FieldType>,
     ) {
         let mut nil = false;
@@ -198,7 +213,7 @@ impl ResponseReader {
                 "type" if !a.name.prefix().is_empty() || a.name.local_part() == "type" => {
                     // Keep only the local part of the QName value
                     // ("xsd:int" → "int", "ns1:Pt" → "Pt").
-                    let local = a.value.split_once(':').map(|(_, l)| l).unwrap_or(&a.value);
+                    let local = a.value.split_once(':').map(|(_, l)| l).unwrap_or(a.value);
                     xsi_type_local = Some(local.to_string());
                 }
                 _ => {}
@@ -372,7 +387,7 @@ fn parse_scalar(text: &str, ty: Option<&FieldType>, element: &str) -> Result<Val
 impl ContentHandler for ResponseReader {
     type Error = SoapError;
 
-    fn start_element(&mut self, name: &QName, attributes: &[Attribute]) -> Result<(), SoapError> {
+    fn start_element(&mut self, name: &QName, attributes: Attributes<'_>) -> Result<(), SoapError> {
         if self.skipping > 0 {
             self.skipping += 1;
             return Ok(());

@@ -211,7 +211,7 @@ impl Document {
                 SaxEventRef::StartElement { name, attributes } => {
                     stack.push(Element {
                         name: name.clone(),
-                        attributes: attributes.to_vec(),
+                        attributes: attributes.to_owned_vec(),
                         children: Vec::new(),
                     });
                 }

@@ -66,13 +66,25 @@ fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
 /// Returns an error for unterminated references, unknown entity names and
 /// character references that do not denote a valid Unicode scalar value.
 pub fn unescape(s: &str) -> Result<Cow<'_, str>, XmlError> {
-    let first = match s.find('&') {
-        Some(i) => i,
-        None => return Ok(Cow::Borrowed(s)),
-    };
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
     let mut out = String::with_capacity(s.len());
-    out.push_str(&s[..first]);
-    let mut rest = &s[first..];
+    unescape_into(s, &mut out)?;
+    Ok(Cow::Owned(out))
+}
+
+/// Expands entity and character references, appending the result to
+/// `out` — the allocation-reusing form of [`unescape`] that backs the
+/// reader's entity slow path (the scratch buffer is cleared by the
+/// caller and reused across text runs).
+///
+/// # Errors
+///
+/// Same conditions as [`unescape`]. On error `out` may hold a partial
+/// expansion; callers discard it.
+pub fn unescape_into(s: &str, out: &mut String) -> Result<(), XmlError> {
+    let mut rest = s;
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
@@ -105,7 +117,7 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, XmlError> {
         rest = &after[semi + 1..];
     }
     out.push_str(rest);
-    Ok(Cow::Owned(out))
+    Ok(())
 }
 
 fn char_for(code: u32, name: &str) -> Result<char, XmlError> {

@@ -9,13 +9,14 @@
 //! Since the zero-copy pipeline rework the sequence is stored in *arena*
 //! form: one contiguous event vector whose character/comment/PI payloads
 //! are range-indexed slices of a single shared text buffer, and whose
-//! element/attribute names are [`crate::symbol::Symbol`]s deduplicated
-//! through an embedded [`SymbolTable`]. Replaying borrows straight out
-//! of the arenas — the hit path performs no allocation — while
-//! [`SaxEvent`] remains the owned, per-event compatibility view.
+//! element/attribute names are compact `u32` ids into a per-sequence
+//! name table (each distinct [`QName`] held exactly once). Events and
+//! attribute records are plain old data — recording and dropping a
+//! sequence touches no per-event reference counts. Replaying borrows
+//! straight out of the arenas — the hit path performs no allocation —
+//! while [`SaxEvent`] remains the owned, per-event compatibility view.
 
 use crate::name::QName;
-use crate::symbol::SymbolTable;
 use std::fmt;
 
 /// An attribute as reported on a start-element event.
@@ -48,6 +49,257 @@ impl fmt::Display for Attribute {
         )
     }
 }
+
+/// One attribute borrowed from a start-element event: the interned name
+/// plus the unescaped value as a slice of whichever buffer backs it
+/// (raw input for escape-free values, a scratch or arena buffer
+/// otherwise). Nothing is allocated to produce one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttrRef<'a> {
+    /// Attribute name, possibly prefixed.
+    pub name: &'a QName,
+    /// The unescaped attribute value.
+    pub value: &'a str,
+}
+
+impl AttrRef<'_> {
+    /// Materializes the owned compatibility form.
+    pub fn to_attribute(&self) -> Attribute {
+        Attribute {
+            name: self.name.clone(),
+            value: self.value.to_string(),
+        }
+    }
+}
+
+impl PartialEq<Attribute> for AttrRef<'_> {
+    fn eq(&self, other: &Attribute) -> bool {
+        *self.name == other.name && self.value == other.value
+    }
+}
+
+impl fmt::Display for AttrRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}=\"{}\"",
+            self.name,
+            crate::escape::escape_attribute(self.value)
+        )
+    }
+}
+
+/// One recorded attribute in span form: a name id into the owner's
+/// name table plus a value range into one of two backing buffers (see
+/// [`Attributes`]). This is what the reader and the arena sequence
+/// store per attribute — the name and value bytes live in shared
+/// tables, never per-attribute, so a record is 16 bytes of plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct AttrRecord {
+    pub(crate) name: u32,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    /// Value lives in the alternate backing (the unescape scratch)
+    /// rather than the primary buffer (raw input or arena text).
+    pub(crate) in_alt: bool,
+}
+
+/// The attribute list delivered on a start-element event.
+///
+/// A cheap `Copy` view over one of two storages — a slice of owned
+/// [`Attribute`]s (owned events) or span records plus their backing
+/// buffers (the reader's borrowed path and the arena sequence).
+/// Iteration yields [`AttrRef`]s either way, so handlers are agnostic
+/// to where the bytes live and the borrowed path allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct Attributes<'a> {
+    repr: AttrsRepr<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AttrsRepr<'a> {
+    Owned(&'a [Attribute]),
+    Records {
+        records: &'a [AttrRecord],
+        /// Name table the records' `name` ids index.
+        names: &'a [QName],
+        /// Backs spans with `in_alt == false`.
+        primary: &'a str,
+        /// Backs spans with `in_alt == true`.
+        alt: &'a str,
+    },
+}
+
+impl<'a> Attributes<'a> {
+    /// An empty attribute list.
+    pub fn empty() -> Attributes<'static> {
+        Attributes {
+            repr: AttrsRepr::Owned(&[]),
+        }
+    }
+
+    /// Views a slice of owned attributes.
+    pub fn from_slice(attributes: &'a [Attribute]) -> Self {
+        Attributes {
+            repr: AttrsRepr::Owned(attributes),
+        }
+    }
+
+    pub(crate) fn from_records(
+        records: &'a [AttrRecord],
+        names: &'a [QName],
+        primary: &'a str,
+        alt: &'a str,
+    ) -> Self {
+        Attributes {
+            repr: AttrsRepr::Records {
+                records,
+                names,
+                primary,
+                alt,
+            },
+        }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        match self.repr {
+            AttrsRepr::Owned(slice) => slice.len(),
+            AttrsRepr::Records { records, .. } => records.len(),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The attribute at `index`.
+    pub fn get(&self, index: usize) -> Option<AttrRef<'a>> {
+        match self.repr {
+            AttrsRepr::Owned(slice) => slice.get(index).map(|a| AttrRef {
+                name: &a.name,
+                value: &a.value,
+            }),
+            AttrsRepr::Records {
+                records,
+                names,
+                primary,
+                alt,
+            } => records.get(index).map(|r| AttrRef {
+                name: &names[r.name as usize],
+                value: if r.in_alt {
+                    &alt[r.start as usize..r.end as usize]
+                } else {
+                    &primary[r.start as usize..r.end as usize]
+                },
+            }),
+        }
+    }
+
+    /// Iterates over the attributes as borrowed [`AttrRef`]s.
+    pub fn iter(&self) -> AttrIter<'a> {
+        AttrIter {
+            attrs: *self,
+            index: 0,
+        }
+    }
+
+    /// Materializes owned [`Attribute`]s (allocates; the borrowed
+    /// pipeline never needs this).
+    pub fn to_owned_vec(&self) -> Vec<Attribute> {
+        self.iter().map(|a| a.to_attribute()).collect()
+    }
+}
+
+impl Default for Attributes<'_> {
+    fn default() -> Self {
+        Attributes::empty()
+    }
+}
+
+impl<'a> From<&'a [Attribute]> for Attributes<'a> {
+    fn from(attributes: &'a [Attribute]) -> Self {
+        Attributes::from_slice(attributes)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [Attribute; N]> for Attributes<'a> {
+    fn from(attributes: &'a [Attribute; N]) -> Self {
+        Attributes::from_slice(attributes)
+    }
+}
+
+impl<'a> From<&'a Vec<Attribute>> for Attributes<'a> {
+    fn from(attributes: &'a Vec<Attribute>) -> Self {
+        Attributes::from_slice(attributes)
+    }
+}
+
+impl<'a> IntoIterator for Attributes<'a> {
+    type Item = AttrRef<'a>;
+    type IntoIter = AttrIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Attributes<'a> {
+    type Item = AttrRef<'a>;
+    type IntoIter = AttrIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Equality is by (name, value) pairs, regardless of storage.
+impl PartialEq for Attributes<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl PartialEq<[Attribute]> for Attributes<'_> {
+    fn eq(&self, other: &[Attribute]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == *b)
+    }
+}
+
+impl PartialEq<&[Attribute]> for Attributes<'_> {
+    fn eq(&self, other: &&[Attribute]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<Attribute>> for Attributes<'_> {
+    fn eq(&self, other: &Vec<Attribute>) -> bool {
+        *self == other[..]
+    }
+}
+
+/// Iterator over [`Attributes`], yielding borrowed [`AttrRef`]s.
+#[derive(Debug, Clone)]
+pub struct AttrIter<'a> {
+    attrs: Attributes<'a>,
+    index: usize,
+}
+
+impl<'a> Iterator for AttrIter<'a> {
+    type Item = AttrRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.attrs.get(self.index)?;
+        self.index += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.attrs.len() - self.index;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for AttrIter<'_> {}
 
 /// One parsing event, mirroring the SAX `ContentHandler` callbacks the
 /// paper's Table 4 illustrates.
@@ -105,7 +357,7 @@ impl SaxEvent {
     /// an *owned* value (every string charged to this event).
     ///
     /// Arena sequences account differently — names interned in the
-    /// sequence's [`SymbolTable`] are charged once per table; see
+    /// sequence's name table are charged once per table; see
     /// [`SaxEventSequence::approximate_size`].
     pub fn approximate_size(&self) -> usize {
         let base = std::mem::size_of::<SaxEvent>();
@@ -155,7 +407,7 @@ pub enum SaxEventRef<'a> {
         /// Element name as written.
         name: &'a QName,
         /// Attributes in document order.
-        attributes: &'a [Attribute],
+        attributes: Attributes<'a>,
     },
     /// `</name>` or the implicit close of `<name/>`.
     EndElement {
@@ -196,7 +448,7 @@ impl SaxEventRef<'_> {
             SaxEventRef::EndDocument => SaxEvent::EndDocument,
             SaxEventRef::StartElement { name, attributes } => SaxEvent::StartElement {
                 name: name.clone(),
-                attributes: attributes.to_vec(),
+                attributes: attributes.to_owned_vec(),
             },
             SaxEventRef::EndElement { name } => SaxEvent::EndElement { name: name.clone() },
             SaxEventRef::Characters(text) => SaxEvent::Characters(text.to_string()),
@@ -231,9 +483,10 @@ impl<'a> From<&'a SaxEvent> for SaxEventRef<'a> {
         match event {
             SaxEvent::StartDocument => SaxEventRef::StartDocument,
             SaxEvent::EndDocument => SaxEventRef::EndDocument,
-            SaxEvent::StartElement { name, attributes } => {
-                SaxEventRef::StartElement { name, attributes }
-            }
+            SaxEvent::StartElement { name, attributes } => SaxEventRef::StartElement {
+                name,
+                attributes: Attributes::from_slice(attributes),
+            },
             SaxEvent::EndElement { name } => SaxEventRef::EndElement { name },
             SaxEvent::Characters(text) => SaxEventRef::Characters(text),
             SaxEvent::Comment(text) => SaxEventRef::Comment(text),
@@ -287,22 +540,36 @@ impl ArenaSpan {
         &arena[self.start as usize..self.end as usize]
     }
 
-    fn attrs<'a>(&self, arena: &'a [Attribute]) -> &'a [Attribute] {
+    fn records<'a>(&self, arena: &'a [AttrRecord]) -> &'a [AttrRecord] {
         &arena[self.start as usize..self.end as usize]
     }
 }
 
-/// Compact arena entry: names inline (two `Arc` pointers via [`QName`]),
-/// payloads as ranges into the shared buffers.
-#[derive(Debug, Clone, PartialEq)]
+/// Compact arena entry: plain old data — names as ids into the
+/// sequence's name table, payloads as ranges into the shared buffers.
+/// Pushing or dropping millions of these touches no reference counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum ArenaEvent {
     StartDocument,
     EndDocument,
-    StartElement { name: QName, attrs: ArenaSpan },
-    EndElement { name: QName },
+    StartElement { name: u32, attrs: ArenaSpan },
+    EndElement { name: u32 },
     Characters(ArenaSpan),
     Comment(ArenaSpan),
     ProcessingInstruction { target: ArenaSpan, data: ArenaSpan },
+}
+
+/// Bucket marker for an empty slot in the name-id index.
+const NO_NAME: u32 = u32::MAX;
+
+/// Order-independent hash of a qualified name from its parts' cached
+/// FNV hashes (no byte of the name is re-read).
+fn qname_hash(name: &QName) -> u64 {
+    let local = name.local_symbol().hash64();
+    match name.prefix_symbol() {
+        None => local,
+        Some(p) => local ^ p.hash64().rotate_left(17),
+    }
 }
 
 /// A recorded sequence of SAX events — the paper's cached "SAX events
@@ -320,12 +587,19 @@ enum ArenaEvent {
 #[derive(Debug, Clone, Default)]
 pub struct SaxEventSequence {
     events: Vec<ArenaEvent>,
-    /// All attributes of all start-elements, contiguously.
-    attrs: Vec<Attribute>,
-    /// All character/comment/PI text, contiguously.
+    /// All attributes of all start-elements as span records — the value
+    /// bytes live in `text`, never per-attribute.
+    attrs: Vec<AttrRecord>,
+    /// All character/comment/PI text and attribute values, contiguously.
     text: String,
-    /// Distinct element/attribute names, each held once.
-    symbols: SymbolTable,
+    /// Distinct element/attribute names, each held once; events and
+    /// attribute records refer to them by index.
+    names: Vec<QName>,
+    /// Open-addressed name→id index over `names`, keyed by the names'
+    /// cached hashes. Only the incremental record paths need it; a
+    /// sequence built by the reader adopts a finished `names` table and
+    /// leaves this empty until (if ever) another name is recorded.
+    name_ids: Vec<u32>,
 }
 
 impl SaxEventSequence {
@@ -340,13 +614,16 @@ impl SaxEventSequence {
             SaxEvent::StartDocument => self.events.push(ArenaEvent::StartDocument),
             SaxEvent::EndDocument => self.events.push(ArenaEvent::EndDocument),
             SaxEvent::StartElement { name, attributes } => {
-                let name = self.symbols.unify_qname(&name);
+                let name = self.intern_name(&name);
                 let start = self.attrs.len();
-                for a in attributes {
-                    let name = self.symbols.unify_qname(&a.name);
-                    self.attrs.push(Attribute {
+                for a in &attributes {
+                    let name = self.intern_name(&a.name);
+                    let span = self.append_text(&a.value);
+                    self.attrs.push(AttrRecord {
                         name,
-                        value: a.value,
+                        start: span.start,
+                        end: span.end,
+                        in_alt: false,
                     });
                 }
                 self.events.push(ArenaEvent::StartElement {
@@ -355,7 +632,7 @@ impl SaxEventSequence {
                 });
             }
             SaxEvent::EndElement { name } => {
-                let name = self.symbols.unify_qname(&name);
+                let name = self.intern_name(&name);
                 self.events.push(ArenaEvent::EndElement { name });
             }
             SaxEvent::Characters(text) => self.record_characters(&text),
@@ -366,16 +643,25 @@ impl SaxEventSequence {
         }
     }
 
-    /// Records a start-element, interning the names through the
-    /// sequence's symbol table (pointer bumps when already interned).
-    pub fn record_start_element(&mut self, name: &QName, attributes: &[Attribute]) {
-        let name = self.symbols.unify_qname(name);
+    /// Records a start-element, interning the names into the sequence's
+    /// name table (an index probe when already present) and copying
+    /// attribute values into the shared text arena.
+    pub fn record_start_element<'a>(
+        &mut self,
+        name: &QName,
+        attributes: impl Into<Attributes<'a>>,
+    ) {
+        let attributes = attributes.into();
+        let name = self.intern_name(name);
         let start = self.attrs.len();
         for a in attributes {
-            let name = self.symbols.unify_qname(&a.name);
-            self.attrs.push(Attribute {
+            let name = self.intern_name(a.name);
+            let span = self.append_text(a.value);
+            self.attrs.push(AttrRecord {
                 name,
-                value: a.value.clone(),
+                start: span.start,
+                end: span.end,
+                in_alt: false,
             });
         }
         self.events.push(ArenaEvent::StartElement {
@@ -384,9 +670,113 @@ impl SaxEventSequence {
         });
     }
 
+    /// Records an end-element whose name id refers to the table this
+    /// sequence will adopt.
+    pub(crate) fn record_end_element_id(&mut self, name: u32) {
+        self.events.push(ArenaEvent::EndElement { name });
+    }
+
+    /// Moves the reader's per-tag attribute records into the arena,
+    /// rebasing the value spans from the parser's backing buffers onto
+    /// the shared text arena. Name ids transfer verbatim (the reader's
+    /// document name table becomes this sequence's table at the end) —
+    /// recording an element touches no reference counts.
+    pub(crate) fn record_start_element_drained(
+        &mut self,
+        name: u32,
+        records: &mut Vec<AttrRecord>,
+        primary: &str,
+        alt: &str,
+    ) {
+        let start = self.attrs.len();
+        if records.is_empty() {
+            // Most elements carry no attributes; skip the drain setup.
+            self.events.push(ArenaEvent::StartElement {
+                name,
+                attrs: ArenaSpan::new(start, start),
+            });
+            return;
+        }
+        for mut r in records.drain(..) {
+            let backing = if r.in_alt { alt } else { primary };
+            let span = self.append_text(&backing[r.start as usize..r.end as usize]);
+            r.start = span.start;
+            r.end = span.end;
+            r.in_alt = false;
+            self.attrs.push(r);
+        }
+        self.events.push(ArenaEvent::StartElement {
+            name,
+            attrs: ArenaSpan::new(start, self.attrs.len()),
+        });
+    }
+
+    /// Resolves `name` to its id in this sequence's name table, adding
+    /// it if new. The open-addressed index probes on the name's cached
+    /// hash; it is (re)built lazily so sequences that adopt a finished
+    /// table never pay for it.
+    fn intern_name(&mut self, name: &QName) -> u32 {
+        if self.name_ids.len() < (self.names.len() + 1) * 2 {
+            self.grow_name_index();
+        }
+        let mask = self.name_ids.len() - 1;
+        let mut slot = (qname_hash(name) as usize) & mask;
+        loop {
+            match self.name_ids[slot] {
+                NO_NAME => break,
+                id => {
+                    if &self.names[id as usize] == name {
+                        return id;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let id = u32::try_from(self.names.len()).expect("name table exceeds u32 range");
+        self.names.push(name.clone());
+        self.name_ids[slot] = id;
+        id
+    }
+
+    /// Builds (or doubles) the name→id index over `names`.
+    fn grow_name_index(&mut self) {
+        let new_len = (self.name_ids.len() * 2)
+            .max(16)
+            .max((self.names.len() * 2 + 1).next_power_of_two());
+        self.name_ids.clear();
+        self.name_ids.resize(new_len, NO_NAME);
+        let mask = new_len - 1;
+        for (id, name) in self.names.iter().enumerate() {
+            let mut slot = (qname_hash(name) as usize) & mask;
+            while self.name_ids[slot] != NO_NAME {
+                slot = (slot + 1) & mask;
+            }
+            self.name_ids[slot] = id as u32;
+        }
+    }
+
+    /// Pre-sizes the arenas for a document of `input_len` bytes (rough
+    /// SOAP-shaped ratios), so recording a whole parse does not pay
+    /// repeated growth copies.
+    pub(crate) fn reserve_for_input(&mut self, input_len: usize) {
+        // Dense SOAP markup runs ~16 input bytes per event; text and
+        // attribute values can at most be a subset of the input.
+        self.events.reserve(input_len / 16);
+        self.text.reserve(input_len / 2);
+        self.attrs.reserve(input_len / 96);
+    }
+
+    /// Installs the name table the id-based record methods referenced.
+    /// The reader resolves every name to an id exactly once while
+    /// scanning, then hands its document name table over here by move.
+    pub(crate) fn adopt_names(&mut self, names: Vec<QName>) {
+        debug_assert!(self.names.is_empty(), "adopt_names would orphan name ids");
+        self.names = names;
+    }
+
     /// Records an end-element.
     pub fn record_end_element(&mut self, name: &QName) {
-        let name = self.symbols.unify_qname(name);
+        let name = self.intern_name(name);
         self.events.push(ArenaEvent::EndElement { name });
     }
 
@@ -455,9 +845,16 @@ impl SaxEventSequence {
         self.iter().map(|e| e.to_owned_event()).collect()
     }
 
-    /// The distinct names referenced by this sequence.
-    pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
+    /// The distinct element/attribute names referenced by this
+    /// sequence, each held exactly once; events refer to them by index.
+    pub fn names(&self) -> &[QName] {
+        &self.names
+    }
+
+    /// Heap bytes retained by the distinct names — each name charged
+    /// once, however many events or attributes reference it.
+    pub fn names_bytes(&self) -> usize {
+        self.names.iter().map(QName::text_len).sum()
     }
 
     /// Replays the recorded events into a handler, exactly as a parser
@@ -469,10 +866,18 @@ impl SaxEventSequence {
             match event {
                 ArenaEvent::StartDocument => handler.start_document()?,
                 ArenaEvent::EndDocument => handler.end_document()?,
-                ArenaEvent::StartElement { name, attrs } => {
-                    handler.start_element(name, attrs.attrs(&self.attrs))?
+                ArenaEvent::StartElement { name, attrs } => handler.start_element(
+                    &self.names[*name as usize],
+                    Attributes::from_records(
+                        attrs.records(&self.attrs),
+                        &self.names,
+                        &self.text,
+                        "",
+                    ),
+                )?,
+                ArenaEvent::EndElement { name } => {
+                    handler.end_element(&self.names[*name as usize])?
                 }
-                ArenaEvent::EndElement { name } => handler.end_element(name)?,
                 ArenaEvent::Characters(span) => handler.characters(span.text(&self.text))?,
                 ArenaEvent::Comment(span) => handler.comment(span.text(&self.text))?,
                 ArenaEvent::ProcessingInstruction { target, data } => handler
@@ -486,18 +891,16 @@ impl SaxEventSequence {
     ///
     /// Events are charged at their fixed arena width, text at its byte
     /// length, attribute values at theirs — and every distinct name is
-    /// charged **once** via the embedded symbol table, not once per
-    /// event referencing it.
+    /// charged **once** via the embedded name table (its table slot
+    /// plus its text), not once per event referencing it.
     pub fn approximate_size(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.events.len() * std::mem::size_of::<ArenaEvent>()
-            + self
-                .attrs
-                .iter()
-                .map(|a| std::mem::size_of::<Attribute>() + a.value.len())
-                .sum::<usize>()
+            + self.attrs.len() * std::mem::size_of::<AttrRecord>()
             + self.text.len()
-            + self.symbols.names_bytes()
+            + self.names.len() * std::mem::size_of::<QName>()
+            + self.names_bytes()
+            + self.name_ids.capacity() * std::mem::size_of::<u32>()
     }
 
     fn view<'a>(&'a self, event: &'a ArenaEvent) -> SaxEventRef<'a> {
@@ -505,10 +908,17 @@ impl SaxEventSequence {
             ArenaEvent::StartDocument => SaxEventRef::StartDocument,
             ArenaEvent::EndDocument => SaxEventRef::EndDocument,
             ArenaEvent::StartElement { name, attrs } => SaxEventRef::StartElement {
-                name,
-                attributes: attrs.attrs(&self.attrs),
+                name: &self.names[*name as usize],
+                attributes: Attributes::from_records(
+                    attrs.records(&self.attrs),
+                    &self.names,
+                    &self.text,
+                    "",
+                ),
             },
-            ArenaEvent::EndElement { name } => SaxEventRef::EndElement { name },
+            ArenaEvent::EndElement { name } => SaxEventRef::EndElement {
+                name: &self.names[*name as usize],
+            },
             ArenaEvent::Characters(span) => SaxEventRef::Characters(span.text(&self.text)),
             ArenaEvent::Comment(span) => SaxEventRef::Comment(span.text(&self.text)),
             ArenaEvent::ProcessingInstruction { target, data } => {
@@ -732,8 +1142,8 @@ mod tests {
             seq.record_end_element(&item);
         }
         assert_eq!(seq.len(), 200);
-        assert_eq!(seq.symbols().len(), 1);
-        assert_eq!(seq.symbols().names_bytes(), "item".len());
+        assert_eq!(seq.names().len(), 1);
+        assert_eq!(seq.names_bytes(), "item".len());
         // All events share one allocation for the name.
         let mut locals = seq.iter().filter_map(|e| match e {
             SaxEventRef::StartElement { name, .. } | SaxEventRef::EndElement { name } => {
@@ -765,7 +1175,7 @@ mod tests {
             per_event < std::mem::size_of::<ArenaEvent>() as f64 + 1.0,
             "marginal event size {per_event} should not include the name"
         );
-        assert_eq!(big.symbols().names_bytes(), small.symbols().names_bytes());
+        assert_eq!(big.names_bytes(), small.names_bytes());
     }
 
     #[test]

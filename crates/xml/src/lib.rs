@@ -30,12 +30,13 @@ pub mod event;
 pub mod name;
 pub mod reader;
 pub mod sax;
+mod scan;
 pub mod symbol;
 pub mod writer;
 
 pub use dom::{Document, Element, Node};
 pub use error::XmlError;
-pub use event::{Attribute, SaxEvent, SaxEventRef, SaxEventSequence};
+pub use event::{AttrRef, Attribute, Attributes, SaxEvent, SaxEventRef, SaxEventSequence};
 pub use name::{NamespaceContext, QName};
 pub use reader::XmlReader;
 pub use symbol::{Symbol, SymbolTable};

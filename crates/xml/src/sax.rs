@@ -3,7 +3,7 @@
 //! [`SaxEventSequence`](crate::event::SaxEventSequence).
 
 use crate::error::XmlError;
-use crate::event::{Attribute, SaxEvent, SaxEventSequence};
+use crate::event::{Attributes, SaxEvent, SaxEventSequence};
 use crate::name::QName;
 
 /// Receives parsing events, either live from [`crate::reader::XmlReader`]
@@ -26,11 +26,13 @@ pub trait ContentHandler {
         Ok(())
     }
 
-    /// Element begins. Attributes include namespace declarations.
+    /// Element begins. Attributes include namespace declarations; the
+    /// [`Attributes`] view is `Copy` and borrows from the parser input,
+    /// its scratch, or the arena — never per-callback allocations.
     fn start_element(
         &mut self,
         _name: &QName,
-        _attributes: &[Attribute],
+        _attributes: Attributes<'_>,
     ) -> Result<(), Self::Error> {
         Ok(())
     }
@@ -61,7 +63,9 @@ pub fn dispatch<H: ContentHandler>(handler: &mut H, event: &SaxEvent) -> Result<
     match event {
         SaxEvent::StartDocument => handler.start_document(),
         SaxEvent::EndDocument => handler.end_document(),
-        SaxEvent::StartElement { name, attributes } => handler.start_element(name, attributes),
+        SaxEvent::StartElement { name, attributes } => {
+            handler.start_element(name, Attributes::from_slice(attributes))
+        }
         SaxEvent::EndElement { name } => handler.end_element(name),
         SaxEvent::Characters(text) => handler.characters(text),
         SaxEvent::Comment(text) => handler.comment(text),
@@ -111,7 +115,7 @@ impl ContentHandler for Recorder {
         Ok(())
     }
 
-    fn start_element(&mut self, name: &QName, attributes: &[Attribute]) -> Result<(), XmlError> {
+    fn start_element(&mut self, name: &QName, attributes: Attributes<'_>) -> Result<(), XmlError> {
         self.sequence.record_start_element(name, attributes);
         Ok(())
     }
@@ -195,7 +199,11 @@ impl<A: ContentHandler, B: ContentHandler> ContentHandler for Tee<'_, A, B> {
     fn end_document(&mut self) -> Result<(), Self::Error> {
         tee_forward!(self, end_document())
     }
-    fn start_element(&mut self, name: &QName, attributes: &[Attribute]) -> Result<(), Self::Error> {
+    fn start_element(
+        &mut self,
+        name: &QName,
+        attributes: Attributes<'_>,
+    ) -> Result<(), Self::Error> {
         tee_forward!(self, start_element(name, attributes))
     }
     fn end_element(&mut self, name: &QName) -> Result<(), Self::Error> {

@@ -1,0 +1,333 @@
+//! Byte-class table and word-at-a-time scanning primitives for the
+//! zero-allocation XML reader.
+//!
+//! The reader never walks the document `char` by `char`: a 256-entry
+//! class table answers "is this byte whitespace / a name start / a name
+//! continuation" in one load, and the delimiter searches that dominate
+//! parse time (`<` and `&` in character data, the closing quote in
+//! attribute values) go through SWAR `memchr`-style loops that test
+//! eight bytes per iteration in safe Rust. All delimiters are ASCII, so
+//! byte positions found here are always UTF-8 character boundaries and
+//! the surrounding `&str` can be sliced at them for free.
+
+/// Whitespace for intra-tag skipping. Matches `u8::is_ascii_whitespace`
+/// (the XML `S` production plus form-feed, which the previous
+/// char-oriented reader also skipped).
+pub(crate) const WS: u8 = 1 << 0;
+/// ASCII `NameStartChar` minus `:` — letters and `_`.
+pub(crate) const NAME_START: u8 = 1 << 1;
+/// ASCII `NameChar` minus `:` — [`NAME_START`] plus digits, `-`, `.`.
+pub(crate) const NAME: u8 = 1 << 2;
+
+/// The byte-class lookup table driving the reader's state machine.
+pub(crate) const CLASS: [u8; 256] = build_class_table();
+
+const fn build_class_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    table[b' ' as usize] = WS;
+    table[b'\t' as usize] = WS;
+    table[b'\n' as usize] = WS;
+    table[b'\r' as usize] = WS;
+    table[0x0C] = WS; // form feed, for is_ascii_whitespace parity
+    let mut b = b'a';
+    while b <= b'z' {
+        table[b as usize] = NAME_START | NAME;
+        b += 1;
+    }
+    let mut b = b'A';
+    while b <= b'Z' {
+        table[b as usize] = NAME_START | NAME;
+        b += 1;
+    }
+    table[b'_' as usize] = NAME_START | NAME;
+    let mut b = b'0';
+    while b <= b'9' {
+        table[b as usize] = NAME;
+        b += 1;
+    }
+    table[b'-' as usize] = NAME;
+    table[b'.' as usize] = NAME;
+    table
+}
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// The classic SWAR zero-byte test: the high bit of each lane is set
+/// iff that lane of `x` is zero.
+#[inline]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+#[inline]
+fn first_lane(hits: u64) -> usize {
+    // `from_le_bytes` puts byte 0 in the least significant lane on every
+    // platform, so the lowest set bit names the earliest match.
+    (hits.trailing_zeros() / 8) as usize
+}
+
+/// Position of the first `needle` in `haystack`. The main loop tests
+/// sixteen bytes per iteration (two independent words keep both loads
+/// in flight), which matters for the kilobyte-scale text runs — base64
+/// payloads — between delimiters.
+#[inline]
+pub(crate) fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let broadcast = u64::from(needle) * LO;
+    let mut chunks = haystack.chunks_exact(16);
+    let mut offset = 0;
+    for pair in &mut chunks {
+        let w1 = u64::from_le_bytes(pair[..8].try_into().expect("8-byte chunk"));
+        let w2 = u64::from_le_bytes(pair[8..].try_into().expect("8-byte chunk"));
+        let h1 = zero_lanes(w1 ^ broadcast);
+        let h2 = zero_lanes(w2 ^ broadcast);
+        if h1 | h2 != 0 {
+            return Some(if h1 != 0 {
+                offset + first_lane(h1)
+            } else {
+                offset + 8 + first_lane(h2)
+            });
+        }
+        offset += 16;
+    }
+    let rest = chunks.remainder();
+    if rest.len() >= 8 {
+        let word = u64::from_le_bytes(rest[..8].try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ broadcast);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        return rest[8..]
+            .iter()
+            .position(|&b| b == needle)
+            .map(|i| offset + 8 + i);
+    }
+    rest.iter().position(|&b| b == needle).map(|i| offset + i)
+}
+
+/// Position of the first of two needles in `haystack`, sixteen bytes
+/// per iteration like [`memchr`].
+#[inline]
+pub(crate) fn memchr2(n1: u8, n2: u8, haystack: &[u8]) -> Option<usize> {
+    let b1 = u64::from(n1) * LO;
+    let b2 = u64::from(n2) * LO;
+    let mut chunks = haystack.chunks_exact(16);
+    let mut offset = 0;
+    for pair in &mut chunks {
+        let w1 = u64::from_le_bytes(pair[..8].try_into().expect("8-byte chunk"));
+        let w2 = u64::from_le_bytes(pair[8..].try_into().expect("8-byte chunk"));
+        let h1 = zero_lanes(w1 ^ b1) | zero_lanes(w1 ^ b2);
+        let h2 = zero_lanes(w2 ^ b1) | zero_lanes(w2 ^ b2);
+        if h1 | h2 != 0 {
+            return Some(if h1 != 0 {
+                offset + first_lane(h1)
+            } else {
+                offset + 8 + first_lane(h2)
+            });
+        }
+        offset += 16;
+    }
+    let rest = chunks.remainder();
+    if rest.len() >= 8 {
+        let word = u64::from_le_bytes(rest[..8].try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ b1) | zero_lanes(word ^ b2);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        return rest[8..]
+            .iter()
+            .position(|&b| b == n1 || b == n2)
+            .map(|i| offset + 8 + i);
+    }
+    rest.iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|i| offset + i)
+}
+
+/// Position of the first of three needles in `haystack`.
+#[inline]
+pub(crate) fn memchr3(n1: u8, n2: u8, n3: u8, haystack: &[u8]) -> Option<usize> {
+    let b1 = u64::from(n1) * LO;
+    let b2 = u64::from(n2) * LO;
+    let b3 = u64::from(n3) * LO;
+    let mut chunks = haystack.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ b1) | zero_lanes(word ^ b2) | zero_lanes(word ^ b3);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|i| offset + i)
+}
+
+/// SWAR byte-wise `x < n` test (valid for `n <= 0x80`): the high bit of
+/// each lane is set iff that lane of `x` is below `n`.
+#[inline]
+fn lt_lanes(x: u64, n: u8) -> u64 {
+    x.wrapping_sub(u64::from(n) * LO) & !x & HI
+}
+
+/// Length of the name token at the start of `haystack`: the offset of
+/// the first byte in `stops`, scanning eight bytes at a time. The SWAR
+/// pass tests a fixed superset of every caller's stop set (`\t \n \r
+/// SP / = >` — all below 0x0E, or one of the three punctuation bytes);
+/// a candidate outside `stops` is skipped so each call site keeps its
+/// exact historical terminator set. Returns `haystack.len()` when no
+/// stop byte occurs.
+#[inline]
+pub(crate) fn name_len(haystack: &[u8], stops: impl Fn(u8) -> bool + Copy) -> usize {
+    let b_sp = u64::from(b' ') * LO;
+    let b_slash = u64::from(b'/') * LO;
+    let b_eq = u64::from(b'=') * LO;
+    let b_gt = u64::from(b'>') * LO;
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let mut hits = lt_lanes(word, 0x0E)
+            | zero_lanes(word ^ b_sp)
+            | zero_lanes(word ^ b_slash)
+            | zero_lanes(word ^ b_eq)
+            | zero_lanes(word ^ b_gt);
+        while hits != 0 {
+            let at = i + first_lane(hits);
+            if stops(haystack[at]) {
+                return at;
+            }
+            // Superset false positive (e.g. a control byte a caller
+            // treats as name content): drop the lane and keep looking.
+            hits &= hits - 1;
+        }
+        i += 8;
+    }
+    while i < haystack.len() {
+        if stops(haystack[i]) {
+            return i;
+        }
+        i += 1;
+    }
+    haystack.len()
+}
+
+/// Word-at-a-time slice equality for the short runs the reader compares
+/// on its hot path (tag names, entity spellings). The generic `==` on
+/// `[u8]` lowers to a `bcmp` libcall whose setup overhead dwarfs the
+/// comparison itself at these lengths; fixed-size overlapping loads stay
+/// inline and branch-free per word.
+#[inline]
+pub(crate) fn bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    let len = a.len();
+    if len != b.len() {
+        return false;
+    }
+    if len >= 8 {
+        let mut i = 0;
+        while i + 8 <= len {
+            let wa = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte chunk"));
+            let wb = u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte chunk"));
+            if wa != wb {
+                return false;
+            }
+            i += 8;
+        }
+        // Overlapping tail load: re-comparing up to seven already-equal
+        // bytes is cheaper than a byte loop.
+        let ta = u64::from_le_bytes(a[len - 8..].try_into().expect("8-byte tail"));
+        let tb = u64::from_le_bytes(b[len - 8..].try_into().expect("8-byte tail"));
+        ta == tb
+    } else if len >= 4 {
+        let ha = u32::from_le_bytes(a[..4].try_into().expect("4-byte head"));
+        let hb = u32::from_le_bytes(b[..4].try_into().expect("4-byte head"));
+        let ta = u32::from_le_bytes(a[len - 4..].try_into().expect("4-byte tail"));
+        let tb = u32::from_le_bytes(b[len - 4..].try_into().expect("4-byte tail"));
+        ((ha ^ hb) | (ta ^ tb)) == 0
+    } else {
+        a.iter().zip(b).all(|(x, y)| x == y)
+    }
+}
+
+/// Position of the first occurrence of `seq` in `haystack` (used for the
+/// rare `-->`, `]]>`, `?>` terminators; seeded by a [`memchr`] on the
+/// first byte so the common skip stays word-at-a-time).
+#[inline]
+pub(crate) fn find_seq(seq: &[u8], haystack: &[u8]) -> Option<usize> {
+    debug_assert!(!seq.is_empty());
+    let mut from = 0;
+    while from + seq.len() <= haystack.len() {
+        let hit = memchr(seq[0], &haystack[from..])?;
+        let at = from + hit;
+        if at + seq.len() > haystack.len() {
+            return None;
+        }
+        if &haystack[at..at + seq.len()] == seq {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_classifies_ascii() {
+        assert_ne!(CLASS[b' ' as usize] & WS, 0);
+        assert_ne!(CLASS[b'\n' as usize] & WS, 0);
+        assert_ne!(CLASS[b'a' as usize] & NAME_START, 0);
+        assert_ne!(CLASS[b'Z' as usize] & NAME_START, 0);
+        assert_ne!(CLASS[b'_' as usize] & NAME_START, 0);
+        assert_eq!(CLASS[b'7' as usize] & NAME_START, 0);
+        assert_ne!(CLASS[b'7' as usize] & NAME, 0);
+        assert_ne!(CLASS[b'-' as usize] & NAME, 0);
+        assert_ne!(CLASS[b'.' as usize] & NAME, 0);
+        assert_eq!(CLASS[b'<' as usize], 0);
+        assert_eq!(CLASS[b':' as usize], 0);
+        assert_eq!(CLASS[0x80], 0);
+    }
+
+    #[test]
+    fn memchr_agrees_with_position() {
+        let hay = b"abcdefghijklmnop<qrstuvwx&yz";
+        for target in [b'<', b'&', b'a', b'p', b'z', b'?'] {
+            assert_eq!(
+                memchr(target, hay),
+                hay.iter().position(|&b| b == target),
+                "needle {:?}",
+                target as char
+            );
+        }
+        // Every offset, to cross the chunk boundary both ways.
+        for start in 0..hay.len() {
+            assert_eq!(
+                memchr(b'&', &hay[start..]),
+                hay[start..].iter().position(|&b| b == b'&')
+            );
+        }
+    }
+
+    #[test]
+    fn memchr2_and_3_find_the_earliest() {
+        let hay = b"0123456789<abc&def\"ghi";
+        assert_eq!(memchr2(b'&', b'<', hay), Some(10));
+        assert_eq!(memchr2(b'&', b'"', hay), Some(14));
+        assert_eq!(memchr3(b'"', b'<', b'&', hay), Some(10));
+        assert_eq!(memchr3(b'"', b'x', b'y', hay), Some(18));
+        assert_eq!(memchr3(b'!', b'#', b'%', hay), None);
+    }
+
+    #[test]
+    fn find_seq_handles_overlap_and_tail() {
+        assert_eq!(find_seq(b"-->", b"a--->"), Some(2));
+        assert_eq!(find_seq(b"]]>", b"body]]>rest"), Some(4));
+        assert_eq!(find_seq(b"?>", b"no terminator"), None);
+        assert_eq!(find_seq(b"-->", b"--"), None);
+    }
+}

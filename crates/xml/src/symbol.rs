@@ -16,14 +16,21 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// FNV-1a 64-bit offset basis, exposed crate-internally so the reader's
+/// name scanner can fold the hash into the same byte pass that
+/// validates the name (hash-once, scan-once).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime; see [`FNV_OFFSET`].
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// FNV-1a 64-bit: tiny, dependency-free, and good enough for name-sized
 /// keys. Computed once per interned string (hash-once): both the table
 /// probe and every later `HashMap` use of the [`Symbol`] reuse it.
 fn fnv1a(text: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash: u64 = FNV_OFFSET;
     for byte in text.as_bytes() {
         hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
 }
@@ -163,6 +170,21 @@ impl SymbolTable {
     /// the name was seen before).
     pub fn intern(&mut self, text: &str) -> Symbol {
         let hash = fnv1a(text);
+        if let Some(found) = self.find(hash, text) {
+            return found;
+        }
+        self.insert_new(Symbol {
+            text: Arc::from(text),
+            hash,
+        })
+    }
+
+    /// Interns `text` under a hash the caller already computed — the
+    /// reader folds FNV-1a into the byte scan that validates a name, so
+    /// interning never re-reads the bytes. `hash` must equal
+    /// `fnv1a(text)`.
+    pub(crate) fn intern_prehashed(&mut self, hash: u64, text: &str) -> Symbol {
+        debug_assert_eq!(hash, fnv1a(text), "caller-supplied hash mismatch");
         if let Some(found) = self.find(hash, text) {
             return found;
         }

@@ -2,7 +2,7 @@
 
 use crate::error::XmlError;
 use crate::escape::{escape_attribute, escape_text};
-use crate::event::{Attribute, SaxEvent, SaxEventRef};
+use crate::event::{SaxEvent, SaxEventRef};
 use crate::name::QName;
 
 /// Builds an XML document into an in-memory `String`.
@@ -296,8 +296,8 @@ where
             SaxEventRef::StartDocument | SaxEventRef::EndDocument => {}
             SaxEventRef::StartElement { name, attributes } => {
                 w.start(name.to_string())?;
-                for Attribute { name, value } in attributes {
-                    w.attr(name.to_string(), value)?;
+                for a in attributes {
+                    w.attr(a.name.to_string(), a.value)?;
                 }
             }
             SaxEventRef::EndElement { .. } => {
